@@ -1,0 +1,205 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! partition-size sensitivity, jitter sensitivity of static scheduling,
+//! and the cost of the data-communication level (strip volume).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use easyhps_bench::cost;
+use easyhps_core::ScheduleMode;
+use easyhps_sim::{render_table, simulate, Series, SimConfig, SimWorkload};
+use std::hint::black_box;
+
+/// Partition-size sweep: too-coarse tiles starve nodes, too-fine tiles
+/// drown the master in scheduling overhead — the classic U-curve.
+fn partition_sensitivity(c: &mut Criterion) {
+    let mut series = Series::new("elapsed (s)");
+    for pps in [50u32, 100, 200, 400, 1000] {
+        let w = SimWorkload::swgg(2_000, pps, 10);
+        let r = simulate(&w, &SimConfig::uniform(4, 8));
+        series.push(pps as f64, r.seconds());
+    }
+    println!(
+        "{}",
+        render_table(
+            "Ablation: SWGG(2000) elapsed vs process_partition_size (4 nodes x 8 threads)",
+            "pps",
+            &[series.clone()]
+        )
+    );
+    // The middle of the sweep should beat both extremes.
+    let best = series.points.iter().map(|p| p.1).fold(f64::MAX, f64::min);
+    let coarse = series.y_at(1000.0).unwrap();
+    assert!(best < coarse, "a finer partition must beat one-giant-tile");
+
+    let mut g = c.benchmark_group("ablation_partition_size");
+    g.sample_size(10);
+    for pps in [100u32, 400] {
+        let w = SimWorkload::swgg(2_000, pps, 10);
+        g.bench_function(format!("pps_{pps}"), |b| {
+            b.iter(|| black_box(simulate(&w, &SimConfig::uniform(4, 8)).makespan_ns))
+        });
+    }
+    g.finish();
+}
+
+/// Jitter sensitivity: as execution noise grows, the tuned static schedule
+/// degrades relative to the dynamic pool.
+fn jitter_sensitivity(_c: &mut Criterion) {
+    let mut dynamic = Series::new("dynamic (s)");
+    let mut bcw = Series::new("static bcw1 (s)");
+    for jitter in [0u32, 10, 20, 40] {
+        let w = SimWorkload::nussinov(2_000, 100, 10);
+        let mut cfg = SimConfig::uniform(4, 6);
+        cfg.cost = cost();
+        cfg.cost.jitter_pct = jitter;
+        dynamic.push(jitter as f64, simulate(&w, &cfg).seconds());
+        cfg.process_mode = ScheduleMode::BlockCyclic { block: 1 };
+        cfg.thread_mode = ScheduleMode::BlockCyclic { block: 1 };
+        bcw.push(jitter as f64, simulate(&w, &cfg).seconds());
+    }
+    println!(
+        "{}",
+        render_table(
+            "Ablation: dynamic vs tuned-static elapsed under execution jitter",
+            "jitter%",
+            &[dynamic.clone(), bcw.clone()]
+        )
+    );
+    // At zero jitter the tuned static schedule matches the pool; with heavy
+    // jitter it must not be better.
+    let (d40, b40) = (dynamic.y_at(40.0).unwrap(), bcw.y_at(40.0).unwrap());
+    assert!(b40 >= d40 * 0.98, "static should not beat dynamic under noise");
+}
+
+/// Strip-volume ablation: the 2D/1D data-communication level ships far
+/// more bytes than 2D/0D at the same matrix size.
+fn strip_volume(_c: &mut Criterion) {
+    let wave = SimWorkload::wavefront(2_000, 100, 10);
+    let swgg = SimWorkload::swgg(2_000, 100, 10);
+    let cfg = SimConfig::uniform(3, 4);
+    let rw = simulate(&wave, &cfg);
+    let rs = simulate(&swgg, &cfg);
+    println!(
+        "# Ablation: bytes moved, 2D/0D wavefront {} MB vs 2D/1D SWGG {} MB (same 2001^2 matrix)\n",
+        rw.bytes_moved / 1_000_000,
+        rs.bytes_moved / 1_000_000
+    );
+    assert!(
+        rs.bytes_moved > 5 * rw.bytes_moved,
+        "row/column prefixes must dominate boundary strips"
+    );
+}
+
+/// Fault-tolerance overhead: makespan inflation as a function of when a
+/// node crashes and how aggressive the detection timeout is.
+fn fault_tolerance_overhead(c: &mut Criterion) {
+    let w = SimWorkload::swgg(2_000, 100, 10);
+    let healthy = simulate(&w, &SimConfig::uniform(4, 6));
+
+    let mut by_crash_time = Series::new("makespan inflation (x)");
+    for frac in [10u64, 30, 50, 70, 90] {
+        let mut cfg = SimConfig::uniform(4, 6).fail_node(2, healthy.makespan_ns * frac / 100);
+        cfg.task_timeout_ns = healthy.makespan_ns / 20;
+        let r = simulate(&w, &cfg);
+        by_crash_time.push(frac as f64, r.makespan_ns as f64 / healthy.makespan_ns as f64);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Ablation: makespan inflation vs crash time (% of healthy makespan; 1 of 4 nodes lost)",
+            "crash%",
+            &[by_crash_time.clone()]
+        )
+    );
+    for (_, inflation) in &by_crash_time.points {
+        // Greedy LIFO scheduling is not optimal, so a crash that forces a
+        // reshuffle of the tail can occasionally *luckily* beat the healthy
+        // schedule by a couple of percent; anything beyond that, or a
+        // doubling, would be a fault-tolerance bug.
+        assert!(*inflation >= 0.95, "implausible speedup from losing a node");
+        assert!(*inflation < 2.0, "losing 1 of 4 nodes must not double the makespan");
+    }
+
+    let mut by_timeout = Series::new("makespan (s)");
+    for timeout_ms in [5u64, 20, 80, 320] {
+        let mut cfg = SimConfig::uniform(4, 6).fail_node(2, healthy.makespan_ns / 3);
+        cfg.task_timeout_ns = timeout_ms * 1_000_000;
+        by_timeout.push(timeout_ms as f64, simulate(&w, &cfg).seconds());
+    }
+    println!(
+        "{}",
+        render_table("Ablation: recovery time vs fault-tolerance timeout", "timeout_ms", &[
+            by_timeout,
+        ])
+    );
+
+    let mut g = c.benchmark_group("ablation_fault_tolerance");
+    g.sample_size(10);
+    let mut cfg = SimConfig::uniform(4, 6).fail_node(2, healthy.makespan_ns / 3);
+    cfg.task_timeout_ns = healthy.makespan_ns / 20;
+    g.bench_function("with_node_crash", |b| {
+        b.iter(|| black_box(simulate(&w, &cfg).makespan_ns))
+    });
+    g.finish();
+}
+
+/// Node-memory ablation on the *real* runtime: dense node matrices (the
+/// paper's layout) vs sparse chunked allocation (the paper's future-work
+/// fix), measuring peak bytes and wall time.
+fn memory_modes(c: &mut Criterion) {
+    use easyhps_dp::sequence::{random_sequence, Alphabet};
+    use easyhps_dp::Nussinov;
+    use easyhps_runtime::{EasyHps, MemoryMode};
+
+    let rna = random_sequence(Alphabet::Rna, 400, 9);
+    let run = |mode: MemoryMode| {
+        EasyHps::new(Nussinov::new(rna.clone()))
+            .process_partition((80, 80))
+            .thread_partition((20, 20))
+            .slaves(3)
+            .threads_per_slave(2)
+            .memory_mode(mode)
+            .run()
+            .unwrap()
+    };
+    let dense = run(MemoryMode::Dense);
+    let sparse = run(MemoryMode::Sparse);
+    let peak = |out: &easyhps_runtime::RunOutput<i32>| {
+        out.report.slaves.iter().flatten().map(|s| s.peak_node_bytes).max().unwrap_or(0)
+    };
+    println!(
+        "# Ablation: node-matrix memory, nussinov(400) on 3 slaves: dense {} KB vs sparse {} KB peak per node\n",
+        peak(&dense) / 1024,
+        peak(&sparse) / 1024
+    );
+    assert!(peak(&sparse) < peak(&dense));
+
+    let mut g = c.benchmark_group("ablation_memory_mode");
+    g.sample_size(10);
+    for (name, mode) in [("dense", MemoryMode::Dense), ("sparse", MemoryMode::Sparse)] {
+        let rna = rna.clone();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let out = EasyHps::new(Nussinov::new(rna.clone()))
+                    .process_partition((80, 80))
+                    .thread_partition((20, 20))
+                    .slaves(3)
+                    .threads_per_slave(2)
+                    .memory_mode(mode)
+                    .run()
+                    .unwrap();
+                black_box(out.report.master.completed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    partition_sensitivity,
+    jitter_sensitivity,
+    strip_volume,
+    fault_tolerance_overhead,
+    memory_modes
+);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Fig. 14 — Nussinov elapsed time vs. cores on 2-5 nodes.
+//!
+//! Reduced-scale series printed here; full scale via the `figures` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use easyhps_bench::{bench_nussinov, cost};
+use easyhps_sim::{render_table, scaling_series, simulate, Experiment};
+use std::hint::black_box;
+
+fn fig14(c: &mut Criterion) {
+    let workload = bench_nussinov();
+    let series = scaling_series(&workload, cost());
+    println!(
+        "{}",
+        render_table("Fig 14 (bench scale): Nussinov elapsed (s) vs cores", "cores", &series)
+    );
+
+    let mut g = c.benchmark_group("fig14_nussinov_scaling");
+    g.sample_size(10);
+    for nodes in [2u32, 5] {
+        for ct in [1u32, 11] {
+            let e = Experiment::from_ct(nodes, ct);
+            let cfg = e.config(cost());
+            g.bench_function(e.label(), |b| {
+                b.iter(|| black_box(simulate(&workload, &cfg).makespan_ns))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig14);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Fig. 16 — elapsed time and speedup with the best node grouping per
+//! total core count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use easyhps_bench::{bench_nussinov, bench_swgg, cost};
+use easyhps_sim::{render_table, sequential_ns, simulate, speedup_series, Experiment};
+use std::hint::black_box;
+
+fn fig16(c: &mut Criterion) {
+    for (name, workload) in [("swgg", bench_swgg()), ("nussinov", bench_nussinov())] {
+        let (elapsed, speedup) = speedup_series(&workload, cost(), 53);
+        println!(
+            "# {name} sequential baseline: {:.3}s",
+            sequential_ns(&workload, &cost()) as f64 / 1e9
+        );
+        println!(
+            "{}",
+            render_table(
+                &format!("Fig 16 (bench scale, {name}): best-grouping elapsed and speedup"),
+                "cores",
+                &[elapsed, speedup.clone()]
+            )
+        );
+        // Speedup must grow substantially toward 50 cores.
+        let s50 = speedup.y_at(50.0).expect("50-core point");
+        let s10 = speedup.y_at(10.0).expect("10-core point");
+        assert!(s50 > s10 * 2.0, "{name}: speedup should keep growing ({s10} -> {s50})");
+    }
+
+    let workload = bench_swgg();
+    let mut g = c.benchmark_group("fig16_speedup");
+    g.sample_size(10);
+    for cores in [13u32, 33, 53] {
+        let e = Experiment::new(5, cores);
+        let cfg = e.config(cost());
+        g.bench_function(format!("best_grouping_{cores}_cores"), |b| {
+            b.iter(|| black_box(simulate(&workload, &cfg).makespan_ns))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig16);
+criterion_main!(benches);

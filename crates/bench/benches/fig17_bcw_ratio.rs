@@ -1,0 +1,50 @@
+//! Fig. 17 — BCW / EasyHPS runtime ratio: the dynamic worker pool against
+//! the static block-cyclic wavefront baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use easyhps_bench::{bench_nussinov, bench_swgg, cost};
+use easyhps_sim::{bcw_baseline, bcw_ratio_series, render_table, simulate, Experiment};
+use std::hint::black_box;
+
+fn fig17(c: &mut Criterion) {
+    for (name, workload) in [("swgg", bench_swgg()), ("nussinov", bench_nussinov())] {
+        let series = bcw_ratio_series(&workload, cost());
+        println!(
+            "{}",
+            render_table(
+                &format!("Fig 17 (bench scale, {name}): BCW/EasyHPS runtime ratio"),
+                "cores",
+                &series
+            )
+        );
+        // The paper's conclusion: almost all points above the 1.00 line.
+        let all: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.1)).collect();
+        let above = all.iter().filter(|&&r| r >= 1.0).count();
+        assert!(
+            above * 10 >= all.len() * 9,
+            "{name}: expected >=90% of ratios above 1.0, got {above}/{}",
+            all.len()
+        );
+    }
+
+    let workload = bench_nussinov();
+    let e = Experiment::from_ct(4, 6);
+    let dyn_cfg = e.config(cost());
+    let mut bcw_cfg = e.config(cost());
+    let (pm, tm) = bcw_baseline();
+    bcw_cfg.process_mode = pm;
+    bcw_cfg.thread_mode = tm;
+
+    let mut g = c.benchmark_group("fig17_bcw_ratio");
+    g.sample_size(10);
+    g.bench_function("dynamic_4_nodes_ct6", |b| {
+        b.iter(|| black_box(simulate(&workload, &dyn_cfg).makespan_ns))
+    });
+    g.bench_function("bcw_4_nodes_ct6", |b| {
+        b.iter(|| black_box(simulate(&workload, &bcw_cfg).makespan_ns))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig17);
+criterion_main!(benches);

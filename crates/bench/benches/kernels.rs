@@ -1,0 +1,112 @@
+//! Kernel microbenchmarks: DP tile kernels, DAG materialization and
+//! parsing throughput, wire codec.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use easyhps_core::patterns::{RowColumn2D1D, TriangularGap, Wavefront2D};
+use easyhps_core::{DagParser, GridDims, TaskDag, TileRegion};
+use easyhps_dp::sequence::{random_sequence, Alphabet};
+use easyhps_dp::{DpMatrix, DpProblem, EditDistance, Nussinov, SmithWatermanGeneralGap};
+use std::hint::black_box;
+
+fn tile_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tile_kernels");
+    let a = random_sequence(Alphabet::Dna, 512, 1);
+    let b = random_sequence(Alphabet::Dna, 512, 2);
+    let region = TileRegion::new(1, 65, 1, 65);
+
+    let edit = EditDistance::new(a.clone(), b.clone());
+    let mut m = DpMatrix::<i32>::new(edit.dims());
+    g.throughput(Throughput::Elements(region.area()));
+    g.bench_function("edit_distance_64x64_tile", |bch| {
+        bch.iter(|| {
+            edit.compute_region(&mut m, region);
+            black_box(m.get(64, 64))
+        })
+    });
+
+    let swgg = SmithWatermanGeneralGap::dna(a, b);
+    let mut m = DpMatrix::<i32>::new(swgg.dims());
+    g.throughput(Throughput::Elements(swgg.region_work(region)));
+    g.bench_function("swgg_64x64_tile", |bch| {
+        bch.iter(|| {
+            swgg.compute_region(&mut m, region);
+            black_box(m.get(64, 64))
+        })
+    });
+
+    let rna = random_sequence(Alphabet::Rna, 256, 3);
+    let nus = Nussinov::new(rna);
+    let full = TileRegion::new(0, 256, 0, 256);
+    let mut m = DpMatrix::<i32>::new(nus.dims());
+    g.throughput(Throughput::Elements(256 * 256 / 2));
+    g.bench_function("nussinov_256_full", |bch| {
+        bch.iter(|| {
+            nus.compute_region(&mut m, full);
+            black_box(m.get(0, 255))
+        })
+    });
+    g.finish();
+}
+
+fn dag_operations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dag_operations");
+
+    g.bench_function("materialize_wavefront_100x100", |b| {
+        b.iter(|| TaskDag::from_pattern(black_box(&Wavefront2D::new(GridDims::square(100)))))
+    });
+    g.bench_function("materialize_triangular_100", |b| {
+        b.iter(|| TaskDag::from_pattern(black_box(&TriangularGap::new(100))))
+    });
+    g.bench_function("materialize_rowcol_50x50", |b| {
+        b.iter(|| TaskDag::from_pattern(black_box(&RowColumn2D1D::new(GridDims::square(50)))))
+    });
+
+    let dag = TaskDag::from_pattern(&Wavefront2D::new(GridDims::square(100)));
+    g.throughput(Throughput::Elements(dag.len() as u64));
+    g.bench_function("parse_drain_wavefront_100x100", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            DagParser::drain_sequential(&dag, |_| n += 1);
+            black_box(n)
+        })
+    });
+
+    let tri = TaskDag::from_pattern(&TriangularGap::new(100));
+    g.throughput(Throughput::Elements(tri.len() as u64));
+    g.bench_function("parse_drain_triangular_100", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            DagParser::drain_sequential(&tri, |_| n += 1);
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+fn wire_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_codec");
+    let m = {
+        let mut m = DpMatrix::<i32>::new(GridDims::square(200));
+        for p in m.dims().iter() {
+            m.set(p.row, p.col, (p.row ^ p.col) as i32);
+        }
+        m
+    };
+    let region = TileRegion::new(0, 200, 0, 200);
+    g.throughput(Throughput::Bytes(region.area() * 4));
+    g.bench_function("encode_200x200_strip", |b| {
+        b.iter(|| black_box(m.encode_region(region).len()))
+    });
+    let bytes = m.encode_region(region);
+    let mut dst = DpMatrix::<i32>::new(GridDims::square(200));
+    g.bench_function("decode_200x200_strip", |b| {
+        b.iter(|| {
+            dst.decode_region(region, &bytes);
+            black_box(dst.get(100, 100))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, tile_kernels, dag_operations, wire_codec);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! End-to-end benchmarks of the real threaded runtime (virtual cluster of
+//! OS threads): scheduling overhead and scaling of the actual system, as
+//! opposed to the virtual-time simulation used for the paper figures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use easyhps_dp::sequence::{random_sequence, Alphabet};
+use easyhps_dp::{EditDistance, Nussinov, SmithWatermanGeneralGap};
+use easyhps_runtime::{EasyHps, ScheduleMode};
+use std::hint::black_box;
+
+fn end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_end_to_end");
+    g.sample_size(10);
+
+    g.bench_function("edit_distance_200_2slaves_2threads", |b| {
+        b.iter(|| {
+            let a = random_sequence(Alphabet::Dna, 200, 1);
+            let s = random_sequence(Alphabet::Dna, 200, 2);
+            let out = EasyHps::new(EditDistance::new(a, s))
+                .process_partition((50, 50))
+                .thread_partition((10, 10))
+                .slaves(2)
+                .threads_per_slave(2)
+                .run()
+                .unwrap();
+            black_box(out.matrix.get(200, 200))
+        })
+    });
+
+    g.bench_function("swgg_128_2slaves_2threads", |b| {
+        b.iter(|| {
+            let a = random_sequence(Alphabet::Dna, 128, 3);
+            let s = random_sequence(Alphabet::Dna, 128, 4);
+            let out = EasyHps::new(SmithWatermanGeneralGap::dna(a, s))
+                .process_partition((32, 32))
+                .thread_partition((8, 8))
+                .slaves(2)
+                .threads_per_slave(2)
+                .run()
+                .unwrap();
+            black_box(out.report.master.completed)
+        })
+    });
+
+    g.bench_function("nussinov_192_3slaves_2threads", |b| {
+        b.iter(|| {
+            let rna = random_sequence(Alphabet::Rna, 192, 5);
+            let out = EasyHps::new(Nussinov::new(rna))
+                .process_partition((48, 48))
+                .thread_partition((12, 12))
+                .slaves(3)
+                .threads_per_slave(2)
+                .run()
+                .unwrap();
+            black_box(out.matrix.get(0, 191))
+        })
+    });
+    g.finish();
+}
+
+fn scheduling_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_scheduling_modes");
+    g.sample_size(10);
+    for (name, pm) in [
+        ("dynamic", ScheduleMode::Dynamic),
+        ("block_cyclic", ScheduleMode::BlockCyclic { block: 1 }),
+        ("column_wavefront", ScheduleMode::ColumnWavefront),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let rna = random_sequence(Alphabet::Rna, 128, 6);
+                let out = EasyHps::new(Nussinov::new(rna))
+                    .process_partition((32, 32))
+                    .thread_partition((8, 8))
+                    .slaves(2)
+                    .threads_per_slave(2)
+                    .process_mode(pm)
+                    .thread_mode(pm)
+                    .run()
+                    .unwrap();
+                black_box(out.report.master.completed)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Single-level (EasyPDP) vs multilevel (EasyHPS) on one machine: the
+/// multilevel architecture pays master/slave messaging for no benefit when
+/// there is only shared memory — quantify that overhead.
+fn single_vs_multilevel(c: &mut Criterion) {
+    use easyhps_runtime::EasyPdp;
+    let mut g = c.benchmark_group("runtime_single_vs_multilevel");
+    g.sample_size(10);
+    g.bench_function("easypdp_single_level", |b| {
+        b.iter(|| {
+            let rna = random_sequence(Alphabet::Rna, 160, 7);
+            let out = EasyPdp::new(Nussinov::new(rna))
+                .partition((10, 10))
+                .threads(4)
+                .run()
+                .unwrap();
+            black_box(out.subtasks)
+        })
+    });
+    g.bench_function("easyhps_multilevel", |b| {
+        b.iter(|| {
+            let rna = random_sequence(Alphabet::Rna, 160, 7);
+            let out = EasyHps::new(Nussinov::new(rna))
+                .process_partition((40, 40))
+                .thread_partition((10, 10))
+                .slaves(2)
+                .threads_per_slave(2)
+                .run()
+                .unwrap();
+            black_box(out.report.master.completed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, end_to_end, scheduling_modes, single_vs_multilevel);
+criterion_main!(benches);

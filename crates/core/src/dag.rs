@@ -1,0 +1,446 @@
+//! Materialized task DAGs built from a [`DagPattern`].
+//!
+//! A [`TaskDag`] is the concrete, indexed form of a pattern: vertices are
+//! numbered densely (skipping absent grid positions), and each vertex stores
+//! its predecessor, successor and data-dependency adjacency. This is the
+//! structure the schedulers and the parser operate on; it corresponds to the
+//! paper's `dag_pattern_element` linked list plus the derived `pos_cnt` /
+//! `pre_cnt` fields (Table I).
+
+use crate::error::PatternError;
+use crate::geom::{GridDims, GridPos};
+use crate::pattern::DagPattern;
+
+/// Dense vertex identifier within one [`TaskDag`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// The id as a dense `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for VertexId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// One vertex of a task DAG: a sub-task after task partition. Mirrors the
+/// paper's `DAGElement` (prefix degree, postfix list, data-dependency list).
+#[derive(Clone, Debug)]
+pub struct TaskVertex {
+    /// Grid position of this vertex in the pattern.
+    pub pos: GridPos,
+    /// Topological predecessors (`pre_cnt` is their count).
+    pub preds: Vec<VertexId>,
+    /// Topological successors (`pos_cnt` is their count, `posfix_id` the
+    /// list).
+    pub succs: Vec<VertexId>,
+    /// Data-communication-level dependencies (`data_prefix_id`); superset of
+    /// nothing in particular but always transitively dominated by `preds`.
+    pub data_deps: Vec<VertexId>,
+}
+
+/// A materialized DAG of sub-tasks.
+#[derive(Clone, Debug)]
+pub struct TaskDag {
+    dims: GridDims,
+    /// Dense vertex table.
+    vertices: Vec<TaskVertex>,
+    /// Grid position -> dense id (u32::MAX = absent).
+    index: Vec<u32>,
+}
+
+impl TaskDag {
+    /// Materialize `pattern` into an indexed DAG.
+    ///
+    /// Cost is `O(vertices x degree)`; for 2D/1D and 2D/2D patterns the
+    /// data-dependency lists make this quadratic in the grid side, which is
+    /// fine for tile-level DAGs (the only place the runtime materializes
+    /// them).
+    pub fn from_pattern(pattern: &(impl DagPattern + ?Sized)) -> Self {
+        let dims = pattern.dims();
+        let cells = dims.area() as usize;
+        let mut index = vec![u32::MAX; cells];
+        let mut vertices = Vec::new();
+
+        for pos in dims.iter() {
+            if pattern.contains(pos) {
+                index[dims.linear(pos)] = vertices.len() as u32;
+                vertices.push(TaskVertex {
+                    pos,
+                    preds: Vec::new(),
+                    succs: Vec::new(),
+                    data_deps: Vec::new(),
+                });
+            }
+        }
+
+        let mut buf = Vec::new();
+        for vid in 0..vertices.len() {
+            let pos = vertices[vid].pos;
+
+            buf.clear();
+            pattern.predecessors(pos, &mut buf);
+            let mut preds = Vec::with_capacity(buf.len());
+            for &dep in &buf {
+                debug_assert!(pattern.contains(dep), "pattern emitted absent pred {dep} for {pos}");
+                let did = index[dims.linear(dep)];
+                debug_assert_ne!(did, u32::MAX);
+                if !preds.contains(&VertexId(did)) {
+                    preds.push(VertexId(did));
+                }
+            }
+            for p in &preds {
+                vertices[p.index()].succs.push(VertexId(vid as u32));
+            }
+
+            buf.clear();
+            pattern.data_dependencies(pos, &mut buf);
+            let mut data = Vec::with_capacity(buf.len());
+            for &dep in &buf {
+                debug_assert!(pattern.contains(dep), "pattern emitted absent data dep {dep} for {pos}");
+                let did = index[dims.linear(dep)];
+                debug_assert_ne!(did, u32::MAX);
+                if !data.contains(&VertexId(did)) {
+                    data.push(VertexId(did));
+                }
+            }
+
+            vertices[vid].preds = preds;
+            vertices[vid].data_deps = data;
+        }
+
+        Self { dims, vertices, index }
+    }
+
+    /// Grid extent of the underlying pattern.
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    /// Number of vertices (present sub-tasks).
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// True when the DAG has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Dense id of the vertex at `pos`, if present.
+    pub fn vertex_at(&self, pos: GridPos) -> Option<VertexId> {
+        if !self.dims.contains(pos) {
+            return None;
+        }
+        match self.index[self.dims.linear(pos)] {
+            u32::MAX => None,
+            id => Some(VertexId(id)),
+        }
+    }
+
+    /// Vertex data by id. Panics on out-of-range ids.
+    pub fn vertex(&self, id: VertexId) -> &TaskVertex {
+        &self.vertices[id.index()]
+    }
+
+    /// Iterate all vertices with their ids.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, &TaskVertex)> {
+        self.vertices
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (VertexId(i as u32), v))
+    }
+
+    /// Ids of all source vertices (no predecessors).
+    pub fn sources(&self) -> Vec<VertexId> {
+        self.iter()
+            .filter(|(_, v)| v.preds.is_empty())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Total number of topological edges.
+    pub fn edge_count(&self) -> usize {
+        self.vertices.iter().map(|v| v.preds.len()).sum()
+    }
+
+    /// A topological order of all vertices (Kahn). Returns an error on
+    /// cycles. Ties are broken by dense id, so the order is deterministic.
+    pub fn topological_order(&self) -> Result<Vec<VertexId>, PatternError> {
+        let mut indeg: Vec<u32> = self.vertices.iter().map(|v| v.preds.len() as u32).collect();
+        let mut order = Vec::with_capacity(self.len());
+        let mut frontier: Vec<VertexId> = self
+            .iter()
+            .filter(|(_, v)| v.preds.is_empty())
+            .map(|(id, _)| id)
+            .collect();
+        // Pop smallest id first for determinism.
+        frontier.sort_unstable_by(|a, b| b.cmp(a));
+
+        while let Some(v) = frontier.pop() {
+            order.push(v);
+            for &s in &self.vertices[v.index()].succs {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    // Insert keeping the stack sorted descending (small ids
+                    // pop first). Frontiers are small; linear insert is fine.
+                    let at = frontier
+                        .binary_search_by(|x| s.cmp(x))
+                        .unwrap_or_else(|e| e);
+                    frontier.insert(at, s);
+                }
+            }
+        }
+
+        if order.len() != self.len() {
+            let stuck = indeg
+                .iter()
+                .position(|&d| d > 0)
+                .expect("cycle implies a vertex with nonzero in-degree");
+            return Err(PatternError::Cycle { pos: self.vertices[stuck].pos });
+        }
+        Ok(order)
+    }
+
+    /// Validate structural invariants:
+    /// 1. the topological relation is acyclic;
+    /// 2. every data dependency is an ancestor in the topological relation
+    ///    (so inputs are finished when a vertex becomes computable).
+    pub fn validate(&self) -> Result<(), PatternError> {
+        let order = self.topological_order()?;
+
+        // Ancestor closure via per-vertex bitsets indexed by topological
+        // rank (a predecessor always has a smaller rank, even when its dense
+        // id is larger, as happens for triangular patterns).
+        // O(V^2/64) — acceptable for tile-level DAG sizes.
+        let n = self.len();
+        let words = n.div_ceil(64);
+        let mut rank = vec![0usize; n];
+        for (r, v) in order.iter().enumerate() {
+            rank[v.index()] = r;
+        }
+        let mut closure = vec![0u64; n * words];
+        for (r, &v) in order.iter().enumerate() {
+            for &p in &self.vertices[v.index()].preds {
+                let pr = rank[p.index()];
+                debug_assert!(pr < r);
+                let (lo, hi) = closure.split_at_mut(r * words);
+                let dst = &mut hi[..words];
+                let src = &lo[pr * words..pr * words + words];
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d |= s;
+                }
+                dst[pr / 64] |= 1 << (pr % 64);
+            }
+        }
+
+        for (id, v) in self.iter() {
+            let r = rank[id.index()];
+            for &d in &v.data_deps {
+                let dr = rank[d.index()];
+                if closure[r * words + dr / 64] & (1 << (dr % 64)) == 0 {
+                    return Err(PatternError::UnorderedDataDependency {
+                        vertex: v.pos,
+                        dep: self.vertices[d.index()].pos,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::{CustomPattern, TriangularGap, Wavefront2D};
+
+    #[test]
+    fn wavefront_dag_counts() {
+        let dag = TaskDag::from_pattern(&Wavefront2D::new(GridDims::square(3)));
+        assert_eq!(dag.len(), 9);
+        // Edges: interior cells have 3 preds, edge cells 1, corner 0.
+        // (1,1),(1,2),(2,1),(2,2) have 3; (0,1),(0,2),(1,0),(2,0) have 1.
+        assert_eq!(dag.edge_count(), 4 * 3 + 4);
+        assert_eq!(dag.sources(), vec![dag.vertex_at(GridPos::new(0, 0)).unwrap()]);
+    }
+
+    #[test]
+    fn triangular_dag_skips_lower_triangle() {
+        let dag = TaskDag::from_pattern(&TriangularGap::new(4));
+        assert_eq!(dag.len(), 10);
+        assert!(dag.vertex_at(GridPos::new(3, 0)).is_none());
+        assert!(dag.vertex_at(GridPos::new(0, 3)).is_some());
+        // Sources are the main diagonal.
+        assert_eq!(dag.sources().len(), 4);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let dag = TaskDag::from_pattern(&Wavefront2D::new(GridDims::new(4, 5)));
+        let order = dag.topological_order().unwrap();
+        assert_eq!(order.len(), dag.len());
+        let mut rank = vec![0usize; dag.len()];
+        for (i, v) in order.iter().enumerate() {
+            rank[v.index()] = i;
+        }
+        for (id, v) in dag.iter() {
+            for p in &v.preds {
+                assert!(rank[p.index()] < rank[id.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn validate_accepts_builtin_patterns() {
+        TaskDag::from_pattern(&Wavefront2D::new(GridDims::square(6))).validate().unwrap();
+        TaskDag::from_pattern(&TriangularGap::new(7)).validate().unwrap();
+        TaskDag::from_pattern(&crate::patterns::RowColumn2D1D::new(GridDims::new(5, 7)))
+            .validate()
+            .unwrap();
+        TaskDag::from_pattern(&crate::patterns::Full2D2D::new(GridDims::new(4, 4)))
+            .validate()
+            .unwrap();
+        TaskDag::from_pattern(&crate::patterns::Linear1D::new(9)).validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_unordered_data_dep() {
+        // (0,1) reads (0,2) but nothing orders them.
+        let dims = GridDims::new(1, 3);
+        let p = CustomPattern::builder(dims)
+            .dependency(GridPos::new(0, 1), GridPos::new(0, 0))
+            .unwrap()
+            .data_dependency(GridPos::new(0, 1), GridPos::new(0, 2))
+            .unwrap()
+            .finish_unchecked();
+        let err = TaskDag::from_pattern(&p).validate().unwrap_err();
+        assert!(matches!(err, PatternError::UnorderedDataDependency { .. }));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let p = CustomPattern::builder(GridDims::new(1, 3))
+            .dependency(GridPos::new(0, 1), GridPos::new(0, 0))
+            .unwrap()
+            .dependency(GridPos::new(0, 2), GridPos::new(0, 1))
+            .unwrap()
+            .dependency(GridPos::new(0, 0), GridPos::new(0, 2))
+            .unwrap()
+            .finish_unchecked();
+        let err = TaskDag::from_pattern(&p).topological_order().unwrap_err();
+        assert!(matches!(err, PatternError::Cycle { .. }));
+    }
+
+    #[test]
+    fn succs_mirror_preds() {
+        let dag = TaskDag::from_pattern(&TriangularGap::new(5));
+        for (id, v) in dag.iter() {
+            for p in &v.preds {
+                assert!(dag.vertex(*p).succs.contains(&id));
+            }
+            for s in &v.succs {
+                assert!(dag.vertex(*s).preds.contains(&id));
+            }
+        }
+    }
+}
+
+/// Structural analysis of a [`TaskDag`] for partition-size tuning.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DagAnalysis {
+    /// Vertices.
+    pub vertices: usize,
+    /// Topological edges.
+    pub edges: usize,
+    /// Length of the longest path, in vertices (the schedule's lower bound
+    /// in "levels").
+    pub critical_path: usize,
+    /// Number of vertices per topological level (level = longest distance
+    /// from a source); `max` bounds usable workers.
+    pub width_profile: Vec<usize>,
+    /// Maximum of the width profile.
+    pub max_width: usize,
+    /// `vertices / critical_path`: the average parallelism a perfectly
+    /// balanced schedule could sustain.
+    pub avg_parallelism: f64,
+}
+
+impl TaskDag {
+    /// Compute structural statistics (fails on cyclic custom patterns).
+    pub fn analyze(&self) -> Result<DagAnalysis, PatternError> {
+        let order = self.topological_order()?;
+        let mut level = vec![0usize; self.len()];
+        let mut depth = 0usize;
+        for &v in &order {
+            let l = self.vertex(v)
+                .preds
+                .iter()
+                .map(|p| level[p.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            level[v.index()] = l;
+            depth = depth.max(l);
+        }
+        let mut width_profile = vec![0usize; depth + 1];
+        for &l in &level {
+            width_profile[l] += 1;
+        }
+        let critical_path = depth + 1;
+        Ok(DagAnalysis {
+            vertices: self.len(),
+            edges: self.edge_count(),
+            critical_path,
+            max_width: width_profile.iter().copied().max().unwrap_or(0),
+            avg_parallelism: if self.is_empty() {
+                0.0
+            } else {
+                self.len() as f64 / critical_path as f64
+            },
+            width_profile,
+        })
+    }
+}
+
+#[cfg(test)]
+mod analysis_tests {
+    use super::*;
+    use crate::patterns::{Linear1D, TriangularGap, Wavefront2D};
+    use crate::GridDims;
+
+    #[test]
+    fn chain_analysis() {
+        let dag = TaskDag::from_pattern(&Linear1D::new(7));
+        let a = dag.analyze().unwrap();
+        assert_eq!(a.critical_path, 7);
+        assert_eq!(a.max_width, 1);
+        assert!((a.avg_parallelism - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wavefront_analysis() {
+        let dag = TaskDag::from_pattern(&Wavefront2D::new(GridDims::new(4, 6)));
+        let a = dag.analyze().unwrap();
+        // Levels are anti-diagonals: 4 + 6 - 1 of them, widest = 4.
+        assert_eq!(a.critical_path, 9);
+        assert_eq!(a.max_width, 4);
+        assert_eq!(a.width_profile.iter().sum::<usize>(), 24);
+        assert_eq!(a.width_profile[0], 1);
+    }
+
+    #[test]
+    fn triangular_analysis() {
+        let dag = TaskDag::from_pattern(&TriangularGap::new(5));
+        let a = dag.analyze().unwrap();
+        // Levels are span lengths: 5 levels, widest is the diagonal (5).
+        assert_eq!(a.critical_path, 5);
+        assert_eq!(a.max_width, 5);
+        assert_eq!(a.vertices, 15);
+    }
+}

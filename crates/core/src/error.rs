@@ -1,0 +1,102 @@
+//! Error types for DAG model construction and parsing.
+
+use crate::geom::{GridDims, GridPos};
+use std::fmt;
+
+/// Errors raised while building or validating a DAG Pattern Model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PatternError {
+    /// A position lies outside the pattern grid.
+    OutOfBounds {
+        /// The offending position.
+        pos: GridPos,
+        /// The pattern grid extent.
+        dims: GridDims,
+    },
+    /// An edge references a vertex marked absent.
+    EdgeToAbsentVertex {
+        /// The absent vertex referenced by the edge.
+        pos: GridPos,
+    },
+    /// A vertex was marked absent after edges were attached to it.
+    AbsentVertexWithEdges {
+        /// The vertex that already has edges attached.
+        pos: GridPos,
+    },
+    /// A vertex depends on itself.
+    SelfDependency {
+        /// The self-referencing vertex.
+        pos: GridPos,
+    },
+    /// The dependency relation contains a cycle through `pos`.
+    Cycle {
+        /// A vertex on the cycle.
+        pos: GridPos,
+    },
+    /// A data dependency is not dominated by the topological predecessors,
+    /// i.e. the vertex could start computing before data it reads is ready.
+    UnorderedDataDependency {
+        /// The reading vertex.
+        vertex: GridPos,
+        /// The data dependency not ordered before it.
+        dep: GridPos,
+    },
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::OutOfBounds { pos, dims } => {
+                write!(f, "position {pos} outside pattern grid {dims}")
+            }
+            PatternError::EdgeToAbsentVertex { pos } => {
+                write!(f, "edge references absent vertex {pos}")
+            }
+            PatternError::AbsentVertexWithEdges { pos } => {
+                write!(f, "vertex {pos} has edges and cannot be marked absent")
+            }
+            PatternError::SelfDependency { pos } => {
+                write!(f, "vertex {pos} depends on itself")
+            }
+            PatternError::Cycle { pos } => {
+                write!(f, "dependency cycle through vertex {pos}")
+            }
+            PatternError::UnorderedDataDependency { vertex, dep } => {
+                write!(
+                    f,
+                    "vertex {vertex} reads {dep}, which its predecessors do not guarantee finished"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+/// Errors raised by the runtime DAG parser.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Completion/failure reported for a vertex not currently running.
+    NotRunning {
+        /// Grid position of the sub-task.
+        vertex: GridPos,
+    },
+    /// A vertex id out of range for the DAG.
+    UnknownVertex {
+        /// The out-of-range dense id.
+        id: u32,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::NotRunning { vertex } => {
+                write!(f, "vertex {vertex} is not currently running")
+            }
+            ParseError::UnknownVertex { id } => write!(f, "vertex id {id} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

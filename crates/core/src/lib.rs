@@ -1,0 +1,65 @@
+//! # easyhps-core — the DAG Data Driven Model
+//!
+//! Core data model of the EasyHPS runtime (Du, Yu, Sun, Sun, Tang, Yin,
+//! *EasyHPS: A Multilevel Hybrid Parallel System for Dynamic Programming*,
+//! IPDPS Workshops 2013): dependency **patterns** for DP recurrences, task
+//! **partitioning** into abstract DAGs at process and thread granularity,
+//! and the incremental **parser** that drives dynamic scheduling.
+//!
+//! ## Concepts
+//!
+//! * [`DagPattern`] — the shape of a recurrence's dependencies over a grid,
+//!   with two levels: topological (what gates scheduling) and
+//!   data-communication (what bytes must move). Library shapes live in
+//!   [`patterns`]; anything else is a [`patterns::CustomPattern`].
+//! * [`DagDataDrivenModel`] — a pattern plus `process_partition_size` /
+//!   `thread_partition_size` and the data-mapping function (paper Table I).
+//!   It produces the master DAG over tiles and, per tile, the slave DAG over
+//!   sub-tiles.
+//! * [`TaskDag`] / [`DagParser`] — the materialized DAG and its incremental
+//!   topological parser: pop computable sub-tasks, complete (or fail) them,
+//!   watch successors unblock.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use easyhps_core::{DagDataDrivenModel, DagParser, GridDims, PatternKind};
+//!
+//! // A 100x100 edit-distance style wavefront, split into 20x20 tiles at
+//! // process level and 5x5 sub-tiles at thread level.
+//! let model = DagDataDrivenModel::from_library(
+//!     PatternKind::Wavefront2D,
+//!     GridDims::square(100),
+//!     GridDims::square(20),
+//!     GridDims::square(5),
+//! );
+//! let master = model.master_dag();
+//! assert_eq!(master.len(), 25);
+//!
+//! // Drain the master DAG the way a scheduler would.
+//! let mut order = Vec::new();
+//! DagParser::drain_sequential(&master, |v| order.push(v));
+//! assert_eq!(order.len(), 25);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod dag;
+mod error;
+mod geom;
+mod model;
+mod parser;
+mod pattern;
+mod schedule;
+mod trace;
+pub mod patterns;
+
+pub use dag::{DagAnalysis, TaskDag, TaskVertex, VertexId};
+pub use error::{ParseError, PatternError};
+pub use geom::{GridDims, GridPos, TileRegion};
+pub use model::{DagDataDrivenModel, DataMappingFn, ModelBuilder};
+pub use parser::{DagParser, TaskState};
+pub use schedule::ScheduleMode;
+pub use trace::{Span, Trace};
+pub use pattern::{tile_region, DagPattern, PatternKind};

@@ -1,0 +1,86 @@
+//! Bottom-left-origin wavefront pattern.
+
+use crate::geom::{GridDims, GridPos};
+use crate::pattern::{DagPattern, PatternKind};
+use std::sync::Arc;
+
+/// A wavefront that sweeps from the bottom-left corner: cell `(i, j)`
+/// depends on `(i+1, j)` (below) and `(i, j-1)` (left).
+///
+/// This is the intra-tile shape of an *off-diagonal* tile of a triangular
+/// 2D/1D problem: inside such a tile every cell is valid and the Nussinov
+/// recurrence's `(i, j-1)` / `(i+1, j)` dependencies make the lower-left
+/// corner the unique source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AntiWavefront2D {
+    dims: GridDims,
+}
+
+impl AntiWavefront2D {
+    /// Anti-wavefront over a `dims` grid.
+    pub fn new(dims: GridDims) -> Self {
+        Self { dims }
+    }
+}
+
+impl DagPattern for AntiWavefront2D {
+    fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    fn predecessors(&self, p: GridPos, out: &mut Vec<GridPos>) {
+        if p.row + 1 < self.dims.rows {
+            out.push(GridPos::new(p.row + 1, p.col));
+        }
+        if p.col > 0 {
+            out.push(GridPos::new(p.row, p.col - 1));
+        }
+    }
+
+    fn kind(&self) -> PatternKind {
+        // Structurally a 2D/0D wavefront, only mirrored; report Custom so
+        // callers don't assume the top-left orientation.
+        PatternKind::Custom
+    }
+
+    fn coarsen(&self, tile: GridDims) -> Arc<dyn DagPattern> {
+        Arc::new(AntiWavefront2D::new(self.dims.tiled_by(tile)))
+    }
+
+    fn vertex_count(&self) -> u64 {
+        self.dims.area()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_is_bottom_left() {
+        let p = AntiWavefront2D::new(GridDims::new(3, 4));
+        let mut v = Vec::new();
+        p.predecessors(GridPos::new(2, 0), &mut v);
+        assert!(v.is_empty());
+        p.predecessors(GridPos::new(0, 3), &mut v);
+        assert_eq!(v, vec![GridPos::new(1, 3), GridPos::new(0, 2)]);
+    }
+
+    #[test]
+    fn is_acyclic() {
+        let dag = crate::dag::TaskDag::from_pattern(&AntiWavefront2D::new(GridDims::new(4, 5)));
+        dag.validate().unwrap();
+        // Unique source, unique sink.
+        assert_eq!(dag.sources().len(), 1);
+    }
+
+    #[test]
+    fn coarsen_preserves_orientation() {
+        let p = AntiWavefront2D::new(GridDims::new(6, 6));
+        let c = p.coarsen(GridDims::square(2));
+        assert_eq!(c.dims(), GridDims::square(3));
+        let mut v = Vec::new();
+        c.predecessors(GridPos::new(1, 1), &mut v);
+        assert_eq!(v, vec![GridPos::new(2, 1), GridPos::new(1, 0)]);
+    }
+}

@@ -1,0 +1,274 @@
+//! User-defined DAG Pattern Models (paper §IV-C "user-defined patterns").
+
+use crate::geom::{GridDims, GridPos};
+use crate::pattern::{DagPattern, PatternKind};
+use crate::PatternError;
+
+/// An explicit pattern over a grid: per-vertex presence, predecessor lists
+/// and data-dependency lists. This is what a programmer builds when no
+/// library pattern fits their recurrence, and also what generic coarsening
+/// produces.
+///
+/// Construct with [`CustomPattern::builder`] (closure-driven) or
+/// [`CustomPattern::from_edges`]; both validate that edges stay in-grid and
+/// point at present vertices. Acyclicity is checked by
+/// [`CustomPattern::validate`] (and by [`crate::dag::TaskDag::validate`]).
+#[derive(Clone, Debug)]
+pub struct CustomPattern {
+    dims: GridDims,
+    present: Vec<bool>,
+    preds: Vec<Vec<GridPos>>,
+    /// `None` = data deps default to the topological predecessors;
+    /// `Some(v)` = explicit list, authoritative even when empty.
+    data: Vec<Option<Vec<GridPos>>>,
+}
+
+impl CustomPattern {
+    /// Build from raw parts. Used by generic coarsening; panics on length
+    /// mismatches.
+    pub(crate) fn from_parts(
+        dims: GridDims,
+        present: Vec<bool>,
+        preds: Vec<Vec<GridPos>>,
+        data: Vec<Vec<GridPos>>,
+    ) -> Self {
+        let n = dims.area() as usize;
+        assert_eq!(present.len(), n);
+        assert_eq!(preds.len(), n);
+        assert_eq!(data.len(), n);
+        Self { dims, present, preds, data: data.into_iter().map(Some).collect() }
+    }
+
+    /// Start a builder for a fully-present grid of `dims`.
+    pub fn builder(dims: GridDims) -> CustomPatternBuilder {
+        let n = dims.area() as usize;
+        CustomPatternBuilder {
+            pattern: Self {
+                dims,
+                present: vec![true; n],
+                preds: vec![Vec::new(); n],
+                data: vec![None; n],
+            },
+        }
+    }
+
+    /// Build a pattern from an explicit edge list `(from, to)` meaning *to
+    /// depends on from*. Data dependencies equal topological predecessors.
+    pub fn from_edges(
+        dims: GridDims,
+        edges: impl IntoIterator<Item = (GridPos, GridPos)>,
+    ) -> Result<Self, PatternError> {
+        let mut b = Self::builder(dims);
+        for (from, to) in edges {
+            b = b.dependency(to, from)?;
+        }
+        b.finish()
+    }
+
+    /// Check the pattern is a DAG (no dependency cycles among present
+    /// vertices).
+    pub fn validate(&self) -> Result<(), PatternError> {
+        crate::dag::TaskDag::from_pattern(self).validate()
+    }
+}
+
+impl DagPattern for CustomPattern {
+    fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    fn contains(&self, p: GridPos) -> bool {
+        self.dims.contains(p) && self.present[self.dims.linear(p)]
+    }
+
+    fn predecessors(&self, p: GridPos, out: &mut Vec<GridPos>) {
+        out.extend_from_slice(&self.preds[self.dims.linear(p)]);
+    }
+
+    fn data_dependencies(&self, p: GridPos, out: &mut Vec<GridPos>) {
+        match &self.data[self.dims.linear(p)] {
+            // Data deps default to the topological predecessors.
+            None => out.extend_from_slice(&self.preds[self.dims.linear(p)]),
+            Some(d) => out.extend_from_slice(d),
+        }
+    }
+
+    fn kind(&self) -> PatternKind {
+        PatternKind::Custom
+    }
+}
+
+/// Incremental builder for [`CustomPattern`].
+#[derive(Debug)]
+pub struct CustomPatternBuilder {
+    pattern: CustomPattern,
+}
+
+impl CustomPatternBuilder {
+    /// Mark `p` as absent (not a vertex). Fails if `p` is out of bounds or
+    /// already referenced by an edge.
+    pub fn absent(mut self, p: GridPos) -> Result<Self, PatternError> {
+        let dims = self.pattern.dims;
+        if !dims.contains(p) {
+            return Err(PatternError::OutOfBounds { pos: p, dims });
+        }
+        let idx = dims.linear(p);
+        if !self.pattern.preds[idx].is_empty() || self.pattern.data[idx].is_some() {
+            return Err(PatternError::AbsentVertexWithEdges { pos: p });
+        }
+        self.pattern.present[idx] = false;
+        Ok(self)
+    }
+
+    /// Declare that `vertex` topologically depends on `on` (also recorded as
+    /// a data dependency unless data deps are set explicitly).
+    pub fn dependency(mut self, vertex: GridPos, on: GridPos) -> Result<Self, PatternError> {
+        self.check_edge(vertex, on)?;
+        let idx = self.pattern.dims.linear(vertex);
+        if !self.pattern.preds[idx].contains(&on) {
+            self.pattern.preds[idx].push(on);
+        }
+        Ok(self)
+    }
+
+    /// Declare a data-communication dependency of `vertex` on `on` without
+    /// adding a topological edge (use when a transitive predecessor already
+    /// guarantees ordering).
+    pub fn data_dependency(mut self, vertex: GridPos, on: GridPos) -> Result<Self, PatternError> {
+        self.check_edge(vertex, on)?;
+        let idx = self.pattern.dims.linear(vertex);
+        let list = self.pattern.data[idx].get_or_insert_with(Vec::new);
+        if !list.contains(&on) {
+            list.push(on);
+        }
+        Ok(self)
+    }
+
+    fn check_edge(&self, vertex: GridPos, on: GridPos) -> Result<(), PatternError> {
+        let dims = self.pattern.dims;
+        for p in [vertex, on] {
+            if !dims.contains(p) {
+                return Err(PatternError::OutOfBounds { pos: p, dims });
+            }
+            if !self.pattern.present[dims.linear(p)] {
+                return Err(PatternError::EdgeToAbsentVertex { pos: p });
+            }
+        }
+        if vertex == on {
+            return Err(PatternError::SelfDependency { pos: vertex });
+        }
+        Ok(())
+    }
+
+    /// Finish building; verifies acyclicity.
+    pub fn finish(self) -> Result<CustomPattern, PatternError> {
+        self.pattern.validate()?;
+        Ok(self.pattern)
+    }
+
+    /// Finish without the acyclicity check (for very large patterns where
+    /// the caller guarantees the property).
+    pub fn finish_unchecked(self) -> CustomPattern {
+        self.pattern
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_builds_and_validates() {
+        let dims = GridDims::new(1, 3);
+        let p = CustomPattern::from_edges(
+            dims,
+            [
+                (GridPos::new(0, 0), GridPos::new(0, 1)),
+                (GridPos::new(0, 1), GridPos::new(0, 2)),
+            ],
+        )
+        .unwrap();
+        let mut v = Vec::new();
+        p.predecessors(GridPos::new(0, 2), &mut v);
+        assert_eq!(v, vec![GridPos::new(0, 1)]);
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let dims = GridDims::new(1, 2);
+        let err = CustomPattern::from_edges(
+            dims,
+            [
+                (GridPos::new(0, 0), GridPos::new(0, 1)),
+                (GridPos::new(0, 1), GridPos::new(0, 0)),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, PatternError::Cycle { .. }));
+    }
+
+    #[test]
+    fn self_dependency_is_rejected() {
+        let b = CustomPattern::builder(GridDims::new(2, 2));
+        let err = b.dependency(GridPos::new(0, 0), GridPos::new(0, 0)).unwrap_err();
+        assert!(matches!(err, PatternError::SelfDependency { .. }));
+    }
+
+    #[test]
+    fn out_of_bounds_edge_is_rejected() {
+        let b = CustomPattern::builder(GridDims::new(2, 2));
+        let err = b.dependency(GridPos::new(0, 0), GridPos::new(5, 5)).unwrap_err();
+        assert!(matches!(err, PatternError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn absent_vertices_are_skipped() {
+        let p = CustomPattern::builder(GridDims::new(2, 2))
+            .absent(GridPos::new(1, 1))
+            .unwrap()
+            .dependency(GridPos::new(0, 1), GridPos::new(0, 0))
+            .unwrap()
+            .finish()
+            .unwrap();
+        assert!(!p.contains(GridPos::new(1, 1)));
+        assert_eq!(p.vertex_count(), 3);
+    }
+
+    #[test]
+    fn edges_to_absent_vertices_rejected() {
+        let b = CustomPattern::builder(GridDims::new(2, 2))
+            .absent(GridPos::new(1, 1))
+            .unwrap();
+        let err = b.dependency(GridPos::new(1, 1), GridPos::new(0, 0)).unwrap_err();
+        assert!(matches!(err, PatternError::EdgeToAbsentVertex { .. }));
+    }
+
+    #[test]
+    fn data_deps_default_to_preds() {
+        let p = CustomPattern::builder(GridDims::new(1, 2))
+            .dependency(GridPos::new(0, 1), GridPos::new(0, 0))
+            .unwrap()
+            .finish()
+            .unwrap();
+        let mut v = Vec::new();
+        p.data_dependencies(GridPos::new(0, 1), &mut v);
+        assert_eq!(v, vec![GridPos::new(0, 0)]);
+    }
+
+    #[test]
+    fn explicit_data_deps_override_default() {
+        let dims = GridDims::new(1, 3);
+        let p = CustomPattern::builder(dims)
+            .dependency(GridPos::new(0, 1), GridPos::new(0, 0))
+            .unwrap()
+            .dependency(GridPos::new(0, 2), GridPos::new(0, 1))
+            .unwrap()
+            .data_dependency(GridPos::new(0, 2), GridPos::new(0, 0))
+            .unwrap()
+            .finish()
+            .unwrap();
+        let mut v = Vec::new();
+        p.data_dependencies(GridPos::new(0, 2), &mut v);
+        assert_eq!(v, vec![GridPos::new(0, 0)]);
+    }
+}

@@ -1,0 +1,50 @@
+//! The DAG Pattern Model library (paper §IV-C).
+//!
+//! Frequently used dependency shapes ship with the system; anything else can
+//! be expressed as a [`CustomPattern`]. Every built-in pattern is closed
+//! under square blocking, so the abstract DAG after task partition has the
+//! same shape at a coarser granularity.
+
+mod anti_wavefront;
+mod banded;
+mod custom;
+mod full;
+mod linear;
+mod prev_row;
+mod restricted;
+mod row_lookback;
+mod rowcol;
+mod triangular;
+mod wavefront;
+
+pub use anti_wavefront::AntiWavefront2D;
+pub use banded::Banded2D;
+pub use custom::CustomPattern;
+pub use full::Full2D2D;
+pub use linear::Linear1D;
+pub use prev_row::PrevRow2D;
+pub use restricted::RestrictedPattern;
+pub use row_lookback::RowLookback2D;
+pub use rowcol::RowColumn2D1D;
+pub use triangular::TriangularGap;
+pub use wavefront::Wavefront2D;
+
+use crate::pattern::{DagPattern, PatternKind};
+use crate::GridDims;
+use std::sync::Arc;
+
+/// Look up a built-in pattern by kind. Returns `None` for
+/// [`PatternKind::Custom`], which has no canonical instance.
+pub fn builtin(kind: PatternKind, dims: GridDims) -> Option<Arc<dyn DagPattern>> {
+    Some(match kind {
+        PatternKind::Wavefront2D => Arc::new(Wavefront2D::new(dims)),
+        PatternKind::RowColumn2D1D => Arc::new(RowColumn2D1D::new(dims)),
+        PatternKind::TriangularGap => {
+            assert_eq!(dims.rows, dims.cols, "triangular pattern requires a square grid");
+            Arc::new(TriangularGap::new(dims.rows))
+        }
+        PatternKind::Full2D2D => Arc::new(Full2D2D::new(dims)),
+        PatternKind::Linear1D => Arc::new(Linear1D::new(dims.cols.max(dims.rows))),
+        PatternKind::Custom => return None,
+    })
+}

@@ -1,0 +1,133 @@
+//! Restriction of a pattern to a rectangular cell region.
+
+use crate::geom::{GridDims, GridPos, TileRegion};
+use crate::pattern::{DagPattern, PatternKind};
+use std::sync::Arc;
+
+/// The sub-DAG a pattern induces on a region, in region-local coordinates.
+///
+/// Dependencies that leave the region are dropped: from the region's point
+/// of view they are boundary *inputs*, guaranteed finished before the region
+/// is scheduled (the master DAG orders whole tiles). This is the generic,
+/// always-correct way to obtain the slave-level DAG of one master tile; the
+/// built-in patterns have analytic fast paths in
+/// [`crate::model::DagDataDrivenModel::slave_pattern`].
+#[derive(Clone, Debug)]
+pub struct RestrictedPattern {
+    base: Arc<dyn DagPattern>,
+    region: TileRegion,
+}
+
+impl RestrictedPattern {
+    /// Restrict `base` to `region`; panics if the region leaves the base grid.
+    pub fn new(base: Arc<dyn DagPattern>, region: TileRegion) -> Self {
+        let dims = base.dims();
+        assert!(
+            region.row_end <= dims.rows && region.col_end <= dims.cols,
+            "region {region:?} outside base grid {dims}"
+        );
+        Self { base, region }
+    }
+
+    /// The restricted-to region in base-grid coordinates.
+    pub fn region(&self) -> TileRegion {
+        self.region
+    }
+
+    #[inline]
+    fn to_global(&self, p: GridPos) -> GridPos {
+        GridPos::new(p.row + self.region.row_start, p.col + self.region.col_start)
+    }
+
+    #[inline]
+    fn to_local(&self, p: GridPos) -> GridPos {
+        GridPos::new(p.row - self.region.row_start, p.col - self.region.col_start)
+    }
+}
+
+impl DagPattern for RestrictedPattern {
+    fn dims(&self) -> GridDims {
+        GridDims::new(self.region.rows(), self.region.cols())
+    }
+
+    fn contains(&self, p: GridPos) -> bool {
+        self.dims().contains(p) && self.base.contains(self.to_global(p))
+    }
+
+    fn predecessors(&self, p: GridPos, out: &mut Vec<GridPos>) {
+        let mut tmp = Vec::new();
+        self.base.predecessors(self.to_global(p), &mut tmp);
+        for g in tmp {
+            if self.region.contains(g) {
+                out.push(self.to_local(g));
+            }
+        }
+    }
+
+    fn data_dependencies(&self, p: GridPos, out: &mut Vec<GridPos>) {
+        let mut tmp = Vec::new();
+        self.base.data_dependencies(self.to_global(p), &mut tmp);
+        for g in tmp {
+            if self.region.contains(g) {
+                out.push(self.to_local(g));
+            }
+        }
+    }
+
+    fn kind(&self) -> PatternKind {
+        PatternKind::Custom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::{TriangularGap, Wavefront2D};
+
+    #[test]
+    fn restriction_localizes_coordinates() {
+        let base: Arc<dyn DagPattern> = Arc::new(Wavefront2D::new(GridDims::square(10)));
+        let r = RestrictedPattern::new(base, TileRegion::new(4, 8, 2, 6));
+        assert_eq!(r.dims(), GridDims::square(4));
+        let mut v = Vec::new();
+        // Local (0,0) is global (4,2): its preds (3,2),(4,1),(3,1) are all
+        // outside the region -> boundary inputs, dropped.
+        r.predecessors(GridPos::new(0, 0), &mut v);
+        assert!(v.is_empty());
+        v.clear();
+        r.predecessors(GridPos::new(1, 1), &mut v);
+        assert_eq!(
+            v,
+            vec![GridPos::new(0, 1), GridPos::new(1, 0), GridPos::new(0, 0)]
+        );
+    }
+
+    #[test]
+    fn off_diagonal_triangular_restriction_is_anti_wavefront() {
+        let base: Arc<dyn DagPattern> = Arc::new(TriangularGap::new(12));
+        // Region rows 0..4, cols 8..12 — fully above the diagonal.
+        let r = RestrictedPattern::new(base, TileRegion::new(0, 4, 8, 12));
+        let dag = crate::dag::TaskDag::from_pattern(&r);
+        assert_eq!(dag.len(), 16, "all cells valid off-diagonal");
+        dag.validate().unwrap();
+        // Unique source at local bottom-left.
+        let sources = dag.sources();
+        assert_eq!(sources.len(), 1);
+        assert_eq!(dag.vertex(sources[0]).pos, GridPos::new(3, 0));
+    }
+
+    #[test]
+    fn diagonal_triangular_restriction_is_triangle() {
+        let base: Arc<dyn DagPattern> = Arc::new(TriangularGap::new(12));
+        let r = RestrictedPattern::new(base, TileRegion::new(4, 8, 4, 8));
+        assert_eq!(r.vertex_count(), 10);
+        crate::dag::TaskDag::from_pattern(&r).validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside base grid")]
+    fn out_of_grid_region_panics() {
+        let base: Arc<dyn DagPattern> = Arc::new(Wavefront2D::new(GridDims::square(4)));
+        RestrictedPattern::new(base, TileRegion::new(0, 5, 0, 4));
+    }
+}

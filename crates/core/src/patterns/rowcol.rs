@@ -1,0 +1,125 @@
+//! 2D/1D rectangular pattern: full row/column prefix data dependencies.
+
+use crate::geom::{GridDims, GridPos};
+use crate::pattern::{DagPattern, PatternKind};
+use std::sync::Arc;
+
+/// Smith-Waterman with a *general* gap function `w(k)` reads, for cell
+/// `(i, j)`, the whole row prefix `(i, 0..j)`, the whole column prefix
+/// `(0..i, j)` and the match cell `(i-1, j-1)` — a 2D/1D recurrence in the
+/// Galil-Park taxonomy. The cell is *unblocked* as soon as `(i-1, j)` and
+/// `(i, j-1)` finish, because those transitively dominate every data
+/// dependency, so the topological level is still a wavefront while the data
+/// communication level carries `O(n)` edges per vertex.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RowColumn2D1D {
+    dims: GridDims,
+}
+
+impl RowColumn2D1D {
+    /// Row/column-prefix pattern over a `dims` grid.
+    pub fn new(dims: GridDims) -> Self {
+        Self { dims }
+    }
+}
+
+impl DagPattern for RowColumn2D1D {
+    fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    fn predecessors(&self, p: GridPos, out: &mut Vec<GridPos>) {
+        if p.row > 0 {
+            out.push(GridPos::new(p.row - 1, p.col));
+        }
+        if p.col > 0 {
+            out.push(GridPos::new(p.row, p.col - 1));
+        }
+    }
+
+    fn data_dependencies(&self, p: GridPos, out: &mut Vec<GridPos>) {
+        for c in 0..p.col {
+            out.push(GridPos::new(p.row, c));
+        }
+        for r in 0..p.row {
+            out.push(GridPos::new(r, p.col));
+        }
+        if p.row > 0 && p.col > 0 {
+            out.push(GridPos::new(p.row - 1, p.col - 1));
+        }
+    }
+
+    fn kind(&self) -> PatternKind {
+        PatternKind::RowColumn2D1D
+    }
+
+    fn coarsen(&self, tile: GridDims) -> Arc<dyn DagPattern> {
+        // Row/column prefixes of tiles are again row/column prefixes, and the
+        // cell-level diagonal dependency maps to the diagonal tile.
+        Arc::new(RowColumn2D1D::new(self.dims.tiled_by(tile)))
+    }
+
+    fn vertex_count(&self) -> u64 {
+        self.dims.area()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_deps_are_row_and_column_prefixes() {
+        let p = RowColumn2D1D::new(GridDims::square(5));
+        let mut v = Vec::new();
+        p.data_dependencies(GridPos::new(2, 3), &mut v);
+        // row prefix (2,0..3), column prefix (0..2,3), diagonal (1,2)
+        assert_eq!(v.len(), 3 + 2 + 1);
+        assert!(v.contains(&GridPos::new(2, 0)));
+        assert!(v.contains(&GridPos::new(1, 3)));
+        assert!(v.contains(&GridPos::new(1, 2)));
+        assert!(!v.contains(&GridPos::new(2, 3)));
+    }
+
+    #[test]
+    fn topological_preds_are_wavefront_without_diagonal() {
+        let p = RowColumn2D1D::new(GridDims::square(5));
+        let mut v = Vec::new();
+        p.predecessors(GridPos::new(2, 3), &mut v);
+        assert_eq!(v, vec![GridPos::new(1, 3), GridPos::new(2, 2)]);
+    }
+
+    #[test]
+    fn preds_transitively_dominate_data_deps() {
+        // Every data dependency must be finished once the topological
+        // predecessors are: check by explicit reachability on a small grid.
+        let p = RowColumn2D1D::new(GridDims::square(4));
+        let dag = crate::dag::TaskDag::from_pattern(&p);
+        dag.validate().unwrap();
+    }
+
+    #[test]
+    fn coarsen_matches_generic_scan() {
+        let p = RowColumn2D1D::new(GridDims::new(6, 8));
+        let tile = GridDims::new(2, 2);
+        let fast = p.coarsen(tile);
+        let slow = crate::pattern::coarsen_by_scan(&p, tile);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for tp in fast.dims().iter() {
+            a.clear();
+            b.clear();
+            fast.data_dependencies(tp, &mut a);
+            slow.data_dependencies(tp, &mut b);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "data deps of tile {tp}");
+            a.clear();
+            b.clear();
+            fast.predecessors(tp, &mut a);
+            slow.predecessors(tp, &mut b);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "preds of tile {tp}");
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! 2D/1D upper-triangular pattern (Nussinov, matrix-chain, optimal BST).
+
+use crate::geom::{GridDims, GridPos};
+use crate::pattern::{coarsen_by_scan, DagPattern, PatternKind};
+use std::sync::Arc;
+
+/// Upper-triangular 2D/1D pattern over an `n x n` grid: only cells with
+/// `col >= row` exist. Cell `(i, j)` is unblocked by `(i, j-1)` and
+/// `(i+1, j)` and reads the row segment `(i, i..j)`, the column segment
+/// `(i+1..=j, j)` and the pairing cell `(i+1, j-1)`.
+///
+/// This is the shape of the Nussinov recurrence (paper Fig. 5):
+///
+/// ```text
+/// F[i,j] = max( F[i,j-1],
+///               F[i,k-1] + F[k+1,j-1] + 1 )   for i <= k <= j-2
+/// ```
+///
+/// and likewise of matrix-chain multiplication and optimal BST construction.
+/// Work grows along the main diagonal toward the upper-right corner, which
+/// is exactly the load imbalance that motivates dynamic scheduling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TriangularGap {
+    n: u32,
+}
+
+impl TriangularGap {
+    /// Triangular pattern over an `n x n` grid.
+    pub fn new(n: u32) -> Self {
+        Self { n }
+    }
+
+    /// Side length of the (square) grid.
+    pub fn side(&self) -> u32 {
+        self.n
+    }
+}
+
+impl DagPattern for TriangularGap {
+    fn dims(&self) -> GridDims {
+        GridDims::square(self.n)
+    }
+
+    fn contains(&self, p: GridPos) -> bool {
+        p.row < self.n && p.col < self.n && p.col >= p.row
+    }
+
+    fn predecessors(&self, p: GridPos, out: &mut Vec<GridPos>) {
+        // (i, j-1): left neighbour, valid while j-1 >= i.
+        if p.col > 0 && p.col > p.row {
+            out.push(GridPos::new(p.row, p.col - 1));
+        }
+        // (i+1, j): lower neighbour, valid while i+1 <= j.
+        if p.row < p.col {
+            out.push(GridPos::new(p.row + 1, p.col));
+        }
+    }
+
+    fn data_dependencies(&self, p: GridPos, out: &mut Vec<GridPos>) {
+        // Row segment F[i, i..j].
+        for c in p.row..p.col {
+            out.push(GridPos::new(p.row, c));
+        }
+        // Column segment F[i+1..=j, j].
+        for r in (p.row + 1)..=p.col {
+            out.push(GridPos::new(r, p.col));
+        }
+        // Pairing cell F[i+1, j-1].
+        if p.row < p.col.saturating_sub(1) && p.col >= 1 {
+            let q = GridPos::new(p.row + 1, p.col - 1);
+            if !out.contains(&q) {
+                out.push(q);
+            }
+        }
+    }
+
+    fn kind(&self) -> PatternKind {
+        PatternKind::TriangularGap
+    }
+
+    fn coarsen(&self, tile: GridDims) -> Arc<dyn DagPattern> {
+        if tile.rows == tile.cols {
+            // Square blocking preserves the triangle: tile (R, C) exists iff
+            // C >= R, and the segment dependencies map to tile segments.
+            Arc::new(TriangularGap::new(self.n.div_ceil(tile.rows)))
+        } else {
+            Arc::new(coarsen_by_scan(self, tile))
+        }
+    }
+
+    fn vertex_count(&self) -> u64 {
+        let n = self.n as u64;
+        n * (n + 1) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_upper_triangle_exists() {
+        let p = TriangularGap::new(4);
+        assert!(p.contains(GridPos::new(0, 3)));
+        assert!(p.contains(GridPos::new(2, 2)));
+        assert!(!p.contains(GridPos::new(3, 1)));
+        assert!(!p.contains(GridPos::new(0, 4)));
+        assert_eq!(p.vertex_count(), 10);
+    }
+
+    #[test]
+    fn diagonal_cells_are_sources() {
+        let p = TriangularGap::new(5);
+        let mut v = Vec::new();
+        p.predecessors(GridPos::new(3, 3), &mut v);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn interior_preds_are_left_and_below() {
+        let p = TriangularGap::new(5);
+        let mut v = Vec::new();
+        p.predecessors(GridPos::new(1, 3), &mut v);
+        assert_eq!(v, vec![GridPos::new(1, 2), GridPos::new(2, 3)]);
+    }
+
+    #[test]
+    fn data_deps_cover_row_and_column_segments() {
+        let p = TriangularGap::new(6);
+        let mut v = Vec::new();
+        p.data_dependencies(GridPos::new(1, 4), &mut v);
+        // row (1,1),(1,2),(1,3); col (2,4),(3,4),(4,4); pair (2,3)
+        assert_eq!(v.len(), 7);
+        for d in &v {
+            assert!(p.contains(*d), "dep {d} must be a valid vertex");
+        }
+        assert!(v.contains(&GridPos::new(2, 3)));
+    }
+
+    #[test]
+    fn all_deps_inside_triangle() {
+        let p = TriangularGap::new(8);
+        let mut v = Vec::new();
+        for pos in p.dims().iter().filter(|&q| p.contains(q)) {
+            v.clear();
+            p.data_dependencies(pos, &mut v);
+            for d in &v {
+                assert!(p.contains(*d), "cell {pos}: dep {d} outside triangle");
+            }
+            v.clear();
+            p.predecessors(pos, &mut v);
+            for d in &v {
+                assert!(p.contains(*d), "cell {pos}: pred {d} outside triangle");
+            }
+        }
+    }
+
+    #[test]
+    fn square_coarsen_matches_generic_scan() {
+        let p = TriangularGap::new(9);
+        let tile = GridDims::square(2);
+        let fast = p.coarsen(tile);
+        let slow = coarsen_by_scan(&p, tile);
+        assert_eq!(fast.dims(), GridDims::square(5));
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for tp in fast.dims().iter() {
+            assert_eq!(fast.contains(tp), slow.contains(tp), "presence of {tp}");
+            if !fast.contains(tp) {
+                continue;
+            }
+            a.clear();
+            b.clear();
+            fast.predecessors(tp, &mut a);
+            slow.predecessors(tp, &mut b);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "preds of tile {tp}");
+        }
+    }
+
+    #[test]
+    fn rectangular_tile_falls_back_to_scan() {
+        let p = TriangularGap::new(6);
+        let c = p.coarsen(GridDims::new(2, 3));
+        assert_eq!(c.kind(), PatternKind::Custom);
+        crate::dag::TaskDag::from_pattern(c.as_ref()).validate().unwrap();
+    }
+}

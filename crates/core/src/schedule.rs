@@ -1,0 +1,100 @@
+//! Scheduling policies: the dynamic worker pool and the static baselines.
+
+use crate::geom::GridPos;
+
+/// How computable sub-tasks are matched to workers, at either level of the
+/// hierarchy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScheduleMode {
+    /// EasyHPS dynamic worker pool: any idle worker takes the top of the
+    /// computable sub-task stack.
+    Dynamic,
+    /// Block-cyclic based wavefront (Liu & Schmidt, the paper's baseline):
+    /// tile column bands of width `block` are assigned to workers
+    /// round-robin, and a worker only ever executes its own tiles — even if
+    /// it sits idle while other workers' tiles are computable (the paper's
+    /// "fatal situation").
+    BlockCyclic {
+        /// Width, in tiles, of one column band.
+        block: u32,
+    },
+    /// Column-based wavefront: the special case of block-cyclic where
+    /// `block = ceil(tile_cols / workers)`, i.e. each worker owns one
+    /// contiguous band of columns.
+    ColumnWavefront,
+}
+
+impl ScheduleMode {
+    /// Static owner of `tile`, given the abstract DAG's column count and
+    /// the number of workers. `None` for [`ScheduleMode::Dynamic`] (no
+    /// static ownership).
+    pub fn static_owner(&self, tile: GridPos, tile_cols: u32, workers: u32) -> Option<u32> {
+        assert!(workers > 0, "need at least one worker");
+        match *self {
+            ScheduleMode::Dynamic => None,
+            ScheduleMode::BlockCyclic { block } => {
+                let block = block.max(1);
+                Some((tile.col / block) % workers)
+            }
+            ScheduleMode::ColumnWavefront => {
+                let block = tile_cols.div_ceil(workers).max(1);
+                Some((tile.col / block) % workers)
+            }
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScheduleMode::Dynamic => "dynamic",
+            ScheduleMode::BlockCyclic { .. } => "block-cyclic-wavefront",
+            ScheduleMode::ColumnWavefront => "column-wavefront",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_has_no_static_owner() {
+        assert_eq!(ScheduleMode::Dynamic.static_owner(GridPos::new(0, 5), 10, 3), None);
+    }
+
+    #[test]
+    fn block_cyclic_round_robins_bands() {
+        let m = ScheduleMode::BlockCyclic { block: 2 };
+        // cols 0,1 -> w0; 2,3 -> w1; 4,5 -> w2; 6,7 -> w0 ...
+        assert_eq!(m.static_owner(GridPos::new(0, 0), 8, 3), Some(0));
+        assert_eq!(m.static_owner(GridPos::new(3, 1), 8, 3), Some(0));
+        assert_eq!(m.static_owner(GridPos::new(0, 2), 8, 3), Some(1));
+        assert_eq!(m.static_owner(GridPos::new(0, 5), 8, 3), Some(2));
+        assert_eq!(m.static_owner(GridPos::new(0, 6), 8, 3), Some(0));
+    }
+
+    #[test]
+    fn column_wavefront_is_contiguous_bands() {
+        let m = ScheduleMode::ColumnWavefront;
+        // 9 columns over 3 workers -> bands of 3.
+        for c in 0..9 {
+            assert_eq!(m.static_owner(GridPos::new(0, c), 9, 3), Some(c / 3));
+        }
+    }
+
+    #[test]
+    fn zero_block_is_clamped() {
+        let m = ScheduleMode::BlockCyclic { block: 0 };
+        assert_eq!(m.static_owner(GridPos::new(0, 3), 8, 2), Some(1));
+    }
+
+    #[test]
+    fn every_tile_has_an_owner_in_range() {
+        for mode in [ScheduleMode::BlockCyclic { block: 3 }, ScheduleMode::ColumnWavefront] {
+            for c in 0..50 {
+                let o = mode.static_owner(GridPos::new(0, c), 50, 7).unwrap();
+                assert!(o < 7);
+            }
+        }
+    }
+}

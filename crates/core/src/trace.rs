@@ -1,0 +1,195 @@
+//! Execution traces and ASCII Gantt rendering.
+//!
+//! Both the real runtime (`easyhps-runtime`, wall-clock spans) and the
+//! cluster simulator (`easyhps-sim`, virtual-time spans) record one
+//! [`Span`] per master occupancy chunk and per tile execution;
+//! [`Trace::gantt`] renders the schedule as a text Gantt chart — enough to
+//! *see* wavefront ramp-up, node idling under static policies, and
+//! fault-tolerance gaps without leaving the terminal.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One contiguous busy interval on a lane (a node, a thread, the master).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Lane identifier (lanes sort lexicographically in the chart).
+    pub lane: String,
+    /// Short label (first character is drawn inside the bar).
+    pub label: String,
+    /// Start, virtual ns.
+    pub start_ns: u64,
+    /// End, virtual ns.
+    pub end_ns: u64,
+}
+
+/// A recorded schedule.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// All spans, in recording order.
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a span.
+    pub fn record(
+        &mut self,
+        lane: impl Into<String>,
+        label: impl Into<String>,
+        start_ns: u64,
+        end_ns: u64,
+    ) {
+        debug_assert!(end_ns >= start_ns);
+        self.spans.push(Span { lane: lane.into(), label: label.into(), start_ns, end_ns });
+    }
+
+    /// Latest end time over all spans.
+    pub fn horizon_ns(&self) -> u64 {
+        self.spans.iter().map(|s| s.end_ns).max().unwrap_or(0)
+    }
+
+    /// Whether any two spans on the same lane overlap in time — for the
+    /// cluster simulator this would mean one node executing two tiles at
+    /// once, i.e. a scheduling bug.
+    pub fn has_lane_overlaps(&self) -> bool {
+        let mut by_lane: BTreeMap<&str, Vec<(u64, u64)>> = BTreeMap::new();
+        for s in &self.spans {
+            by_lane.entry(&s.lane).or_default().push((s.start_ns, s.end_ns));
+        }
+        for intervals in by_lane.values_mut() {
+            intervals.sort_unstable();
+            for w in intervals.windows(2) {
+                if w[1].0 < w[0].1 {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Total busy time per lane, sorted by lane name.
+    pub fn busy_by_lane(&self) -> Vec<(String, u64)> {
+        let mut map: BTreeMap<String, u64> = BTreeMap::new();
+        for s in &self.spans {
+            *map.entry(s.lane.clone()).or_default() += s.end_ns - s.start_ns;
+        }
+        map.into_iter().collect()
+    }
+
+    /// Render as an ASCII Gantt chart `width` characters wide. Busy cells
+    /// draw the first character of the span label (`#` when empty); when
+    /// several spans land on the same cell the earliest keeps it. True
+    /// time overlaps (a scheduling bug in the cluster simulator) are
+    /// detected by [`Trace::has_lane_overlaps`], not by the rendering.
+    pub fn gantt(&self, width: usize) -> String {
+        let width = width.max(10);
+        let horizon = self.horizon_ns();
+        let mut out = String::new();
+        if horizon == 0 {
+            out.push_str("(empty trace)\n");
+            return out;
+        }
+        let lane_names: Vec<String> = {
+            let mut names: Vec<String> =
+                self.spans.iter().map(|s| s.lane.clone()).collect();
+            names.sort();
+            names.dedup();
+            names
+        };
+        let name_w = lane_names.iter().map(|n| n.len()).max().unwrap_or(4).max(4);
+        let scale = |t: u64| ((t as u128 * width as u128) / horizon as u128) as usize;
+
+        for lane in &lane_names {
+            let mut row = vec![b'.'; width];
+            for s in self.spans.iter().filter(|s| &s.lane == lane) {
+                let a = scale(s.start_ns).min(width - 1);
+                // Every span paints at least one cell.
+                let b = scale(s.end_ns).clamp(a + 1, width);
+                let ch = s.label.bytes().next().unwrap_or(b'#');
+                for cell in &mut row[a..b] {
+                    if *cell == b'.' {
+                        *cell = ch;
+                    }
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{lane:>name_w$} |{}|",
+                String::from_utf8(row).expect("ASCII row")
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:>name_w$} 0{:>w$}",
+            "",
+            format!("{:.3}s", horizon as f64 / 1e9),
+            w = width
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_accounting() {
+        let mut t = Trace::new();
+        t.record("node0", "a", 0, 100);
+        t.record("node0", "b", 150, 250);
+        t.record("node1", "c", 0, 50);
+        assert_eq!(t.horizon_ns(), 250);
+        assert_eq!(
+            t.busy_by_lane(),
+            vec![("node0".to_string(), 200), ("node1".to_string(), 50)]
+        );
+    }
+
+    #[test]
+    fn gantt_renders_lanes_and_gaps() {
+        let mut t = Trace::new();
+        t.record("master", "a", 0, 500);
+        t.record("node0", "x", 500, 1000);
+        let g = t.gantt(20);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3, "two lanes + time axis");
+        assert!(lines[0].starts_with("master"));
+        assert!(lines[0].contains('a'));
+        assert!(lines[1].contains('x'));
+        assert!(lines[1].contains('.'), "idle first half");
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let mut t = Trace::new();
+        t.record("n", "a", 0, 100);
+        t.record("n", "b", 50, 150);
+        assert!(t.has_lane_overlaps());
+        let mut t = Trace::new();
+        t.record("n", "a", 0, 100);
+        t.record("n", "b", 100, 150); // touching is not overlapping
+        t.record("m", "c", 50, 80); // other lane
+        assert!(!t.has_lane_overlaps());
+    }
+
+    #[test]
+    fn empty_trace_renders() {
+        assert!(Trace::new().gantt(40).contains("empty"));
+    }
+
+    #[test]
+    fn tiny_spans_still_visible() {
+        let mut t = Trace::new();
+        t.record("n", "a", 0, 1);
+        t.record("n", "b", 999_999, 1_000_000);
+        let g = t.gantt(20);
+        assert!(g.contains('a'));
+        assert!(g.contains('b'));
+    }
+}

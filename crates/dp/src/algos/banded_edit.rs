@@ -1,0 +1,184 @@
+//! Banded edit distance (Ukkonen): 2D/0D restricted to a diagonal band.
+
+use crate::matrix::{DpGrid, DpMatrix};
+use crate::problem::DpProblem;
+use easyhps_core::patterns::Banded2D;
+use easyhps_core::{DagPattern, GridDims, TileRegion};
+use std::sync::Arc;
+
+/// Sentinel for cells outside the band (effectively +infinity; safe to
+/// add small increments to without overflow).
+pub const BAND_INF: i32 = i32::MAX / 4;
+
+/// Edit distance computed only inside the diagonal band
+/// `|i - j| <= band`. When the true distance is at most `band`, the
+/// banded result is exact at a fraction of the work (`O(n * band)` cells
+/// instead of `O(n^2)`); when it exceeds the band, the result is a lower
+/// bound clipped by the band and [`BandedEditDistance::is_exact`] reports
+/// `false`.
+#[derive(Clone, Debug)]
+pub struct BandedEditDistance {
+    a: Vec<u8>,
+    b: Vec<u8>,
+    band: u32,
+}
+
+impl BandedEditDistance {
+    /// Banded distance from `a` (rows) to `b` (columns).
+    ///
+    /// The band is widened to at least `|len(a) - len(b)|`, without which
+    /// the end cell would be unreachable.
+    pub fn new(a: impl Into<Vec<u8>>, b: impl Into<Vec<u8>>, band: u32) -> Self {
+        let (a, b) = (a.into(), b.into());
+        let band = band.max(a.len().abs_diff(b.len()) as u32);
+        Self { a, b, band }
+    }
+
+    /// The band half-width actually used.
+    pub fn band(&self) -> u32 {
+        self.band
+    }
+
+    /// The computed distance (possibly clipped by the band).
+    pub fn distance(&self, m: &DpMatrix<i32>) -> i32 {
+        m.get(self.a.len() as u32, self.b.len() as u32)
+    }
+
+    /// Whether the banded result is guaranteed exact: true iff the
+    /// distance is at most the band width.
+    pub fn is_exact(&self, m: &DpMatrix<i32>) -> bool {
+        self.distance(m) <= self.band as i32
+    }
+}
+
+impl DpProblem for BandedEditDistance {
+    type Cell = i32;
+
+    fn name(&self) -> String {
+        format!("banded-edit-distance({})", self.band)
+    }
+
+    fn dims(&self) -> GridDims {
+        GridDims::new(self.a.len() as u32 + 1, self.b.len() as u32 + 1)
+    }
+
+    fn pattern(&self) -> Arc<dyn DagPattern> {
+        Arc::new(Banded2D::new(self.dims(), self.band))
+    }
+
+    fn compute_region<G: DpGrid<i32>>(&self, m: &mut G, region: TileRegion) {
+        let band = self.band;
+        let read = |m: &G, i: u32, j: u32| -> i32 {
+            if i.abs_diff(j) > band {
+                BAND_INF
+            } else {
+                m.get(i, j)
+            }
+        };
+        for i in region.row_start..region.row_end {
+            for j in region.col_start..region.col_end {
+                if i.abs_diff(j) > band {
+                    continue;
+                }
+                let v = if i == 0 {
+                    j as i32
+                } else if j == 0 {
+                    i as i32
+                } else {
+                    let sub = i32::from(self.a[i as usize - 1] != self.b[j as usize - 1]);
+                    (read(m, i - 1, j) + 1)
+                        .min(read(m, i, j - 1) + 1)
+                        .min(read(m, i - 1, j - 1) + sub)
+                };
+                m.set(i, j, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algos::EditDistance;
+    use crate::sequence::{random_sequence, Alphabet};
+
+    fn full(a: &[u8], b: &[u8]) -> i32 {
+        let p = EditDistance::new(a.to_vec(), b.to_vec());
+        p.distance(&p.solve_sequential())
+    }
+
+    #[test]
+    fn wide_band_matches_full_distance() {
+        let a = random_sequence(Alphabet::Dna, 30, 1);
+        let b = random_sequence(Alphabet::Dna, 32, 2);
+        let p = BandedEditDistance::new(a.clone(), b.clone(), 40);
+        let m = p.solve_sequential();
+        assert!(p.is_exact(&m));
+        assert_eq!(p.distance(&m), full(&a, &b));
+    }
+
+    #[test]
+    fn band_exact_when_distance_within_band() {
+        // Two strings differing by 2 edits: a band of 3 suffices.
+        let a = b"ACGTACGTACGTACGT".to_vec();
+        let mut b = a.clone();
+        b[3] = b'T';
+        b.insert(10, b'G');
+        let d = full(&a, &b);
+        assert!(d <= 3);
+        let p = BandedEditDistance::new(a, b, 3);
+        let m = p.solve_sequential();
+        assert!(p.is_exact(&m));
+        assert_eq!(p.distance(&m), d);
+    }
+
+    #[test]
+    fn narrow_band_overestimates_but_flags_inexact() {
+        // Very different strings: a narrow band cannot certify the result.
+        let a = random_sequence(Alphabet::Dna, 40, 5);
+        let b = random_sequence(Alphabet::Dna, 40, 6);
+        let d = full(&a, &b);
+        let p = BandedEditDistance::new(a, b, 2);
+        let m = p.solve_sequential();
+        if p.is_exact(&m) {
+            assert_eq!(p.distance(&m), d);
+        } else {
+            assert!(p.distance(&m) >= d, "band clips to an upper bound");
+        }
+    }
+
+    #[test]
+    fn band_widens_for_length_difference() {
+        let p = BandedEditDistance::new(b"AAAA".to_vec(), b"AAAAAAAAAA".to_vec(), 1);
+        assert_eq!(p.band(), 6);
+        let m = p.solve_sequential();
+        assert_eq!(p.distance(&m), 6);
+        assert!(p.is_exact(&m));
+    }
+
+    #[test]
+    fn tiled_equals_sequential() {
+        use easyhps_core::{DagParser, TaskDag};
+        let a = random_sequence(Alphabet::Dna, 41, 7);
+        let mut b = a.clone();
+        b[5] = b'A';
+        b[20] = b'C';
+        let p = BandedEditDistance::new(a, b, 4);
+        let seq = p.solve_sequential();
+        let pattern = p.pattern();
+
+        let model = easyhps_core::DagDataDrivenModel::builder(p.pattern())
+            .process_partition_size(GridDims::square(7))
+            .build();
+        let dag: TaskDag = model.master_dag();
+        let mut m = DpMatrix::new(p.dims());
+        DagParser::drain_sequential(&dag, |v| {
+            p.compute_region(&mut m, model.tile_region(dag.vertex(v).pos));
+        });
+        for pos in p.dims().iter() {
+            if pattern.contains(pos) {
+                assert_eq!(m.at(pos), seq.at(pos), "cell {pos}");
+            }
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! CYK context-free-grammar recognition — triangular 2D/1D.
+//!
+//! The paper's introduction lists "context-free grammar recognition" among
+//! the DP applications EasyHPS targets (ref. [3], an FPGA CYK
+//! coprocessor). CYK fills the same upper-triangular table as Nussinov
+//! with the same bifurcation scan, so it drops straight onto the
+//! [`TriangularGap`] pattern.
+
+use crate::matrix::{DpGrid, DpMatrix};
+use crate::problem::DpProblem;
+use easyhps_core::patterns::TriangularGap;
+use easyhps_core::{DagPattern, GridDims, GridPos, TileRegion};
+use std::sync::Arc;
+
+/// A context-free grammar in Chomsky normal form over at most 64
+/// nonterminals.
+///
+/// Nonterminals are indices `0..n`; cell values are 64-bit sets of
+/// nonterminals, which makes the CYK table a DP matrix of `u64` cells:
+///
+/// ```text
+/// T[i,j] = { A | A -> a, a = w[i], i == j }
+///        | { A | A -> B C, B in T[i,k], C in T[k+1,j], i <= k < j }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Grammar {
+    /// Number of nonterminals (start symbol is 0).
+    pub nonterminals: u32,
+    /// Terminal rules: `(A, a)` for `A -> a`.
+    pub terminal_rules: Vec<(u32, u8)>,
+    /// Binary rules: `(A, B, C)` for `A -> B C`.
+    pub binary_rules: Vec<(u32, u32, u32)>,
+}
+
+impl Grammar {
+    /// Validate the grammar (symbol ranges, 64-nonterminal limit).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nonterminals == 0 || self.nonterminals > 64 {
+            return Err(format!("need 1..=64 nonterminals, got {}", self.nonterminals));
+        }
+        for &(a, _) in &self.terminal_rules {
+            if a >= self.nonterminals {
+                return Err(format!("terminal rule head {a} out of range"));
+            }
+        }
+        for &(a, b, c) in &self.binary_rules {
+            if a.max(b).max(c) >= self.nonterminals {
+                return Err(format!("binary rule ({a},{b},{c}) out of range"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The classic balanced-parentheses grammar in CNF:
+    ///
+    /// ```text
+    /// S  -> L S' | L R | S S
+    /// S' -> S R
+    /// L  -> '('      R -> ')'
+    /// ```
+    pub fn balanced_parens() -> Self {
+        // 0 = S, 1 = S', 2 = L, 3 = R
+        Grammar {
+            nonterminals: 4,
+            terminal_rules: vec![(2, b'('), (3, b')')],
+            binary_rules: vec![(0, 2, 1), (0, 2, 3), (0, 0, 0), (1, 0, 3)],
+        }
+    }
+}
+
+/// CYK recognition of `word` under `grammar`.
+#[derive(Clone, Debug)]
+pub struct CykParser {
+    grammar: Grammar,
+    word: Vec<u8>,
+}
+
+impl CykParser {
+    /// Build a parser; panics on invalid grammars (validate first for a
+    /// `Result`).
+    pub fn new(grammar: Grammar, word: impl Into<Vec<u8>>) -> Self {
+        grammar.validate().expect("valid grammar");
+        Self { grammar, word: word.into() }
+    }
+
+    fn n(&self) -> u32 {
+        self.word.len() as u32
+    }
+
+    /// Whether the full word derives from the start symbol, per a computed
+    /// table.
+    pub fn recognized(&self, m: &DpMatrix<u64>) -> bool {
+        if self.word.is_empty() {
+            return false;
+        }
+        m.get(0, self.n() - 1) & 1 != 0
+    }
+
+    /// Nonterminal set deriving `word[i..=j]`.
+    pub fn derivers(&self, m: &DpMatrix<u64>, i: u32, j: u32) -> u64 {
+        m.get(i, j)
+    }
+
+    fn cell<G: DpGrid<u64>>(&self, m: &G, i: u32, j: u32) -> u64 {
+        let mut set = 0u64;
+        if i == j {
+            for &(a, t) in &self.grammar.terminal_rules {
+                if t == self.word[i as usize] {
+                    set |= 1 << a;
+                }
+            }
+            return set;
+        }
+        for k in i..j {
+            let left = m.get(i, k);
+            let right = m.get(k + 1, j);
+            if left == 0 || right == 0 {
+                continue;
+            }
+            for &(a, b, c) in &self.grammar.binary_rules {
+                if left & (1 << b) != 0 && right & (1 << c) != 0 {
+                    set |= 1 << a;
+                }
+            }
+        }
+        set
+    }
+}
+
+impl DpProblem for CykParser {
+    type Cell = u64;
+
+    fn name(&self) -> String {
+        "cyk".into()
+    }
+
+    fn dims(&self) -> GridDims {
+        GridDims::square(self.n())
+    }
+
+    fn pattern(&self) -> Arc<dyn DagPattern> {
+        Arc::new(TriangularGap::new(self.n()))
+    }
+
+    fn compute_region<G: DpGrid<u64>>(&self, m: &mut G, region: TileRegion) {
+        for i in (region.row_start..region.row_end).rev() {
+            for j in region.col_start..region.col_end {
+                if j < i {
+                    continue;
+                }
+                let v = self.cell(m, i, j);
+                m.set(i, j, v);
+            }
+        }
+    }
+
+    fn cell_work(&self, p: GridPos) -> u64 {
+        if p.col < p.row {
+            0
+        } else {
+            (p.col - p.row) as u64 + 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recognizes(word: &str) -> bool {
+        let p = CykParser::new(Grammar::balanced_parens(), word.as_bytes().to_vec());
+        let m = p.solve_sequential();
+        p.recognized(&m)
+    }
+
+    #[test]
+    fn balanced_parens_accepted() {
+        for w in ["()", "(())", "()()", "(()())", "((()))()"] {
+            assert!(recognizes(w), "{w} should be accepted");
+        }
+    }
+
+    #[test]
+    fn unbalanced_rejected() {
+        for w in ["(", ")", ")(", "(()", "())", "()(", ""] {
+            assert!(!recognizes(w), "{w} should be rejected");
+        }
+    }
+
+    #[test]
+    fn grammar_validation() {
+        assert!(Grammar::balanced_parens().validate().is_ok());
+        let bad = Grammar { nonterminals: 2, terminal_rules: vec![(5, b'x')], binary_rules: vec![] };
+        assert!(bad.validate().is_err());
+        let too_many = Grammar { nonterminals: 65, terminal_rules: vec![], binary_rules: vec![] };
+        assert!(too_many.validate().is_err());
+    }
+
+    #[test]
+    fn derivers_expose_sub_spans() {
+        let p = CykParser::new(Grammar::balanced_parens(), b"(())".to_vec());
+        let m = p.solve_sequential();
+        // "()" at positions 1..=2 derives S (bit 0).
+        assert!(p.derivers(&m, 1, 2) & 1 != 0);
+        // "((" derives nothing.
+        assert_eq!(p.derivers(&m, 0, 1), 0);
+    }
+
+    #[test]
+    fn tiled_equals_sequential() {
+        use easyhps_core::{DagParser, TaskDag};
+        let word: Vec<u8> = b"(()())((()))()(()(()))".to_vec();
+        let p = CykParser::new(Grammar::balanced_parens(), word);
+        let seq = p.solve_sequential();
+
+        let model = easyhps_core::DagDataDrivenModel::builder(p.pattern())
+            .process_partition_size(GridDims::square(5))
+            .build();
+        let dag: TaskDag = model.master_dag();
+        let mut m = DpMatrix::new(p.dims());
+        DagParser::drain_sequential(&dag, |v| {
+            p.compute_region(&mut m, model.tile_region(dag.vertex(v).pos));
+        });
+        for i in 0..22u32 {
+            for j in i..22u32 {
+                assert_eq!(m.get(i, j), seq.get(i, j), "cell ({i},{j})");
+            }
+        }
+        assert!(p.recognized(&m));
+    }
+}

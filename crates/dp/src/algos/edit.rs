@@ -1,0 +1,174 @@
+//! Levenshtein edit distance (2D/0D).
+
+use crate::matrix::{DpGrid, DpMatrix};
+use crate::problem::DpProblem;
+use easyhps_core::patterns::Wavefront2D;
+use easyhps_core::{DagPattern, GridDims, TileRegion};
+use std::sync::Arc;
+
+/// Levenshtein distance between two byte strings: the textbook 2D/0D
+/// wavefront recurrence
+///
+/// ```text
+/// D[i,j] = min( D[i-1,j] + 1, D[i,j-1] + 1, D[i-1,j-1] + [a_i != b_j] )
+/// ```
+///
+/// over an `(m+1) x (n+1)` matrix.
+#[derive(Clone, Debug)]
+pub struct EditDistance {
+    a: Vec<u8>,
+    b: Vec<u8>,
+}
+
+impl EditDistance {
+    /// Edit distance from `a` (rows) to `b` (columns).
+    pub fn new(a: impl Into<Vec<u8>>, b: impl Into<Vec<u8>>) -> Self {
+        Self { a: a.into(), b: b.into() }
+    }
+
+    /// The final distance, read from a fully computed matrix.
+    pub fn distance(&self, m: &DpMatrix<i32>) -> i32 {
+        m.get(self.a.len() as u32, self.b.len() as u32)
+    }
+
+    /// Edit operations reconstructed from a computed matrix (see
+    /// [`EditOp`]), from the start of both strings.
+    pub fn traceback(&self, m: &DpMatrix<i32>) -> Vec<EditOp> {
+        let mut ops = Vec::new();
+        let (mut i, mut j) = (self.a.len() as u32, self.b.len() as u32);
+        while i > 0 || j > 0 {
+            let cur = m.get(i, j);
+            if i > 0 && j > 0 {
+                let sub = if self.a[i as usize - 1] == self.b[j as usize - 1] { 0 } else { 1 };
+                if m.get(i - 1, j - 1) + sub == cur {
+                    ops.push(if sub == 0 { EditOp::Keep } else { EditOp::Substitute });
+                    i -= 1;
+                    j -= 1;
+                    continue;
+                }
+            }
+            if i > 0 && m.get(i - 1, j) + 1 == cur {
+                ops.push(EditOp::Delete);
+                i -= 1;
+            } else {
+                debug_assert!(j > 0 && m.get(i, j - 1) + 1 == cur);
+                ops.push(EditOp::Insert);
+                j -= 1;
+            }
+        }
+        ops.reverse();
+        ops
+    }
+}
+
+/// One step of an edit script (referring to transforming `a` into `b`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EditOp {
+    /// Symbols match; keep.
+    Keep,
+    /// Replace a symbol of `a` with one of `b`.
+    Substitute,
+    /// Delete a symbol of `a`.
+    Delete,
+    /// Insert a symbol of `b`.
+    Insert,
+}
+
+impl DpProblem for EditDistance {
+    type Cell = i32;
+
+    fn name(&self) -> String {
+        "edit-distance".into()
+    }
+
+    fn dims(&self) -> GridDims {
+        GridDims::new(self.a.len() as u32 + 1, self.b.len() as u32 + 1)
+    }
+
+    fn pattern(&self) -> Arc<dyn DagPattern> {
+        Arc::new(Wavefront2D::new(self.dims()))
+    }
+
+    fn compute_region<G: DpGrid<i32>>(&self, m: &mut G, region: TileRegion) {
+        for i in region.row_start..region.row_end {
+            for j in region.col_start..region.col_end {
+                let v = if i == 0 {
+                    j as i32
+                } else if j == 0 {
+                    i as i32
+                } else {
+                    let sub = if self.a[i as usize - 1] == self.b[j as usize - 1] { 0 } else { 1 };
+                    (m.get(i - 1, j) + 1)
+                        .min(m.get(i, j - 1) + 1)
+                        .min(m.get(i - 1, j - 1) + sub)
+                };
+                m.set(i, j, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(a: &str, b: &str) -> i32 {
+        let p = EditDistance::new(a.as_bytes().to_vec(), b.as_bytes().to_vec());
+        let m = p.solve_sequential();
+        p.distance(&m)
+    }
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(dist("kitten", "sitting"), 3);
+        assert_eq!(dist("", "abc"), 3);
+        assert_eq!(dist("abc", ""), 3);
+        assert_eq!(dist("same", "same"), 0);
+        assert_eq!(dist("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn traceback_length_matches_distance() {
+        let p = EditDistance::new(b"kitten".to_vec(), b"sitting".to_vec());
+        let m = p.solve_sequential();
+        let ops = p.traceback(&m);
+        let cost = ops.iter().filter(|o| !matches!(o, EditOp::Keep)).count() as i32;
+        assert_eq!(cost, 3);
+        // Replaying the script transforms a into b.
+        let (mut out, mut ai, mut bi) = (Vec::new(), 0usize, 0usize);
+        for op in ops {
+            match op {
+                EditOp::Keep | EditOp::Substitute => {
+                    out.push(b"sitting"[bi]);
+                    ai += 1;
+                    bi += 1;
+                }
+                EditOp::Delete => ai += 1,
+                EditOp::Insert => {
+                    out.push(b"sitting"[bi]);
+                    bi += 1;
+                }
+            }
+        }
+        assert_eq!(ai, 6);
+        assert_eq!(out, b"sitting");
+    }
+
+    #[test]
+    fn tiled_equals_sequential() {
+        use easyhps_core::{DagParser, TaskDag};
+        let p = EditDistance::new(b"dynamicprogramming".to_vec(), b"parallelruntime".to_vec());
+        let seq = p.solve_sequential();
+
+        // Compute tile-by-tile in DAG order.
+        let model = easyhps_core::DagDataDrivenModel::builder(p.pattern())
+            .process_partition_size(GridDims::new(4, 5))
+            .build();
+        let dag: TaskDag = model.master_dag();
+        let mut m = DpMatrix::new(p.dims());
+        DagParser::drain_sequential(&dag, |v| {
+            p.compute_region(&mut m, model.tile_region(dag.vertex(v).pos));
+        });
+        assert_eq!(m, seq);
+    }
+}

@@ -1,0 +1,198 @@
+//! Hirschberg's linear-space global alignment.
+//!
+//! The paper's §VII names space as EasyHPS's main limitation. For global
+//! alignment the classic remedy is Hirschberg's divide-and-conquer: the
+//! optimal alignment in `O(n*m)` time but only `O(min(n, m))` space, by
+//! recursively splitting `a` at its midpoint and finding the optimal
+//! crossing column via two forward/backward score-row sweeps. This is a
+//! sequential utility (its recursion tree does not fit the tile-DAG
+//! model); it doubles as an independent oracle for
+//! [`NeedlemanWunsch`](crate::NeedlemanWunsch) in tests.
+
+use crate::alignment::LocalAlignment;
+use crate::scoring::Substitution;
+
+/// Linear-space global aligner with linear gap cost.
+#[derive(Clone, Debug)]
+pub struct Hirschberg {
+    substitution: Substitution,
+    gap: i32,
+}
+
+impl Hirschberg {
+    /// Aligner with the given substitution scores and per-symbol gap cost
+    /// (non-negative).
+    pub fn new(substitution: Substitution, gap: i32) -> Self {
+        assert!(gap >= 0, "gap penalty is a cost (non-negative)");
+        Self { substitution, gap }
+    }
+
+    /// DNA defaults: +2/-1 substitution, gap 2.
+    pub fn dna() -> Self {
+        Self::new(Substitution::dna_default(), 2)
+    }
+
+    /// Last row of the global-alignment score matrix of `a` vs `b`, in
+    /// `O(|b|)` space.
+    fn score_row(&self, a: &[u8], b: &[u8]) -> Vec<i64> {
+        let gap = self.gap as i64;
+        let mut prev: Vec<i64> = (0..=b.len() as i64).map(|j| -j * gap).collect();
+        let mut cur = vec![0i64; b.len() + 1];
+        for (i, &ca) in a.iter().enumerate() {
+            cur[0] = -((i as i64 + 1) * gap);
+            for (j, &cb) in b.iter().enumerate() {
+                cur[j + 1] = (prev[j] + self.substitution.score(ca, cb) as i64)
+                    .max(prev[j + 1] - gap)
+                    .max(cur[j] - gap);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev
+    }
+
+    fn align_rec(&self, a: &[u8], b: &[u8], out_a: &mut Vec<u8>, out_b: &mut Vec<u8>) {
+        if a.is_empty() {
+            out_a.extend(std::iter::repeat_n(b'-', b.len()));
+            out_b.extend_from_slice(b);
+            return;
+        }
+        if b.is_empty() {
+            out_a.extend_from_slice(a);
+            out_b.extend(std::iter::repeat_n(b'-', a.len()));
+            return;
+        }
+        if a.len() == 1 {
+            // Align the single symbol against its best position in b (or
+            // as a deletion if nothing pays).
+            let ca = a[0];
+            let gap = self.gap as i64;
+            let all_gaps = -((b.len() as i64 + 1) * gap);
+            let (best_j, best) = (0..b.len())
+                .map(|j| {
+                    (
+                        j,
+                        self.substitution.score(ca, b[j]) as i64 - (b.len() as i64 - 1) * gap,
+                    )
+                })
+                .max_by_key(|(j, s)| (*s, std::cmp::Reverse(*j)))
+                .expect("b nonempty");
+            if best >= all_gaps {
+                for (j, &cb) in b.iter().enumerate() {
+                    if j == best_j {
+                        out_a.push(ca);
+                    } else {
+                        out_a.push(b'-');
+                    }
+                    out_b.push(cb);
+                }
+            } else {
+                out_a.push(ca);
+                out_b.push(b'-');
+                out_a.extend(std::iter::repeat_n(b'-', b.len()));
+                out_b.extend_from_slice(b);
+            }
+            return;
+        }
+
+        let mid = a.len() / 2;
+        let left = self.score_row(&a[..mid], b);
+        let right_rev = {
+            let ar: Vec<u8> = a[mid..].iter().rev().copied().collect();
+            let br: Vec<u8> = b.iter().rev().copied().collect();
+            self.score_row(&ar, &br)
+        };
+        // Optimal split: maximize left[k] + right_rev[|b| - k].
+        let split = (0..=b.len())
+            .max_by_key(|&k| left[k] + right_rev[b.len() - k])
+            .expect("nonempty range");
+        self.align_rec(&a[..mid], &b[..split], out_a, out_b);
+        self.align_rec(&a[mid..], &b[split..], out_a, out_b);
+    }
+
+    /// Compute the optimal global alignment of `a` and `b`.
+    pub fn align(&self, a: &[u8], b: &[u8]) -> LocalAlignment {
+        let (mut out_a, mut out_b) = (Vec::new(), Vec::new());
+        self.align_rec(a, b, &mut out_a, &mut out_b);
+        let mut score = 0i32;
+        for (x, y) in out_a.iter().zip(&out_b) {
+            if *x == b'-' || *y == b'-' {
+                score -= self.gap;
+            } else {
+                score += self.substitution.score(*x, *y);
+            }
+        }
+        LocalAlignment {
+            score,
+            a_range: 0..a.len(),
+            b_range: 0..b.len(),
+            a_aligned: out_a,
+            b_aligned: out_b,
+        }
+    }
+
+    /// The optimal global score alone, in linear space.
+    pub fn score(&self, a: &[u8], b: &[u8]) -> i64 {
+        *self.score_row(a, b).last().expect("row nonempty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algos::NeedlemanWunsch;
+    use crate::problem::DpProblem;
+    use crate::sequence::{random_sequence, Alphabet};
+
+    fn nw_score(a: &[u8], b: &[u8]) -> i32 {
+        let p = NeedlemanWunsch::dna(a.to_vec(), b.to_vec());
+        p.score(&p.solve_sequential())
+    }
+
+    #[test]
+    fn score_matches_full_matrix_nw() {
+        for seed in 0..8u64 {
+            let a = random_sequence(Alphabet::Dna, 20 + (seed as usize * 3) % 15, seed);
+            let b = random_sequence(Alphabet::Dna, 18 + (seed as usize * 5) % 17, seed + 100);
+            let h = Hirschberg::dna();
+            assert_eq!(h.score(&a, &b), nw_score(&a, &b) as i64, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn alignment_score_is_optimal_and_consistent() {
+        for seed in 0..8u64 {
+            let a = random_sequence(Alphabet::Dna, 25, seed);
+            let b = random_sequence(Alphabet::Dna, 30, seed + 50);
+            let h = Hirschberg::dna();
+            let aln = h.align(&a, &b);
+            // The emitted alignment replays to the optimal score.
+            assert_eq!(aln.score as i64, h.score(&a, &b), "seed {seed}");
+            // And consumes both sequences fully.
+            let a_used: Vec<u8> = aln.a_aligned.iter().copied().filter(|&c| c != b'-').collect();
+            let b_used: Vec<u8> = aln.b_aligned.iter().copied().filter(|&c| c != b'-').collect();
+            assert_eq!(a_used, a);
+            assert_eq!(b_used, b);
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let h = Hirschberg::dna();
+        let aln = h.align(b"", b"ACGT");
+        assert_eq!(aln.a_aligned, b"----");
+        let aln = h.align(b"ACGT", b"");
+        assert_eq!(aln.b_aligned, b"----");
+        let aln = h.align(b"", b"");
+        assert!(aln.a_aligned.is_empty());
+        assert_eq!(h.score(b"A", b"A"), 2);
+    }
+
+    #[test]
+    fn identical_long_sequences() {
+        let a = random_sequence(Alphabet::Dna, 300, 9);
+        let h = Hirschberg::dna();
+        let aln = h.align(&a, &a);
+        assert_eq!(aln.score, 2 * a.len() as i32);
+        assert_eq!(aln.identity(), 1.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! 0/1 knapsack (2D/0D over an item x capacity grid).
+
+use crate::matrix::{DpGrid, DpMatrix};
+use crate::problem::DpProblem;
+use easyhps_core::patterns::RowLookback2D;
+use easyhps_core::{DagPattern, GridDims, TileRegion};
+use std::sync::Arc;
+
+/// The 0/1 knapsack recurrence over an `(n+1) x (W+1)` grid:
+///
+/// ```text
+/// V[i,w] = max( V[i-1,w], V[i-1, w - weight_i] + value_i )
+/// ```
+///
+/// Strictly a "1.5D" problem — each cell looks one row up at two columns —
+/// but the lookback `weight_i` can reach arbitrarily far left, so the
+/// data-communication level must carry the whole previous-row prefix; the
+/// [`RowLookback2D`] pattern declares exactly that, and the runtime ships
+/// the corresponding strips.
+#[derive(Clone, Debug)]
+pub struct Knapsack {
+    weights: Vec<u32>,
+    values: Vec<u64>,
+    capacity: u32,
+}
+
+impl Knapsack {
+    /// Items as `(weight, value)` pairs with a knapsack of `capacity`.
+    pub fn new(items: &[(u32, u64)], capacity: u32) -> Self {
+        Self {
+            weights: items.iter().map(|i| i.0).collect(),
+            values: items.iter().map(|i| i.1).collect(),
+            capacity,
+        }
+    }
+
+    fn n(&self) -> u32 {
+        self.weights.len() as u32
+    }
+
+    /// Best achievable value, from a computed matrix.
+    pub fn best_value(&self, m: &DpMatrix<u64>) -> u64 {
+        m.get(self.n(), self.capacity)
+    }
+
+    /// The chosen item indices, reconstructed from a computed matrix.
+    pub fn chosen_items(&self, m: &DpMatrix<u64>) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut w = self.capacity;
+        for i in (1..=self.n()).rev() {
+            if m.get(i, w) != m.get(i - 1, w) {
+                out.push(i as usize - 1);
+                w -= self.weights[i as usize - 1];
+            }
+        }
+        out.reverse();
+        out
+    }
+}
+
+impl DpProblem for Knapsack {
+    type Cell = u64;
+
+    fn name(&self) -> String {
+        "knapsack".into()
+    }
+
+    fn dims(&self) -> GridDims {
+        GridDims::new(self.n() + 1, self.capacity + 1)
+    }
+
+    fn pattern(&self) -> Arc<dyn DagPattern> {
+        Arc::new(RowLookback2D::new(self.dims()))
+    }
+
+    fn compute_region<G: DpGrid<u64>>(&self, m: &mut G, region: TileRegion) {
+        for i in region.row_start..region.row_end {
+            for w in region.col_start..region.col_end {
+                let v = if i == 0 {
+                    0
+                } else {
+                    let skip = m.get(i - 1, w);
+                    let wt = self.weights[i as usize - 1];
+                    if wt <= w {
+                        skip.max(m.get(i - 1, w - wt) + self.values[i as usize - 1])
+                    } else {
+                        skip
+                    }
+                };
+                m.set(i, w, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_instance() {
+        // Items (weight, value): capacity 10.
+        let items = [(5, 10), (4, 40), (6, 30), (3, 50)];
+        let p = Knapsack::new(&items, 10);
+        let m = p.solve_sequential();
+        assert_eq!(p.best_value(&m), 90); // items 1 and 3 (40 + 50)
+        assert_eq!(p.chosen_items(&m), vec![1, 3]);
+    }
+
+    #[test]
+    fn zero_capacity_and_no_items() {
+        let p = Knapsack::new(&[(1, 5)], 0);
+        assert_eq!(p.best_value(&p.solve_sequential()), 0);
+        let p = Knapsack::new(&[], 10);
+        assert_eq!(p.best_value(&p.solve_sequential()), 0);
+        assert!(p.chosen_items(&p.solve_sequential()).is_empty());
+    }
+
+    #[test]
+    fn all_items_fit() {
+        let items = [(1, 1), (2, 2), (3, 3)];
+        let p = Knapsack::new(&items, 6);
+        let m = p.solve_sequential();
+        assert_eq!(p.best_value(&m), 6);
+        assert_eq!(p.chosen_items(&m), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let items = [(3u32, 7u64), (5, 9), (2, 4), (4, 8), (1, 2), (6, 11)];
+        for cap in [0u32, 5, 9, 13, 21] {
+            let p = Knapsack::new(&items, cap);
+            let dp = p.best_value(&p.solve_sequential());
+            // Brute force over all 2^6 subsets.
+            let mut best = 0u64;
+            for mask in 0u32..64 {
+                let (mut w, mut v) = (0u32, 0u64);
+                for (i, &(wt, val)) in items.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        w += wt;
+                        v += val;
+                    }
+                }
+                if w <= cap {
+                    best = best.max(v);
+                }
+            }
+            assert_eq!(dp, best, "capacity {cap}");
+        }
+    }
+
+    #[test]
+    fn chosen_items_are_feasible_and_optimal() {
+        let items = [(3u32, 7u64), (5, 9), (2, 4), (4, 8), (1, 2)];
+        let p = Knapsack::new(&items, 9);
+        let m = p.solve_sequential();
+        let chosen = p.chosen_items(&m);
+        let weight: u32 = chosen.iter().map(|&i| items[i].0).sum();
+        let value: u64 = chosen.iter().map(|&i| items[i].1).sum();
+        assert!(weight <= 9);
+        assert_eq!(value, p.best_value(&m));
+    }
+
+    #[test]
+    fn tiled_equal_sequential_even_with_column_partitions() {
+        use easyhps_core::{DagParser, TaskDag};
+        let items: Vec<(u32, u64)> = (0..12).map(|i| (1 + i % 5, (i * 3 % 11) as u64 + 1)).collect();
+        let p = Knapsack::new(&items, 30);
+        let seq = p.solve_sequential();
+        // Column partitions are safe because RowLookback2D ships the whole
+        // previous-row prefix.
+        let model = easyhps_core::DagDataDrivenModel::builder(p.pattern())
+            .process_partition_size(GridDims::new(3, 7))
+            .build();
+        let dag: TaskDag = model.master_dag();
+        let mut m = DpMatrix::new(p.dims());
+        DagParser::drain_sequential(&dag, |v| {
+            p.compute_region(&mut m, model.tile_region(dag.vertex(v).pos));
+        });
+        assert_eq!(m, seq);
+    }
+}

@@ -1,0 +1,167 @@
+//! Matrix-chain multiplication parenthesization — triangular 2D/1D.
+
+use crate::matrix::{DpGrid, DpMatrix};
+use crate::problem::DpProblem;
+use easyhps_core::patterns::TriangularGap;
+use easyhps_core::{DagPattern, GridDims, GridPos, TileRegion};
+use std::sync::Arc;
+
+/// Optimal parenthesization of a chain of matrices with dimension vector
+/// `p` (matrix `k` is `p[k] x p[k+1]`):
+///
+/// ```text
+/// M[i,j] = min_{i<=k<j} M[i,k] + M[k+1,j] + p_i * p_{k+1} * p_{j+1}
+/// ```
+///
+/// over the upper triangle of an `n x n` grid with `M[i,i] = 0`. Bradford's
+/// PRAM work (paper ref.\[7\]) targets exactly this recurrence; it shares
+/// the triangular 2D/1D pattern with Nussinov.
+#[derive(Clone, Debug)]
+pub struct MatrixChain {
+    /// Dimension vector of length `n + 1`.
+    p: Vec<u64>,
+}
+
+impl MatrixChain {
+    /// Chain with dimension vector `p` (`p.len() >= 2`).
+    pub fn new(p: Vec<u64>) -> Self {
+        assert!(p.len() >= 2, "need at least one matrix");
+        Self { p }
+    }
+
+    fn n(&self) -> u32 {
+        (self.p.len() - 1) as u32
+    }
+
+    /// Minimum number of scalar multiplications, from a computed matrix.
+    pub fn min_cost(&self, m: &DpMatrix<u64>) -> u64 {
+        m.get(0, self.n() - 1)
+    }
+
+    /// Reconstruct an optimal parenthesization as a string like
+    /// `((A0 A1) A2)`.
+    pub fn parenthesization(&self, m: &DpMatrix<u64>) -> String {
+        fn go(mc: &MatrixChain, m: &DpMatrix<u64>, i: u32, j: u32, out: &mut String) {
+            if i == j {
+                out.push('A');
+                out.push_str(&i.to_string());
+                return;
+            }
+            for k in i..j {
+                let cost = m.get(i, k)
+                    + m.get(k + 1, j)
+                    + mc.p[i as usize] * mc.p[k as usize + 1] * mc.p[j as usize + 1];
+                if cost == m.get(i, j) {
+                    out.push('(');
+                    go(mc, m, i, k, out);
+                    out.push(' ');
+                    go(mc, m, k + 1, j, out);
+                    out.push(')');
+                    return;
+                }
+            }
+            unreachable!("no split reproduces M[{i},{j}]");
+        }
+        let mut s = String::new();
+        go(self, m, 0, self.n() - 1, &mut s);
+        s
+    }
+}
+
+impl DpProblem for MatrixChain {
+    type Cell = u64;
+
+    fn name(&self) -> String {
+        "matrix-chain".into()
+    }
+
+    fn dims(&self) -> GridDims {
+        GridDims::square(self.n())
+    }
+
+    fn pattern(&self) -> Arc<dyn DagPattern> {
+        Arc::new(TriangularGap::new(self.n()))
+    }
+
+    fn compute_region<G: DpGrid<u64>>(&self, m: &mut G, region: TileRegion) {
+        for i in (region.row_start..region.row_end).rev() {
+            for j in region.col_start..region.col_end {
+                if j < i {
+                    continue;
+                }
+                let v = if i == j {
+                    0
+                } else {
+                    (i..j)
+                        .map(|k| {
+                            m.get(i, k)
+                                + m.get(k + 1, j)
+                                + self.p[i as usize] * self.p[k as usize + 1] * self.p[j as usize + 1]
+                        })
+                        .min()
+                        .expect("nonempty split range")
+                };
+                m.set(i, j, v);
+            }
+        }
+    }
+
+    fn cell_work(&self, p: GridPos) -> u64 {
+        if p.col < p.row {
+            0
+        } else {
+            (p.col - p.row) as u64 + 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clrs_example() {
+        // CLRS 15.2: p = (30,35,15,5,10,20,25) -> 15125 multiplications.
+        let p = MatrixChain::new(vec![30, 35, 15, 5, 10, 20, 25]);
+        let m = p.solve_sequential();
+        assert_eq!(p.min_cost(&m), 15125);
+        assert_eq!(p.parenthesization(&m), "((A0 (A1 A2)) ((A3 A4) A5))");
+    }
+
+    #[test]
+    fn single_matrix_costs_zero() {
+        let p = MatrixChain::new(vec![4, 7]);
+        let m = p.solve_sequential();
+        assert_eq!(p.min_cost(&m), 0);
+        assert_eq!(p.parenthesization(&m), "A0");
+    }
+
+    #[test]
+    fn two_matrices() {
+        let p = MatrixChain::new(vec![2, 3, 4]);
+        let m = p.solve_sequential();
+        assert_eq!(p.min_cost(&m), 24);
+    }
+
+    #[test]
+    fn tiled_equals_sequential() {
+        use easyhps_core::{DagParser, TaskDag};
+        let dims: Vec<u64> = (0..20).map(|i| 2 + (i * 7 % 13)).collect();
+        let p = MatrixChain::new(dims);
+        let seq = p.solve_sequential();
+
+        let model = easyhps_core::DagDataDrivenModel::builder(p.pattern())
+            .process_partition_size(GridDims::square(4))
+            .build();
+        let dag: TaskDag = model.master_dag();
+        let mut m = DpMatrix::new(p.dims());
+        DagParser::drain_sequential(&dag, |v| {
+            p.compute_region(&mut m, model.tile_region(dag.vertex(v).pos));
+        });
+        for i in 0..19u32 {
+            for j in i..19u32 {
+                assert_eq!(m.get(i, j), seq.get(i, j), "cell ({i},{j})");
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! The DP algorithm library: one module per recurrence, each implementing
+//! [`crate::DpProblem`] with a sequential reference and a region kernel.
+
+mod banded_edit;
+mod cyk;
+mod edit;
+mod hirschberg;
+mod knapsack;
+mod lcs;
+mod matrix_chain;
+mod needleman;
+mod nussinov;
+mod obst;
+mod palindrome;
+mod quadrant;
+mod semi_global;
+mod sw_affine;
+mod swgg;
+mod viterbi;
+
+pub use banded_edit::{BandedEditDistance, BAND_INF};
+pub use cyk::{CykParser, Grammar};
+pub use edit::{EditDistance, EditOp};
+pub use hirschberg::Hirschberg;
+pub use knapsack::Knapsack;
+pub use lcs::Lcs;
+pub use matrix_chain::MatrixChain;
+pub use needleman::NeedlemanWunsch;
+pub use nussinov::Nussinov;
+pub use obst::OptimalBst;
+pub use palindrome::LongestPalindrome;
+pub use quadrant::Quadrant2D2D;
+pub use semi_global::SemiGlobal;
+pub use sw_affine::SmithWatermanAffine;
+pub use swgg::SmithWatermanGeneralGap;
+pub use viterbi::{Hmm, Viterbi};

@@ -1,0 +1,258 @@
+//! Nussinov RNA secondary-structure prediction — triangular 2D/1D.
+
+use crate::matrix::{DpGrid, DpMatrix};
+use crate::problem::DpProblem;
+use crate::sequence::rna_pairs;
+use easyhps_core::patterns::TriangularGap;
+use easyhps_core::{DagPattern, GridDims, GridPos, TileRegion};
+use std::sync::Arc;
+
+/// Nussinov's maximum base-pairing recurrence over the upper triangle
+/// (`0 <= i <= j < n`):
+///
+/// ```text
+/// F[i,j] = max( F[i+1,j],
+///               F[i,j-1],
+///               F[i+1,j-1] + pair(i,j)        if j - i > min_loop
+///               max_{i<k<j} F[i,k] + F[k+1,j] )
+/// ```
+///
+/// The bifurcation scan makes each cell `O(j - i)` — the same 2D/1D class
+/// as SWGG but over a triangle, so the work per anti-diagonal grows toward
+/// the upper-right corner. This skew is what defeats static block-cyclic
+/// scheduling in the paper's Fig. 17.
+#[derive(Clone, Debug)]
+pub struct Nussinov {
+    seq: Vec<u8>,
+    /// Minimum unpaired loop length between a pair (`j - i > min_loop`);
+    /// the classic algorithm uses 1 (no sharp hairpins).
+    min_loop: u32,
+}
+
+impl Nussinov {
+    /// Fold `seq` with the default minimum loop length of 1.
+    pub fn new(seq: impl Into<Vec<u8>>) -> Self {
+        Self { seq: seq.into(), min_loop: 1 }
+    }
+
+    /// Fold with a custom minimum loop length.
+    pub fn with_min_loop(seq: impl Into<Vec<u8>>, min_loop: u32) -> Self {
+        Self { seq: seq.into(), min_loop }
+    }
+
+    fn n(&self) -> u32 {
+        self.seq.len() as u32
+    }
+
+    fn cell<G: DpGrid<i32>>(&self, m: &G, i: u32, j: u32) -> i32 {
+        if j <= i {
+            return 0;
+        }
+        let mut best = m.get(i + 1, j).max(m.get(i, j - 1));
+        if j - i > self.min_loop && rna_pairs(self.seq[i as usize], self.seq[j as usize]) {
+            best = best.max(m.get(i + 1, j - 1) + 1);
+        }
+        for k in (i + 1)..j {
+            best = best.max(m.get(i, k) + m.get(k + 1, j));
+        }
+        best
+    }
+
+    /// Maximum number of base pairs, read from a computed matrix.
+    pub fn max_pairs(&self, m: &DpMatrix<i32>) -> i32 {
+        if self.seq.is_empty() {
+            return 0;
+        }
+        m.get(0, self.n() - 1)
+    }
+
+    /// Reconstruct one optimal set of base pairs `(i, j)` from a computed
+    /// matrix.
+    pub fn traceback(&self, m: &DpMatrix<i32>) -> Vec<(u32, u32)> {
+        let mut pairs = Vec::new();
+        if self.seq.is_empty() {
+            return pairs;
+        }
+        let mut stack = vec![(0u32, self.n() - 1)];
+        while let Some((i, j)) = stack.pop() {
+            if j <= i {
+                continue;
+            }
+            let cur = m.get(i, j);
+            if cur == 0 {
+                continue;
+            }
+            if m.get(i + 1, j) == cur {
+                stack.push((i + 1, j));
+            } else if m.get(i, j - 1) == cur {
+                stack.push((i, j - 1));
+            } else if j - i > self.min_loop
+                && rna_pairs(self.seq[i as usize], self.seq[j as usize])
+                && m.get(i + 1, j - 1) + 1 == cur
+            {
+                pairs.push((i, j));
+                stack.push((i + 1, j - 1));
+            } else {
+                let mut found = false;
+                for k in (i + 1)..j {
+                    if m.get(i, k) + m.get(k + 1, j) == cur {
+                        stack.push((i, k));
+                        stack.push((k + 1, j));
+                        found = true;
+                        break;
+                    }
+                }
+                assert!(found, "traceback stuck at ({i},{j})");
+            }
+        }
+        pairs.sort_unstable();
+        pairs
+    }
+
+    /// Dot-bracket string of a pair set.
+    pub fn dot_bracket(&self, pairs: &[(u32, u32)]) -> String {
+        let mut s = vec![b'.'; self.seq.len()];
+        for &(i, j) in pairs {
+            s[i as usize] = b'(';
+            s[j as usize] = b')';
+        }
+        String::from_utf8(s).expect("ASCII")
+    }
+}
+
+impl DpProblem for Nussinov {
+    type Cell = i32;
+
+    fn name(&self) -> String {
+        "nussinov".into()
+    }
+
+    fn dims(&self) -> GridDims {
+        GridDims::square(self.n())
+    }
+
+    fn pattern(&self) -> Arc<dyn DagPattern> {
+        Arc::new(TriangularGap::new(self.n()))
+    }
+
+    fn compute_region<G: DpGrid<i32>>(&self, m: &mut G, region: TileRegion) {
+        // Bottom-up rows, left-to-right columns: inside the region, (i+1, *)
+        // is done before row i, and (i, j-1) before (i, j).
+        for i in (region.row_start..region.row_end).rev() {
+            for j in region.col_start..region.col_end {
+                if j < i {
+                    continue;
+                }
+                let v = self.cell(m, i, j);
+                m.set(i, j, v);
+            }
+        }
+    }
+
+    fn cell_work(&self, p: GridPos) -> u64 {
+        if p.col < p.row {
+            0
+        } else {
+            (p.col - p.row) as u64 + 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::{random_sequence, Alphabet};
+
+    #[test]
+    fn tiny_hairpin() {
+        // GGGAAACCC folds into three GC pairs with an AAA loop.
+        let p = Nussinov::new(b"GGGAAACCC".to_vec());
+        let m = p.solve_sequential();
+        assert_eq!(p.max_pairs(&m), 3);
+        let pairs = p.traceback(&m);
+        assert_eq!(pairs.len(), 3);
+        let db = p.dot_bracket(&pairs);
+        assert_eq!(db.matches('(').count(), 3);
+        assert_eq!(db.matches(')').count(), 3);
+    }
+
+    #[test]
+    fn unpairable_sequence() {
+        let p = Nussinov::new(b"AAAA".to_vec());
+        let m = p.solve_sequential();
+        assert_eq!(p.max_pairs(&m), 0);
+        assert!(p.traceback(&m).is_empty());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let p = Nussinov::new(Vec::<u8>::new());
+        assert_eq!(p.max_pairs(&p.solve_sequential()), 0);
+        let p = Nussinov::new(b"A".to_vec());
+        assert_eq!(p.max_pairs(&p.solve_sequential()), 0);
+    }
+
+    #[test]
+    fn min_loop_blocks_sharp_hairpins() {
+        // AU adjacent: with min_loop 1, A-U at distance 1 cannot pair.
+        let p = Nussinov::new(b"AU".to_vec());
+        let m = p.solve_sequential();
+        assert_eq!(p.max_pairs(&m), 0);
+        let p0 = Nussinov::with_min_loop(b"AU".to_vec(), 0);
+        let m0 = p0.solve_sequential();
+        assert_eq!(p0.max_pairs(&m0), 1);
+    }
+
+    #[test]
+    fn pairs_are_valid_and_non_crossing_count() {
+        let seq = random_sequence(Alphabet::Rna, 60, 42);
+        let p = Nussinov::new(seq.clone());
+        let m = p.solve_sequential();
+        let pairs = p.traceback(&m);
+        assert_eq!(pairs.len() as i32, p.max_pairs(&m));
+        for &(i, j) in &pairs {
+            assert!(j > i + 1);
+            assert!(rna_pairs(seq[i as usize], seq[j as usize]));
+        }
+        // Nussinov structures are nested: for i1 < i2, either the second
+        // pair nests inside the first (j2 < j1) or is disjoint (i2 > j1).
+        for &(i1, j1) in &pairs {
+            for &(i2, j2) in &pairs {
+                if i1 < i2 {
+                    assert!(j2 < j1 || i2 > j1, "crossing pair");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_equals_sequential() {
+        use easyhps_core::{DagParser, TaskDag};
+        let seq = random_sequence(Alphabet::Rna, 47, 9);
+        let p = Nussinov::new(seq);
+        let seq_m = p.solve_sequential();
+
+        let model = easyhps_core::DagDataDrivenModel::builder(p.pattern())
+            .process_partition_size(GridDims::square(8))
+            .build();
+        let dag: TaskDag = model.master_dag();
+        let mut m = DpMatrix::new(p.dims());
+        DagParser::drain_sequential(&dag, |v| {
+            p.compute_region(&mut m, model.tile_region(dag.vertex(v).pos));
+        });
+        // Compare only the upper triangle (lower is never touched).
+        for i in 0..47u32 {
+            for j in i..47u32 {
+                assert_eq!(m.get(i, j), seq_m.get(i, j), "cell ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn cell_work_grows_with_span() {
+        let p = Nussinov::new(random_sequence(Alphabet::Rna, 10, 1));
+        assert_eq!(p.cell_work(GridPos::new(3, 3)), 1);
+        assert_eq!(p.cell_work(GridPos::new(0, 9)), 10);
+        assert_eq!(p.cell_work(GridPos::new(5, 2)), 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Longest palindromic subsequence — triangular 2D/1D-pattern member
+//! with O(1) cells (a 2D/0D recurrence on the triangle).
+
+use crate::matrix::{DpGrid, DpMatrix};
+use crate::problem::DpProblem;
+use easyhps_core::patterns::TriangularGap;
+use easyhps_core::{DagPattern, GridDims, TileRegion};
+use std::sync::Arc;
+
+/// Longest palindromic subsequence of a byte string:
+///
+/// ```text
+/// L[i,i] = 1
+/// L[i,j] = L[i+1,j-1] + 2              if s_i == s_j
+///        = max(L[i+1,j], L[i,j-1])     otherwise
+/// ```
+///
+/// Same upper-triangular grid as Nussinov but constant work per cell —
+/// a useful contrast workload: the *shape* skews toward the corner while
+/// the *cost* stays flat.
+#[derive(Clone, Debug)]
+pub struct LongestPalindrome {
+    s: Vec<u8>,
+}
+
+impl LongestPalindrome {
+    /// LPS of `s`.
+    pub fn new(s: impl Into<Vec<u8>>) -> Self {
+        Self { s: s.into() }
+    }
+
+    fn n(&self) -> u32 {
+        self.s.len() as u32
+    }
+
+    /// Length of the longest palindromic subsequence.
+    pub fn length(&self, m: &DpMatrix<i32>) -> i32 {
+        if self.s.is_empty() {
+            return 0;
+        }
+        m.get(0, self.n() - 1)
+    }
+
+    /// Reconstruct one longest palindromic subsequence.
+    pub fn traceback(&self, m: &DpMatrix<i32>) -> Vec<u8> {
+        if self.s.is_empty() {
+            return Vec::new();
+        }
+        let (mut left, mut right) = (Vec::new(), Vec::new());
+        let (mut i, mut j) = (0u32, self.n() - 1);
+        while i < j {
+            if self.s[i as usize] == self.s[j as usize] {
+                left.push(self.s[i as usize]);
+                right.push(self.s[j as usize]);
+                i += 1;
+                if j == 0 {
+                    break;
+                }
+                j -= 1;
+            } else if m.get(i + 1, j) >= m.get(i, j - 1) {
+                i += 1;
+            } else {
+                j -= 1;
+            }
+        }
+        if i == j {
+            left.push(self.s[i as usize]);
+        }
+        right.reverse();
+        left.extend(right);
+        left
+    }
+}
+
+impl DpProblem for LongestPalindrome {
+    type Cell = i32;
+
+    fn name(&self) -> String {
+        "longest-palindrome".into()
+    }
+
+    fn dims(&self) -> GridDims {
+        GridDims::square(self.n())
+    }
+
+    fn pattern(&self) -> Arc<dyn DagPattern> {
+        Arc::new(TriangularGap::new(self.n()))
+    }
+
+    fn compute_region<G: DpGrid<i32>>(&self, m: &mut G, region: TileRegion) {
+        for i in (region.row_start..region.row_end).rev() {
+            for j in region.col_start..region.col_end {
+                if j < i {
+                    continue;
+                }
+                let v = if i == j {
+                    1
+                } else if self.s[i as usize] == self.s[j as usize] {
+                    // (i+1, j-1) is the lower triangle's default 0 when
+                    // j == i + 1, which is exactly the needed base.
+                    m.get(i + 1, j - 1) + 2
+                } else {
+                    m.get(i + 1, j).max(m.get(i, j - 1))
+                };
+                m.set(i, j, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lps(s: &str) -> (i32, String) {
+        let p = LongestPalindrome::new(s.as_bytes().to_vec());
+        let m = p.solve_sequential();
+        (p.length(&m), String::from_utf8(p.traceback(&m)).unwrap())
+    }
+
+    #[test]
+    fn known_cases() {
+        assert_eq!(lps("bbbab").0, 4); // bbbb
+        assert_eq!(lps("cbbd").0, 2);
+        assert_eq!(lps("a").0, 1);
+        assert_eq!(lps("").0, 0);
+        assert_eq!(lps("racecar").0, 7);
+    }
+
+    #[test]
+    fn traceback_is_a_palindromic_subsequence() {
+        for s in ["character", "bananas", "abcdefgfedcba", "zzzyx"] {
+            let (len, pal) = lps(s);
+            assert_eq!(pal.len() as i32, len, "{s}");
+            // Palindrome.
+            assert!(pal.bytes().eq(pal.bytes().rev()), "{pal} not a palindrome");
+            // Subsequence of s.
+            let mut it = s.bytes();
+            assert!(pal.bytes().all(|c| it.any(|h| h == c)), "{pal} not a subsequence of {s}");
+        }
+    }
+
+    #[test]
+    fn tiled_equals_sequential() {
+        use easyhps_core::{DagParser, TaskDag};
+        let p = LongestPalindrome::new(b"dynamicprogrammingmarvellouslyredundant".to_vec());
+        let seq = p.solve_sequential();
+        let model = easyhps_core::DagDataDrivenModel::builder(p.pattern())
+            .process_partition_size(GridDims::square(7))
+            .build();
+        let dag: TaskDag = model.master_dag();
+        let mut m = DpMatrix::new(p.dims());
+        DagParser::drain_sequential(&dag, |v| {
+            p.compute_region(&mut m, model.tile_region(dag.vertex(v).pos));
+        });
+        let n = p.n();
+        for i in 0..n {
+            for j in i..n {
+                assert_eq!(m.get(i, j), seq.get(i, j), "cell ({i},{j})");
+            }
+        }
+    }
+}

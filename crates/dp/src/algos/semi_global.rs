@@ -1,0 +1,204 @@
+//! Semi-global ("glocal") alignment: full query against a substring of
+//! the reference — read mapping's workhorse.
+
+use crate::alignment::LocalAlignment;
+use crate::matrix::{DpGrid, DpMatrix};
+use crate::problem::DpProblem;
+use crate::scoring::Substitution;
+use easyhps_core::patterns::Wavefront2D;
+use easyhps_core::{DagPattern, GridDims, TileRegion};
+use std::sync::Arc;
+
+/// Semi-global alignment with linear gaps: the whole of `query` (rows)
+/// aligns against *some window* of `reference` (columns) — gaps before and
+/// after the window in the reference are free:
+///
+/// ```text
+/// F[i,0] = -i*gap          F[0,j] = 0
+/// F[i,j] = max( F[i-1,j-1] + s(q_i, r_j), F[i-1,j] - gap, F[i,j-1] - gap )
+/// answer = max_j F[|q|, j]
+/// ```
+#[derive(Clone, Debug)]
+pub struct SemiGlobal {
+    query: Vec<u8>,
+    reference: Vec<u8>,
+    substitution: Substitution,
+    gap: i32,
+}
+
+impl SemiGlobal {
+    /// Map `query` onto `reference`.
+    pub fn new(
+        query: impl Into<Vec<u8>>,
+        reference: impl Into<Vec<u8>>,
+        substitution: Substitution,
+        gap: i32,
+    ) -> Self {
+        assert!(gap >= 0, "gap penalty is a cost (non-negative)");
+        Self { query: query.into(), reference: reference.into(), substitution, gap }
+    }
+
+    /// DNA defaults: +2/-1, gap 2.
+    pub fn dna(query: impl Into<Vec<u8>>, reference: impl Into<Vec<u8>>) -> Self {
+        Self::new(query, reference, Substitution::dna_default(), 2)
+    }
+
+    /// Best mapping score and its end column in the reference.
+    pub fn best(&self, m: &DpMatrix<i32>) -> (i32, u32) {
+        let last = self.query.len() as u32;
+        (0..=self.reference.len() as u32)
+            .map(|j| (m.get(last, j), j))
+            .max()
+            .expect("nonempty row")
+    }
+
+    /// Reconstruct the mapping (query fully consumed; reference windowed).
+    pub fn traceback(&self, m: &DpMatrix<i32>) -> LocalAlignment {
+        let (score, end_j) = self.best(m);
+        let (mut i, mut j) = (self.query.len() as u32, end_j);
+        let (mut ra, mut rb) = (Vec::new(), Vec::new());
+        while i > 0 {
+            let cur = m.get(i, j);
+            if j > 0 {
+                let s = self
+                    .substitution
+                    .score(self.query[i as usize - 1], self.reference[j as usize - 1]);
+                if m.get(i - 1, j - 1) + s == cur {
+                    ra.push(self.query[i as usize - 1]);
+                    rb.push(self.reference[j as usize - 1]);
+                    i -= 1;
+                    j -= 1;
+                    continue;
+                }
+                if m.get(i, j - 1) - self.gap == cur {
+                    ra.push(b'-');
+                    rb.push(self.reference[j as usize - 1]);
+                    j -= 1;
+                    continue;
+                }
+            }
+            debug_assert!(m.get(i - 1, j) - self.gap == cur);
+            ra.push(self.query[i as usize - 1]);
+            rb.push(b'-');
+            i -= 1;
+        }
+        ra.reverse();
+        rb.reverse();
+        LocalAlignment {
+            score,
+            a_range: 0..self.query.len(),
+            b_range: j as usize..end_j as usize,
+            a_aligned: ra,
+            b_aligned: rb,
+        }
+    }
+}
+
+impl DpProblem for SemiGlobal {
+    type Cell = i32;
+
+    fn name(&self) -> String {
+        "semi-global".into()
+    }
+
+    fn dims(&self) -> GridDims {
+        GridDims::new(self.query.len() as u32 + 1, self.reference.len() as u32 + 1)
+    }
+
+    fn pattern(&self) -> Arc<dyn DagPattern> {
+        Arc::new(Wavefront2D::new(self.dims()))
+    }
+
+    fn compute_region<G: DpGrid<i32>>(&self, m: &mut G, region: TileRegion) {
+        for i in region.row_start..region.row_end {
+            for j in region.col_start..region.col_end {
+                let v = if i == 0 {
+                    0
+                } else if j == 0 {
+                    -(i as i32) * self.gap
+                } else {
+                    let s = self
+                        .substitution
+                        .score(self.query[i as usize - 1], self.reference[j as usize - 1]);
+                    (m.get(i - 1, j - 1) + s)
+                        .max(m.get(i - 1, j) - self.gap)
+                        .max(m.get(i, j - 1) - self.gap)
+                };
+                m.set(i, j, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::{random_sequence, Alphabet};
+
+    #[test]
+    fn exact_substring_maps_perfectly() {
+        let reference = random_sequence(Alphabet::Dna, 80, 1);
+        let query = reference[30..50].to_vec();
+        let p = SemiGlobal::dna(query.clone(), reference);
+        let m = p.solve_sequential();
+        let (score, end) = p.best(&m);
+        assert_eq!(score, 2 * query.len() as i32, "perfect match, no gap cost");
+        assert_eq!(end, 50);
+        let aln = p.traceback(&m);
+        assert_eq!(aln.b_range, 30..50);
+        assert_eq!(aln.identity(), 1.0);
+    }
+
+    #[test]
+    fn query_with_mismatch_still_maps_to_the_right_window() {
+        let reference = random_sequence(Alphabet::Dna, 60, 2);
+        let mut query = reference[20..40].to_vec();
+        query[10] = if query[10] == b'A' { b'C' } else { b'A' };
+        let p = SemiGlobal::dna(query, reference);
+        let m = p.solve_sequential();
+        let aln = p.traceback(&m);
+        assert_eq!(aln.b_range, 20..40);
+        assert_eq!(aln.score, 2 * 19 - 1);
+    }
+
+    #[test]
+    fn query_consumed_fully_even_against_poor_reference() {
+        let query = b"ACGTACGT".to_vec();
+        let reference = b"TTTT".to_vec();
+        let p = SemiGlobal::dna(query.clone(), reference);
+        let m = p.solve_sequential();
+        let aln = p.traceback(&m);
+        let used: Vec<u8> = aln.a_aligned.iter().copied().filter(|&c| c != b'-').collect();
+        assert_eq!(used, query, "semi-global must consume the whole query");
+    }
+
+    #[test]
+    fn semi_global_at_least_matches_global_score() {
+        use crate::algos::NeedlemanWunsch;
+        let q = random_sequence(Alphabet::Dna, 20, 3);
+        let r = random_sequence(Alphabet::Dna, 40, 4);
+        let sg = SemiGlobal::dna(q.clone(), r.clone());
+        let nw = NeedlemanWunsch::dna(q, r);
+        let sg_score = sg.best(&sg.solve_sequential()).0;
+        let nw_score = nw.score(&nw.solve_sequential());
+        assert!(sg_score >= nw_score, "free end gaps can only help: {sg_score} vs {nw_score}");
+    }
+
+    #[test]
+    fn tiled_equals_sequential() {
+        use easyhps_core::{DagParser, TaskDag};
+        let q = random_sequence(Alphabet::Dna, 23, 5);
+        let r = random_sequence(Alphabet::Dna, 37, 6);
+        let p = SemiGlobal::dna(q, r);
+        let seq = p.solve_sequential();
+        let model = easyhps_core::DagDataDrivenModel::builder(p.pattern())
+            .process_partition_size(GridDims::new(6, 8))
+            .build();
+        let dag: TaskDag = model.master_dag();
+        let mut m = DpMatrix::new(p.dims());
+        DagParser::drain_sequential(&dag, |v| {
+            p.compute_region(&mut m, model.tile_region(dag.vertex(v).pos));
+        });
+        assert_eq!(m, seq);
+    }
+}

@@ -1,0 +1,250 @@
+//! Smith-Waterman with affine gaps (Gotoh) — 2D/0D.
+
+use crate::alignment::LocalAlignment;
+use crate::cell::Gotoh;
+use crate::matrix::{DpGrid, DpMatrix};
+use crate::problem::DpProblem;
+use crate::scoring::Substitution;
+use easyhps_core::patterns::Wavefront2D;
+use easyhps_core::{DagPattern, GridDims, TileRegion};
+use std::sync::Arc;
+
+/// Very negative sentinel that survives additions without overflow.
+const NEG_INF: i32 = i32::MIN / 4;
+
+/// Gotoh's affine-gap local alignment: with `w(k) = open + extend*(k-1)`
+/// the general-gap scans collapse into two extra running scores,
+///
+/// ```text
+/// E[i,j] = max( H[i,j-1] - open, E[i,j-1] - extend )
+/// F[i,j] = max( H[i-1,j] - open, F[i-1,j] - extend )
+/// H[i,j] = max( 0, H[i-1,j-1] + s(a_i,b_j), E[i,j], F[i,j] )
+/// ```
+///
+/// making every cell O(1) — a 2D/0D wavefront. This is the fast baseline
+/// that SWGG degenerates to when the gap function happens to be affine.
+#[derive(Clone, Debug)]
+pub struct SmithWatermanAffine {
+    a: Vec<u8>,
+    b: Vec<u8>,
+    substitution: Substitution,
+    /// Gap open cost (positive).
+    open: i32,
+    /// Gap extend cost (positive).
+    extend: i32,
+}
+
+impl SmithWatermanAffine {
+    /// Align `a` (rows) against `b` (columns) with affine gaps.
+    pub fn new(
+        a: impl Into<Vec<u8>>,
+        b: impl Into<Vec<u8>>,
+        substitution: Substitution,
+        open: i32,
+        extend: i32,
+    ) -> Self {
+        Self { a: a.into(), b: b.into(), substitution, open, extend }
+    }
+
+    /// DNA defaults: +2/-1 substitution, gap open 4, extend 1.
+    pub fn dna(a: impl Into<Vec<u8>>, b: impl Into<Vec<u8>>) -> Self {
+        Self::new(a, b, Substitution::dna_default(), 4, 1)
+    }
+
+    /// Best local alignment score in a computed matrix.
+    pub fn best_score(&self, m: &DpMatrix<Gotoh>) -> i32 {
+        let d = m.dims();
+        m.max_in_region_by_key(TileRegion::new(0, d.rows, 0, d.cols), |c| c.h)
+            .map(|(_, v)| v.h)
+            .unwrap_or(0)
+    }
+
+    /// Reconstruct the best local alignment from a computed matrix.
+    pub fn traceback(&self, m: &DpMatrix<Gotoh>) -> LocalAlignment {
+        let d = m.dims();
+        let (end, cell) = m
+            .max_in_region_by_key(TileRegion::new(0, d.rows, 0, d.cols), |c| c.h)
+            .expect("nonempty matrix");
+        let score = cell.h;
+        if score <= 0 {
+            return LocalAlignment {
+                score: 0,
+                a_range: 0..0,
+                b_range: 0..0,
+                a_aligned: vec![],
+                b_aligned: vec![],
+            };
+        }
+
+        // States: 0 = H, 1 = E (gap in a), 2 = F (gap in b).
+        let (mut i, mut j, mut state) = (end.row, end.col, 0u8);
+        let (mut ra, mut rb) = (Vec::new(), Vec::new());
+        loop {
+            match state {
+                0 => {
+                    let h = m.get(i, j).h;
+                    if h == 0 || i == 0 || j == 0 {
+                        break;
+                    }
+                    let s = self.substitution.score(self.a[i as usize - 1], self.b[j as usize - 1]);
+                    if m.get(i - 1, j - 1).h + s == h {
+                        ra.push(self.a[i as usize - 1]);
+                        rb.push(self.b[j as usize - 1]);
+                        i -= 1;
+                        j -= 1;
+                    } else if m.get(i, j).e == h {
+                        state = 1;
+                    } else {
+                        debug_assert_eq!(m.get(i, j).f, h, "H must come from diag, E or F");
+                        state = 2;
+                    }
+                }
+                1 => {
+                    // Gap in `a`: consume a symbol of `b`.
+                    let e = m.get(i, j).e;
+                    ra.push(b'-');
+                    rb.push(self.b[j as usize - 1]);
+                    let from_open = m.get(i, j - 1).h - self.open;
+                    state = if from_open == e { 0 } else { 1 };
+                    j -= 1;
+                }
+                _ => {
+                    // Gap in `b`: consume a symbol of `a`.
+                    let f = m.get(i, j).f;
+                    ra.push(self.a[i as usize - 1]);
+                    rb.push(b'-');
+                    let from_open = m.get(i - 1, j).h - self.open;
+                    state = if from_open == f { 0 } else { 2 };
+                    i -= 1;
+                }
+            }
+        }
+        ra.reverse();
+        rb.reverse();
+        LocalAlignment {
+            score,
+            a_range: i as usize..end.row as usize,
+            b_range: j as usize..end.col as usize,
+            a_aligned: ra,
+            b_aligned: rb,
+        }
+    }
+}
+
+impl DpProblem for SmithWatermanAffine {
+    type Cell = Gotoh;
+
+    fn name(&self) -> String {
+        "smith-waterman-affine".into()
+    }
+
+    fn dims(&self) -> GridDims {
+        GridDims::new(self.a.len() as u32 + 1, self.b.len() as u32 + 1)
+    }
+
+    fn pattern(&self) -> Arc<dyn DagPattern> {
+        Arc::new(Wavefront2D::new(self.dims()))
+    }
+
+    fn compute_region<G: DpGrid<Gotoh>>(&self, m: &mut G, region: TileRegion) {
+        for i in region.row_start..region.row_end {
+            for j in region.col_start..region.col_end {
+                let cell = if i == 0 || j == 0 {
+                    Gotoh { h: 0, e: NEG_INF, f: NEG_INF }
+                } else {
+                    let e = (m.get(i, j - 1).h - self.open).max(m.get(i, j - 1).e - self.extend);
+                    let f = (m.get(i - 1, j).h - self.open).max(m.get(i - 1, j).f - self.extend);
+                    let s = self.substitution.score(self.a[i as usize - 1], self.b[j as usize - 1]);
+                    let h = 0.max(m.get(i - 1, j - 1).h + s).max(e).max(f);
+                    Gotoh { h, e, f }
+                };
+                m.set(i, j, cell);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algos::swgg::SmithWatermanGeneralGap;
+    use crate::scoring::GapPenalty;
+    use crate::sequence::{random_sequence, Alphabet};
+
+    #[test]
+    fn identical_sequences() {
+        let p = SmithWatermanAffine::dna(b"ACGTACGT".to_vec(), b"ACGTACGT".to_vec());
+        let m = p.solve_sequential();
+        assert_eq!(p.best_score(&m), 16);
+    }
+
+    #[test]
+    fn agrees_with_general_gap_on_affine_penalty() {
+        // With the same affine w(k), SWGG's O(n) scan and Gotoh's O(1)
+        // recurrence must produce identical best scores.
+        for seed in 0..5u64 {
+            let a = random_sequence(Alphabet::Dna, 24, seed * 2 + 1);
+            let b = random_sequence(Alphabet::Dna, 26, seed * 2 + 2);
+            let affine = SmithWatermanAffine::dna(a.clone(), b.clone());
+            let general = SmithWatermanGeneralGap::new(
+                a,
+                b,
+                Substitution::dna_default(),
+                GapPenalty::Affine { open: 4, extend: 1 },
+            );
+            let ma = affine.solve_sequential();
+            let mg = general.solve_sequential();
+            assert_eq!(affine.best_score(&ma), general.best_score(&mg), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn traceback_replays_to_score() {
+        let a = random_sequence(Alphabet::Dna, 30, 11);
+        let b = random_sequence(Alphabet::Dna, 32, 12);
+        let p = SmithWatermanAffine::dna(a, b);
+        let m = p.solve_sequential();
+        let aln = p.traceback(&m);
+        // Recompute the score from the alignment columns.
+        let mut score = 0;
+        let mut k = 0;
+        while k < aln.len() {
+            let (x, y) = (aln.a_aligned[k], aln.b_aligned[k]);
+            if x == b'-' || y == b'-' {
+                let gap_in_a = x == b'-';
+                let mut glen = 0;
+                while k < aln.len()
+                    && ((gap_in_a && aln.a_aligned[k] == b'-')
+                        || (!gap_in_a && aln.b_aligned[k] == b'-'))
+                {
+                    glen += 1;
+                    k += 1;
+                }
+                score -= 4 + (glen - 1);
+            } else {
+                score += Substitution::dna_default().score(x, y);
+                k += 1;
+            }
+        }
+        assert_eq!(score, aln.score);
+    }
+
+    #[test]
+    fn tiled_equals_sequential() {
+        use easyhps_core::{DagParser, TaskDag};
+        let a = random_sequence(Alphabet::Dna, 41, 21);
+        let b = random_sequence(Alphabet::Dna, 37, 22);
+        let p = SmithWatermanAffine::dna(a, b);
+        let seq = p.solve_sequential();
+
+        let model = easyhps_core::DagDataDrivenModel::builder(p.pattern())
+            .process_partition_size(GridDims::new(8, 6))
+            .build();
+        let dag: TaskDag = model.master_dag();
+        let mut m = DpMatrix::new(p.dims());
+        DagParser::drain_sequential(&dag, |v| {
+            p.compute_region(&mut m, model.tile_region(dag.vertex(v).pos));
+        });
+        assert_eq!(m, seq);
+    }
+}

@@ -1,0 +1,283 @@
+//! Viterbi decoding of a hidden Markov model.
+//!
+//! The trellis is a `(T x S)` grid (time by state); every cell reads the
+//! whole previous time-row, so rows are barriers — the [`PrevRow2D`]
+//! pattern. Partition by rows only (the runtime rejects column-split
+//! multi-row tiles as cyclic; see the pattern docs). Log-space scores
+//! keep everything in `f64`.
+
+use crate::matrix::{DpGrid, DpMatrix};
+use crate::problem::DpProblem;
+use easyhps_core::patterns::PrevRow2D;
+use easyhps_core::{DagPattern, GridDims, GridPos, TileRegion};
+use std::sync::Arc;
+
+/// A discrete hidden Markov model in log space.
+#[derive(Clone, Debug)]
+pub struct Hmm {
+    /// Number of hidden states `S`.
+    pub states: usize,
+    /// Number of observation symbols `M`.
+    pub symbols: usize,
+    /// `log P(s at t=0)`, length `S`.
+    pub log_init: Vec<f64>,
+    /// `log P(s' | s)`, row-major `S x S`.
+    pub log_trans: Vec<f64>,
+    /// `log P(o | s)`, row-major `S x M`.
+    pub log_emit: Vec<f64>,
+}
+
+impl Hmm {
+    /// Validate dimensions.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.states == 0 || self.symbols == 0 {
+            return Err("need at least one state and one symbol".into());
+        }
+        if self.log_init.len() != self.states {
+            return Err("log_init length != states".into());
+        }
+        if self.log_trans.len() != self.states * self.states {
+            return Err("log_trans length != states^2".into());
+        }
+        if self.log_emit.len() != self.states * self.symbols {
+            return Err("log_emit length != states*symbols".into());
+        }
+        Ok(())
+    }
+
+    /// A deterministic random HMM (probabilities normalized per row) for
+    /// tests and demos.
+    pub fn random(states: usize, symbols: usize, seed: u64) -> Self {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut row = |n: usize| -> Vec<f64> {
+            let raw: Vec<f64> = (0..n).map(|_| rng.random_range(0.05..1.0)).collect();
+            let sum: f64 = raw.iter().sum();
+            raw.into_iter().map(|x| (x / sum).ln()).collect()
+        };
+        let log_init = row(states);
+        let mut log_trans = Vec::with_capacity(states * states);
+        for _ in 0..states {
+            log_trans.extend(row(states));
+        }
+        let mut log_emit = Vec::with_capacity(states * symbols);
+        for _ in 0..states {
+            log_emit.extend(row(symbols));
+        }
+        Self { states, symbols, log_init, log_trans, log_emit }
+    }
+
+    #[inline]
+    fn trans(&self, from: usize, to: usize) -> f64 {
+        self.log_trans[from * self.states + to]
+    }
+
+    #[inline]
+    fn emit(&self, state: usize, symbol: usize) -> f64 {
+        self.log_emit[state * self.symbols + symbol]
+    }
+}
+
+/// Viterbi decoding of one observation sequence under an [`Hmm`].
+#[derive(Clone, Debug)]
+pub struct Viterbi {
+    hmm: Hmm,
+    observations: Vec<u32>,
+}
+
+impl Viterbi {
+    /// Decoder for `observations` (each `< hmm.symbols`).
+    pub fn new(hmm: Hmm, observations: Vec<u32>) -> Self {
+        hmm.validate().expect("valid HMM");
+        assert!(
+            observations.iter().all(|&o| (o as usize) < hmm.symbols),
+            "observation outside the symbol alphabet"
+        );
+        Self { hmm, observations }
+    }
+
+    /// Log-probability of the best state path, from a computed trellis.
+    pub fn best_log_prob(&self, m: &DpMatrix<f64>) -> f64 {
+        let t = self.observations.len() as u32;
+        if t == 0 {
+            return 0.0;
+        }
+        (0..self.hmm.states as u32)
+            .map(|s| m.get(t - 1, s))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The most likely state path, reconstructed from a computed trellis.
+    pub fn best_path(&self, m: &DpMatrix<f64>) -> Vec<usize> {
+        let t = self.observations.len();
+        if t == 0 {
+            return Vec::new();
+        }
+        let s_count = self.hmm.states;
+        let argmax_row = |row: u32| -> usize {
+            (0..s_count)
+                .max_by(|&a, &b| {
+                    m.get(row, a as u32)
+                        .partial_cmp(&m.get(row, b as u32))
+                        .expect("finite scores")
+                })
+                .expect("at least one state")
+        };
+        let mut path = vec![0usize; t];
+        path[t - 1] = argmax_row(t as u32 - 1);
+        // Walk back: find the predecessor consistent with the cell value.
+        for row in (1..t).rev() {
+            let cur = path[row];
+            let target = m.get(row as u32, cur as u32);
+            let emit = self.hmm.emit(cur, self.observations[row] as usize);
+            let mut chosen = 0usize;
+            let mut best_err = f64::INFINITY;
+            for prev in 0..s_count {
+                let cand = m.get(row as u32 - 1, prev as u32) + self.hmm.trans(prev, cur) + emit;
+                let err = (cand - target).abs();
+                if err < best_err {
+                    best_err = err;
+                    chosen = prev;
+                }
+            }
+            path[row - 1] = chosen;
+        }
+        path
+    }
+}
+
+impl DpProblem for Viterbi {
+    type Cell = f64;
+
+    fn name(&self) -> String {
+        "viterbi".into()
+    }
+
+    fn dims(&self) -> GridDims {
+        GridDims::new(self.observations.len().max(1) as u32, self.hmm.states as u32)
+    }
+
+    fn pattern(&self) -> Arc<dyn DagPattern> {
+        Arc::new(PrevRow2D::new(self.dims()))
+    }
+
+    fn compute_region<G: DpGrid<f64>>(&self, m: &mut G, region: TileRegion) {
+        if self.observations.is_empty() {
+            return;
+        }
+        for t in region.row_start..region.row_end {
+            let obs = self.observations[t as usize] as usize;
+            for s in region.col_start..region.col_end {
+                let v = if t == 0 {
+                    self.hmm.log_init[s as usize] + self.hmm.emit(s as usize, obs)
+                } else {
+                    let mut best = f64::NEG_INFINITY;
+                    for prev in 0..self.hmm.states {
+                        let cand = m.get(t - 1, prev as u32) + self.hmm.trans(prev, s as usize);
+                        if cand > best {
+                            best = cand;
+                        }
+                    }
+                    best + self.hmm.emit(s as usize, obs)
+                };
+                m.set(t, s, v);
+            }
+        }
+    }
+
+    fn cell_work(&self, _p: GridPos) -> u64 {
+        self.hmm.states as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Exhaustive best path over all S^T assignments.
+    fn brute_force(hmm: &Hmm, obs: &[u32]) -> (f64, Vec<usize>) {
+        let (s, t) = (hmm.states, obs.len());
+        let mut best = (f64::NEG_INFINITY, vec![0; t]);
+        let total = (s as u64).pow(t as u32);
+        for mut code in 0..total {
+            let mut path = Vec::with_capacity(t);
+            for _ in 0..t {
+                path.push((code % s as u64) as usize);
+                code /= s as u64;
+            }
+            let mut lp = hmm.log_init[path[0]] + hmm.emit(path[0], obs[0] as usize);
+            for k in 1..t {
+                lp += hmm.trans(path[k - 1], path[k]) + hmm.emit(path[k], obs[k] as usize);
+            }
+            if lp > best.0 {
+                best = (lp, path);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_instances() {
+        for seed in 0..6u64 {
+            let hmm = Hmm::random(3, 4, seed);
+            let mut rng = StdRng::seed_from_u64(seed + 77);
+            let obs: Vec<u32> = (0..7).map(|_| rng.random_range(0..4)).collect();
+            let v = Viterbi::new(hmm.clone(), obs.clone());
+            let m = v.solve_sequential();
+            let (bf_lp, bf_path) = brute_force(&hmm, &obs);
+            assert!((v.best_log_prob(&m) - bf_lp).abs() < 1e-9, "seed {seed}");
+            // The reconstructed path must score identically (ties allowed).
+            let path = v.best_path(&m);
+            let mut lp = hmm.log_init[path[0]] + hmm.emit(path[0], obs[0] as usize);
+            for k in 1..obs.len() {
+                lp += hmm.trans(path[k - 1], path[k]) + hmm.emit(path[k], obs[k] as usize);
+            }
+            assert!((lp - bf_lp).abs() < 1e-9, "seed {seed}: path {path:?} vs {bf_path:?}");
+        }
+    }
+
+    #[test]
+    fn empty_observations() {
+        let hmm = Hmm::random(2, 2, 1);
+        let v = Viterbi::new(hmm, vec![]);
+        let m = v.solve_sequential();
+        assert_eq!(v.best_log_prob(&m), 0.0);
+        assert!(v.best_path(&m).is_empty());
+    }
+
+    #[test]
+    fn validation_rejects_bad_dims() {
+        let mut hmm = Hmm::random(2, 3, 0);
+        hmm.log_init.pop();
+        assert!(hmm.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "symbol alphabet")]
+    fn rejects_out_of_alphabet_observation() {
+        let hmm = Hmm::random(2, 3, 0);
+        Viterbi::new(hmm, vec![5]);
+    }
+
+    #[test]
+    fn tiled_equals_sequential() {
+        use easyhps_core::{DagParser, TaskDag};
+        let hmm = Hmm::random(12, 5, 3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let obs: Vec<u32> = (0..40).map(|_| rng.random_range(0..5)).collect();
+        let v = Viterbi::new(hmm, obs);
+        let seq = v.solve_sequential();
+        let model = easyhps_core::DagDataDrivenModel::builder(v.pattern())
+            .process_partition_size(easyhps_core::GridDims::new(7, 12)) // full-row bands
+            .build();
+        let dag: TaskDag = model.master_dag();
+        let mut m = DpMatrix::new(v.dims());
+        DagParser::drain_sequential(&dag, |x| {
+            v.compute_region(&mut m, model.tile_region(dag.vertex(x).pos));
+        });
+        assert_eq!(m, seq);
+    }
+}

@@ -1,0 +1,117 @@
+//! Alignment result types shared by the Smith-Waterman variants.
+
+use std::fmt;
+use std::ops::Range;
+
+/// A local alignment between two sequences, as reconstructed by traceback.
+///
+/// `a_aligned` / `b_aligned` are the aligned segments with `b'-'` gap
+/// symbols inserted; they always have equal length.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LocalAlignment {
+    /// Alignment score.
+    pub score: i32,
+    /// Half-open range of the aligned segment in sequence `a`.
+    pub a_range: Range<usize>,
+    /// Half-open range of the aligned segment in sequence `b`.
+    pub b_range: Range<usize>,
+    /// Aligned segment of `a` with gaps.
+    pub a_aligned: Vec<u8>,
+    /// Aligned segment of `b` with gaps.
+    pub b_aligned: Vec<u8>,
+}
+
+impl LocalAlignment {
+    /// Number of alignment columns.
+    pub fn len(&self) -> usize {
+        self.a_aligned.len()
+    }
+
+    /// True for the empty alignment (score 0, nothing aligned).
+    pub fn is_empty(&self) -> bool {
+        self.a_aligned.is_empty()
+    }
+
+    /// Fraction of columns where both symbols match, in `[0, 1]`.
+    pub fn identity(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let matches = self
+            .a_aligned
+            .iter()
+            .zip(&self.b_aligned)
+            .filter(|(x, y)| x == y && **x != b'-')
+            .count();
+        matches as f64 / self.len() as f64
+    }
+}
+
+impl fmt::Display for LocalAlignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "score {}  a[{}..{}]  b[{}..{}]  identity {:.1}%",
+            self.score,
+            self.a_range.start,
+            self.a_range.end,
+            self.b_range.start,
+            self.b_range.end,
+            self.identity() * 100.0
+        )?;
+        let mid: String = self
+            .a_aligned
+            .iter()
+            .zip(&self.b_aligned)
+            .map(|(x, y)| if x == y && *x != b'-' { '|' } else { ' ' })
+            .collect();
+        writeln!(f, "  {}", String::from_utf8_lossy(&self.a_aligned))?;
+        writeln!(f, "  {mid}")?;
+        write!(f, "  {}", String::from_utf8_lossy(&self.b_aligned))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_counts_matches_only() {
+        let a = LocalAlignment {
+            score: 5,
+            a_range: 0..4,
+            b_range: 0..3,
+            a_aligned: b"AC-T".to_vec(),
+            b_aligned: b"ACGT".to_vec(),
+        };
+        assert_eq!(a.len(), 4);
+        assert!((a.identity() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_alignment() {
+        let a = LocalAlignment {
+            score: 0,
+            a_range: 0..0,
+            b_range: 0..0,
+            a_aligned: vec![],
+            b_aligned: vec![],
+        };
+        assert!(a.is_empty());
+        assert_eq!(a.identity(), 0.0);
+    }
+
+    #[test]
+    fn display_renders_midline() {
+        let a = LocalAlignment {
+            score: 4,
+            a_range: 0..2,
+            b_range: 0..2,
+            a_aligned: b"AC".to_vec(),
+            b_aligned: b"AG".to_vec(),
+        };
+        let s = a.to_string();
+        assert!(s.contains("score 4"));
+        assert!(s.contains('|'));
+    }
+}

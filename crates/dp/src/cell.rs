@@ -1,0 +1,122 @@
+//! Matrix cell values and their wire representation.
+//!
+//! The multilevel runtime ships boundary strips of the DP matrix between
+//! master and slaves, so every cell type must have a fixed-size byte
+//! encoding. Encodings are little-endian and independent of the host.
+
+/// A DP matrix cell: fixed-size, trivially copyable, byte-encodable.
+pub trait Cell: Copy + Default + PartialEq + Send + Sync + std::fmt::Debug + 'static {
+    /// Encoded size in bytes.
+    const WIRE_SIZE: usize;
+
+    /// Append the encoding of `self` to `out`.
+    fn write_to(&self, out: &mut Vec<u8>);
+
+    /// Decode from exactly [`Self::WIRE_SIZE`] bytes.
+    fn read_from(buf: &[u8]) -> Self;
+}
+
+impl Cell for i32 {
+    const WIRE_SIZE: usize = 4;
+
+    fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn read_from(buf: &[u8]) -> Self {
+        i32::from_le_bytes(buf[..4].try_into().expect("4 bytes"))
+    }
+}
+
+impl Cell for i64 {
+    const WIRE_SIZE: usize = 8;
+
+    fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn read_from(buf: &[u8]) -> Self {
+        i64::from_le_bytes(buf[..8].try_into().expect("8 bytes"))
+    }
+}
+
+impl Cell for u64 {
+    const WIRE_SIZE: usize = 8;
+
+    fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn read_from(buf: &[u8]) -> Self {
+        u64::from_le_bytes(buf[..8].try_into().expect("8 bytes"))
+    }
+}
+
+impl Cell for f64 {
+    const WIRE_SIZE: usize = 8;
+
+    fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn read_from(buf: &[u8]) -> Self {
+        f64::from_le_bytes(buf[..8].try_into().expect("8 bytes"))
+    }
+}
+
+/// The three running scores of Gotoh's affine-gap recurrence packed into one
+/// cell: `h` (best ending anywhere), `e` (best ending in a horizontal gap),
+/// `f` (best ending in a vertical gap).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct Gotoh {
+    /// Best alignment score ending at this cell.
+    pub h: i32,
+    /// Best score ending with a gap in the vertical sequence.
+    pub e: i32,
+    /// Best score ending with a gap in the horizontal sequence.
+    pub f: i32,
+}
+
+impl Cell for Gotoh {
+    const WIRE_SIZE: usize = 12;
+
+    fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.h.to_le_bytes());
+        out.extend_from_slice(&self.e.to_le_bytes());
+        out.extend_from_slice(&self.f.to_le_bytes());
+    }
+
+    fn read_from(buf: &[u8]) -> Self {
+        Self {
+            h: i32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")),
+            e: i32::from_le_bytes(buf[4..8].try_into().expect("4 bytes")),
+            f: i32::from_le_bytes(buf[8..12].try_into().expect("4 bytes")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<C: Cell>(v: C) {
+        let mut buf = Vec::new();
+        v.write_to(&mut buf);
+        assert_eq!(buf.len(), C::WIRE_SIZE);
+        assert_eq!(C::read_from(&buf), v);
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        roundtrip(-123i32);
+        roundtrip(i32::MIN);
+        roundtrip(i64::MAX);
+        roundtrip(42u64);
+        roundtrip(-2.5f64);
+    }
+
+    #[test]
+    fn gotoh_roundtrip() {
+        roundtrip(Gotoh { h: 7, e: -1000, f: i32::MIN / 2 });
+    }
+}

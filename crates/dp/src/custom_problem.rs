@@ -1,0 +1,233 @@
+//! Define a DP problem from closures — no trait implementation needed.
+//!
+//! The paper's pitch is that a user only supplies the recurrence and the
+//! pattern; everything else is the runtime's job. [`ClosureProblem`] is
+//! that entry point: pick a library pattern (or pass a custom one), give a
+//! cell function, get a [`DpProblem`].
+
+use crate::cell::Cell;
+use crate::matrix::DpGrid;
+use crate::problem::DpProblem;
+use easyhps_core::patterns;
+use easyhps_core::{DagPattern, GridDims, GridPos, PatternKind, TileRegion};
+use std::sync::Arc;
+
+/// A read-only view of the grid handed to the user's cell function.
+pub struct CellCtx<'a, C: Cell> {
+    grid: &'a dyn DpGrid<C>,
+}
+
+impl<C: Cell> CellCtx<'_, C> {
+    /// Read a finished (or in-region, already computed) cell.
+    pub fn get(&self, row: u32, col: u32) -> C {
+        self.grid.get(row, col)
+    }
+}
+
+type CellFn<C> = dyn Fn(&CellCtx<'_, C>, GridPos) -> C + Send + Sync;
+
+/// A [`DpProblem`] assembled from closures.
+///
+/// ```
+/// use easyhps_dp::{ClosureProblem, DpProblem};
+/// use easyhps_core::PatternKind;
+///
+/// // Pascal's triangle as a wavefront recurrence.
+/// let pascal = ClosureProblem::<u64>::builder("pascal", (10, 10), PatternKind::Wavefront2D)
+///     .cell(|ctx, p| {
+///         if p.row == 0 || p.col == 0 {
+///             1
+///         } else {
+///             ctx.get(p.row - 1, p.col) + ctx.get(p.row, p.col - 1)
+///         }
+///     })
+///     .build();
+/// let m = pascal.solve_sequential();
+/// assert_eq!(m.get(4, 4), 70); // C(8, 4)
+/// ```
+pub struct ClosureProblem<C: Cell> {
+    name: String,
+    pattern: Arc<dyn DagPattern>,
+    cell_fn: Arc<CellFn<C>>,
+    work_fn: Option<Arc<dyn Fn(GridPos) -> u64 + Send + Sync>>,
+}
+
+impl<C: Cell> ClosureProblem<C> {
+    /// Start building with a library pattern kind over `dims`.
+    pub fn builder(
+        name: impl Into<String>,
+        dims: impl Into<GridDims>,
+        kind: PatternKind,
+    ) -> ClosureProblemBuilder<C> {
+        let dims = dims.into();
+        let pattern = patterns::builtin(kind, dims)
+            .expect("library pattern kind; use builder_with_pattern for custom shapes");
+        ClosureProblemBuilder { name: name.into(), pattern, cell_fn: None, work_fn: None }
+    }
+
+    /// Start building with an explicit (possibly user-defined) pattern.
+    pub fn builder_with_pattern(
+        name: impl Into<String>,
+        pattern: Arc<dyn DagPattern>,
+    ) -> ClosureProblemBuilder<C> {
+        ClosureProblemBuilder { name: name.into(), pattern, cell_fn: None, work_fn: None }
+    }
+}
+
+/// Builder for [`ClosureProblem`].
+pub struct ClosureProblemBuilder<C: Cell> {
+    name: String,
+    pattern: Arc<dyn DagPattern>,
+    cell_fn: Option<Arc<CellFn<C>>>,
+    work_fn: Option<Arc<dyn Fn(GridPos) -> u64 + Send + Sync>>,
+}
+
+impl<C: Cell> ClosureProblemBuilder<C> {
+    /// The cell function: computes one cell given read access to every
+    /// cell the pattern declares as a data dependency (and cells of the
+    /// current region already computed by the in-region sweep).
+    pub fn cell(mut self, f: impl Fn(&CellCtx<'_, C>, GridPos) -> C + Send + Sync + 'static) -> Self {
+        self.cell_fn = Some(Arc::new(f));
+        self
+    }
+
+    /// Optional per-cell work estimate for the cluster simulator's cost
+    /// models (defaults to 1).
+    pub fn work(mut self, f: impl Fn(GridPos) -> u64 + Send + Sync + 'static) -> Self {
+        self.work_fn = Some(Arc::new(f));
+        self
+    }
+
+    /// Finish; panics if no cell function was provided.
+    pub fn build(self) -> ClosureProblem<C> {
+        ClosureProblem {
+            name: self.name,
+            pattern: self.pattern,
+            cell_fn: self.cell_fn.expect("cell() is required"),
+            work_fn: self.work_fn,
+        }
+    }
+}
+
+impl<C: Cell> DpProblem for ClosureProblem<C> {
+    type Cell = C;
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn dims(&self) -> GridDims {
+        self.pattern.dims()
+    }
+
+    fn pattern(&self) -> Arc<dyn DagPattern> {
+        self.pattern.clone()
+    }
+
+    fn compute_region<G: DpGrid<C>>(&self, m: &mut G, region: TileRegion) {
+        // Choose the in-region sweep from the pattern orientation: the
+        // triangular kinds consume below-left neighbours, everything else
+        // consumes up-left.
+        let bottom_up = matches!(self.pattern.kind(), PatternKind::TriangularGap);
+        let rows: Box<dyn Iterator<Item = u32>> = if bottom_up {
+            Box::new((region.row_start..region.row_end).rev())
+        } else {
+            Box::new(region.row_start..region.row_end)
+        };
+        for i in rows {
+            for j in region.col_start..region.col_end {
+                let p = GridPos::new(i, j);
+                if !self.pattern.contains(p) {
+                    continue;
+                }
+                let v = {
+                    let ctx = CellCtx { grid: &*m };
+                    (self.cell_fn)(&ctx, p)
+                };
+                m.set(i, j, v);
+            }
+        }
+    }
+
+    fn cell_work(&self, p: GridPos) -> u64 {
+        match &self.work_fn {
+            Some(f) => f(p),
+            None => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algos::EditDistance;
+    use crate::matrix::DpMatrix;
+    use easyhps_core::{DagDataDrivenModel, DagParser};
+
+    fn closure_edit(a: &'static [u8], b: &'static [u8]) -> ClosureProblem<i32> {
+        let dims = GridDims::new(a.len() as u32 + 1, b.len() as u32 + 1);
+        ClosureProblem::<i32>::builder("closure-edit", dims, PatternKind::Wavefront2D)
+            .cell(move |ctx, p| {
+                if p.row == 0 {
+                    p.col as i32
+                } else if p.col == 0 {
+                    p.row as i32
+                } else {
+                    let sub = i32::from(a[p.row as usize - 1] != b[p.col as usize - 1]);
+                    (ctx.get(p.row - 1, p.col) + 1)
+                        .min(ctx.get(p.row, p.col - 1) + 1)
+                        .min(ctx.get(p.row - 1, p.col - 1) + sub)
+                }
+            })
+            .build()
+    }
+
+    #[test]
+    fn closure_matches_builtin_edit_distance() {
+        let p = closure_edit(b"kitten", b"sitting");
+        let builtin = EditDistance::new(b"kitten".to_vec(), b"sitting".to_vec());
+        assert_eq!(p.solve_sequential(), builtin.solve_sequential());
+    }
+
+    #[test]
+    fn triangular_closure_sweeps_bottom_up() {
+        // Count-of-cells-in-span recurrence: f(i,j) = f(i,j-1) + f(i+1,j)
+        // - f(i+1,j-1) + 1 would need inclusion-exclusion; simpler: length
+        // of span via left neighbour.
+        let p = ClosureProblem::<i64>::builder("span-length", (8, 8), PatternKind::TriangularGap)
+            .cell(|ctx, p| {
+                if p.row == p.col {
+                    1
+                } else {
+                    ctx.get(p.row, p.col - 1) + 1
+                }
+            })
+            .work(|p| (p.col - p.row) as u64 + 1)
+            .build();
+        let m = p.solve_sequential();
+        assert_eq!(m.get(0, 7), 8);
+        assert_eq!(m.get(3, 5), 3);
+        assert_eq!(p.cell_work(GridPos::new(2, 6)), 5);
+    }
+
+    #[test]
+    fn closure_problem_tiles_correctly() {
+        let p = closure_edit(b"dynamicprogramming", b"multilevelruntime");
+        let seq = p.solve_sequential();
+        let model = DagDataDrivenModel::builder(p.pattern())
+            .process_partition_size(GridDims::new(5, 4))
+            .build();
+        let dag = model.master_dag();
+        let mut m = DpMatrix::new(p.dims());
+        DagParser::drain_sequential(&dag, |v| {
+            p.compute_region(&mut m, model.tile_region(dag.vertex(v).pos));
+        });
+        assert_eq!(m, seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell() is required")]
+    fn missing_cell_fn_panics() {
+        let _ = ClosureProblem::<i32>::builder("x", (2, 2), PatternKind::Wavefront2D).build();
+    }
+}

@@ -1,0 +1,217 @@
+//! Dense DP matrix storage with strip extraction for the runtime.
+
+use crate::cell::Cell;
+use easyhps_core::{GridDims, GridPos, TileRegion};
+
+/// Read/write access to a DP grid.
+///
+/// Kernels ([`crate::DpProblem::compute_region`]) are written against this
+/// trait so they can run both on an owned [`DpMatrix`] (sequential
+/// reference, master-side assembly) and on the runtime's shared node matrix
+/// (where the DAG schedule guarantees race freedom).
+pub trait DpGrid<C: Cell> {
+    /// Grid extent.
+    fn dims(&self) -> GridDims;
+
+    /// Read the cell at `(row, col)`.
+    fn get(&self, row: u32, col: u32) -> C;
+
+    /// Write the cell at `(row, col)`.
+    fn set(&mut self, row: u32, col: u32, value: C);
+}
+
+/// A dense, row-major DP matrix.
+///
+/// Triangular problems also use a dense matrix and simply never touch the
+/// lower triangle; the memory overhead matches the paper's implementation
+/// (its §VII explicitly lists space consumption as a known limitation).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DpMatrix<C: Cell> {
+    dims: GridDims,
+    data: Vec<C>,
+}
+
+impl<C: Cell> DpMatrix<C> {
+    /// Create a matrix filled with `C::default()`.
+    pub fn new(dims: GridDims) -> Self {
+        Self { dims, data: vec![C::default(); dims.area() as usize] }
+    }
+
+    /// Matrix extent.
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    /// Read the cell at `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: u32, col: u32) -> C {
+        debug_assert!(self.dims.contains(GridPos::new(row, col)));
+        self.data[row as usize * self.dims.cols as usize + col as usize]
+    }
+
+    /// Write the cell at `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: u32, col: u32, value: C) {
+        debug_assert!(self.dims.contains(GridPos::new(row, col)));
+        self.data[row as usize * self.dims.cols as usize + col as usize] = value;
+    }
+
+    /// Read by position.
+    #[inline]
+    pub fn at(&self, p: GridPos) -> C {
+        self.get(p.row, p.col)
+    }
+
+    /// Borrow one row as a slice.
+    pub fn row(&self, row: u32) -> &[C] {
+        let w = self.dims.cols as usize;
+        &self.data[row as usize * w..(row as usize + 1) * w]
+    }
+
+    /// Raw cells in row-major order.
+    pub fn as_slice(&self) -> &[C] {
+        &self.data
+    }
+
+    /// Serialize the cells of `region` (row-major) into bytes.
+    pub fn encode_region(&self, region: TileRegion) -> Vec<u8> {
+        let mut out = Vec::with_capacity(region.area() as usize * C::WIRE_SIZE);
+        for r in region.row_start..region.row_end {
+            for c in region.col_start..region.col_end {
+                self.get(r, c).write_to(&mut out);
+            }
+        }
+        out
+    }
+
+    /// Overwrite the cells of `region` from bytes produced by
+    /// [`Self::encode_region`]. Panics if the byte length does not match the
+    /// region.
+    pub fn decode_region(&mut self, region: TileRegion, bytes: &[u8]) {
+        assert_eq!(
+            bytes.len(),
+            region.area() as usize * C::WIRE_SIZE,
+            "byte length does not match region {region:?}"
+        );
+        let mut off = 0;
+        for r in region.row_start..region.row_end {
+            for c in region.col_start..region.col_end {
+                self.set(r, c, C::read_from(&bytes[off..off + C::WIRE_SIZE]));
+                off += C::WIRE_SIZE;
+            }
+        }
+    }
+
+    /// Copy the cells of `region` from `src` (same dims required).
+    pub fn copy_region_from(&mut self, src: &DpMatrix<C>, region: TileRegion) {
+        assert_eq!(self.dims, src.dims);
+        for r in region.row_start..region.row_end {
+            for c in region.col_start..region.col_end {
+                self.set(r, c, src.get(r, c));
+            }
+        }
+    }
+
+    /// Maximum cell value over `region` by a key function, with its
+    /// position. Returns `None` on an empty region.
+    pub fn max_in_region_by_key<K: PartialOrd>(
+        &self,
+        region: TileRegion,
+        key: impl Fn(C) -> K,
+    ) -> Option<(GridPos, C)> {
+        let mut best: Option<(GridPos, C, K)> = None;
+        for p in region.iter() {
+            let v = self.at(p);
+            let k = key(v);
+            match &best {
+                Some((_, _, bk)) if *bk >= k => {}
+                _ => best = Some((p, v, k)),
+            }
+        }
+        best.map(|(p, v, _)| (p, v))
+    }
+}
+
+impl<C: Cell> DpGrid<C> for DpMatrix<C> {
+    fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    #[inline]
+    fn get(&self, row: u32, col: u32) -> C {
+        DpMatrix::get(self, row, col)
+    }
+
+    #[inline]
+    fn set(&mut self, row: u32, col: u32, value: C) {
+        DpMatrix::set(self, row, col, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = DpMatrix::<i32>::new(GridDims::new(3, 4));
+        m.set(2, 3, 42);
+        m.set(0, 0, -1);
+        assert_eq!(m.get(2, 3), 42);
+        assert_eq!(m.get(0, 0), -1);
+        assert_eq!(m.get(1, 1), 0);
+    }
+
+    #[test]
+    fn region_encode_decode_roundtrip() {
+        let mut m = DpMatrix::<i32>::new(GridDims::new(4, 4));
+        for p in m.dims().iter() {
+            m.set(p.row, p.col, (p.row * 10 + p.col) as i32);
+        }
+        let region = TileRegion::new(1, 3, 1, 4);
+        let bytes = m.encode_region(region);
+        assert_eq!(bytes.len(), 6 * 4);
+
+        let mut m2 = DpMatrix::<i32>::new(GridDims::new(4, 4));
+        m2.decode_region(region, &bytes);
+        for p in region.iter() {
+            assert_eq!(m2.at(p), m.at(p));
+        }
+        assert_eq!(m2.get(0, 0), 0, "cells outside the region untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "byte length")]
+    fn decode_wrong_length_panics() {
+        let mut m = DpMatrix::<i32>::new(GridDims::new(2, 2));
+        m.decode_region(TileRegion::new(0, 2, 0, 2), &[0u8; 3]);
+    }
+
+    #[test]
+    fn copy_region() {
+        let mut a = DpMatrix::<i64>::new(GridDims::square(3));
+        let mut b = DpMatrix::<i64>::new(GridDims::square(3));
+        for p in a.dims().iter() {
+            a.set(p.row, p.col, (p.row + p.col) as i64);
+        }
+        b.copy_region_from(&a, TileRegion::new(0, 2, 0, 2));
+        assert_eq!(b.get(1, 1), 2);
+        assert_eq!(b.get(2, 2), 0);
+    }
+
+    #[test]
+    fn max_in_region() {
+        let mut m = DpMatrix::<i32>::new(GridDims::square(3));
+        m.set(1, 2, 9);
+        m.set(2, 0, 11);
+        let (p, v) = m
+            .max_in_region_by_key(TileRegion::new(0, 3, 0, 3), |c| c)
+            .unwrap();
+        assert_eq!((p, v), (GridPos::new(2, 0), 11));
+        // Restricted region misses the global max.
+        let (p, v) = m
+            .max_in_region_by_key(TileRegion::new(0, 2, 0, 3), |c| c)
+            .unwrap();
+        assert_eq!((p, v), (GridPos::new(1, 2), 9));
+    }
+}

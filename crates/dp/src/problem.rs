@@ -1,0 +1,61 @@
+//! The problem abstraction: a DP recurrence the runtime can partition.
+
+use crate::cell::Cell;
+use crate::matrix::{DpGrid, DpMatrix};
+use easyhps_core::{DagPattern, GridDims, GridPos, TileRegion};
+use std::sync::Arc;
+
+/// A dynamic-programming problem expressed over a matrix grid.
+///
+/// Implementations provide the cell-level dependency [`pattern`] and a
+/// region kernel: given a matrix in which every cell the region reads (per
+/// the pattern's data-communication level) already holds its final value,
+/// [`compute_region`] fills in the region's cells. The kernel chooses its
+/// own in-region evaluation order, which lets triangular problems sweep
+/// bottom-up while rectangular ones sweep row-major.
+///
+/// [`pattern`]: DpProblem::pattern
+/// [`compute_region`]: DpProblem::compute_region
+pub trait DpProblem: Send + Sync + 'static {
+    /// Matrix cell type.
+    type Cell: Cell;
+
+    /// Human-readable problem name (for reports and stats).
+    fn name(&self) -> String;
+
+    /// Matrix extent (the DAG Data Driven Model's `dag_size`).
+    fn dims(&self) -> GridDims;
+
+    /// Cell-level dependency pattern.
+    fn pattern(&self) -> Arc<dyn DagPattern>;
+
+    /// Compute every present cell of `region`, reading only cells the
+    /// pattern declares as data dependencies (all of which are final) and
+    /// cells of `region` itself.
+    ///
+    /// Generic over the grid so the same kernel runs on an owned
+    /// [`DpMatrix`] and on the runtime's shared node matrix.
+    fn compute_region<G: DpGrid<Self::Cell>>(&self, m: &mut G, region: TileRegion);
+
+    /// Abstract work of computing one cell, in arbitrary units (used by the
+    /// cluster simulator's cost models). Defaults to 1 (a 2D/0D cell);
+    /// 2D/1D problems override with the scan length.
+    fn cell_work(&self, _p: GridPos) -> u64 {
+        1
+    }
+
+    /// Total work of a region (sum of [`Self::cell_work`] over present
+    /// cells). Override when a closed form exists.
+    fn region_work(&self, region: TileRegion) -> u64 {
+        let pattern = self.pattern();
+        region.iter().filter(|&p| pattern.contains(p)).map(|p| self.cell_work(p)).sum()
+    }
+
+    /// Solve the whole problem sequentially: one region covering the grid.
+    fn solve_sequential(&self) -> DpMatrix<Self::Cell> {
+        let mut m = DpMatrix::new(self.dims());
+        let dims = self.dims();
+        self.compute_region(&mut m, TileRegion::new(0, dims.rows, 0, dims.cols));
+        m
+    }
+}

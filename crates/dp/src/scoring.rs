@@ -1,0 +1,227 @@
+//! Scoring schemes: substitution scores and gap penalty functions.
+
+use std::sync::Arc;
+
+/// Substitution scoring for pairwise alignment.
+#[derive(Clone, Debug)]
+pub enum Substitution {
+    /// Fixed match / mismatch scores.
+    Simple {
+        /// Score for identical symbols (positive).
+        match_score: i32,
+        /// Score for differing symbols (typically negative).
+        mismatch: i32,
+    },
+    /// Full lookup over a small alphabet (`table[a][b]`), e.g. a BLOSUM-like
+    /// matrix.
+    Table {
+        /// Alphabet size; symbols must be `< size`.
+        size: usize,
+        /// Row-major score table of `size * size` entries.
+        table: Arc<[i32]>,
+    },
+}
+
+/// The 20 standard amino acids in BLOSUM62 row order.
+pub const AMINO_ACIDS: &[u8; 20] = b"ARNDCQEGHILKMFPSTWYV";
+
+/// BLOSUM62 substitution scores, row-major over [`AMINO_ACIDS`] order.
+#[rustfmt::skip]
+const BLOSUM62: [i8; 400] = [
+//   A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V
+     4, -1, -2, -2,  0, -1, -1,  0, -2, -1, -1, -1, -1, -2, -1,  1,  0, -3, -2,  0, // A
+    -1,  5,  0, -2, -3,  1,  0, -2,  0, -3, -2,  2, -1, -3, -2, -1, -1, -3, -2, -3, // R
+    -2,  0,  6,  1, -3,  0,  0,  0,  1, -3, -3,  0, -2, -3, -2,  1,  0, -4, -2, -3, // N
+    -2, -2,  1,  6, -3,  0,  2, -1, -1, -3, -4, -1, -3, -3, -1,  0, -1, -4, -3, -3, // D
+     0, -3, -3, -3,  9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1, // C
+    -1,  1,  0,  0, -3,  5,  2, -2,  0, -3, -2,  1,  0, -3, -1,  0, -1, -2, -1, -2, // Q
+    -1,  0,  0,  2, -4,  2,  5, -2,  0, -3, -3,  1, -2, -3, -1,  0, -1, -3, -2, -2, // E
+     0, -2,  0, -1, -3, -2, -2,  6, -2, -4, -4, -2, -3, -3, -2,  0, -2, -2, -3, -3, // G
+    -2,  0,  1, -1, -3,  0,  0, -2,  8, -3, -3, -1, -2, -1, -2, -1, -2, -2,  2, -3, // H
+    -1, -3, -3, -3, -1, -3, -3, -4, -3,  4,  2, -3,  1,  0, -3, -2, -1, -3, -1,  3, // I
+    -1, -2, -3, -4, -1, -2, -3, -4, -3,  2,  4, -2,  2,  0, -3, -2, -1, -2, -1,  1, // L
+    -1,  2,  0, -1, -3,  1,  1, -2, -1, -3, -2,  5, -1, -3, -1,  0, -1, -3, -2, -2, // K
+    -1, -1, -2, -3, -1,  0, -2, -3, -2,  1,  2, -1,  5,  0, -2, -1, -1, -1, -1,  1, // M
+    -2, -3, -3, -3, -2, -3, -3, -3, -1,  0,  0, -3,  0,  6, -4, -2, -2,  1,  3, -1, // F
+    -1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4,  7, -1, -1, -4, -3, -2, // P
+     1, -1,  1,  0, -1,  0,  0,  0, -1, -2, -2,  0, -1, -2, -1,  4,  1, -3, -2, -2, // S
+     0, -1,  0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1,  1,  5, -2, -2,  0, // T
+    -3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1,  1, -4, -3, -2, 11,  2, -3, // W
+    -2, -2, -2, -3, -2, -1, -2, -3,  2, -1, -1, -2, -1,  3, -3, -2, -2,  2,  7, -2, // Y
+     0, -3, -3, -3, -1, -2, -2, -3, -3,  3,  1, -2,  1, -1, -2, -2,  0, -3, -2,  4, // V
+];
+
+impl Substitution {
+    /// The common DNA default: +2 match, -1 mismatch.
+    pub fn dna_default() -> Self {
+        Substitution::Simple { match_score: 2, mismatch: -1 }
+    }
+
+    /// BLOSUM62 over ASCII amino-acid letters (uppercase). Unknown symbols
+    /// panic; use [`AMINO_ACIDS`] for the alphabet.
+    pub fn blosum62() -> Self {
+        // Expand the 20x20 table to a 256x256 ASCII lookup so callers can
+        // score raw protein bytes directly.
+        let mut table = vec![0i32; 256 * 256];
+        for (i, &a) in AMINO_ACIDS.iter().enumerate() {
+            for (j, &b) in AMINO_ACIDS.iter().enumerate() {
+                table[a as usize * 256 + b as usize] = BLOSUM62[i * 20 + j] as i32;
+            }
+        }
+        Substitution::Table { size: 256, table: table.into() }
+    }
+
+    /// Score of aligning symbols `a` and `b`.
+    #[inline]
+    pub fn score(&self, a: u8, b: u8) -> i32 {
+        match self {
+            Substitution::Simple { match_score, mismatch } => {
+                if a == b {
+                    *match_score
+                } else {
+                    *mismatch
+                }
+            }
+            Substitution::Table { size, table } => {
+                let (a, b) = (a as usize, b as usize);
+                assert!(a < *size && b < *size, "symbol outside alphabet");
+                table[a * size + b]
+            }
+        }
+    }
+}
+
+/// Gap penalty `w(k)` as a function of gap length `k >= 1`. The *general*
+/// form is what makes Smith-Waterman a 2D/1D recurrence: every cell must
+/// scan its whole row and column prefix (the paper's SWGG workload).
+#[derive(Clone)]
+pub enum GapPenalty {
+    /// `w(k) = a * k`.
+    Linear {
+        /// Per-symbol gap cost (positive).
+        per_gap: i32,
+    },
+    /// `w(k) = open + extend * (k - 1)`; affine gaps admit the O(1) Gotoh
+    /// recurrence, turning the problem back into 2D/0D.
+    Affine {
+        /// Cost of opening a gap (positive).
+        open: i32,
+        /// Cost of each additional gapped symbol (positive).
+        extend: i32,
+    },
+    /// `w(k) = a + b * floor(log2 k)`: a genuinely non-affine concave
+    /// penalty, the classic example requiring the general-gap scan.
+    Logarithmic {
+        /// Constant opening cost.
+        a: i32,
+        /// Weight of the logarithmic term.
+        b: i32,
+    },
+    /// Arbitrary user penalty.
+    Custom(Arc<dyn Fn(u32) -> i32 + Send + Sync>),
+}
+
+impl std::fmt::Debug for GapPenalty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GapPenalty::Linear { per_gap } => write!(f, "Linear({per_gap})"),
+            GapPenalty::Affine { open, extend } => write!(f, "Affine({open},{extend})"),
+            GapPenalty::Logarithmic { a, b } => write!(f, "Logarithmic({a},{b})"),
+            GapPenalty::Custom(_) => write!(f, "Custom"),
+        }
+    }
+}
+
+impl GapPenalty {
+    /// Penalty of a gap of length `k` (`k >= 1`).
+    #[inline]
+    pub fn cost(&self, k: u32) -> i32 {
+        debug_assert!(k >= 1, "gap length must be at least 1");
+        match self {
+            GapPenalty::Linear { per_gap } => per_gap.saturating_mul(k as i32),
+            GapPenalty::Affine { open, extend } => {
+                open.saturating_add(extend.saturating_mul(k as i32 - 1))
+            }
+            GapPenalty::Logarithmic { a, b } => {
+                a.saturating_add(b.saturating_mul(31 - (k.leading_zeros() as i32)))
+            }
+            GapPenalty::Custom(f) => f(k),
+        }
+    }
+
+    /// Whether the penalty is affine (admits the Gotoh O(1) recurrence).
+    pub fn is_affine(&self) -> bool {
+        matches!(self, GapPenalty::Linear { .. } | GapPenalty::Affine { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_substitution() {
+        let s = Substitution::dna_default();
+        assert_eq!(s.score(b'A', b'A'), 2);
+        assert_eq!(s.score(b'A', b'C'), -1);
+    }
+
+    #[test]
+    fn table_substitution() {
+        let s = Substitution::Table { size: 2, table: Arc::from([5, -3, -3, 5].as_slice()) };
+        assert_eq!(s.score(0, 0), 5);
+        assert_eq!(s.score(0, 1), -3);
+    }
+
+    #[test]
+    #[should_panic(expected = "alphabet")]
+    fn table_out_of_alphabet_panics() {
+        let s = Substitution::Table { size: 2, table: Arc::from([0, 0, 0, 0].as_slice()) };
+        s.score(2, 0);
+    }
+
+    #[test]
+    fn gap_costs() {
+        assert_eq!(GapPenalty::Linear { per_gap: 3 }.cost(4), 12);
+        assert_eq!(GapPenalty::Affine { open: 5, extend: 1 }.cost(1), 5);
+        assert_eq!(GapPenalty::Affine { open: 5, extend: 1 }.cost(4), 8);
+        let log = GapPenalty::Logarithmic { a: 4, b: 2 };
+        assert_eq!(log.cost(1), 4); // floor(log2 1) = 0
+        assert_eq!(log.cost(2), 6);
+        assert_eq!(log.cost(7), 8); // floor(log2 7) = 2
+        assert_eq!(log.cost(8), 10);
+        let custom = GapPenalty::Custom(Arc::new(|k| (k * k) as i32));
+        assert_eq!(custom.cost(3), 9);
+    }
+
+    #[test]
+    fn blosum62_properties() {
+        let s = Substitution::blosum62();
+        // Symmetric.
+        for &a in AMINO_ACIDS {
+            for &b in AMINO_ACIDS {
+                assert_eq!(s.score(a, b), s.score(b, a), "{}/{}", a as char, b as char);
+            }
+        }
+        // Known entries.
+        assert_eq!(s.score(b'W', b'W'), 11);
+        assert_eq!(s.score(b'A', b'A'), 4);
+        assert_eq!(s.score(b'W', b'D'), -4);
+        assert_eq!(s.score(b'I', b'V'), 3);
+        // Diagonal dominates every row.
+        for &a in AMINO_ACIDS {
+            for &b in AMINO_ACIDS {
+                if a != b {
+                    assert!(s.score(a, a) > s.score(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn affinity_classification() {
+        assert!(GapPenalty::Linear { per_gap: 1 }.is_affine());
+        assert!(GapPenalty::Affine { open: 2, extend: 1 }.is_affine());
+        assert!(!GapPenalty::Logarithmic { a: 1, b: 1 }.is_affine());
+    }
+}

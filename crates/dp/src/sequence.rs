@@ -1,0 +1,121 @@
+//! Biological sequences: alphabets, random generation, base pairing.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Alphabets for random sequence generation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Alphabet {
+    /// `ACGT`.
+    Dna,
+    /// `ACGU`.
+    Rna,
+    /// The 20 standard amino acids.
+    Protein,
+}
+
+impl Alphabet {
+    /// The symbols of the alphabet.
+    pub fn symbols(self) -> &'static [u8] {
+        match self {
+            Alphabet::Dna => b"ACGT",
+            Alphabet::Rna => b"ACGU",
+            Alphabet::Protein => b"ACDEFGHIKLMNPQRSTVWY",
+        }
+    }
+}
+
+/// Generate a random sequence of `len` symbols with a fixed seed
+/// (deterministic across runs and platforms).
+pub fn random_sequence(alphabet: Alphabet, len: usize, seed: u64) -> Vec<u8> {
+    let symbols = alphabet.symbols();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| symbols[rng.random_range(0..symbols.len())]).collect()
+}
+
+/// Whether two RNA bases can pair (Watson-Crick `AU`/`GC` plus the wobble
+/// pair `GU`), as used by the Nussinov algorithm.
+#[inline]
+pub fn rna_pairs(a: u8, b: u8) -> bool {
+    matches!(
+        (a, b),
+        (b'A', b'U') | (b'U', b'A') | (b'G', b'C') | (b'C', b'G') | (b'G', b'U') | (b'U', b'G')
+    )
+}
+
+/// Parse FASTA-formatted text into (name, sequence) records. Lines starting
+/// with `>` begin a record; whitespace inside sequences is ignored.
+pub fn parse_fasta(text: &str) -> Vec<(String, Vec<u8>)> {
+    let mut records: Vec<(String, Vec<u8>)> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('>') {
+            records.push((name.trim().to_string(), Vec::new()));
+        } else if let Some((_, seq)) = records.last_mut() {
+            seq.extend(line.bytes().filter(|b| !b.is_ascii_whitespace()));
+        }
+        // Sequence data before any header is ignored, like most tools do.
+    }
+    records
+}
+
+/// Render records as FASTA with 60-column wrapping.
+pub fn to_fasta(records: &[(String, Vec<u8>)]) -> String {
+    let mut out = String::new();
+    for (name, seq) in records {
+        out.push('>');
+        out.push_str(name);
+        out.push('\n');
+        for chunk in seq.chunks(60) {
+            out.push_str(std::str::from_utf8(chunk).expect("ASCII sequence"));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_sequences_are_deterministic() {
+        let a = random_sequence(Alphabet::Dna, 100, 7);
+        let b = random_sequence(Alphabet::Dna, 100, 7);
+        let c = random_sequence(Alphabet::Dna, 100, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|s| b"ACGT".contains(s)));
+    }
+
+    #[test]
+    fn rna_pairing_rules() {
+        assert!(rna_pairs(b'A', b'U'));
+        assert!(rna_pairs(b'G', b'C'));
+        assert!(rna_pairs(b'G', b'U'));
+        assert!(!rna_pairs(b'A', b'G'));
+        assert!(!rna_pairs(b'A', b'A'));
+    }
+
+    #[test]
+    fn fasta_roundtrip() {
+        let records = vec![
+            ("seq1 description".to_string(), b"ACGTACGT".to_vec()),
+            ("seq2".to_string(), random_sequence(Alphabet::Rna, 130, 3)),
+        ];
+        let text = to_fasta(&records);
+        let parsed = parse_fasta(&text);
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn fasta_ignores_leading_garbage_and_blank_lines() {
+        let parsed = parse_fasta("GARBAGE\n\n>a\nAC\nGT\n\n>b\n");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], ("a".to_string(), b"ACGT".to_vec()));
+        assert_eq!(parsed[1].1, b"");
+    }
+}

@@ -1,0 +1,367 @@
+//! Property-based tests: tiled execution equals sequential execution for
+//! every algorithm under arbitrary partitions, plus algorithm-specific
+//! invariants.
+
+use easyhps_core::{DagDataDrivenModel, DagParser, GridDims};
+use easyhps_dp::sequence::{random_sequence, rna_pairs, Alphabet};
+use easyhps_dp::{
+    Cell, DpMatrix, DpProblem, EditDistance, GapPenalty, Lcs, MatrixChain, Nussinov, OptimalBst,
+    Quadrant2D2D, SmithWatermanAffine, SmithWatermanGeneralGap, Substitution,
+};
+use proptest::prelude::*;
+
+/// Run `problem` tile-by-tile in DAG order with the given partition and
+/// compare present cells against the sequential solution.
+fn assert_tiled_matches<P: DpProblem>(problem: &P, partition: GridDims) {
+    let seq = problem.solve_sequential();
+    let model = DagDataDrivenModel::builder(problem.pattern())
+        .process_partition_size(partition)
+        .build();
+    let dag = model.master_dag();
+    let mut m = DpMatrix::<P::Cell>::new(problem.dims());
+    DagParser::drain_sequential(&dag, |v| {
+        problem.compute_region(&mut m, model.tile_region(dag.vertex(v).pos));
+    });
+    let pattern = problem.pattern();
+    for p in problem.dims().iter() {
+        if pattern.contains(p) {
+            assert_eq!(m.at(p), seq.at(p), "{} cell {}", problem.name(), p);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn edit_distance_tiled_matches(
+        la in 1usize..30, lb in 1usize..30, seed in 0u64..1000,
+        pr in 1u32..9, pc in 1u32..9,
+    ) {
+        let a = random_sequence(Alphabet::Dna, la, seed);
+        let b = random_sequence(Alphabet::Dna, lb, seed + 1);
+        assert_tiled_matches(&EditDistance::new(a, b), GridDims::new(pr, pc));
+    }
+
+    #[test]
+    fn lcs_tiled_matches(
+        la in 1usize..30, lb in 1usize..30, seed in 0u64..1000,
+        pr in 1u32..9, pc in 1u32..9,
+    ) {
+        let a = random_sequence(Alphabet::Dna, la, seed);
+        let b = random_sequence(Alphabet::Dna, lb, seed + 1);
+        assert_tiled_matches(&Lcs::new(a, b), GridDims::new(pr, pc));
+    }
+
+    #[test]
+    fn swgg_tiled_matches(
+        la in 1usize..22, lb in 1usize..22, seed in 0u64..1000,
+        pr in 1u32..7, pc in 1u32..7,
+    ) {
+        let a = random_sequence(Alphabet::Dna, la, seed);
+        let b = random_sequence(Alphabet::Dna, lb, seed + 1);
+        assert_tiled_matches(&SmithWatermanGeneralGap::dna(a, b), GridDims::new(pr, pc));
+    }
+
+    #[test]
+    fn sw_affine_tiled_matches(
+        la in 1usize..25, lb in 1usize..25, seed in 0u64..1000,
+        pr in 1u32..8, pc in 1u32..8,
+    ) {
+        let a = random_sequence(Alphabet::Dna, la, seed);
+        let b = random_sequence(Alphabet::Dna, lb, seed + 1);
+        assert_tiled_matches(&SmithWatermanAffine::dna(a, b), GridDims::new(pr, pc));
+    }
+
+    #[test]
+    fn nussinov_tiled_matches(
+        len in 2usize..30, seed in 0u64..1000, p in 1u32..8,
+    ) {
+        let seq = random_sequence(Alphabet::Rna, len, seed);
+        // Square partitions keep the triangle shape analytic.
+        assert_tiled_matches(&Nussinov::new(seq), GridDims::square(p));
+    }
+
+    #[test]
+    fn matrix_chain_tiled_matches(
+        n in 2usize..16, seed in 0u64..1000, p in 1u32..6,
+    ) {
+        let dims: Vec<u64> = (0..=n).map(|i| 1 + ((seed + i as u64) * 31 % 17)).collect();
+        assert_tiled_matches(&MatrixChain::new(dims), GridDims::square(p));
+    }
+
+    #[test]
+    fn obst_tiled_matches(
+        n in 1usize..14, seed in 0u64..1000, p in 1u32..6,
+    ) {
+        let freq: Vec<u64> = (0..n).map(|i| 1 + ((seed + i as u64) * 13 % 23)).collect();
+        assert_tiled_matches(&OptimalBst::new(freq), GridDims::square(p));
+    }
+
+    #[test]
+    fn quadrant_tiled_matches(
+        n in 1u32..12, seed in 0u64..1000, pr in 1u32..5, pc in 1u32..5,
+    ) {
+        assert_tiled_matches(&Quadrant2D2D::new(n, seed), GridDims::new(pr, pc));
+    }
+
+    /// Edit distance is a metric: symmetric and obeying the triangle
+    /// inequality on random strings.
+    #[test]
+    fn edit_distance_is_a_metric(seed in 0u64..500) {
+        let a = random_sequence(Alphabet::Dna, 12, seed);
+        let b = random_sequence(Alphabet::Dna, 14, seed + 1);
+        let c = random_sequence(Alphabet::Dna, 10, seed + 2);
+        let d = |x: &[u8], y: &[u8]| {
+            let p = EditDistance::new(x.to_vec(), y.to_vec());
+            let m = p.solve_sequential();
+            p.distance(&m)
+        };
+        let (ab, ba, ac, cb) = (d(&a, &b), d(&b, &a), d(&a, &c), d(&c, &b));
+        prop_assert_eq!(ab, ba);
+        prop_assert!(ab <= ac + cb, "triangle inequality violated");
+        prop_assert_eq!(d(&a, &a), 0);
+    }
+
+    /// LCS and edit distance are linked for unit costs:
+    /// `d(a,b) <= |a| + |b| - 2*lcs(a,b)` (equality when substitutions are
+    /// not cheaper than indel pairs, which is not the case here, so only
+    /// the inequality holds).
+    #[test]
+    fn lcs_bounds_edit_distance(seed in 0u64..500) {
+        let a = random_sequence(Alphabet::Dna, 15, seed);
+        let b = random_sequence(Alphabet::Dna, 13, seed + 7);
+        let lp = Lcs::new(a.clone(), b.clone());
+        let lcs = lp.length(&lp.solve_sequential()) as usize;
+        let ep = EditDistance::new(a.clone(), b.clone());
+        let ed = ep.distance(&ep.solve_sequential()) as usize;
+        prop_assert!(ed <= a.len() + b.len() - 2 * lcs);
+        prop_assert!(ed >= a.len().abs_diff(b.len()));
+    }
+
+    /// SWGG with an affine penalty equals Gotoh for any random pair.
+    #[test]
+    fn swgg_equals_gotoh_on_affine(seed in 0u64..300) {
+        let a = random_sequence(Alphabet::Dna, 18, seed);
+        let b = random_sequence(Alphabet::Dna, 20, seed + 3);
+        let general = SmithWatermanGeneralGap::new(
+            a.clone(), b.clone(),
+            Substitution::dna_default(),
+            GapPenalty::Affine { open: 4, extend: 1 },
+        );
+        let affine = SmithWatermanAffine::dna(a, b);
+        prop_assert_eq!(
+            general.best_score(&general.solve_sequential()),
+            affine.best_score(&affine.solve_sequential())
+        );
+    }
+
+    /// Nussinov traceback always yields valid, nested pairs whose count is
+    /// the matrix optimum.
+    #[test]
+    fn nussinov_traceback_is_consistent(len in 2usize..40, seed in 0u64..500) {
+        let seq = random_sequence(Alphabet::Rna, len, seed);
+        let p = Nussinov::new(seq.clone());
+        let m = p.solve_sequential();
+        let pairs = p.traceback(&m);
+        prop_assert_eq!(pairs.len() as i32, p.max_pairs(&m));
+        prop_assert!(pairs.len() <= len / 2);
+        for &(i, j) in &pairs {
+            prop_assert!(rna_pairs(seq[i as usize], seq[j as usize]));
+            prop_assert!(j > i + 1);
+        }
+        // Nested (non-crossing).
+        for &(i1, j1) in &pairs {
+            for &(i2, j2) in &pairs {
+                if i1 < i2 {
+                    prop_assert!(i2 > j1 || j2 < j1);
+                }
+            }
+        }
+    }
+
+    /// Region strip encode/decode round-trips for every cell type used by
+    /// the algorithms.
+    #[test]
+    fn strip_roundtrip_generic(rows in 1u32..8, cols in 1u32..8, seed in 0u64..100) {
+        fn check<C: Cell>(dims: GridDims, fill: impl Fn(u32, u32) -> C) {
+            let mut m = DpMatrix::<C>::new(dims);
+            for p in dims.iter() {
+                m.set(p.row, p.col, fill(p.row, p.col));
+            }
+            let region = easyhps_core::TileRegion::new(0, dims.rows, 0, dims.cols);
+            let bytes = m.encode_region(region);
+            let mut m2 = DpMatrix::<C>::new(dims);
+            m2.decode_region(region, &bytes);
+            assert_eq!(m.as_slice(), m2.as_slice());
+        }
+        let dims = GridDims::new(rows, cols);
+        check::<i32>(dims, |r, c| (r * 1000 + c) as i32 - seed as i32);
+        check::<i64>(dims, |r, c| (r as i64) << 32 | c as i64);
+        check::<u64>(dims, |r, c| (r as u64 * seed).wrapping_add(c as u64));
+        check::<easyhps_dp::Gotoh>(dims, |r, c| easyhps_dp::Gotoh {
+            h: r as i32,
+            e: -(c as i32),
+            f: (r * c) as i32,
+        });
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Hirschberg's linear-space score equals the full-matrix
+    /// Needleman-Wunsch score for any input pair.
+    #[test]
+    fn hirschberg_equals_needleman(la in 0usize..35, lb in 0usize..35, seed in 0u64..1000) {
+        use easyhps_dp::{Hirschberg, NeedlemanWunsch};
+        let a = random_sequence(Alphabet::Dna, la, seed);
+        let b = random_sequence(Alphabet::Dna, lb, seed + 9);
+        let h = Hirschberg::dna();
+        let nw = NeedlemanWunsch::dna(a.clone(), b.clone());
+        prop_assert_eq!(h.score(&a, &b), nw.score(&nw.solve_sequential()) as i64);
+        // And the reconstructed alignment replays to that score.
+        let aln = h.align(&a, &b);
+        prop_assert_eq!(aln.score as i64, h.score(&a, &b));
+    }
+
+    /// A sufficiently wide band always reproduces the exact edit distance.
+    #[test]
+    fn wide_band_is_exact(la in 1usize..30, lb in 1usize..30, seed in 0u64..1000) {
+        use easyhps_dp::BandedEditDistance;
+        let a = random_sequence(Alphabet::Dna, la, seed);
+        let b = random_sequence(Alphabet::Dna, lb, seed + 3);
+        let full = {
+            let p = EditDistance::new(a.clone(), b.clone());
+            p.distance(&p.solve_sequential())
+        };
+        let p = BandedEditDistance::new(a, b, (la + lb) as u32);
+        let m = p.solve_sequential();
+        prop_assert!(p.is_exact(&m));
+        prop_assert_eq!(p.distance(&m), full);
+    }
+
+    /// Any band yields an upper bound on the true distance, and exactness
+    /// is correctly self-reported.
+    #[test]
+    fn banded_is_sound_upper_bound(
+        la in 1usize..25, lb in 1usize..25, seed in 0u64..1000, band in 0u32..8,
+    ) {
+        use easyhps_dp::BandedEditDistance;
+        let a = random_sequence(Alphabet::Dna, la, seed);
+        let b = random_sequence(Alphabet::Dna, lb, seed + 5);
+        let full = {
+            let p = EditDistance::new(a.clone(), b.clone());
+            p.distance(&p.solve_sequential())
+        };
+        let p = BandedEditDistance::new(a, b, band);
+        let m = p.solve_sequential();
+        prop_assert!(p.distance(&m) >= full, "band cannot undercut the true distance");
+        if p.is_exact(&m) {
+            prop_assert_eq!(p.distance(&m), full);
+        }
+    }
+
+    /// Knapsack DP equals brute force for any small instance.
+    #[test]
+    fn knapsack_equals_brute_force(
+        weights in proptest::collection::vec(1u32..8, 1..10),
+        seed in 0u64..1000,
+        cap in 0u32..30,
+    ) {
+        use easyhps_dp::Knapsack;
+        let items: Vec<(u32, u64)> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (w, (seed + i as u64) * 7 % 19 + 1))
+            .collect();
+        let p = Knapsack::new(&items, cap);
+        let dp = p.best_value(&p.solve_sequential());
+        let mut best = 0u64;
+        for mask in 0u32..(1 << items.len()) {
+            let (mut w, mut v) = (0u32, 0u64);
+            for (i, &(wt, val)) in items.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    w += wt;
+                    v += val;
+                }
+            }
+            if w <= cap {
+                best = best.max(v);
+            }
+        }
+        prop_assert_eq!(dp, best);
+    }
+
+    /// Viterbi on the tiled path equals the sequential trellis for random
+    /// HMMs and observation sequences (full-row partitions).
+    #[test]
+    fn viterbi_tiled_matches(states in 2usize..8, t in 1usize..25, seed in 0u64..300, pp in 1u32..9) {
+        use easyhps_dp::{Hmm, Viterbi};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let hmm = Hmm::random(states, 4, seed);
+        let mut rng = StdRng::seed_from_u64(seed + 31);
+        let obs: Vec<u32> = (0..t).map(|_| rng.random_range(0..4)).collect();
+        let v = Viterbi::new(hmm, obs);
+        let seq = v.solve_sequential();
+        let model = DagDataDrivenModel::builder(v.pattern())
+            .process_partition_size(GridDims::new(pp, states as u32))
+            .build();
+        let dag = model.master_dag();
+        let mut m = DpMatrix::new(v.dims());
+        DagParser::drain_sequential(&dag, |x| {
+            v.compute_region(&mut m, model.tile_region(dag.vertex(x).pos));
+        });
+        prop_assert_eq!(m, seq);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The longest palindromic subsequence is bounded by the LCS of the
+    /// string with its reverse — in fact equal for unit alphabets, and the
+    /// traceback is always a palindrome and a subsequence.
+    #[test]
+    fn palindrome_equals_lcs_with_reverse(len in 1usize..30, seed in 0u64..1000) {
+        use easyhps_dp::LongestPalindrome;
+        let s = random_sequence(Alphabet::Dna, len, seed);
+        let p = LongestPalindrome::new(s.clone());
+        let m = p.solve_sequential();
+        let lps = p.length(&m);
+        let rev: Vec<u8> = s.iter().rev().copied().collect();
+        let lcs = {
+            let l = Lcs::new(s.clone(), rev);
+            l.length(&l.solve_sequential())
+        };
+        prop_assert_eq!(lps, lcs, "LPS(s) == LCS(s, reverse(s))");
+        let pal = p.traceback(&m);
+        prop_assert_eq!(pal.len() as i32, lps);
+        let r: Vec<u8> = pal.iter().rev().copied().collect();
+        prop_assert_eq!(&pal, &r, "traceback must be a palindrome");
+    }
+
+    /// Semi-global mapping of an exact substring always finds it with a
+    /// perfect score, wherever it sits in the reference.
+    #[test]
+    fn semi_global_finds_planted_substring(
+        ref_len in 20usize..60,
+        start_frac in 0.0f64..1.0,
+        q_len in 5usize..15,
+        seed in 0u64..1000,
+    ) {
+        use easyhps_dp::SemiGlobal;
+        let reference = random_sequence(Alphabet::Dna, ref_len, seed);
+        let q_len = q_len.min(ref_len);
+        let start = ((ref_len - q_len) as f64 * start_frac) as usize;
+        let query = reference[start..start + q_len].to_vec();
+        let p = SemiGlobal::dna(query.clone(), reference);
+        let m = p.solve_sequential();
+        let (score, _) = p.best(&m);
+        prop_assert_eq!(score, 2 * q_len as i32, "an exact substring maps perfectly");
+        let aln = p.traceback(&m);
+        prop_assert_eq!(aln.score, score);
+        prop_assert_eq!(aln.identity(), 1.0);
+    }
+}

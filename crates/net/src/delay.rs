@@ -1,0 +1,76 @@
+//! Communication cost models.
+//!
+//! The transport itself delivers instantly (it is in-process); these models
+//! quantify what the same traffic would cost on a real interconnect. The
+//! discrete-event simulator consumes them to time message deliveries, and
+//! the runtime's stats reports use them to estimate communication overhead.
+
+/// Latency/bandwidth model of one link: transferring `b` bytes costs
+/// `latency + b / bandwidth`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DelayModel {
+    /// Per-message latency in nanoseconds.
+    pub latency_ns: u64,
+    /// Bandwidth in bytes per microsecond (1 byte/us = ~0.95 MB/s).
+    pub bytes_per_us: u64,
+}
+
+impl DelayModel {
+    /// Infiniband-QDR-like defaults (the Tianhe-1A interconnect): ~1.5 us
+    /// latency, ~3.2 GB/s effective bandwidth.
+    pub fn infiniband_qdr() -> Self {
+        Self { latency_ns: 1_500, bytes_per_us: 3_200 }
+    }
+
+    /// Gigabit-Ethernet-like: ~50 us latency, ~110 MB/s.
+    pub fn gigabit_ethernet() -> Self {
+        Self { latency_ns: 50_000, bytes_per_us: 110 }
+    }
+
+    /// Zero-cost model (shared memory / disabled).
+    pub fn free() -> Self {
+        Self { latency_ns: 0, bytes_per_us: u64::MAX }
+    }
+
+    /// Cost in nanoseconds of moving `bytes` over this link.
+    pub fn transfer_ns(&self, bytes: u64) -> u64 {
+        let bw = if self.bytes_per_us == 0 { 1 } else { self.bytes_per_us };
+        self.latency_ns + bytes.saturating_mul(1_000) / bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_cost_scales_with_bytes() {
+        let m = DelayModel { latency_ns: 1_000, bytes_per_us: 1_000 };
+        assert_eq!(m.transfer_ns(0), 1_000);
+        // 1000 bytes at 1000 B/us = 1 us = 1000 ns on top of latency.
+        assert_eq!(m.transfer_ns(1_000), 2_000);
+        assert_eq!(m.transfer_ns(10_000), 11_000);
+    }
+
+    #[test]
+    fn free_model_costs_nothing_measurable() {
+        let m = DelayModel::free();
+        assert_eq!(m.transfer_ns(0), 0);
+        assert_eq!(m.transfer_ns(1 << 30), 0);
+    }
+
+    #[test]
+    fn qdr_beats_ethernet() {
+        let bytes = 1 << 20;
+        assert!(
+            DelayModel::infiniband_qdr().transfer_ns(bytes)
+                < DelayModel::gigabit_ethernet().transfer_ns(bytes)
+        );
+    }
+
+    #[test]
+    fn zero_bandwidth_does_not_divide_by_zero() {
+        let m = DelayModel { latency_ns: 5, bytes_per_us: 0 };
+        assert!(m.transfer_ns(100) >= 5);
+    }
+}

@@ -1,0 +1,115 @@
+//! Deterministic fault injection for the transport layer.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Faults to inject at one endpoint. All randomness is seeded, so fault
+/// schedules reproduce exactly.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Probability in `[0, 1]` that an outgoing message is silently
+    /// dropped.
+    pub drop_prob: f64,
+    /// RNG seed for drop decisions.
+    pub seed: u64,
+    /// After this many send *attempts*, the endpoint dies (simulated node
+    /// crash): every later operation returns
+    /// [`crate::NetError::Dead`].
+    pub die_after_sends: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that kills the endpoint after `n` send attempts and drops
+    /// nothing before that.
+    pub fn die_after(n: u64) -> Self {
+        Self { drop_prob: 0.0, seed: 0, die_after_sends: Some(n) }
+    }
+
+    /// A plan that drops each message with probability `p`.
+    pub fn lossy(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        Self { drop_prob: p, seed, die_after_sends: None }
+    }
+}
+
+/// Mutable fault state carried by an endpoint.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    plan: Option<FaultPlan>,
+    rng: StdRng,
+    sends: u64,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: Option<FaultPlan>) -> Self {
+        let seed = plan.as_ref().map(|p| p.seed).unwrap_or(0);
+        Self { plan, rng: StdRng::seed_from_u64(seed), sends: 0 }
+    }
+
+    pub(crate) fn note_send(&mut self) {
+        self.sends += 1;
+    }
+
+    pub(crate) fn should_die_now(&self) -> bool {
+        match &self.plan {
+            Some(FaultPlan { die_after_sends: Some(n), .. }) => self.sends >= *n,
+            _ => false,
+        }
+    }
+
+    pub(crate) fn should_drop(&mut self) -> bool {
+        match &self.plan {
+            Some(p) if p.drop_prob > 0.0 => self.rng.random_bool(p.drop_prob),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Network, NetError, Rank, Tag};
+    use bytes::Bytes;
+
+    #[test]
+    fn die_after_sends_kills_endpoint() {
+        let plans = vec![Some(FaultPlan::die_after(2)), None];
+        let mut eps = Network::with_faults(2, &plans);
+        let _e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        e0.send(Rank(1), Tag(0), Bytes::new()).unwrap();
+        e0.send(Rank(1), Tag(0), Bytes::new()).unwrap();
+        assert_eq!(e0.send(Rank(1), Tag(0), Bytes::new()).unwrap_err(), NetError::Dead);
+        assert_eq!(e0.recv().unwrap_err(), NetError::Dead);
+    }
+
+    #[test]
+    fn lossy_drops_are_deterministic_and_counted() {
+        let run = || {
+            let plans = vec![Some(FaultPlan::lossy(0.5, 42)), None];
+            let mut eps = Network::with_faults(2, &plans);
+            let mut e1 = eps.pop().unwrap();
+            let mut e0 = eps.pop().unwrap();
+            for _ in 0..100 {
+                e0.send(Rank(1), Tag(0), Bytes::new()).unwrap();
+            }
+            let mut received = 0;
+            while e1.try_recv().unwrap().is_some() {
+                received += 1;
+            }
+            (received, e0.stats().dropped_msgs, e0.stats().sent_msgs)
+        };
+        let (r1, d1, s1) = run();
+        let (r2, d2, s2) = run();
+        assert_eq!((r1, d1, s1), (r2, d2, s2), "fault schedule must be deterministic");
+        assert_eq!(r1 as u64 + d1, 100);
+        assert_eq!(s1, r1 as u64);
+        assert!(d1 > 20 && d1 < 80, "drop rate wildly off: {d1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn lossy_rejects_bad_probability() {
+        FaultPlan::lossy(1.5, 0);
+    }
+}

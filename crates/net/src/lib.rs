@@ -1,0 +1,39 @@
+//! # easyhps-net — in-process virtual-MPI transport
+//!
+//! The EasyHPS paper deploys its master/slave runtime over MPICH on a
+//! cluster. This crate provides the equivalent substrate for a single
+//! machine: a fully-connected set of *ranks* exchanging tagged, ordered
+//! messages over channels, plus deterministic fault injection (message
+//! drops, rank death) and latency/bandwidth cost models the simulator uses
+//! to price the same traffic on a real interconnect.
+//!
+//! ```
+//! use easyhps_net::{Network, Rank, Tag, WireWriter, WireReader};
+//!
+//! let mut eps = Network::new(2);
+//! let mut worker = eps.pop().unwrap();
+//! let mut master = eps.pop().unwrap();
+//!
+//! let mut w = WireWriter::new();
+//! w.put_u32(7).put_bytes(b"task data");
+//! master.send(Rank(1), Tag(1), w.finish()).unwrap();
+//!
+//! let env = worker.recv().unwrap();
+//! let mut r = WireReader::new(&env.payload);
+//! assert_eq!(r.get_u32().unwrap(), 7);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod delay;
+mod fault;
+mod message;
+mod transport;
+mod wire;
+
+pub use delay::DelayModel;
+pub use fault::FaultPlan;
+pub use message::{Envelope, Rank, Tag};
+pub use transport::{Endpoint, KillHandle, NetError, NetStats, Network};
+pub use wire::{WireError, WireReader, WireWriter};

@@ -1,0 +1,376 @@
+//! In-process message transport: the virtual-MPI layer.
+//!
+//! [`Network::new`] creates `n` fully-connected endpoints. Each endpoint
+//! belongs to one OS thread (the "process" of that rank) and provides
+//! ordered, reliable point-to-point messaging over crossbeam channels —
+//! the same semantics the paper gets from MPICH, minus the wire. Fault
+//! injection (message drops, rank death) hooks in at this layer so the
+//! runtime's fault tolerance can be exercised deterministically.
+
+use crate::fault::{FaultPlan, FaultState};
+use crate::message::{Envelope, Rank, Tag};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Transport errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// The peer's endpoint (or every sender into ours) has been dropped.
+    Disconnected,
+    /// `recv_timeout` elapsed with no message.
+    Timeout,
+    /// This endpoint has been killed by fault injection; it can no longer
+    /// send or receive.
+    Dead,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Disconnected => write!(f, "peer disconnected"),
+            NetError::Timeout => write!(f, "receive timed out"),
+            NetError::Dead => write!(f, "endpoint killed by fault injection"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Counters of one endpoint's traffic.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages successfully handed to the transport.
+    pub sent_msgs: u64,
+    /// Bytes (wire size) successfully sent.
+    pub sent_bytes: u64,
+    /// Messages received.
+    pub recv_msgs: u64,
+    /// Bytes received.
+    pub recv_bytes: u64,
+    /// Messages silently dropped by fault injection.
+    pub dropped_msgs: u64,
+}
+
+/// Handle that can kill an endpoint from another thread (simulates a node
+/// crash mid-run).
+#[derive(Clone, Debug)]
+pub struct KillHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl KillHandle {
+    /// Kill the endpoint: all subsequent operations fail with
+    /// [`NetError::Dead`].
+    pub fn kill(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the endpoint has been killed.
+    pub fn is_dead(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// One rank's connection to the virtual cluster.
+pub struct Endpoint {
+    rank: Rank,
+    senders: Vec<Sender<Envelope>>,
+    receiver: Receiver<Envelope>,
+    /// Messages received but not matched by a selective receive.
+    deferred: Vec<Envelope>,
+    dead: Arc<AtomicBool>,
+    fault: FaultState,
+    stats: NetStats,
+}
+
+impl fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("rank", &self.rank)
+            .field("n_ranks", &self.senders.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+/// Factory for fully-connected endpoint sets.
+pub struct Network;
+
+impl Network {
+    /// `n` endpoints with no fault injection.
+    #[allow(clippy::new_ret_no_self)] // factory: a network IS its endpoints
+    pub fn new(n: usize) -> Vec<Endpoint> {
+        Self::with_faults(n, &[])
+    }
+
+    /// `n` endpoints; `plans[i]` (if provided) configures fault injection
+    /// for rank `i`.
+    pub fn with_faults(n: usize, plans: &[Option<FaultPlan>]) -> Vec<Endpoint> {
+        assert!(n > 0, "network needs at least one rank");
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (s, r) = unbounded();
+            senders.push(s);
+            receivers.push(r);
+        }
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(i, receiver)| Endpoint {
+                rank: Rank(i as u32),
+                senders: senders.clone(),
+                receiver,
+                deferred: Vec::new(),
+                dead: Arc::new(AtomicBool::new(false)),
+                fault: FaultState::new(plans.get(i).cloned().flatten()),
+                stats: NetStats::default(),
+            })
+            .collect()
+    }
+}
+
+impl Endpoint {
+    /// This endpoint's rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Number of ranks in the network.
+    pub fn n_ranks(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// A handle that can kill this endpoint from elsewhere.
+    pub fn kill_handle(&self) -> KillHandle {
+        KillHandle { flag: self.dead.clone() }
+    }
+
+    fn check_alive(&mut self) -> Result<(), NetError> {
+        if self.dead.load(Ordering::Acquire) {
+            return Err(NetError::Dead);
+        }
+        if self.fault.should_die_now() {
+            self.dead.store(true, Ordering::Release);
+            return Err(NetError::Dead);
+        }
+        Ok(())
+    }
+
+    /// Send `payload` to `dst` with `tag`. Fault injection may silently
+    /// drop the message (reported in [`NetStats::dropped_msgs`], success
+    /// returned — the point is that the *receiver* never sees it).
+    pub fn send(&mut self, dst: Rank, tag: Tag, payload: Bytes) -> Result<(), NetError> {
+        self.check_alive()?;
+        let env = Envelope { src: self.rank, dst, tag, payload };
+        let size = env.wire_size();
+        self.fault.note_send();
+        if self.fault.should_drop() {
+            self.stats.dropped_msgs += 1;
+            return Ok(());
+        }
+        self.senders
+            .get(dst.index())
+            .ok_or(NetError::Disconnected)?
+            .send(env)
+            .map_err(|_| NetError::Disconnected)?;
+        self.stats.sent_msgs += 1;
+        self.stats.sent_bytes += size;
+        Ok(())
+    }
+
+    fn note_recv(&mut self, env: &Envelope) {
+        self.stats.recv_msgs += 1;
+        self.stats.recv_bytes += env.wire_size();
+    }
+
+    /// Blocking receive of the next message (deferred messages first).
+    pub fn recv(&mut self) -> Result<Envelope, NetError> {
+        self.check_alive()?;
+        if !self.deferred.is_empty() {
+            let env = self.deferred.remove(0);
+            self.note_recv(&env);
+            return Ok(env);
+        }
+        let env = self.receiver.recv().map_err(|_| NetError::Disconnected)?;
+        self.note_recv(&env);
+        Ok(env)
+    }
+
+    /// Receive with a timeout.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Envelope, NetError> {
+        self.check_alive()?;
+        if !self.deferred.is_empty() {
+            let env = self.deferred.remove(0);
+            self.note_recv(&env);
+            return Ok(env);
+        }
+        match self.receiver.recv_timeout(timeout) {
+            Ok(env) => {
+                self.note_recv(&env);
+                Ok(env)
+            }
+            Err(RecvTimeoutError::Timeout) => Err(NetError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(NetError::Disconnected),
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&mut self) -> Result<Option<Envelope>, NetError> {
+        self.check_alive()?;
+        if !self.deferred.is_empty() {
+            let env = self.deferred.remove(0);
+            self.note_recv(&env);
+            return Ok(Some(env));
+        }
+        match self.receiver.try_recv() {
+            Ok(env) => {
+                self.note_recv(&env);
+                Ok(Some(env))
+            }
+            Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam::channel::TryRecvError::Disconnected) => Err(NetError::Disconnected),
+        }
+    }
+
+    /// Blocking selective receive: the next message with tag `tag`;
+    /// non-matching messages are deferred (in arrival order) for later
+    /// receives — MPI-style tag matching.
+    pub fn recv_tag(&mut self, tag: Tag) -> Result<Envelope, NetError> {
+        self.check_alive()?;
+        if let Some(i) = self.deferred.iter().position(|e| e.tag == tag) {
+            let env = self.deferred.remove(i);
+            self.note_recv(&env);
+            return Ok(env);
+        }
+        loop {
+            let env = self.receiver.recv().map_err(|_| NetError::Disconnected)?;
+            if env.tag == tag {
+                self.note_recv(&env);
+                return Ok(env);
+            }
+            self.deferred.push(env);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+
+    #[test]
+    fn ping_pong() {
+        let mut eps = Network::new(2);
+        let mut e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        e0.send(Rank(1), Tag(1), b("ping")).unwrap();
+        let env = e1.recv().unwrap();
+        assert_eq!(env.src, Rank(0));
+        assert_eq!(&env.payload[..], b"ping");
+        e1.send(Rank(0), Tag(2), b("pong")).unwrap();
+        let env = e0.recv().unwrap();
+        assert_eq!(env.tag, Tag(2));
+    }
+
+    #[test]
+    fn per_pair_ordering_preserved() {
+        let mut eps = Network::new(2);
+        let mut e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        for i in 0..100u32 {
+            e0.send(Rank(1), Tag(i), Bytes::new()).unwrap();
+        }
+        for i in 0..100u32 {
+            assert_eq!(e1.recv().unwrap().tag, Tag(i));
+        }
+    }
+
+    #[test]
+    fn selective_receive_defers_other_tags() {
+        let mut eps = Network::new(2);
+        let mut e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        e0.send(Rank(1), Tag(1), b("a")).unwrap();
+        e0.send(Rank(1), Tag(2), b("b")).unwrap();
+        e0.send(Rank(1), Tag(1), b("c")).unwrap();
+        let env = e1.recv_tag(Tag(2)).unwrap();
+        assert_eq!(&env.payload[..], b"b");
+        // Deferred tag-1 messages arrive in order afterwards.
+        assert_eq!(&e1.recv().unwrap().payload[..], b"a");
+        assert_eq!(&e1.recv().unwrap().payload[..], b"c");
+    }
+
+    #[test]
+    fn try_recv_and_timeout() {
+        let mut eps = Network::new(2);
+        let mut e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        assert!(e1.try_recv().unwrap().is_none());
+        assert_eq!(
+            e1.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            NetError::Timeout
+        );
+        e0.send(Rank(1), Tag(0), b("x")).unwrap();
+        assert!(e1.recv_timeout(Duration::from_millis(100)).is_ok());
+    }
+
+    #[test]
+    fn send_to_self_works() {
+        let mut eps = Network::new(1);
+        let mut e0 = eps.pop().unwrap();
+        e0.send(Rank(0), Tag(9), b("loop")).unwrap();
+        assert_eq!(e0.recv().unwrap().tag, Tag(9));
+    }
+
+    #[test]
+    fn kill_handle_makes_endpoint_dead() {
+        let mut eps = Network::new(2);
+        let mut e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        let k = e1.kill_handle();
+        assert!(!k.is_dead());
+        k.kill();
+        assert!(k.is_dead());
+        assert_eq!(e1.recv().unwrap_err(), NetError::Dead);
+        assert_eq!(e1.send(Rank(0), Tag(0), Bytes::new()).unwrap_err(), NetError::Dead);
+        // The other endpoint is unaffected.
+        e0.send(Rank(0), Tag(0), Bytes::new()).unwrap();
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let mut eps = Network::new(2);
+        let mut e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        e0.send(Rank(1), Tag(0), b("12345")).unwrap();
+        e1.recv().unwrap();
+        assert_eq!(e0.stats().sent_msgs, 1);
+        assert_eq!(e0.stats().sent_bytes, 21);
+        assert_eq!(e1.stats().recv_msgs, 1);
+        assert_eq!(e1.stats().recv_bytes, 21);
+    }
+
+    #[test]
+    fn disconnected_when_peers_drop() {
+        let mut eps = Network::new(2);
+        let mut e1 = eps.pop().unwrap();
+        let e0 = eps.pop().unwrap();
+        drop(e0);
+        // e1 still holds a sender to itself, so its channel is not closed;
+        // but sending to rank 0 whose receiver is gone errors.
+        assert_eq!(e1.send(Rank(0), Tag(0), Bytes::new()).unwrap_err(), NetError::Disconnected);
+    }
+}

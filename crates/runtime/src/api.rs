@@ -1,0 +1,263 @@
+//! The user API: configure a problem and a deployment, call `run()`.
+//!
+//! This is the EasyHPS promise (paper §I): "the only requirement is that
+//! the programmer's implementation uses APIs supplied by EasyHPS". A user
+//! provides a [`DpProblem`] (or picks one from `easyhps-dp`), the two
+//! partition sizes, and a deployment shape; the runtime does partitioning,
+//! scheduling, communication and fault tolerance.
+
+use crate::checkpoint::Checkpoint;
+use crate::config::{Deployment, RunReport};
+use crate::master::run_master_with;
+use crate::slave::run_slave_with_storage;
+use crate::storage::{SparseGrid};
+use crate::shared_grid::SharedGrid;
+use crate::RuntimeError;
+use easyhps_core::ScheduleMode;
+use easyhps_core::{DagDataDrivenModel, GridDims};
+use easyhps_dp::{DpMatrix, DpProblem};
+use easyhps_net::{FaultPlan, Network};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Result of a full multilevel run.
+#[derive(Debug)]
+pub struct RunOutput<C: easyhps_dp::Cell> {
+    /// The computed global DP matrix (partial if a tile budget stopped the
+    /// run early — see [`RunOutput::checkpoint`]).
+    pub matrix: DpMatrix<C>,
+    /// Execution report (timings, counters, per-slave stats).
+    pub report: RunReport,
+    /// Present when the run stopped at a tile budget before finishing;
+    /// feed to [`EasyHps::resume_from`] to continue.
+    pub checkpoint: Option<Checkpoint>,
+}
+
+/// Builder for a multilevel EasyHPS execution.
+///
+/// ```
+/// use easyhps_runtime::EasyHps;
+/// use easyhps_dp::{DpProblem, EditDistance};
+///
+/// let problem = EditDistance::new(b"kitten".to_vec(), b"sitting".to_vec());
+/// let out = EasyHps::new(problem)
+///     .process_partition((3, 3))
+///     .thread_partition((2, 2))
+///     .slaves(2)
+///     .threads_per_slave(2)
+///     .run()
+///     .unwrap();
+/// assert_eq!(out.matrix.get(6, 7), 3);
+/// ```
+pub struct EasyHps<P: DpProblem> {
+    problem: Arc<P>,
+    process_partition: Option<GridDims>,
+    thread_partition: Option<GridDims>,
+    deployment: Deployment,
+    fault_plans: Vec<Option<FaultPlan>>,
+    memory: MemoryMode,
+    resume: Option<Checkpoint>,
+    tile_budget: Option<u64>,
+}
+
+/// Node-matrix storage strategy (paper §VII lists memory as the system's
+/// main limitation; `Sparse` implements the fix).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MemoryMode {
+    /// One dense `dag_size` matrix per slave (the paper's layout;
+    /// fastest).
+    #[default]
+    Dense,
+    /// Chunked allocation on demand: memory proportional to the strips a
+    /// node actually receives and the tiles it computes.
+    Sparse,
+}
+
+impl<P: DpProblem> EasyHps<P> {
+    /// Start configuring a run of `problem`.
+    pub fn new(problem: P) -> Self {
+        Self::new_shared(Arc::new(problem))
+    }
+
+    /// Start configuring a run of an already-shared problem. Useful when
+    /// the caller wants to keep a handle (e.g. to inspect counters the
+    /// problem accumulates during the run).
+    pub fn new_shared(problem: Arc<P>) -> Self {
+        Self {
+            problem,
+            process_partition: None,
+            thread_partition: None,
+            deployment: Deployment::local(2, 2),
+            fault_plans: Vec::new(),
+            memory: MemoryMode::Dense,
+            resume: None,
+            tile_budget: None,
+        }
+    }
+
+    /// Resume a run from a [`Checkpoint`]: finished sub-tasks are restored
+    /// instead of re-executed.
+    pub fn resume_from(mut self, checkpoint: Checkpoint) -> Self {
+        self.resume = Some(checkpoint);
+        self
+    }
+
+    /// Stop after `tiles` completions (counting resumed ones) and return a
+    /// checkpoint in the output — for incremental or preemptible runs.
+    pub fn tile_budget(mut self, tiles: u64) -> Self {
+        self.tile_budget = Some(tiles);
+        self
+    }
+
+    /// Choose the node-matrix storage strategy.
+    pub fn memory_mode(mut self, mode: MemoryMode) -> Self {
+        self.memory = mode;
+        self
+    }
+
+    /// Process-level partition size (the paper's
+    /// `process_partition_size`). Defaults to roughly `dag_size / (4 *
+    /// slaves)` per side.
+    pub fn process_partition(mut self, size: impl Into<GridDims>) -> Self {
+        self.process_partition = Some(size.into());
+        self
+    }
+
+    /// Thread-level partition size (`thread_partition_size`). Defaults to
+    /// roughly a quarter of the process partition per side.
+    pub fn thread_partition(mut self, size: impl Into<GridDims>) -> Self {
+        self.thread_partition = Some(size.into());
+        self
+    }
+
+    /// Number of slave computing nodes.
+    pub fn slaves(mut self, n: usize) -> Self {
+        self.deployment.slaves = n;
+        self
+    }
+
+    /// Computing threads per slave node.
+    pub fn threads_per_slave(mut self, n: usize) -> Self {
+        self.deployment.threads_per_slave = n;
+        self
+    }
+
+    /// Process-level scheduling policy (default dynamic).
+    pub fn process_mode(mut self, mode: ScheduleMode) -> Self {
+        self.deployment.process_mode = mode;
+        self
+    }
+
+    /// Thread-level scheduling policy (default dynamic).
+    pub fn thread_mode(mut self, mode: ScheduleMode) -> Self {
+        self.deployment.thread_mode = mode;
+        self
+    }
+
+    /// Fault-tolerance timeout: how long a dispatched sub-task may run
+    /// before its slave is presumed dead.
+    pub fn task_timeout(mut self, timeout: Duration) -> Self {
+        self.deployment.task_timeout = timeout;
+        self
+    }
+
+    /// Inject faults into slave `slave_index` (0-based) per `plan` — used
+    /// to exercise the fault-tolerance path.
+    pub fn inject_fault(mut self, slave_index: usize, plan: FaultPlan) -> Self {
+        if self.fault_plans.len() <= slave_index + 1 {
+            self.fault_plans.resize(slave_index + 2, None);
+        }
+        self.fault_plans[slave_index + 1] = Some(plan); // rank = index + 1
+        self
+    }
+
+    /// Access the configured deployment.
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    fn default_partitions(&self) -> (GridDims, GridDims) {
+        let dims = self.problem.dims();
+        let per_side = |n: u32, parts: u32| n.div_ceil(parts).max(1);
+        let pp = self.process_partition.unwrap_or_else(|| {
+            let parts = (self.deployment.slaves as u32 * 4).max(1);
+            GridDims::new(per_side(dims.rows, parts), per_side(dims.cols, parts))
+        });
+        let tp = self.thread_partition.unwrap_or_else(|| {
+            GridDims::new(per_side(pp.rows, 4), per_side(pp.cols, 4))
+        });
+        (pp, tp)
+    }
+
+    /// Build the DAG Data Driven Model this run will use.
+    pub fn model(&self) -> DagDataDrivenModel {
+        let (pp, tp) = self.default_partitions();
+        DagDataDrivenModel::builder(self.problem.pattern())
+            .process_partition_size(pp)
+            .thread_partition_size(tp)
+            .build()
+    }
+
+    /// Execute: spawn the virtual cluster (one thread per slave rank plus
+    /// the master on the calling thread), run to completion, and return
+    /// the computed matrix with a report.
+    pub fn run(self) -> Result<RunOutput<P::Cell>, RuntimeError> {
+        if self.deployment.slaves == 0 {
+            return Err(RuntimeError::NoSlaves);
+        }
+        let model = self.model();
+        let n_ranks = 1 + self.deployment.slaves;
+        let mut plans = self.fault_plans.clone();
+        plans.resize(n_ranks, None);
+        let mut endpoints = Network::with_faults(n_ranks, &plans);
+        let master_ep = endpoints.remove(0);
+
+        let problem = self.problem.clone();
+        let deployment = self.deployment.clone();
+
+        let memory = self.memory;
+        std::thread::scope(|s| {
+            for ep in endpoints {
+                let problem = problem.clone();
+                let model = model.clone();
+                let deployment = deployment.clone();
+                s.spawn(move || {
+                    // A slave that dies under fault injection returns Err;
+                    // the master's fault tolerance handles it.
+                    let _ = match memory {
+                        MemoryMode::Dense => run_slave_with_storage::<P, SharedGrid<P::Cell>>(
+                            ep,
+                            problem.as_ref(),
+                            &model,
+                            &deployment,
+                        ),
+                        MemoryMode::Sparse => run_slave_with_storage::<P, SparseGrid<P::Cell>>(
+                            ep,
+                            problem.as_ref(),
+                            &model,
+                            &deployment,
+                        ),
+                    };
+                });
+            }
+            let out = run_master_with(
+                master_ep,
+                problem.as_ref(),
+                &model,
+                &deployment,
+                self.resume.as_ref(),
+                self.tile_budget,
+            )?;
+            Ok(RunOutput {
+                checkpoint: out.checkpoint,
+                matrix: out.matrix,
+                report: RunReport {
+                    elapsed: out.elapsed,
+                    master: out.stats,
+                    slaves: out.slave_stats,
+                    trace: out.trace,
+                },
+            })
+        })
+    }
+}

@@ -1,0 +1,128 @@
+//! Deployment configuration and run statistics.
+
+use crate::protocol::SlaveStatsMsg;
+use easyhps_core::ScheduleMode;
+use std::time::Duration;
+
+/// How the runtime is deployed on the (virtual) cluster: the paper's
+/// `Experiment_X_Y` knobs plus scheduling and fault-tolerance policy.
+#[derive(Clone, Debug)]
+pub struct Deployment {
+    /// Number of slave computing nodes (the paper's `X - 1`).
+    pub slaves: usize,
+    /// Computing threads per slave node (the paper's `ct`, at most 11 on
+    /// their 12-core nodes: one core is the slave scheduling thread).
+    pub threads_per_slave: usize,
+    /// Process-level scheduling policy.
+    pub process_mode: ScheduleMode,
+    /// Thread-level scheduling policy.
+    pub thread_mode: ScheduleMode,
+    /// How long a dispatched sub-task may run before the master's fault
+    /// tolerance presumes its slave failed and redistributes it.
+    pub task_timeout: Duration,
+    /// Poll interval of the fault-tolerance thread.
+    pub ft_poll: Duration,
+}
+
+impl Deployment {
+    /// A small local deployment: `slaves` nodes x `threads` computing
+    /// threads, fully dynamic scheduling, generous timeouts.
+    pub fn local(slaves: usize, threads: usize) -> Self {
+        Self {
+            slaves,
+            threads_per_slave: threads,
+            process_mode: ScheduleMode::Dynamic,
+            thread_mode: ScheduleMode::Dynamic,
+            task_timeout: Duration::from_secs(30),
+            ft_poll: Duration::from_millis(20),
+        }
+    }
+
+    /// Total cores this deployment would occupy on the paper's accounting
+    /// (`N + (N-1) + ct*(N-1)` for `N` nodes): the master scheduling core,
+    /// plus per slave node one process-level core, one thread-level
+    /// scheduling core and `ct` computing cores —
+    /// `1 + slaves * (2 + ct)`.
+    pub fn total_cores(&self) -> usize {
+        1 + self.slaves * (2 + self.threads_per_slave)
+    }
+}
+
+/// Master-side counters for one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MasterStats {
+    /// Sub-tasks dispatched (including re-dispatches).
+    pub dispatched: u64,
+    /// Sub-tasks re-dispatched after a timeout.
+    pub redispatched: u64,
+    /// Completions accepted.
+    pub completed: u64,
+    /// Stale completions ignored (duplicate results after redistribution).
+    pub stale_completions: u64,
+    /// Slaves declared dead by fault tolerance.
+    pub dead_slaves: u64,
+    /// Messages sent by the master endpoint.
+    pub msgs_sent: u64,
+    /// Bytes sent by the master endpoint.
+    pub bytes_sent: u64,
+    /// Messages received by the master endpoint.
+    pub msgs_recv: u64,
+    /// Bytes received by the master endpoint.
+    pub bytes_recv: u64,
+}
+
+/// Full report of one runtime execution.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Wall-clock duration of the run (master side).
+    pub elapsed: Duration,
+    /// Master counters.
+    pub master: MasterStats,
+    /// Per-slave stats (indexed by slave; dead slaves report `None`).
+    pub slaves: Vec<Option<SlaveStatsMsg>>,
+    /// Master-observed schedule (one span per tile execution, lane per
+    /// slave); render with [`easyhps_core::Trace::gantt`].
+    pub trace: easyhps_core::Trace,
+}
+
+impl RunReport {
+    /// Total thread-level sub-sub-tasks completed across surviving slaves.
+    pub fn total_subtasks(&self) -> u64 {
+        self.slaves.iter().flatten().map(|s| s.subtasks_done).sum()
+    }
+
+    /// Total compute-busy nanoseconds across surviving slaves.
+    pub fn total_busy_ns(&self) -> u64 {
+        self.slaves.iter().flatten().map(|s| s.busy_ns).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_accounting_matches_paper_formula() {
+        // Paper: N nodes deployed => N + (N-1) + ct*(N-1) cores, where the
+        // first N are process-level schedulers (one of which is the
+        // master). With slaves = N-1 this is 1 + slaves*(1 + ct).
+        let d = Deployment::local(4, 11);
+        assert_eq!(d.total_cores(), 53); // N=5 nodes: 5 + 4 + 44
+        let d = Deployment::local(1, 1);
+        assert_eq!(d.total_cores(), 4); // N=2 nodes: 2 + 1 + 1 (Experiment_2_4)
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let r = RunReport {
+            slaves: vec![
+                Some(SlaveStatsMsg { tasks_done: 2, subtasks_done: 10, busy_ns: 100, thread_failures: 0, peak_node_bytes: 64 }),
+                None,
+                Some(SlaveStatsMsg { tasks_done: 1, subtasks_done: 5, busy_ns: 50, thread_failures: 1, peak_node_bytes: 32 }),
+            ],
+            ..RunReport::default()
+        };
+        assert_eq!(r.total_subtasks(), 15);
+        assert_eq!(r.total_busy_ns(), 150);
+    }
+}

@@ -1,0 +1,55 @@
+//! Runtime error type.
+
+use easyhps_core::PatternError;
+use easyhps_net::{NetError, WireError};
+use std::fmt;
+
+/// Errors surfaced by the multilevel runtime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// Transport failure on a path the runtime cannot recover from (e.g.
+    /// the master's own endpoint died).
+    Net(NetError),
+    /// A message failed to decode (protocol corruption).
+    Wire(WireError),
+    /// The DAG model failed validation.
+    Pattern(PatternError),
+    /// Every slave died before the computation finished.
+    AllSlavesDead,
+    /// The deployment has no slaves to compute on.
+    NoSlaves,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Net(e) => write!(f, "transport error: {e}"),
+            RuntimeError::Wire(e) => write!(f, "protocol decode error: {e}"),
+            RuntimeError::Pattern(e) => write!(f, "invalid DAG model: {e}"),
+            RuntimeError::AllSlavesDead => {
+                write!(f, "every slave node failed before the computation finished")
+            }
+            RuntimeError::NoSlaves => write!(f, "deployment has no slave nodes"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<NetError> for RuntimeError {
+    fn from(e: NetError) -> Self {
+        RuntimeError::Net(e)
+    }
+}
+
+impl From<WireError> for RuntimeError {
+    fn from(e: WireError) -> Self {
+        RuntimeError::Wire(e)
+    }
+}
+
+impl From<PatternError> for RuntimeError {
+    fn from(e: PatternError) -> Self {
+        RuntimeError::Pattern(e)
+    }
+}

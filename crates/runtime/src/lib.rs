@@ -1,0 +1,64 @@
+//! # easyhps-runtime — the multilevel master/slave runtime
+//!
+//! The EasyHPS system proper (paper §III and §V): a master rank partitions
+//! a DP problem by the DAG Data Driven Model and dynamically schedules
+//! sub-tasks onto slave nodes; each slave re-partitions its sub-task and
+//! schedules sub-sub-tasks onto computing threads. Worker pools at both
+//! levels use the computable/finished sub-task stacks, the overtime queue
+//! and the register table; fault tolerance is hierarchical (timeout-based
+//! node exclusion at process level, panic-catching thread restart at
+//! thread level).
+//!
+//! The "cluster" is the in-process virtual-MPI network of
+//! [`easyhps-net`](easyhps_net); see DESIGN.md for why that substitution
+//! preserves the paper's scheduling behaviour.
+//!
+//! Quick start:
+//!
+//! ```
+//! use easyhps_runtime::EasyHps;
+//! use easyhps_dp::{DpProblem, Nussinov};
+//! use easyhps_dp::sequence::{random_sequence, Alphabet};
+//!
+//! let rna = random_sequence(Alphabet::Rna, 60, 1);
+//! let problem = Nussinov::new(rna);
+//! let reference = problem.solve_sequential();
+//!
+//! let out = EasyHps::new(problem)
+//!     .process_partition((12, 12))
+//!     .thread_partition((4, 4))
+//!     .slaves(3)
+//!     .threads_per_slave(2)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(out.matrix.get(0, 59), reference.get(0, 59));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod api;
+mod checkpoint;
+mod config;
+mod easy_pdp;
+mod error;
+mod master;
+mod pool;
+mod protocol;
+mod shared_grid;
+mod slave;
+mod storage;
+pub mod testing;
+
+pub use api::{EasyHps, MemoryMode, RunOutput};
+pub use checkpoint::Checkpoint;
+pub use config::{Deployment, MasterStats, RunReport};
+pub use easy_pdp::{EasyPdp, PdpOutput};
+pub use error::RuntimeError;
+pub use master::{run_master, run_master_with, MasterOutput};
+pub use pool::{OvertimeEntry, OvertimeQueue, RegisterTable, TaskStack};
+pub use protocol::{tags, AssignMsg, DoneMsg, SlaveStatsMsg};
+pub use easyhps_core::ScheduleMode;
+pub use shared_grid::{ExclusiveGrid, SharedGrid, TaskView};
+pub use slave::{run_slave, run_slave_with_storage};
+pub use storage::{NodeStorage, SparseGrid, SparseView};

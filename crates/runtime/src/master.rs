@@ -1,0 +1,332 @@
+//! The master part: process-level scheduling and fault tolerance (paper
+//! §V-B, Figs. 9-10).
+//!
+//! The master scheduling loop parses the master DAG, assigns computable
+//! sub-tasks (with input strips from the global matrix) to idle slaves,
+//! collects results, and updates the DAG. A separate fault-tolerance
+//! thread scans the overtime queue: a sub-task overdue past
+//! `task_timeout` has its registration cancelled and is pushed back onto
+//! the computable stack, and its slave is excluded from further
+//! scheduling. The sub-task register table makes duplicate completions
+//! (from slow-but-alive slaves) harmless.
+//!
+//! One deviation from the paper's thread layout: instead of one blocking
+//! worker thread per slave node sharing the MPI context, the master
+//! multiplexes all slaves on its single endpoint and keeps a worker *slot*
+//! per slave. The observable protocol and scheduling behaviour are
+//! identical; only the thread count differs.
+
+use crate::checkpoint::Checkpoint;
+use crate::config::{Deployment, MasterStats};
+use crate::pool::{OvertimeQueue, RegisterTable, TaskStack};
+use crate::protocol::{tags, AssignMsg, DoneMsg, SlaveStatsMsg};
+use easyhps_core::ScheduleMode;
+use crate::RuntimeError;
+use bytes::Bytes;
+use easyhps_core::{DagDataDrivenModel, DagParser, Trace, VertexId};
+use easyhps_dp::{DpMatrix, DpProblem};
+use easyhps_net::{Endpoint, NetError, Rank};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// State shared between the master scheduling loop and the
+/// fault-tolerance thread.
+struct MasterShared {
+    parser: DagParser,
+    register: RegisterTable,
+    overtime: OvertimeQueue,
+    finished: TaskStack,
+    /// Liveness per slave (index = rank - 1).
+    alive: Vec<bool>,
+    redispatched: u64,
+    dead_slaves: u64,
+}
+
+/// Outcome of a master run.
+pub struct MasterOutput<C: easyhps_dp::Cell> {
+    /// The fully computed global matrix.
+    pub matrix: DpMatrix<C>,
+    /// Master counters.
+    pub stats: MasterStats,
+    /// Stats reported by each slave on shutdown (None for dead slaves).
+    pub slave_stats: Vec<Option<SlaveStatsMsg>>,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Master-observed schedule: one span per tile execution
+    /// (assign-sent to completion-accepted), lane per slave. Render with
+    /// [`Trace::gantt`].
+    pub trace: Trace,
+    /// Snapshot of the finished sub-tasks, present when the run stopped at
+    /// a tile budget before completing; resume with
+    /// [`crate::EasyHps::resume_from`].
+    pub checkpoint: Option<Checkpoint>,
+}
+
+/// Run the master loop to completion. `ep` must be rank 0 of a network
+/// whose ranks `1..=config.slaves` run [`crate::run_slave`].
+pub fn run_master<P: DpProblem>(
+    ep: Endpoint,
+    problem: &P,
+    model: &DagDataDrivenModel,
+    config: &Deployment,
+) -> Result<MasterOutput<P::Cell>, RuntimeError> {
+    run_master_with(ep, problem, model, config, None, None)
+}
+
+/// [`run_master`] with checkpoint/restart controls: `resume` preloads the
+/// finished sub-tasks of a prior run; `tile_budget` stops dispatching
+/// after that many completions (counting resumed ones) and returns a
+/// [`Checkpoint`] in the output.
+pub fn run_master_with<P: DpProblem>(
+    mut ep: Endpoint,
+    problem: &P,
+    model: &DagDataDrivenModel,
+    config: &Deployment,
+    resume: Option<&Checkpoint>,
+    tile_budget: Option<u64>,
+) -> Result<MasterOutput<P::Cell>, RuntimeError> {
+    if config.slaves == 0 {
+        return Err(RuntimeError::NoSlaves);
+    }
+    let t0 = Instant::now();
+
+    // Step a: master DAG Data Driven Model initialization (+ validation:
+    // the race-freedom argument of the shared grid depends on it).
+    let dag = Arc::new(model.master_dag());
+    dag.validate()?;
+    let tile_cols = dag.dims().cols;
+    let n_slaves = config.slaves;
+
+    let shared = Arc::new(Mutex::new(MasterShared {
+        parser: DagParser::new(&dag),
+        register: RegisterTable::new(dag.len()),
+        overtime: OvertimeQueue::new(),
+        finished: TaskStack::new(),
+        alive: vec![true; n_slaves],
+        redispatched: 0,
+        dead_slaves: 0,
+    }));
+
+    // Step b: start the fault-tolerance thread.
+    let stop = Arc::new(AtomicBool::new(false));
+    let ft_shared = shared.clone();
+    let ft_stop = stop.clone();
+    let ft_dag = dag.clone();
+    let (timeout, poll) = (config.task_timeout, config.ft_poll);
+    let ft = std::thread::spawn(move || {
+        while !ft_stop.load(Ordering::Acquire) {
+            std::thread::sleep(poll);
+            let mut s = ft_shared.lock();
+            // Step g: redistribute overdue sub-tasks, exclude their slaves.
+            for entry in s.overtime.drain_overdue(timeout) {
+                if s.register.accepts(entry.task, entry.executor) {
+                    s.register.cancel(entry.task);
+                    s.parser
+                        .fail(&ft_dag, VertexId(entry.task))
+                        .expect("overdue task is running");
+                    if s.alive[entry.executor as usize] {
+                        s.alive[entry.executor as usize] = false;
+                        s.dead_slaves += 1;
+                    }
+                    s.redispatched += 1;
+                }
+            }
+        }
+    });
+
+    let mut matrix = DpMatrix::<P::Cell>::new(model.dag_size());
+    let mut idle = vec![false; n_slaves];
+    let mut stats = MasterStats::default();
+    let mut trace = Trace::new();
+    // Start instants per in-flight (task, slave) for trace spans.
+    let mut started: Vec<Option<Instant>> = vec![None; dag.len()];
+    let mut completed_tasks: Vec<VertexId> = Vec::new();
+
+    // Resume: restore finished regions and fast-forward the parser. The
+    // finished set of a valid checkpoint is ancestor-closed, so walking a
+    // topological order completes each task the moment it is computable.
+    if let Some(cp) = resume {
+        cp.restore_into(&mut matrix);
+        let preload: std::collections::HashSet<u32> =
+            cp.finished_tasks().map(|v| v.0).collect();
+        let order = dag.topological_order()?;
+        let mut s = shared.lock();
+        for v in order {
+            if preload.contains(&v.0) {
+                let claimed = s
+                    .parser
+                    .pop_computable_matching(|x| x == v)
+                    .expect("checkpointed set must be ancestor-closed");
+                s.parser
+                    .complete(&dag, claimed, None)
+                    .expect("claimed task completes");
+                completed_tasks.push(v);
+                stats.completed += 1;
+            }
+        }
+    }
+    let budget_reached =
+        |stats: &MasterStats| tile_budget.is_some_and(|b| stats.completed >= b);
+    let _ = problem; // kernels run slave-side; the master only routes data
+
+    let result: Result<(), RuntimeError> = (|| {
+        loop {
+            // Steps c-d: dispatch computable sub-tasks to idle live slaves.
+            {
+                let mut s = shared.lock();
+                #[allow(clippy::needless_range_loop)] // w doubles as the rank id
+                for w in 0..n_slaves {
+                    if !idle[w] || !s.alive[w] {
+                        continue;
+                    }
+                    let picked = if config.process_mode == ScheduleMode::Dynamic {
+                        s.parser.pop_computable()
+                    } else {
+                        s.parser.pop_computable_matching(|v| {
+                            config.process_mode.static_owner(
+                                dag.vertex(v).pos,
+                                tile_cols,
+                                n_slaves as u32,
+                            ) == Some(w as u32)
+                        })
+                    };
+                    let Some(v) = picked else { continue };
+                    let vertex = dag.vertex(v);
+                    let inputs: Vec<_> = vertex
+                        .data_deps
+                        .iter()
+                        .map(|d| {
+                            let region = model.tile_region(dag.vertex(*d).pos);
+                            (region, matrix.encode_region(region))
+                        })
+                        .collect();
+                    let msg = AssignMsg {
+                        task: v.0,
+                        tile: vertex.pos,
+                        region: model.tile_region(vertex.pos),
+                        inputs,
+                    };
+                    s.register.register(v.0, w as u32);
+                    s.overtime.push(v.0, w as u32);
+                    idle[w] = false;
+                    stats.dispatched += 1;
+                    started[v.index()] = Some(Instant::now());
+                    if ep.send(Rank(w as u32 + 1), tags::ASSIGN, msg.encode()).is_err() {
+                        // Slave endpoint gone: undo and exclude it.
+                        s.register.cancel(v.0);
+                        s.overtime.remove(v.0);
+                        s.parser.fail(&dag, v).expect("just popped");
+                        if s.alive[w] {
+                            s.alive[w] = false;
+                            s.dead_slaves += 1;
+                        }
+                    }
+                }
+
+                if s.parser.is_done() || budget_reached(&stats) {
+                    break;
+                }
+                if s.alive.iter().all(|a| !a) {
+                    return Err(RuntimeError::AllSlavesDead);
+                }
+            }
+
+            // Steps e-f, h: collect completions and idle signals.
+            match ep.recv_timeout(Duration::from_millis(2)) {
+                Ok(env) => {
+                    let w = (env.src.0 as usize).wrapping_sub(1);
+                    match env.tag {
+                        tags::IDLE => {
+                            if w < n_slaves {
+                                idle[w] = true;
+                            }
+                        }
+                        tags::DONE => {
+                            let msg = DoneMsg::decode(&env.payload)?;
+                            let mut s = shared.lock();
+                            if w < n_slaves {
+                                idle[w] = true;
+                            }
+                            if s.register.accepts(msg.task, w as u32) {
+                                if let Some(start) = started[msg.task as usize].take() {
+                                    trace.record(
+                                        format!("slave{w}"),
+                                        "#",
+                                        start.duration_since(t0).as_nanos() as u64,
+                                        Instant::now().duration_since(t0).as_nanos() as u64,
+                                    );
+                                }
+                                matrix.decode_region(msg.region, &msg.output);
+                                s.register.cancel(msg.task);
+                                s.overtime.remove(msg.task);
+                                s.finished.push(msg.task);
+                                // Step h: update the DAG Pattern Model.
+                                while let Some(t) = s.finished.pop() {
+                                    s.parser
+                                        .complete(&dag, VertexId(t), None)
+                                        .expect("registered completion is running");
+                                }
+                                stats.completed += 1;
+                                completed_tasks.push(VertexId(msg.task));
+                            } else {
+                                stats.stale_completions += 1;
+                            }
+                        }
+                        tags::STATS => { /* late stats, ignore */ }
+                        other => debug_assert!(false, "master received unexpected {other}"),
+                    }
+                }
+                Err(NetError::Timeout) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    })();
+
+    // Step i: tear down.
+    stop.store(true, Ordering::Release);
+    ft.join().expect("fault-tolerance thread never panics");
+    result?;
+
+    let final_shared = shared.lock();
+    stats.redispatched = final_shared.redispatched;
+    stats.dead_slaves = final_shared.dead_slaves;
+    let alive = final_shared.alive.clone();
+    drop(final_shared);
+
+    // Send END to every slave (dead ones may never read it) and collect
+    // final stats from the live ones.
+    let mut slave_stats: Vec<Option<SlaveStatsMsg>> = vec![None; n_slaves];
+    for w in 0..n_slaves {
+        let _ = ep.send(Rank(w as u32 + 1), tags::END, Bytes::new());
+    }
+    let mut expected: usize = alive.iter().filter(|a| **a).count();
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while expected > 0 && Instant::now() < deadline {
+        match ep.recv_timeout(Duration::from_millis(50)) {
+            Ok(env) if env.tag == tags::STATS => {
+                let w = (env.src.0 as usize).wrapping_sub(1);
+                if w < n_slaves && slave_stats[w].is_none() {
+                    slave_stats[w] = Some(SlaveStatsMsg::decode(&env.payload)?);
+                    expected -= 1;
+                }
+            }
+            Ok(_) => {} // stray IDLE/DONE from dying slaves
+            Err(NetError::Timeout) => {}
+            Err(_) => break,
+        }
+    }
+
+    let net = ep.stats();
+    stats.msgs_sent = net.sent_msgs;
+    stats.bytes_sent = net.sent_bytes;
+    stats.msgs_recv = net.recv_msgs;
+    stats.bytes_recv = net.recv_bytes;
+
+    let checkpoint = (!shared.lock().parser.is_done())
+        .then(|| Checkpoint::capture(model, &dag, &matrix, completed_tasks.iter().copied()));
+
+    Ok(MasterOutput { matrix, stats, slave_stats, elapsed: t0.elapsed(), trace, checkpoint })
+}

@@ -1,0 +1,211 @@
+//! Worker-pool components (paper §V-A): the computable and finished
+//! sub-task stacks, the overtime queue and the sub-task register table.
+//!
+//! These are small, single-purpose structures; the master and slave
+//! schedulers compose them with the [`easyhps_core::DagParser`] to
+//! implement the dynamic worker pools of Figs. 9-12.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// LIFO stack of sub-task ids, the paper's linked-list "sub-task stack".
+/// Used for the finished stack (buffering completion notices between the
+/// receive path and the DAG update) and anywhere a plain stack is needed.
+#[derive(Clone, Debug, Default)]
+pub struct TaskStack {
+    items: Vec<u32>,
+}
+
+impl TaskStack {
+    /// Empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Push a sub-task id.
+    pub fn push(&mut self, task: u32) {
+        self.items.push(task);
+    }
+
+    /// Pop the most recently pushed id.
+    pub fn pop(&mut self) -> Option<u32> {
+        self.items.pop()
+    }
+
+    /// Number of ids on the stack.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// One entry of the overtime queue: a running sub-task with its start time
+/// and executor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OvertimeEntry {
+    /// Sub-task id.
+    pub task: u32,
+    /// Executor (slave rank index at process level, thread index at thread
+    /// level).
+    pub executor: u32,
+    /// When execution started.
+    pub started: Instant,
+}
+
+/// The overtime queue (paper §V-A3): executing sub-tasks with start times,
+/// scanned by the fault-tolerance thread for timeouts.
+#[derive(Clone, Debug, Default)]
+pub struct OvertimeQueue {
+    entries: VecDeque<OvertimeEntry>,
+}
+
+impl OvertimeQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `task` started executing on `executor` now.
+    pub fn push(&mut self, task: u32, executor: u32) {
+        self.push_at(task, executor, Instant::now());
+    }
+
+    /// Record a start at an explicit instant (for tests).
+    pub fn push_at(&mut self, task: u32, executor: u32, started: Instant) {
+        self.entries.push_back(OvertimeEntry { task, executor, started });
+    }
+
+    /// Remove the entry for `task` (called when it finishes). Returns the
+    /// entry if it was present.
+    pub fn remove(&mut self, task: u32) -> Option<OvertimeEntry> {
+        let idx = self.entries.iter().position(|e| e.task == task)?;
+        self.entries.remove(idx)
+    }
+
+    /// Drain every entry older than `timeout`, returning them (oldest
+    /// first). These are the presumed-failed sub-tasks to redistribute.
+    pub fn drain_overdue(&mut self, timeout: Duration) -> Vec<OvertimeEntry> {
+        let now = Instant::now();
+        let mut overdue = Vec::new();
+        // Entries are pushed in start order, but re-dispatch can interleave;
+        // scan everything.
+        let mut i = 0;
+        while i < self.entries.len() {
+            if now.duration_since(self.entries[i].started) >= timeout {
+                overdue.push(self.entries.remove(i).expect("index in range"));
+            } else {
+                i += 1;
+            }
+        }
+        overdue
+    }
+
+    /// Number of executing sub-tasks tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no sub-task is executing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The sub-task register table (paper §V-A4): which executor each
+/// in-flight sub-task is registered to. A completion from a different
+/// executor (a stale duplicate after redistribution) is ignored by the
+/// master — this is what makes at-least-once dispatch safe.
+#[derive(Clone, Debug)]
+pub struct RegisterTable {
+    owner: Vec<Option<u32>>,
+}
+
+impl RegisterTable {
+    /// Table for `n_tasks` sub-tasks, all unregistered.
+    pub fn new(n_tasks: usize) -> Self {
+        Self { owner: vec![None; n_tasks] }
+    }
+
+    /// Register `task` to `executor`, replacing any previous registration.
+    pub fn register(&mut self, task: u32, executor: u32) {
+        self.owner[task as usize] = Some(executor);
+    }
+
+    /// Cancel the registration of `task`.
+    pub fn cancel(&mut self, task: u32) {
+        self.owner[task as usize] = None;
+    }
+
+    /// Current executor of `task`, if registered.
+    pub fn executor_of(&self, task: u32) -> Option<u32> {
+        self.owner[task as usize]
+    }
+
+    /// Whether a completion of `task` by `executor` should be accepted.
+    pub fn accepts(&self, task: u32, executor: u32) -> bool {
+        self.owner[task as usize] == Some(executor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_is_lifo() {
+        let mut s = TaskStack::new();
+        s.push(1);
+        s.push(2);
+        s.push(3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.pop(), Some(3));
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn overtime_remove_on_completion() {
+        let mut q = OvertimeQueue::new();
+        q.push(5, 1);
+        q.push(6, 2);
+        assert_eq!(q.len(), 2);
+        let e = q.remove(5).unwrap();
+        assert_eq!(e.executor, 1);
+        assert!(q.remove(5).is_none());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn overdue_drains_only_old_entries() {
+        let mut q = OvertimeQueue::new();
+        let old = Instant::now() - Duration::from_secs(10);
+        q.push_at(1, 0, old);
+        q.push(2, 1); // fresh
+        let overdue = q.drain_overdue(Duration::from_secs(5));
+        assert_eq!(overdue.len(), 1);
+        assert_eq!(overdue[0].task, 1);
+        assert_eq!(q.len(), 1);
+        assert!(q.drain_overdue(Duration::from_secs(5)).is_empty());
+    }
+
+    #[test]
+    fn register_table_accepts_only_current_owner() {
+        let mut t = RegisterTable::new(4);
+        assert_eq!(t.executor_of(2), None);
+        t.register(2, 7);
+        assert!(t.accepts(2, 7));
+        assert!(!t.accepts(2, 8));
+        // Redistribution moves ownership.
+        t.register(2, 8);
+        assert!(!t.accepts(2, 7), "stale executor rejected after re-registration");
+        assert!(t.accepts(2, 8));
+        t.cancel(2);
+        assert!(!t.accepts(2, 8));
+    }
+}

@@ -1,0 +1,206 @@
+//! The master/slave wire protocol.
+//!
+//! Five message kinds, mirroring the paper's workflow (§III): slaves
+//! announce idleness, the master assigns registered sub-tasks with their
+//! input strips, slaves reply with computed regions, and the master ends
+//! the run with a shutdown signal that slaves answer with their stats.
+
+use bytes::Bytes;
+use easyhps_core::{GridPos, TileRegion};
+use easyhps_net::{WireError, WireReader, WireWriter};
+
+/// Protocol tags.
+pub mod tags {
+    use easyhps_net::Tag;
+
+    /// Slave -> master: "I am idle" (sent once at startup and implied by
+    /// every DONE).
+    pub const IDLE: Tag = Tag(1);
+    /// Master -> slave: sub-task assignment with input strips.
+    pub const ASSIGN: Tag = Tag(2);
+    /// Slave -> master: computed sub-task region.
+    pub const DONE: Tag = Tag(3);
+    /// Master -> slave: shut down.
+    pub const END: Tag = Tag(4);
+    /// Slave -> master: final execution stats (reply to END).
+    pub const STATS: Tag = Tag(5);
+}
+
+fn put_region(w: &mut WireWriter, r: TileRegion) {
+    w.put_u32(r.row_start).put_u32(r.row_end).put_u32(r.col_start).put_u32(r.col_end);
+}
+
+fn get_region(r: &mut WireReader<'_>) -> Result<TileRegion, WireError> {
+    Ok(TileRegion::new(r.get_u32()?, r.get_u32()?, r.get_u32()?, r.get_u32()?))
+}
+
+/// Master -> slave sub-task assignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AssignMsg {
+    /// Dense id of the master-DAG vertex.
+    pub task: u32,
+    /// Tile position of the vertex in the abstract DAG.
+    pub tile: GridPos,
+    /// Cell region the slave must compute.
+    pub region: TileRegion,
+    /// Input strips: `(region, encoded cells)` for every data dependency.
+    pub inputs: Vec<(TileRegion, Vec<u8>)>,
+}
+
+impl AssignMsg {
+    /// Encode to payload bytes.
+    pub fn encode(&self) -> Bytes {
+        let body: usize = self.inputs.iter().map(|(_, b)| b.len() + 20).sum();
+        let mut w = WireWriter::with_capacity(32 + body);
+        w.put_u32(self.task).put_u32(self.tile.row).put_u32(self.tile.col);
+        put_region(&mut w, self.region);
+        w.put_u32(self.inputs.len() as u32);
+        for (region, bytes) in &self.inputs {
+            put_region(&mut w, *region);
+            w.put_bytes(bytes);
+        }
+        w.finish()
+    }
+
+    /// Decode from payload bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(buf);
+        let task = r.get_u32()?;
+        let tile = GridPos::new(r.get_u32()?, r.get_u32()?);
+        let region = get_region(&mut r)?;
+        let n = r.get_u32()?;
+        let mut inputs = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let reg = get_region(&mut r)?;
+            let bytes = r.get_bytes()?;
+            inputs.push((reg, bytes));
+        }
+        r.expect_end()?;
+        Ok(Self { task, tile, region, inputs })
+    }
+}
+
+/// Slave -> master completed sub-task.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DoneMsg {
+    /// Dense id of the completed master-DAG vertex.
+    pub task: u32,
+    /// The computed region.
+    pub region: TileRegion,
+    /// Encoded cells of the region.
+    pub output: Vec<u8>,
+}
+
+impl DoneMsg {
+    /// Encode to payload bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut w = WireWriter::with_capacity(24 + self.output.len());
+        w.put_u32(self.task);
+        put_region(&mut w, self.region);
+        w.put_bytes(&self.output);
+        w.finish()
+    }
+
+    /// Decode from payload bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(buf);
+        let task = r.get_u32()?;
+        let region = get_region(&mut r)?;
+        let output = r.get_bytes()?;
+        r.expect_end()?;
+        Ok(Self { task, region, output })
+    }
+}
+
+/// Slave -> master final statistics (reply to END).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SlaveStatsMsg {
+    /// Master-level sub-tasks completed by this slave.
+    pub tasks_done: u64,
+    /// Thread-level sub-sub-tasks completed.
+    pub subtasks_done: u64,
+    /// Nanoseconds spent computing (sum over computing threads).
+    pub busy_ns: u64,
+    /// Thread-level failures recovered (panics caught and re-run).
+    pub thread_failures: u64,
+    /// Peak bytes of node-matrix memory allocated on this slave.
+    pub peak_node_bytes: u64,
+}
+
+impl SlaveStatsMsg {
+    /// Encode to payload bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut w = WireWriter::with_capacity(40);
+        w.put_u64(self.tasks_done)
+            .put_u64(self.subtasks_done)
+            .put_u64(self.busy_ns)
+            .put_u64(self.thread_failures)
+            .put_u64(self.peak_node_bytes);
+        w.finish()
+    }
+
+    /// Decode from payload bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(buf);
+        let out = Self {
+            tasks_done: r.get_u64()?,
+            subtasks_done: r.get_u64()?,
+            busy_ns: r.get_u64()?,
+            thread_failures: r.get_u64()?,
+            peak_node_bytes: r.get_u64()?,
+        };
+        r.expect_end()?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_roundtrip() {
+        let msg = AssignMsg {
+            task: 7,
+            tile: GridPos::new(1, 2),
+            region: TileRegion::new(10, 20, 30, 40),
+            inputs: vec![
+                (TileRegion::new(0, 10, 30, 40), vec![1, 2, 3, 4]),
+                (TileRegion::new(10, 20, 0, 30), vec![]),
+            ],
+        };
+        assert_eq!(AssignMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn done_roundtrip() {
+        let msg = DoneMsg {
+            task: 3,
+            region: TileRegion::new(0, 5, 5, 9),
+            output: (0..80).collect(),
+        };
+        assert_eq!(DoneMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let msg = SlaveStatsMsg {
+            tasks_done: 10,
+            subtasks_done: 400,
+            busy_ns: u64::MAX / 3,
+            thread_failures: 2,
+            peak_node_bytes: 1 << 40,
+        };
+        assert_eq!(SlaveStatsMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(AssignMsg::decode(&[1, 2, 3]).is_err());
+        assert!(DoneMsg::decode(&[]).is_err());
+        let msg = DoneMsg { task: 0, region: TileRegion::new(0, 1, 0, 1), output: vec![9] };
+        let mut bytes = msg.encode().to_vec();
+        bytes.push(0xFF); // trailing garbage
+        assert!(DoneMsg::decode(&bytes).is_err());
+    }
+}

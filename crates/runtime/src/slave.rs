@@ -1,0 +1,221 @@
+//! The slave part: thread-level parallelization of one node (paper §V-C,
+//! Figs. 11-12).
+//!
+//! Each slave rank runs [`run_slave`]: a scheduling loop that announces
+//! idleness, receives sub-task assignments with their input strips,
+//! executes them on a pool of computing threads over the shared node
+//! matrix, and returns the computed region. Computing-thread failures
+//! (panics) are caught and the sub-sub-task is re-queued — the paper's
+//! "restart the corresponding computing thread".
+
+use crate::config::Deployment;
+use crate::pool::OvertimeQueue;
+use crate::protocol::{tags, AssignMsg, DoneMsg, SlaveStatsMsg};
+use crate::shared_grid::SharedGrid;
+use crate::storage::NodeStorage;
+use crate::RuntimeError;
+use easyhps_core::ScheduleMode;
+use crossbeam::channel::{unbounded, Sender};
+use easyhps_core::{DagDataDrivenModel, DagParser, GridPos, TileRegion};
+use easyhps_dp::DpProblem;
+use easyhps_net::{Endpoint, Rank};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+/// One job handed to a computing thread.
+#[derive(Clone, Copy, Debug)]
+struct Job {
+    /// Dense id in the slave DAG.
+    sub: u32,
+    /// Global cell region of the sub-sub-task.
+    region: TileRegion,
+}
+
+/// Result reported back by a computing thread.
+#[derive(Clone, Copy, Debug)]
+struct WorkerResult {
+    worker: usize,
+    sub: u32,
+    elapsed_ns: u64,
+    ok: bool,
+}
+
+/// Outcome of executing one master-level sub-task on the thread pool.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct TileExecution {
+    pub subtasks: u64,
+    pub busy_ns: u64,
+    pub failures: u64,
+}
+
+/// Run the slave loop on `ep` until the master sends END, with dense node
+/// storage (the paper's layout). Returns the stats that were reported
+/// back, or the transport error that killed the slave (a `Dead` error
+/// simulates a node crash and is expected under fault injection).
+pub fn run_slave<P: DpProblem>(
+    ep: Endpoint,
+    problem: &P,
+    model: &DagDataDrivenModel,
+    config: &Deployment,
+) -> Result<SlaveStatsMsg, RuntimeError> {
+    run_slave_with_storage::<P, SharedGrid<P::Cell>>(ep, problem, model, config)
+}
+
+/// [`run_slave`] generic over the node-matrix storage strategy (dense
+/// [`SharedGrid`] or sparse
+/// [`SparseGrid`](crate::storage::SparseGrid)).
+pub fn run_slave_with_storage<P: DpProblem, S: NodeStorage<P::Cell>>(
+    mut ep: Endpoint,
+    problem: &P,
+    model: &DagDataDrivenModel,
+    config: &Deployment,
+) -> Result<SlaveStatsMsg, RuntimeError> {
+    let master = Rank(0);
+    let mut grid = S::new(model.dag_size());
+    let mut stats = SlaveStatsMsg::default();
+
+    // Step a: announce idleness.
+    ep.send(master, tags::IDLE, bytes::Bytes::new())?;
+
+    loop {
+        let env = ep.recv()?;
+        match env.tag {
+            tags::END => {
+                let _ = ep.send(master, tags::STATS, stats.encode());
+                return Ok(stats);
+            }
+            tags::ASSIGN => {
+                let msg = AssignMsg::decode(&env.payload)?;
+                // Steps b-c: install input strips, build the slave model.
+                for (region, bytes) in &msg.inputs {
+                    grid.decode_region(*region, bytes);
+                }
+                // Every sub-sub-task region is inside the tile region;
+                // back it with memory before the pool starts.
+                grid.prepare(&[msg.region]);
+                // Steps d-i: run the slave worker pool.
+                let exec = execute_tile(problem, model, &grid, msg.tile, config);
+                stats.tasks_done += 1;
+                stats.subtasks_done += exec.subtasks;
+                stats.busy_ns += exec.busy_ns;
+                stats.thread_failures += exec.failures;
+                stats.peak_node_bytes = stats.peak_node_bytes.max(grid.allocated_bytes());
+                // Step h (slave side): return the computed region.
+                let output = grid.encode_region(msg.region);
+                let done = DoneMsg { task: msg.task, region: msg.region, output };
+                ep.send(master, tags::DONE, done.encode())?;
+            }
+            other => {
+                debug_assert!(false, "slave received unexpected {other}");
+            }
+        }
+    }
+}
+
+/// Execute one master tile on the slave worker pool: partition it by
+/// `thread_partition_size`, spawn `ct` computing threads, and drive the
+/// slave DAG parser until every sub-sub-task completes.
+pub(crate) fn execute_tile<P: DpProblem, S: NodeStorage<P::Cell>>(
+    problem: &P,
+    model: &DagDataDrivenModel,
+    grid: &S,
+    tile: GridPos,
+    config: &Deployment,
+) -> TileExecution {
+    let sdag = model.slave_dag(tile);
+    let mut parser = DagParser::new(&sdag);
+    let ct = config.threads_per_slave.max(1);
+    let tile_cols = sdag.dims().cols;
+    let mut exec = TileExecution::default();
+    let mut overtime = OvertimeQueue::new();
+
+    let (result_tx, result_rx) = unbounded::<WorkerResult>();
+    let mut job_txs: Vec<Option<Sender<Job>>> = Vec::with_capacity(ct);
+
+    std::thread::scope(|s| {
+        for w in 0..ct {
+            let (tx, rx) = unbounded::<Job>();
+            job_txs.push(Some(tx));
+            let result_tx = result_tx.clone();
+            s.spawn(move || {
+                for job in rx.iter() {
+                    let t0 = Instant::now();
+                    // SAFETY: the slave scheduler dispatches each region to
+                    // exactly one worker, and the DAG (validated) orders
+                    // every read-region strictly before this task; channel
+                    // send/recv provides the happens-before edges.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        let mut view = unsafe { grid.task_view(job.region) };
+                        problem.compute_region(&mut view, job.region);
+                    }));
+                    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+                    let res = WorkerResult { worker: w, sub: job.sub, elapsed_ns, ok: outcome.is_ok() };
+                    if result_tx.send(res).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(result_tx);
+
+        let mut idle = vec![true; ct];
+        while !parser.is_done() {
+            // Dispatch to every idle worker the scheduling mode allows.
+            for w in 0..ct {
+                if !idle[w] {
+                    continue;
+                }
+                let picked = if config.thread_mode == ScheduleMode::Dynamic {
+                    parser.pop_computable()
+                } else {
+                    parser.pop_computable_matching(|v| {
+                        config
+                            .thread_mode
+                            .static_owner(sdag.vertex(v).pos, tile_cols, ct as u32)
+                            == Some(w as u32)
+                    })
+                };
+                if let Some(v) = picked {
+                    let region = model.sub_region(tile, sdag.vertex(v).pos);
+                    overtime.push(v.0, w as u32);
+                    job_txs[w]
+                        .as_ref()
+                        .expect("worker alive while scheduling")
+                        .send(Job { sub: v.0, region })
+                        .expect("worker channel open");
+                    idle[w] = false;
+                }
+            }
+
+            if parser.is_done() {
+                break;
+            }
+
+            // Collect one result (blocking: if we are not done, either a
+            // worker is busy or a dispatch just happened above).
+            let res = result_rx.recv().expect("workers alive while tasks remain");
+            overtime.remove(res.sub);
+            exec.busy_ns += res.elapsed_ns;
+            idle[res.worker] = true;
+            let v = easyhps_core::VertexId(res.sub);
+            if res.ok {
+                parser.complete(&sdag, v, None).expect("worker completed a running task");
+                exec.subtasks += 1;
+            } else {
+                // Thread-level fault tolerance: the panic was caught (the
+                // worker thread effectively restarted); re-queue the
+                // sub-sub-task for any worker.
+                exec.failures += 1;
+                parser.fail(&sdag, v).expect("worker failed a running task");
+            }
+        }
+
+        // Close job channels so workers exit.
+        for tx in &mut job_txs {
+            *tx = None;
+        }
+    });
+
+    debug_assert!(overtime.is_empty() || !parser.is_done());
+    exec
+}

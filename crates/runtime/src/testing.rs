@@ -1,0 +1,90 @@
+//! Test utilities: deterministic failure injection at the kernel level.
+
+use easyhps_core::{DagPattern, GridDims, GridPos, TileRegion};
+use easyhps_dp::{DpGrid, DpProblem};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Wraps a problem so that a chosen number of `compute_region` calls panic
+/// before succeeding — simulating computing-thread crashes that the
+/// thread-level fault tolerance must absorb.
+///
+/// Panics are injected on the first `failures` kernel invocations
+/// (globally, across threads), after which everything succeeds; since the
+/// runtime re-queues failed sub-sub-tasks, the final matrix must still be
+/// correct.
+pub struct FaultyProblem<P> {
+    inner: P,
+    remaining: Arc<AtomicU64>,
+}
+
+impl<P: DpProblem> FaultyProblem<P> {
+    /// Make the first `failures` kernel calls panic.
+    pub fn new(inner: P, failures: u64) -> Self {
+        Self { inner, remaining: Arc::new(AtomicU64::new(failures)) }
+    }
+
+    /// How many injected failures have not fired yet.
+    pub fn failures_left(&self) -> u64 {
+        self.remaining.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped problem.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: DpProblem> DpProblem for FaultyProblem<P> {
+    type Cell = P::Cell;
+
+    fn name(&self) -> String {
+        format!("faulty({})", self.inner.name())
+    }
+
+    fn dims(&self) -> GridDims {
+        self.inner.dims()
+    }
+
+    fn pattern(&self) -> Arc<dyn DagPattern> {
+        self.inner.pattern()
+    }
+
+    fn compute_region<G: DpGrid<Self::Cell>>(&self, m: &mut G, region: TileRegion) {
+        let prev = self
+            .remaining
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+            .unwrap_or(0);
+        if prev > 0 {
+            panic!("injected kernel failure ({} remaining)", prev - 1);
+        }
+        self.inner.compute_region(m, region);
+    }
+
+    fn cell_work(&self, p: GridPos) -> u64 {
+        self.inner.cell_work(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easyhps_dp::{DpMatrix, EditDistance};
+
+    #[test]
+    fn injected_failures_then_success() {
+        let p = FaultyProblem::new(EditDistance::new(b"ab".to_vec(), b"ab".to_vec()), 2);
+        let dims = p.dims();
+        let mut m = DpMatrix::new(dims);
+        let region = TileRegion::new(0, dims.rows, 0, dims.cols);
+        for _ in 0..2 {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                p.compute_region(&mut m, region);
+            }));
+            assert!(r.is_err());
+        }
+        assert_eq!(p.failures_left(), 0);
+        p.compute_region(&mut m, region);
+        assert_eq!(m.get(2, 2), 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Cost models for the virtual cluster.
+
+/// Calibration of the simulated hardware, loosely following the paper's
+/// testbed (Tianhe-1A: 2.93 GHz Xeon X5670 nodes, Infiniband QDR).
+///
+/// All times are virtual nanoseconds. Absolute values only set the scale;
+/// the *ratios* (compute vs. network vs. scheduling overhead) are what
+/// shape the figures.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Work units (one unit = one inner-loop step of the recurrence) a
+    /// single core executes per microsecond.
+    pub work_per_us: u64,
+    /// Per-message network latency in nanoseconds.
+    pub net_latency_ns: u64,
+    /// Network bandwidth in bytes per microsecond.
+    pub net_bytes_per_us: u64,
+    /// Master-side cost of preparing and emitting one assignment
+    /// (scheduling decision, registration, strip encode), excluding byte
+    /// transfer.
+    pub assign_overhead_ns: u64,
+    /// Master-side cost of processing one completion.
+    pub complete_overhead_ns: u64,
+    /// Slave-side cost of dispatching one sub-sub-task to a computing
+    /// thread (queue ops, cache warmup).
+    pub thread_overhead_ns: u64,
+    /// Execution-time jitter amplitude in percent (0 = noise-free).
+    ///
+    /// Real nodes suffer OS noise, cache effects and NUMA placement, so a
+    /// task's runtime varies around its model cost. Jitter is derived
+    /// deterministically from the task's identity, so runs stay exactly
+    /// reproducible. This is what separates dynamic pools from
+    /// perfectly-tuned static schedules: a static owner cannot hand a
+    /// slow task's successors to someone else.
+    pub jitter_pct: u32,
+}
+
+impl CostModel {
+    /// Tianhe-1A-like calibration: ~0.3ns per inner-loop step (a few
+    /// fused ops at 2.93 GHz), QDR latency/bandwidth, microsecond-scale
+    /// scheduling overheads.
+    pub fn tianhe1a() -> Self {
+        Self {
+            work_per_us: 3_000,
+            net_latency_ns: 1_500,
+            net_bytes_per_us: 3_200,
+            assign_overhead_ns: 20_000,
+            complete_overhead_ns: 8_000,
+            thread_overhead_ns: 2_000,
+            jitter_pct: 15,
+        }
+    }
+
+    /// Compute time of `work` units on one core.
+    #[inline]
+    pub fn compute_ns(&self, work: u64) -> u64 {
+        work.saturating_mul(1_000) / self.work_per_us.max(1)
+    }
+
+    /// Wire time of `bytes` over the interconnect.
+    #[inline]
+    pub fn transfer_ns(&self, bytes: u64) -> u64 {
+        self.net_latency_ns + bytes.saturating_mul(1_000) / self.net_bytes_per_us.max(1)
+    }
+
+    /// Apply deterministic execution jitter to `base_ns` for the task
+    /// identified by `key`: a multiplier in `[1 - j, 1 + j]` where
+    /// `j = jitter_pct / 100`, derived by hashing `key`.
+    #[inline]
+    pub fn jittered_ns(&self, base_ns: u64, key: u64) -> u64 {
+        if self.jitter_pct == 0 || base_ns == 0 {
+            return base_ns;
+        }
+        // splitmix64-style hash for a uniform offset in [0, 2j).
+        let mut h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        let span = 2 * self.jitter_pct as u64; // percent points
+        let offset = h % (span + 1); // 0..=2j
+        let pct = 100 + offset - self.jitter_pct as u64; // 100-j ..= 100+j
+        base_ns * pct / 100
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::tianhe1a()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_scales_linearly() {
+        let c = CostModel::tianhe1a();
+        assert_eq!(c.compute_ns(3_000), 1_000);
+        assert_eq!(c.compute_ns(6_000), 2_000);
+        assert_eq!(c.compute_ns(0), 0);
+    }
+
+    #[test]
+    fn transfer_includes_latency() {
+        let c = CostModel::tianhe1a();
+        assert_eq!(c.transfer_ns(0), 1_500);
+        assert_eq!(c.transfer_ns(3_200), 2_500);
+    }
+
+    #[test]
+    fn degenerate_rates_do_not_panic() {
+        let c = CostModel { work_per_us: 0, net_bytes_per_us: 0, ..CostModel::tianhe1a() };
+        assert!(c.compute_ns(100) > 0);
+        assert!(c.transfer_ns(100) >= c.net_latency_ns);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let c = CostModel { jitter_pct: 20, ..CostModel::tianhe1a() };
+        for key in 0..1000u64 {
+            let j = c.jittered_ns(10_000, key);
+            assert_eq!(j, c.jittered_ns(10_000, key), "deterministic");
+            assert!((8_000..=12_000).contains(&j), "within +-20%: {j}");
+        }
+        // Spread: not all equal.
+        let a = c.jittered_ns(10_000, 1);
+        let b = c.jittered_ns(10_000, 2);
+        let d = c.jittered_ns(10_000, 3);
+        assert!(a != b || b != d);
+    }
+
+    #[test]
+    fn zero_jitter_is_identity() {
+        let c = CostModel { jitter_pct: 0, ..CostModel::tianhe1a() };
+        assert_eq!(c.jittered_ns(12345, 99), 12345);
+    }
+}

@@ -1,0 +1,236 @@
+//! The paper's experiment methodology: `Experiment_X_Y` core accounting
+//! and the sweeps behind every figure of §VI.
+
+use crate::cluster::{sequential_ns, simulate, SimConfig};
+use crate::cost::CostModel;
+use crate::report::Series;
+use crate::workload::SimWorkload;
+use easyhps_core::ScheduleMode;
+
+/// One experiment in the paper's naming scheme: `Experiment_X_Y` uses `Y`
+/// cores on `X` multi-core nodes. One node is the master; each of the
+/// other `X-1` runs a slave scheduling thread; the remaining
+/// `Y - 2X + 1` cores compute, spread over the `X-1` computing nodes
+/// (at most 11 computing threads per node on the paper's hardware).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Experiment {
+    /// Total nodes `X` (including the master).
+    pub nodes: u32,
+    /// Total cores `Y`.
+    pub cores: u32,
+}
+
+impl Experiment {
+    /// Create `Experiment_X_Y`.
+    pub fn new(nodes: u32, cores: u32) -> Self {
+        Self { nodes, cores }
+    }
+
+    /// Computing cores: `Y - 2X + 1`.
+    pub fn computing_cores(&self) -> i64 {
+        self.cores as i64 - 2 * self.nodes as i64 + 1
+    }
+
+    /// Whether this experiment is realizable: at least 2 nodes, at least
+    /// one computing core per computing node, at most 11 per node.
+    pub fn is_valid(&self) -> bool {
+        let slaves = self.nodes as i64 - 1;
+        let cc = self.computing_cores();
+        self.nodes >= 2 && cc >= slaves && cc <= 11 * slaves
+    }
+
+    /// The cores `Y` of the paper's sweep for `X` nodes with `ct`
+    /// computing threads per node: `Y = 2X - 1 + ct (X - 1)`.
+    pub fn from_ct(nodes: u32, ct: u32) -> Self {
+        Self { nodes, cores: 2 * nodes - 1 + ct * (nodes - 1) }
+    }
+
+    /// Build the simulator configuration.
+    pub fn config(&self, cost: CostModel) -> SimConfig {
+        assert!(self.is_valid(), "invalid experiment {self:?}");
+        let mut cfg =
+            SimConfig::spread((self.nodes - 1) as usize, self.computing_cores() as usize);
+        cfg.cost = cost;
+        cfg
+    }
+
+    /// Paper-style label.
+    pub fn label(&self) -> String {
+        format!("Experiment_{}_{}", self.nodes, self.cores)
+    }
+}
+
+/// The node counts evaluated in the paper.
+pub const NODE_COUNTS: [u32; 4] = [2, 3, 4, 5];
+
+/// Figures 13/14: elapsed time vs. cores for each node count, sweeping
+/// `ct = 1..=11` (the paper's `Experiment_X_{Y}` ranges).
+pub fn scaling_series(workload: &SimWorkload, cost: CostModel) -> Vec<Series> {
+    NODE_COUNTS
+        .iter()
+        .map(|&x| {
+            let mut s = Series::new(format!("{} nodes", x));
+            for ct in 1..=11u32 {
+                let e = Experiment::from_ct(x, ct);
+                if !e.is_valid() {
+                    continue;
+                }
+                let r = simulate(workload, &e.config(cost));
+                s.push(e.cores as f64, r.seconds());
+            }
+            s
+        })
+        .collect()
+}
+
+/// Figure 15: same total core count deployed on different node counts.
+/// Returns one series per node count over the shared core-count axis.
+pub fn node_comparison_series(
+    workload: &SimWorkload,
+    cost: CostModel,
+    core_counts: &[u32],
+) -> Vec<Series> {
+    NODE_COUNTS
+        .iter()
+        .map(|&x| {
+            let mut s = Series::new(format!("{} nodes", x));
+            for &y in core_counts {
+                let e = Experiment::new(x, y);
+                if !e.is_valid() {
+                    continue;
+                }
+                let r = simulate(workload, &e.config(cost));
+                s.push(y as f64, r.seconds());
+            }
+            s
+        })
+        .collect()
+}
+
+/// Figure 16: per total core count, the best (lowest-elapsed) node
+/// grouping; returns `(elapsed, speedup)` series where speedup is against
+/// the one-core sequential baseline.
+pub fn speedup_series(
+    workload: &SimWorkload,
+    cost: CostModel,
+    max_cores: u32,
+) -> (Series, Series) {
+    let seq = sequential_ns(workload, &cost) as f64;
+    let mut elapsed = Series::new("best grouping elapsed (s)");
+    let mut speedup = Series::new("speedup vs sequential");
+    for y in 4..=max_cores {
+        let best = NODE_COUNTS
+            .iter()
+            .map(|&x| Experiment::new(x, y))
+            .filter(Experiment::is_valid)
+            .map(|e| simulate(workload, &e.config(cost)).makespan_ns)
+            .min();
+        if let Some(ns) = best {
+            elapsed.push(y as f64, ns as f64 / 1e9);
+            speedup.push(y as f64, seq / ns as f64);
+        }
+    }
+    (elapsed, speedup)
+}
+
+/// The static baseline of Fig. 17: block-cyclic wavefront with an untuned
+/// block of 2 column bands across nodes and cyclic single columns across
+/// threads (the thread count is close to the slave-DAG width, so block 1
+/// is the only sensible choice there).
+pub fn bcw_baseline() -> (ScheduleMode, ScheduleMode) {
+    (ScheduleMode::BlockCyclic { block: 2 }, ScheduleMode::BlockCyclic { block: 1 })
+}
+
+/// Figure 17: BCW / EasyHPS runtime ratio per node count over the
+/// `ct = 1..=11` sweep. Values above 1.0 mean the dynamic pool wins.
+pub fn bcw_ratio_series(workload: &SimWorkload, cost: CostModel) -> Vec<Series> {
+    let (pm, tm) = bcw_baseline();
+    NODE_COUNTS
+        .iter()
+        .map(|&x| {
+            let mut s = Series::new(format!("{} nodes", x));
+            for ct in 1..=11u32 {
+                let e = Experiment::from_ct(x, ct);
+                if !e.is_valid() {
+                    continue;
+                }
+                let dynamic = simulate(workload, &e.config(cost)).makespan_ns;
+                let mut bcw_cfg = e.config(cost);
+                bcw_cfg.process_mode = pm;
+                bcw_cfg.thread_mode = tm;
+                let bcw = simulate(workload, &bcw_cfg).makespan_ns;
+                s.push(e.cores as f64, bcw as f64 / dynamic as f64);
+            }
+            s
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_accounting_matches_paper_ranges() {
+        // X=2: ct 1..=11 -> Y = 4..14; X=5: Y = 13..53 step 4.
+        assert_eq!(Experiment::from_ct(2, 1).cores, 4);
+        assert_eq!(Experiment::from_ct(2, 11).cores, 14);
+        assert_eq!(Experiment::from_ct(3, 1).cores, 7);
+        assert_eq!(Experiment::from_ct(3, 11).cores, 27);
+        assert_eq!(Experiment::from_ct(4, 1).cores, 10);
+        assert_eq!(Experiment::from_ct(4, 11).cores, 40);
+        assert_eq!(Experiment::from_ct(5, 1).cores, 13);
+        assert_eq!(Experiment::from_ct(5, 11).cores, 53);
+    }
+
+    #[test]
+    fn validity_bounds() {
+        assert!(Experiment::new(2, 4).is_valid());
+        assert!(!Experiment::new(2, 3).is_valid(), "no computing core left");
+        assert!(!Experiment::new(1, 10).is_valid(), "master-only");
+        assert!(!Experiment::new(2, 15).is_valid(), "more than 11 threads on one node");
+        assert!(Experiment::new(5, 20).is_valid());
+    }
+
+    #[test]
+    fn config_spreads_computing_cores() {
+        let e = Experiment::new(4, 20); // computing cores = 13 over 3 nodes
+        let c = e.config(CostModel::tianhe1a());
+        assert_eq!(c.threads.iter().sum::<usize>(), 13);
+        assert_eq!(c.threads.len(), 3);
+    }
+
+    #[test]
+    fn scaling_series_monotone_trend() {
+        // Elapsed time at ct=11 must beat ct=1 for every node count.
+        let w = SimWorkload::swgg(300, 50, 10);
+        for s in scaling_series(&w, CostModel::tianhe1a()) {
+            let first = s.points.first().unwrap().1;
+            let last = s.points.last().unwrap().1;
+            assert!(last < first, "{}: {first} -> {last}", s.label);
+        }
+    }
+
+    #[test]
+    fn speedup_grows_with_cores() {
+        let w = SimWorkload::swgg(300, 50, 10);
+        let (_, speedup) = speedup_series(&w, CostModel::tianhe1a(), 30);
+        let first = speedup.points.first().unwrap().1;
+        let last = speedup.points.last().unwrap().1;
+        assert!(last > first);
+        assert!(first >= 0.5, "even the smallest deployment computes in parallel");
+    }
+
+    #[test]
+    fn bcw_ratio_mostly_above_one_on_triangular() {
+        let w = SimWorkload::nussinov(300, 50, 10);
+        let series = bcw_ratio_series(&w, CostModel::tianhe1a());
+        let all: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.1)).collect();
+        let above = all.iter().filter(|&&r| r >= 1.0).count();
+        assert!(
+            above * 10 >= all.len() * 9,
+            "expected >=90% of ratios above 1.0, got {above}/{}",
+            all.len()
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Virtual-time worker-pool simulation.
+//!
+//! Simulates a worker pool (the slave part's computing threads, or any
+//! pool of identical executors) draining a [`TaskDag`] under a scheduling
+//! policy. Deterministic: ties break on insertion sequence.
+
+use easyhps_core::{DagParser, ScheduleMode, TaskDag, VertexId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Outcome of one pool simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolOutcome {
+    /// Virtual time at which the last task finished.
+    pub makespan_ns: u64,
+    /// Sum of task execution times (excluding dispatch overhead).
+    pub busy_ns: u64,
+    /// Tasks executed.
+    pub tasks: u64,
+}
+
+impl PoolOutcome {
+    /// Fraction of worker-time spent computing, in `[0, 1]`.
+    pub fn efficiency(&self, workers: usize) -> f64 {
+        if self.makespan_ns == 0 {
+            return 1.0;
+        }
+        self.busy_ns as f64 / (self.makespan_ns as f64 * workers as f64)
+    }
+}
+
+/// Simulate `workers` identical executors draining `dag`.
+///
+/// `cost_ns(v)` is the execution time of task `v`; `dispatch_overhead_ns`
+/// is added to every execution (scheduling/queueing cost). The policy
+/// decides which computable task an idle worker may take; under a static
+/// policy a worker idles if none of *its* tasks are computable — the
+/// paper's "fatal situation" that dynamic pools avoid.
+pub fn simulate_pool(
+    dag: &TaskDag,
+    workers: usize,
+    mode: ScheduleMode,
+    mut cost_ns: impl FnMut(VertexId) -> u64,
+    dispatch_overhead_ns: u64,
+) -> PoolOutcome {
+    assert!(workers > 0, "pool needs at least one worker");
+    let mut parser = DagParser::new(dag);
+    let tile_cols = dag.dims().cols;
+    let mut idle: Vec<bool> = vec![true; workers];
+    // (finish time, sequence, worker, task) — sequence keeps pops stable.
+    let mut running: BinaryHeap<Reverse<(u64, u64, usize, u32)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut now = 0u64;
+    let mut out = PoolOutcome::default();
+
+    while !parser.is_done() {
+        // Fill idle workers.
+        #[allow(clippy::needless_range_loop)] // w doubles as the worker id
+        for w in 0..workers {
+            if !idle[w] {
+                continue;
+            }
+            let picked = if mode == ScheduleMode::Dynamic {
+                parser.pop_computable()
+            } else {
+                parser.pop_computable_matching(|v| {
+                    mode.static_owner(dag.vertex(v).pos, tile_cols, workers as u32)
+                        == Some(w as u32)
+                })
+            };
+            if let Some(v) = picked {
+                let cost = cost_ns(v);
+                out.busy_ns += cost;
+                running.push(Reverse((now + dispatch_overhead_ns + cost, seq, w, v.0)));
+                seq += 1;
+                idle[w] = false;
+            }
+        }
+
+        let Some(Reverse((t, _, w, task))) = running.pop() else {
+            assert!(parser.is_done(), "pool stalled: DAG has a cycle or policy starved it");
+            break;
+        };
+        now = t;
+        idle[w] = true;
+        parser
+            .complete(dag, VertexId(task), None)
+            .expect("completed task was running");
+        out.tasks += 1;
+    }
+
+    out.makespan_ns = now;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easyhps_core::patterns::{Linear1D, TriangularGap, Wavefront2D};
+    use easyhps_core::GridDims;
+
+    #[test]
+    fn chain_is_fully_serial() {
+        let dag = TaskDag::from_pattern(&Linear1D::new(10));
+        let out = simulate_pool(&dag, 4, ScheduleMode::Dynamic, |_| 100, 0);
+        assert_eq!(out.makespan_ns, 1_000);
+        assert_eq!(out.tasks, 10);
+        assert_eq!(out.busy_ns, 1_000);
+    }
+
+    #[test]
+    fn independent_rows_scale_with_workers() {
+        // A 1-row wavefront is a chain; a full wavefront with W workers
+        // approaches area/W for large grids. Use the diagonal sources of a
+        // triangle: n independent diagonal cells first.
+        let dag = TaskDag::from_pattern(&Wavefront2D::new(GridDims::new(1, 12)));
+        let serial = simulate_pool(&dag, 1, ScheduleMode::Dynamic, |_| 50, 0);
+        let parallel = simulate_pool(&dag, 4, ScheduleMode::Dynamic, |_| 50, 0);
+        // A single row is a chain: workers cannot help.
+        assert_eq!(serial.makespan_ns, parallel.makespan_ns);
+    }
+
+    #[test]
+    fn wavefront_parallelism_helps() {
+        let dag = TaskDag::from_pattern(&Wavefront2D::new(GridDims::square(16)));
+        let t1 = simulate_pool(&dag, 1, ScheduleMode::Dynamic, |_| 100, 0).makespan_ns;
+        let t4 = simulate_pool(&dag, 4, ScheduleMode::Dynamic, |_| 100, 0).makespan_ns;
+        let t8 = simulate_pool(&dag, 8, ScheduleMode::Dynamic, |_| 100, 0).makespan_ns;
+        assert!(t4 < t1, "4 workers beat 1");
+        assert!(t8 <= t4, "8 workers at least match 4");
+        // Lower bound: critical path = 31 cells; upper bound: serial.
+        assert!(t4 >= 31 * 100);
+        assert_eq!(t1, 256 * 100);
+    }
+
+    #[test]
+    fn makespan_at_least_critical_path_and_at_most_serial() {
+        let dag = TaskDag::from_pattern(&TriangularGap::new(12));
+        let serial = simulate_pool(&dag, 1, ScheduleMode::Dynamic, |v| dag.vertex(v).pos.col as u64 + 1, 0);
+        for w in [2, 3, 5, 8] {
+            let out = simulate_pool(&dag, w, ScheduleMode::Dynamic, |v| dag.vertex(v).pos.col as u64 + 1, 0);
+            assert!(out.makespan_ns <= serial.makespan_ns);
+            assert_eq!(out.busy_ns, serial.busy_ns, "work conserved");
+            assert_eq!(out.tasks, dag.len() as u64);
+        }
+    }
+
+    #[test]
+    fn static_policy_never_beats_dynamic_on_skewed_triangle() {
+        // Triangular DAGs with growing per-column cost starve static
+        // owners; dynamic must be at least as fast.
+        let dag = TaskDag::from_pattern(&TriangularGap::new(16));
+        let cost = |v: VertexId| (dag.vertex(v).pos.col as u64 + 1) * 10;
+        let dynamic = simulate_pool(&dag, 4, ScheduleMode::Dynamic, cost, 0);
+        let bcw = simulate_pool(&dag, 4, ScheduleMode::BlockCyclic { block: 1 }, cost, 0);
+        let cw = simulate_pool(&dag, 4, ScheduleMode::ColumnWavefront, cost, 0);
+        assert!(dynamic.makespan_ns <= bcw.makespan_ns);
+        assert!(dynamic.makespan_ns <= cw.makespan_ns);
+        assert_eq!(dynamic.busy_ns, bcw.busy_ns);
+    }
+
+    #[test]
+    fn dispatch_overhead_extends_makespan() {
+        let dag = TaskDag::from_pattern(&Linear1D::new(5));
+        let a = simulate_pool(&dag, 1, ScheduleMode::Dynamic, |_| 100, 0);
+        let b = simulate_pool(&dag, 1, ScheduleMode::Dynamic, |_| 100, 20);
+        assert_eq!(b.makespan_ns - a.makespan_ns, 5 * 20);
+        assert_eq!(a.busy_ns, b.busy_ns, "overhead is not busy time");
+    }
+
+    #[test]
+    fn deterministic() {
+        let dag = TaskDag::from_pattern(&TriangularGap::new(20));
+        let run = || simulate_pool(&dag, 6, ScheduleMode::Dynamic, |v| v.0 as u64 % 7 + 1, 3);
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn efficiency_bounds() {
+        let dag = TaskDag::from_pattern(&Wavefront2D::new(GridDims::square(10)));
+        let out = simulate_pool(&dag, 3, ScheduleMode::Dynamic, |_| 10, 0);
+        let e = out.efficiency(3);
+        assert!(e > 0.0 && e <= 1.0, "{e}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Series containers and plain-text rendering for experiment reports.
+
+use std::fmt::Write as _;
+
+/// One labelled data series (a line on a paper figure).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Empty series with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self { label: label.into(), points: Vec::new() }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// y value at the given x, if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points.iter().find(|(px, _)| (px - x).abs() < 1e-9).map(|(_, y)| *y)
+    }
+}
+
+/// Render series as an aligned text table: one row per x, one column per
+/// series. Missing points print as `-`.
+pub fn render_table(title: &str, x_label: &str, series: &[Series]) -> String {
+    let mut xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let mut header = format!("{x_label:>10}");
+    for s in series {
+        let _ = write!(header, " {:>18}", s.label);
+    }
+    let _ = writeln!(out, "{header}");
+    for x in xs {
+        let _ = write!(out, "{x:>10.0}");
+        for s in series {
+            match s.y_at(x) {
+                Some(y) => {
+                    let _ = write!(out, " {y:>18.4}");
+                }
+                None => {
+                    let _ = write!(out, " {:>18}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Render series as CSV (`x,label1,label2,...`).
+pub fn render_csv(x_label: &str, series: &[Series]) -> String {
+    let mut xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+
+    let mut out = String::new();
+    let labels: Vec<&str> = series.iter().map(|s| s.label.as_str()).collect();
+    let _ = writeln!(out, "{x_label},{}", labels.join(","));
+    for x in xs {
+        let _ = write!(out, "{x}");
+        for s in series {
+            match s.y_at(x) {
+                Some(y) => {
+                    let _ = write!(out, ",{y}");
+                }
+                None => out.push(','),
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Vec<Series> {
+        let mut a = Series::new("two");
+        a.push(1.0, 2.0);
+        a.push(2.0, 4.0);
+        let mut b = Series::new("three");
+        b.push(1.0, 3.0);
+        b.push(3.0, 9.0);
+        vec![a, b]
+    }
+
+    #[test]
+    fn y_at_finds_points() {
+        let s = &demo()[0];
+        assert_eq!(s.y_at(1.0), Some(2.0));
+        assert_eq!(s.y_at(9.0), None);
+    }
+
+    #[test]
+    fn table_includes_all_x_and_gaps() {
+        let t = render_table("demo", "x", &demo());
+        assert!(t.contains("# demo"));
+        assert!(t.contains("two"));
+        assert!(t.contains("three"));
+        // x=2 exists only in "two"; x=3 only in "three".
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 2 + 3, "title + header + 3 x rows");
+        assert!(lines[3].contains('-') || lines[4].contains('-'));
+    }
+
+    #[test]
+    fn csv_roundtrips_structure() {
+        let c = render_csv("cores", &demo());
+        let mut lines = c.lines();
+        assert_eq!(lines.next().unwrap(), "cores,two,three");
+        assert_eq!(lines.next().unwrap(), "1,2,3");
+        assert_eq!(lines.next().unwrap(), "2,4,");
+        assert_eq!(lines.next().unwrap(), "3,,9");
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the cluster simulator: conservation,
+//! determinism, and monotonicity under arbitrary configurations.
+
+use easyhps_core::ScheduleMode;
+use easyhps_sim::{sequential_ns, simulate, SimConfig, SimWorkload};
+use proptest::prelude::*;
+
+fn arb_workload() -> impl Strategy<Value = SimWorkload> {
+    (100u32..500, 20u32..80, 2u32..12, 0usize..3).prop_map(|(len, pps, tps, kind)| {
+        let tps = tps.min(pps);
+        match kind {
+            0 => SimWorkload::swgg(len, pps, tps),
+            1 => SimWorkload::nussinov(len.max(pps), pps, tps),
+            _ => SimWorkload::wavefront(len, pps, tps),
+        }
+    })
+}
+
+fn arb_config() -> impl Strategy<Value = SimConfig> {
+    (1usize..5, 1usize..8, 0usize..3, 0u32..30).prop_map(|(nodes, ct, mode, jitter)| {
+        let mut cfg = SimConfig::uniform(nodes, ct);
+        cfg.cost.jitter_pct = jitter;
+        let m = match mode {
+            0 => ScheduleMode::Dynamic,
+            1 => ScheduleMode::BlockCyclic { block: 1 + jitter % 3 },
+            _ => ScheduleMode::ColumnWavefront,
+        };
+        cfg.process_mode = m;
+        cfg.thread_mode = m;
+        cfg
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Every tile executes exactly once, and messages pair up two per tile.
+    #[test]
+    fn conservation(w in arb_workload(), cfg in arb_config()) {
+        let r = simulate(&w, &cfg);
+        prop_assert_eq!(r.tiles, w.model.master_dag().len() as u64);
+        prop_assert_eq!(r.msgs, 2 * r.tiles);
+        prop_assert_eq!(r.redispatched, 0);
+        prop_assert_eq!(r.dead_nodes, 0);
+    }
+
+    /// Simulation is a pure function of (workload, config).
+    #[test]
+    fn determinism(w in arb_workload(), cfg in arb_config()) {
+        prop_assert_eq!(simulate(&w, &cfg), simulate(&w, &cfg));
+    }
+
+    /// Makespan is bounded below by compute/cores and never beats the
+    /// sequential baseline by more than the core count allows.
+    #[test]
+    fn physical_bounds(w in arb_workload(), cfg in arb_config()) {
+        let r = simulate(&w, &cfg);
+        let cores: u64 = cfg.threads.iter().map(|&t| t as u64).sum();
+        prop_assert!(r.makespan_ns >= r.compute_ns / cores);
+        // Jitter can shrink task times by at most 30%; overheads only add.
+        let seq = sequential_ns(&w, &cfg.cost) as f64;
+        prop_assert!(
+            (r.makespan_ns as f64) * (cores as f64) >= seq * 0.65,
+            "superlinear speedup: {} cores, makespan {}, seq {}",
+            cores, r.makespan_ns, seq
+        );
+    }
+
+    /// Adding a node (same threads each) never slows the dynamic pool by
+    /// more than a whisker (jitter reshuffles can cost a little).
+    #[test]
+    fn more_nodes_do_not_hurt_much(
+        w in arb_workload(),
+        nodes in 1usize..4,
+        ct in 1usize..6,
+    ) {
+        let small = simulate(&w, &SimConfig::uniform(nodes, ct)).makespan_ns;
+        let big = simulate(&w, &SimConfig::uniform(nodes + 1, ct)).makespan_ns;
+        prop_assert!(
+            (big as f64) <= (small as f64) * 1.10,
+            "adding a node slowed the run: {small} -> {big}"
+        );
+    }
+
+    /// Doubling every node's thread count never hurts the dynamic pool
+    /// beyond jitter noise.
+    #[test]
+    fn more_threads_do_not_hurt_much(
+        w in arb_workload(),
+        nodes in 1usize..4,
+        ct in 1usize..5,
+    ) {
+        let small = simulate(&w, &SimConfig::uniform(nodes, ct)).makespan_ns;
+        let big = simulate(&w, &SimConfig::uniform(nodes, ct * 2)).makespan_ns;
+        prop_assert!(
+            (big as f64) <= (small as f64) * 1.05,
+            "doubling threads slowed the run: {small} -> {big}"
+        );
+    }
+
+    /// A single node crash is always survived (with the other nodes alive)
+    /// and every tile still executes.
+    #[test]
+    fn single_crash_is_survived(
+        w in arb_workload(),
+        nodes in 2usize..5,
+        ct in 1usize..5,
+        victim_frac in 0.0f64..1.0,
+    ) {
+        let healthy = simulate(&w, &SimConfig::uniform(nodes, ct));
+        let at = (healthy.makespan_ns as f64 * victim_frac) as u64;
+        let mut cfg = SimConfig::uniform(nodes, ct).fail_node(nodes - 1, at);
+        cfg.task_timeout_ns = (healthy.makespan_ns / 10).max(1);
+        let r = simulate(&w, &cfg);
+        prop_assert_eq!(r.tiles, w.model.master_dag().len() as u64);
+        prop_assert!(r.dead_nodes <= 1);
+    }
+}

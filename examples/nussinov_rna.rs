@@ -1,0 +1,50 @@
+//! RNA secondary-structure prediction (Nussinov) on the multilevel
+//! runtime — the paper's second workload, a triangular 2D/1D recurrence
+//! whose work grows toward the upper-right corner of the matrix.
+//!
+//! ```text
+//! cargo run --release --example nussinov_rna
+//! ```
+
+use easyhps::dp::sequence::{random_sequence, to_fasta, Alphabet};
+use easyhps::dp::{DpProblem, Nussinov};
+use easyhps::EasyHps;
+
+fn main() {
+    // A hairpin-rich synthetic RNA: a stem, a loop, and a random tail.
+    let mut rna = b"GGGGCCCCAUAUAUGGGG".to_vec();
+    rna.extend(random_sequence(Alphabet::Rna, 80, 11));
+    rna.extend(b"CCCC");
+
+    println!(
+        "{}",
+        to_fasta(&[("synthetic hairpin RNA".to_string(), rna.clone())])
+    );
+
+    let problem = Nussinov::new(rna.clone());
+    let out = EasyHps::new(problem)
+        .process_partition((20, 20))
+        .thread_partition((5, 5))
+        .slaves(3)
+        .threads_per_slave(2)
+        .run()
+        .expect("run succeeds");
+
+    let problem = Nussinov::new(rna.clone());
+    let pairs = problem.traceback(&out.matrix);
+    println!("maximum base pairs: {}", problem.max_pairs(&out.matrix));
+    println!("{}", String::from_utf8_lossy(&rna));
+    println!("{}", problem.dot_bracket(&pairs));
+
+    println!(
+        "\nruntime: {} tiles over {} slaves, {} sub-sub-tasks, {:.2?} wall",
+        out.report.master.completed,
+        out.report.slaves.len(),
+        out.report.total_subtasks(),
+        out.report.elapsed
+    );
+
+    let reference = problem.solve_sequential();
+    assert_eq!(problem.max_pairs(&out.matrix), problem.max_pairs(&reference));
+    println!("verified against sequential reference");
+}

@@ -1,0 +1,91 @@
+//! Viterbi decoding of a hidden Markov model on the multilevel runtime.
+//!
+//! The classic occasionally-dishonest-casino HMM: a fair die and a loaded
+//! die, switching rarely. The trellis rows are time steps and must be
+//! partitioned as full-row bands (the `PrevRow2D` pattern — every cell
+//! reads the whole previous row).
+//!
+//! ```text
+//! cargo run --release --example viterbi_hmm
+//! ```
+
+use easyhps::dp::{DpProblem, Hmm, Viterbi};
+use easyhps::EasyHps;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // States: 0 = fair, 1 = loaded. Symbols: die faces 0..6.
+    let stay = 0.95f64;
+    let hmm = Hmm {
+        states: 2,
+        symbols: 6,
+        log_init: vec![0.5f64.ln(), 0.5f64.ln()],
+        log_trans: vec![stay.ln(), (1.0 - stay).ln(), (1.0 - stay).ln(), stay.ln()],
+        log_emit: {
+            let fair = vec![(1.0 / 6.0f64).ln(); 6];
+            // Loaded die: six comes up half the time.
+            let mut loaded = vec![0.1f64.ln(); 5];
+            loaded.push(0.5f64.ln());
+            [fair, loaded].concat()
+        },
+    };
+
+    // Simulate 120 rolls with a hidden switch to the loaded die.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut truth = Vec::new();
+    let mut rolls = Vec::new();
+    let mut state = 0usize;
+    for _ in 0..120 {
+        if rng.random_bool(0.05) {
+            state = 1 - state;
+        }
+        truth.push(state);
+        let face: u32 = if state == 0 {
+            rng.random_range(0..6)
+        } else if rng.random_bool(0.5) {
+            5
+        } else {
+            rng.random_range(0..5)
+        };
+        rolls.push(face);
+    }
+
+    let problem = Viterbi::new(hmm.clone(), rolls.clone());
+    let reference = problem.solve_sequential();
+
+    // Full-row process tiles (2 states wide), 8 time steps per band.
+    let out = EasyHps::new(Viterbi::new(hmm, rolls.clone()))
+        .process_partition((8, 2))
+        .thread_partition((2, 2))
+        .slaves(2)
+        .threads_per_slave(2)
+        .run()
+        .expect("run succeeds");
+    assert_eq!(out.matrix, reference);
+
+    let decoded = problem.best_path(&out.matrix);
+    let agree = decoded.iter().zip(&truth).filter(|(a, b)| a == b).count();
+    println!(
+        "decoded {} rolls; best path log-prob {:.2}; agreement with hidden truth {}/{}",
+        rolls.len(),
+        problem.best_log_prob(&out.matrix),
+        agree,
+        truth.len()
+    );
+    let render = |path: &[usize]| -> String {
+        path.iter().map(|&s| if s == 0 { '.' } else { 'L' }).collect()
+    };
+    println!("truth:   {}", render(&truth));
+    println!("decoded: {}", render(&decoded));
+    println!(
+        "\nruntime: {} row-band tiles over {} slaves in {:.2?}",
+        out.report.master.completed,
+        out.report.slaves.len(),
+        out.report.elapsed
+    );
+    assert!(
+        agree * 10 >= truth.len() * 6,
+        "Viterbi should recover well over half the hidden states"
+    );
+}

@@ -1,0 +1,352 @@
+//! `easyhps` — command-line front end to the runtime and the simulator.
+//!
+//! ```text
+//! easyhps align <fasta>   [--global] [--gap log:4,2|affine:4,1|linear:2]
+//!                         [--slaves N] [--threads N] [--pps N] [--tps N]
+//! easyhps fold  <fasta>   [--min-loop N] [--slaves N] [--threads N]
+//! easyhps editdist <a> <b>
+//! easyhps sim   [--workload swgg|nussinov|wavefront] [--len N]
+//!               [--nodes X] [--cores Y] [--policy dynamic|bcw|cw] [--gantt]
+//! easyhps analyze [--workload swgg|nussinov|wavefront] [--len N]
+//!               [--pps N] [--tps N]
+//! ```
+//!
+//! `align` and `fold` run the real multilevel runtime on the input;
+//! `sim` runs the deterministic cluster simulator and can print a Gantt
+//! chart of the schedule.
+
+use easyhps::dp::sequence::parse_fasta;
+use easyhps::dp::{
+    EditDistance, GapPenalty, NeedlemanWunsch, Nussinov, SmithWatermanGeneralGap,
+    Substitution,
+};
+use easyhps::sim::{sequential_ns, simulate_traced, CostModel, Experiment, SimWorkload};
+use easyhps::{EasyHps, ScheduleMode};
+use std::process::ExitCode;
+
+/// Minimal flag parser: positionals plus `--key value` / `--flag` pairs.
+#[derive(Debug, Default)]
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: impl IntoIterator<Item = String>, boolean_flags: &[&str]) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut it = raw.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if boolean_flags.contains(&name) {
+                    out.flags.push((name.to_string(), None));
+                } else {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("--{name} needs a value"))?;
+                    out.flags.push((name.to_string(), Some(v)));
+                }
+            } else {
+                out.positional.push(a);
+            }
+        }
+        Ok(out)
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn get_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse '{v}'")),
+        }
+    }
+}
+
+/// Parse a gap spec like `log:4,2`, `affine:4,1`, `linear:2`.
+fn parse_gap(spec: &str) -> Result<GapPenalty, String> {
+    let (kind, rest) = spec.split_once(':').unwrap_or((spec, ""));
+    let nums: Vec<i32> = if rest.is_empty() {
+        vec![]
+    } else {
+        rest.split(',')
+            .map(|n| n.trim().parse().map_err(|_| format!("bad gap number '{n}'")))
+            .collect::<Result<_, _>>()?
+    };
+    match (kind, nums.as_slice()) {
+        ("linear", [g]) => Ok(GapPenalty::Linear { per_gap: *g }),
+        ("affine", [o, e]) => Ok(GapPenalty::Affine { open: *o, extend: *e }),
+        ("log", [a, b]) => Ok(GapPenalty::Logarithmic { a: *a, b: *b }),
+        _ => Err(format!(
+            "gap spec '{spec}' not understood (use linear:N, affine:O,E or log:A,B)"
+        )),
+    }
+}
+
+fn parse_policy(spec: &str) -> Result<ScheduleMode, String> {
+    match spec {
+        "dynamic" => Ok(ScheduleMode::Dynamic),
+        "bcw" => Ok(ScheduleMode::BlockCyclic { block: 2 }),
+        "cw" => Ok(ScheduleMode::ColumnWavefront),
+        other => Err(format!("unknown policy '{other}' (dynamic|bcw|cw)")),
+    }
+}
+
+fn read_fasta_pair(path: &str) -> Result<(Vec<u8>, Vec<u8>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let records = parse_fasta(&text);
+    match records.len() {
+        0 | 1 => Err(format!("{path}: need two FASTA records, found {}", records.len())),
+        _ => Ok((records[0].1.clone(), records[1].1.clone())),
+    }
+}
+
+fn cmd_align(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("align: missing FASTA path")?;
+    let (a, b) = read_fasta_pair(path)?;
+    let slaves = args.get_num("slaves", 2usize)?;
+    let threads = args.get_num("threads", 2usize)?;
+    let n = a.len().max(b.len()) as u32 + 1;
+    let pps = args.get_num("pps", n.div_ceil(8).max(1))?;
+    let tps = args.get_num("tps", pps.div_ceil(4).max(1))?;
+    let gap = parse_gap(args.get("gap").unwrap_or("log:4,2"))?;
+
+    if args.has("global") {
+        let per_gap = match gap {
+            GapPenalty::Linear { per_gap } => per_gap,
+            _ => 2,
+        };
+        let p = NeedlemanWunsch::new(a.clone(), b.clone(), Substitution::dna_default(), per_gap);
+        let out = EasyHps::new(p)
+            .process_partition((pps, pps))
+            .thread_partition((tps, tps))
+            .slaves(slaves)
+            .threads_per_slave(threads)
+            .run()
+            .map_err(|e| e.to_string())?;
+        let p = NeedlemanWunsch::new(a, b, Substitution::dna_default(), per_gap);
+        println!("{}", p.traceback(&out.matrix));
+    } else {
+        let p = SmithWatermanGeneralGap::new(a.clone(), b.clone(), Substitution::dna_default(), gap.clone());
+        let out = EasyHps::new(p)
+            .process_partition((pps, pps))
+            .thread_partition((tps, tps))
+            .slaves(slaves)
+            .threads_per_slave(threads)
+            .run()
+            .map_err(|e| e.to_string())?;
+        let p = SmithWatermanGeneralGap::new(a, b, Substitution::dna_default(), gap);
+        println!("{}", p.traceback(&out.matrix));
+    }
+    Ok(())
+}
+
+fn cmd_fold(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("fold: missing FASTA path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let records = parse_fasta(&text);
+    let (name, rna) = records.first().ok_or(format!("{path}: no FASTA records"))?;
+    let min_loop = args.get_num("min-loop", 1u32)?;
+    let slaves = args.get_num("slaves", 2usize)?;
+    let threads = args.get_num("threads", 2usize)?;
+    let n = rna.len() as u32;
+    let pps = args.get_num("pps", n.div_ceil(8).max(1))?;
+    let tps = args.get_num("tps", pps.div_ceil(4).max(1))?;
+
+    let p = Nussinov::with_min_loop(rna.clone(), min_loop);
+    let out = EasyHps::new(p)
+        .process_partition((pps, pps))
+        .thread_partition((tps, tps))
+        .slaves(slaves)
+        .threads_per_slave(threads)
+        .run()
+        .map_err(|e| e.to_string())?;
+    let p = Nussinov::with_min_loop(rna.clone(), min_loop);
+    let pairs = p.traceback(&out.matrix);
+    println!("> {name}: {} base pairs", pairs.len());
+    println!("{}", String::from_utf8_lossy(rna));
+    println!("{}", p.dot_bracket(&pairs));
+    Ok(())
+}
+
+fn cmd_editdist(args: &Args) -> Result<(), String> {
+    let [a, b] = args.positional.as_slice() else {
+        return Err("editdist: need two strings".into());
+    };
+    let p = EditDistance::new(a.as_bytes().to_vec(), b.as_bytes().to_vec());
+    let out = EasyHps::new(p)
+        .slaves(2)
+        .threads_per_slave(2)
+        .run()
+        .map_err(|e| e.to_string())?;
+    let p = EditDistance::new(a.as_bytes().to_vec(), b.as_bytes().to_vec());
+    println!("{}", p.distance(&out.matrix));
+    Ok(())
+}
+
+fn cmd_sim(args: &Args) -> Result<(), String> {
+    let len = args.get_num("len", 2_000u32)?;
+    let pps = args.get_num("pps", (len / 20).max(1))?;
+    let tps = args.get_num("tps", (pps / 10).max(1))?;
+    let workload = match args.get("workload").unwrap_or("swgg") {
+        "swgg" => SimWorkload::swgg(len, pps, tps),
+        "nussinov" => SimWorkload::nussinov(len, pps, tps),
+        "wavefront" => SimWorkload::wavefront(len, pps, tps),
+        other => return Err(format!("unknown workload '{other}'")),
+    };
+    let nodes = args.get_num("nodes", 4u32)?;
+    let cores = args.get_num("cores", 24u32)?;
+    let e = Experiment::new(nodes, cores);
+    if !e.is_valid() {
+        return Err(format!(
+            "{} is not realizable (computing cores = {}, must be {}..={})",
+            e.label(),
+            e.computing_cores(),
+            nodes - 1,
+            11 * (nodes as i64 - 1)
+        ));
+    }
+    let mut cfg = e.config(CostModel::tianhe1a());
+    let policy = parse_policy(args.get("policy").unwrap_or("dynamic"))?;
+    cfg.process_mode = policy;
+    cfg.thread_mode = match policy {
+        ScheduleMode::BlockCyclic { .. } => ScheduleMode::BlockCyclic { block: 1 },
+        p => p,
+    };
+
+    let (r, trace) = simulate_traced(&workload, &cfg);
+    let seq = sequential_ns(&workload, &cfg.cost);
+    println!(
+        "{} on {} ({:?} threads, {} policy):",
+        workload.name,
+        e.label(),
+        cfg.threads,
+        policy.name()
+    );
+    println!(
+        "  elapsed {:.3}s  speedup {:.1}x  ({} tiles, {} MB moved, master busy {:.1} ms)",
+        r.seconds(),
+        seq as f64 / r.makespan_ns as f64,
+        r.tiles,
+        r.bytes_moved / 1_000_000,
+        r.master_busy_ns as f64 / 1e6
+    );
+    if args.has("gantt") {
+        print!("{}", trace.gantt(100));
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let len = args.get_num("len", 2_000u32)?;
+    let pps = args.get_num("pps", (len / 20).max(1))?;
+    let tps = args.get_num("tps", (pps / 10).max(1))?;
+    let workload = match args.get("workload").unwrap_or("swgg") {
+        "swgg" => SimWorkload::swgg(len, pps, tps),
+        "nussinov" => SimWorkload::nussinov(len, pps, tps),
+        "wavefront" => SimWorkload::wavefront(len, pps, tps),
+        other => return Err(format!("unknown workload '{other}'")),
+    };
+    let dag = workload.model.master_dag();
+    let a = dag.analyze().map_err(|e| e.to_string())?;
+    println!("{} master DAG with pps={pps}, tps={tps}:", workload.name);
+    println!("  sub-tasks:        {}", a.vertices);
+    println!("  edges:            {}", a.edges);
+    println!("  critical path:    {} levels", a.critical_path);
+    println!("  max width:        {} (more computing nodes than this sit idle)", a.max_width);
+    println!("  avg parallelism:  {:.2}", a.avg_parallelism);
+    // Compact width profile: show a sparkline-style row of buckets.
+    let buckets = 20.min(a.width_profile.len());
+    if buckets > 0 {
+        let per = a.width_profile.len().div_ceil(buckets);
+        let rows: Vec<String> = a
+            .width_profile
+            .chunks(per)
+            .map(|c| {
+                let avg = c.iter().sum::<usize>() / c.len();
+                format!("{avg:>4}")
+            })
+            .collect();
+        println!("  width over time:  {}", rows.join(" "));
+    }
+    Ok(())
+}
+
+const USAGE: &str =
+    "usage: easyhps <align|fold|editdist|sim|analyze> [args]  (see --help in source docs)";
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let cmd = argv.remove(0);
+    let booleans = ["global", "gantt"];
+    let result = Args::parse(argv, &booleans).and_then(|args| match cmd.as_str() {
+        "align" => cmd_align(&args),
+        "fold" => cmd_fold(&args),
+        "editdist" => cmd_editdist(&args),
+        "sim" => cmd_sim(&args),
+        "analyze" => cmd_analyze(&args),
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::parse(s.iter().map(|x| x.to_string()), &["global", "gantt"]).unwrap()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let a = args(&["file.fa", "--slaves", "3", "--global", "--gap", "affine:4,1"]);
+        assert_eq!(a.positional, vec!["file.fa"]);
+        assert_eq!(a.get("slaves"), Some("3"));
+        assert!(a.has("global"));
+        assert_eq!(a.get_num("slaves", 0usize).unwrap(), 3);
+        assert_eq!(a.get_num("threads", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn missing_value_errors() {
+        let e = Args::parse(["--slaves".to_string()], &[]).unwrap_err();
+        assert!(e.contains("needs a value"));
+    }
+
+    #[test]
+    fn gap_specs() {
+        assert!(matches!(parse_gap("linear:3").unwrap(), GapPenalty::Linear { per_gap: 3 }));
+        assert!(matches!(parse_gap("affine:4,1").unwrap(), GapPenalty::Affine { open: 4, extend: 1 }));
+        assert!(matches!(parse_gap("log:4,2").unwrap(), GapPenalty::Logarithmic { a: 4, b: 2 }));
+        assert!(parse_gap("bogus").is_err());
+        assert!(parse_gap("affine:4").is_err());
+    }
+
+    #[test]
+    fn policy_specs() {
+        assert_eq!(parse_policy("dynamic").unwrap(), ScheduleMode::Dynamic);
+        assert!(matches!(parse_policy("bcw").unwrap(), ScheduleMode::BlockCyclic { .. }));
+        assert_eq!(parse_policy("cw").unwrap(), ScheduleMode::ColumnWavefront);
+        assert!(parse_policy("x").is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! End-to-end tests of the `easyhps` CLI binary.
+
+use std::process::Command;
+
+fn easyhps(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_easyhps"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn editdist_prints_the_distance() {
+    let (ok, stdout, _) = easyhps(&["editdist", "kitten", "sitting"]);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "3");
+}
+
+#[test]
+fn align_on_fasta_file() {
+    let dir = std::env::temp_dir().join(format!("easyhps-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("pair.fa");
+    std::fs::write(&path, ">q\nACGTACGTTTACGG\n>s\nTTACGTACGTTTAC\n").unwrap();
+    let (ok, stdout, stderr) = easyhps(&["align", path.to_str().unwrap()]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("score"), "{stdout}");
+    assert!(stdout.contains('|'), "midline rendered");
+
+    // Global mode also works.
+    let (ok, stdout, _) = easyhps(&["align", path.to_str().unwrap(), "--global", "--gap", "linear:2"]);
+    assert!(ok);
+    assert!(stdout.contains("score"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fold_prints_dot_bracket() {
+    let dir = std::env::temp_dir().join(format!("easyhps-cli-fold-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("rna.fa");
+    std::fs::write(&path, ">hairpin\nGGGGAAAACCCC\n").unwrap();
+    let (ok, stdout, stderr) = easyhps(&["fold", path.to_str().unwrap()]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("base pairs"), "{stdout}");
+    assert!(stdout.contains('('), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sim_reports_and_gantt() {
+    let (ok, stdout, stderr) = easyhps(&[
+        "sim", "--workload", "nussinov", "--len", "600", "--nodes", "3", "--cores", "12",
+        "--gantt",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("speedup"), "{stdout}");
+    assert!(stdout.contains("node0"), "gantt lanes rendered");
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    let (ok, _, stderr) = easyhps(&["sim", "--nodes", "2", "--cores", "3"]);
+    assert!(!ok);
+    assert!(stderr.contains("not realizable"));
+
+    let (ok, _, stderr) = easyhps(&["align", "/nonexistent/file.fa"]);
+    assert!(!ok);
+    assert!(stderr.contains("error"));
+
+    let (ok, _, stderr) = easyhps(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+
+    let (ok, _, _) = easyhps(&["editdist", "onlyone"]);
+    assert!(!ok);
+}
+
+#[test]
+fn analyze_reports_dag_structure() {
+    let (ok, stdout, stderr) = easyhps(&[
+        "analyze", "--workload", "nussinov", "--len", "1000", "--pps", "100", "--tps", "10",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("critical path"), "{stdout}");
+    assert!(stdout.contains("sub-tasks:        55"), "10x10 triangle: {stdout}");
+    assert!(stdout.contains("max width:        10"), "{stdout}");
+}

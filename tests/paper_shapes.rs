@@ -1,0 +1,121 @@
+//! Fast-scale checks that every figure's *qualitative shape* holds — the
+//! same claims EXPERIMENTS.md verifies at full paper scale.
+
+use easyhps::sim::{
+    bcw_ratio_series, node_comparison_series, scaling_series, sequential_ns, simulate,
+    speedup_series, CostModel, Experiment, SimWorkload,
+};
+
+fn swgg() -> SimWorkload {
+    SimWorkload::swgg(2_000, 100, 10)
+}
+
+fn nussinov() -> SimWorkload {
+    SimWorkload::nussinov(2_000, 100, 10)
+}
+
+/// Figs. 13/14: elapsed time falls as cores grow, for every node count and
+/// both workloads.
+#[test]
+fn fig13_14_elapsed_falls_with_cores() {
+    for w in [swgg(), nussinov()] {
+        for series in scaling_series(&w, CostModel::tianhe1a()) {
+            assert!(series.points.len() >= 10, "{}: full ct sweep", series.label);
+            let first = series.points.first().unwrap().1;
+            let last = series.points.last().unwrap().1;
+            assert!(
+                last < first * 0.5,
+                "{} ({}): expected at least 2x improvement over the ct sweep ({first} -> {last})",
+                w.name,
+                series.label
+            );
+        }
+    }
+}
+
+/// Fig. 15: with a small core budget fewer nodes win (more computing cores
+/// survive the scheduling tax); with a large budget more nodes win (more
+/// process-level parallelism).
+#[test]
+fn fig15_grouping_crossover_direction() {
+    let w = swgg();
+    let cost = CostModel::tianhe1a();
+    let series = node_comparison_series(&w, cost, &[14, 20, 40, 46]);
+    let y = |nodes: usize, cores: f64| series[nodes - 2].y_at(cores);
+    // Small budget: fewer nodes win — at 14 cores, 3 nodes beat 5 (too many
+    // scheduling cores eat the budget); at 20 cores, 4 nodes beat 5 (the
+    // paper's first observation).
+    let (b3, b5) = (y(3, 14.0).unwrap(), y(5, 14.0).unwrap());
+    assert!(b3 < b5, "at 14 cores: {b3} vs {b5}");
+    let (c4, c5) = (y(4, 20.0).unwrap(), y(5, 20.0).unwrap());
+    assert!(c4 < c5, "at 20 cores: {c4} vs {c5}");
+    // Large budget: more nodes win — at 40 cores, 5 nodes beat 4 (the
+    // paper's second observation; 4 nodes saturate the 11-thread cap).
+    let (d4, d5) = (y(4, 40.0).unwrap(), y(5, 40.0).unwrap());
+    assert!(d5 < d4, "at 40 cores: {d5} vs {d4}");
+}
+
+/// Fig. 16: speedup with the best grouping keeps growing through 50 cores
+/// and reaches a substantial fraction of the core count.
+#[test]
+fn fig16_speedup_magnitude_and_growth() {
+    let cost = CostModel::tianhe1a();
+    for (w, min_speedup) in [(swgg(), 14.0), (nussinov(), 10.0)] {
+        let (_, speedup) = speedup_series(&w, cost, 53);
+        let s50 = speedup.y_at(50.0).unwrap();
+        assert!(
+            s50 > min_speedup,
+            "{}: speedup at 50 cores {s50} below {min_speedup}",
+            w.name
+        );
+        let s20 = speedup.y_at(20.0).unwrap();
+        assert!(s50 > s20, "{}: speedup still growing past 20 cores", w.name);
+    }
+}
+
+/// Fig. 17: the BCW/EasyHPS ratio is above 1.0 for at least 90% of points,
+/// for both workloads.
+#[test]
+fn fig17_dynamic_beats_static() {
+    let cost = CostModel::tianhe1a();
+    for w in [swgg(), nussinov()] {
+        let all: Vec<f64> = bcw_ratio_series(&w, cost)
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.1))
+            .collect();
+        let above = all.iter().filter(|&&r| r >= 1.0).count();
+        assert!(
+            above * 10 >= all.len() * 9,
+            "{}: {above}/{} ratios above 1.0",
+            w.name,
+            all.len()
+        );
+        assert!(all.iter().all(|&r| r > 0.9), "{}: no catastrophic dips", w.name);
+    }
+}
+
+/// The simulator is exactly deterministic — a prerequisite for regenerating
+/// figures byte-identically.
+#[test]
+fn figures_are_deterministic() {
+    let w = nussinov();
+    let e = Experiment::new(4, 24);
+    let cost = CostModel::tianhe1a();
+    let a = simulate(&w, &e.config(cost));
+    let b = simulate(&w, &e.config(cost));
+    assert_eq!(a, b);
+}
+
+/// Parallel runs always beat the sequential baseline at these scales.
+#[test]
+fn parallel_always_beats_sequential() {
+    let cost = CostModel::tianhe1a();
+    for w in [swgg(), nussinov()] {
+        let seq = sequential_ns(&w, &cost);
+        for x in [2u32, 3, 4, 5] {
+            let e = Experiment::from_ct(x, 4);
+            let r = simulate(&w, &e.config(cost));
+            assert!(r.makespan_ns < seq, "{} {}: {} >= {}", w.name, e.label(), r.makespan_ns, seq);
+        }
+    }
+}

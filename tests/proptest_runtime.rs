@@ -1,0 +1,64 @@
+//! Property test over the full stack: for random problems, partitions and
+//! deployments, the multilevel runtime result equals the sequential
+//! reference.
+
+use easyhps::dp::sequence::{random_sequence, Alphabet};
+use easyhps::dp::{DpProblem, EditDistance, Nussinov};
+use easyhps::EasyHps;
+use proptest::prelude::*;
+
+proptest! {
+    // Each case spawns a virtual cluster of OS threads; keep the count
+    // modest but the parameter space wide.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn runtime_matches_sequential_wavefront(
+        la in 5usize..40,
+        lb in 5usize..40,
+        seed in 0u64..10_000,
+        pp in 3u32..15,
+        tp in 1u32..6,
+        slaves in 1usize..4,
+        threads in 1usize..4,
+    ) {
+        let a = random_sequence(Alphabet::Dna, la, seed);
+        let b = random_sequence(Alphabet::Dna, lb, seed + 1);
+        let problem = EditDistance::new(a, b);
+        let reference = problem.solve_sequential();
+        let out = EasyHps::new(problem)
+            .process_partition((pp, pp))
+            .thread_partition((tp, tp))
+            .slaves(slaves)
+            .threads_per_slave(threads)
+            .run()
+            .unwrap();
+        prop_assert_eq!(out.matrix, reference);
+    }
+
+    #[test]
+    fn runtime_matches_sequential_triangular(
+        len in 5usize..40,
+        seed in 0u64..10_000,
+        pp in 3u32..12,
+        tp in 1u32..5,
+        slaves in 1usize..4,
+    ) {
+        let rna = random_sequence(Alphabet::Rna, len, seed);
+        let problem = Nussinov::new(rna);
+        let pattern = problem.pattern();
+        let reference = problem.solve_sequential();
+        let out = EasyHps::new(problem)
+            .process_partition((pp, pp))
+            .thread_partition((tp, tp))
+            .slaves(slaves)
+            .threads_per_slave(2)
+            .run()
+            .unwrap();
+        for pos in reference.dims().iter() {
+            if pattern.contains(pos) {
+                prop_assert_eq!(out.matrix.at(pos), reference.at(pos), "cell {}", pos);
+            }
+        }
+    }
+}
