@@ -67,7 +67,10 @@ fn jitter_sensitivity(_c: &mut Criterion) {
     // At zero jitter the tuned static schedule matches the pool; with heavy
     // jitter it must not be better.
     let (d40, b40) = (dynamic.y_at(40.0).unwrap(), bcw.y_at(40.0).unwrap());
-    assert!(b40 >= d40 * 0.98, "static should not beat dynamic under noise");
+    assert!(
+        b40 >= d40 * 0.98,
+        "static should not beat dynamic under noise"
+    );
 }
 
 /// Strip-volume ablation: the 2D/1D data-communication level ships far
@@ -100,7 +103,10 @@ fn fault_tolerance_overhead(c: &mut Criterion) {
         let mut cfg = SimConfig::uniform(4, 6).fail_node(2, healthy.makespan_ns * frac / 100);
         cfg.task_timeout_ns = healthy.makespan_ns / 20;
         let r = simulate(&w, &cfg);
-        by_crash_time.push(frac as f64, r.makespan_ns as f64 / healthy.makespan_ns as f64);
+        by_crash_time.push(
+            frac as f64,
+            r.makespan_ns as f64 / healthy.makespan_ns as f64,
+        );
     }
     println!(
         "{}",
@@ -116,7 +122,10 @@ fn fault_tolerance_overhead(c: &mut Criterion) {
         // schedule by a couple of percent; anything beyond that, or a
         // doubling, would be a fault-tolerance bug.
         assert!(*inflation >= 0.95, "implausible speedup from losing a node");
-        assert!(*inflation < 2.0, "losing 1 of 4 nodes must not double the makespan");
+        assert!(
+            *inflation < 2.0,
+            "losing 1 of 4 nodes must not double the makespan"
+        );
     }
 
     let mut by_timeout = Series::new("makespan (s)");
@@ -127,9 +136,11 @@ fn fault_tolerance_overhead(c: &mut Criterion) {
     }
     println!(
         "{}",
-        render_table("Ablation: recovery time vs fault-tolerance timeout", "timeout_ms", &[
-            by_timeout,
-        ])
+        render_table(
+            "Ablation: recovery time vs fault-tolerance timeout",
+            "timeout_ms",
+            &[by_timeout,]
+        )
     );
 
     let mut g = c.benchmark_group("ablation_fault_tolerance");
@@ -164,7 +175,13 @@ fn memory_modes(c: &mut Criterion) {
     let dense = run(MemoryMode::Dense);
     let sparse = run(MemoryMode::Sparse);
     let peak = |out: &easyhps_runtime::RunOutput<i32>| {
-        out.report.slaves.iter().flatten().map(|s| s.peak_node_bytes).max().unwrap_or(0)
+        out.report
+            .slaves
+            .iter()
+            .flatten()
+            .map(|s| s.peak_node_bytes)
+            .max()
+            .unwrap_or(0)
     };
     println!(
         "# Ablation: node-matrix memory, nussinov(400) on 3 slaves: dense {} KB vs sparse {} KB peak per node\n",

@@ -12,7 +12,11 @@ fn fig14(c: &mut Criterion) {
     let series = scaling_series(&workload, cost());
     println!(
         "{}",
-        render_table("Fig 14 (bench scale): Nussinov elapsed (s) vs cores", "cores", &series)
+        render_table(
+            "Fig 14 (bench scale): Nussinov elapsed (s) vs cores",
+            "cores",
+            &series
+        )
     );
 
     let mut g = c.benchmark_group("fig14_nussinov_scaling");

@@ -30,10 +30,16 @@ fn fig15(c: &mut Criterion) {
         // At bench scale the gap can shrink to a tie; the strict check runs
         // at paper scale in the `figures` binary. Allow 2% slack here.
         if let (Some(a4), Some(a5)) = (at(4.0, 20.0), at(5.0, 20.0)) {
-            assert!(a4 < a5 * 1.02, "{name}: at 20 cores, 4 nodes must beat 5 ({a4} vs {a5})");
+            assert!(
+                a4 < a5 * 1.02,
+                "{name}: at 20 cores, 4 nodes must beat 5 ({a4} vs {a5})"
+            );
         }
         if let (Some(b4), Some(b5)) = (at(4.0, 40.0), at(5.0, 40.0)) {
-            assert!(b5 < b4 * 1.02, "{name}: at 40 cores, 5 nodes must beat 4 ({b5} vs {b4})");
+            assert!(
+                b5 < b4 * 1.02,
+                "{name}: at 40 cores, 5 nodes must beat 4 ({b5} vs {b4})"
+            );
         }
     }
 

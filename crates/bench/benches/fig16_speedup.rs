@@ -24,7 +24,10 @@ fn fig16(c: &mut Criterion) {
         // Speedup must grow substantially toward 50 cores.
         let s50 = speedup.y_at(50.0).expect("50-core point");
         let s10 = speedup.y_at(10.0).expect("10-core point");
-        assert!(s50 > s10 * 2.0, "{name}: speedup should keep growing ({s10} -> {s50})");
+        assert!(
+            s50 > s10 * 2.0,
+            "{name}: speedup should keep growing ({s10} -> {s50})"
+        );
     }
 
     let workload = bench_swgg();

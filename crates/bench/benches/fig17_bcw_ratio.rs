@@ -18,7 +18,10 @@ fn fig17(c: &mut Criterion) {
             )
         );
         // The paper's conclusion: almost all points above the 1.00 line.
-        let all: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.1)).collect();
+        let all: Vec<f64> = series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.1))
+            .collect();
         let above = all.iter().filter(|&&r| r >= 1.0).count();
         assert!(
             above * 10 >= all.len() * 9,

@@ -70,7 +70,12 @@ fn fig16(csv: bool) {
         sequential_ns(&swgg, &c) as f64 / 1e9,
         sequential_ns(&paper_nussinov(), &c) as f64 / 1e9
     );
-    emit("Fig 16a/b: SWGG best-grouping elapsed and speedup", "cores", &[elapsed, speedup], csv);
+    emit(
+        "Fig 16a/b: SWGG best-grouping elapsed and speedup",
+        "cores",
+        &[elapsed, speedup],
+        csv,
+    );
     let (elapsed, speedup) = speedup_series(&paper_nussinov(), c, 53);
     emit(
         "Fig 16c/d: Nussinov best-grouping elapsed and speedup",
@@ -102,17 +107,35 @@ fn table1() {
     // Driven Model; its reproduction is the API itself. Print the mapping.
     println!("# Table I: DAG Data Driven Model user API -> this implementation");
     for (paper, ours) in [
-        ("pre_cnt / pos_cnt", "easyhps_core::TaskVertex::{preds, succs} lengths"),
-        ("data_pre_cnt / data_prefix_id", "easyhps_core::TaskVertex::data_deps"),
+        (
+            "pre_cnt / pos_cnt",
+            "easyhps_core::TaskVertex::{preds, succs} lengths",
+        ),
+        (
+            "data_pre_cnt / data_prefix_id",
+            "easyhps_core::TaskVertex::data_deps",
+        ),
         ("posfix_id", "easyhps_core::TaskVertex::succs"),
-        ("process (task function)", "easyhps_dp::DpProblem::compute_region"),
+        (
+            "process (task function)",
+            "easyhps_dp::DpProblem::compute_region",
+        ),
         ("dag_pattern_element", "easyhps_core::TaskDag vertex table"),
         ("dag_size", "easyhps_core::DagDataDrivenModel::dag_size"),
-        ("partition_size (process/thread)", "DagDataDrivenModel::{process,thread}_partition_size"),
+        (
+            "partition_size (process/thread)",
+            "DagDataDrivenModel::{process,thread}_partition_size",
+        ),
         ("rect_size", "easyhps_core::DagDataDrivenModel::rect_size"),
         ("dag_pos", "easyhps_core::GridPos of each vertex"),
-        ("dag_pattern_type", "easyhps_core::PatternKind + patterns library"),
-        ("data_mapping_function", "easyhps_core::ModelBuilder::data_mapping_function"),
+        (
+            "dag_pattern_type",
+            "easyhps_core::PatternKind + patterns library",
+        ),
+        (
+            "data_mapping_function",
+            "easyhps_core::ModelBuilder::data_mapping_function",
+        ),
     ] {
         println!("{paper:>34}  ->  {ours}");
     }
@@ -122,7 +145,11 @@ fn table1() {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = args.iter().any(|a| a == "--csv");
-    let which: Vec<&str> = args.iter().filter(|a| *a != "--csv").map(String::as_str).collect();
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| *a != "--csv")
+        .map(String::as_str)
+        .collect();
     let all = which.is_empty() || which.contains(&"all");
 
     let t0 = std::time::Instant::now();
@@ -144,5 +171,8 @@ fn main() {
     if all || which.contains(&"fig17") {
         fig17(csv);
     }
-    eprintln!("(regenerated in {:.1?}; all series deterministic)", t0.elapsed());
+    eprintln!(
+        "(regenerated in {:.1?}; all series deterministic)",
+        t0.elapsed()
+    );
 }

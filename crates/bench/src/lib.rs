@@ -47,7 +47,10 @@ mod tests {
     #[test]
     fn scales_share_tile_geometry() {
         // Same 10x10 sub-tiles per tile and 20-21 tile rows per side ratio.
-        assert_eq!(paper_swgg().model.thread_partition_size(), bench_swgg().model.thread_partition_size());
+        assert_eq!(
+            paper_swgg().model.thread_partition_size(),
+            bench_swgg().model.thread_partition_size()
+        );
         assert_eq!(paper_nussinov().model.rect_size().rows, 50);
         assert_eq!(bench_nussinov().model.rect_size().rows, 20);
     }

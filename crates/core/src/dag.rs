@@ -88,7 +88,10 @@ impl TaskDag {
             pattern.predecessors(pos, &mut buf);
             let mut preds = Vec::with_capacity(buf.len());
             for &dep in &buf {
-                debug_assert!(pattern.contains(dep), "pattern emitted absent pred {dep} for {pos}");
+                debug_assert!(
+                    pattern.contains(dep),
+                    "pattern emitted absent pred {dep} for {pos}"
+                );
                 let did = index[dims.linear(dep)];
                 debug_assert_ne!(did, u32::MAX);
                 if !preds.contains(&VertexId(did)) {
@@ -103,7 +106,10 @@ impl TaskDag {
             pattern.data_dependencies(pos, &mut buf);
             let mut data = Vec::with_capacity(buf.len());
             for &dep in &buf {
-                debug_assert!(pattern.contains(dep), "pattern emitted absent data dep {dep} for {pos}");
+                debug_assert!(
+                    pattern.contains(dep),
+                    "pattern emitted absent data dep {dep} for {pos}"
+                );
                 let did = index[dims.linear(dep)];
                 debug_assert_ne!(did, u32::MAX);
                 if !data.contains(&VertexId(did)) {
@@ -115,7 +121,11 @@ impl TaskDag {
             vertices[vid].data_deps = data;
         }
 
-        Self { dims, vertices, index }
+        Self {
+            dims,
+            vertices,
+            index,
+        }
     }
 
     /// Grid extent of the underlying pattern.
@@ -203,7 +213,9 @@ impl TaskDag {
                 .iter()
                 .position(|&d| d > 0)
                 .expect("cycle implies a vertex with nonzero in-degree");
-            return Err(PatternError::Cycle { pos: self.vertices[stuck].pos });
+            return Err(PatternError::Cycle {
+                pos: self.vertices[stuck].pos,
+            });
         }
         Ok(order)
     }
@@ -268,7 +280,10 @@ mod tests {
         // Edges: interior cells have 3 preds, edge cells 1, corner 0.
         // (1,1),(1,2),(2,1),(2,2) have 3; (0,1),(0,2),(1,0),(2,0) have 1.
         assert_eq!(dag.edge_count(), 4 * 3 + 4);
-        assert_eq!(dag.sources(), vec![dag.vertex_at(GridPos::new(0, 0)).unwrap()]);
+        assert_eq!(
+            dag.sources(),
+            vec![dag.vertex_at(GridPos::new(0, 0)).unwrap()]
+        );
     }
 
     #[test]
@@ -299,15 +314,21 @@ mod tests {
 
     #[test]
     fn validate_accepts_builtin_patterns() {
-        TaskDag::from_pattern(&Wavefront2D::new(GridDims::square(6))).validate().unwrap();
-        TaskDag::from_pattern(&TriangularGap::new(7)).validate().unwrap();
+        TaskDag::from_pattern(&Wavefront2D::new(GridDims::square(6)))
+            .validate()
+            .unwrap();
+        TaskDag::from_pattern(&TriangularGap::new(7))
+            .validate()
+            .unwrap();
         TaskDag::from_pattern(&crate::patterns::RowColumn2D1D::new(GridDims::new(5, 7)))
             .validate()
             .unwrap();
         TaskDag::from_pattern(&crate::patterns::Full2D2D::new(GridDims::new(4, 4)))
             .validate()
             .unwrap();
-        TaskDag::from_pattern(&crate::patterns::Linear1D::new(9)).validate().unwrap();
+        TaskDag::from_pattern(&crate::patterns::Linear1D::new(9))
+            .validate()
+            .unwrap();
     }
 
     #[test]
@@ -379,7 +400,8 @@ impl TaskDag {
         let mut level = vec![0usize; self.len()];
         let mut depth = 0usize;
         for &v in &order {
-            let l = self.vertex(v)
+            let l = self
+                .vertex(v)
                 .preds
                 .iter()
                 .map(|p| level[p.index()] + 1)

@@ -149,7 +149,12 @@ pub struct TileRegion {
 impl TileRegion {
     /// Create a region from half-open row and column ranges.
     pub const fn new(row_start: u32, row_end: u32, col_start: u32, col_end: u32) -> Self {
-        Self { row_start, row_end, col_start, col_end }
+        Self {
+            row_start,
+            row_end,
+            col_start,
+            col_end,
+        }
     }
 
     /// The region covered by tile `tile_pos` when `grid` is partitioned into
@@ -186,7 +191,10 @@ impl TileRegion {
     /// Whether `p` lies inside the region.
     #[inline]
     pub const fn contains(&self, p: GridPos) -> bool {
-        p.row >= self.row_start && p.row < self.row_end && p.col >= self.col_start && p.col < self.col_end
+        p.row >= self.row_start
+            && p.row < self.row_end
+            && p.col >= self.col_start
+            && p.col < self.col_end
     }
 
     /// Whether the region contains no cells.
@@ -269,7 +277,10 @@ mod tests {
                 seen[grid.linear(cell)] += 1;
             }
         }
-        assert!(seen.iter().all(|&n| n == 1), "each cell covered exactly once");
+        assert!(
+            seen.iter().all(|&n| n == 1),
+            "each cell covered exactly once"
+        );
     }
 
     #[test]

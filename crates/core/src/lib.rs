@@ -51,15 +51,15 @@ mod geom;
 mod model;
 mod parser;
 mod pattern;
+pub mod patterns;
 mod schedule;
 mod trace;
-pub mod patterns;
 
 pub use dag::{DagAnalysis, TaskDag, TaskVertex, VertexId};
 pub use error::{ParseError, PatternError};
 pub use geom::{GridDims, GridPos, TileRegion};
 pub use model::{DagDataDrivenModel, DataMappingFn, ModelBuilder};
 pub use parser::{DagParser, TaskState};
+pub use pattern::{tile_region, DagPattern, PatternKind};
 pub use schedule::ScheduleMode;
 pub use trace::{Span, Trace};
-pub use pattern::{tile_region, DagPattern, PatternKind};

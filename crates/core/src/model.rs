@@ -123,11 +123,9 @@ impl DagDataDrivenModel {
                     .expect("builtin kind")
                     .coarsen(self.thread_partition)
             }
-            PatternKind::Linear1D => {
-                patterns::builtin(PatternKind::Linear1D, rdims)
-                    .expect("builtin kind")
-                    .coarsen(self.thread_partition)
-            }
+            PatternKind::Linear1D => patterns::builtin(PatternKind::Linear1D, rdims)
+                .expect("builtin kind")
+                .coarsen(self.thread_partition),
             PatternKind::TriangularGap => {
                 let square = self.process_partition.rows == self.process_partition.cols;
                 if square && tile.row == tile.col && rdims.rows == rdims.cols {
@@ -306,8 +304,12 @@ mod tests {
             for (_, fv) in fast.iter() {
                 let gid = generic.vertex_at(fv.pos).expect("same vertices");
                 let mut fp: Vec<_> = fv.preds.iter().map(|p| fast.vertex(*p).pos).collect();
-                let mut gp: Vec<_> =
-                    generic.vertex(gid).preds.iter().map(|p| generic.vertex(*p).pos).collect();
+                let mut gp: Vec<_> = generic
+                    .vertex(gid)
+                    .preds
+                    .iter()
+                    .map(|p| generic.vertex(*p).pos)
+                    .collect();
                 fp.sort_unstable();
                 gp.sort_unstable();
                 assert_eq!(fp, gp, "tile {} sub {}", v.pos, fv.pos);
@@ -317,7 +319,8 @@ mod tests {
 
     #[test]
     fn default_partitions_cover_whole_grid() {
-        let m = DagDataDrivenModel::builder(Arc::new(Wavefront2D::new(GridDims::square(7)))).build();
+        let m =
+            DagDataDrivenModel::builder(Arc::new(Wavefront2D::new(GridDims::square(7)))).build();
         assert_eq!(m.rect_size(), GridDims::square(1));
         assert_eq!(m.tile_region(GridPos::new(0, 0)).area(), 49);
     }
@@ -328,10 +331,18 @@ mod tests {
             .process_partition_size(GridDims::square(4))
             .thread_partition_size(GridDims::square(2))
             .data_mapping_function(|tile| {
-                TileRegion::new(tile.row * 4, tile.row * 4 + 4, tile.col * 4, tile.col * 4 + 4)
+                TileRegion::new(
+                    tile.row * 4,
+                    tile.row * 4 + 4,
+                    tile.col * 4,
+                    tile.col * 4 + 4,
+                )
             })
             .build();
-        assert_eq!(m.tile_region(GridPos::new(1, 1)), TileRegion::new(4, 8, 4, 8));
+        assert_eq!(
+            m.tile_region(GridPos::new(1, 1)),
+            TileRegion::new(4, 8, 4, 8)
+        );
     }
 
     #[test]
@@ -346,6 +357,10 @@ mod tests {
         let last = m.tile_region(GridPos::new(2, 2));
         assert_eq!(last, TileRegion::new(8, 10, 8, 10));
         let slave = m.slave_dag(GridPos::new(2, 2));
-        assert_eq!(slave.len(), 1, "2x2 region with 3x3 thread tiles is one sub-task");
+        assert_eq!(
+            slave.len(),
+            1,
+            "2x2 region with 3x3 thread tiles is one sub-task"
+        );
     }
 }

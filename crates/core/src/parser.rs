@@ -57,7 +57,14 @@ impl DagParser {
         }
         // Deterministic initial order: sources pop lowest-id first.
         computable.sort_unstable_by(|a, b| b.cmp(a));
-        Self { remaining_preds, state, computable, finished: 0, running: 0, total }
+        Self {
+            remaining_preds,
+            state,
+            computable,
+            finished: 0,
+            running: 0,
+            total,
+        }
     }
 
     /// Current state of a vertex.
@@ -105,10 +112,7 @@ impl DagParser {
     /// Pop the most recently enabled computable sub-task satisfying `pred`
     /// and mark it running. Static schedulers (block-cyclic wavefront) use
     /// this to claim only the sub-tasks owned by a particular worker.
-    pub fn pop_computable_matching(
-        &mut self,
-        pred: impl Fn(VertexId) -> bool,
-    ) -> Option<VertexId> {
+    pub fn pop_computable_matching(&mut self, pred: impl Fn(VertexId) -> bool) -> Option<VertexId> {
         let idx = self.computable.iter().rposition(|&v| pred(v))?;
         let v = self.computable.remove(idx);
         debug_assert_eq!(self.state[v.index()], TaskState::Computable);
@@ -127,7 +131,9 @@ impl DagParser {
     ) -> Result<(), ParseError> {
         self.check_id(v)?;
         if self.state[v.index()] != TaskState::Running {
-            return Err(ParseError::NotRunning { vertex: dag.vertex(v).pos });
+            return Err(ParseError::NotRunning {
+                vertex: dag.vertex(v).pos,
+            });
         }
         self.state[v.index()] = TaskState::Finished;
         self.running -= 1;
@@ -153,7 +159,9 @@ impl DagParser {
     pub fn fail(&mut self, dag: &TaskDag, v: VertexId) -> Result<(), ParseError> {
         self.check_id(v)?;
         if self.state[v.index()] != TaskState::Running {
-            return Err(ParseError::NotRunning { vertex: dag.vertex(v).pos });
+            return Err(ParseError::NotRunning {
+                vertex: dag.vertex(v).pos,
+            });
         }
         self.state[v.index()] = TaskState::Computable;
         self.running -= 1;
@@ -171,10 +179,7 @@ impl DagParser {
     /// Drain the whole DAG in a single thread, calling `run` on each
     /// sub-task in a valid topological order. Convenience for sequential
     /// execution and tests.
-    pub fn drain_sequential(
-        dag: &TaskDag,
-        mut run: impl FnMut(VertexId),
-    ) {
+    pub fn drain_sequential(dag: &TaskDag, mut run: impl FnMut(VertexId)) {
         let mut parser = DagParser::new(dag);
         while let Some(v) = parser.pop_computable() {
             run(v);
@@ -182,7 +187,10 @@ impl DagParser {
                 .complete(dag, v, None)
                 .expect("sequential drain completes what it popped");
         }
-        assert!(parser.is_done(), "DAG with blocked tasks but empty frontier is cyclic");
+        assert!(
+            parser.is_done(),
+            "DAG with blocked tasks but empty frontier is cyclic"
+        );
     }
 }
 

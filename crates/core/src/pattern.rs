@@ -111,7 +111,10 @@ pub trait DagPattern: Send + Sync + fmt::Debug {
 
 /// Generic coarsening: maps every cell-level dependency to the tile level
 /// and deduplicates. Produces an explicit [`CustomPattern`].
-pub(crate) fn coarsen_by_scan(pattern: &(impl DagPattern + ?Sized), tile: GridDims) -> crate::patterns::CustomPattern {
+pub(crate) fn coarsen_by_scan(
+    pattern: &(impl DagPattern + ?Sized),
+    tile: GridDims,
+) -> crate::patterns::CustomPattern {
     let grid = pattern.dims();
     let tiles = grid.tiled_by(tile);
     let tile_of = |p: GridPos| GridPos::new(p.row / tile.rows, p.col / tile.cols);

@@ -69,7 +69,10 @@ impl DagPattern for Banded2D {
             // band without sharing a cell-level dependency; the extra edge
             // only makes scheduling marginally more conservative.
             let t = tile.rows;
-            Arc::new(Banded2D::new(self.dims.tiled_by(tile), self.band.div_ceil(t)))
+            Arc::new(Banded2D::new(
+                self.dims.tiled_by(tile),
+                self.band.div_ceil(t),
+            ))
         } else {
             Arc::new(coarsen_by_scan(self, tile))
         }
@@ -122,11 +125,16 @@ mod tests {
         let wide = Banded2D::new(GridDims::square(100), 50).vertex_count();
         let narrow = Banded2D::new(GridDims::square(100), 5).vertex_count();
         assert!(narrow < wide / 4);
-        assert_eq!(narrow, (0..100u64).map(|i| {
-            let lo = i.saturating_sub(5);
-            let hi = (i + 5).min(99);
-            hi - lo + 1
-        }).sum::<u64>());
+        assert_eq!(
+            narrow,
+            (0..100u64)
+                .map(|i| {
+                    let lo = i.saturating_sub(5);
+                    let hi = (i + 5).min(99);
+                    hi - lo + 1
+                })
+                .sum::<u64>()
+        );
     }
 
     #[test]
@@ -149,13 +157,17 @@ mod tests {
                 assert!(a.contains(q), "fast coarse must keep scan edge {q} of {tp}");
             }
         }
-        crate::dag::TaskDag::from_pattern(fast.as_ref()).validate().unwrap();
+        crate::dag::TaskDag::from_pattern(fast.as_ref())
+            .validate()
+            .unwrap();
     }
 
     #[test]
     fn rectangular_tiles_fall_back_to_scan() {
         let p = Banded2D::new(GridDims::square(12), 3);
         let c = p.coarsen(GridDims::new(2, 3));
-        crate::dag::TaskDag::from_pattern(c.as_ref()).validate().unwrap();
+        crate::dag::TaskDag::from_pattern(c.as_ref())
+            .validate()
+            .unwrap();
     }
 }

@@ -36,7 +36,12 @@ impl CustomPattern {
         assert_eq!(present.len(), n);
         assert_eq!(preds.len(), n);
         assert_eq!(data.len(), n);
-        Self { dims, present, preds, data: data.into_iter().map(Some).collect() }
+        Self {
+            dims,
+            present,
+            preds,
+            data: data.into_iter().map(Some).collect(),
+        }
     }
 
     /// Start a builder for a fully-present grid of `dims`.
@@ -210,14 +215,18 @@ mod tests {
     #[test]
     fn self_dependency_is_rejected() {
         let b = CustomPattern::builder(GridDims::new(2, 2));
-        let err = b.dependency(GridPos::new(0, 0), GridPos::new(0, 0)).unwrap_err();
+        let err = b
+            .dependency(GridPos::new(0, 0), GridPos::new(0, 0))
+            .unwrap_err();
         assert!(matches!(err, PatternError::SelfDependency { .. }));
     }
 
     #[test]
     fn out_of_bounds_edge_is_rejected() {
         let b = CustomPattern::builder(GridDims::new(2, 2));
-        let err = b.dependency(GridPos::new(0, 0), GridPos::new(5, 5)).unwrap_err();
+        let err = b
+            .dependency(GridPos::new(0, 0), GridPos::new(5, 5))
+            .unwrap_err();
         assert!(matches!(err, PatternError::OutOfBounds { .. }));
     }
 
@@ -239,7 +248,9 @@ mod tests {
         let b = CustomPattern::builder(GridDims::new(2, 2))
             .absent(GridPos::new(1, 1))
             .unwrap();
-        let err = b.dependency(GridPos::new(1, 1), GridPos::new(0, 0)).unwrap_err();
+        let err = b
+            .dependency(GridPos::new(1, 1), GridPos::new(0, 0))
+            .unwrap_err();
         assert!(matches!(err, PatternError::EdgeToAbsentVertex { .. }));
     }
 

@@ -49,7 +49,10 @@ impl DagPattern for Full2D2D {
     }
 
     fn coarsen(&self, tile: GridDims) -> Arc<dyn DagPattern> {
-        Arc::new(CoarseFull2D2D { grid: self.dims, tile })
+        Arc::new(CoarseFull2D2D {
+            grid: self.dims,
+            tile,
+        })
     }
 
     fn vertex_count(&self) -> u64 {
@@ -147,7 +150,10 @@ mod tests {
         assert_eq!(v.len(), 6);
         assert!(v.contains(&GridPos::new(0, 0)));
         assert!(v.contains(&GridPos::new(1, 2)));
-        assert!(!v.contains(&GridPos::new(2, 2)), "same row is not dominated at cell level");
+        assert!(
+            !v.contains(&GridPos::new(2, 2)),
+            "same row is not dominated at cell level"
+        );
     }
 
     fn assert_coarsen_matches_scan(grid: GridDims, tile: GridDims) {

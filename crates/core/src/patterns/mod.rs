@@ -40,7 +40,10 @@ pub fn builtin(kind: PatternKind, dims: GridDims) -> Option<Arc<dyn DagPattern>>
         PatternKind::Wavefront2D => Arc::new(Wavefront2D::new(dims)),
         PatternKind::RowColumn2D1D => Arc::new(RowColumn2D1D::new(dims)),
         PatternKind::TriangularGap => {
-            assert_eq!(dims.rows, dims.cols, "triangular pattern requires a square grid");
+            assert_eq!(
+                dims.rows, dims.cols,
+                "triangular pattern requires a square grid"
+            );
             Arc::new(TriangularGap::new(dims.rows))
         }
         PatternKind::Full2D2D => Arc::new(Full2D2D::new(dims)),

@@ -52,7 +52,10 @@ impl DagPattern for RowLookback2D {
     }
 
     fn coarsen(&self, tile: GridDims) -> Arc<dyn DagPattern> {
-        Arc::new(CoarseRowLookback2D { grid: self.dims, tile })
+        Arc::new(CoarseRowLookback2D {
+            grid: self.dims,
+            tile,
+        })
     }
 
     fn vertex_count(&self) -> u64 {
@@ -171,6 +174,8 @@ mod tests {
     fn coarse_dag_validates() {
         let p = RowLookback2D::new(GridDims::new(40, 60));
         let c = p.coarsen(GridDims::new(7, 9));
-        crate::dag::TaskDag::from_pattern(c.as_ref()).validate().unwrap();
+        crate::dag::TaskDag::from_pattern(c.as_ref())
+            .validate()
+            .unwrap();
     }
 }

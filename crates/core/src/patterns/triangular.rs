@@ -183,6 +183,8 @@ mod tests {
         let p = TriangularGap::new(6);
         let c = p.coarsen(GridDims::new(2, 3));
         assert_eq!(c.kind(), PatternKind::Custom);
-        crate::dag::TaskDag::from_pattern(c.as_ref()).validate().unwrap();
+        crate::dag::TaskDag::from_pattern(c.as_ref())
+            .validate()
+            .unwrap();
     }
 }

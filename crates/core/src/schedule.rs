@@ -59,7 +59,10 @@ mod tests {
 
     #[test]
     fn dynamic_has_no_static_owner() {
-        assert_eq!(ScheduleMode::Dynamic.static_owner(GridPos::new(0, 5), 10, 3), None);
+        assert_eq!(
+            ScheduleMode::Dynamic.static_owner(GridPos::new(0, 5), 10, 3),
+            None
+        );
     }
 
     #[test]
@@ -90,7 +93,10 @@ mod tests {
 
     #[test]
     fn every_tile_has_an_owner_in_range() {
-        for mode in [ScheduleMode::BlockCyclic { block: 3 }, ScheduleMode::ColumnWavefront] {
+        for mode in [
+            ScheduleMode::BlockCyclic { block: 3 },
+            ScheduleMode::ColumnWavefront,
+        ] {
             for c in 0..50 {
                 let o = mode.static_owner(GridPos::new(0, c), 50, 7).unwrap();
                 assert!(o < 7);

@@ -45,7 +45,12 @@ impl Trace {
         end_ns: u64,
     ) {
         debug_assert!(end_ns >= start_ns);
-        self.spans.push(Span { lane: lane.into(), label: label.into(), start_ns, end_ns });
+        self.spans.push(Span {
+            lane: lane.into(),
+            label: label.into(),
+            start_ns,
+            end_ns,
+        });
     }
 
     /// Latest end time over all spans.
@@ -59,7 +64,10 @@ impl Trace {
     pub fn has_lane_overlaps(&self) -> bool {
         let mut by_lane: BTreeMap<&str, Vec<(u64, u64)>> = BTreeMap::new();
         for s in &self.spans {
-            by_lane.entry(&s.lane).or_default().push((s.start_ns, s.end_ns));
+            by_lane
+                .entry(&s.lane)
+                .or_default()
+                .push((s.start_ns, s.end_ns));
         }
         for intervals in by_lane.values_mut() {
             intervals.sort_unstable();
@@ -95,8 +103,7 @@ impl Trace {
             return out;
         }
         let lane_names: Vec<String> = {
-            let mut names: Vec<String> =
-                self.spans.iter().map(|s| s.lane.clone()).collect();
+            let mut names: Vec<String> = self.spans.iter().map(|s| s.lane.clone()).collect();
             names.sort();
             names.dedup();
             names

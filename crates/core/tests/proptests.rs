@@ -1,8 +1,8 @@
 //! Property-based tests for the DAG Data Driven Model invariants.
 
 use easyhps_core::patterns::{
-    AntiWavefront2D, Banded2D, CustomPattern, Full2D2D, Linear1D, RestrictedPattern,
-    RowColumn2D1D, RowLookback2D, TriangularGap, Wavefront2D,
+    AntiWavefront2D, Banded2D, CustomPattern, Full2D2D, Linear1D, RestrictedPattern, RowColumn2D1D,
+    RowLookback2D, TriangularGap, Wavefront2D,
 };
 use easyhps_core::{
     DagDataDrivenModel, DagParser, DagPattern, GridDims, GridPos, PatternKind, TaskDag, TileRegion,
@@ -18,17 +18,31 @@ fn arb_pattern_ex() -> impl Strategy<Value = (Arc<dyn DagPattern>, bool)> {
         let dims = GridDims::new(rows, cols);
         let n = rows.max(cols);
         match kind {
-            0 => (Arc::new(Wavefront2D::new(dims)) as Arc<dyn DagPattern>, true),
-            1 => (Arc::new(RowColumn2D1D::new(dims)) as Arc<dyn DagPattern>, true),
+            0 => (
+                Arc::new(Wavefront2D::new(dims)) as Arc<dyn DagPattern>,
+                true,
+            ),
+            1 => (
+                Arc::new(RowColumn2D1D::new(dims)) as Arc<dyn DagPattern>,
+                true,
+            ),
             2 => (Arc::new(TriangularGap::new(n)) as Arc<dyn DagPattern>, true),
             3 => (Arc::new(Full2D2D::new(dims)) as Arc<dyn DagPattern>, true),
             4 => (Arc::new(Linear1D::new(cols)) as Arc<dyn DagPattern>, true),
-            5 => (Arc::new(AntiWavefront2D::new(dims)) as Arc<dyn DagPattern>, true),
-            6 => (Arc::new(RowLookback2D::new(dims)) as Arc<dyn DagPattern>, true),
+            5 => (
+                Arc::new(AntiWavefront2D::new(dims)) as Arc<dyn DagPattern>,
+                true,
+            ),
+            6 => (
+                Arc::new(RowLookback2D::new(dims)) as Arc<dyn DagPattern>,
+                true,
+            ),
             // The band must keep the last row/col reachable from (0,0).
             _ => (
-                Arc::new(Banded2D::new(GridDims::square(n), band + rows.abs_diff(cols)))
-                    as Arc<dyn DagPattern>,
+                Arc::new(Banded2D::new(
+                    GridDims::square(n),
+                    band + rows.abs_diff(cols),
+                )) as Arc<dyn DagPattern>,
                 false,
             ),
         }

@@ -36,7 +36,10 @@ impl Grammar {
     /// Validate the grammar (symbol ranges, 64-nonterminal limit).
     pub fn validate(&self) -> Result<(), String> {
         if self.nonterminals == 0 || self.nonterminals > 64 {
-            return Err(format!("need 1..=64 nonterminals, got {}", self.nonterminals));
+            return Err(format!(
+                "need 1..=64 nonterminals, got {}",
+                self.nonterminals
+            ));
         }
         for &(a, _) in &self.terminal_rules {
             if a >= self.nonterminals {
@@ -80,7 +83,10 @@ impl CykParser {
     /// `Result`).
     pub fn new(grammar: Grammar, word: impl Into<Vec<u8>>) -> Self {
         grammar.validate().expect("valid grammar");
-        Self { grammar, word: word.into() }
+        Self {
+            grammar,
+            word: word.into(),
+        }
     }
 
     fn n(&self) -> u32 {
@@ -190,9 +196,17 @@ mod tests {
     #[test]
     fn grammar_validation() {
         assert!(Grammar::balanced_parens().validate().is_ok());
-        let bad = Grammar { nonterminals: 2, terminal_rules: vec![(5, b'x')], binary_rules: vec![] };
+        let bad = Grammar {
+            nonterminals: 2,
+            terminal_rules: vec![(5, b'x')],
+            binary_rules: vec![],
+        };
         assert!(bad.validate().is_err());
-        let too_many = Grammar { nonterminals: 65, terminal_rules: vec![], binary_rules: vec![] };
+        let too_many = Grammar {
+            nonterminals: 65,
+            terminal_rules: vec![],
+            binary_rules: vec![],
+        };
         assert!(too_many.validate().is_err());
     }
 

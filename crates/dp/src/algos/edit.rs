@@ -23,7 +23,10 @@ pub struct EditDistance {
 impl EditDistance {
     /// Edit distance from `a` (rows) to `b` (columns).
     pub fn new(a: impl Into<Vec<u8>>, b: impl Into<Vec<u8>>) -> Self {
-        Self { a: a.into(), b: b.into() }
+        Self {
+            a: a.into(),
+            b: b.into(),
+        }
     }
 
     /// The final distance, read from a fully computed matrix.
@@ -39,9 +42,17 @@ impl EditDistance {
         while i > 0 || j > 0 {
             let cur = m.get(i, j);
             if i > 0 && j > 0 {
-                let sub = if self.a[i as usize - 1] == self.b[j as usize - 1] { 0 } else { 1 };
+                let sub = if self.a[i as usize - 1] == self.b[j as usize - 1] {
+                    0
+                } else {
+                    1
+                };
                 if m.get(i - 1, j - 1) + sub == cur {
-                    ops.push(if sub == 0 { EditOp::Keep } else { EditOp::Substitute });
+                    ops.push(if sub == 0 {
+                        EditOp::Keep
+                    } else {
+                        EditOp::Substitute
+                    });
                     i -= 1;
                     j -= 1;
                     continue;
@@ -90,21 +101,20 @@ impl DpProblem for EditDistance {
     }
 
     fn compute_region<G: DpGrid<i32>>(&self, m: &mut G, region: TileRegion) {
-        for i in region.row_start..region.row_end {
-            for j in region.col_start..region.col_end {
-                let v = if i == 0 {
-                    j as i32
-                } else if j == 0 {
-                    i as i32
+        crate::algos::row_sweep::sweep_rows_2d(
+            m,
+            region,
+            |j| j as i32,
+            |i| i as i32,
+            |diag, up, left, i, j| {
+                let sub = if self.a[i as usize - 1] == self.b[j as usize - 1] {
+                    0
                 } else {
-                    let sub = if self.a[i as usize - 1] == self.b[j as usize - 1] { 0 } else { 1 };
-                    (m.get(i - 1, j) + 1)
-                        .min(m.get(i, j - 1) + 1)
-                        .min(m.get(i - 1, j - 1) + sub)
+                    1
                 };
-                m.set(i, j, v);
-            }
-        }
+                (up + 1).min(left + 1).min(diag + sub)
+            },
+        );
     }
 }
 

@@ -168,8 +168,18 @@ mod tests {
             // The emitted alignment replays to the optimal score.
             assert_eq!(aln.score as i64, h.score(&a, &b), "seed {seed}");
             // And consumes both sequences fully.
-            let a_used: Vec<u8> = aln.a_aligned.iter().copied().filter(|&c| c != b'-').collect();
-            let b_used: Vec<u8> = aln.b_aligned.iter().copied().filter(|&c| c != b'-').collect();
+            let a_used: Vec<u8> = aln
+                .a_aligned
+                .iter()
+                .copied()
+                .filter(|&c| c != b'-')
+                .collect();
+            let b_used: Vec<u8> = aln
+                .b_aligned
+                .iter()
+                .copied()
+                .filter(|&c| c != b'-')
+                .collect();
             assert_eq!(a_used, a);
             assert_eq!(b_used, b);
         }

@@ -164,7 +164,9 @@ mod tests {
     #[test]
     fn tiled_equal_sequential_even_with_column_partitions() {
         use easyhps_core::{DagParser, TaskDag};
-        let items: Vec<(u32, u64)> = (0..12).map(|i| (1 + i % 5, (i * 3 % 11) as u64 + 1)).collect();
+        let items: Vec<(u32, u64)> = (0..12)
+            .map(|i| (1 + i % 5, (i * 3 % 11) as u64 + 1))
+            .collect();
         let p = Knapsack::new(&items, 30);
         let seq = p.solve_sequential();
         // Column partitions are safe because RowLookback2D ships the whole

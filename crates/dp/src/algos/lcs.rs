@@ -22,7 +22,10 @@ pub struct Lcs {
 impl Lcs {
     /// LCS of `a` (rows) and `b` (columns).
     pub fn new(a: impl Into<Vec<u8>>, b: impl Into<Vec<u8>>) -> Self {
-        Self { a: a.into(), b: b.into() }
+        Self {
+            a: a.into(),
+            b: b.into(),
+        }
     }
 
     /// Length of the LCS from a computed matrix.
@@ -66,18 +69,19 @@ impl DpProblem for Lcs {
     }
 
     fn compute_region<G: DpGrid<i32>>(&self, m: &mut G, region: TileRegion) {
-        for i in region.row_start..region.row_end {
-            for j in region.col_start..region.col_end {
-                let v = if i == 0 || j == 0 {
-                    0
-                } else if self.a[i as usize - 1] == self.b[j as usize - 1] {
-                    m.get(i - 1, j - 1) + 1
+        crate::algos::row_sweep::sweep_rows_2d(
+            m,
+            region,
+            |_| 0,
+            |_| 0,
+            |diag, up, left, i, j| {
+                if self.a[i as usize - 1] == self.b[j as usize - 1] {
+                    diag + 1
                 } else {
-                    m.get(i - 1, j).max(m.get(i, j - 1))
-                };
-                m.set(i, j, v);
-            }
-        }
+                    up.max(left)
+                }
+            },
+        );
     }
 }
 
@@ -99,7 +103,10 @@ mod tests {
         // The reconstruction must be a subsequence of both inputs.
         for (hay, _) in [("ABCBDAB", 0), ("BDCABA", 0)] {
             let mut it = hay.bytes();
-            assert!(s.bytes().all(|c| it.any(|h| h == c)), "{s} not a subsequence of {hay}");
+            assert!(
+                s.bytes().all(|c| it.any(|h| h == c)),
+                "{s} not a subsequence of {hay}"
+            );
         }
     }
 

@@ -96,7 +96,9 @@ impl DpProblem for MatrixChain {
                         .map(|k| {
                             m.get(i, k)
                                 + m.get(k + 1, j)
-                                + self.p[i as usize] * self.p[k as usize + 1] * self.p[j as usize + 1]
+                                + self.p[i as usize]
+                                    * self.p[k as usize + 1]
+                                    * self.p[j as usize + 1]
                         })
                         .min()
                         .expect("nonempty split range")

@@ -36,7 +36,12 @@ impl NeedlemanWunsch {
         gap: i32,
     ) -> Self {
         assert!(gap >= 0, "gap penalty is a cost (non-negative)");
-        Self { a: a.into(), b: b.into(), substitution, gap }
+        Self {
+            a: a.into(),
+            b: b.into(),
+            substitution,
+            gap,
+        }
     }
 
     /// DNA defaults: +2/-1 substitution, gap 2.
@@ -57,7 +62,9 @@ impl NeedlemanWunsch {
         while i > 0 || j > 0 {
             let cur = m.get(i, j);
             if i > 0 && j > 0 {
-                let s = self.substitution.score(self.a[i as usize - 1], self.b[j as usize - 1]);
+                let s = self
+                    .substitution
+                    .score(self.a[i as usize - 1], self.b[j as usize - 1]);
                 if m.get(i - 1, j - 1) + s == cur {
                     ra.push(self.a[i as usize - 1]);
                     rb.push(self.b[j as usize - 1]);
@@ -105,21 +112,18 @@ impl DpProblem for NeedlemanWunsch {
     }
 
     fn compute_region<G: DpGrid<i32>>(&self, m: &mut G, region: TileRegion) {
-        for i in region.row_start..region.row_end {
-            for j in region.col_start..region.col_end {
-                let v = if i == 0 {
-                    -(j as i32) * self.gap
-                } else if j == 0 {
-                    -(i as i32) * self.gap
-                } else {
-                    let s = self.substitution.score(self.a[i as usize - 1], self.b[j as usize - 1]);
-                    (m.get(i - 1, j - 1) + s)
-                        .max(m.get(i - 1, j) - self.gap)
-                        .max(m.get(i, j - 1) - self.gap)
-                };
-                m.set(i, j, v);
-            }
-        }
+        crate::algos::row_sweep::sweep_rows_2d(
+            m,
+            region,
+            |j| -(j as i32) * self.gap,
+            |i| -(i as i32) * self.gap,
+            |diag, up, left, i, j| {
+                let s = self
+                    .substitution
+                    .score(self.a[i as usize - 1], self.b[j as usize - 1]);
+                (diag + s).max(up - self.gap).max(left - self.gap)
+            },
+        );
     }
 }
 
@@ -154,8 +158,18 @@ mod tests {
         let p = NeedlemanWunsch::dna(a.clone(), b.clone());
         let m = p.solve_sequential();
         let aln = p.traceback(&m);
-        let a_used: Vec<u8> = aln.a_aligned.iter().copied().filter(|&c| c != b'-').collect();
-        let b_used: Vec<u8> = aln.b_aligned.iter().copied().filter(|&c| c != b'-').collect();
+        let a_used: Vec<u8> = aln
+            .a_aligned
+            .iter()
+            .copied()
+            .filter(|&c| c != b'-')
+            .collect();
+        let b_used: Vec<u8> = aln
+            .b_aligned
+            .iter()
+            .copied()
+            .filter(|&c| c != b'-')
+            .collect();
         assert_eq!(a_used, a, "global alignment consumes all of a");
         assert_eq!(b_used, b, "global alignment consumes all of b");
     }

@@ -32,30 +32,22 @@ pub struct Nussinov {
 impl Nussinov {
     /// Fold `seq` with the default minimum loop length of 1.
     pub fn new(seq: impl Into<Vec<u8>>) -> Self {
-        Self { seq: seq.into(), min_loop: 1 }
+        Self {
+            seq: seq.into(),
+            min_loop: 1,
+        }
     }
 
     /// Fold with a custom minimum loop length.
     pub fn with_min_loop(seq: impl Into<Vec<u8>>, min_loop: u32) -> Self {
-        Self { seq: seq.into(), min_loop }
+        Self {
+            seq: seq.into(),
+            min_loop,
+        }
     }
 
     fn n(&self) -> u32 {
         self.seq.len() as u32
-    }
-
-    fn cell<G: DpGrid<i32>>(&self, m: &G, i: u32, j: u32) -> i32 {
-        if j <= i {
-            return 0;
-        }
-        let mut best = m.get(i + 1, j).max(m.get(i, j - 1));
-        if j - i > self.min_loop && rna_pairs(self.seq[i as usize], self.seq[j as usize]) {
-            best = best.max(m.get(i + 1, j - 1) + 1);
-        }
-        for k in (i + 1)..j {
-            best = best.max(m.get(i, k) + m.get(k + 1, j));
-        }
-        best
     }
 
     /// Maximum number of base pairs, read from a computed matrix.
@@ -138,13 +130,71 @@ impl DpProblem for Nussinov {
     fn compute_region<G: DpGrid<i32>>(&self, m: &mut G, region: TileRegion) {
         // Bottom-up rows, left-to-right columns: inside the region, (i+1, *)
         // is done before row i, and (i, j-1) before (i, j).
-        for i in (region.row_start..region.row_end).rev() {
-            for j in region.col_start..region.col_end {
-                if j < i {
-                    continue;
-                }
-                let v = self.cell(m, i, j);
-                m.set(i, j, v);
+        let (r0, r1, c0, c1) = (
+            region.row_start,
+            region.row_end,
+            region.col_start,
+            region.col_end,
+        );
+        if r0 >= r1 || c0 >= c1 || c1 <= r0 {
+            // (c1 <= r0: the region lies entirely in the untouched lower
+            // triangle.)
+            return;
+        }
+        let w = (c1 - c0) as usize;
+        // Per region column j, cells of rows [r0, c1) — the bifurcation
+        // scan's right operand. Rows below the region come from finished
+        // tiles (or the never-written lower triangle, which reads as 0).
+        let span = (c1 - r0) as usize;
+        let mut cols = vec![0i32; w * span];
+        let mut tmp = vec![0i32; w];
+        for r in r1..c1 {
+            m.read_row_into(r, c0, &mut tmp);
+            for (idx, &v) in tmp.iter().enumerate() {
+                cols[idx * span + (r - r0) as usize] = v;
+            }
+        }
+        // The current row over columns [0, c1); the prefix [0, c0) is one
+        // bulk read per row, the region part is produced in place.
+        let mut rowbuf = vec![0i32; c1 as usize];
+        for i in (r0..r1).rev() {
+            if c0 > 0 {
+                m.read_row_into(i, 0, &mut rowbuf[..c0 as usize]);
+            }
+            let start = c0.max(i);
+            for j in start..c1 {
+                let idx = (j - c0) as usize;
+                let col_j = &cols[idx * span..(idx + 1) * span];
+                let v = if j <= i {
+                    0
+                } else {
+                    // F[i+1, j] and F[i, j-1].
+                    let mut best = col_j[(i + 1 - r0) as usize].max(rowbuf[j as usize - 1]);
+                    if j - i > self.min_loop
+                        && rna_pairs(self.seq[i as usize], self.seq[j as usize])
+                    {
+                        let pair_diag = if j == c0 {
+                            m.get(i + 1, c0 - 1)
+                        } else {
+                            cols[(idx - 1) * span + (i + 1 - r0) as usize]
+                        };
+                        best = best.max(pair_diag + 1);
+                    }
+                    // Bifurcation: k in (i, j) pairs F[i, k] (row) with
+                    // F[k+1, j] (column).
+                    for (&rv, &cv) in rowbuf[(i + 1) as usize..j as usize]
+                        .iter()
+                        .zip(&col_j[(i + 2 - r0) as usize..(j + 1 - r0) as usize])
+                    {
+                        best = best.max(rv + cv);
+                    }
+                    best
+                };
+                rowbuf[j as usize] = v;
+                cols[idx * span + (i - r0) as usize] = v;
+            }
+            if start < c1 {
+                m.write_row(i, start, &rowbuf[start as usize..c1 as usize]);
             }
         }
     }
@@ -162,6 +212,42 @@ impl DpProblem for Nussinov {
 mod tests {
     use super::*;
     use crate::sequence::{random_sequence, Alphabet};
+
+    /// The recurrence written cell-at-a-time, as a reference for the
+    /// slice-sweep kernel.
+    fn reference_cell(p: &Nussinov, m: &DpMatrix<i32>, i: u32, j: u32) -> i32 {
+        if j <= i {
+            return 0;
+        }
+        let mut best = m.get(i + 1, j).max(m.get(i, j - 1));
+        if j - i > p.min_loop && rna_pairs(p.seq[i as usize], p.seq[j as usize]) {
+            best = best.max(m.get(i + 1, j - 1) + 1);
+        }
+        for k in (i + 1)..j {
+            best = best.max(m.get(i, k) + m.get(k + 1, j));
+        }
+        best
+    }
+
+    #[test]
+    fn sweep_kernel_matches_per_cell_reference() {
+        let seq = random_sequence(Alphabet::Rna, 41, 17);
+        let p = Nussinov::new(seq);
+        let m = p.solve_sequential();
+        let n = p.n();
+        let mut r = DpMatrix::new(p.dims());
+        for i in (0..n).rev() {
+            for j in i..n {
+                let v = reference_cell(&p, &r, i, j);
+                r.set(i, j, v);
+            }
+        }
+        for i in 0..n {
+            for j in i..n {
+                assert_eq!(m.get(i, j), r.get(i, j), "cell ({i},{j})");
+            }
+        }
+    }
 
     #[test]
     fn tiny_hairpin() {

@@ -145,8 +145,16 @@ mod tests {
             }
             let mut best = u64::MAX;
             for r in i..=j {
-                let left = if r > i { go(freq, i, r - 1, depth + 1) } else { 0 };
-                let right = if r < j { go(freq, r + 1, j, depth + 1) } else { 0 };
+                let left = if r > i {
+                    go(freq, i, r - 1, depth + 1)
+                } else {
+                    0
+                };
+                let right = if r < j {
+                    go(freq, r + 1, j, depth + 1)
+                } else {
+                    0
+                };
                 best = best.min(left + right + freq[r] * depth);
             }
             best

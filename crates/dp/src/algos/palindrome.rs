@@ -136,7 +136,10 @@ mod tests {
             assert!(pal.bytes().eq(pal.bytes().rev()), "{pal} not a palindrome");
             // Subsequence of s.
             let mut it = s.bytes();
-            assert!(pal.bytes().all(|c| it.any(|h| h == c)), "{pal} not a subsequence of {s}");
+            assert!(
+                pal.bytes().all(|c| it.any(|h| h == c)),
+                "{pal} not a subsequence of {s}"
+            );
         }
     }
 

@@ -101,7 +101,10 @@ mod tests {
     fn deterministic_across_runs() {
         let p1 = Quadrant2D2D::new(12, 99);
         let p2 = Quadrant2D2D::new(12, 99);
-        assert_eq!(p1.result(&p1.solve_sequential()), p2.result(&p2.solve_sequential()));
+        assert_eq!(
+            p1.result(&p1.solve_sequential()),
+            p2.result(&p2.solve_sequential())
+        );
         let p3 = Quadrant2D2D::new(12, 100);
         // Different seed almost surely differs.
         assert_ne!(
@@ -119,9 +122,8 @@ mod tests {
         for i in 1..=8u32 {
             for j in 1..=8u32 {
                 let v = m.get(i, j);
-                let found = (0..i).any(|ip| {
-                    (0..j).any(|jp| m.get(ip, jp) + p.weight(ip + jp, i + j) == v)
-                });
+                let found =
+                    (0..i).any(|ip| (0..j).any(|jp| m.get(ip, jp) + p.weight(ip + jp, i + j) == v));
                 assert!(found, "cell ({i},{j}) not witnessed");
             }
         }

@@ -1,0 +1,72 @@
+//! Shared row-sweep kernel skeleton for 2D/0D wavefront recurrences.
+//!
+//! Needleman-Wunsch, edit distance and LCS all read the same three
+//! neighbours (up-left, up, left). Instead of four grid calls per cell,
+//! the sweep keeps rows `i-1` and `i` in two flat buffers and touches the
+//! grid once per row: one bulk read to seed the previous row, one `get`
+//! per row for the left-boundary column, one bulk write of the finished
+//! row. On grids with region checks this also turns per-cell asserts into
+//! one check per row.
+
+use crate::matrix::DpGrid;
+use easyhps_core::TileRegion;
+
+/// Sweep `region` row by row, filling each cell from its three
+/// neighbours.
+///
+/// * `top(j)` — value of boundary row `i == 0` at column `j`;
+/// * `left(i)` — value of boundary column `j == 0` at row `i > 0`;
+/// * `inner(diag, up, left_cell, i, j)` — the recurrence for `i, j > 0`
+///   given `m[i-1,j-1]`, `m[i-1,j]` and `m[i,j-1]`.
+///
+/// The buffers cover columns `[c0 - off, c1)` where slot 0 carries the
+/// left-boundary column `c0 - 1` whenever the region does not start at
+/// column 0, so `inner` never needs a grid read.
+pub(crate) fn sweep_rows_2d<G: DpGrid<i32>>(
+    m: &mut G,
+    region: TileRegion,
+    top: impl Fn(u32) -> i32,
+    left: impl Fn(u32) -> i32,
+    inner: impl Fn(i32, i32, i32, u32, u32) -> i32,
+) {
+    let (r0, r1, c0, c1) = (
+        region.row_start,
+        region.row_end,
+        region.col_start,
+        region.col_end,
+    );
+    if r0 >= r1 || c0 >= c1 {
+        return;
+    }
+    let off = (c0 > 0) as usize;
+    let width = (c1 - c0) as usize + off;
+    let mut prev = vec![0i32; width];
+    let mut cur = vec![0i32; width];
+    if r0 > 0 {
+        // Row r0-1 over [c0-off, c1): the up row plus the diagonal corner.
+        m.read_row_into(r0 - 1, c0 - off as u32, &mut prev);
+    }
+    for i in r0..r1 {
+        if i == 0 {
+            for (k, v) in cur.iter_mut().enumerate() {
+                *v = top(c0 - off as u32 + k as u32);
+            }
+        } else {
+            if off == 1 {
+                // Left-boundary column, produced by the left-neighbour tile.
+                cur[0] = m.get(i, c0 - 1);
+            }
+            for k in off..width {
+                let j = c0 + (k - off) as u32;
+                cur[k] = if j == 0 {
+                    left(i)
+                } else {
+                    // j > 0 implies k >= 1 (k == 0 only at c0 == 0, j == 0).
+                    inner(prev[k - 1], prev[k], cur[k - 1], i, j)
+                };
+            }
+        }
+        m.write_row(i, c0, &cur[off..]);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+}

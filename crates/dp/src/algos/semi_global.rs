@@ -35,7 +35,12 @@ impl SemiGlobal {
         gap: i32,
     ) -> Self {
         assert!(gap >= 0, "gap penalty is a cost (non-negative)");
-        Self { query: query.into(), reference: reference.into(), substitution, gap }
+        Self {
+            query: query.into(),
+            reference: reference.into(),
+            substitution,
+            gap,
+        }
     }
 
     /// DNA defaults: +2/-1, gap 2.
@@ -168,7 +173,12 @@ mod tests {
         let p = SemiGlobal::dna(query.clone(), reference);
         let m = p.solve_sequential();
         let aln = p.traceback(&m);
-        let used: Vec<u8> = aln.a_aligned.iter().copied().filter(|&c| c != b'-').collect();
+        let used: Vec<u8> = aln
+            .a_aligned
+            .iter()
+            .copied()
+            .filter(|&c| c != b'-')
+            .collect();
         assert_eq!(used, query, "semi-global must consume the whole query");
     }
 
@@ -181,7 +191,10 @@ mod tests {
         let nw = NeedlemanWunsch::dna(q, r);
         let sg_score = sg.best(&sg.solve_sequential()).0;
         let nw_score = nw.score(&nw.solve_sequential());
-        assert!(sg_score >= nw_score, "free end gaps can only help: {sg_score} vs {nw_score}");
+        assert!(
+            sg_score >= nw_score,
+            "free end gaps can only help: {sg_score} vs {nw_score}"
+        );
     }
 
     #[test]

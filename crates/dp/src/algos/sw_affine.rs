@@ -43,7 +43,13 @@ impl SmithWatermanAffine {
         open: i32,
         extend: i32,
     ) -> Self {
-        Self { a: a.into(), b: b.into(), substitution, open, extend }
+        Self {
+            a: a.into(),
+            b: b.into(),
+            substitution,
+            open,
+            extend,
+        }
     }
 
     /// DNA defaults: +2/-1 substitution, gap open 4, extend 1.
@@ -86,7 +92,9 @@ impl SmithWatermanAffine {
                     if h == 0 || i == 0 || j == 0 {
                         break;
                     }
-                    let s = self.substitution.score(self.a[i as usize - 1], self.b[j as usize - 1]);
+                    let s = self
+                        .substitution
+                        .score(self.a[i as usize - 1], self.b[j as usize - 1]);
                     if m.get(i - 1, j - 1).h + s == h {
                         ra.push(self.a[i as usize - 1]);
                         rb.push(self.b[j as usize - 1]);
@@ -150,11 +158,17 @@ impl DpProblem for SmithWatermanAffine {
         for i in region.row_start..region.row_end {
             for j in region.col_start..region.col_end {
                 let cell = if i == 0 || j == 0 {
-                    Gotoh { h: 0, e: NEG_INF, f: NEG_INF }
+                    Gotoh {
+                        h: 0,
+                        e: NEG_INF,
+                        f: NEG_INF,
+                    }
                 } else {
                     let e = (m.get(i, j - 1).h - self.open).max(m.get(i, j - 1).e - self.extend);
                     let f = (m.get(i - 1, j).h - self.open).max(m.get(i - 1, j).f - self.extend);
-                    let s = self.substitution.score(self.a[i as usize - 1], self.b[j as usize - 1]);
+                    let s = self
+                        .substitution
+                        .score(self.a[i as usize - 1], self.b[j as usize - 1]);
                     let h = 0.max(m.get(i - 1, j - 1).h + s).max(e).max(f);
                     Gotoh { h, e, f }
                 };
@@ -194,7 +208,11 @@ mod tests {
             );
             let ma = affine.solve_sequential();
             let mg = general.solve_sequential();
-            assert_eq!(affine.best_score(&ma), general.best_score(&mg), "seed {seed}");
+            assert_eq!(
+                affine.best_score(&ma),
+                general.best_score(&mg),
+                "seed {seed}"
+            );
         }
     }
 

@@ -39,29 +39,23 @@ impl SmithWatermanGeneralGap {
         substitution: Substitution,
         gap: GapPenalty,
     ) -> Self {
-        Self { a: a.into(), b: b.into(), substitution, gap }
+        Self {
+            a: a.into(),
+            b: b.into(),
+            substitution,
+            gap,
+        }
     }
 
     /// Convenience: DNA defaults (+2/-1) with the logarithmic gap
     /// `w(k) = 4 + 2*floor(log2 k)`.
     pub fn dna(a: impl Into<Vec<u8>>, b: impl Into<Vec<u8>>) -> Self {
-        Self::new(a, b, Substitution::dna_default(), GapPenalty::Logarithmic { a: 4, b: 2 })
-    }
-
-    fn cell<G: DpGrid<i32>>(&self, m: &G, i: u32, j: u32) -> i32 {
-        if i == 0 || j == 0 {
-            return 0;
-        }
-        let mut best = 0;
-        let s = self.substitution.score(self.a[i as usize - 1], self.b[j as usize - 1]);
-        best = best.max(m.get(i - 1, j - 1) + s);
-        for k in 1..=j {
-            best = best.max(m.get(i, j - k) - self.gap.cost(k));
-        }
-        for k in 1..=i {
-            best = best.max(m.get(i - k, j) - self.gap.cost(k));
-        }
-        best
+        Self::new(
+            a,
+            b,
+            Substitution::dna_default(),
+            GapPenalty::Logarithmic { a: 4, b: 2 },
+        )
     }
 
     /// Best local alignment score in a computed matrix.
@@ -92,7 +86,9 @@ impl SmithWatermanGeneralGap {
         let (mut ra, mut rb) = (Vec::new(), Vec::new());
         while i > 0 && j > 0 && m.get(i, j) > 0 {
             let cur = m.get(i, j);
-            let s = self.substitution.score(self.a[i as usize - 1], self.b[j as usize - 1]);
+            let s = self
+                .substitution
+                .score(self.a[i as usize - 1], self.b[j as usize - 1]);
             if m.get(i - 1, j - 1) + s == cur {
                 ra.push(self.a[i as usize - 1]);
                 rb.push(self.b[j as usize - 1]);
@@ -130,7 +126,10 @@ impl SmithWatermanGeneralGap {
                     break;
                 }
             }
-            assert!(moved, "traceback stuck at ({i},{j}): matrix inconsistent with scoring");
+            assert!(
+                moved,
+                "traceback stuck at ({i},{j}): matrix inconsistent with scoring"
+            );
         }
         ra.reverse();
         rb.reverse();
@@ -160,11 +159,75 @@ impl DpProblem for SmithWatermanGeneralGap {
     }
 
     fn compute_region<G: DpGrid<i32>>(&self, m: &mut G, region: TileRegion) {
-        for i in region.row_start..region.row_end {
-            for j in region.col_start..region.col_end {
-                let v = self.cell(m, i, j);
-                m.set(i, j, v);
+        let (r0, r1, c0, c1) = (
+            region.row_start,
+            region.row_end,
+            region.col_start,
+            region.col_end,
+        );
+        if r0 >= r1 || c0 >= c1 {
+            return;
+        }
+        let rows = r1 as usize;
+        let w = (c1 - c0) as usize;
+        // The gap cost is pure in k: tabulate it once per region instead of
+        // re-evaluating inside every row/column scan.
+        let max_k = (r1.max(c1) - 1) as usize;
+        let mut wtab = vec![0i32; max_k + 1];
+        for (k, wk) in wtab.iter_mut().enumerate().skip(1) {
+            *wk = self.gap.cost(k as u32);
+        }
+        // rowbuf holds the current row over columns [0, c1): the prefix
+        // [0, c0) comes from earlier tiles (one bulk read per row), the
+        // region part is produced in place, so the row scan sweeps one
+        // contiguous slice.
+        let mut rowbuf = vec![0i32; c1 as usize];
+        // cols holds, column-major, rows [0, i) of every region column —
+        // the column scan's input. Rows above the region are loaded once.
+        let mut cols = vec![0i32; w * rows];
+        if r0 > 0 {
+            let mut tmp = vec![0i32; w];
+            for r in 0..r0 {
+                m.read_row_into(r, c0, &mut tmp);
+                for (idx, &v) in tmp.iter().enumerate() {
+                    cols[idx * rows + r as usize] = v;
+                }
             }
+        }
+        for i in r0..r1 {
+            if c0 > 0 {
+                m.read_row_into(i, 0, &mut rowbuf[..c0 as usize]);
+            }
+            for j in c0..c1 {
+                let idx = (j - c0) as usize;
+                let v = if i == 0 || j == 0 {
+                    0
+                } else {
+                    let s = self
+                        .substitution
+                        .score(self.a[i as usize - 1], self.b[j as usize - 1]);
+                    let diag = if j == c0 {
+                        m.get(i - 1, j - 1)
+                    } else {
+                        cols[(idx - 1) * rows + i as usize - 1]
+                    };
+                    let mut best = 0.max(diag + s);
+                    // max_{1<=k<=j} H[i, j-k] - w(k): walk the row backwards
+                    // against the gap table.
+                    for (&cell, &wk) in rowbuf[..j as usize].iter().rev().zip(&wtab[1..]) {
+                        best = best.max(cell - wk);
+                    }
+                    // max_{1<=k<=i} H[i-k, j] - w(k): same over the column.
+                    let col = &cols[idx * rows..idx * rows + i as usize];
+                    for (&cell, &wk) in col.iter().rev().zip(&wtab[1..]) {
+                        best = best.max(cell - wk);
+                    }
+                    best
+                };
+                rowbuf[j as usize] = v;
+                cols[idx * rows + i as usize] = v;
+            }
+            m.write_row(i, c0, &rowbuf[c0 as usize..]);
         }
     }
 
@@ -188,6 +251,40 @@ mod tests {
     use super::*;
     use crate::sequence::{random_sequence, Alphabet};
 
+    /// The recurrence written cell-at-a-time, as a reference for the
+    /// slice-sweep kernel.
+    fn reference_cell(p: &SmithWatermanGeneralGap, m: &DpMatrix<i32>, i: u32, j: u32) -> i32 {
+        if i == 0 || j == 0 {
+            return 0;
+        }
+        let s = p
+            .substitution
+            .score(p.a[i as usize - 1], p.b[j as usize - 1]);
+        let mut best = 0.max(m.get(i - 1, j - 1) + s);
+        for k in 1..=j {
+            best = best.max(m.get(i, j - k) - p.gap.cost(k));
+        }
+        for k in 1..=i {
+            best = best.max(m.get(i - k, j) - p.gap.cost(k));
+        }
+        best
+    }
+
+    #[test]
+    fn sweep_kernel_matches_per_cell_reference() {
+        let a = random_sequence(Alphabet::Dna, 21, 41);
+        let b = random_sequence(Alphabet::Dna, 18, 42);
+        let p = SmithWatermanGeneralGap::dna(a, b);
+        let m = p.solve_sequential();
+        let mut r = DpMatrix::new(p.dims());
+        for i in 0..p.dims().rows {
+            for j in 0..p.dims().cols {
+                r.set(i, j, reference_cell(&p, &r, i, j));
+            }
+        }
+        assert_eq!(m, r);
+    }
+
     #[test]
     fn identical_sequences_score_full_match() {
         let p = SmithWatermanGeneralGap::dna(b"ACGTACGT".to_vec(), b"ACGTACGT".to_vec());
@@ -210,10 +307,7 @@ mod tests {
     fn gap_is_taken_when_cheaper() {
         // b has an insertion of 3 symbols; log gap (4 + 2*log2 3 = 6) beats
         // three mismatches only if the flanks are long enough to pay for it.
-        let p = SmithWatermanGeneralGap::dna(
-            b"ACGTACGTACGT".to_vec(),
-            b"ACGTACTTTGTACGT".to_vec(),
-        );
+        let p = SmithWatermanGeneralGap::dna(b"ACGTACGTACGT".to_vec(), b"ACGTACTTTGTACGT".to_vec());
         let m = p.solve_sequential();
         let aln = p.traceback(&m);
         assert!(aln.score > 0);
@@ -240,8 +334,7 @@ mod tests {
             TileRegion::new(3, 9, 10, 20),
             TileRegion::new(32, 33, 0, 29),
         ] {
-            let by_sum: u64 =
-                region.iter().map(|q| p.cell_work(q)).sum();
+            let by_sum: u64 = region.iter().map(|q| p.cell_work(q)).sum();
             assert_eq!(p.region_work(region), by_sum, "{region:?}");
         }
     }

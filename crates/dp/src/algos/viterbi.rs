@@ -65,7 +65,13 @@ impl Hmm {
         for _ in 0..states {
             log_emit.extend(row(symbols));
         }
-        Self { states, symbols, log_init, log_trans, log_emit }
+        Self {
+            states,
+            symbols,
+            log_init,
+            log_trans,
+            log_emit,
+        }
     }
 
     #[inline]
@@ -155,7 +161,10 @@ impl DpProblem for Viterbi {
     }
 
     fn dims(&self) -> GridDims {
-        GridDims::new(self.observations.len().max(1) as u32, self.hmm.states as u32)
+        GridDims::new(
+            self.observations.len().max(1) as u32,
+            self.hmm.states as u32,
+        )
     }
 
     fn pattern(&self) -> Arc<dyn DagPattern> {
@@ -235,7 +244,10 @@ mod tests {
             for k in 1..obs.len() {
                 lp += hmm.trans(path[k - 1], path[k]) + hmm.emit(path[k], obs[k] as usize);
             }
-            assert!((lp - bf_lp).abs() < 1e-9, "seed {seed}: path {path:?} vs {bf_path:?}");
+            assert!(
+                (lp - bf_lp).abs() < 1e-9,
+                "seed {seed}: path {path:?} vs {bf_path:?}"
+            );
         }
     }
 

@@ -14,55 +14,68 @@ pub trait Cell: Copy + Default + PartialEq + Send + Sync + std::fmt::Debug + 'st
 
     /// Decode from exactly [`Self::WIRE_SIZE`] bytes.
     fn read_from(buf: &[u8]) -> Self;
-}
 
-impl Cell for i32 {
-    const WIRE_SIZE: usize = 4;
-
-    fn write_to(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&self.to_le_bytes());
+    /// Append the encodings of every cell in `src` to `out`.
+    ///
+    /// The default loops over [`Cell::write_to`]; scalar cells override it
+    /// with a single resize plus fixed-size chunk stores, which the
+    /// compiler lowers to a near-memcpy. Grids encode whole rows through
+    /// this instead of cell-at-a-time.
+    fn encode_slice(src: &[Self], out: &mut Vec<u8>) {
+        out.reserve(src.len() * Self::WIRE_SIZE);
+        for c in src {
+            c.write_to(out);
+        }
     }
 
-    fn read_from(buf: &[u8]) -> Self {
-        i32::from_le_bytes(buf[..4].try_into().expect("4 bytes"))
-    }
-}
-
-impl Cell for i64 {
-    const WIRE_SIZE: usize = 8;
-
-    fn write_to(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&self.to_le_bytes());
-    }
-
-    fn read_from(buf: &[u8]) -> Self {
-        i64::from_le_bytes(buf[..8].try_into().expect("8 bytes"))
-    }
-}
-
-impl Cell for u64 {
-    const WIRE_SIZE: usize = 8;
-
-    fn write_to(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&self.to_le_bytes());
-    }
-
-    fn read_from(buf: &[u8]) -> Self {
-        u64::from_le_bytes(buf[..8].try_into().expect("8 bytes"))
+    /// Decode `dst.len()` cells from the front of `buf`, which must hold at
+    /// least `dst.len() * WIRE_SIZE` bytes.
+    fn decode_slice(dst: &mut [Self], buf: &[u8]) {
+        assert!(
+            buf.len() >= dst.len() * Self::WIRE_SIZE,
+            "decode_slice: buffer too short"
+        );
+        for (c, chunk) in dst.iter_mut().zip(buf.chunks_exact(Self::WIRE_SIZE)) {
+            *c = Self::read_from(chunk);
+        }
     }
 }
 
-impl Cell for f64 {
-    const WIRE_SIZE: usize = 8;
+macro_rules! impl_scalar_cell {
+    ($($t:ty => $size:literal),* $(,)?) => {$(
+        impl Cell for $t {
+            const WIRE_SIZE: usize = $size;
 
-    fn write_to(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&self.to_le_bytes());
-    }
+            fn write_to(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
 
-    fn read_from(buf: &[u8]) -> Self {
-        f64::from_le_bytes(buf[..8].try_into().expect("8 bytes"))
-    }
+            fn read_from(buf: &[u8]) -> Self {
+                <$t>::from_le_bytes(buf[..$size].try_into().expect("wire-size bytes"))
+            }
+
+            fn encode_slice(src: &[Self], out: &mut Vec<u8>) {
+                let start = out.len();
+                out.resize(start + src.len() * $size, 0);
+                for (chunk, c) in out[start..].chunks_exact_mut($size).zip(src) {
+                    chunk.copy_from_slice(&c.to_le_bytes());
+                }
+            }
+
+            fn decode_slice(dst: &mut [Self], buf: &[u8]) {
+                assert!(
+                    buf.len() >= dst.len() * $size,
+                    "decode_slice: buffer too short"
+                );
+                for (c, chunk) in dst.iter_mut().zip(buf.chunks_exact($size)) {
+                    *c = <$t>::from_le_bytes(chunk.try_into().expect("exact chunk"));
+                }
+            }
+        }
+    )*};
 }
+
+impl_scalar_cell!(i32 => 4, i64 => 8, u64 => 8, f64 => 8);
 
 /// The three running scores of Gotoh's affine-gap recurrence packed into one
 /// cell: `h` (best ending anywhere), `e` (best ending in a horizontal gap),
@@ -93,6 +106,26 @@ impl Cell for Gotoh {
             f: i32::from_le_bytes(buf[8..12].try_into().expect("4 bytes")),
         }
     }
+
+    fn encode_slice(src: &[Self], out: &mut Vec<u8>) {
+        let start = out.len();
+        out.resize(start + src.len() * 12, 0);
+        for (chunk, c) in out[start..].chunks_exact_mut(12).zip(src) {
+            chunk[0..4].copy_from_slice(&c.h.to_le_bytes());
+            chunk[4..8].copy_from_slice(&c.e.to_le_bytes());
+            chunk[8..12].copy_from_slice(&c.f.to_le_bytes());
+        }
+    }
+
+    fn decode_slice(dst: &mut [Self], buf: &[u8]) {
+        assert!(
+            buf.len() >= dst.len() * 12,
+            "decode_slice: buffer too short"
+        );
+        for (c, chunk) in dst.iter_mut().zip(buf.chunks_exact(12)) {
+            *c = Self::read_from(chunk);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +150,49 @@ mod tests {
 
     #[test]
     fn gotoh_roundtrip() {
-        roundtrip(Gotoh { h: 7, e: -1000, f: i32::MIN / 2 });
+        roundtrip(Gotoh {
+            h: 7,
+            e: -1000,
+            f: i32::MIN / 2,
+        });
+    }
+
+    fn slice_roundtrip<C: Cell>(vals: &[C]) {
+        // Bulk encode == concatenated per-cell encodes.
+        let mut bulk = vec![0xAA]; // nonempty: encode appends
+        C::encode_slice(vals, &mut bulk);
+        let mut per_cell = vec![0xAA];
+        for v in vals {
+            v.write_to(&mut per_cell);
+        }
+        assert_eq!(bulk, per_cell);
+
+        let mut back = vec![C::default(); vals.len()];
+        C::decode_slice(&mut back, &bulk[1..]);
+        assert_eq!(back, vals);
+    }
+
+    #[test]
+    fn slice_codecs_match_per_cell() {
+        slice_roundtrip(&[1i32, -2, i32::MAX, i32::MIN, 0]);
+        slice_roundtrip(&[1i64, -2, i64::MAX]);
+        slice_roundtrip(&[0u64, u64::MAX, 42]);
+        slice_roundtrip(&[0.5f64, -1e300, f64::MIN_POSITIVE]);
+        slice_roundtrip(&[
+            Gotoh { h: 1, e: 2, f: 3 },
+            Gotoh {
+                h: -1,
+                e: i32::MIN,
+                f: i32::MAX,
+            },
+        ]);
+        slice_roundtrip::<i32>(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer too short")]
+    fn decode_slice_short_buffer_panics() {
+        let mut dst = [0i32; 4];
+        i32::decode_slice(&mut dst, &[0u8; 15]);
     }
 }

@@ -62,7 +62,12 @@ impl<C: Cell> ClosureProblem<C> {
         let dims = dims.into();
         let pattern = patterns::builtin(kind, dims)
             .expect("library pattern kind; use builder_with_pattern for custom shapes");
-        ClosureProblemBuilder { name: name.into(), pattern, cell_fn: None, work_fn: None }
+        ClosureProblemBuilder {
+            name: name.into(),
+            pattern,
+            cell_fn: None,
+            work_fn: None,
+        }
     }
 
     /// Start building with an explicit (possibly user-defined) pattern.
@@ -70,7 +75,12 @@ impl<C: Cell> ClosureProblem<C> {
         name: impl Into<String>,
         pattern: Arc<dyn DagPattern>,
     ) -> ClosureProblemBuilder<C> {
-        ClosureProblemBuilder { name: name.into(), pattern, cell_fn: None, work_fn: None }
+        ClosureProblemBuilder {
+            name: name.into(),
+            pattern,
+            cell_fn: None,
+            work_fn: None,
+        }
     }
 }
 
@@ -86,7 +96,10 @@ impl<C: Cell> ClosureProblemBuilder<C> {
     /// The cell function: computes one cell given read access to every
     /// cell the pattern declares as a data dependency (and cells of the
     /// current region already computed by the in-region sweep).
-    pub fn cell(mut self, f: impl Fn(&CellCtx<'_, C>, GridPos) -> C + Send + Sync + 'static) -> Self {
+    pub fn cell(
+        mut self,
+        f: impl Fn(&CellCtx<'_, C>, GridPos) -> C + Send + Sync + 'static,
+    ) -> Self {
         self.cell_fn = Some(Arc::new(f));
         self
     }

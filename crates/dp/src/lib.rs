@@ -21,8 +21,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-mod alignment;
 pub mod algos;
+mod alignment;
 mod cell;
 mod custom_problem;
 mod matrix;
@@ -30,12 +30,12 @@ mod problem;
 pub mod scoring;
 pub mod sequence;
 
-pub use alignment::LocalAlignment;
 pub use algos::{
-    BandedEditDistance, CykParser, EditDistance, EditOp, Grammar, Hirschberg, Hmm, Knapsack,
-    Lcs, LongestPalindrome, MatrixChain, NeedlemanWunsch, Nussinov, OptimalBst, Quadrant2D2D,
+    BandedEditDistance, CykParser, EditDistance, EditOp, Grammar, Hirschberg, Hmm, Knapsack, Lcs,
+    LongestPalindrome, MatrixChain, NeedlemanWunsch, Nussinov, OptimalBst, Quadrant2D2D,
     SemiGlobal, SmithWatermanAffine, SmithWatermanGeneralGap, Viterbi, BAND_INF,
 };
+pub use alignment::LocalAlignment;
 pub use cell::{Cell, Gotoh};
 pub use custom_problem::{CellCtx, ClosureProblem, ClosureProblemBuilder};
 pub use matrix::{DpGrid, DpMatrix};

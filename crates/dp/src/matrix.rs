@@ -18,6 +18,42 @@ pub trait DpGrid<C: Cell> {
 
     /// Write the cell at `(row, col)`.
     fn set(&mut self, row: u32, col: u32, value: C);
+
+    /// Borrow cells `[col_start, col_end)` of `row` as a contiguous slice,
+    /// if this grid stores them contiguously. `None` means the caller must
+    /// fall back to [`DpGrid::read_row_into`].
+    ///
+    /// Callers must only request cells that are *finalized* for them: their
+    /// own already-written cells, or cells whose producing task the DAG
+    /// schedule orders (with happens-before) strictly before the caller.
+    /// This is the same contract as per-cell `get`, stated once per row.
+    fn row_slice(&self, row: u32, col_start: u32, col_end: u32) -> Option<&[C]> {
+        let _ = (row, col_start, col_end);
+        None
+    }
+
+    /// Bulk-read cells `[col_start, col_start + dst.len())` of `row` into
+    /// `dst`. Same finalization contract as [`DpGrid::row_slice`]; the
+    /// default copies the row slice when one exists and falls back to
+    /// per-cell `get` otherwise.
+    fn read_row_into(&self, row: u32, col_start: u32, dst: &mut [C]) {
+        if let Some(s) = self.row_slice(row, col_start, col_start + dst.len() as u32) {
+            dst.copy_from_slice(s);
+            return;
+        }
+        for (i, d) in dst.iter_mut().enumerate() {
+            *d = self.get(row, col_start + i as u32);
+        }
+    }
+
+    /// Bulk-write `values` into `row` starting at `col_start`. Grids that
+    /// enforce a writable region may check it once per call instead of once
+    /// per cell.
+    fn write_row(&mut self, row: u32, col_start: u32, values: &[C]) {
+        for (i, v) in values.iter().enumerate() {
+            self.set(row, col_start + i as u32, *v);
+        }
+    }
 }
 
 /// A dense, row-major DP matrix.
@@ -34,7 +70,10 @@ pub struct DpMatrix<C: Cell> {
 impl<C: Cell> DpMatrix<C> {
     /// Create a matrix filled with `C::default()`.
     pub fn new(dims: GridDims) -> Self {
-        Self { dims, data: vec![C::default(); dims.area() as usize] }
+        Self {
+            dims,
+            data: vec![C::default(); dims.area() as usize],
+        }
     }
 
     /// Matrix extent.
@@ -68,6 +107,13 @@ impl<C: Cell> DpMatrix<C> {
         &self.data[row as usize * w..(row as usize + 1) * w]
     }
 
+    /// Mutably borrow cells `[col_start, col_end)` of one row.
+    fn row_span_mut(&mut self, row: u32, col_start: u32, col_end: u32) -> &mut [C] {
+        debug_assert!(col_start <= col_end && col_end <= self.dims.cols);
+        let base = row as usize * self.dims.cols as usize;
+        &mut self.data[base + col_start as usize..base + col_end as usize]
+    }
+
     /// Raw cells in row-major order.
     pub fn as_slice(&self) -> &[C] {
         &self.data
@@ -77,9 +123,9 @@ impl<C: Cell> DpMatrix<C> {
     pub fn encode_region(&self, region: TileRegion) -> Vec<u8> {
         let mut out = Vec::with_capacity(region.area() as usize * C::WIRE_SIZE);
         for r in region.row_start..region.row_end {
-            for c in region.col_start..region.col_end {
-                self.get(r, c).write_to(&mut out);
-            }
+            let base = r as usize * self.dims.cols as usize;
+            let row = &self.data[base + region.col_start as usize..base + region.col_end as usize];
+            C::encode_slice(row, &mut out);
         }
         out
     }
@@ -93,12 +139,13 @@ impl<C: Cell> DpMatrix<C> {
             region.area() as usize * C::WIRE_SIZE,
             "byte length does not match region {region:?}"
         );
-        let mut off = 0;
-        for r in region.row_start..region.row_end {
-            for c in region.col_start..region.col_end {
-                self.set(r, c, C::read_from(&bytes[off..off + C::WIRE_SIZE]));
-                off += C::WIRE_SIZE;
-            }
+        if region.cols() == 0 {
+            return;
+        }
+        let row_bytes = region.cols() as usize * C::WIRE_SIZE;
+        for (r, chunk) in (region.row_start..region.row_end).zip(bytes.chunks_exact(row_bytes)) {
+            let row = self.row_span_mut(r, region.col_start, region.col_end);
+            C::decode_slice(row, chunk);
         }
     }
 
@@ -106,9 +153,9 @@ impl<C: Cell> DpMatrix<C> {
     pub fn copy_region_from(&mut self, src: &DpMatrix<C>, region: TileRegion) {
         assert_eq!(self.dims, src.dims);
         for r in region.row_start..region.row_end {
-            for c in region.col_start..region.col_end {
-                self.set(r, c, src.get(r, c));
-            }
+            let base = r as usize * self.dims.cols as usize;
+            let span = base + region.col_start as usize..base + region.col_end as usize;
+            self.data[span.clone()].copy_from_slice(&src.data[span]);
         }
     }
 
@@ -145,6 +192,17 @@ impl<C: Cell> DpGrid<C> for DpMatrix<C> {
     #[inline]
     fn set(&mut self, row: u32, col: u32, value: C) {
         DpMatrix::set(self, row, col, value);
+    }
+
+    fn row_slice(&self, row: u32, col_start: u32, col_end: u32) -> Option<&[C]> {
+        debug_assert!(col_start <= col_end && col_end <= self.dims.cols);
+        let base = row as usize * self.dims.cols as usize;
+        Some(&self.data[base + col_start as usize..base + col_end as usize])
+    }
+
+    fn write_row(&mut self, row: u32, col_start: u32, values: &[C]) {
+        self.row_span_mut(row, col_start, col_start + values.len() as u32)
+            .copy_from_slice(values);
     }
 }
 

@@ -48,7 +48,11 @@ pub trait DpProblem: Send + Sync + 'static {
     /// cells). Override when a closed form exists.
     fn region_work(&self, region: TileRegion) -> u64 {
         let pattern = self.pattern();
-        region.iter().filter(|&p| pattern.contains(p)).map(|p| self.cell_work(p)).sum()
+        region
+            .iter()
+            .filter(|&p| pattern.contains(p))
+            .map(|p| self.cell_work(p))
+            .sum()
     }
 
     /// Solve the whole problem sequentially: one region covering the grid.

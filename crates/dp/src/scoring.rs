@@ -54,7 +54,10 @@ const BLOSUM62: [i8; 400] = [
 impl Substitution {
     /// The common DNA default: +2 match, -1 mismatch.
     pub fn dna_default() -> Self {
-        Substitution::Simple { match_score: 2, mismatch: -1 }
+        Substitution::Simple {
+            match_score: 2,
+            mismatch: -1,
+        }
     }
 
     /// BLOSUM62 over ASCII amino-acid letters (uppercase). Unknown symbols
@@ -68,14 +71,20 @@ impl Substitution {
                 table[a as usize * 256 + b as usize] = BLOSUM62[i * 20 + j] as i32;
             }
         }
-        Substitution::Table { size: 256, table: table.into() }
+        Substitution::Table {
+            size: 256,
+            table: table.into(),
+        }
     }
 
     /// Score of aligning symbols `a` and `b`.
     #[inline]
     pub fn score(&self, a: u8, b: u8) -> i32 {
         match self {
-            Substitution::Simple { match_score, mismatch } => {
+            Substitution::Simple {
+                match_score,
+                mismatch,
+            } => {
                 if a == b {
                     *match_score
                 } else {
@@ -168,7 +177,10 @@ mod tests {
 
     #[test]
     fn table_substitution() {
-        let s = Substitution::Table { size: 2, table: Arc::from([5, -3, -3, 5].as_slice()) };
+        let s = Substitution::Table {
+            size: 2,
+            table: Arc::from([5, -3, -3, 5].as_slice()),
+        };
         assert_eq!(s.score(0, 0), 5);
         assert_eq!(s.score(0, 1), -3);
     }
@@ -176,7 +188,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "alphabet")]
     fn table_out_of_alphabet_panics() {
-        let s = Substitution::Table { size: 2, table: Arc::from([0, 0, 0, 0].as_slice()) };
+        let s = Substitution::Table {
+            size: 2,
+            table: Arc::from([0, 0, 0, 0].as_slice()),
+        };
         s.score(2, 0);
     }
 

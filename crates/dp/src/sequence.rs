@@ -30,7 +30,9 @@ impl Alphabet {
 pub fn random_sequence(alphabet: Alphabet, len: usize, seed: u64) -> Vec<u8> {
     let symbols = alphabet.symbols();
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..len).map(|_| symbols[rng.random_range(0..symbols.len())]).collect()
+    (0..len)
+        .map(|_| symbols[rng.random_range(0..symbols.len())])
+        .collect()
 }
 
 /// Whether two RNA bases can pair (Watson-Crick `AU`/`GC` plus the wobble

@@ -199,11 +199,57 @@ proptest! {
         check::<i32>(dims, |r, c| (r * 1000 + c) as i32 - seed as i32);
         check::<i64>(dims, |r, c| (r as i64) << 32 | c as i64);
         check::<u64>(dims, |r, c| (r as u64 * seed).wrapping_add(c as u64));
+        check::<f64>(dims, |r, c| r as f64 * 1.5 - c as f64 / (seed as f64 + 1.0));
         check::<easyhps_dp::Gotoh>(dims, |r, c| easyhps_dp::Gotoh {
             h: r as i32,
             e: -(c as i32),
             f: (r * c) as i32,
         });
+    }
+
+    /// Bulk encode/decode of an arbitrary sub-region moves exactly that
+    /// region and nothing else, for every scalar width.
+    #[test]
+    fn subregion_roundtrip_is_exact(
+        rows in 2u32..12, cols in 2u32..12,
+        r0f in 0.0f64..1.0, c0f in 0.0f64..1.0,
+        rh in 1u32..12, cw in 1u32..12,
+        seed in 0u64..100,
+    ) {
+        fn check<C: Cell>(
+            dims: GridDims,
+            region: easyhps_core::TileRegion,
+            fill: impl Fn(u32, u32) -> C,
+        ) {
+            let mut src = DpMatrix::<C>::new(dims);
+            for p in dims.iter() {
+                src.set(p.row, p.col, fill(p.row, p.col));
+            }
+            let bytes = src.encode_region(region);
+            assert_eq!(
+                bytes.len(),
+                region.rows() as usize * region.cols() as usize * C::WIRE_SIZE
+            );
+            let mut dst = DpMatrix::<C>::new(dims);
+            dst.decode_region(region, &bytes);
+            for p in dims.iter() {
+                if region.contains(p) {
+                    assert_eq!(dst.at(p), src.at(p), "inside {p}");
+                } else {
+                    assert_eq!(dst.at(p), C::default(), "outside {p} must be untouched");
+                }
+            }
+        }
+        let dims = GridDims::new(rows, cols);
+        let r0 = ((rows - 1) as f64 * r0f) as u32;
+        let c0 = ((cols - 1) as f64 * c0f) as u32;
+        let region = easyhps_core::TileRegion::new(
+            r0, (r0 + rh).min(rows), c0, (c0 + cw).min(cols),
+        );
+        check::<i32>(dims, region, |r, c| (r as i32) * 31 - c as i32 - seed as i32);
+        check::<i64>(dims, region, |r, c| ((r as i64) << 40) ^ c as i64 ^ seed as i64);
+        check::<u64>(dims, region, |r, c| (r as u64) * 1_000_003 + c as u64 + seed);
+        check::<f64>(dims, region, |r, c| (r as f64).sin() + c as f64 * 0.25);
     }
 }
 
@@ -363,5 +409,107 @@ proptest! {
         let aln = p.traceback(&m);
         prop_assert_eq!(aln.score, score);
         prop_assert_eq!(aln.identity(), 1.0);
+    }
+}
+
+/// Fill a matrix cell-at-a-time from a recurrence written directly against
+/// `get` — the bit-exact reference the slice-sweep kernels must reproduce.
+fn per_cell_reference(
+    dims: GridDims,
+    f: impl Fn(&DpMatrix<i32>, u32, u32) -> i32,
+) -> DpMatrix<i32> {
+    let mut m = DpMatrix::new(dims);
+    for i in 0..dims.rows {
+        for j in 0..dims.cols {
+            let v = f(&m, i, j);
+            m.set(i, j, v);
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The Needleman-Wunsch slice-sweep kernel is bit-identical to the
+    /// textbook per-cell recurrence, both full-grid and under arbitrary
+    /// tilings.
+    #[test]
+    fn needleman_slice_kernel_matches_reference(
+        la in 1usize..28, lb in 1usize..28, seed in 0u64..500,
+        pr in 1u32..8, pc in 1u32..8,
+    ) {
+        use easyhps_dp::NeedlemanWunsch;
+        let a = random_sequence(Alphabet::Dna, la, seed);
+        let b = random_sequence(Alphabet::Dna, lb, seed + 1);
+        let sub = Substitution::dna_default();
+        let gap = 2i32;
+        let p = NeedlemanWunsch::new(a.clone(), b.clone(), sub.clone(), gap);
+        let reference = per_cell_reference(p.dims(), |m, i, j| {
+            if i == 0 {
+                return -(j as i32) * gap;
+            }
+            if j == 0 {
+                return -(i as i32) * gap;
+            }
+            let s = sub.score(a[i as usize - 1], b[j as usize - 1]);
+            (m.get(i - 1, j - 1) + s)
+                .max(m.get(i - 1, j) - gap)
+                .max(m.get(i, j - 1) - gap)
+        });
+        prop_assert_eq!(&p.solve_sequential(), &reference);
+        assert_tiled_matches(&p, GridDims::new(pr, pc));
+    }
+
+    /// Same for the LCS kernel.
+    #[test]
+    fn lcs_slice_kernel_matches_reference(
+        la in 1usize..28, lb in 1usize..28, seed in 0u64..500,
+        pr in 1u32..8, pc in 1u32..8,
+    ) {
+        let a = random_sequence(Alphabet::Dna, la, seed);
+        let b = random_sequence(Alphabet::Dna, lb, seed + 1);
+        let p = Lcs::new(a.clone(), b.clone());
+        let reference = per_cell_reference(p.dims(), |m, i, j| {
+            if i == 0 || j == 0 {
+                0
+            } else if a[i as usize - 1] == b[j as usize - 1] {
+                m.get(i - 1, j - 1) + 1
+            } else {
+                m.get(i - 1, j).max(m.get(i, j - 1))
+            }
+        });
+        prop_assert_eq!(&p.solve_sequential(), &reference);
+        assert_tiled_matches(&p, GridDims::new(pr, pc));
+    }
+
+    /// Same for the SWGG kernel with its row/column prefix scans — the one
+    /// the rowbuf/column-buffer rewrite must not perturb.
+    #[test]
+    fn swgg_slice_kernel_matches_reference(
+        la in 1usize..18, lb in 1usize..18, seed in 0u64..500,
+        pr in 1u32..6, pc in 1u32..6,
+    ) {
+        let a = random_sequence(Alphabet::Dna, la, seed);
+        let b = random_sequence(Alphabet::Dna, lb, seed + 1);
+        let sub = Substitution::dna_default();
+        let gap = GapPenalty::Logarithmic { a: 4, b: 2 };
+        let p = SmithWatermanGeneralGap::new(a.clone(), b.clone(), sub.clone(), gap.clone());
+        let reference = per_cell_reference(p.dims(), |m, i, j| {
+            if i == 0 || j == 0 {
+                return 0;
+            }
+            let s = sub.score(a[i as usize - 1], b[j as usize - 1]);
+            let mut best = 0.max(m.get(i - 1, j - 1) + s);
+            for k in 1..=j {
+                best = best.max(m.get(i, j - k) - gap.cost(k));
+            }
+            for k in 1..=i {
+                best = best.max(m.get(i - k, j) - gap.cost(k));
+            }
+            best
+        });
+        prop_assert_eq!(&p.solve_sequential(), &reference);
+        assert_tiled_matches(&p, GridDims::new(pr, pc));
     }
 }

@@ -4,8 +4,8 @@
 use easyhps_dp::scoring::AMINO_ACIDS;
 use easyhps_dp::sequence::{random_sequence, Alphabet};
 use easyhps_dp::{
-    DpProblem, NeedlemanWunsch, SmithWatermanAffine, SmithWatermanGeneralGap, Substitution,
-    GapPenalty,
+    DpProblem, GapPenalty, NeedlemanWunsch, SmithWatermanAffine, SmithWatermanGeneralGap,
+    Substitution,
 };
 
 #[test]
@@ -33,8 +33,25 @@ fn local_protein_alignment_finds_conserved_domain() {
     let p = SmithWatermanAffine::new(a, b, Substitution::blosum62(), 11, 1);
     let m = p.solve_sequential();
     let aln = p.traceback(&m);
-    assert!(aln.score > 100, "30 conserved residues score well over 100: {}", aln.score);
-    assert!(aln.identity() > 0.8, "alignment should be dominated by the domain");
+    assert!(
+        aln.score > 100,
+        "30 conserved residues score well over 100: {}",
+        aln.score
+    );
+    // The local alignment may extend into lucky flank matches, so check it
+    // covers the planted domain (a[25..55], b[40..70]) rather than a global
+    // identity threshold.
+    assert!(
+        aln.a_range.start <= 27 && aln.a_range.end >= 53,
+        "alignment must span the domain in a: {:?}",
+        aln.a_range
+    );
+    assert!(
+        aln.b_range.start <= 42 && aln.b_range.end >= 68,
+        "alignment must span the domain in b: {:?}",
+        aln.b_range
+    );
+    assert!(aln.identity() > 0.5, "matches dominate: {}", aln.identity());
     assert!(aln.len() >= 28, "most of the domain aligned");
 }
 
@@ -50,7 +67,10 @@ fn global_protein_alignment_is_symmetric_in_score() {
         let p = NeedlemanWunsch::new(b, a, Substitution::blosum62(), 8);
         p.score(&p.solve_sequential())
     };
-    assert_eq!(s1, s2, "BLOSUM62 is symmetric, so swapping inputs keeps the score");
+    assert_eq!(
+        s1, s2,
+        "BLOSUM62 is symmetric, so swapping inputs keeps the score"
+    );
 }
 
 #[test]
@@ -64,7 +84,10 @@ fn general_gap_protein_alignment_beats_or_matches_affine_scan() {
         a.clone(),
         b.clone(),
         Substitution::blosum62(),
-        GapPenalty::Affine { open: 11, extend: 1 },
+        GapPenalty::Affine {
+            open: 11,
+            extend: 1,
+        },
     );
     let sa = affine.best_score(&affine.solve_sequential());
     let sg = general_affine.best_score(&general_affine.solve_sequential());

@@ -19,22 +19,35 @@ impl DelayModel {
     /// Infiniband-QDR-like defaults (the Tianhe-1A interconnect): ~1.5 us
     /// latency, ~3.2 GB/s effective bandwidth.
     pub fn infiniband_qdr() -> Self {
-        Self { latency_ns: 1_500, bytes_per_us: 3_200 }
+        Self {
+            latency_ns: 1_500,
+            bytes_per_us: 3_200,
+        }
     }
 
     /// Gigabit-Ethernet-like: ~50 us latency, ~110 MB/s.
     pub fn gigabit_ethernet() -> Self {
-        Self { latency_ns: 50_000, bytes_per_us: 110 }
+        Self {
+            latency_ns: 50_000,
+            bytes_per_us: 110,
+        }
     }
 
     /// Zero-cost model (shared memory / disabled).
     pub fn free() -> Self {
-        Self { latency_ns: 0, bytes_per_us: u64::MAX }
+        Self {
+            latency_ns: 0,
+            bytes_per_us: u64::MAX,
+        }
     }
 
     /// Cost in nanoseconds of moving `bytes` over this link.
     pub fn transfer_ns(&self, bytes: u64) -> u64 {
-        let bw = if self.bytes_per_us == 0 { 1 } else { self.bytes_per_us };
+        let bw = if self.bytes_per_us == 0 {
+            1
+        } else {
+            self.bytes_per_us
+        };
         self.latency_ns + bytes.saturating_mul(1_000) / bw
     }
 }
@@ -45,7 +58,10 @@ mod tests {
 
     #[test]
     fn transfer_cost_scales_with_bytes() {
-        let m = DelayModel { latency_ns: 1_000, bytes_per_us: 1_000 };
+        let m = DelayModel {
+            latency_ns: 1_000,
+            bytes_per_us: 1_000,
+        };
         assert_eq!(m.transfer_ns(0), 1_000);
         // 1000 bytes at 1000 B/us = 1 us = 1000 ns on top of latency.
         assert_eq!(m.transfer_ns(1_000), 2_000);
@@ -70,7 +86,10 @@ mod tests {
 
     #[test]
     fn zero_bandwidth_does_not_divide_by_zero() {
-        let m = DelayModel { latency_ns: 5, bytes_per_us: 0 };
+        let m = DelayModel {
+            latency_ns: 5,
+            bytes_per_us: 0,
+        };
         assert!(m.transfer_ns(100) >= 5);
     }
 }

@@ -22,13 +22,21 @@ impl FaultPlan {
     /// A plan that kills the endpoint after `n` send attempts and drops
     /// nothing before that.
     pub fn die_after(n: u64) -> Self {
-        Self { drop_prob: 0.0, seed: 0, die_after_sends: Some(n) }
+        Self {
+            drop_prob: 0.0,
+            seed: 0,
+            die_after_sends: Some(n),
+        }
     }
 
     /// A plan that drops each message with probability `p`.
     pub fn lossy(p: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
-        Self { drop_prob: p, seed, die_after_sends: None }
+        Self {
+            drop_prob: p,
+            seed,
+            die_after_sends: None,
+        }
     }
 }
 
@@ -43,7 +51,11 @@ pub(crate) struct FaultState {
 impl FaultState {
     pub(crate) fn new(plan: Option<FaultPlan>) -> Self {
         let seed = plan.as_ref().map(|p| p.seed).unwrap_or(0);
-        Self { plan, rng: StdRng::seed_from_u64(seed), sends: 0 }
+        Self {
+            plan,
+            rng: StdRng::seed_from_u64(seed),
+            sends: 0,
+        }
     }
 
     pub(crate) fn note_send(&mut self) {
@@ -52,7 +64,10 @@ impl FaultState {
 
     pub(crate) fn should_die_now(&self) -> bool {
         match &self.plan {
-            Some(FaultPlan { die_after_sends: Some(n), .. }) => self.sends >= *n,
+            Some(FaultPlan {
+                die_after_sends: Some(n),
+                ..
+            }) => self.sends >= *n,
             _ => false,
         }
     }
@@ -68,7 +83,7 @@ impl FaultState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Network, NetError, Rank, Tag};
+    use crate::{NetError, Network, Rank, Tag};
     use bytes::Bytes;
 
     #[test]
@@ -79,7 +94,10 @@ mod tests {
         let mut e0 = eps.pop().unwrap();
         e0.send(Rank(1), Tag(0), Bytes::new()).unwrap();
         e0.send(Rank(1), Tag(0), Bytes::new()).unwrap();
-        assert_eq!(e0.send(Rank(1), Tag(0), Bytes::new()).unwrap_err(), NetError::Dead);
+        assert_eq!(
+            e0.send(Rank(1), Tag(0), Bytes::new()).unwrap_err(),
+            NetError::Dead
+        );
         assert_eq!(e0.recv().unwrap_err(), NetError::Dead);
     }
 
@@ -101,7 +119,11 @@ mod tests {
         };
         let (r1, d1, s1) = run();
         let (r2, d2, s2) = run();
-        assert_eq!((r1, d1, s1), (r2, d2, s2), "fault schedule must be deterministic");
+        assert_eq!(
+            (r1, d1, s1),
+            (r2, d2, s2),
+            "fault schedule must be deterministic"
+        );
         assert_eq!(r1 as u64 + d1, 100);
         assert_eq!(s1, r1 as u64);
         assert!(d1 > 20 && d1 < 80, "drop rate wildly off: {d1}");

@@ -152,7 +152,9 @@ impl Endpoint {
 
     /// A handle that can kill this endpoint from elsewhere.
     pub fn kill_handle(&self) -> KillHandle {
-        KillHandle { flag: self.dead.clone() }
+        KillHandle {
+            flag: self.dead.clone(),
+        }
     }
 
     fn check_alive(&mut self) -> Result<(), NetError> {
@@ -171,7 +173,12 @@ impl Endpoint {
     /// returned — the point is that the *receiver* never sees it).
     pub fn send(&mut self, dst: Rank, tag: Tag, payload: Bytes) -> Result<(), NetError> {
         self.check_alive()?;
-        let env = Envelope { src: self.rank, dst, tag, payload };
+        let env = Envelope {
+            src: self.rank,
+            dst,
+            tag,
+            payload,
+        };
         let size = env.wire_size();
         self.fault.note_send();
         if self.fault.should_drop() {
@@ -345,7 +352,10 @@ mod tests {
         k.kill();
         assert!(k.is_dead());
         assert_eq!(e1.recv().unwrap_err(), NetError::Dead);
-        assert_eq!(e1.send(Rank(0), Tag(0), Bytes::new()).unwrap_err(), NetError::Dead);
+        assert_eq!(
+            e1.send(Rank(0), Tag(0), Bytes::new()).unwrap_err(),
+            NetError::Dead
+        );
         // The other endpoint is unaffected.
         e0.send(Rank(0), Tag(0), Bytes::new()).unwrap();
     }
@@ -371,6 +381,9 @@ mod tests {
         drop(e0);
         // e1 still holds a sender to itself, so its channel is not closed;
         // but sending to rank 0 whose receiver is gone errors.
-        assert_eq!(e1.send(Rank(0), Tag(0), Bytes::new()).unwrap_err(), NetError::Disconnected);
+        assert_eq!(
+            e1.send(Rank(0), Tag(0), Bytes::new()).unwrap_err(),
+            NetError::Disconnected
+        );
     }
 }

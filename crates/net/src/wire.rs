@@ -16,7 +16,11 @@ pub struct WireError {
 
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "truncated or malformed wire data while reading {}", self.context)
+        write!(
+            f,
+            "truncated or malformed wire data while reading {}",
+            self.context
+        )
     }
 }
 
@@ -36,7 +40,9 @@ impl WireWriter {
 
     /// Writer with pre-reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { buf: BytesMut::with_capacity(cap) }
+        Self {
+            buf: BytesMut::with_capacity(cap),
+        }
     }
 
     /// Append a `u8`.
@@ -149,7 +155,9 @@ impl<'a> WireReader<'a> {
         if self.remaining() == 0 {
             Ok(())
         } else {
-            Err(WireError { context: "end of message (trailing bytes)" })
+            Err(WireError {
+                context: "end of message (trailing bytes)",
+            })
         }
     }
 }
@@ -161,7 +169,11 @@ mod tests {
     #[test]
     fn roundtrip_all_types() {
         let mut w = WireWriter::new();
-        w.put_u8(7).put_u32(0xDEAD_BEEF).put_u64(u64::MAX).put_i64(-42).put_bytes(b"hello");
+        w.put_u8(7)
+            .put_u32(0xDEAD_BEEF)
+            .put_u64(u64::MAX)
+            .put_i64(-42)
+            .put_bytes(b"hello");
         let bytes = w.finish();
 
         let mut r = WireReader::new(&bytes);

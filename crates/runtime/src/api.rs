@@ -9,9 +9,9 @@
 use crate::checkpoint::Checkpoint;
 use crate::config::{Deployment, RunReport};
 use crate::master::run_master_with;
-use crate::slave::run_slave_with_storage;
-use crate::storage::{SparseGrid};
 use crate::shared_grid::SharedGrid;
+use crate::slave::run_slave_with_storage;
+use crate::storage::SparseGrid;
 use crate::RuntimeError;
 use easyhps_core::ScheduleMode;
 use easyhps_core::{DagDataDrivenModel, GridDims};
@@ -183,9 +183,9 @@ impl<P: DpProblem> EasyHps<P> {
             let parts = (self.deployment.slaves as u32 * 4).max(1);
             GridDims::new(per_side(dims.rows, parts), per_side(dims.cols, parts))
         });
-        let tp = self.thread_partition.unwrap_or_else(|| {
-            GridDims::new(per_side(pp.rows, 4), per_side(pp.cols, 4))
-        });
+        let tp = self
+            .thread_partition
+            .unwrap_or_else(|| GridDims::new(per_side(pp.rows, 4), per_side(pp.cols, 4)));
         (pp, tp)
     }
 

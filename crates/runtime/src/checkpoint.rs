@@ -42,7 +42,11 @@ impl Checkpoint {
                 (v.0, region, matrix.encode_region(region))
             })
             .collect();
-        Self { rows: dims.rows, cols: dims.cols, finished }
+        Self {
+            rows: dims.rows,
+            cols: dims.cols,
+            finished,
+        }
     }
 
     /// Number of finished sub-tasks recorded.
@@ -89,7 +93,9 @@ impl Checkpoint {
     pub fn from_bytes(buf: &[u8]) -> Result<Self, WireError> {
         let mut r = WireReader::new(buf);
         if r.get_u32()? != MAGIC {
-            return Err(WireError { context: "checkpoint magic" });
+            return Err(WireError {
+                context: "checkpoint magic",
+            });
         }
         let rows = r.get_u32()?;
         let cols = r.get_u32()?;
@@ -97,13 +103,16 @@ impl Checkpoint {
         let mut finished = Vec::with_capacity(n as usize);
         for _ in 0..n {
             let id = r.get_u32()?;
-            let region =
-                TileRegion::new(r.get_u32()?, r.get_u32()?, r.get_u32()?, r.get_u32()?);
+            let region = TileRegion::new(r.get_u32()?, r.get_u32()?, r.get_u32()?, r.get_u32()?);
             let bytes = r.get_bytes()?;
             finished.push((id, region, bytes));
         }
         r.expect_end()?;
-        Ok(Self { rows, cols, finished })
+        Ok(Self {
+            rows,
+            cols,
+            finished,
+        })
     }
 }
 

@@ -116,9 +116,20 @@ mod tests {
     fn report_aggregates() {
         let r = RunReport {
             slaves: vec![
-                Some(SlaveStatsMsg { tasks_done: 2, subtasks_done: 10, busy_ns: 100, thread_failures: 0, peak_node_bytes: 64 }),
+                Some(SlaveStatsMsg {
+                    tasks_done: 2,
+                    subtasks_done: 10,
+                    busy_ns: 100,
+                    ..Default::default()
+                }),
                 None,
-                Some(SlaveStatsMsg { tasks_done: 1, subtasks_done: 5, busy_ns: 50, thread_failures: 1, peak_node_bytes: 32 }),
+                Some(SlaveStatsMsg {
+                    tasks_done: 1,
+                    subtasks_done: 5,
+                    busy_ns: 50,
+                    thread_failures: 1,
+                    ..Default::default()
+                }),
             ],
             ..RunReport::default()
         };

@@ -54,7 +54,12 @@ pub struct EasyPdp<P: DpProblem> {
 impl<P: DpProblem> EasyPdp<P> {
     /// Start configuring a single-level run of `problem`.
     pub fn new(problem: P) -> Self {
-        Self { problem, partition: None, threads: 2, mode: ScheduleMode::Dynamic }
+        Self {
+            problem,
+            partition: None,
+            threads: 2,
+            mode: ScheduleMode::Dynamic,
+        }
     }
 
     /// Sub-task block size (there is only one level, so one partition).
@@ -94,11 +99,14 @@ impl<P: DpProblem> EasyPdp<P> {
         let mut config = Deployment::local(1, self.threads);
         config.thread_mode = self.mode;
 
-        let mut grid = SharedGrid::<P::Cell>::new(dims);
-        let exec = execute_tile(&self.problem, &model, &grid, GridPos::new(0, 0), &config);
+        let grid = parking_lot::RwLock::new(SharedGrid::<P::Cell>::new(dims));
+        let exec = std::thread::scope(|scope| {
+            let pool = crate::slave::ComputePool::spawn(scope, self.threads, &self.problem, &grid);
+            execute_tile(&model, &pool, GridPos::new(0, 0), &config)
+        });
 
         Ok(PdpOutput {
-            matrix: grid.to_matrix(),
+            matrix: grid.into_inner().to_matrix(),
             subtasks: exec.subtasks,
             busy_ns: exec.busy_ns,
             failures: exec.failures,

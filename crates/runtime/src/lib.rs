@@ -54,11 +54,11 @@ pub use api::{EasyHps, MemoryMode, RunOutput};
 pub use checkpoint::Checkpoint;
 pub use config::{Deployment, MasterStats, RunReport};
 pub use easy_pdp::{EasyPdp, PdpOutput};
+pub use easyhps_core::ScheduleMode;
 pub use error::RuntimeError;
 pub use master::{run_master, run_master_with, MasterOutput};
 pub use pool::{OvertimeEntry, OvertimeQueue, RegisterTable, TaskStack};
 pub use protocol::{tags, AssignMsg, DoneMsg, SlaveStatsMsg};
-pub use easyhps_core::ScheduleMode;
 pub use shared_grid::{ExclusiveGrid, SharedGrid, TaskView};
 pub use slave::{run_slave, run_slave_with_storage};
 pub use storage::{NodeStorage, SparseGrid, SparseView};

@@ -20,14 +20,13 @@ use crate::checkpoint::Checkpoint;
 use crate::config::{Deployment, MasterStats};
 use crate::pool::{OvertimeQueue, RegisterTable, TaskStack};
 use crate::protocol::{tags, AssignMsg, DoneMsg, SlaveStatsMsg};
-use easyhps_core::ScheduleMode;
 use crate::RuntimeError;
 use bytes::Bytes;
+use easyhps_core::ScheduleMode;
 use easyhps_core::{DagDataDrivenModel, DagParser, Trace, VertexId};
 use easyhps_dp::{DpMatrix, DpProblem};
 use easyhps_net::{Endpoint, NetError, Rank};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -109,15 +108,16 @@ pub fn run_master_with<P: DpProblem>(
         dead_slaves: 0,
     }));
 
-    // Step b: start the fault-tolerance thread.
-    let stop = Arc::new(AtomicBool::new(false));
+    // Step b: start the fault-tolerance thread. It waits on a shutdown
+    // channel rather than sleeping so teardown does not pay up to one
+    // full `ft_poll` interval joining it.
+    let (ft_stop_tx, ft_stop_rx) = crossbeam::channel::unbounded::<()>();
     let ft_shared = shared.clone();
-    let ft_stop = stop.clone();
     let ft_dag = dag.clone();
     let (timeout, poll) = (config.task_timeout, config.ft_poll);
     let ft = std::thread::spawn(move || {
-        while !ft_stop.load(Ordering::Acquire) {
-            std::thread::sleep(poll);
+        use crossbeam::channel::RecvTimeoutError;
+        while ft_stop_rx.recv_timeout(poll) == Err(RecvTimeoutError::Timeout) {
             let mut s = ft_shared.lock();
             // Step g: redistribute overdue sub-tasks, exclude their slaves.
             for entry in s.overtime.drain_overdue(timeout) {
@@ -149,8 +149,7 @@ pub fn run_master_with<P: DpProblem>(
     // topological order completes each task the moment it is computable.
     if let Some(cp) = resume {
         cp.restore_into(&mut matrix);
-        let preload: std::collections::HashSet<u32> =
-            cp.finished_tasks().map(|v| v.0).collect();
+        let preload: std::collections::HashSet<u32> = cp.finished_tasks().map(|v| v.0).collect();
         let order = dag.topological_order()?;
         let mut s = shared.lock();
         for v in order {
@@ -167,8 +166,7 @@ pub fn run_master_with<P: DpProblem>(
             }
         }
     }
-    let budget_reached =
-        |stats: &MasterStats| tile_budget.is_some_and(|b| stats.completed >= b);
+    let budget_reached = |stats: &MasterStats| tile_budget.is_some_and(|b| stats.completed >= b);
     let _ = problem; // kernels run slave-side; the master only routes data
 
     let result: Result<(), RuntimeError> = (|| {
@@ -213,7 +211,10 @@ pub fn run_master_with<P: DpProblem>(
                     idle[w] = false;
                     stats.dispatched += 1;
                     started[v.index()] = Some(Instant::now());
-                    if ep.send(Rank(w as u32 + 1), tags::ASSIGN, msg.encode()).is_err() {
+                    if ep
+                        .send(Rank(w as u32 + 1), tags::ASSIGN, msg.encode())
+                        .is_err()
+                    {
                         // Slave endpoint gone: undo and exclude it.
                         s.register.cancel(v.0);
                         s.overtime.remove(v.0);
@@ -285,8 +286,9 @@ pub fn run_master_with<P: DpProblem>(
         Ok(())
     })();
 
-    // Step i: tear down.
-    stop.store(true, Ordering::Release);
+    // Step i: tear down. Dropping the sender disconnects the shutdown
+    // channel, waking the fault-tolerance thread immediately.
+    drop(ft_stop_tx);
     ft.join().expect("fault-tolerance thread never panics");
     result?;
 
@@ -328,5 +330,12 @@ pub fn run_master_with<P: DpProblem>(
     let checkpoint = (!shared.lock().parser.is_done())
         .then(|| Checkpoint::capture(model, &dag, &matrix, completed_tasks.iter().copied()));
 
-    Ok(MasterOutput { matrix, stats, slave_stats, elapsed: t0.elapsed(), trace, checkpoint })
+    Ok(MasterOutput {
+        matrix,
+        stats,
+        slave_stats,
+        elapsed: t0.elapsed(),
+        trace,
+        checkpoint,
+    })
 }

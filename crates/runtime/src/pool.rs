@@ -76,7 +76,11 @@ impl OvertimeQueue {
 
     /// Record a start at an explicit instant (for tests).
     pub fn push_at(&mut self, task: u32, executor: u32, started: Instant) {
-        self.entries.push_back(OvertimeEntry { task, executor, started });
+        self.entries.push_back(OvertimeEntry {
+            task,
+            executor,
+            started,
+        });
     }
 
     /// Remove the entry for `task` (called when it finishes). Returns the
@@ -86,21 +90,23 @@ impl OvertimeQueue {
         self.entries.remove(idx)
     }
 
-    /// Drain every entry older than `timeout`, returning them (oldest
-    /// first). These are the presumed-failed sub-tasks to redistribute.
+    /// Drain every entry older than `timeout`, returning them in queue
+    /// order (oldest first). These are the presumed-failed sub-tasks to
+    /// redistribute.
     pub fn drain_overdue(&mut self, timeout: Duration) -> Vec<OvertimeEntry> {
         let now = Instant::now();
         let mut overdue = Vec::new();
-        // Entries are pushed in start order, but re-dispatch can interleave;
-        // scan everything.
-        let mut i = 0;
-        while i < self.entries.len() {
-            if now.duration_since(self.entries[i].started) >= timeout {
-                overdue.push(self.entries.remove(i).expect("index in range"));
+        // Re-dispatch can interleave start times, so every entry is
+        // checked — but in one pass: `retain` keeps the fresh entries in
+        // place instead of shifting the queue once per removal.
+        self.entries.retain(|e| {
+            if now.duration_since(e.started) >= timeout {
+                overdue.push(*e);
+                false
             } else {
-                i += 1;
+                true
             }
-        }
+        });
         overdue
     }
 
@@ -127,7 +133,9 @@ pub struct RegisterTable {
 impl RegisterTable {
     /// Table for `n_tasks` sub-tasks, all unregistered.
     pub fn new(n_tasks: usize) -> Self {
-        Self { owner: vec![None; n_tasks] }
+        Self {
+            owner: vec![None; n_tasks],
+        }
     }
 
     /// Register `task` to `executor`, replacing any previous registration.
@@ -203,7 +211,10 @@ mod tests {
         assert!(!t.accepts(2, 8));
         // Redistribution moves ownership.
         t.register(2, 8);
-        assert!(!t.accepts(2, 7), "stale executor rejected after re-registration");
+        assert!(
+            !t.accepts(2, 7),
+            "stale executor rejected after re-registration"
+        );
         assert!(t.accepts(2, 8));
         t.cancel(2);
         assert!(!t.accepts(2, 8));

@@ -27,11 +27,19 @@ pub mod tags {
 }
 
 fn put_region(w: &mut WireWriter, r: TileRegion) {
-    w.put_u32(r.row_start).put_u32(r.row_end).put_u32(r.col_start).put_u32(r.col_end);
+    w.put_u32(r.row_start)
+        .put_u32(r.row_end)
+        .put_u32(r.col_start)
+        .put_u32(r.col_end);
 }
 
 fn get_region(r: &mut WireReader<'_>) -> Result<TileRegion, WireError> {
-    Ok(TileRegion::new(r.get_u32()?, r.get_u32()?, r.get_u32()?, r.get_u32()?))
+    Ok(TileRegion::new(
+        r.get_u32()?,
+        r.get_u32()?,
+        r.get_u32()?,
+        r.get_u32()?,
+    ))
 }
 
 /// Master -> slave sub-task assignment.
@@ -52,7 +60,9 @@ impl AssignMsg {
     pub fn encode(&self) -> Bytes {
         let body: usize = self.inputs.iter().map(|(_, b)| b.len() + 20).sum();
         let mut w = WireWriter::with_capacity(32 + body);
-        w.put_u32(self.task).put_u32(self.tile.row).put_u32(self.tile.col);
+        w.put_u32(self.task)
+            .put_u32(self.tile.row)
+            .put_u32(self.tile.col);
         put_region(&mut w, self.region);
         w.put_u32(self.inputs.len() as u32);
         for (region, bytes) in &self.inputs {
@@ -76,7 +86,12 @@ impl AssignMsg {
             inputs.push((reg, bytes));
         }
         r.expect_end()?;
-        Ok(Self { task, tile, region, inputs })
+        Ok(Self {
+            task,
+            tile,
+            region,
+            inputs,
+        })
     }
 }
 
@@ -108,7 +123,11 @@ impl DoneMsg {
         let region = get_region(&mut r)?;
         let output = r.get_bytes()?;
         r.expect_end()?;
-        Ok(Self { task, region, output })
+        Ok(Self {
+            task,
+            region,
+            output,
+        })
     }
 }
 
@@ -125,17 +144,22 @@ pub struct SlaveStatsMsg {
     pub thread_failures: u64,
     /// Peak bytes of node-matrix memory allocated on this slave.
     pub peak_node_bytes: u64,
+    /// Computing threads spawned over the slave's lifetime. With the
+    /// persistent pool this equals the configured thread count, however
+    /// many tiles the slave executed.
+    pub threads_spawned: u64,
 }
 
 impl SlaveStatsMsg {
     /// Encode to payload bytes.
     pub fn encode(&self) -> Bytes {
-        let mut w = WireWriter::with_capacity(40);
+        let mut w = WireWriter::with_capacity(48);
         w.put_u64(self.tasks_done)
             .put_u64(self.subtasks_done)
             .put_u64(self.busy_ns)
             .put_u64(self.thread_failures)
-            .put_u64(self.peak_node_bytes);
+            .put_u64(self.peak_node_bytes)
+            .put_u64(self.threads_spawned);
         w.finish()
     }
 
@@ -148,6 +172,7 @@ impl SlaveStatsMsg {
             busy_ns: r.get_u64()?,
             thread_failures: r.get_u64()?,
             peak_node_bytes: r.get_u64()?,
+            threads_spawned: r.get_u64()?,
         };
         r.expect_end()?;
         Ok(out)
@@ -190,6 +215,7 @@ mod tests {
             busy_ns: u64::MAX / 3,
             thread_failures: 2,
             peak_node_bytes: 1 << 40,
+            threads_spawned: 4,
         };
         assert_eq!(SlaveStatsMsg::decode(&msg.encode()).unwrap(), msg);
     }
@@ -198,7 +224,11 @@ mod tests {
     fn decode_rejects_garbage() {
         assert!(AssignMsg::decode(&[1, 2, 3]).is_err());
         assert!(DoneMsg::decode(&[]).is_err());
-        let msg = DoneMsg { task: 0, region: TileRegion::new(0, 1, 0, 1), output: vec![9] };
+        let msg = DoneMsg {
+            task: 0,
+            region: TileRegion::new(0, 1, 0, 1),
+            output: vec![9],
+        };
         let mut bytes = msg.encode().to_vec();
         bytes.push(0xFF); // trailing garbage
         assert!(DoneMsg::decode(&bytes).is_err());

@@ -41,7 +41,10 @@ impl<C: Cell> SharedGrid<C> {
         let n = dims.area() as usize;
         let mut v = Vec::with_capacity(n);
         v.resize_with(n, || UnsafeCell::new(C::default()));
-        Self { dims, cells: v.into_boxed_slice() }
+        Self {
+            dims,
+            cells: v.into_boxed_slice(),
+        }
     }
 
     /// Grid extent.
@@ -53,6 +56,45 @@ impl<C: Cell> SharedGrid<C> {
     fn idx(&self, row: u32, col: u32) -> usize {
         debug_assert!(row < self.dims.rows && col < self.dims.cols);
         row as usize * self.dims.cols as usize + col as usize
+    }
+
+    /// Borrow cells `[col_start, col_end)` of `row` as a plain shared slice.
+    ///
+    /// # Safety
+    ///
+    /// Caller must guarantee no thread writes any of these cells for the
+    /// lifetime of the returned borrow (the task-view read contract: each
+    /// cell is finalized, or owned by the caller and not being written).
+    #[inline]
+    unsafe fn row_span(&self, row: u32, col_start: u32, col_end: u32) -> &[C] {
+        debug_assert!(col_start <= col_end && col_end <= self.dims.cols);
+        let start = self.idx(row, col_start);
+        let len = (col_end - col_start) as usize;
+        // SAFETY: `UnsafeCell<C>` has the same layout as `C`, the range is
+        // in bounds, and the caller guarantees no concurrent writes — the
+        // DAG schedule orders every producing task (with happens-before via
+        // channel send/recv) strictly before this read.
+        unsafe { std::slice::from_raw_parts(self.cells[start].get() as *const C, len) }
+    }
+
+    /// Overwrite cells `[col_start, col_start + values.len())` of `row`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have exclusive write rights to these cells per the
+    /// task-view contract (its region, or `&mut` access to the grid).
+    #[inline]
+    unsafe fn write_row_span(&self, row: u32, col_start: u32, values: &[C]) {
+        let col_end = col_start + values.len() as u32;
+        debug_assert!(col_end <= self.dims.cols);
+        let start = self.idx(row, col_start);
+        // SAFETY: in-bounds, and the caller holds region exclusivity per
+        // the DAG scheduling discipline, so no other thread reads or
+        // writes these cells during the copy.
+        unsafe {
+            let dst = self.cells[start].get();
+            std::ptr::copy_nonoverlapping(values.as_ptr(), dst, values.len());
+        }
     }
 
     /// Create a view that may write `region` and read anything.
@@ -79,10 +121,9 @@ impl<C: Cell> SharedGrid<C> {
     pub fn to_matrix(&mut self) -> DpMatrix<C> {
         let mut m = DpMatrix::new(self.dims);
         for r in 0..self.dims.rows {
-            for c in 0..self.dims.cols {
-                // SAFETY: &mut self excludes all concurrent access.
-                m.set(r, c, unsafe { *self.cells[self.idx(r, c)].get() });
-            }
+            // SAFETY: &mut self excludes all concurrent access.
+            let row = unsafe { self.row_span(r, 0, self.dims.cols) };
+            m.write_row(r, 0, row);
         }
         m
     }
@@ -116,13 +157,37 @@ impl<C: Cell> DpGrid<C> for TaskView<'_, C> {
 
     #[inline]
     fn set(&mut self, row: u32, col: u32, value: C) {
-        assert!(
+        // Hot path: the region check is a debug assertion; release builds
+        // rely on the DAG schedule (and the bulk write_row check).
+        debug_assert!(
             self.region.contains(easyhps_core::GridPos::new(row, col)),
             "task wrote ({row},{col}) outside its region {:?}",
             self.region
         );
         // SAFETY: in-region writes are exclusive per the view contract.
         unsafe { *self.grid.cells[self.grid.idx(row, col)].get() = value }
+    }
+
+    fn row_slice(&self, row: u32, col_start: u32, col_end: u32) -> Option<&[C]> {
+        // SAFETY: the view's read contract (cells finalized or owned) is
+        // exactly row_span's no-concurrent-writer requirement.
+        Some(unsafe { self.grid.row_span(row, col_start, col_end) })
+    }
+
+    fn write_row(&mut self, row: u32, col_start: u32, values: &[C]) {
+        let col_end = col_start + values.len() as u32;
+        // One region check per row instead of per cell.
+        assert!(
+            row >= self.region.row_start
+                && row < self.region.row_end
+                && col_start >= self.region.col_start
+                && col_end <= self.region.col_end,
+            "task wrote row {row} cols [{col_start},{col_end}) outside its region {:?}",
+            self.region
+        );
+        // SAFETY: the row span is inside the view's region, where writes
+        // are exclusive per the view contract.
+        unsafe { self.grid.write_row_span(row, col_start, values) }
     }
 }
 
@@ -141,12 +206,15 @@ impl<C: Cell> ExclusiveGrid<'_, C> {
             region.area() as usize * C::WIRE_SIZE,
             "byte length does not match region {region:?}"
         );
-        let mut off = 0;
-        for r in region.row_start..region.row_end {
-            for c in region.col_start..region.col_end {
-                self.set(r, c, C::read_from(&bytes[off..off + C::WIRE_SIZE]));
-                off += C::WIRE_SIZE;
-            }
+        if region.cols() == 0 {
+            return;
+        }
+        let row_bytes = region.cols() as usize * C::WIRE_SIZE;
+        let mut scratch = vec![C::default(); region.cols() as usize];
+        for (r, chunk) in (region.row_start..region.row_end).zip(bytes.chunks_exact(row_bytes)) {
+            C::decode_slice(&mut scratch, chunk);
+            // SAFETY: &mut SharedGrid inside excludes concurrent access.
+            unsafe { self.grid.write_row_span(r, region.col_start, &scratch) };
         }
     }
 
@@ -154,9 +222,9 @@ impl<C: Cell> ExclusiveGrid<'_, C> {
     pub fn encode_region(&self, region: TileRegion) -> Vec<u8> {
         let mut out = Vec::with_capacity(region.area() as usize * C::WIRE_SIZE);
         for r in region.row_start..region.row_end {
-            for c in region.col_start..region.col_end {
-                self.get(r, c).write_to(&mut out);
-            }
+            // SAFETY: &mut SharedGrid inside excludes concurrent access.
+            let row = unsafe { self.grid.row_span(r, region.col_start, region.col_end) };
+            C::encode_slice(row, &mut out);
         }
         out
     }
@@ -177,6 +245,16 @@ impl<C: Cell> DpGrid<C> for ExclusiveGrid<'_, C> {
     fn set(&mut self, row: u32, col: u32, value: C) {
         // SAFETY: as above.
         unsafe { *self.grid.cells[self.grid.idx(row, col)].get() = value }
+    }
+
+    fn row_slice(&self, row: u32, col_start: u32, col_end: u32) -> Option<&[C]> {
+        // SAFETY: the &mut SharedGrid inside excludes concurrent access.
+        Some(unsafe { self.grid.row_span(row, col_start, col_end) })
+    }
+
+    fn write_row(&mut self, row: u32, col_start: u32, values: &[C]) {
+        // SAFETY: as above.
+        unsafe { self.grid.write_row_span(row, col_start, values) }
     }
 }
 
@@ -208,12 +286,40 @@ mod tests {
         assert_eq!(v.get(0, 0), 0, "reads outside region are allowed");
     }
 
+    // `set`'s region check is a debug assertion (hot path); only the bulk
+    // `write_row` check fires in release builds.
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "outside its region")]
     fn task_view_rejects_out_of_region_write() {
         let g = SharedGrid::<i32>::new(GridDims::square(4));
         let mut v = unsafe { g.task_view(TileRegion::new(0, 2, 0, 2)) };
         v.set(3, 3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside its region")]
+    fn task_view_rejects_out_of_region_row_write() {
+        let g = SharedGrid::<i32>::new(GridDims::square(4));
+        let mut v = unsafe { g.task_view(TileRegion::new(0, 2, 0, 2)) };
+        v.write_row(1, 1, &[7, 8]); // cols [1,3) spill out of [0,2)
+    }
+
+    #[test]
+    fn task_view_row_slice_and_write_row() {
+        let g = SharedGrid::<i32>::new(GridDims::new(3, 5));
+        let region = TileRegion::new(1, 2, 1, 4);
+        let mut v = unsafe { g.task_view(region) };
+        v.write_row(1, 1, &[10, 20, 30]);
+        assert_eq!(v.row_slice(1, 1, 4), Some(&[10, 20, 30][..]));
+        assert_eq!(
+            v.row_slice(0, 0, 5),
+            Some(&[0; 5][..]),
+            "reads outside region allowed"
+        );
+        let mut buf = [0i32; 2];
+        v.read_row_into(1, 2, &mut buf);
+        assert_eq!(buf, [20, 30]);
     }
 
     #[test]

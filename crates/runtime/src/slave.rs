@@ -4,9 +4,11 @@
 //! Each slave rank runs [`run_slave`]: a scheduling loop that announces
 //! idleness, receives sub-task assignments with their input strips,
 //! executes them on a pool of computing threads over the shared node
-//! matrix, and returns the computed region. Computing-thread failures
-//! (panics) are caught and the sub-sub-task is re-queued — the paper's
-//! "restart the corresponding computing thread".
+//! matrix, and returns the computed region. The pool is spawned **once per
+//! slave lifetime** and reused across every ASSIGN — thread creation is
+//! not on the per-tile path. Computing-thread failures (panics) are caught
+//! and the sub-sub-task is re-queued — the paper's "restart the
+//! corresponding computing thread".
 
 use crate::config::Deployment;
 use crate::pool::OvertimeQueue;
@@ -14,11 +16,12 @@ use crate::protocol::{tags, AssignMsg, DoneMsg, SlaveStatsMsg};
 use crate::shared_grid::SharedGrid;
 use crate::storage::NodeStorage;
 use crate::RuntimeError;
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use easyhps_core::ScheduleMode;
-use crossbeam::channel::{unbounded, Sender};
 use easyhps_core::{DagDataDrivenModel, DagParser, GridPos, TileRegion};
 use easyhps_dp::DpProblem;
 use easyhps_net::{Endpoint, Rank};
+use parking_lot::RwLock;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
@@ -48,6 +51,85 @@ pub(crate) struct TileExecution {
     pub failures: u64,
 }
 
+/// A persistent pool of computing threads over one node matrix.
+///
+/// Threads are spawned once (inside a [`std::thread::scope`]) and then
+/// serve any number of tiles; [`execute_tile`] feeds them jobs through
+/// per-worker channels. Workers take the grid's read lock per job, so the
+/// scheduler can take the write lock between tiles (strip decode, result
+/// encode) without any thread teardown.
+pub(crate) struct ComputePool {
+    job_txs: Vec<Sender<Job>>,
+    result_rx: Receiver<WorkerResult>,
+    /// Computing threads spawned over this pool's lifetime (= worker
+    /// count: spawning happens exactly once, at construction).
+    threads_spawned: u64,
+}
+
+impl ComputePool {
+    /// Spawn `ct` computing threads into `scope`, computing `problem`
+    /// regions against `grid`. Panics inside a kernel are caught in place;
+    /// the worker reports failure and stays alive for re-queued work.
+    pub(crate) fn spawn<'scope, 'env, P, S>(
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        ct: usize,
+        problem: &'env P,
+        grid: &'env RwLock<S>,
+    ) -> Self
+    where
+        P: DpProblem,
+        S: NodeStorage<P::Cell>,
+    {
+        let (result_tx, result_rx) = unbounded::<WorkerResult>();
+        let mut job_txs = Vec::with_capacity(ct);
+        for w in 0..ct {
+            let (tx, rx) = unbounded::<Job>();
+            job_txs.push(tx);
+            let result_tx = result_tx.clone();
+            scope.spawn(move || {
+                for job in rx.iter() {
+                    let t0 = Instant::now();
+                    let g = grid.read();
+                    // SAFETY: the slave scheduler dispatches each region to
+                    // exactly one worker, and the DAG (validated) orders
+                    // every read-region strictly before this task; channel
+                    // send/recv provides the happens-before edges.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        let mut view = unsafe { g.task_view(job.region) };
+                        problem.compute_region(&mut view, job.region);
+                    }));
+                    drop(g);
+                    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+                    let res = WorkerResult {
+                        worker: w,
+                        sub: job.sub,
+                        elapsed_ns,
+                        ok: outcome.is_ok(),
+                    };
+                    if result_tx.send(res).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        Self {
+            job_txs,
+            result_rx,
+            threads_spawned: ct as u64,
+        }
+    }
+
+    /// Worker count.
+    fn threads(&self) -> usize {
+        self.job_txs.len()
+    }
+
+    /// Computing threads spawned over this pool's lifetime.
+    pub(crate) fn threads_spawned(&self) -> u64 {
+        self.threads_spawned
+    }
+}
+
 /// Run the slave loop on `ep` until the master sends END, with dense node
 /// storage (the paper's layout). Returns the stats that were reported
 /// back, or the transport error that killed the slave (a `Dead` error
@@ -71,150 +153,137 @@ pub fn run_slave_with_storage<P: DpProblem, S: NodeStorage<P::Cell>>(
     config: &Deployment,
 ) -> Result<SlaveStatsMsg, RuntimeError> {
     let master = Rank(0);
-    let mut grid = S::new(model.dag_size());
-    let mut stats = SlaveStatsMsg::default();
+    let grid = RwLock::new(S::new(model.dag_size()));
+    let ct = config.threads_per_slave.max(1);
 
     // Step a: announce idleness.
     ep.send(master, tags::IDLE, bytes::Bytes::new())?;
 
-    loop {
-        let env = ep.recv()?;
-        match env.tag {
-            tags::END => {
-                let _ = ep.send(master, tags::STATS, stats.encode());
-                return Ok(stats);
-            }
-            tags::ASSIGN => {
-                let msg = AssignMsg::decode(&env.payload)?;
-                // Steps b-c: install input strips, build the slave model.
-                for (region, bytes) in &msg.inputs {
-                    grid.decode_region(*region, bytes);
+    std::thread::scope(|scope| {
+        // The compute pool lives for the whole slave, not per tile.
+        let pool = ComputePool::spawn(scope, ct, problem, &grid);
+        let mut stats = SlaveStatsMsg {
+            threads_spawned: pool.threads_spawned(),
+            ..Default::default()
+        };
+
+        loop {
+            let env = ep.recv()?;
+            match env.tag {
+                tags::END => {
+                    let _ = ep.send(master, tags::STATS, stats.encode());
+                    return Ok(stats);
                 }
-                // Every sub-sub-task region is inside the tile region;
-                // back it with memory before the pool starts.
-                grid.prepare(&[msg.region]);
-                // Steps d-i: run the slave worker pool.
-                let exec = execute_tile(problem, model, &grid, msg.tile, config);
-                stats.tasks_done += 1;
-                stats.subtasks_done += exec.subtasks;
-                stats.busy_ns += exec.busy_ns;
-                stats.thread_failures += exec.failures;
-                stats.peak_node_bytes = stats.peak_node_bytes.max(grid.allocated_bytes());
-                // Step h (slave side): return the computed region.
-                let output = grid.encode_region(msg.region);
-                let done = DoneMsg { task: msg.task, region: msg.region, output };
-                ep.send(master, tags::DONE, done.encode())?;
-            }
-            other => {
-                debug_assert!(false, "slave received unexpected {other}");
+                tags::ASSIGN => {
+                    let msg = AssignMsg::decode(&env.payload)?;
+                    {
+                        // Steps b-c: install input strips, back every
+                        // sub-sub-task region with memory. Write lock: the
+                        // pool is idle between tiles, so this never blocks.
+                        let mut g = grid.write();
+                        for (region, bytes) in &msg.inputs {
+                            g.decode_region(*region, bytes);
+                        }
+                        g.prepare(&[msg.region]);
+                    }
+                    // Steps d-i: drive the slave DAG through the pool.
+                    let exec = execute_tile(model, &pool, msg.tile, config);
+                    stats.tasks_done += 1;
+                    stats.subtasks_done += exec.subtasks;
+                    stats.busy_ns += exec.busy_ns;
+                    stats.thread_failures += exec.failures;
+                    // Step h (slave side): return the computed region.
+                    let mut g = grid.write();
+                    stats.peak_node_bytes = stats.peak_node_bytes.max(g.allocated_bytes());
+                    let output = g.encode_region(msg.region);
+                    drop(g);
+                    let done = DoneMsg {
+                        task: msg.task,
+                        region: msg.region,
+                        output,
+                    };
+                    ep.send(master, tags::DONE, done.encode())?;
+                }
+                other => {
+                    debug_assert!(false, "slave received unexpected {other}");
+                }
             }
         }
-    }
+    })
 }
 
-/// Execute one master tile on the slave worker pool: partition it by
-/// `thread_partition_size`, spawn `ct` computing threads, and drive the
-/// slave DAG parser until every sub-sub-task completes.
-pub(crate) fn execute_tile<P: DpProblem, S: NodeStorage<P::Cell>>(
-    problem: &P,
+/// Execute one master tile on the persistent worker pool: partition it by
+/// `thread_partition_size` and drive the slave DAG parser until every
+/// sub-sub-task completes. Every job dispatched here is collected before
+/// returning, so the pool is quiescent between calls.
+pub(crate) fn execute_tile(
     model: &DagDataDrivenModel,
-    grid: &S,
+    pool: &ComputePool,
     tile: GridPos,
     config: &Deployment,
 ) -> TileExecution {
     let sdag = model.slave_dag(tile);
     let mut parser = DagParser::new(&sdag);
-    let ct = config.threads_per_slave.max(1);
+    let ct = pool.threads();
     let tile_cols = sdag.dims().cols;
     let mut exec = TileExecution::default();
     let mut overtime = OvertimeQueue::new();
 
-    let (result_tx, result_rx) = unbounded::<WorkerResult>();
-    let mut job_txs: Vec<Option<Sender<Job>>> = Vec::with_capacity(ct);
-
-    std::thread::scope(|s| {
+    let mut idle = vec![true; ct];
+    while !parser.is_done() {
+        // Dispatch to every idle worker the scheduling mode allows.
+        #[allow(clippy::needless_range_loop)] // w doubles as the worker id
         for w in 0..ct {
-            let (tx, rx) = unbounded::<Job>();
-            job_txs.push(Some(tx));
-            let result_tx = result_tx.clone();
-            s.spawn(move || {
-                for job in rx.iter() {
-                    let t0 = Instant::now();
-                    // SAFETY: the slave scheduler dispatches each region to
-                    // exactly one worker, and the DAG (validated) orders
-                    // every read-region strictly before this task; channel
-                    // send/recv provides the happens-before edges.
-                    let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        let mut view = unsafe { grid.task_view(job.region) };
-                        problem.compute_region(&mut view, job.region);
-                    }));
-                    let elapsed_ns = t0.elapsed().as_nanos() as u64;
-                    let res = WorkerResult { worker: w, sub: job.sub, elapsed_ns, ok: outcome.is_ok() };
-                    if result_tx.send(res).is_err() {
-                        break;
-                    }
-                }
-            });
-        }
-        drop(result_tx);
-
-        let mut idle = vec![true; ct];
-        while !parser.is_done() {
-            // Dispatch to every idle worker the scheduling mode allows.
-            for w in 0..ct {
-                if !idle[w] {
-                    continue;
-                }
-                let picked = if config.thread_mode == ScheduleMode::Dynamic {
-                    parser.pop_computable()
-                } else {
-                    parser.pop_computable_matching(|v| {
-                        config
-                            .thread_mode
-                            .static_owner(sdag.vertex(v).pos, tile_cols, ct as u32)
-                            == Some(w as u32)
-                    })
-                };
-                if let Some(v) = picked {
-                    let region = model.sub_region(tile, sdag.vertex(v).pos);
-                    overtime.push(v.0, w as u32);
-                    job_txs[w]
-                        .as_ref()
-                        .expect("worker alive while scheduling")
-                        .send(Job { sub: v.0, region })
-                        .expect("worker channel open");
-                    idle[w] = false;
-                }
+            if !idle[w] {
+                continue;
             }
-
-            if parser.is_done() {
-                break;
-            }
-
-            // Collect one result (blocking: if we are not done, either a
-            // worker is busy or a dispatch just happened above).
-            let res = result_rx.recv().expect("workers alive while tasks remain");
-            overtime.remove(res.sub);
-            exec.busy_ns += res.elapsed_ns;
-            idle[res.worker] = true;
-            let v = easyhps_core::VertexId(res.sub);
-            if res.ok {
-                parser.complete(&sdag, v, None).expect("worker completed a running task");
-                exec.subtasks += 1;
+            let picked = if config.thread_mode == ScheduleMode::Dynamic {
+                parser.pop_computable()
             } else {
-                // Thread-level fault tolerance: the panic was caught (the
-                // worker thread effectively restarted); re-queue the
-                // sub-sub-task for any worker.
-                exec.failures += 1;
-                parser.fail(&sdag, v).expect("worker failed a running task");
+                parser.pop_computable_matching(|v| {
+                    config
+                        .thread_mode
+                        .static_owner(sdag.vertex(v).pos, tile_cols, ct as u32)
+                        == Some(w as u32)
+                })
+            };
+            if let Some(v) = picked {
+                let region = model.sub_region(tile, sdag.vertex(v).pos);
+                overtime.push(v.0, w as u32);
+                pool.job_txs[w]
+                    .send(Job { sub: v.0, region })
+                    .expect("worker channel open");
+                idle[w] = false;
             }
         }
 
-        // Close job channels so workers exit.
-        for tx in &mut job_txs {
-            *tx = None;
+        if parser.is_done() {
+            break;
         }
-    });
+
+        // Collect one result (blocking: if we are not done, either a
+        // worker is busy or a dispatch just happened above).
+        let res = pool
+            .result_rx
+            .recv()
+            .expect("workers alive while tasks remain");
+        overtime.remove(res.sub);
+        exec.busy_ns += res.elapsed_ns;
+        idle[res.worker] = true;
+        let v = easyhps_core::VertexId(res.sub);
+        if res.ok {
+            parser
+                .complete(&sdag, v, None)
+                .expect("worker completed a running task");
+            exec.subtasks += 1;
+        } else {
+            // Thread-level fault tolerance: the panic was caught (the
+            // worker thread effectively restarted); re-queue the
+            // sub-sub-task for any worker.
+            exec.failures += 1;
+            parser.fail(&sdag, v).expect("worker failed a running task");
+        }
+    }
 
     debug_assert!(overtime.is_empty() || !parser.is_done());
     exec

@@ -148,13 +148,114 @@ impl<C: Cell> SparseGrid<C> {
     pub fn chunk_count(&self) -> usize {
         self.chunks.len()
     }
+
+    /// Call `f(chunk_key, in_chunk_idx, col, seg_end)` for each maximal
+    /// chunk-contiguous segment of row cells `[col_start, col_end)`. Within
+    /// one chunk a row is contiguous, so each segment maps to one slice.
+    fn for_row_segments(
+        &self,
+        row: u32,
+        col_start: u32,
+        col_end: u32,
+        mut f: impl FnMut(u64, usize, u32, u32),
+    ) {
+        let cr = row / CHUNK;
+        let row_off = (row % CHUNK) * CHUNK;
+        let mut c = col_start;
+        while c < col_end {
+            let cc = c / CHUNK;
+            let seg_end = ((cc + 1) * CHUNK).min(col_end);
+            f(
+                self.chunk_key(cr, cc),
+                (row_off + c % CHUNK) as usize,
+                c,
+                seg_end,
+            );
+            c = seg_end;
+        }
+    }
+
+    /// Borrow row cells `[col_start, col_end)` as a slice, if they live in
+    /// one allocated chunk (a row never spans chunks vertically, so this is
+    /// the only contiguity requirement).
+    ///
+    /// # Safety
+    ///
+    /// Same as [`SparseGrid::read`], slice-wide: every cell must be
+    /// finalized or owned by the caller for the borrow's lifetime.
+    unsafe fn row_span(&self, row: u32, col_start: u32, col_end: u32) -> Option<&[C]> {
+        debug_assert!(col_start <= col_end && col_end <= self.dims.cols);
+        if col_start == col_end {
+            return Some(&[]);
+        }
+        if col_start / CHUNK != (col_end - 1) / CHUNK {
+            return None;
+        }
+        let (cr, cc, idx) = self.chunk_of(row, col_start);
+        let chunk = self.chunks.get(&self.chunk_key(cr, cc))?;
+        let len = (col_end - col_start) as usize;
+        // SAFETY: `UnsafeCell<C>` has the same layout as `C`, the segment is
+        // within one chunk row, and the caller guarantees no concurrent
+        // writers per the view contract.
+        Some(unsafe { std::slice::from_raw_parts(chunk[idx].get() as *const C, len) })
+    }
+
+    /// Bulk-read row cells into `dst`, filling `C::default()` for
+    /// unallocated chunks (matching [`SparseGrid::read`]).
+    fn read_row_cells(&self, row: u32, col_start: u32, dst: &mut [C]) {
+        self.for_row_segments(
+            row,
+            col_start,
+            col_start + dst.len() as u32,
+            |key, idx, c, end| {
+                let d = &mut dst[(c - col_start) as usize..(end - col_start) as usize];
+                match self.chunks.get(&key) {
+                    // SAFETY: per the view contract the cells are finalized or
+                    // owned by the reading task; same layout argument as
+                    // `row_span`.
+                    Some(chunk) => d.copy_from_slice(unsafe {
+                        std::slice::from_raw_parts(chunk[idx].get() as *const C, d.len())
+                    }),
+                    None => d.fill(C::default()),
+                }
+            },
+        );
+    }
+
+    /// Bulk-write row cells from `values`.
+    ///
+    /// # Safety
+    ///
+    /// Same as [`SparseGrid::write`], slice-wide: the caller holds write
+    /// rights to every cell, and every touched chunk is prepared.
+    unsafe fn write_row_cells(&self, row: u32, col_start: u32, values: &[C]) {
+        self.for_row_segments(
+            row,
+            col_start,
+            col_start + values.len() as u32,
+            |key, idx, c, end| {
+                let chunk = self
+                    .chunks
+                    .get(&key)
+                    .expect("write to unprepared chunk: prepare() must cover every task region");
+                let src = &values[(c - col_start) as usize..(end - col_start) as usize];
+                // SAFETY: caller contract; the segment stays inside one chunk
+                // row, so the destination range is in bounds.
+                unsafe { std::ptr::copy_nonoverlapping(src.as_ptr(), chunk[idx].get(), src.len()) };
+            },
+        );
+    }
 }
 
 impl<C: Cell> NodeStorage<C> for SparseGrid<C> {
     type View<'a> = SparseView<'a, C>;
 
     fn new(dims: GridDims) -> Self {
-        Self { dims, chunk_grid: dims.tiled_by(GridDims::square(CHUNK)), chunks: HashMap::new() }
+        Self {
+            dims,
+            chunk_grid: dims.tiled_by(GridDims::square(CHUNK)),
+            chunks: HashMap::new(),
+        }
     }
 
     fn prepare(&mut self, regions: &[TileRegion]) {
@@ -177,23 +278,25 @@ impl<C: Cell> NodeStorage<C> for SparseGrid<C> {
             region.area() as usize * C::WIRE_SIZE,
             "byte length does not match region {region:?}"
         );
+        if region.cols() == 0 {
+            return;
+        }
         self.prepare(&[region]);
-        let mut off = 0;
-        for r in region.row_start..region.row_end {
-            for c in region.col_start..region.col_end {
-                // SAFETY: &mut self = exclusive; chunk just prepared.
-                unsafe { self.write(r, c, C::read_from(&bytes[off..off + C::WIRE_SIZE])) };
-                off += C::WIRE_SIZE;
-            }
+        let row_bytes = region.cols() as usize * C::WIRE_SIZE;
+        let mut scratch = vec![C::default(); region.cols() as usize];
+        for (r, chunk) in (region.row_start..region.row_end).zip(bytes.chunks_exact(row_bytes)) {
+            C::decode_slice(&mut scratch, chunk);
+            // SAFETY: &mut self = exclusive; chunks just prepared.
+            unsafe { self.write_row_cells(r, region.col_start, &scratch) };
         }
     }
 
     fn encode_region(&mut self, region: TileRegion) -> Vec<u8> {
         let mut out = Vec::with_capacity(region.area() as usize * C::WIRE_SIZE);
+        let mut scratch = vec![C::default(); region.cols() as usize];
         for r in region.row_start..region.row_end {
-            for c in region.col_start..region.col_end {
-                self.read(r, c).write_to(&mut out);
-            }
+            self.read_row_cells(r, region.col_start, &mut scratch);
+            C::encode_slice(&scratch, &mut out);
         }
         out
     }
@@ -225,7 +328,9 @@ impl<C: Cell> DpGrid<C> for SparseView<'_, C> {
 
     #[inline]
     fn set(&mut self, row: u32, col: u32, value: C) {
-        assert!(
+        // Hot path: the region check is a debug assertion; release builds
+        // rely on the DAG schedule (and the bulk write_row check).
+        debug_assert!(
             self.region.contains(GridPos::new(row, col)),
             "task wrote ({row},{col}) outside its region {:?}",
             self.region
@@ -233,6 +338,32 @@ impl<C: Cell> DpGrid<C> for SparseView<'_, C> {
         // SAFETY: in-region writes are exclusive per the view contract;
         // the slave prepares every task region before the pool starts.
         unsafe { self.grid.write(row, col, value) }
+    }
+
+    fn row_slice(&self, row: u32, col_start: u32, col_end: u32) -> Option<&[C]> {
+        // SAFETY: the view's read contract (cells finalized or owned) is
+        // exactly row_span's no-concurrent-writer requirement.
+        unsafe { self.grid.row_span(row, col_start, col_end) }
+    }
+
+    fn read_row_into(&self, row: u32, col_start: u32, dst: &mut [C]) {
+        self.grid.read_row_cells(row, col_start, dst);
+    }
+
+    fn write_row(&mut self, row: u32, col_start: u32, values: &[C]) {
+        let col_end = col_start + values.len() as u32;
+        // One region check per row instead of per cell.
+        assert!(
+            row >= self.region.row_start
+                && row < self.region.row_end
+                && col_start >= self.region.col_start
+                && col_end <= self.region.col_end,
+            "task wrote row {row} cols [{col_start},{col_end}) outside its region {:?}",
+            self.region
+        );
+        // SAFETY: the row span is inside the view's region, where writes
+        // are exclusive per the view contract.
+        unsafe { self.grid.write_row_cells(row, col_start, values) }
     }
 }
 
@@ -251,7 +382,9 @@ mod tests {
     fn sparse_decode_encode_roundtrip() {
         let mut g = <SparseGrid<i32> as NodeStorage<i32>>::new(GridDims::square(500));
         let region = TileRegion::new(100, 164, 200, 280);
-        let bytes: Vec<u8> = (0..region.area() as usize * 4).map(|i| (i % 251) as u8).collect();
+        let bytes: Vec<u8> = (0..region.area() as usize * 4)
+            .map(|i| (i % 251) as u8)
+            .collect();
         g.decode_region(region, &bytes);
         assert_eq!(g.encode_region(region), bytes);
         // Only the touched chunks exist: rows 100..164 span chunks 1..=2,
@@ -271,6 +404,31 @@ mod tests {
     }
 
     #[test]
+    fn sparse_row_ops_cross_chunks() {
+        let mut g = <SparseGrid<i32> as NodeStorage<i32>>::new(GridDims::new(4, 300));
+        let region = TileRegion::new(0, 4, 30, 200); // spans chunks 0..=3
+        g.prepare(&[region]);
+        let mut v = unsafe { g.task_view(region) };
+        let vals: Vec<i32> = (0..170).collect();
+        v.write_row(2, 30, &vals);
+        // Within one chunk the row is a real slice...
+        assert_eq!(v.row_slice(2, 64, 128), Some(&vals[34..98]));
+        // ...across chunks it is not, but read_row_into reassembles it.
+        assert_eq!(v.row_slice(2, 30, 200), None);
+        let mut back = vec![0i32; 170];
+        v.read_row_into(2, 30, &mut back);
+        assert_eq!(back, vals);
+        // Reads reaching into unallocated chunks yield defaults.
+        let mut edge = vec![-1i32; 150];
+        v.read_row_into(2, 150, &mut edge);
+        assert_eq!(&edge[..50], &vals[120..]);
+        assert_eq!(&edge[50..], &[0i32; 100]);
+    }
+
+    // `set`'s region check is a debug assertion (hot path); only the bulk
+    // `write_row` check fires in release builds.
+    #[cfg(debug_assertions)]
+    #[test]
     #[should_panic(expected = "outside its region")]
     fn sparse_view_rejects_out_of_region_write() {
         let mut g = <SparseGrid<i32> as NodeStorage<i32>>::new(GridDims::square(100));
@@ -278,6 +436,16 @@ mod tests {
         g.prepare(&[region]);
         let mut v = unsafe { g.task_view(region) };
         v.set(50, 50, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside its region")]
+    fn sparse_view_rejects_out_of_region_row_write() {
+        let mut g = <SparseGrid<i32> as NodeStorage<i32>>::new(GridDims::square(100));
+        let region = TileRegion::new(0, 10, 0, 10);
+        g.prepare(&[region]);
+        let mut v = unsafe { g.task_view(region) };
+        v.write_row(5, 8, &[1, 2, 3]); // cols [8,11) spill out of [0,10)
     }
 
     #[test]
@@ -293,7 +461,11 @@ mod tests {
         let mut g = <SparseGrid<i32> as NodeStorage<i32>>::new(GridDims::square(10_000));
         // A 10000^2 dense i32 grid would be 400 MB; touch one 128x128 area.
         g.prepare(&[TileRegion::new(5_000, 5_128, 5_000, 5_128)]);
-        assert!(g.allocated_bytes() <= 9 * 64 * 64 * 4, "{} bytes", g.allocated_bytes());
+        assert!(
+            g.allocated_bytes() <= 9 * 64 * 64 * 4,
+            "{} bytes",
+            g.allocated_bytes()
+        );
     }
 
     #[test]

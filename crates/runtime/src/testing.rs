@@ -21,7 +21,10 @@ pub struct FaultyProblem<P> {
 impl<P: DpProblem> FaultyProblem<P> {
     /// Make the first `failures` kernel calls panic.
     pub fn new(inner: P, failures: u64) -> Self {
-        Self { inner, remaining: Arc::new(AtomicU64::new(failures)) }
+        Self {
+            inner,
+            remaining: Arc::new(AtomicU64::new(failures)),
+        }
     }
 
     /// How many injected failures have not fired yet.

@@ -69,7 +69,10 @@ fn external_kill_switch_mid_run_is_survived() {
         });
         run_master(master_ep, &problem, &model, &config).unwrap()
     });
-    assert_eq!(out.matrix, reference, "result exact despite the yanked node");
+    assert_eq!(
+        out.matrix, reference,
+        "result exact despite the yanked node"
+    );
     // Depending on timing the node may die before or after taking work;
     // either way nobody waits forever and the matrix is right.
     assert!(out.stats.dead_slaves <= 1);

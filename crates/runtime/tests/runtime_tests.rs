@@ -14,10 +14,15 @@ use std::time::Duration;
 
 /// Run `problem` through the full runtime and compare present cells to the
 /// sequential reference.
-fn assert_runtime_matches<P: DpProblem + Clone>(problem: P, configure: impl FnOnce(EasyHps<P>) -> EasyHps<P>) {
+fn assert_runtime_matches<P: DpProblem + Clone>(
+    problem: P,
+    configure: impl FnOnce(EasyHps<P>) -> EasyHps<P>,
+) {
     let reference = problem.solve_sequential();
     let pattern = problem.pattern();
-    let out = configure(EasyHps::new(problem)).run().expect("run succeeds");
+    let out = configure(EasyHps::new(problem))
+        .run()
+        .expect("run succeeds");
     for p in reference.dims().iter() {
         if pattern.contains(p) {
             assert_eq!(out.matrix.at(p), reference.at(p), "cell {p}");
@@ -30,7 +35,10 @@ fn edit_distance_on_runtime() {
     let a = random_sequence(Alphabet::Dna, 57, 1);
     let b = random_sequence(Alphabet::Dna, 49, 2);
     assert_runtime_matches(EditDistance::new(a, b), |e| {
-        e.process_partition((10, 10)).thread_partition((4, 4)).slaves(3).threads_per_slave(2)
+        e.process_partition((10, 10))
+            .thread_partition((4, 4))
+            .slaves(3)
+            .threads_per_slave(2)
     });
 }
 
@@ -39,7 +47,10 @@ fn swgg_on_runtime() {
     let a = random_sequence(Alphabet::Dna, 40, 3);
     let b = random_sequence(Alphabet::Dna, 44, 4);
     assert_runtime_matches(SmithWatermanGeneralGap::dna(a, b), |e| {
-        e.process_partition((8, 8)).thread_partition((3, 3)).slaves(2).threads_per_slave(3)
+        e.process_partition((8, 8))
+            .thread_partition((3, 3))
+            .slaves(2)
+            .threads_per_slave(3)
     });
 }
 
@@ -48,7 +59,10 @@ fn sw_affine_on_runtime() {
     let a = random_sequence(Alphabet::Dna, 35, 5);
     let b = random_sequence(Alphabet::Dna, 31, 6);
     assert_runtime_matches(SmithWatermanAffine::dna(a, b), |e| {
-        e.process_partition((7, 9)).thread_partition((3, 4)).slaves(2).threads_per_slave(2)
+        e.process_partition((7, 9))
+            .thread_partition((3, 4))
+            .slaves(2)
+            .threads_per_slave(2)
     });
 }
 
@@ -56,7 +70,10 @@ fn sw_affine_on_runtime() {
 fn nussinov_on_runtime() {
     let rna = random_sequence(Alphabet::Rna, 50, 7);
     assert_runtime_matches(Nussinov::new(rna), |e| {
-        e.process_partition((10, 10)).thread_partition((4, 4)).slaves(3).threads_per_slave(2)
+        e.process_partition((10, 10))
+            .thread_partition((4, 4))
+            .slaves(3)
+            .threads_per_slave(2)
     });
 }
 
@@ -65,7 +82,10 @@ fn lcs_on_runtime() {
     let a = random_sequence(Alphabet::Protein, 30, 8);
     let b = random_sequence(Alphabet::Protein, 33, 9);
     assert_runtime_matches(Lcs::new(a, b), |e| {
-        e.process_partition((6, 6)).thread_partition((2, 2)).slaves(2).threads_per_slave(2)
+        e.process_partition((6, 6))
+            .thread_partition((2, 2))
+            .slaves(2)
+            .threads_per_slave(2)
     });
 }
 
@@ -73,7 +93,10 @@ fn lcs_on_runtime() {
 fn matrix_chain_on_runtime() {
     let dims: Vec<u64> = (0..=24).map(|i| 2 + (i * 11 % 19)).collect();
     assert_runtime_matches(MatrixChain::new(dims), |e| {
-        e.process_partition((6, 6)).thread_partition((2, 2)).slaves(2).threads_per_slave(2)
+        e.process_partition((6, 6))
+            .thread_partition((2, 2))
+            .slaves(2)
+            .threads_per_slave(2)
     });
 }
 
@@ -81,14 +104,20 @@ fn matrix_chain_on_runtime() {
 fn obst_on_runtime() {
     let freq: Vec<u64> = (0..20).map(|i| 1 + (i * 7 % 13)).collect();
     assert_runtime_matches(OptimalBst::new(freq), |e| {
-        e.process_partition((5, 5)).thread_partition((2, 2)).slaves(2).threads_per_slave(2)
+        e.process_partition((5, 5))
+            .thread_partition((2, 2))
+            .slaves(2)
+            .threads_per_slave(2)
     });
 }
 
 #[test]
 fn quadrant_2d2d_on_runtime() {
     assert_runtime_matches(Quadrant2D2D::new(20, 77), |e| {
-        e.process_partition((6, 6)).thread_partition((3, 3)).slaves(2).threads_per_slave(2)
+        e.process_partition((6, 6))
+            .thread_partition((3, 3))
+            .slaves(2)
+            .threads_per_slave(2)
     });
 }
 
@@ -125,7 +154,10 @@ fn single_slave_single_thread_degenerate() {
     let a = random_sequence(Alphabet::Dna, 20, 14);
     let b = random_sequence(Alphabet::Dna, 22, 15);
     assert_runtime_matches(EditDistance::new(a, b), |e| {
-        e.process_partition((5, 5)).thread_partition((5, 5)).slaves(1).threads_per_slave(1)
+        e.process_partition((5, 5))
+            .thread_partition((5, 5))
+            .slaves(1)
+            .threads_per_slave(1)
     });
 }
 
@@ -134,7 +166,10 @@ fn one_tile_covers_whole_problem() {
     let a = random_sequence(Alphabet::Dna, 12, 16);
     let b = random_sequence(Alphabet::Dna, 12, 17);
     assert_runtime_matches(EditDistance::new(a, b), |e| {
-        e.process_partition((13, 13)).thread_partition((13, 13)).slaves(2).threads_per_slave(2)
+        e.process_partition((13, 13))
+            .thread_partition((13, 13))
+            .slaves(2)
+            .threads_per_slave(2)
     });
 }
 
@@ -169,8 +204,25 @@ fn report_counts_are_consistent() {
     assert_eq!(slave_tasks, 16);
     assert!(r.total_subtasks() >= 16);
     assert_eq!(
-        r.slaves.iter().flatten().map(|s| s.thread_failures).sum::<u64>(),
+        r.slaves
+            .iter()
+            .flatten()
+            .map(|s| s.thread_failures)
+            .sum::<u64>(),
         0
+    );
+    // The compute pool is persistent: each slave spawns its ct computing
+    // threads exactly once, not once per assigned tile (16 tiles over 2
+    // slaves guarantees some slave ran many tiles on those same threads).
+    for s in r.slaves.iter().flatten() {
+        assert_eq!(
+            s.threads_spawned, 2,
+            "threads spawned once per slave lifetime"
+        );
+    }
+    assert!(
+        r.slaves.iter().flatten().any(|s| s.tasks_done > 1),
+        "at least one slave executed several tiles on one pool"
     );
 }
 
@@ -189,7 +241,13 @@ fn thread_level_fault_tolerance_recovers_from_panics() {
         .run()
         .expect("recovers from injected panics");
     assert_eq!(out.matrix, reference);
-    let failures: u64 = out.report.slaves.iter().flatten().map(|s| s.thread_failures).sum();
+    let failures: u64 = out
+        .report
+        .slaves
+        .iter()
+        .flatten()
+        .map(|s| s.thread_failures)
+        .sum();
     assert_eq!(failures, 5, "every injected panic recovered exactly once");
 }
 
@@ -212,7 +270,10 @@ fn process_level_fault_tolerance_survives_slave_death() {
         .expect("survives one slave dying");
     assert_eq!(out.matrix, reference);
     assert_eq!(out.report.master.dead_slaves, 1);
-    assert!(out.report.slaves[0].is_none(), "dead slave reports no stats");
+    assert!(
+        out.report.slaves[0].is_none(),
+        "dead slave reports no stats"
+    );
     assert!(out.report.slaves[1].is_some());
 }
 
@@ -264,7 +325,10 @@ fn needleman_wunsch_on_runtime() {
     let a = random_sequence(Alphabet::Dna, 33, 30);
     let b = random_sequence(Alphabet::Dna, 37, 31);
     assert_runtime_matches(easyhps_dp::NeedlemanWunsch::dna(a, b), |e| {
-        e.process_partition((8, 8)).thread_partition((3, 3)).slaves(2).threads_per_slave(2)
+        e.process_partition((8, 8))
+            .thread_partition((3, 3))
+            .slaves(2)
+            .threads_per_slave(2)
     });
 }
 
@@ -272,9 +336,14 @@ fn needleman_wunsch_on_runtime() {
 fn knapsack_on_runtime_with_column_partitions() {
     // The RowLookback2D pattern must ship whole previous-row prefixes;
     // column partitions would corrupt results if it under-declared.
-    let items: Vec<(u32, u64)> = (0..20).map(|i| (1 + i % 7, (i * 13 % 29) as u64 + 1)).collect();
+    let items: Vec<(u32, u64)> = (0..20)
+        .map(|i| (1 + i % 7, (i * 13 % 29) as u64 + 1))
+        .collect();
     assert_runtime_matches(easyhps_dp::Knapsack::new(&items, 60), |e| {
-        e.process_partition((6, 13)).thread_partition((3, 5)).slaves(2).threads_per_slave(2)
+        e.process_partition((6, 13))
+            .thread_partition((3, 5))
+            .slaves(2)
+            .threads_per_slave(2)
     });
 }
 
@@ -286,7 +355,12 @@ fn cyk_on_runtime() {
     assert!(p.recognized(&reference), "the word is balanced");
     assert_runtime_matches(
         easyhps_dp::CykParser::new(easyhps_dp::Grammar::balanced_parens(), word),
-        |e| e.process_partition((8, 8)).thread_partition((3, 3)).slaves(3).threads_per_slave(2),
+        |e| {
+            e.process_partition((8, 8))
+                .thread_partition((3, 3))
+                .slaves(3)
+                .threads_per_slave(2)
+        },
     );
 }
 
@@ -311,7 +385,11 @@ fn single_level_and_multilevel_agree() {
     let pattern = Nussinov::new(rna).pattern();
     for pos in multilevel.matrix.dims().iter() {
         if pattern.contains(pos) {
-            assert_eq!(multilevel.matrix.at(pos), single.matrix.at(pos), "cell {pos}");
+            assert_eq!(
+                multilevel.matrix.at(pos),
+                single.matrix.at(pos),
+                "cell {pos}"
+            );
         }
     }
 }
@@ -338,12 +416,22 @@ fn sparse_memory_mode_is_correct_and_smaller() {
 
     for pos in reference.dims().iter() {
         if pattern.contains(pos) {
-            assert_eq!(sparse.matrix.at(pos), reference.at(pos), "sparse cell {pos}");
+            assert_eq!(
+                sparse.matrix.at(pos),
+                reference.at(pos),
+                "sparse cell {pos}"
+            );
             assert_eq!(dense.matrix.at(pos), reference.at(pos), "dense cell {pos}");
         }
     }
     let peak = |out: &easyhps_runtime::RunOutput<i32>| {
-        out.report.slaves.iter().flatten().map(|s| s.peak_node_bytes).max().unwrap()
+        out.report
+            .slaves
+            .iter()
+            .flatten()
+            .map(|s| s.peak_node_bytes)
+            .max()
+            .unwrap()
     };
     let (pd, ps) = (peak(&dense), peak(&sparse));
     assert_eq!(pd, 400 * 400 * 4, "dense allocates the full matrix");
@@ -372,8 +460,7 @@ fn runtime_trace_records_every_tile() {
         trace.gantt(60)
     );
     // Both slaves appear.
-    let lanes: std::collections::BTreeSet<_> =
-        trace.spans.iter().map(|s| s.lane.clone()).collect();
+    let lanes: std::collections::BTreeSet<_> = trace.spans.iter().map(|s| s.lane.clone()).collect();
     assert_eq!(lanes.len(), 2);
     assert!(trace.gantt(50).contains("slave0"));
 }
@@ -463,7 +550,10 @@ fn semi_global_on_runtime() {
     let reference_seq = random_sequence(Alphabet::Dna, 60, 95);
     let query = reference_seq[20..45].to_vec();
     assert_runtime_matches(easyhps_dp::SemiGlobal::dna(query, reference_seq), |e| {
-        e.process_partition((9, 13)).thread_partition((4, 5)).slaves(2).threads_per_slave(2)
+        e.process_partition((9, 13))
+            .thread_partition((4, 5))
+            .slaves(2)
+            .threads_per_slave(2)
     });
 }
 
@@ -471,6 +561,9 @@ fn semi_global_on_runtime() {
 fn longest_palindrome_on_runtime() {
     let s = random_sequence(Alphabet::Dna, 48, 96);
     assert_runtime_matches(easyhps_dp::LongestPalindrome::new(s), |e| {
-        e.process_partition((12, 12)).thread_partition((4, 4)).slaves(3).threads_per_slave(2)
+        e.process_partition((12, 12))
+            .thread_partition((4, 4))
+            .slaves(3)
+            .threads_per_slave(2)
     });
 }

@@ -9,8 +9,8 @@
 
 use crate::cost::CostModel;
 use crate::pool_sim::{simulate_pool, PoolOutcome};
-use easyhps_core::Trace;
 use crate::workload::SimWorkload;
+use easyhps_core::Trace;
 use easyhps_core::{DagParser, ScheduleMode, TaskDag, VertexId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -79,7 +79,10 @@ impl SimConfig {
         let threads = (0..nodes)
             .map(|i| (base + usize::from(i < extra)).clamp(1, 11))
             .collect();
-        Self { threads, ..Self::uniform(nodes, 1) }
+        Self {
+            threads,
+            ..Self::uniform(nodes, 1)
+        }
     }
 }
 
@@ -153,7 +156,10 @@ fn simulate_impl(
     let mut idle = vec![true; nodes];
     let mut dead = vec![false; nodes];
     let mut master_free_at = 0u64;
-    let mut res = SimResult { node_busy_ns: vec![0; nodes], ..SimResult::default() };
+    let mut res = SimResult {
+        node_busy_ns: vec![0; nodes],
+        ..SimResult::default()
+    };
 
     // Cache of per-tile slave-pool outcomes (each tile runs once).
     let slave_outcome = |task: VertexId, node: usize| -> PoolOutcome {
@@ -228,8 +234,8 @@ fn simulate_impl(
                     // its overtime queue fires instead.
                     let outcome = slave_outcome(VertexId(v.0), node);
                     let completes_at = arrive + outcome.makespan_ns;
-                    let lost = config.node_fail_at[node]
-                        .is_some_and(|f| arrive >= f || completes_at > f);
+                    let lost =
+                        config.node_fail_at[node].is_some_and(|f| arrive >= f || completes_at > f);
                     if lost {
                         events.push(Reverse((
                             master_free_at + config.task_timeout_ns,
@@ -316,7 +322,10 @@ fn simulate_impl(
         }
     }
 
-    assert!(parser.is_done(), "simulation drained its event queue with tasks remaining");
+    assert!(
+        parser.is_done(),
+        "simulation drained its event queue with tasks remaining"
+    );
     res.makespan_ns = master_free_at;
     res
 }
@@ -413,7 +422,11 @@ mod tests {
         let c = SimConfig::spread(3, 10);
         assert_eq!(c.threads, vec![4, 3, 3]);
         let c = SimConfig::spread(2, 40);
-        assert_eq!(c.threads, vec![11, 11], "clamped to the 11-thread hardware cap");
+        assert_eq!(
+            c.threads,
+            vec![11, 11],
+            "clamped to the 11-thread hardware cap"
+        );
         let c = SimConfig::spread(3, 1);
         assert_eq!(c.threads, vec![1, 1, 1], "at least one thread per node");
     }
@@ -433,13 +446,20 @@ mod failure_tests {
         let healthy = simulate(&w, &SimConfig::uniform(3, 4));
         let mut cfg = SimConfig::uniform(3, 4);
         cfg.task_timeout_ns = 20_000_000; // 20 ms
-        // Crash node 1 a third of the way through the healthy makespan.
+                                          // Crash node 1 a third of the way through the healthy makespan.
         cfg = cfg.fail_node(1, healthy.makespan_ns / 3);
         let r = simulate(&w, &cfg);
-        assert_eq!(r.tiles, w.model.master_dag().len() as u64, "every tile still computed");
+        assert_eq!(
+            r.tiles,
+            w.model.master_dag().len() as u64,
+            "every tile still computed"
+        );
         assert_eq!(r.dead_nodes, 1);
         assert!(r.redispatched >= 1);
-        assert!(r.makespan_ns > healthy.makespan_ns, "losing a node costs time");
+        assert!(
+            r.makespan_ns > healthy.makespan_ns,
+            "losing a node costs time"
+        );
     }
 
     #[test]
@@ -483,7 +503,10 @@ mod failure_tests {
             c.task_timeout_ns = timeout;
             simulate(&w, &c).makespan_ns
         };
-        assert!(run(5_000_000) <= run(500_000_000), "long timeouts delay recovery");
+        assert!(
+            run(5_000_000) <= run(500_000_000),
+            "long timeouts delay recovery"
+        );
     }
 }
 
@@ -499,8 +522,11 @@ mod trace_tests {
         let (traced, trace) = simulate_traced(&w, &cfg);
         assert_eq!(plain, traced, "tracing must not perturb the schedule");
         // One execution span per tile plus master chunks.
-        let node_spans =
-            trace.spans.iter().filter(|s| s.lane.starts_with("node")).count() as u64;
+        let node_spans = trace
+            .spans
+            .iter()
+            .filter(|s| s.lane.starts_with("node"))
+            .count() as u64;
         assert_eq!(node_spans, traced.tiles);
         // Node busy time in the trace equals the result's accounting.
         for (lane, busy) in trace.busy_by_lane() {
@@ -513,7 +539,10 @@ mod trace_tests {
         let g = trace.gantt(60);
         assert!(g.contains("master"));
         assert!(g.contains("node0"));
-        assert!(!trace.has_lane_overlaps(), "node executing two tiles at once:\n{g}");
+        assert!(
+            !trace.has_lane_overlaps(),
+            "node executing two tiles at once:\n{g}"
+        );
     }
 }
 
@@ -537,7 +566,10 @@ mod heterogeneity_tests {
         bcw.thread_mode = ScheduleMode::BlockCyclic { block: 1 };
         let straggler_bcw = simulate(&w, &bcw).makespan_ns;
 
-        assert!(straggler_dyn > healthy_dyn, "a straggler always costs something");
+        assert!(
+            straggler_dyn > healthy_dyn,
+            "a straggler always costs something"
+        );
         assert!(
             straggler_bcw > straggler_dyn,
             "static scheduling must suffer more from a straggler: bcw {straggler_bcw} vs dyn {straggler_dyn}"
@@ -552,7 +584,9 @@ mod heterogeneity_tests {
         let w = SimWorkload::swgg(400, 50, 10);
         let normal = simulate(&w, &SimConfig::uniform(2, 4)).makespan_ns;
         let double = {
-            let cfg = SimConfig::uniform(2, 4).node_speed(0, 200).node_speed(1, 200);
+            let cfg = SimConfig::uniform(2, 4)
+                .node_speed(0, 200)
+                .node_speed(1, 200);
             simulate(&w, &cfg).makespan_ns
         };
         // Compute halves; thread dispatch, network and the master don't,

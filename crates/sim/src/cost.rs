@@ -110,14 +110,21 @@ mod tests {
 
     #[test]
     fn degenerate_rates_do_not_panic() {
-        let c = CostModel { work_per_us: 0, net_bytes_per_us: 0, ..CostModel::tianhe1a() };
+        let c = CostModel {
+            work_per_us: 0,
+            net_bytes_per_us: 0,
+            ..CostModel::tianhe1a()
+        };
         assert!(c.compute_ns(100) > 0);
         assert!(c.transfer_ns(100) >= c.net_latency_ns);
     }
 
     #[test]
     fn jitter_is_deterministic_and_bounded() {
-        let c = CostModel { jitter_pct: 20, ..CostModel::tianhe1a() };
+        let c = CostModel {
+            jitter_pct: 20,
+            ..CostModel::tianhe1a()
+        };
         for key in 0..1000u64 {
             let j = c.jittered_ns(10_000, key);
             assert_eq!(j, c.jittered_ns(10_000, key), "deterministic");
@@ -132,7 +139,10 @@ mod tests {
 
     #[test]
     fn zero_jitter_is_identity() {
-        let c = CostModel { jitter_pct: 0, ..CostModel::tianhe1a() };
+        let c = CostModel {
+            jitter_pct: 0,
+            ..CostModel::tianhe1a()
+        };
         assert_eq!(c.jittered_ns(12345, 99), 12345);
     }
 }

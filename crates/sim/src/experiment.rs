@@ -42,14 +42,16 @@ impl Experiment {
     /// The cores `Y` of the paper's sweep for `X` nodes with `ct`
     /// computing threads per node: `Y = 2X - 1 + ct (X - 1)`.
     pub fn from_ct(nodes: u32, ct: u32) -> Self {
-        Self { nodes, cores: 2 * nodes - 1 + ct * (nodes - 1) }
+        Self {
+            nodes,
+            cores: 2 * nodes - 1 + ct * (nodes - 1),
+        }
     }
 
     /// Build the simulator configuration.
     pub fn config(&self, cost: CostModel) -> SimConfig {
         assert!(self.is_valid(), "invalid experiment {self:?}");
-        let mut cfg =
-            SimConfig::spread((self.nodes - 1) as usize, self.computing_cores() as usize);
+        let mut cfg = SimConfig::spread((self.nodes - 1) as usize, self.computing_cores() as usize);
         cfg.cost = cost;
         cfg
     }
@@ -110,11 +112,7 @@ pub fn node_comparison_series(
 /// Figure 16: per total core count, the best (lowest-elapsed) node
 /// grouping; returns `(elapsed, speedup)` series where speedup is against
 /// the one-core sequential baseline.
-pub fn speedup_series(
-    workload: &SimWorkload,
-    cost: CostModel,
-    max_cores: u32,
-) -> (Series, Series) {
+pub fn speedup_series(workload: &SimWorkload, cost: CostModel, max_cores: u32) -> (Series, Series) {
     let seq = sequential_ns(workload, &cost) as f64;
     let mut elapsed = Series::new("best grouping elapsed (s)");
     let mut speedup = Series::new("speedup vs sequential");
@@ -138,7 +136,10 @@ pub fn speedup_series(
 /// threads (the thread count is close to the slave-DAG width, so block 1
 /// is the only sensible choice there).
 pub fn bcw_baseline() -> (ScheduleMode, ScheduleMode) {
-    (ScheduleMode::BlockCyclic { block: 2 }, ScheduleMode::BlockCyclic { block: 1 })
+    (
+        ScheduleMode::BlockCyclic { block: 2 },
+        ScheduleMode::BlockCyclic { block: 1 },
+    )
 }
 
 /// Figure 17: BCW / EasyHPS runtime ratio per node count over the
@@ -188,7 +189,10 @@ mod tests {
         assert!(Experiment::new(2, 4).is_valid());
         assert!(!Experiment::new(2, 3).is_valid(), "no computing core left");
         assert!(!Experiment::new(1, 10).is_valid(), "master-only");
-        assert!(!Experiment::new(2, 15).is_valid(), "more than 11 threads on one node");
+        assert!(
+            !Experiment::new(2, 15).is_valid(),
+            "more than 11 threads on one node"
+        );
         assert!(Experiment::new(5, 20).is_valid());
     }
 
@@ -218,14 +222,20 @@ mod tests {
         let first = speedup.points.first().unwrap().1;
         let last = speedup.points.last().unwrap().1;
         assert!(last > first);
-        assert!(first >= 0.5, "even the smallest deployment computes in parallel");
+        assert!(
+            first >= 0.5,
+            "even the smallest deployment computes in parallel"
+        );
     }
 
     #[test]
     fn bcw_ratio_mostly_above_one_on_triangular() {
         let w = SimWorkload::nussinov(300, 50, 10);
         let series = bcw_ratio_series(&w, CostModel::tianhe1a());
-        let all: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.1)).collect();
+        let all: Vec<f64> = series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.1))
+            .collect();
         let above = all.iter().filter(|&&r| r >= 1.0).count();
         assert!(
             above * 10 >= all.len() * 9,

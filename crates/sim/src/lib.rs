@@ -29,11 +29,11 @@ mod workload;
 
 pub use cluster::{sequential_ns, simulate, simulate_traced, SimConfig, SimResult};
 pub use cost::CostModel;
+pub use easyhps_core::{Span, Trace};
 pub use experiment::{
     bcw_baseline, bcw_ratio_series, node_comparison_series, scaling_series, speedup_series,
     Experiment, NODE_COUNTS,
 };
 pub use pool_sim::{simulate_pool, PoolOutcome};
 pub use report::{render_csv, render_table, Series};
-pub use easyhps_core::{Span, Trace};
 pub use workload::{SimWorkload, WorkProfile};

@@ -78,7 +78,10 @@ pub fn simulate_pool(
         }
 
         let Some(Reverse((t, _, w, task))) = running.pop() else {
-            assert!(parser.is_done(), "pool stalled: DAG has a cycle or policy starved it");
+            assert!(
+                parser.is_done(),
+                "pool stalled: DAG has a cycle or policy starved it"
+            );
             break;
         };
         now = t;
@@ -136,9 +139,21 @@ mod tests {
     #[test]
     fn makespan_at_least_critical_path_and_at_most_serial() {
         let dag = TaskDag::from_pattern(&TriangularGap::new(12));
-        let serial = simulate_pool(&dag, 1, ScheduleMode::Dynamic, |v| dag.vertex(v).pos.col as u64 + 1, 0);
+        let serial = simulate_pool(
+            &dag,
+            1,
+            ScheduleMode::Dynamic,
+            |v| dag.vertex(v).pos.col as u64 + 1,
+            0,
+        );
         for w in [2, 3, 5, 8] {
-            let out = simulate_pool(&dag, w, ScheduleMode::Dynamic, |v| dag.vertex(v).pos.col as u64 + 1, 0);
+            let out = simulate_pool(
+                &dag,
+                w,
+                ScheduleMode::Dynamic,
+                |v| dag.vertex(v).pos.col as u64 + 1,
+                0,
+            );
             assert!(out.makespan_ns <= serial.makespan_ns);
             assert_eq!(out.busy_ns, serial.busy_ns, "work conserved");
             assert_eq!(out.tasks, dag.len() as u64);

@@ -14,7 +14,10 @@ pub struct Series {
 impl Series {
     /// Empty series with a label.
     pub fn new(label: impl Into<String>) -> Self {
-        Self { label: label.into(), points: Vec::new() }
+        Self {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Append a point.
@@ -24,14 +27,20 @@ impl Series {
 
     /// y value at the given x, if present.
     pub fn y_at(&self, x: f64) -> Option<f64> {
-        self.points.iter().find(|(px, _)| (px - x).abs() < 1e-9).map(|(_, y)| *y)
+        self.points
+            .iter()
+            .find(|(px, _)| (px - x).abs() < 1e-9)
+            .map(|(_, y)| *y)
     }
 }
 
 /// Render series as an aligned text table: one row per x, one column per
 /// series. Missing points print as `-`.
 pub fn render_table(title: &str, x_label: &str, series: &[Series]) -> String {
-    let mut xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .collect();
     xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
     xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
 
@@ -61,7 +70,10 @@ pub fn render_table(title: &str, x_label: &str, series: &[Series]) -> String {
 
 /// Render series as CSV (`x,label1,label2,...`).
 pub fn render_csv(x_label: &str, series: &[Series]) -> String {
-    let mut xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .collect();
     xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
     xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
 

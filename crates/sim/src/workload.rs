@@ -92,7 +92,12 @@ impl SimWorkload {
             .process_partition_size(GridDims::square(pps))
             .thread_partition_size(GridDims::square(tps))
             .build();
-        Self { name: format!("swgg-{seq_len}"), model, profile: WorkProfile::RowColScan, cell_bytes: 4 }
+        Self {
+            name: format!("swgg-{seq_len}"),
+            model,
+            profile: WorkProfile::RowColScan,
+            cell_bytes: 4,
+        }
     }
 
     /// The paper's second workload: Nussinov over a sequence of length
@@ -102,7 +107,12 @@ impl SimWorkload {
             .process_partition_size(GridDims::square(pps))
             .thread_partition_size(GridDims::square(tps))
             .build();
-        Self { name: format!("nussinov-{len}"), model, profile: WorkProfile::TriangularScan, cell_bytes: 4 }
+        Self {
+            name: format!("nussinov-{len}"),
+            model,
+            profile: WorkProfile::TriangularScan,
+            cell_bytes: 4,
+        }
     }
 
     /// A uniform 2D/0D wavefront (edit-distance-like), useful for
@@ -113,7 +123,12 @@ impl SimWorkload {
             .process_partition_size(GridDims::square(pps))
             .thread_partition_size(GridDims::square(tps))
             .build();
-        Self { name: format!("wavefront-{n}"), model, profile: WorkProfile::Uniform, cell_bytes: 4 }
+        Self {
+            name: format!("wavefront-{n}"),
+            model,
+            profile: WorkProfile::Uniform,
+            cell_bytes: 4,
+        }
     }
 
     /// Work of one cell region under this workload.
@@ -135,7 +150,10 @@ mod tests {
 
     #[test]
     fn uniform_work_is_area() {
-        assert_eq!(WorkProfile::Uniform.region_work(TileRegion::new(2, 5, 1, 4)), 9);
+        assert_eq!(
+            WorkProfile::Uniform.region_work(TileRegion::new(2, 5, 1, 4)),
+            9
+        );
     }
 
     #[test]
@@ -146,24 +164,32 @@ mod tests {
             TileRegion::new(100, 101, 0, 1),
         ] {
             let brute: u64 = region.iter().map(|p| p.row as u64 + p.col as u64 + 1).sum();
-            assert_eq!(WorkProfile::RowColScan.region_work(region), brute, "{region:?}");
+            assert_eq!(
+                WorkProfile::RowColScan.region_work(region),
+                brute,
+                "{region:?}"
+            );
         }
     }
 
     #[test]
     fn triangular_matches_brute_force() {
         for region in [
-            TileRegion::new(0, 5, 0, 5),   // straddles the diagonal
-            TileRegion::new(0, 4, 8, 12),  // fully above
-            TileRegion::new(8, 12, 0, 4),  // fully below -> zero
-            TileRegion::new(2, 7, 5, 9),   // partial
+            TileRegion::new(0, 5, 0, 5),  // straddles the diagonal
+            TileRegion::new(0, 4, 8, 12), // fully above
+            TileRegion::new(8, 12, 0, 4), // fully below -> zero
+            TileRegion::new(2, 7, 5, 9),  // partial
         ] {
             let brute: u64 = region
                 .iter()
                 .filter(|p| p.col >= p.row)
                 .map(|p| (p.col - p.row) as u64 + 1)
                 .sum();
-            assert_eq!(WorkProfile::TriangularScan.region_work(region), brute, "{region:?}");
+            assert_eq!(
+                WorkProfile::TriangularScan.region_work(region),
+                brute,
+                "{region:?}"
+            );
         }
     }
 
@@ -177,14 +203,20 @@ mod tests {
         let b = random_sequence(Alphabet::Dna, 30, 2);
         let real = easyhps_dp::SmithWatermanGeneralGap::dna(a, b);
         let sim = SimWorkload::swgg(30, 10, 5);
-        for region in [TileRegion::new(0, 10, 0, 10), TileRegion::new(10, 20, 20, 31)] {
+        for region in [
+            TileRegion::new(0, 10, 0, 10),
+            TileRegion::new(10, 20, 20, 31),
+        ] {
             assert_eq!(sim.region_work(region), real.region_work(region));
         }
 
         let rna = random_sequence(Alphabet::Rna, 40, 3);
         let real = easyhps_dp::Nussinov::new(rna);
         let sim = SimWorkload::nussinov(40, 10, 5);
-        for region in [TileRegion::new(0, 10, 0, 10), TileRegion::new(0, 20, 20, 40)] {
+        for region in [
+            TileRegion::new(0, 10, 0, 10),
+            TileRegion::new(0, 20, 20, 40),
+        ] {
             let brute: u64 = region
                 .iter()
                 .filter(|p| real.pattern().contains(*p))

@@ -22,7 +22,9 @@ fn arb_config() -> impl Strategy<Value = SimConfig> {
         cfg.cost.jitter_pct = jitter;
         let m = match mode {
             0 => ScheduleMode::Dynamic,
-            1 => ScheduleMode::BlockCyclic { block: 1 + jitter % 3 },
+            1 => ScheduleMode::BlockCyclic {
+                block: 1 + jitter % 3,
+            },
             _ => ScheduleMode::ColumnWavefront,
         };
         cfg.process_mode = m;

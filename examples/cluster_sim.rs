@@ -40,9 +40,11 @@ fn main() {
     }
     println!(
         "{}",
-        render_table("30 total cores, split across X nodes (Experiment_X_30)", "nodes", &[
-            grouping, speedups,
-        ])
+        render_table(
+            "30 total cores, split across X nodes (Experiment_X_30)",
+            "nodes",
+            &[grouping, speedups,]
+        )
     );
 
     // Question 2: dynamic pool vs static block-cyclic wavefront.

@@ -18,7 +18,9 @@ use std::sync::Arc;
 
 /// Deterministic terrain cost for cell `(i, j)`.
 fn terrain(i: u32, j: u32) -> i64 {
-    let h = (i as u64).wrapping_mul(0x9e37_79b9).wrapping_add((j as u64) << 17);
+    let h = (i as u64)
+        .wrapping_mul(0x9e37_79b9)
+        .wrapping_add((j as u64) << 17);
     ((h >> 7) % 23) as i64 + 1
 }
 

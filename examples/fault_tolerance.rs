@@ -42,11 +42,19 @@ fn main() {
     assert_eq!(out.matrix, reference);
 
     let m = &out.report.master;
-    println!("dispatched {} sub-tasks ({} re-dispatched after timeout)", m.dispatched, m.redispatched);
+    println!(
+        "dispatched {} sub-tasks ({} re-dispatched after timeout)",
+        m.dispatched, m.redispatched
+    );
     println!("dead slaves: {}", m.dead_slaves);
     println!("stale completions ignored: {}", m.stale_completions);
-    let thread_failures: u64 =
-        out.report.slaves.iter().flatten().map(|s| s.thread_failures).sum();
+    let thread_failures: u64 = out
+        .report
+        .slaves
+        .iter()
+        .flatten()
+        .map(|s| s.thread_failures)
+        .sum();
     println!(
         "thread-level panics fired: {} (recovered; {} counted by surviving slaves, the rest died with their node)",
         4 - problem.failures_left(),

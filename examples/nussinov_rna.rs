@@ -45,6 +45,9 @@ fn main() {
     );
 
     let reference = problem.solve_sequential();
-    assert_eq!(problem.max_pairs(&out.matrix), problem.max_pairs(&reference));
+    assert_eq!(
+        problem.max_pairs(&out.matrix),
+        problem.max_pairs(&reference)
+    );
     println!("verified against sequential reference");
 }

@@ -35,7 +35,9 @@ fn main() {
     println!(
         "script: {} keep, {} substitute, {} insert, {} delete",
         ops.iter().filter(|o| matches!(o, EditOp::Keep)).count(),
-        ops.iter().filter(|o| matches!(o, EditOp::Substitute)).count(),
+        ops.iter()
+            .filter(|o| matches!(o, EditOp::Substitute))
+            .count(),
         ops.iter().filter(|o| matches!(o, EditOp::Insert)).count(),
         ops.iter().filter(|o| matches!(o, EditOp::Delete)).count(),
     );

@@ -55,7 +55,10 @@ fn main() {
         "\nruntime: {} tiles, {} bytes through the master, {:.2?} wall",
         out.report.master.completed, out.report.master.bytes_sent, out.report.elapsed
     );
-    assert!(alignment.score > 60, "the planted segment should score highly");
+    assert!(
+        alignment.score > 60,
+        "the planted segment should score highly"
+    );
     assert!(
         alignment.a_aligned.contains(&b'-') || alignment.b_aligned.contains(&b'-'),
         "the insertion should align as a gap"

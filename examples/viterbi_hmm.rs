@@ -74,7 +74,9 @@ fn main() {
         truth.len()
     );
     let render = |path: &[usize]| -> String {
-        path.iter().map(|&s| if s == 0 { '.' } else { 'L' }).collect()
+        path.iter()
+            .map(|&s| if s == 0 { '.' } else { 'L' })
+            .collect()
     };
     println!("truth:   {}", render(&truth));
     println!("decoded: {}", render(&decoded));

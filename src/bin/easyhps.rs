@@ -17,8 +17,7 @@
 
 use easyhps::dp::sequence::parse_fasta;
 use easyhps::dp::{
-    EditDistance, GapPenalty, NeedlemanWunsch, Nussinov, SmithWatermanGeneralGap,
-    Substitution,
+    EditDistance, GapPenalty, NeedlemanWunsch, Nussinov, SmithWatermanGeneralGap, Substitution,
 };
 use easyhps::sim::{sequential_ns, simulate_traced, CostModel, Experiment, SimWorkload};
 use easyhps::{EasyHps, ScheduleMode};
@@ -32,7 +31,10 @@ struct Args {
 }
 
 impl Args {
-    fn parse(raw: impl IntoIterator<Item = String>, boolean_flags: &[&str]) -> Result<Args, String> {
+    fn parse(
+        raw: impl IntoIterator<Item = String>,
+        boolean_flags: &[&str],
+    ) -> Result<Args, String> {
         let mut out = Args::default();
         let mut it = raw.into_iter().peekable();
         while let Some(a) = it.next() {
@@ -40,9 +42,7 @@ impl Args {
                 if boolean_flags.contains(&name) {
                     out.flags.push((name.to_string(), None));
                 } else {
-                    let v = it
-                        .next()
-                        .ok_or_else(|| format!("--{name} needs a value"))?;
+                    let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
                     out.flags.push((name.to_string(), Some(v)));
                 }
             } else {
@@ -67,7 +67,9 @@ impl Args {
     fn get_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse '{v}'")),
         }
     }
 }
@@ -79,12 +81,19 @@ fn parse_gap(spec: &str) -> Result<GapPenalty, String> {
         vec![]
     } else {
         rest.split(',')
-            .map(|n| n.trim().parse().map_err(|_| format!("bad gap number '{n}'")))
+            .map(|n| {
+                n.trim()
+                    .parse()
+                    .map_err(|_| format!("bad gap number '{n}'"))
+            })
             .collect::<Result<_, _>>()?
     };
     match (kind, nums.as_slice()) {
         ("linear", [g]) => Ok(GapPenalty::Linear { per_gap: *g }),
-        ("affine", [o, e]) => Ok(GapPenalty::Affine { open: *o, extend: *e }),
+        ("affine", [o, e]) => Ok(GapPenalty::Affine {
+            open: *o,
+            extend: *e,
+        }),
         ("log", [a, b]) => Ok(GapPenalty::Logarithmic { a: *a, b: *b }),
         _ => Err(format!(
             "gap spec '{spec}' not understood (use linear:N, affine:O,E or log:A,B)"
@@ -105,7 +114,10 @@ fn read_fasta_pair(path: &str) -> Result<(Vec<u8>, Vec<u8>), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let records = parse_fasta(&text);
     match records.len() {
-        0 | 1 => Err(format!("{path}: need two FASTA records, found {}", records.len())),
+        0 | 1 => Err(format!(
+            "{path}: need two FASTA records, found {}",
+            records.len()
+        )),
         _ => Ok((records[0].1.clone(), records[1].1.clone())),
     }
 }
@@ -136,7 +148,12 @@ fn cmd_align(args: &Args) -> Result<(), String> {
         let p = NeedlemanWunsch::new(a, b, Substitution::dna_default(), per_gap);
         println!("{}", p.traceback(&out.matrix));
     } else {
-        let p = SmithWatermanGeneralGap::new(a.clone(), b.clone(), Substitution::dna_default(), gap.clone());
+        let p = SmithWatermanGeneralGap::new(
+            a.clone(),
+            b.clone(),
+            Substitution::dna_default(),
+            gap.clone(),
+        );
         let out = EasyHps::new(p)
             .process_partition((pps, pps))
             .thread_partition((tps, tps))
@@ -262,7 +279,10 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     println!("  sub-tasks:        {}", a.vertices);
     println!("  edges:            {}", a.edges);
     println!("  critical path:    {} levels", a.critical_path);
-    println!("  max width:        {} (more computing nodes than this sit idle)", a.max_width);
+    println!(
+        "  max width:        {} (more computing nodes than this sit idle)",
+        a.max_width
+    );
     println!("  avg parallelism:  {:.2}", a.avg_parallelism);
     // Compact width profile: show a sparkline-style row of buckets.
     let buckets = 20.min(a.width_profile.len());
@@ -319,7 +339,14 @@ mod tests {
 
     #[test]
     fn flag_parsing() {
-        let a = args(&["file.fa", "--slaves", "3", "--global", "--gap", "affine:4,1"]);
+        let a = args(&[
+            "file.fa",
+            "--slaves",
+            "3",
+            "--global",
+            "--gap",
+            "affine:4,1",
+        ]);
         assert_eq!(a.positional, vec!["file.fa"]);
         assert_eq!(a.get("slaves"), Some("3"));
         assert!(a.has("global"));
@@ -335,9 +362,18 @@ mod tests {
 
     #[test]
     fn gap_specs() {
-        assert!(matches!(parse_gap("linear:3").unwrap(), GapPenalty::Linear { per_gap: 3 }));
-        assert!(matches!(parse_gap("affine:4,1").unwrap(), GapPenalty::Affine { open: 4, extend: 1 }));
-        assert!(matches!(parse_gap("log:4,2").unwrap(), GapPenalty::Logarithmic { a: 4, b: 2 }));
+        assert!(matches!(
+            parse_gap("linear:3").unwrap(),
+            GapPenalty::Linear { per_gap: 3 }
+        ));
+        assert!(matches!(
+            parse_gap("affine:4,1").unwrap(),
+            GapPenalty::Affine { open: 4, extend: 1 }
+        ));
+        assert!(matches!(
+            parse_gap("log:4,2").unwrap(),
+            GapPenalty::Logarithmic { a: 4, b: 2 }
+        ));
         assert!(parse_gap("bogus").is_err());
         assert!(parse_gap("affine:4").is_err());
     }
@@ -345,7 +381,10 @@ mod tests {
     #[test]
     fn policy_specs() {
         assert_eq!(parse_policy("dynamic").unwrap(), ScheduleMode::Dynamic);
-        assert!(matches!(parse_policy("bcw").unwrap(), ScheduleMode::BlockCyclic { .. }));
+        assert!(matches!(
+            parse_policy("bcw").unwrap(),
+            ScheduleMode::BlockCyclic { .. }
+        ));
         assert_eq!(parse_policy("cw").unwrap(), ScheduleMode::ColumnWavefront);
         assert!(parse_policy("x").is_err());
     }

@@ -33,7 +33,13 @@ fn align_on_fasta_file() {
     assert!(stdout.contains('|'), "midline rendered");
 
     // Global mode also works.
-    let (ok, stdout, _) = easyhps(&["align", path.to_str().unwrap(), "--global", "--gap", "linear:2"]);
+    let (ok, stdout, _) = easyhps(&[
+        "align",
+        path.to_str().unwrap(),
+        "--global",
+        "--gap",
+        "linear:2",
+    ]);
     assert!(ok);
     assert!(stdout.contains("score"));
     std::fs::remove_dir_all(&dir).ok();
@@ -55,7 +61,15 @@ fn fold_prints_dot_bracket() {
 #[test]
 fn sim_reports_and_gantt() {
     let (ok, stdout, stderr) = easyhps(&[
-        "sim", "--workload", "nussinov", "--len", "600", "--nodes", "3", "--cores", "12",
+        "sim",
+        "--workload",
+        "nussinov",
+        "--len",
+        "600",
+        "--nodes",
+        "3",
+        "--cores",
+        "12",
         "--gantt",
     ]);
     assert!(ok, "stderr: {stderr}");
@@ -84,10 +98,21 @@ fn bad_inputs_fail_cleanly() {
 #[test]
 fn analyze_reports_dag_structure() {
     let (ok, stdout, stderr) = easyhps(&[
-        "analyze", "--workload", "nussinov", "--len", "1000", "--pps", "100", "--tps", "10",
+        "analyze",
+        "--workload",
+        "nussinov",
+        "--len",
+        "1000",
+        "--pps",
+        "100",
+        "--tps",
+        "10",
     ]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("critical path"), "{stdout}");
-    assert!(stdout.contains("sub-tasks:        55"), "10x10 triangle: {stdout}");
+    assert!(
+        stdout.contains("sub-tasks:        55"),
+        "10x10 triangle: {stdout}"
+    );
     assert!(stdout.contains("max width:        10"), "{stdout}");
 }

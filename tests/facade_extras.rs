@@ -13,7 +13,11 @@ fn easypdp_through_the_facade() {
     let b = random_sequence(Alphabet::Dna, 34, 81);
     let p = Lcs::new(a.clone(), b.clone());
     let reference = p.solve_sequential();
-    let out = EasyPdp::new(Lcs::new(a, b)).partition((6, 7)).threads(3).run().unwrap();
+    let out = EasyPdp::new(Lcs::new(a, b))
+        .partition((6, 7))
+        .threads(3)
+        .run()
+        .unwrap();
     assert_eq!(out.matrix, reference);
     assert!(out.busy_ns > 0 || out.subtasks > 0);
 }

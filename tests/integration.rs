@@ -107,9 +107,18 @@ fn mixed_modes_between_levels() {
     let rna = random_sequence(Alphabet::Rna, 60, 5);
     let reference = Nussinov::new(rna.clone()).solve_sequential();
     for (pm, tm) in [
-        (ScheduleMode::Dynamic, ScheduleMode::BlockCyclic { block: 1 }),
-        (ScheduleMode::BlockCyclic { block: 2 }, ScheduleMode::Dynamic),
-        (ScheduleMode::ColumnWavefront, ScheduleMode::BlockCyclic { block: 2 }),
+        (
+            ScheduleMode::Dynamic,
+            ScheduleMode::BlockCyclic { block: 1 },
+        ),
+        (
+            ScheduleMode::BlockCyclic { block: 2 },
+            ScheduleMode::Dynamic,
+        ),
+        (
+            ScheduleMode::ColumnWavefront,
+            ScheduleMode::BlockCyclic { block: 2 },
+        ),
     ] {
         let p = Nussinov::new(rna.clone());
         let pattern = p.pattern();
@@ -124,7 +133,11 @@ fn mixed_modes_between_levels() {
             .unwrap();
         for pos in reference.dims().iter() {
             if pattern.contains(pos) {
-                assert_eq!(out.matrix.at(pos), reference.at(pos), "{pm:?}/{tm:?} cell {pos}");
+                assert_eq!(
+                    out.matrix.at(pos),
+                    reference.at(pos),
+                    "{pm:?}/{tm:?} cell {pos}"
+                );
             }
         }
     }

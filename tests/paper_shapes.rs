@@ -90,7 +90,11 @@ fn fig17_dynamic_beats_static() {
             w.name,
             all.len()
         );
-        assert!(all.iter().all(|&r| r > 0.9), "{}: no catastrophic dips", w.name);
+        assert!(
+            all.iter().all(|&r| r > 0.9),
+            "{}: no catastrophic dips",
+            w.name
+        );
     }
 }
 
@@ -115,7 +119,14 @@ fn parallel_always_beats_sequential() {
         for x in [2u32, 3, 4, 5] {
             let e = Experiment::from_ct(x, 4);
             let r = simulate(&w, &e.config(cost));
-            assert!(r.makespan_ns < seq, "{} {}: {} >= {}", w.name, e.label(), r.makespan_ns, seq);
+            assert!(
+                r.makespan_ns < seq,
+                "{} {}: {} >= {}",
+                w.name,
+                e.label(),
+                r.makespan_ns,
+                seq
+            );
         }
     }
 }

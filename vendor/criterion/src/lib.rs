@@ -1,0 +1,240 @@
+//! Offline stub of the `criterion` crate: the benchmark-harness subset this
+//! workspace's `harness = false` benches use.
+//!
+//! Unlike a statistics-free mock, this stub really measures: each
+//! `Bencher::iter` call is warmed up, then timed over a fixed wall-clock
+//! window split into samples, reporting median/mean/min ns per iteration.
+//! If the `EASYHPS_BENCH_JSON` environment variable names a file, every
+//! result is appended to it as a JSON object per line (JSONL), which the
+//! repo's benchmark scripts collect into `BENCH_PR1.json`.
+
+pub use std::hint::black_box;
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Input elements processed per iteration.
+    Elements(u64),
+    /// Input bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness state: holds the CLI filter.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench binaries as `<bin> --bench [filter]`; any
+        // non-flag argument is a substring filter on benchmark names.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self { filter }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing sample-count and throughput
+/// settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let full = format!("{}/{}", self.name, name);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement: None,
+        };
+        f(&mut bencher);
+        match bencher.measurement {
+            Some(m) => report(&full, self.throughput, &m),
+            None => eprintln!("{full}: bencher.iter was never called"),
+        }
+        self
+    }
+
+    /// End the group (parity with upstream; all reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark measurement driver passed to the closure.
+pub struct Bencher {
+    sample_size: usize,
+    measurement: Option<Measurement>,
+}
+
+struct Measurement {
+    /// ns/iter for each sample.
+    samples: Vec<f64>,
+}
+
+const WARMUP: Duration = Duration::from_millis(120);
+const MEASURE: Duration = Duration::from_millis(500);
+
+impl Bencher {
+    /// Time `routine`, running it enough times for stable samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and size the batch so one sample lasts roughly
+        // MEASURE / sample_size.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        let sample_ns = MEASURE.as_nanos() as f64 / self.sample_size as f64;
+        let batch = ((sample_ns / per_iter.max(1.0)).ceil() as u64).max(1);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        self.measurement = Some(Measurement { samples });
+    }
+}
+
+fn report(name: &str, throughput: Option<Throughput>, m: &Measurement) {
+    let mut sorted = m.samples.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let min = sorted[0];
+
+    let thr = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!(" ({:.3} Melem/s)", n as f64 / median * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                " ({:.3} MiB/s)",
+                n as f64 / median * 1e9 / (1024.0 * 1024.0)
+            )
+        }
+        None => String::new(),
+    };
+    println!("{name:<48} median {median:>12.1} ns/iter  mean {mean:>12.1}  min {min:>12.1}{thr}");
+
+    if let Ok(path) = std::env::var("EASYHPS_BENCH_JSON") {
+        let (thr_kind, thr_amount) = match throughput {
+            Some(Throughput::Elements(n)) => ("elements", n),
+            Some(Throughput::Bytes(n)) => ("bytes", n),
+            None => ("none", 0),
+        };
+        let line = format!(
+            concat!(
+                "{{\"name\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},",
+                "\"min_ns\":{:.1},\"throughput\":\"{}\",\"throughput_amount\":{}}}\n"
+            ),
+            name, median, mean, min, thr_kind, thr_amount
+        );
+        let res = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+        if let Err(e) = res {
+            eprintln!("warning: could not append bench result to {path}: {e}");
+        }
+    }
+}
+
+/// Bundle benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion { filter: None };
+        let mut ran = false;
+        {
+            let mut g = c.benchmark_group("test_group");
+            g.sample_size(3)
+                .throughput(Throughput::Elements(10))
+                .bench_function("spin", |b| {
+                    b.iter(|| (0..100u64).sum::<u64>());
+                    ran = true;
+                });
+            g.finish();
+        }
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("other".into()),
+        };
+        let mut ran = false;
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("this", |_b| ran = true);
+        g.finish();
+        assert!(!ran, "filtered-out benchmark must not run");
+    }
+}
