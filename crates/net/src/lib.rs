@@ -29,11 +29,13 @@
 mod delay;
 mod fault;
 mod message;
+mod reliable;
 mod transport;
 mod wire;
 
 pub use delay::DelayModel;
 pub use fault::FaultPlan;
 pub use message::{Envelope, Rank, Tag};
+pub use reliable::{FailReason, ReliStats, ReliableEndpoint, RetryPolicy, SendFailure};
 pub use transport::{Endpoint, KillHandle, NetError, NetStats, Network};
 pub use wire::{WireError, WireReader, WireWriter};

@@ -1,0 +1,638 @@
+//! Reliable delivery over the (possibly lossy) transport.
+//!
+//! [`Endpoint::send`] is fire-and-forget: under fault injection a message
+//! can vanish without the sender learning about it. [`ReliableEndpoint`]
+//! wraps an endpoint with an acknowledged-delivery protocol so the
+//! runtime's control messages survive loss:
+//!
+//! - every reliable send is framed with a per-destination sequence number
+//!   and kept in a retransmit buffer until the peer's ACK arrives;
+//! - unacked messages are retransmitted with exponential backoff, up to
+//!   [`RetryPolicy::max_attempts`]; exhausting the budget (or the peer's
+//!   channel closing) surfaces a [`SendFailure`] instead of silently
+//!   losing the message;
+//! - the receive path ACKs every DATA frame (duplicates re-ACK, because
+//!   the first ACK may itself have been dropped) and suppresses duplicate
+//!   deliveries with a per-peer sequence window, so the application sees
+//!   at-least-once sends as exactly-once deliveries;
+//! - every valid frame from a peer (data, duplicate, ack) refreshes
+//!   [`ReliableEndpoint::last_heard`], giving schedulers a liveness signal
+//!   that distinguishes a *slow* peer from a *dead* one.
+//!
+//! Unreliable sends (e.g. periodic heartbeats, where the next one
+//! supersedes a lost one) share the same framing so both kinds can be
+//! mixed on one endpoint.
+//!
+//! Retransmission is driven by the receive calls (`recv_timeout` /
+//! `pump`), not a background thread: every user of this layer already sits
+//! in a receive loop, and keeping the state single-threaded avoids locking
+//! on the hot path.
+
+use crate::message::{Envelope, Rank, Tag};
+use crate::transport::{Endpoint, NetError, NetStats};
+use bytes::Bytes;
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// Frame kinds (first payload byte).
+const KIND_RAW: u8 = 0;
+const KIND_DATA: u8 = 1;
+const KIND_ACK: u8 = 2;
+
+/// Retransmission policy for reliable sends.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total send attempts per message (first send included) before the
+    /// sender gives up and reports a [`SendFailure`].
+    pub max_attempts: u32,
+    /// Backoff after the first attempt; doubles per attempt.
+    pub initial_backoff: Duration,
+    /// Upper bound on the per-attempt backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 10,
+            initial_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(80),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff to wait after the `attempts`-th send of a message.
+    fn backoff(&self, attempts: u32) -> Duration {
+        let shift = attempts.saturating_sub(1).min(16);
+        self.initial_backoff
+            .saturating_mul(1u32 << shift)
+            .min(self.max_backoff)
+    }
+}
+
+/// Counters of the reliability layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReliStats {
+    /// Reliable (acknowledged) messages first-sent.
+    pub data_sent: u64,
+    /// Retransmissions of unacked messages.
+    pub retransmits: u64,
+    /// Reliable sends abandoned (retry budget exhausted or peer gone).
+    pub give_ups: u64,
+    /// ACK frames sent (including re-ACKs of duplicates).
+    pub acks_sent: u64,
+    /// ACK frames received.
+    pub acks_recv: u64,
+    /// Duplicate data deliveries suppressed.
+    pub duplicates: u64,
+    /// Frames that failed to parse and were dropped.
+    pub malformed: u64,
+}
+
+/// A reliable send that was abandoned: the peer never acknowledged it
+/// within the retry budget, or its channel closed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SendFailure {
+    /// Destination of the failed message.
+    pub dst: Rank,
+    /// Protocol tag of the failed message.
+    pub tag: Tag,
+    /// Sequence number assigned at [`ReliableEndpoint::send_reliable`].
+    pub seq: u64,
+    /// Why the send was abandoned.
+    pub reason: FailReason,
+}
+
+/// Why a reliable send was abandoned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailReason {
+    /// The peer's channel is closed (endpoint dropped): it can never
+    /// receive anything again.
+    Unreachable,
+    /// The retry budget ran out without an ACK. The peer may still be
+    /// alive (e.g. an unlucky run of drops, or it is stalled).
+    NoAck,
+}
+
+/// One unacknowledged reliable message.
+struct Pending {
+    dst: Rank,
+    tag: Tag,
+    seq: u64,
+    framed: Bytes,
+    attempts: u32,
+    next_retry: Instant,
+}
+
+/// Receive-side dedup window for one peer: `contig` is the highest
+/// sequence number below which everything was delivered; `ahead` holds
+/// delivered numbers above it (out-of-order arrivals via retransmits).
+#[derive(Default)]
+struct PeerRecv {
+    contig: u64,
+    ahead: BTreeSet<u64>,
+}
+
+impl PeerRecv {
+    /// Record `seq` as delivered; false if it already was.
+    fn fresh(&mut self, seq: u64) -> bool {
+        if seq <= self.contig || self.ahead.contains(&seq) {
+            return false;
+        }
+        self.ahead.insert(seq);
+        while self.ahead.remove(&(self.contig + 1)) {
+            self.contig += 1;
+        }
+        true
+    }
+}
+
+/// An [`Endpoint`] with acknowledged delivery, bounded retransmission and
+/// per-peer liveness tracking. See the module docs for the protocol.
+pub struct ReliableEndpoint {
+    ep: Endpoint,
+    policy: RetryPolicy,
+    /// Last assigned outgoing sequence number, per destination rank.
+    next_seq: Vec<u64>,
+    pending: Vec<Pending>,
+    recv_state: Vec<PeerRecv>,
+    /// When each peer was last heard from (any valid frame).
+    last_heard: Vec<Option<Instant>>,
+    failures: Vec<SendFailure>,
+    stats: ReliStats,
+}
+
+fn frame_raw(payload: &[u8]) -> Bytes {
+    let mut buf = Vec::with_capacity(1 + payload.len());
+    buf.push(KIND_RAW);
+    buf.extend_from_slice(payload);
+    Bytes::from(buf)
+}
+
+fn frame_data(seq: u64, payload: &[u8]) -> Bytes {
+    let mut buf = Vec::with_capacity(9 + payload.len());
+    buf.push(KIND_DATA);
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(payload);
+    Bytes::from(buf)
+}
+
+fn frame_ack(seq: u64) -> Bytes {
+    let mut buf = Vec::with_capacity(9);
+    buf.push(KIND_ACK);
+    buf.extend_from_slice(&seq.to_le_bytes());
+    Bytes::from(buf)
+}
+
+fn frame_seq(payload: &[u8]) -> Option<u64> {
+    payload
+        .get(1..9)
+        .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+}
+
+impl ReliableEndpoint {
+    /// Wrap `ep` with reliability state for every rank in its network.
+    pub fn new(ep: Endpoint, policy: RetryPolicy) -> Self {
+        let n = ep.n_ranks();
+        Self {
+            ep,
+            policy,
+            next_seq: vec![0; n],
+            pending: Vec::new(),
+            recv_state: (0..n).map(|_| PeerRecv::default()).collect(),
+            last_heard: vec![None; n],
+            failures: Vec::new(),
+            stats: ReliStats::default(),
+        }
+    }
+
+    /// This endpoint's rank.
+    pub fn rank(&self) -> Rank {
+        self.ep.rank()
+    }
+
+    /// Number of ranks in the network.
+    pub fn n_ranks(&self) -> usize {
+        self.ep.n_ranks()
+    }
+
+    /// Reliability-layer counters.
+    pub fn stats(&self) -> ReliStats {
+        self.stats
+    }
+
+    /// Raw transport counters of the wrapped endpoint.
+    pub fn net_stats(&self) -> NetStats {
+        self.ep.stats()
+    }
+
+    /// When `peer` was last heard from (any valid frame: data, duplicate
+    /// or ack). `None` until the first frame arrives.
+    pub fn last_heard(&self, peer: Rank) -> Option<Instant> {
+        self.last_heard.get(peer.index()).copied().flatten()
+    }
+
+    /// Whether any reliable send is still awaiting its ACK.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Abandoned reliable sends accumulated since the last call.
+    pub fn take_failures(&mut self) -> Vec<SendFailure> {
+        std::mem::take(&mut self.failures)
+    }
+
+    /// Fire-and-forget send (framed, but never retransmitted). For
+    /// messages where the next one supersedes a lost one, e.g. heartbeats.
+    pub fn send_unreliable(&mut self, dst: Rank, tag: Tag, payload: Bytes) -> Result<(), NetError> {
+        self.ep.send(dst, tag, frame_raw(&payload))
+    }
+
+    /// Acknowledged send: the message is retransmitted with backoff until
+    /// the peer ACKs it or the retry budget runs out (then reported via
+    /// [`Self::take_failures`]). Returns the assigned sequence number.
+    ///
+    /// An immediate `Err` means the message was never queued (the peer's
+    /// channel is closed or this endpoint is dead) — there will be no
+    /// retries and no [`SendFailure`] for it.
+    pub fn send_reliable(&mut self, dst: Rank, tag: Tag, payload: Bytes) -> Result<u64, NetError> {
+        let slot = dst.index();
+        let seq = self.next_seq[slot] + 1;
+        let framed = frame_data(seq, &payload);
+        self.ep.send(dst, tag, framed.clone())?;
+        self.next_seq[slot] = seq;
+        self.stats.data_sent += 1;
+        self.pending.push(Pending {
+            dst,
+            tag,
+            seq,
+            framed,
+            attempts: 1,
+            next_retry: Instant::now() + self.policy.backoff(1),
+        });
+        Ok(seq)
+    }
+
+    /// Retransmit every overdue unacked message; abandon those whose
+    /// retry budget is exhausted or whose peer is unreachable. Called
+    /// automatically by the receive methods.
+    pub fn pump(&mut self) {
+        let now = Instant::now();
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].next_retry > now {
+                i += 1;
+                continue;
+            }
+            if self.pending[i].attempts >= self.policy.max_attempts {
+                let p = self.pending.swap_remove(i);
+                self.stats.give_ups += 1;
+                self.failures.push(SendFailure {
+                    dst: p.dst,
+                    tag: p.tag,
+                    seq: p.seq,
+                    reason: FailReason::NoAck,
+                });
+                continue;
+            }
+            let (dst, tag) = (self.pending[i].dst, self.pending[i].tag);
+            let framed = self.pending[i].framed.clone();
+            match self.ep.send(dst, tag, framed) {
+                Ok(()) => {
+                    self.stats.retransmits += 1;
+                    let p = &mut self.pending[i];
+                    p.attempts += 1;
+                    p.next_retry = now + self.policy.backoff(p.attempts);
+                    i += 1;
+                }
+                Err(_) => {
+                    let p = self.pending.swap_remove(i);
+                    self.stats.give_ups += 1;
+                    self.failures.push(SendFailure {
+                        dst: p.dst,
+                        tag: p.tag,
+                        seq: p.seq,
+                        reason: FailReason::Unreachable,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Process one incoming frame. ACKs are absorbed, DATA frames are
+    /// acknowledged and deduplicated; returns the unwrapped envelope for
+    /// fresh application messages.
+    fn accept(&mut self, env: Envelope) -> Option<Envelope> {
+        let src = env.src.index();
+        let kind = match env.payload.first() {
+            Some(&k) => k,
+            None => {
+                self.stats.malformed += 1;
+                return None;
+            }
+        };
+        match kind {
+            KIND_RAW => {
+                self.note_heard(src);
+                Some(Envelope {
+                    payload: env.payload.slice(1..),
+                    ..env
+                })
+            }
+            KIND_DATA => {
+                let Some(seq) = frame_seq(&env.payload) else {
+                    self.stats.malformed += 1;
+                    return None;
+                };
+                self.note_heard(src);
+                // Always (re-)ACK: the previous ACK may have been dropped.
+                let _ = self.ep.send(env.src, env.tag, frame_ack(seq));
+                self.stats.acks_sent += 1;
+                if self.recv_state[src].fresh(seq) {
+                    Some(Envelope {
+                        payload: env.payload.slice(9..),
+                        ..env
+                    })
+                } else {
+                    self.stats.duplicates += 1;
+                    None
+                }
+            }
+            KIND_ACK => {
+                let Some(seq) = frame_seq(&env.payload) else {
+                    self.stats.malformed += 1;
+                    return None;
+                };
+                self.note_heard(src);
+                self.stats.acks_recv += 1;
+                if let Some(i) = self
+                    .pending
+                    .iter()
+                    .position(|p| p.dst == env.src && p.seq == seq)
+                {
+                    self.pending.swap_remove(i);
+                }
+                None
+            }
+            _ => {
+                self.stats.malformed += 1;
+                None
+            }
+        }
+    }
+
+    fn note_heard(&mut self, src: usize) {
+        if let Some(slot) = self.last_heard.get_mut(src) {
+            *slot = Some(Instant::now());
+        }
+    }
+
+    /// Receive the next application message, driving retransmissions
+    /// while waiting. ACKs and duplicates are handled internally and do
+    /// not count against the caller's patience: the timeout bounds the
+    /// total wall-clock wait for an *application* message.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Envelope, NetError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.pump();
+            let now = Instant::now();
+            let mut wait = deadline.saturating_duration_since(now);
+            if let Some(next) = self.pending.iter().map(|p| p.next_retry).min() {
+                // Wake early to retransmit, but never spin hotter than 1ms.
+                let until_retry = next
+                    .saturating_duration_since(now)
+                    .max(Duration::from_millis(1));
+                wait = wait.min(until_retry);
+            }
+            match self.ep.recv_timeout(wait) {
+                Ok(env) => {
+                    if let Some(env) = self.accept(env) {
+                        return Ok(env);
+                    }
+                }
+                Err(NetError::Timeout) => {}
+                Err(e) => return Err(e),
+            }
+            if Instant::now() >= deadline {
+                return Err(NetError::Timeout);
+            }
+        }
+    }
+
+    /// Drive retransmissions until every reliable send is ACKed, abandoned
+    /// or `max_wait` elapses; true when nothing is left pending. Incoming
+    /// application messages received meanwhile are ACKed (so the peer
+    /// stops retransmitting) but discarded — this is a shutdown linger,
+    /// not a receive path.
+    pub fn drain_pending(&mut self, max_wait: Duration) -> bool {
+        let deadline = Instant::now() + max_wait;
+        while self.has_pending() && Instant::now() < deadline {
+            match self.recv_timeout(Duration::from_millis(5)) {
+                Ok(_) | Err(NetError::Timeout) => {}
+                Err(_) => break,
+            }
+        }
+        self.pump();
+        !self.has_pending()
+    }
+}
+
+impl std::fmt::Debug for ReliableEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReliableEndpoint")
+            .field("rank", &self.ep.rank())
+            .field("pending", &self.pending.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use crate::transport::Network;
+
+    fn pair(plans: &[Option<FaultPlan>]) -> (ReliableEndpoint, ReliableEndpoint) {
+        let mut eps = Network::with_faults(2, plans);
+        let e1 = eps.pop().unwrap();
+        let e0 = eps.pop().unwrap();
+        (
+            ReliableEndpoint::new(e0, RetryPolicy::default()),
+            ReliableEndpoint::new(e1, RetryPolicy::default()),
+        )
+    }
+
+    #[test]
+    fn reliable_roundtrip_no_faults() {
+        let (mut a, mut b) = pair(&[]);
+        let seq = a
+            .send_reliable(Rank(1), Tag(7), Bytes::from(vec![1, 2, 3]))
+            .unwrap();
+        assert_eq!(seq, 1);
+        let env = b.recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(env.tag, Tag(7));
+        assert_eq!(&env.payload[..], &[1, 2, 3]);
+        // The ACK clears the sender's pending buffer on its next pump.
+        assert!(a.recv_timeout(Duration::from_millis(20)).is_err());
+        assert!(!a.has_pending());
+        assert_eq!(a.stats().retransmits, 0);
+        assert!(a.last_heard(Rank(1)).is_some(), "ack refreshes liveness");
+    }
+
+    #[test]
+    fn lossy_sender_retransmits_until_delivered() {
+        // 60% drop on the sender side: first attempts mostly vanish, but
+        // retransmission pushes everything through exactly once.
+        let plans = vec![Some(FaultPlan::lossy(0.6, 7)), None];
+        let (mut a, mut b) = pair(&plans);
+        let n = 20u8;
+        for i in 0..n {
+            a.send_reliable(Rank(1), Tag(0), Bytes::from(vec![i]))
+                .unwrap();
+        }
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while got.len() < n as usize && Instant::now() < deadline {
+            // Alternate: b receives (and ACKs), a pumps retransmits.
+            if let Ok(env) = b.recv_timeout(Duration::from_millis(5)) {
+                got.push(env.payload[0]);
+            }
+            let _ = a.recv_timeout(Duration::from_millis(5));
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..n).collect::<Vec<_>>(), "all delivered, no dups");
+        assert!(a.stats().retransmits > 0, "drops forced retransmits");
+        assert!(a.take_failures().is_empty());
+    }
+
+    #[test]
+    fn lossy_receiver_acks_survive_via_reack() {
+        // Drops on the *receiver's* outgoing side lose ACKs; the sender
+        // retransmits, the receiver suppresses the duplicate and re-ACKs.
+        let plans = vec![None, Some(FaultPlan::lossy(0.5, 11))];
+        let (mut a, mut b) = pair(&plans);
+        for i in 0..10u8 {
+            a.send_reliable(Rank(1), Tag(0), Bytes::from(vec![i]))
+                .unwrap();
+        }
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while (a.has_pending() || got.len() < 10) && Instant::now() < deadline {
+            if let Ok(env) = b.recv_timeout(Duration::from_millis(5)) {
+                got.push(env.payload[0]);
+            }
+            let _ = a.recv_timeout(Duration::from_millis(5));
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert!(!a.has_pending(), "every message eventually acked");
+        assert!(b.stats().duplicates > 0, "lost acks forced duplicates");
+    }
+
+    #[test]
+    fn unreachable_peer_reports_failure() {
+        let (mut a, b) = pair(&[]);
+        drop(b);
+        // The channel to rank 1 is closed: the first send errors out.
+        assert!(a.send_reliable(Rank(1), Tag(0), Bytes::new()).is_err());
+        assert!(!a.has_pending());
+    }
+
+    #[test]
+    fn silent_peer_exhausts_retries_and_fails() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+        };
+        // Drop everything the sender emits: the peer never sees it, the
+        // channel stays open, so the sender must give up on its own.
+        let plans = vec![Some(FaultPlan::lossy(1.0, 1)), None];
+        let mut eps = Network::with_faults(2, &plans);
+        let _b = eps.pop().unwrap();
+        let mut a = ReliableEndpoint::new(eps.pop().unwrap(), policy);
+        let seq = a.send_reliable(Rank(1), Tag(3), Bytes::new()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while a.has_pending() && Instant::now() < deadline {
+            let _ = a.recv_timeout(Duration::from_millis(2));
+        }
+        let failures = a.take_failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].seq, seq);
+        assert_eq!(failures[0].tag, Tag(3));
+        assert_eq!(failures[0].reason, FailReason::NoAck);
+        assert_eq!(a.stats().give_ups, 1);
+    }
+
+    #[test]
+    fn unreliable_sends_are_unwrapped_but_not_tracked() {
+        let (mut a, mut b) = pair(&[]);
+        a.send_unreliable(Rank(1), Tag(9), Bytes::from(vec![42]))
+            .unwrap();
+        assert!(!a.has_pending());
+        let env = b.recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(env.tag, Tag(9));
+        assert_eq!(&env.payload[..], &[42]);
+        assert_eq!(b.stats().acks_sent, 0, "raw frames are not acked");
+    }
+
+    #[test]
+    fn dedup_window_is_per_peer() {
+        let mut eps = Network::new(3);
+        let e2 = eps.pop().unwrap();
+        let e1 = eps.pop().unwrap();
+        let mut c = ReliableEndpoint::new(eps.pop().unwrap(), RetryPolicy::default());
+        let mut a = ReliableEndpoint::new(e1, RetryPolicy::default());
+        let mut b = ReliableEndpoint::new(e2, RetryPolicy::default());
+        // Both peers send their own seq 1 to rank 0: both must surface.
+        a.send_reliable(Rank(0), Tag(1), Bytes::from(vec![1]))
+            .unwrap();
+        b.send_reliable(Rank(0), Tag(1), Bytes::from(vec![2]))
+            .unwrap();
+        let mut got = vec![
+            c.recv_timeout(Duration::from_millis(100)).unwrap().payload[0],
+            c.recv_timeout(Duration::from_millis(100)).unwrap().payload[0],
+        ];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn drain_pending_waits_for_acks() {
+        let plans = vec![Some(FaultPlan::lossy(0.5, 3)), None];
+        let (mut a, mut b) = pair(&plans);
+        for _ in 0..5 {
+            a.send_reliable(Rank(1), Tag(0), Bytes::from(vec![0]))
+                .unwrap();
+        }
+        // Peer thread consumes (and acks) everything.
+        let h = std::thread::spawn(move || {
+            let deadline = Instant::now() + Duration::from_secs(5);
+            let mut seen = 0;
+            while seen < 5 && Instant::now() < deadline {
+                if b.recv_timeout(Duration::from_millis(10)).is_ok() {
+                    seen += 1;
+                }
+            }
+            seen
+        });
+        assert!(a.drain_pending(Duration::from_secs(5)), "all acked");
+        assert_eq!(h.join().unwrap(), 5);
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            initial_backoff: Duration::from_millis(4),
+            max_backoff: Duration::from_millis(20),
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(4));
+        assert_eq!(p.backoff(2), Duration::from_millis(8));
+        assert_eq!(p.backoff(3), Duration::from_millis(16));
+        assert_eq!(p.backoff(4), Duration::from_millis(20));
+        assert_eq!(p.backoff(40), Duration::from_millis(20));
+    }
+}

@@ -16,7 +16,7 @@ use crate::RuntimeError;
 use easyhps_core::ScheduleMode;
 use easyhps_core::{DagDataDrivenModel, GridDims};
 use easyhps_dp::{DpMatrix, DpProblem};
-use easyhps_net::{FaultPlan, Network};
+use easyhps_net::{FaultPlan, Network, RetryPolicy};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -168,6 +168,41 @@ impl<P: DpProblem> EasyHps<P> {
             self.fault_plans.resize(slave_index + 2, None);
         }
         self.fault_plans[slave_index + 1] = Some(plan); // rank = index + 1
+        self
+    }
+
+    /// Make every link lossy: each rank — master included — independently
+    /// drops outgoing messages with probability `p`, deterministically
+    /// derived from `seed`. Ranks with an explicit [`Self::inject_fault`]
+    /// plan keep it. Call after [`Self::slaves`] so every rank is covered.
+    pub fn lossy_network(mut self, p: f64, seed: u64) -> Self {
+        let n_ranks = 1 + self.deployment.slaves;
+        if self.fault_plans.len() < n_ranks {
+            self.fault_plans.resize(n_ranks, None);
+        }
+        for (i, slot) in self.fault_plans.iter_mut().enumerate() {
+            if slot.is_none() {
+                // Distinct per-rank streams from one user-visible seed.
+                *slot = Some(FaultPlan::lossy(p, seed.wrapping_add(i as u64 * 7919)));
+            }
+        }
+        self
+    }
+
+    /// Retransmission policy for reliable control messages (attempts,
+    /// backoff) — how hard master and slaves try before declaring a send
+    /// failed.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.deployment.retry = policy;
+        self
+    }
+
+    /// Heartbeat cadence: slaves announce liveness every `interval`; the
+    /// master treats a slave silent past `timeout` as dead rather than
+    /// slow.
+    pub fn heartbeat(mut self, interval: Duration, timeout: Duration) -> Self {
+        self.deployment.heartbeat_interval = interval;
+        self.deployment.heartbeat_timeout = timeout;
         self
     }
 

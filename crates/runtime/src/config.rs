@@ -2,6 +2,7 @@
 
 use crate::protocol::SlaveStatsMsg;
 use easyhps_core::ScheduleMode;
+use easyhps_net::RetryPolicy;
 use std::time::Duration;
 
 /// How the runtime is deployed on the (virtual) cluster: the paper's
@@ -22,6 +23,16 @@ pub struct Deployment {
     pub task_timeout: Duration,
     /// Poll interval of the fault-tolerance thread.
     pub ft_poll: Duration,
+    /// Retransmission policy for reliable control messages
+    /// (ASSIGN/DONE/END/...): attempts and backoff before a send is
+    /// abandoned and reported.
+    pub retry: RetryPolicy,
+    /// How often slaves emit a HEARTBEAT (also while computing a tile).
+    pub heartbeat_interval: Duration,
+    /// How long the master tolerates silence from a slave before treating
+    /// it as dead rather than slow. Should be several multiples of
+    /// `heartbeat_interval`.
+    pub heartbeat_timeout: Duration,
 }
 
 impl Deployment {
@@ -35,6 +46,9 @@ impl Deployment {
             thread_mode: ScheduleMode::Dynamic,
             task_timeout: Duration::from_secs(30),
             ft_poll: Duration::from_millis(20),
+            retry: RetryPolicy::default(),
+            heartbeat_interval: Duration::from_millis(25),
+            heartbeat_timeout: Duration::from_millis(250),
         }
     }
 
@@ -61,6 +75,16 @@ pub struct MasterStats {
     pub stale_completions: u64,
     /// Slaves declared dead by fault tolerance.
     pub dead_slaves: u64,
+    /// Dead-marked slaves re-admitted after a fresh heartbeat proved them
+    /// alive (wrong exclusions undone).
+    pub readmitted: u64,
+    /// Control-message retransmissions by the master's reliable endpoint.
+    pub retransmits: u64,
+    /// Duplicate deliveries suppressed by the master's reliable endpoint.
+    pub duplicates: u64,
+    /// Reliable sends the master abandoned (retry budget exhausted or
+    /// peer unreachable).
+    pub send_failures: u64,
     /// Messages sent by the master endpoint.
     pub msgs_sent: u64,
     /// Bytes sent by the master endpoint.

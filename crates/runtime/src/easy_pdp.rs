@@ -102,7 +102,8 @@ impl<P: DpProblem> EasyPdp<P> {
         let grid = parking_lot::RwLock::new(SharedGrid::<P::Cell>::new(dims));
         let exec = std::thread::scope(|scope| {
             let pool = crate::slave::ComputePool::spawn(scope, self.threads, &self.problem, &grid);
-            execute_tile(&model, &pool, GridPos::new(0, 0), &config)
+            // Single-level mode has no master to heartbeat.
+            execute_tile(&model, &pool, GridPos::new(0, 0), &config, &mut || {})
         });
 
         Ok(PdpOutput {

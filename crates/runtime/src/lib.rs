@@ -55,6 +55,7 @@ pub use checkpoint::Checkpoint;
 pub use config::{Deployment, MasterStats, RunReport};
 pub use easy_pdp::{EasyPdp, PdpOutput};
 pub use easyhps_core::ScheduleMode;
+pub use easyhps_net::RetryPolicy;
 pub use error::RuntimeError;
 pub use master::{run_master, run_master_with, MasterOutput};
 pub use pool::{OvertimeEntry, OvertimeQueue, RegisterTable, TaskStack};

@@ -6,9 +6,20 @@
 //! collects results, and updates the DAG. A separate fault-tolerance
 //! thread scans the overtime queue: a sub-task overdue past
 //! `task_timeout` has its registration cancelled and is pushed back onto
-//! the computable stack, and its slave is excluded from further
-//! scheduling. The sub-task register table makes duplicate completions
-//! (from slow-but-alive slaves) harmless.
+//! the computable stack. The sub-task register table makes duplicate
+//! completions (from slow-but-alive slaves) harmless.
+//!
+//! Control messages travel over a [`ReliableEndpoint`]: every
+//! ASSIGN/DONE/END is sequence-numbered, acknowledged and retransmitted
+//! with backoff, so a lossy link delays the protocol instead of breaking
+//! it. Liveness is decided by heartbeats, not by individual message
+//! outcomes: a slave is excluded only when it is *unreachable* (its
+//! endpoint is gone — permanent) or has been *silent* past
+//! `heartbeat_timeout` (no frame of any kind, including acks). A slave
+//! that is merely slow keeps heartbeating and stays in the schedule even
+//! if its current sub-task is timed out and redistributed; a slave that
+//! was excluded during a transient outage is re-admitted the moment it is
+//! heard from again.
 //!
 //! One deviation from the paper's thread layout: instead of one blocking
 //! worker thread per slave node sharing the MPI context, the master
@@ -25,8 +36,9 @@ use bytes::Bytes;
 use easyhps_core::ScheduleMode;
 use easyhps_core::{DagDataDrivenModel, DagParser, Trace, VertexId};
 use easyhps_dp::{DpMatrix, DpProblem};
-use easyhps_net::{Endpoint, NetError, Rank};
+use easyhps_net::{Endpoint, FailReason, NetError, Rank, ReliableEndpoint};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -39,8 +51,30 @@ struct MasterShared {
     finished: TaskStack,
     /// Liveness per slave (index = rank - 1).
     alive: Vec<bool>,
+    /// Permanently gone: the slave's endpoint was dropped, its channel
+    /// can never reopen. Never re-admitted.
+    unreachable: Vec<bool>,
+    /// When each slave was last heard from (any frame; `None` = never).
+    last_seen: Vec<Option<Instant>>,
     redispatched: u64,
     dead_slaves: u64,
+    readmitted: u64,
+}
+
+impl MasterShared {
+    /// Exclude slave `w` from scheduling (idempotent).
+    fn exclude(&mut self, w: usize) {
+        if self.alive[w] {
+            self.alive[w] = false;
+            self.dead_slaves += 1;
+        }
+    }
+
+    /// Whether slave `w` has been silent past the heartbeat timeout (or
+    /// was never heard from at all).
+    fn silent(&self, w: usize, heartbeat_timeout: Duration) -> bool {
+        self.last_seen[w].is_none_or(|t| t.elapsed() > heartbeat_timeout)
+    }
 }
 
 /// Outcome of a master run.
@@ -79,7 +113,7 @@ pub fn run_master<P: DpProblem>(
 /// after that many completions (counting resumed ones) and returns a
 /// [`Checkpoint`] in the output.
 pub fn run_master_with<P: DpProblem>(
-    mut ep: Endpoint,
+    ep: Endpoint,
     problem: &P,
     model: &DagDataDrivenModel,
     config: &Deployment,
@@ -90,6 +124,7 @@ pub fn run_master_with<P: DpProblem>(
         return Err(RuntimeError::NoSlaves);
     }
     let t0 = Instant::now();
+    let mut rep = ReliableEndpoint::new(ep, config.retry.clone());
 
     // Step a: master DAG Data Driven Model initialization (+ validation:
     // the race-freedom argument of the shared grid depends on it).
@@ -104,33 +139,43 @@ pub fn run_master_with<P: DpProblem>(
         overtime: OvertimeQueue::new(),
         finished: TaskStack::new(),
         alive: vec![true; n_slaves],
+        unreachable: vec![false; n_slaves],
+        last_seen: vec![None; n_slaves],
         redispatched: 0,
         dead_slaves: 0,
+        readmitted: 0,
     }));
 
     // Step b: start the fault-tolerance thread. It waits on a shutdown
     // channel rather than sleeping so teardown does not pay up to one
-    // full `ft_poll` interval joining it.
+    // full `ft_poll` interval joining it. Overdue sub-tasks are always
+    // redistributed, but their slave is excluded only when the heartbeat
+    // record says it is dead, not merely slow.
     let (ft_stop_tx, ft_stop_rx) = crossbeam::channel::unbounded::<()>();
     let ft_shared = shared.clone();
     let ft_dag = dag.clone();
-    let (timeout, poll) = (config.task_timeout, config.ft_poll);
+    let (timeout, poll, hb_timeout) = (
+        config.task_timeout,
+        config.ft_poll,
+        config.heartbeat_timeout,
+    );
     let ft = std::thread::spawn(move || {
         use crossbeam::channel::RecvTimeoutError;
         while ft_stop_rx.recv_timeout(poll) == Err(RecvTimeoutError::Timeout) {
             let mut s = ft_shared.lock();
-            // Step g: redistribute overdue sub-tasks, exclude their slaves.
+            // Step g: redistribute overdue sub-tasks; exclude their slaves
+            // only if they have also stopped heartbeating.
             for entry in s.overtime.drain_overdue(timeout) {
                 if s.register.accepts(entry.task, entry.executor) {
                     s.register.cancel(entry.task);
                     s.parser
                         .fail(&ft_dag, VertexId(entry.task))
                         .expect("overdue task is running");
-                    if s.alive[entry.executor as usize] {
-                        s.alive[entry.executor as usize] = false;
-                        s.dead_slaves += 1;
-                    }
                     s.redispatched += 1;
+                    let w = entry.executor as usize;
+                    if s.unreachable[w] || s.silent(w, hb_timeout) {
+                        s.exclude(w);
+                    }
                 }
             }
         }
@@ -143,6 +188,10 @@ pub fn run_master_with<P: DpProblem>(
     // Start instants per in-flight (task, slave) for trace spans.
     let mut started: Vec<Option<Instant>> = vec![None; dag.len()];
     let mut completed_tasks: Vec<VertexId> = Vec::new();
+    // Reliable-send bookkeeping: (slave, sequence number) of every ASSIGN
+    // whose delivery is not yet known, so an abandoned send can roll the
+    // dispatch back.
+    let mut inflight: HashMap<(usize, u64), u32> = HashMap::new();
 
     // Resume: restore finished regions and fast-forward the parser. The
     // finished set of a valid checkpoint is ancestor-closed, so walking a
@@ -171,24 +220,60 @@ pub fn run_master_with<P: DpProblem>(
 
     let result: Result<(), RuntimeError> = (|| {
         loop {
-            // Steps c-d: dispatch computable sub-tasks to idle live slaves.
             {
                 let mut s = shared.lock();
+
+                // Sync heartbeat observations into the shared liveness
+                // record and re-admit wrongly excluded slaves: a
+                // dead-marked slave that is heard from (and whose channel
+                // still exists) was slow or unlucky, not dead.
+                for w in 0..n_slaves {
+                    if let Some(t) = rep.last_heard(Rank(w as u32 + 1)) {
+                        s.last_seen[w] = Some(t);
+                    }
+                    if !s.alive[w] && !s.unreachable[w] && !s.silent(w, config.heartbeat_timeout) {
+                        s.alive[w] = true;
+                        s.dead_slaves -= 1;
+                        s.readmitted += 1;
+                        stats.readmitted += 1;
+                    }
+                }
+
+                // Stop *before* dispatching: once the budget is reached no
+                // new work may start, so every in-flight completion can be
+                // drained into the checkpoint during teardown.
+                if s.parser.is_done() || budget_reached(&stats) {
+                    break;
+                }
+
+                // Steps c-d: dispatch computable sub-tasks to idle live
+                // slaves.
+                let alive_now = s.alive.clone();
                 #[allow(clippy::needless_range_loop)] // w doubles as the rank id
                 for w in 0..n_slaves {
-                    if !idle[w] || !s.alive[w] {
+                    if !idle[w] || !alive_now[w] {
                         continue;
                     }
+                    let owner_of = |v: VertexId| {
+                        config.process_mode.static_owner(
+                            dag.vertex(v).pos,
+                            tile_cols,
+                            n_slaves as u32,
+                        )
+                    };
                     let picked = if config.process_mode == ScheduleMode::Dynamic {
                         s.parser.pop_computable()
                     } else {
-                        s.parser.pop_computable_matching(|v| {
-                            config.process_mode.static_owner(
-                                dag.vertex(v).pos,
-                                tile_cols,
-                                n_slaves as u32,
-                            ) == Some(w as u32)
-                        })
+                        // A statically-owned task whose owner is excluded
+                        // would otherwise never be dispatchable (livelock);
+                        // orphans fall back to dynamic placement.
+                        s.parser
+                            .pop_computable_matching(|v| owner_of(v) == Some(w as u32))
+                            .or_else(|| {
+                                s.parser.pop_computable_matching(|v| {
+                                    owner_of(v).is_some_and(|o| !alive_now[o as usize])
+                                })
+                            })
                     };
                     let Some(v) = picked else { continue };
                     let vertex = dag.vertex(v);
@@ -206,36 +291,35 @@ pub fn run_master_with<P: DpProblem>(
                         region: model.tile_region(vertex.pos),
                         inputs,
                     };
-                    s.register.register(v.0, w as u32);
-                    s.overtime.push(v.0, w as u32);
-                    idle[w] = false;
-                    stats.dispatched += 1;
-                    started[v.index()] = Some(Instant::now());
-                    if ep
-                        .send(Rank(w as u32 + 1), tags::ASSIGN, msg.encode())
-                        .is_err()
-                    {
-                        // Slave endpoint gone: undo and exclude it.
-                        s.register.cancel(v.0);
-                        s.overtime.remove(v.0);
-                        s.parser.fail(&dag, v).expect("just popped");
-                        if s.alive[w] {
-                            s.alive[w] = false;
-                            s.dead_slaves += 1;
+                    match rep.send_reliable(Rank(w as u32 + 1), tags::ASSIGN, msg.encode()) {
+                        Ok(seq) => {
+                            s.register.register(v.0, w as u32);
+                            s.overtime.push(v.0, w as u32);
+                            idle[w] = false;
+                            stats.dispatched += 1;
+                            started[v.index()] = Some(Instant::now());
+                            inflight.insert((w, seq), v.0);
+                        }
+                        Err(_) => {
+                            // Slave endpoint gone: the task goes back to
+                            // the computable stack untouched (it was never
+                            // dispatched) and the slave is permanently out.
+                            s.parser.fail(&dag, v).expect("just popped");
+                            stats.send_failures += 1;
+                            s.unreachable[w] = true;
+                            s.exclude(w);
                         }
                     }
                 }
 
-                if s.parser.is_done() || budget_reached(&stats) {
-                    break;
-                }
                 if s.alive.iter().all(|a| !a) {
                     return Err(RuntimeError::AllSlavesDead);
                 }
             }
 
-            // Steps e-f, h: collect completions and idle signals.
-            match ep.recv_timeout(Duration::from_millis(2)) {
+            // Steps e-f, h: collect completions and idle signals. The
+            // reliable endpoint retransmits pending sends while waiting.
+            match rep.recv_timeout(Duration::from_millis(2)) {
                 Ok(env) => {
                     let w = (env.src.0 as usize).wrapping_sub(1);
                     match env.tag {
@@ -244,6 +328,7 @@ pub fn run_master_with<P: DpProblem>(
                                 idle[w] = true;
                             }
                         }
+                        tags::HEARTBEAT => { /* liveness noted by the endpoint */ }
                         tags::DONE => {
                             let msg = DoneMsg::decode(&env.payload)?;
                             let mut s = shared.lock();
@@ -282,6 +367,46 @@ pub fn run_master_with<P: DpProblem>(
                 Err(NetError::Timeout) => {}
                 Err(e) => return Err(e.into()),
             }
+
+            // Abandoned reliable sends: roll the dispatch back so the task
+            // is redistributable, and judge the slave by its heartbeat —
+            // an unreachable peer is dead, a silent one presumed dead
+            // (re-admitted later if it turns out merely slow).
+            for f in rep.take_failures() {
+                stats.send_failures += 1;
+                let w = (f.dst.0 as usize).wrapping_sub(1);
+                if w >= n_slaves {
+                    continue;
+                }
+                let mut s = shared.lock();
+                if f.tag == tags::ASSIGN {
+                    if let Some(task) = inflight.remove(&(w, f.seq)) {
+                        if s.register.accepts(task, w as u32) {
+                            s.register.cancel(task);
+                            s.overtime.remove(task);
+                            s.parser
+                                .fail(&dag, VertexId(task))
+                                .expect("undelivered task is running");
+                            s.redispatched += 1;
+                            started[task as usize] = None;
+                            // The slave never saw the ASSIGN; it is not
+                            // busy with it, whatever its health.
+                            idle[w] = true;
+                        }
+                    }
+                }
+                match f.reason {
+                    FailReason::Unreachable => {
+                        s.unreachable[w] = true;
+                        s.exclude(w);
+                    }
+                    FailReason::NoAck => {
+                        if s.silent(w, config.heartbeat_timeout) {
+                            s.exclude(w);
+                        }
+                    }
+                }
+            }
         }
         Ok(())
     })();
@@ -295,33 +420,75 @@ pub fn run_master_with<P: DpProblem>(
     let final_shared = shared.lock();
     stats.redispatched = final_shared.redispatched;
     stats.dead_slaves = final_shared.dead_slaves;
+    stats.readmitted = final_shared.readmitted;
     let alive = final_shared.alive.clone();
     drop(final_shared);
 
-    // Send END to every slave (dead ones may never read it) and collect
-    // final stats from the live ones.
+    // Send END to every slave (dead ones may never read it; unreachable
+    // ones fail immediately and are ignored) and collect final stats from
+    // the live ones. Completions still in flight are accepted into the
+    // matrix — on a budget stop they would otherwise be recomputed after
+    // `resume_from`.
     let mut slave_stats: Vec<Option<SlaveStatsMsg>> = vec![None; n_slaves];
     for w in 0..n_slaves {
-        let _ = ep.send(Rank(w as u32 + 1), tags::END, Bytes::new());
+        let _ = rep.send_reliable(Rank(w as u32 + 1), tags::END, Bytes::new());
     }
-    let mut expected: usize = alive.iter().filter(|a| **a).count();
+    // Only slaves counted into `expected` may decrement it: a STATS from a
+    // dead-marked (actually alive) slave is stored but must not make the
+    // master stop waiting for a counted one.
+    let mut counted = alive;
+    let mut expected: usize = counted.iter().filter(|a| **a).count();
     let deadline = Instant::now() + Duration::from_secs(2);
-    while expected > 0 && Instant::now() < deadline {
-        match ep.recv_timeout(Duration::from_millis(50)) {
-            Ok(env) if env.tag == tags::STATS => {
+    while (expected > 0 || rep.has_pending()) && Instant::now() < deadline {
+        match rep.recv_timeout(Duration::from_millis(50)) {
+            Ok(env) => {
                 let w = (env.src.0 as usize).wrapping_sub(1);
-                if w < n_slaves && slave_stats[w].is_none() {
-                    slave_stats[w] = Some(SlaveStatsMsg::decode(&env.payload)?);
-                    expected -= 1;
+                match env.tag {
+                    tags::STATS if w < n_slaves && slave_stats[w].is_none() => {
+                        slave_stats[w] = Some(SlaveStatsMsg::decode(&env.payload)?);
+                        if counted[w] {
+                            counted[w] = false;
+                            expected -= 1;
+                        }
+                    }
+                    tags::DONE => {
+                        let msg = DoneMsg::decode(&env.payload)?;
+                        let mut s = shared.lock();
+                        if w < n_slaves && s.register.accepts(msg.task, w as u32) {
+                            if let Some(start) = started[msg.task as usize].take() {
+                                trace.record(
+                                    format!("slave{w}"),
+                                    "#",
+                                    start.duration_since(t0).as_nanos() as u64,
+                                    Instant::now().duration_since(t0).as_nanos() as u64,
+                                );
+                            }
+                            matrix.decode_region(msg.region, &msg.output);
+                            s.register.cancel(msg.task);
+                            s.overtime.remove(msg.task);
+                            s.parser
+                                .complete(&dag, VertexId(msg.task), None)
+                                .expect("registered completion is running");
+                            stats.completed += 1;
+                            completed_tasks.push(VertexId(msg.task));
+                        } else {
+                            stats.stale_completions += 1;
+                        }
+                    }
+                    _ => {} // stray IDLE/HEARTBEAT from shutting-down slaves
                 }
             }
-            Ok(_) => {} // stray IDLE/DONE from dying slaves
             Err(NetError::Timeout) => {}
             Err(_) => break,
         }
+        // ENDs to dead slaves give up quietly; nobody is waiting on them.
+        let _ = rep.take_failures();
     }
 
-    let net = ep.stats();
+    let reli = rep.stats();
+    stats.retransmits = reli.retransmits;
+    stats.duplicates = reli.duplicates;
+    let net = rep.net_stats();
     stats.msgs_sent = net.sent_msgs;
     stats.bytes_sent = net.sent_bytes;
     stats.msgs_recv = net.recv_msgs;

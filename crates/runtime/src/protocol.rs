@@ -1,9 +1,16 @@
 //! The master/slave wire protocol.
 //!
-//! Five message kinds, mirroring the paper's workflow (§III): slaves
+//! Six message kinds, mirroring the paper's workflow (§III): slaves
 //! announce idleness, the master assigns registered sub-tasks with their
 //! input strips, slaves reply with computed regions, and the master ends
 //! the run with a shutdown signal that slaves answer with their stats.
+//! Heartbeats ride alongside so the master can tell a slow slave from a
+//! dead one.
+//!
+//! Control messages (IDLE/ASSIGN/DONE/END/STATS) travel over
+//! [`easyhps_net::ReliableEndpoint`] — acknowledged, retransmitted,
+//! deduplicated — so a lossy network delays but does not lose them.
+//! HEARTBEAT is fire-and-forget.
 
 use bytes::Bytes;
 use easyhps_core::{GridPos, TileRegion};
@@ -24,6 +31,10 @@ pub mod tags {
     pub const END: Tag = Tag(4);
     /// Slave -> master: final execution stats (reply to END).
     pub const STATS: Tag = Tag(5);
+    /// Slave -> master: "I am alive" (sent unreliably at
+    /// `heartbeat_interval`, including from inside a long tile
+    /// computation; a lost one is superseded by the next).
+    pub const HEARTBEAT: Tag = Tag(6);
 }
 
 fn put_region(w: &mut WireWriter, r: TileRegion) {

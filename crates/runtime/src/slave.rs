@@ -9,6 +9,15 @@
 //! not on the per-tile path. Computing-thread failures (panics) are caught
 //! and the sub-sub-task is re-queued — the paper's "restart the
 //! corresponding computing thread".
+//!
+//! The loop talks to the master over a [`ReliableEndpoint`]: IDLE, DONE
+//! and STATS are acknowledged and retransmitted, so a lossy link cannot
+//! silently lose a result. In between — and *during* long tile
+//! computations — the slave emits unreliable HEARTBEATs at
+//! `heartbeat_interval`, which is how the master tells slow from dead. A
+//! heartbeat send failing with a channel error doubles as the slave's
+//! master-death detector (its own receiver never disconnects, because
+//! every endpoint holds a sender to itself).
 
 use crate::config::Deployment;
 use crate::pool::OvertimeQueue;
@@ -16,14 +25,14 @@ use crate::protocol::{tags, AssignMsg, DoneMsg, SlaveStatsMsg};
 use crate::shared_grid::SharedGrid;
 use crate::storage::NodeStorage;
 use crate::RuntimeError;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use easyhps_core::ScheduleMode;
 use easyhps_core::{DagDataDrivenModel, DagParser, GridPos, TileRegion};
 use easyhps_dp::DpProblem;
-use easyhps_net::{Endpoint, Rank};
+use easyhps_net::{Endpoint, NetError, Rank, ReliableEndpoint};
 use parking_lot::RwLock;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One job handed to a computing thread.
 #[derive(Clone, Copy, Debug)]
@@ -147,7 +156,7 @@ pub fn run_slave<P: DpProblem>(
 /// [`SharedGrid`] or sparse
 /// [`SparseGrid`](crate::storage::SparseGrid)).
 pub fn run_slave_with_storage<P: DpProblem, S: NodeStorage<P::Cell>>(
-    mut ep: Endpoint,
+    ep: Endpoint,
     problem: &P,
     model: &DagDataDrivenModel,
     config: &Deployment,
@@ -155,9 +164,11 @@ pub fn run_slave_with_storage<P: DpProblem, S: NodeStorage<P::Cell>>(
     let master = Rank(0);
     let grid = RwLock::new(S::new(model.dag_size()));
     let ct = config.threads_per_slave.max(1);
+    let mut rep = ReliableEndpoint::new(ep, config.retry.clone());
 
-    // Step a: announce idleness.
-    ep.send(master, tags::IDLE, bytes::Bytes::new())?;
+    // Step a: announce idleness (acknowledged: a dropped IDLE would
+    // otherwise starve this slave forever).
+    rep.send_reliable(master, tags::IDLE, bytes::Bytes::new())?;
 
     std::thread::scope(|scope| {
         // The compute pool lives for the whole slave, not per tile.
@@ -166,12 +177,26 @@ pub fn run_slave_with_storage<P: DpProblem, S: NodeStorage<P::Cell>>(
             threads_spawned: pool.threads_spawned(),
             ..Default::default()
         };
+        let mut last_hb = Instant::now();
 
         loop {
-            let env = ep.recv()?;
+            // A heartbeat failure means the master's endpoint is gone (or
+            // this endpoint was killed): propagate, ending the slave.
+            if last_hb.elapsed() >= config.heartbeat_interval {
+                rep.send_unreliable(master, tags::HEARTBEAT, bytes::Bytes::new())?;
+                last_hb = Instant::now();
+            }
+            let env = match rep.recv_timeout(config.heartbeat_interval) {
+                Ok(env) => env,
+                Err(NetError::Timeout) => continue,
+                Err(e) => return Err(e.into()),
+            };
             match env.tag {
                 tags::END => {
-                    let _ = ep.send(master, tags::STATS, stats.encode());
+                    let _ = rep.send_reliable(master, tags::STATS, stats.encode());
+                    // Linger until the STATS (and any late DONE) is acked,
+                    // so the master's teardown collection cannot miss it.
+                    rep.drain_pending(Duration::from_secs(1));
                     return Ok(stats);
                 }
                 tags::ASSIGN => {
@@ -186,8 +211,18 @@ pub fn run_slave_with_storage<P: DpProblem, S: NodeStorage<P::Cell>>(
                         }
                         g.prepare(&[msg.region]);
                     }
-                    // Steps d-i: drive the slave DAG through the pool.
-                    let exec = execute_tile(model, &pool, msg.tile, config);
+                    // Steps d-i: drive the slave DAG through the pool,
+                    // heartbeating (and retransmitting pending sends)
+                    // whenever the tile makes us wait — a long compute
+                    // must not read as death to the master.
+                    let exec = execute_tile(model, &pool, msg.tile, config, &mut || {
+                        if last_hb.elapsed() >= config.heartbeat_interval {
+                            let _ =
+                                rep.send_unreliable(master, tags::HEARTBEAT, bytes::Bytes::new());
+                            last_hb = Instant::now();
+                        }
+                        rep.pump();
+                    });
                     stats.tasks_done += 1;
                     stats.subtasks_done += exec.subtasks;
                     stats.busy_ns += exec.busy_ns;
@@ -202,7 +237,7 @@ pub fn run_slave_with_storage<P: DpProblem, S: NodeStorage<P::Cell>>(
                         region: msg.region,
                         output,
                     };
-                    ep.send(master, tags::DONE, done.encode())?;
+                    rep.send_reliable(master, tags::DONE, done.encode())?;
                 }
                 other => {
                     debug_assert!(false, "slave received unexpected {other}");
@@ -215,12 +250,15 @@ pub fn run_slave_with_storage<P: DpProblem, S: NodeStorage<P::Cell>>(
 /// Execute one master tile on the persistent worker pool: partition it by
 /// `thread_partition_size` and drive the slave DAG parser until every
 /// sub-sub-task completes. Every job dispatched here is collected before
-/// returning, so the pool is quiescent between calls.
+/// returning, so the pool is quiescent between calls. `on_wait` is invoked
+/// whenever waiting for a worker result exceeds the heartbeat interval —
+/// the slave loop heartbeats there so a long tile never reads as silence.
 pub(crate) fn execute_tile(
     model: &DagDataDrivenModel,
     pool: &ComputePool,
     tile: GridPos,
     config: &Deployment,
+    on_wait: &mut dyn FnMut(),
 ) -> TileExecution {
     let sdag = model.slave_dag(tile);
     let mut parser = DagParser::new(&sdag);
@@ -261,12 +299,17 @@ pub(crate) fn execute_tile(
             break;
         }
 
-        // Collect one result (blocking: if we are not done, either a
-        // worker is busy or a dispatch just happened above).
-        let res = pool
-            .result_rx
-            .recv()
-            .expect("workers alive while tasks remain");
+        // Collect one result (if we are not done, either a worker is busy
+        // or a dispatch just happened above); heartbeat while waiting.
+        let res = loop {
+            match pool.result_rx.recv_timeout(config.heartbeat_interval) {
+                Ok(res) => break res,
+                Err(RecvTimeoutError::Timeout) => on_wait(),
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("workers alive while tasks remain")
+                }
+            }
+        };
         overtime.remove(res.sub);
         exec.busy_ns += res.elapsed_ns;
         idle[res.worker] = true;

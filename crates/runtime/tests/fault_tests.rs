@@ -1,0 +1,567 @@
+//! Fault-path drills: lossy-network survival end-to-end, and regression
+//! tests for the scheduler's single-drop failure modes (static-mode
+//! livelock, dispatch-failure bookkeeping, the teardown stats race, and
+//! checkpoint loss of in-flight completions on a budget stop).
+//!
+//! The hand-driven tests speak the wire protocol through a
+//! [`ReliableEndpoint`] directly, playing a slave that is slow, silent or
+//! gone at exactly the wrong moment.
+
+use bytes::Bytes;
+use easyhps_dp::sequence::{random_sequence, Alphabet};
+use easyhps_dp::{DpMatrix, DpProblem, EditDistance, Nussinov, SmithWatermanGeneralGap};
+use easyhps_net::{FaultPlan, NetError, Network, Rank, ReliableEndpoint, RetryPolicy};
+use easyhps_runtime::{
+    run_master, run_master_with, run_slave, tags, AssignMsg, Deployment, DoneMsg, EasyHps,
+    ScheduleMode, SlaveStatsMsg,
+};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Tentpole: full runs complete bit-identically under uniform message loss.
+// ---------------------------------------------------------------------
+
+/// Run `problem` with 4 slaves under `p` uniform drop on every link
+/// (master included) and check the matrix is bit-identical to the
+/// sequential reference, with no slave permanently excluded.
+fn assert_lossy_run_is_exact<P: DpProblem + Clone>(problem: P, p: f64, seed: u64) {
+    let reference = problem.solve_sequential();
+    let pattern = problem.pattern();
+    let out = EasyHps::new(problem)
+        .process_partition((10, 10))
+        .thread_partition((4, 4))
+        .slaves(4)
+        .threads_per_slave(2)
+        .lossy_network(p, seed)
+        .run()
+        .unwrap_or_else(|e| panic!("run must survive {p} drop: {e}"));
+    for pos in reference.dims().iter() {
+        if pattern.contains(pos) {
+            assert_eq!(
+                out.matrix.at(pos),
+                reference.at(pos),
+                "cell {pos} at drop rate {p}"
+            );
+        }
+    }
+    let m = &out.report.master;
+    assert_eq!(
+        m.dead_slaves, 0,
+        "no live slave permanently excluded at {p}"
+    );
+    assert_eq!(m.completed, m.dispatched, "every dispatch completed at {p}");
+    assert_eq!(m.redispatched, 0, "no timeout-driven redispatch at {p}");
+    assert_eq!(
+        m.stale_completions, 0,
+        "dedup upstream: no stale DONEs at {p}"
+    );
+    assert_eq!(m.send_failures, 0, "retry pushed every send through at {p}");
+    for (i, s) in out.report.slaves.iter().enumerate() {
+        assert!(s.is_some(), "slave {i} reported stats at drop rate {p}");
+    }
+}
+
+#[test]
+fn swgg_survives_5_percent_drop() {
+    let a = random_sequence(Alphabet::Dna, 40, 101);
+    let b = random_sequence(Alphabet::Dna, 44, 102);
+    assert_lossy_run_is_exact(SmithWatermanGeneralGap::dna(a, b), 0.05, 1);
+}
+
+#[test]
+fn swgg_survives_10_percent_drop() {
+    let a = random_sequence(Alphabet::Dna, 40, 103);
+    let b = random_sequence(Alphabet::Dna, 44, 104);
+    assert_lossy_run_is_exact(SmithWatermanGeneralGap::dna(a, b), 0.1, 2);
+}
+
+#[test]
+fn swgg_survives_20_percent_drop() {
+    let a = random_sequence(Alphabet::Dna, 40, 105);
+    let b = random_sequence(Alphabet::Dna, 44, 106);
+    assert_lossy_run_is_exact(SmithWatermanGeneralGap::dna(a, b), 0.2, 3);
+}
+
+#[test]
+fn nussinov_survives_5_percent_drop() {
+    let rna = random_sequence(Alphabet::Rna, 48, 107);
+    assert_lossy_run_is_exact(Nussinov::new(rna), 0.05, 4);
+}
+
+#[test]
+fn nussinov_survives_10_percent_drop() {
+    let rna = random_sequence(Alphabet::Rna, 48, 108);
+    assert_lossy_run_is_exact(Nussinov::new(rna), 0.1, 5);
+}
+
+#[test]
+fn nussinov_survives_20_percent_drop() {
+    let rna = random_sequence(Alphabet::Rna, 48, 109);
+    assert_lossy_run_is_exact(Nussinov::new(rna), 0.2, 6);
+}
+
+#[test]
+fn heavy_loss_forces_retransmits_and_counters_stay_consistent() {
+    // At 20% drop the reliability layer must visibly work (retransmits on
+    // the master link), and the loss must stay invisible to scheduling.
+    let a = random_sequence(Alphabet::Dna, 36, 110);
+    let b = random_sequence(Alphabet::Dna, 36, 111);
+    let problem = EditDistance::new(a, b);
+    let reference = problem.solve_sequential();
+    let out = EasyHps::new(problem)
+        .process_partition((8, 8))
+        .thread_partition((3, 3))
+        .slaves(4)
+        .threads_per_slave(2)
+        .lossy_network(0.2, 42)
+        .run()
+        .unwrap();
+    assert_eq!(out.matrix, reference);
+    let m = &out.report.master;
+    // 37x37 grid in 8x8 tiles -> 5x5 = 25 sub-tasks, each exactly once.
+    assert_eq!(m.completed, 25);
+    assert_eq!(m.dispatched, 25);
+    assert!(
+        m.retransmits > 0,
+        "a 20% lossy master link must retransmit something"
+    );
+    assert_eq!(m.dead_slaves, 0);
+    assert_eq!(out.report.trace.spans.len() as u64, m.completed);
+}
+
+// ---------------------------------------------------------------------
+// Satellite: static-mode livelock on an excluded slave's tiles.
+// ---------------------------------------------------------------------
+
+#[test]
+fn static_mode_survives_slave_death_via_orphan_fallback() {
+    // Under BlockCyclic every tile has a static owner. When slave 0 dies,
+    // its tiles are orphaned: without the dynamic fallback the master
+    // spins forever (parser not done, no dispatchable task -> livelock,
+    // this test hangs on the pre-fix scheduler).
+    let a = random_sequence(Alphabet::Dna, 30, 120);
+    let b = random_sequence(Alphabet::Dna, 30, 121);
+    let problem = EditDistance::new(a, b);
+    let reference = problem.solve_sequential();
+    let out = EasyHps::new(problem)
+        .process_partition((6, 6))
+        .thread_partition((3, 3))
+        .slaves(3)
+        .threads_per_slave(2)
+        .process_mode(ScheduleMode::BlockCyclic { block: 1 })
+        .task_timeout(Duration::from_millis(300))
+        .inject_fault(0, FaultPlan::die_after(3))
+        .run()
+        .expect("orphaned static tiles must fall back to dynamic dispatch");
+    assert_eq!(out.matrix, reference);
+    assert_eq!(out.report.master.dead_slaves, 1);
+}
+
+#[test]
+fn column_wavefront_survives_slave_death_too() {
+    let rna = random_sequence(Alphabet::Rna, 40, 122);
+    let problem = Nussinov::new(rna);
+    let reference = problem.solve_sequential();
+    let pattern = problem.pattern();
+    let out = EasyHps::new(problem)
+        .process_partition((8, 8))
+        .thread_partition((4, 4))
+        .slaves(3)
+        .threads_per_slave(2)
+        .process_mode(ScheduleMode::ColumnWavefront)
+        .task_timeout(Duration::from_millis(300))
+        .inject_fault(1, FaultPlan::die_after(4))
+        .run()
+        .expect("column-wavefront orphans must be redistributable");
+    for pos in reference.dims().iter() {
+        if pattern.contains(pos) {
+            assert_eq!(out.matrix.at(pos), reference.at(pos), "cell {pos}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Satellite: dispatch-failure bookkeeping (no phantom dispatches).
+// ---------------------------------------------------------------------
+
+#[test]
+fn failed_assign_send_is_not_counted_as_a_dispatch() {
+    // Rank 1 announces idle and vanishes before the master starts: the
+    // very first ASSIGN to it fails at the transport. That failed send
+    // must not inflate `dispatched` or leave a stale trace start (on the
+    // pre-fix master, dispatched > completed here).
+    let a = random_sequence(Alphabet::Dna, 30, 130);
+    let b = random_sequence(Alphabet::Dna, 30, 131);
+    let problem = EditDistance::new(a, b);
+    let reference = problem.solve_sequential();
+    let model = easyhps_core::DagDataDrivenModel::builder(problem.pattern())
+        .process_partition_size(easyhps_core::GridDims::square(8))
+        .thread_partition_size(easyhps_core::GridDims::square(4))
+        .build();
+    let config = Deployment::local(2, 2);
+
+    let mut eps = Network::new(3);
+    let ep2 = eps.pop().unwrap();
+    let ep1 = eps.pop().unwrap();
+    let master_ep = eps.pop().unwrap();
+
+    // The ghost slave: one reliable IDLE, then its endpoint is dropped
+    // (deterministically, before the master runs).
+    {
+        let mut ghost = ReliableEndpoint::new(ep1, RetryPolicy::default());
+        ghost
+            .send_reliable(Rank(0), tags::IDLE, Bytes::new())
+            .unwrap();
+    }
+
+    let out = std::thread::scope(|s| {
+        let (p, m, c) = (&problem, &model, &config);
+        s.spawn(move || {
+            let _ = run_slave(ep2, p, m, c);
+        });
+        run_master(master_ep, &problem, &model, &config).unwrap()
+    });
+
+    assert_eq!(out.matrix, reference);
+    // 31x31 in 8x8 tiles -> 16 sub-tasks, all done by the real slave.
+    assert_eq!(out.stats.completed, 16);
+    assert_eq!(
+        out.stats.dispatched, out.stats.completed,
+        "a failed ASSIGN send is not a dispatch"
+    );
+    assert_eq!(out.stats.redispatched, 0, "the task was never in flight");
+    assert!(out.stats.send_failures >= 1, "the failed send is accounted");
+    assert_eq!(out.stats.dead_slaves, 1);
+    assert_eq!(
+        out.trace.spans.len() as u64,
+        out.stats.completed,
+        "no stale trace start from the failed send"
+    );
+    assert!(out.slave_stats[0].is_none());
+    assert!(out.slave_stats[1].is_some());
+}
+
+// ---------------------------------------------------------------------
+// Satellite: teardown stats race (dead-marked but alive slave).
+// ---------------------------------------------------------------------
+
+#[test]
+fn stats_from_excluded_slave_do_not_satisfy_a_live_slaves_slot() {
+    // Slave A takes a task and goes silent long enough to be excluded,
+    // then wakes and answers END immediately. Slave B does all the work
+    // but delays its STATS. On the pre-fix master, A's STATS decremented
+    // `expected` (which only counted B) and teardown returned without B's
+    // stats.
+    let problem = EditDistance::new(
+        random_sequence(Alphabet::Dna, 20, 140),
+        random_sequence(Alphabet::Dna, 20, 141),
+    );
+    let model = easyhps_core::DagDataDrivenModel::builder(problem.pattern())
+        .process_partition_size(easyhps_core::GridDims::square(8))
+        .thread_partition_size(easyhps_core::GridDims::square(4))
+        .build();
+    let dims = model.dag_size();
+    let mut config = Deployment::local(2, 1);
+    config.task_timeout = Duration::from_millis(150);
+    config.ft_poll = Duration::from_millis(10);
+    config.heartbeat_timeout = Duration::from_millis(100);
+
+    let mut eps = Network::new(3);
+    let ep_b = eps.pop().unwrap();
+    let ep_a = eps.pop().unwrap();
+    let master_ep = eps.pop().unwrap();
+
+    let mut rep_a = ReliableEndpoint::new(ep_a, RetryPolicy::default());
+    let mut rep_b = ReliableEndpoint::new(ep_b, RetryPolicy::default());
+    rep_a
+        .send_reliable(Rank(0), tags::IDLE, Bytes::new())
+        .unwrap();
+    rep_b
+        .send_reliable(Rank(0), tags::IDLE, Bytes::new())
+        .unwrap();
+
+    let out = std::thread::scope(|s| {
+        // A: take one ASSIGN (acked by the receive path), play dead past
+        // task_timeout + heartbeat_timeout, then answer END instantly.
+        s.spawn(move || loop {
+            match rep_a.recv_timeout(Duration::from_millis(20)) {
+                Ok(env) if env.tag == tags::ASSIGN => {
+                    std::thread::sleep(Duration::from_millis(350));
+                }
+                Ok(env) if env.tag == tags::END => {
+                    rep_a
+                        .send_reliable(Rank(0), tags::STATS, SlaveStatsMsg::default().encode())
+                        .unwrap();
+                    rep_a.drain_pending(Duration::from_secs(1));
+                    return;
+                }
+                Ok(_) | Err(NetError::Timeout) => {}
+                Err(_) => return,
+            }
+        });
+        // B: answer every ASSIGN instantly (zero-filled regions — this
+        // test is about teardown accounting, not matrix values), heartbeat
+        // while idle, and hold the STATS back after END.
+        s.spawn(move || {
+            let zeros = DpMatrix::<i32>::new(dims);
+            let mut last_hb = Instant::now();
+            loop {
+                if last_hb.elapsed() >= Duration::from_millis(20) {
+                    let _ = rep_b.send_unreliable(Rank(0), tags::HEARTBEAT, Bytes::new());
+                    last_hb = Instant::now();
+                }
+                match rep_b.recv_timeout(Duration::from_millis(15)) {
+                    Ok(env) if env.tag == tags::ASSIGN => {
+                        let msg = AssignMsg::decode(&env.payload).unwrap();
+                        let done = DoneMsg {
+                            task: msg.task,
+                            region: msg.region,
+                            output: zeros.encode_region(msg.region),
+                        };
+                        rep_b
+                            .send_reliable(Rank(0), tags::DONE, done.encode())
+                            .unwrap();
+                    }
+                    Ok(env) if env.tag == tags::END => {
+                        std::thread::sleep(Duration::from_millis(500));
+                        rep_b
+                            .send_reliable(Rank(0), tags::STATS, SlaveStatsMsg::default().encode())
+                            .unwrap();
+                        rep_b.drain_pending(Duration::from_secs(1));
+                        return;
+                    }
+                    Ok(_) | Err(NetError::Timeout) => {}
+                    Err(_) => return,
+                }
+            }
+        });
+        run_master(master_ep, &problem, &model, &config).unwrap()
+    });
+
+    assert_eq!(out.stats.dead_slaves, 1, "A was excluded as silent");
+    assert!(
+        out.slave_stats[1].is_some(),
+        "the live slave's stats must be awaited even after the excluded \
+         slave's STATS arrives"
+    );
+    assert!(
+        out.slave_stats[0].is_some(),
+        "the excluded slave's stats are still recorded"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Satellite: in-flight DONEs are drained into the checkpoint on a budget
+// stop.
+// ---------------------------------------------------------------------
+
+#[test]
+fn budget_stop_drains_in_flight_completions_into_the_checkpoint() {
+    // Two slaves each take one of Nussinov's initially computable
+    // diagonal tiles; the budget is 1. The first DONE reaches the budget;
+    // the second arrives during teardown and must land in the matrix and
+    // checkpoint instead of being discarded (pre-fix: finished_len == 1
+    // and the tile is recomputed on resume).
+    let problem = Nussinov::new(random_sequence(Alphabet::Rna, 40, 150));
+    let model = easyhps_core::DagDataDrivenModel::builder(problem.pattern())
+        .process_partition_size(easyhps_core::GridDims::square(10))
+        .thread_partition_size(easyhps_core::GridDims::square(4))
+        .build();
+    let dims = model.dag_size();
+    let config = Deployment::local(2, 1);
+
+    let mut eps = Network::new(3);
+    let ep_b = eps.pop().unwrap();
+    let ep_a = eps.pop().unwrap();
+    let master_ep = eps.pop().unwrap();
+
+    let mut rep_a = ReliableEndpoint::new(ep_a, RetryPolicy::default());
+    let mut rep_b = ReliableEndpoint::new(ep_b, RetryPolicy::default());
+    // Both IDLEs are queued before the master starts, so both slaves get
+    // an assignment before the first completion can reach the budget.
+    rep_a
+        .send_reliable(Rank(0), tags::IDLE, Bytes::new())
+        .unwrap();
+    rep_b
+        .send_reliable(Rank(0), tags::IDLE, Bytes::new())
+        .unwrap();
+
+    let serve = move |mut rep: ReliableEndpoint| {
+        let zeros = DpMatrix::<i32>::new(dims);
+        loop {
+            match rep.recv_timeout(Duration::from_millis(20)) {
+                Ok(env) if env.tag == tags::ASSIGN => {
+                    let msg = AssignMsg::decode(&env.payload).unwrap();
+                    let done = DoneMsg {
+                        task: msg.task,
+                        region: msg.region,
+                        output: zeros.encode_region(msg.region),
+                    };
+                    rep.send_reliable(Rank(0), tags::DONE, done.encode())
+                        .unwrap();
+                }
+                Ok(env) if env.tag == tags::END => {
+                    rep.send_reliable(Rank(0), tags::STATS, SlaveStatsMsg::default().encode())
+                        .unwrap();
+                    rep.drain_pending(Duration::from_secs(1));
+                    return;
+                }
+                Ok(_) | Err(NetError::Timeout) => {}
+                Err(_) => return,
+            }
+        }
+    };
+
+    let out = std::thread::scope(|s| {
+        s.spawn(move || serve(rep_a));
+        s.spawn(move || serve(rep_b));
+        run_master_with(master_ep, &problem, &model, &config, None, Some(1)).unwrap()
+    });
+
+    assert_eq!(
+        out.stats.dispatched, 2,
+        "both diagonal tiles dispatched before the budget hit; none after"
+    );
+    assert_eq!(
+        out.stats.completed, 2,
+        "the in-flight completion was accepted during teardown"
+    );
+    let cp = out.checkpoint.expect("budget stop yields a checkpoint");
+    assert_eq!(
+        cp.finished_len(),
+        2,
+        "teardown-drained DONE is in the checkpoint, not recomputed later"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Heartbeats: a wrongly excluded (slow, not dead) slave is re-admitted.
+// ---------------------------------------------------------------------
+
+#[test]
+fn silent_but_alive_slave_is_readmitted_after_heartbeat_resumes() {
+    // A stalls past task_timeout + heartbeat_timeout (excluded), then
+    // resumes heartbeating; the master must re-admit it — zero
+    // permanently-excluded live slaves. B paces the run slowly enough
+    // that the run is still going when A comes back.
+    let problem = EditDistance::new(
+        random_sequence(Alphabet::Dna, 30, 160),
+        random_sequence(Alphabet::Dna, 30, 161),
+    );
+    let model = easyhps_core::DagDataDrivenModel::builder(problem.pattern())
+        .process_partition_size(easyhps_core::GridDims::square(8))
+        .thread_partition_size(easyhps_core::GridDims::square(4))
+        .build();
+    let dims = model.dag_size();
+    let mut config = Deployment::local(2, 1);
+    config.task_timeout = Duration::from_millis(100);
+    config.ft_poll = Duration::from_millis(10);
+    config.heartbeat_timeout = Duration::from_millis(80);
+
+    let mut eps = Network::new(3);
+    let ep_b = eps.pop().unwrap();
+    let ep_a = eps.pop().unwrap();
+    let master_ep = eps.pop().unwrap();
+
+    let mut rep_a = ReliableEndpoint::new(ep_a, RetryPolicy::default());
+    let mut rep_b = ReliableEndpoint::new(ep_b, RetryPolicy::default());
+    rep_a
+        .send_reliable(Rank(0), tags::IDLE, Bytes::new())
+        .unwrap();
+    rep_b
+        .send_reliable(Rank(0), tags::IDLE, Bytes::new())
+        .unwrap();
+
+    let out = std::thread::scope(|s| {
+        // A: ack its first ASSIGN, stall 300ms (exclusion), then come back
+        // heartbeating and serving until END.
+        s.spawn(move || {
+            let zeros = DpMatrix::<i32>::new(dims);
+            let mut stalled = false;
+            let mut last_hb = Instant::now();
+            loop {
+                if stalled && last_hb.elapsed() >= Duration::from_millis(20) {
+                    let _ = rep_a.send_unreliable(Rank(0), tags::HEARTBEAT, Bytes::new());
+                    last_hb = Instant::now();
+                }
+                match rep_a.recv_timeout(Duration::from_millis(15)) {
+                    Ok(env) if env.tag == tags::ASSIGN => {
+                        if !stalled {
+                            std::thread::sleep(Duration::from_millis(300));
+                            stalled = true;
+                        } else {
+                            let msg = AssignMsg::decode(&env.payload).unwrap();
+                            let done = DoneMsg {
+                                task: msg.task,
+                                region: msg.region,
+                                output: zeros.encode_region(msg.region),
+                            };
+                            rep_a
+                                .send_reliable(Rank(0), tags::DONE, done.encode())
+                                .unwrap();
+                        }
+                    }
+                    Ok(env) if env.tag == tags::END => {
+                        rep_a
+                            .send_reliable(Rank(0), tags::STATS, SlaveStatsMsg::default().encode())
+                            .unwrap();
+                        rep_a.drain_pending(Duration::from_secs(1));
+                        return;
+                    }
+                    Ok(_) | Err(NetError::Timeout) => {}
+                    Err(_) => return,
+                }
+            }
+        });
+        // B: serve every ASSIGN with a 40ms delay so the 16-tile run
+        // outlasts A's stall, heartbeating throughout.
+        s.spawn(move || {
+            let zeros = DpMatrix::<i32>::new(dims);
+            let mut last_hb = Instant::now();
+            loop {
+                if last_hb.elapsed() >= Duration::from_millis(20) {
+                    let _ = rep_b.send_unreliable(Rank(0), tags::HEARTBEAT, Bytes::new());
+                    last_hb = Instant::now();
+                }
+                match rep_b.recv_timeout(Duration::from_millis(15)) {
+                    Ok(env) if env.tag == tags::ASSIGN => {
+                        std::thread::sleep(Duration::from_millis(40));
+                        let msg = AssignMsg::decode(&env.payload).unwrap();
+                        let done = DoneMsg {
+                            task: msg.task,
+                            region: msg.region,
+                            output: zeros.encode_region(msg.region),
+                        };
+                        rep_b
+                            .send_reliable(Rank(0), tags::DONE, done.encode())
+                            .unwrap();
+                    }
+                    Ok(env) if env.tag == tags::END => {
+                        rep_b
+                            .send_reliable(Rank(0), tags::STATS, SlaveStatsMsg::default().encode())
+                            .unwrap();
+                        rep_b.drain_pending(Duration::from_secs(1));
+                        return;
+                    }
+                    Ok(_) | Err(NetError::Timeout) => {}
+                    Err(_) => return,
+                }
+            }
+        });
+        run_master(master_ep, &problem, &model, &config).unwrap()
+    });
+
+    assert!(
+        out.stats.readmitted >= 1,
+        "the stalled slave must be re-admitted once it is heard again"
+    );
+    assert_eq!(
+        out.stats.dead_slaves, 0,
+        "no live slave is permanently excluded"
+    );
+    assert!(
+        out.slave_stats[0].is_some(),
+        "readmitted slave reports stats"
+    );
+    assert!(out.slave_stats[1].is_some());
+}

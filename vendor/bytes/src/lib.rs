@@ -18,7 +18,11 @@ pub struct Bytes {
 #[derive(Clone)]
 enum Inner {
     Static(&'static [u8]),
-    Shared(Arc<[u8]>),
+    Shared {
+        buf: Arc<[u8]>,
+        start: usize,
+        end: usize,
+    },
 }
 
 impl Bytes {
@@ -51,10 +55,40 @@ impl Bytes {
         self.as_slice().to_vec()
     }
 
+    /// Zero-copy sub-range sharing the same backing buffer.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let len = self.len();
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            start <= end && end <= len,
+            "slice range {start}..{end} out of bounds for {len} bytes"
+        );
+        match &self.inner {
+            Inner::Static(s) => Bytes::from_static(&s[start..end]),
+            Inner::Shared { buf, start: s0, .. } => Bytes {
+                inner: Inner::Shared {
+                    buf: buf.clone(),
+                    start: s0 + start,
+                    end: s0 + end,
+                },
+            },
+        }
+    }
+
     fn as_slice(&self) -> &[u8] {
         match &self.inner {
             Inner::Static(s) => s,
-            Inner::Shared(a) => a,
+            Inner::Shared { buf, start, end } => &buf[*start..*end],
         }
     }
 }
@@ -81,8 +115,13 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
         Self {
-            inner: Inner::Shared(Arc::from(v)),
+            inner: Inner::Shared {
+                buf: Arc::from(v),
+                start: 0,
+                end,
+            },
         }
     }
 }
@@ -275,6 +314,24 @@ mod tests {
         assert!(!b.is_empty());
         assert!(Bytes::new().is_empty());
         assert_eq!(&Bytes::from_static(b"hi")[..], b"hi");
+    }
+
+    #[test]
+    fn slice_is_zero_copy_and_nestable() {
+        let b = Bytes::from((0u8..10).collect::<Vec<_>>());
+        let s = b.slice(2..8);
+        assert_eq!(&s[..], &[2, 3, 4, 5, 6, 7]);
+        let t = s.slice(1..=2);
+        assert_eq!(&t[..], &[3, 4]);
+        assert_eq!(&s.slice(..)[..], &s[..]);
+        assert!(Bytes::from_static(b"abc").slice(1..).len() == 2);
+        assert!(b.slice(10..).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_range_panics() {
+        Bytes::from(vec![1, 2, 3]).slice(2..5);
     }
 
     #[test]
