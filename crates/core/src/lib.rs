@@ -62,4 +62,4 @@ pub use model::{DagDataDrivenModel, DataMappingFn, ModelBuilder};
 pub use parser::{DagParser, TaskState};
 pub use pattern::{tile_region, DagPattern, PatternKind};
 pub use schedule::ScheduleMode;
-pub use trace::{Span, Trace};
+pub use trace::{natural_cmp, Span, Trace};

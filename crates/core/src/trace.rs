@@ -7,13 +7,54 @@
 //! *see* wavefront ramp-up, node idling under static policies, and
 //! fault-tolerance gaps without leaving the terminal.
 
+use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// Compare lane names "naturally": runs of ASCII digits compare by
+/// numeric value, everything else byte-wise — so `slave2` sorts before
+/// `slave10` instead of after it.
+pub fn natural_cmp(a: &str, b: &str) -> Ordering {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i].is_ascii_digit() && b[j].is_ascii_digit() {
+            let ai = i + a[i..].iter().take_while(|c| c.is_ascii_digit()).count();
+            let bj = j + b[j..].iter().take_while(|c| c.is_ascii_digit()).count();
+            // Compare the digit runs numerically without parsing into a
+            // fixed-width integer: strip leading zeros, then longer run
+            // wins, then byte-wise (equal lengths, so lexicographic =
+            // numeric).
+            let da = &a[i..ai];
+            let db = &b[j..bj];
+            let sa = &da[da.iter().take_while(|c| **c == b'0').count()..];
+            let sb = &db[db.iter().take_while(|c| **c == b'0').count()..];
+            let ord = sa.len().cmp(&sb.len()).then_with(|| sa.cmp(sb));
+            if ord != Ordering::Equal {
+                return ord;
+            }
+            // Equal values: fewer leading zeros first, for a total order.
+            let ord = da.len().cmp(&db.len());
+            if ord != Ordering::Equal {
+                return ord;
+            }
+            (i, j) = (ai, bj);
+        } else {
+            let ord = a[i].cmp(&b[j]);
+            if ord != Ordering::Equal {
+                return ord;
+            }
+            (i, j) = (i + 1, j + 1);
+        }
+    }
+    (a.len() - i).cmp(&(b.len() - j))
+}
 
 /// One contiguous busy interval on a lane (a node, a thread, the master).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Span {
-    /// Lane identifier (lanes sort lexicographically in the chart).
+    /// Lane identifier (lanes sort in natural order in the chart:
+    /// `slave2` before `slave10`).
     pub lane: String,
     /// Short label (first character is drawn inside the bar).
     pub label: String,
@@ -80,13 +121,24 @@ impl Trace {
         false
     }
 
-    /// Total busy time per lane, sorted by lane name.
+    /// Total busy time per lane, in natural lane order.
     pub fn busy_by_lane(&self) -> Vec<(String, u64)> {
         let mut map: BTreeMap<String, u64> = BTreeMap::new();
         for s in &self.spans {
             *map.entry(s.lane.clone()).or_default() += s.end_ns - s.start_ns;
         }
-        map.into_iter().collect()
+        let mut out: Vec<(String, u64)> = map.into_iter().collect();
+        out.sort_by(|(a, _), (b, _)| natural_cmp(a, b));
+        out
+    }
+
+    /// Distinct lane names in natural order (`slave2` before `slave10`) —
+    /// the row order of [`Trace::gantt`] and of trace exports.
+    pub fn lane_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.spans.iter().map(|s| s.lane.clone()).collect();
+        names.sort_by(|a, b| natural_cmp(a, b));
+        names.dedup();
+        names
     }
 
     /// Render as an ASCII Gantt chart `width` characters wide. Busy cells
@@ -102,12 +154,7 @@ impl Trace {
             out.push_str("(empty trace)\n");
             return out;
         }
-        let lane_names: Vec<String> = {
-            let mut names: Vec<String> = self.spans.iter().map(|s| s.lane.clone()).collect();
-            names.sort();
-            names.dedup();
-            names
-        };
+        let lane_names = self.lane_names();
         let name_w = lane_names.iter().map(|n| n.len()).max().unwrap_or(4).max(4);
         let scale = |t: u64| ((t as u128 * width as u128) / horizon as u128) as usize;
 
@@ -188,6 +235,53 @@ mod tests {
     #[test]
     fn empty_trace_renders() {
         assert!(Trace::new().gantt(40).contains("empty"));
+    }
+
+    #[test]
+    fn lanes_sort_naturally_not_lexicographically() {
+        // Regression: `slave10` used to render before `slave2` because
+        // lanes sorted lexicographically.
+        let mut t = Trace::new();
+        for w in [10u32, 2, 1, 0, 11] {
+            t.record(
+                format!("slave{w}"),
+                "#",
+                u64::from(w) * 10,
+                u64::from(w) * 10 + 5,
+            );
+        }
+        assert_eq!(
+            t.lane_names(),
+            vec!["slave0", "slave1", "slave2", "slave10", "slave11"]
+        );
+        let g = t.gantt(40);
+        let rows: Vec<&str> = g.lines().collect();
+        assert!(rows[2].trim_start().starts_with("slave2"), "{g}");
+        assert!(rows[3].trim_start().starts_with("slave10"), "{g}");
+        // busy_by_lane shares the order.
+        let lanes: Vec<String> = t.busy_by_lane().into_iter().map(|(l, _)| l).collect();
+        assert_eq!(lanes, t.lane_names());
+    }
+
+    #[test]
+    fn natural_cmp_edge_cases() {
+        use std::cmp::Ordering::*;
+        assert_eq!(natural_cmp("slave2", "slave10"), Less);
+        assert_eq!(natural_cmp("slave10", "slave10"), Equal);
+        assert_eq!(natural_cmp("a2b10", "a2b9"), Greater);
+        assert_eq!(natural_cmp("node", "node1"), Less);
+        assert_eq!(natural_cmp("a2", "a02"), Less, "leading zeros break ties");
+        assert_eq!(
+            natural_cmp("a02", "a1"),
+            Greater,
+            "but compare by value first"
+        );
+        assert_eq!(natural_cmp("master", "slave0"), Less);
+        // Digit runs longer than u64 still compare correctly.
+        assert_eq!(
+            natural_cmp("x99999999999999999999998", "x99999999999999999999999"),
+            Less
+        );
     }
 
     #[test]

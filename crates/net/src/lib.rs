@@ -36,6 +36,8 @@ mod wire;
 pub use delay::DelayModel;
 pub use fault::FaultPlan;
 pub use message::{Envelope, Rank, Tag};
-pub use reliable::{FailReason, ReliStats, ReliableEndpoint, RetryPolicy, SendFailure};
+pub use reliable::{
+    FailReason, PeerReliStats, ReliStats, ReliableEndpoint, RetryPolicy, SendFailure,
+};
 pub use transport::{Endpoint, KillHandle, NetError, NetStats, Network};
 pub use wire::{WireError, WireReader, WireWriter};

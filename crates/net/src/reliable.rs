@@ -31,6 +31,7 @@
 use crate::message::{Envelope, Rank, Tag};
 use crate::transport::{Endpoint, NetError, NetStats};
 use bytes::Bytes;
+use easyhps_obs::LaneBuf;
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
@@ -88,6 +89,23 @@ pub struct ReliStats {
     pub duplicates: u64,
     /// Frames that failed to parse and were dropped.
     pub malformed: u64,
+    /// Total backoff scheduled across retransmissions, in nanoseconds —
+    /// how long reliable deliveries sat waiting on retry timers.
+    pub backoff_wait_ns: u64,
+}
+
+/// Per-peer slice of the reliability counters, snapshotted by
+/// [`ReliableEndpoint::peer_stats`] — the supported way to read these
+/// numbers (no field peeking, no aggregation guesswork).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PeerReliStats {
+    /// Retransmissions of unacked messages to this peer.
+    pub retransmits: u64,
+    /// Duplicate data deliveries from this peer that were suppressed.
+    pub duplicates: u64,
+    /// Reliable sends to this peer that were abandoned (retry budget
+    /// exhausted or peer unreachable).
+    pub send_failures: u64,
 }
 
 /// A reliable send that was abandoned: the peer never acknowledged it
@@ -161,6 +179,10 @@ pub struct ReliableEndpoint {
     last_heard: Vec<Option<Instant>>,
     failures: Vec<SendFailure>,
     stats: ReliStats,
+    per_peer: Vec<PeerReliStats>,
+    /// Event lane for retransmit/abandon instants (tracing; disabled by
+    /// default).
+    lane: LaneBuf,
 }
 
 fn frame_raw(payload: &[u8]) -> Bytes {
@@ -204,7 +226,16 @@ impl ReliableEndpoint {
             last_heard: vec![None; n],
             failures: Vec::new(),
             stats: ReliStats::default(),
+            per_peer: vec![PeerReliStats::default(); n],
+            lane: LaneBuf::disabled(),
         }
+    }
+
+    /// Attach a tracing lane: retransmissions and abandoned sends are
+    /// recorded as instant events (name `retransmit` / `send-abandoned`,
+    /// category `net`, the peer rank as argument).
+    pub fn set_event_lane(&mut self, lane: LaneBuf) {
+        self.lane = lane;
     }
 
     /// This endpoint's rank.
@@ -217,9 +248,20 @@ impl ReliableEndpoint {
         self.ep.n_ranks()
     }
 
-    /// Reliability-layer counters.
+    /// Reliability-layer counters (endpoint-wide).
     pub fn stats(&self) -> ReliStats {
         self.stats
+    }
+
+    /// Cheap per-peer snapshot of retransmits, duplicate drops and
+    /// abandoned sends for `peer` (zeros for an out-of-range rank).
+    pub fn peer_stats(&self, peer: Rank) -> PeerReliStats {
+        self.per_peer.get(peer.index()).copied().unwrap_or_default()
+    }
+
+    /// Per-peer reliability counters, indexed by rank.
+    pub fn all_peer_stats(&self) -> &[PeerReliStats] {
+        &self.per_peer
     }
 
     /// Raw transport counters of the wrapped endpoint.
@@ -287,13 +329,7 @@ impl ReliableEndpoint {
             }
             if self.pending[i].attempts >= self.policy.max_attempts {
                 let p = self.pending.swap_remove(i);
-                self.stats.give_ups += 1;
-                self.failures.push(SendFailure {
-                    dst: p.dst,
-                    tag: p.tag,
-                    seq: p.seq,
-                    reason: FailReason::NoAck,
-                });
+                self.abandon(p, FailReason::NoAck);
                 continue;
             }
             let (dst, tag) = (self.pending[i].dst, self.pending[i].tag);
@@ -301,23 +337,41 @@ impl ReliableEndpoint {
             match self.ep.send(dst, tag, framed) {
                 Ok(()) => {
                     self.stats.retransmits += 1;
+                    if let Some(pp) = self.per_peer.get_mut(dst.index()) {
+                        pp.retransmits += 1;
+                    }
+                    self.lane
+                        .instant("retransmit", "net", Some(("peer", u64::from(dst.0))));
                     let p = &mut self.pending[i];
                     p.attempts += 1;
-                    p.next_retry = now + self.policy.backoff(p.attempts);
+                    let backoff = self.policy.backoff(p.attempts);
+                    self.stats.backoff_wait_ns += backoff.as_nanos() as u64;
+                    p.next_retry = now + backoff;
                     i += 1;
                 }
                 Err(_) => {
                     let p = self.pending.swap_remove(i);
-                    self.stats.give_ups += 1;
-                    self.failures.push(SendFailure {
-                        dst: p.dst,
-                        tag: p.tag,
-                        seq: p.seq,
-                        reason: FailReason::Unreachable,
-                    });
+                    self.abandon(p, FailReason::Unreachable);
                 }
             }
         }
+    }
+
+    /// Record an abandoned reliable send: aggregate + per-peer counters,
+    /// a `SendFailure` for [`Self::take_failures`], and a trace instant.
+    fn abandon(&mut self, p: Pending, reason: FailReason) {
+        self.stats.give_ups += 1;
+        if let Some(pp) = self.per_peer.get_mut(p.dst.index()) {
+            pp.send_failures += 1;
+        }
+        self.lane
+            .instant("send-abandoned", "net", Some(("peer", u64::from(p.dst.0))));
+        self.failures.push(SendFailure {
+            dst: p.dst,
+            tag: p.tag,
+            seq: p.seq,
+            reason,
+        });
     }
 
     /// Process one incoming frame. ACKs are absorbed, DATA frames are
@@ -356,6 +410,9 @@ impl ReliableEndpoint {
                     })
                 } else {
                     self.stats.duplicates += 1;
+                    if let Some(pp) = self.per_peer.get_mut(src) {
+                        pp.duplicates += 1;
+                    }
                     None
                 }
             }
@@ -505,6 +562,15 @@ mod tests {
         assert_eq!(got, (0..n).collect::<Vec<_>>(), "all delivered, no dups");
         assert!(a.stats().retransmits > 0, "drops forced retransmits");
         assert!(a.take_failures().is_empty());
+        // Per-peer and endpoint-wide counters agree (single peer here).
+        let per = a.peer_stats(Rank(1));
+        assert_eq!(per.retransmits, a.stats().retransmits);
+        assert_eq!(per.send_failures, 0);
+        assert!(
+            a.stats().backoff_wait_ns > 0,
+            "retransmits schedule backoff waits"
+        );
+        assert_eq!(a.peer_stats(Rank(99)), PeerReliStats::default());
     }
 
     #[test]
@@ -529,6 +595,11 @@ mod tests {
         assert_eq!(got, (0..10).collect::<Vec<_>>());
         assert!(!a.has_pending(), "every message eventually acked");
         assert!(b.stats().duplicates > 0, "lost acks forced duplicates");
+        assert_eq!(
+            b.peer_stats(Rank(0)).duplicates,
+            b.stats().duplicates,
+            "all duplicates came from rank 0"
+        );
     }
 
     #[test]
@@ -564,6 +635,35 @@ mod tests {
         assert_eq!(failures[0].tag, Tag(3));
         assert_eq!(failures[0].reason, FailReason::NoAck);
         assert_eq!(a.stats().give_ups, 1);
+        assert_eq!(a.peer_stats(Rank(1)).send_failures, 1);
+        assert_eq!(a.all_peer_stats().len(), 2);
+    }
+
+    #[test]
+    fn event_lane_records_retransmit_and_abandon_instants() {
+        use easyhps_obs::EventRecorder;
+        use std::sync::Arc;
+        let rec = Arc::new(EventRecorder::new());
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+        };
+        let plans = vec![Some(FaultPlan::lossy(1.0, 1)), None];
+        let mut eps = Network::with_faults(2, &plans);
+        let _b = eps.pop().unwrap();
+        let mut a = ReliableEndpoint::new(eps.pop().unwrap(), policy);
+        a.set_event_lane(rec.lane(0, 99));
+        a.send_reliable(Rank(1), Tag(3), Bytes::new()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while a.has_pending() && Instant::now() < deadline {
+            let _ = a.recv_timeout(Duration::from_millis(2));
+        }
+        drop(a); // flush the lane buffer into the recorder
+        let json = rec.chrome_trace_json();
+        let summary = easyhps_obs::validate_chrome_trace(&json).expect("valid trace");
+        assert!(summary.count("retransmit") >= 1, "{json}");
+        assert_eq!(summary.count("send-abandoned"), 1, "{json}");
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! `validate-trace` — check that an exported Chrome trace-event JSON file
+//! is structurally loadable (parses, non-empty, monotone timestamps per
+//! lane) and print a summary. Exit code 1 on any violation; CI runs this
+//! against a real `--trace-out` export.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: validate-trace <trace.json> [--expect-pids N] [--expect-event NAME]");
+        return ExitCode::FAILURE;
+    };
+    let mut expect_pids = 0usize;
+    let mut expect_events: Vec<String> = Vec::new();
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or(format!("{flag} needs a value"));
+        let parsed = match flag.as_str() {
+            "--expect-pids" => value().and_then(|v| {
+                v.parse()
+                    .map(|n| expect_pids = n)
+                    .map_err(|_| format!("bad number '{v}'"))
+            }),
+            "--expect-event" => value().map(|v| expect_events.push(v)),
+            other => Err(format!("unknown flag '{other}'")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let summary = match easyhps_obs::validate_chrome_trace(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{path}: OK — {} events on {} lanes across {} processes",
+        summary.events, summary.lanes, summary.pids
+    );
+    for (name, count) in &summary.by_name {
+        println!("  {name}: {count}");
+    }
+    if expect_pids > 0 && summary.pids < expect_pids {
+        eprintln!(
+            "error: expected events from at least {expect_pids} processes, saw {}",
+            summary.pids
+        );
+        return ExitCode::FAILURE;
+    }
+    for name in &expect_events {
+        if summary.count(name) == 0 {
+            eprintln!("error: expected at least one '{name}' event, saw none");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

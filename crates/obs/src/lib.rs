@@ -1,0 +1,38 @@
+//! # easyhps-obs — metrics and structured tracing for EasyHPS
+//!
+//! The paper's scheduling claims — wavefront ramp-up, dynamic-vs-static
+//! idle time, fault-tolerance gaps — are only as good as what a run can
+//! *measure*. This crate is the measurement layer the rest of the
+//! workspace reports through:
+//!
+//! * [`Registry`] — a shared collection of lock-free [`Counter`]s,
+//!   [`Gauge`]s and fixed-bucket log-scale [`Histogram`]s. Handles are
+//!   `Arc`s updated with single relaxed atomics, cheap enough for
+//!   per-message and per-sub-task paths. Snapshots export as
+//!   Prometheus-style text ([`Snapshot::render_text`]) or JSON
+//!   ([`Snapshot::render_json`]).
+//! * [`EventRecorder`] / [`LaneBuf`] — per-thread event buffers (spans
+//!   and instants on Chrome `(pid, tid)` lanes, drained at teardown)
+//!   exporting the Chrome trace-event JSON that Perfetto
+//!   (<https://ui.perfetto.dev>) and `chrome://tracing` load directly,
+//!   plus [`chrome_json_from_trace`] to convert an
+//!   [`easyhps_core::Trace`] (e.g. the simulator's virtual-time Gantt)
+//!   into the same format.
+//! * [`validate_chrome_trace`] — the structural check CI runs against
+//!   real exports (also available as the `validate-trace` binary).
+//! * [`json`] — the tiny JSON reader/writer the exports are built on
+//!   (the workspace builds offline, without serde).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod events;
+pub mod json;
+mod metrics;
+mod validate;
+
+pub use events::{chrome_json_from_trace, EventRecorder, LaneBuf, Phase, TraceEvent};
+pub use metrics::{
+    labeled, Counter, Gauge, HistSnapshot, Histogram, MetricValue, Registry, Snapshot, HIST_BUCKETS,
+};
+pub use validate::{validate_chrome_trace, TraceSummary};

@@ -1,0 +1,142 @@
+//! Validation of exported Chrome trace-event JSON — used by tests and by
+//! the `validate-trace` binary CI runs against real exports.
+
+use std::collections::BTreeMap;
+
+use crate::json::{parse, JsonValue};
+
+/// What a validated trace contains.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Non-metadata events.
+    pub events: usize,
+    /// Distinct `(pid, tid)` lanes with at least one event.
+    pub lanes: usize,
+    /// Distinct pids with at least one event.
+    pub pids: usize,
+    /// Event count per name, sorted.
+    pub by_name: Vec<(String, usize)>,
+}
+
+impl TraceSummary {
+    /// Events recorded under `name`.
+    pub fn count(&self, name: &str) -> usize {
+        self.by_name
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, c)| *c)
+    }
+}
+
+fn field_f64(e: &JsonValue, key: &str) -> Option<f64> {
+    e.get(key).and_then(|v| v.as_f64())
+}
+
+/// Check that `text` is a loadable Chrome trace: it parses as JSON, has a
+/// non-empty `traceEvents` array, every event carries `name`/`ph`/`pid`/
+/// `tid` (and `ts` for non-metadata phases), and timestamps are monotone
+/// non-decreasing per `(pid, tid)` lane in array order — the property
+/// Perfetto's importer relies on for complete events emitted in order.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    let doc = parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .ok_or("missing traceEvents array")?;
+    let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    let mut by_name: BTreeMap<String, usize> = BTreeMap::new();
+    let mut pids: Vec<u64> = Vec::new();
+    let mut real_events = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let name = e
+            .get("name")
+            .and_then(|v| v.as_str())
+            .ok_or(format!("event {i}: missing name"))?;
+        let ph = e
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .ok_or(format!("event {i}: missing ph"))?;
+        let pid = field_f64(e, "pid").ok_or(format!("event {i}: missing pid"))? as u64;
+        let tid = field_f64(e, "tid").ok_or(format!("event {i}: missing tid"))? as u64;
+        if ph == "M" {
+            continue; // metadata carries no timestamp
+        }
+        let ts = field_f64(e, "ts").ok_or(format!("event {i} ({name}): missing ts"))?;
+        if ph == "X" && field_f64(e, "dur").is_none() {
+            return Err(format!("event {i} ({name}): complete event without dur"));
+        }
+        let lane = (pid, tid);
+        if let Some(prev) = last_ts.get(&lane) {
+            if ts < *prev {
+                return Err(format!(
+                    "event {i} ({name}): ts {ts} < previous {prev} on lane pid={pid} tid={tid}"
+                ));
+            }
+        }
+        last_ts.insert(lane, ts);
+        *by_name.entry(name.to_string()).or_default() += 1;
+        if !pids.contains(&pid) {
+            pids.push(pid);
+        }
+        real_events += 1;
+    }
+    if real_events == 0 {
+        return Err("trace contains no events".into());
+    }
+    Ok(TraceSummary {
+        events: real_events,
+        lanes: last_ts.len(),
+        pids: pids.len(),
+        by_name: by_name.into_iter().collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_minimal_trace() {
+        let text = r#"{"traceEvents":[
+            {"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"slave"}},
+            {"name":"a","cat":"t","ph":"X","ts":1.0,"dur":2.0,"pid":1,"tid":0},
+            {"name":"b","cat":"t","ph":"i","s":"t","ts":5.0,"pid":1,"tid":0}
+        ]}"#;
+        let s = validate_chrome_trace(text).unwrap();
+        assert_eq!(s.events, 2);
+        assert_eq!(s.lanes, 1);
+        assert_eq!(s.pids, 1);
+        assert_eq!(s.count("a"), 1);
+        assert_eq!(s.count("missing"), 0);
+    }
+
+    #[test]
+    fn rejects_non_monotone_lane() {
+        let text = r#"{"traceEvents":[
+            {"name":"a","ph":"i","s":"t","ts":5.0,"pid":0,"tid":0},
+            {"name":"b","ph":"i","s":"t","ts":1.0,"pid":0,"tid":0}
+        ]}"#;
+        let err = validate_chrome_trace(text).unwrap_err();
+        assert!(err.contains("ts 1 < previous 5"), "{err}");
+        // Different lanes may interleave freely.
+        let ok = r#"{"traceEvents":[
+            {"name":"a","ph":"i","s":"t","ts":5.0,"pid":0,"tid":0},
+            {"name":"b","ph":"i","s":"t","ts":1.0,"pid":0,"tid":1}
+        ]}"#;
+        assert!(validate_chrome_trace(ok).is_ok());
+    }
+
+    #[test]
+    fn rejects_empty_or_malformed() {
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[]}").is_err());
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(
+            validate_chrome_trace(
+                r#"{"traceEvents":[{"name":"a","ph":"X","ts":1,"pid":0,"tid":0}]}"#
+            )
+            .is_err(),
+            "X without dur rejected"
+        );
+    }
+}

@@ -7,7 +7,7 @@
 //! scheduling, communication and fault tolerance.
 
 use crate::checkpoint::Checkpoint;
-use crate::config::{Deployment, RunReport};
+use crate::config::{Deployment, ObsConfig, RunReport};
 use crate::master::run_master_with;
 use crate::shared_grid::SharedGrid;
 use crate::slave::run_slave_with_storage;
@@ -17,6 +17,8 @@ use easyhps_core::ScheduleMode;
 use easyhps_core::{DagDataDrivenModel, GridDims};
 use easyhps_dp::{DpMatrix, DpProblem};
 use easyhps_net::{FaultPlan, Network, RetryPolicy};
+use easyhps_obs::{EventRecorder, Registry};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -31,6 +33,10 @@ pub struct RunOutput<C: easyhps_dp::Cell> {
     /// Present when the run stopped at a tile budget before finishing;
     /// feed to [`EasyHps::resume_from`] to continue.
     pub checkpoint: Option<Checkpoint>,
+    /// The metrics registry of the run when [`EasyHps::metrics`] (or
+    /// [`EasyHps::metrics_registry`]) enabled collection: snapshot it for
+    /// Prometheus-style text or JSON export.
+    pub metrics: Option<Arc<Registry>>,
 }
 
 /// Builder for a multilevel EasyHPS execution.
@@ -58,6 +64,9 @@ pub struct EasyHps<P: DpProblem> {
     memory: MemoryMode,
     resume: Option<Checkpoint>,
     tile_budget: Option<u64>,
+    metrics: Option<Arc<Registry>>,
+    collect_metrics: bool,
+    trace_out: Option<PathBuf>,
 }
 
 /// Node-matrix storage strategy (paper §VII lists memory as the system's
@@ -92,7 +101,37 @@ impl<P: DpProblem> EasyHps<P> {
             memory: MemoryMode::Dense,
             resume: None,
             tile_budget: None,
+            metrics: None,
+            collect_metrics: false,
+            trace_out: None,
         }
+    }
+
+    /// Collect run metrics (counters, gauges, latency histograms) into a
+    /// fresh registry, returned in [`RunOutput::metrics`]. Cheap: every
+    /// update is one relaxed atomic operation.
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.collect_metrics = enabled;
+        self
+    }
+
+    /// Collect run metrics into a caller-owned registry — e.g. one shared
+    /// across several runs, or pre-seeded with the caller's own series.
+    /// Implies [`EasyHps::metrics`]`(true)`.
+    pub fn metrics_registry(mut self, registry: Arc<Registry>) -> Self {
+        self.metrics = Some(registry);
+        self.collect_metrics = true;
+        self
+    }
+
+    /// Record a structured event trace of the run and write it to `path`
+    /// as Chrome trace-event JSON on completion — load it in Perfetto
+    /// (<https://ui.perfetto.dev>) or `chrome://tracing`. Events cover
+    /// tile dispatch/compute/done, per-thread kernel spans, heartbeats,
+    /// retransmissions, exclusions and checkpoints.
+    pub fn trace_out(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace_out = Some(path.into());
+        self
     }
 
     /// Resume a run from a [`Checkpoint`]: finished sub-tasks are restored
@@ -247,11 +286,26 @@ impl<P: DpProblem> EasyHps<P> {
         let mut endpoints = Network::with_faults(n_ranks, &plans);
         let master_ep = endpoints.remove(0);
 
+        // Observability: one registry / recorder shared by every rank of
+        // the virtual cluster, carried to them through the deployment.
+        let registry = match (&self.metrics, self.collect_metrics) {
+            (Some(r), _) => Some(r.clone()),
+            (None, true) => Some(Arc::new(Registry::new())),
+            (None, false) => None,
+        };
+        let recorder = self
+            .trace_out
+            .as_ref()
+            .map(|_| Arc::new(EventRecorder::new()));
         let problem = self.problem.clone();
-        let deployment = self.deployment.clone();
+        let mut deployment = self.deployment.clone();
+        deployment.obs = ObsConfig {
+            metrics: registry.clone(),
+            recorder: recorder.clone(),
+        };
 
         let memory = self.memory;
-        std::thread::scope(|s| {
+        let out = std::thread::scope(|s| {
             for ep in endpoints {
                 let problem = problem.clone();
                 let model = model.clone();
@@ -275,24 +329,33 @@ impl<P: DpProblem> EasyHps<P> {
                     };
                 });
             }
-            let out = run_master_with(
+            run_master_with(
                 master_ep,
                 problem.as_ref(),
                 &model,
                 &deployment,
                 self.resume.as_ref(),
                 self.tile_budget,
-            )?;
-            Ok(RunOutput {
-                checkpoint: out.checkpoint,
-                matrix: out.matrix,
-                report: RunReport {
-                    elapsed: out.elapsed,
-                    master: out.stats,
-                    slaves: out.slave_stats,
-                    trace: out.trace,
-                },
-            })
+            )
+        })?;
+
+        // Every slave thread has joined (the scope ended), so every event
+        // lane has flushed into the recorder: the export is complete.
+        if let (Some(rec), Some(path)) = (&recorder, &self.trace_out) {
+            std::fs::write(path, rec.chrome_trace_json())
+                .map_err(|e| RuntimeError::TraceIo(format!("{}: {e}", path.display())))?;
+        }
+
+        Ok(RunOutput {
+            checkpoint: out.checkpoint,
+            matrix: out.matrix,
+            report: RunReport {
+                elapsed: out.elapsed,
+                master: out.stats,
+                slaves: out.slave_stats,
+                trace: out.trace,
+            },
+            metrics: registry,
         })
     }
 }

@@ -3,7 +3,27 @@
 use crate::protocol::SlaveStatsMsg;
 use easyhps_core::ScheduleMode;
 use easyhps_net::RetryPolicy;
+use easyhps_obs::{EventRecorder, Registry};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Observability wiring shared by the master and every slave of a run.
+///
+/// Both handles are optional and independent: `metrics` turns on counter /
+/// gauge / histogram collection into a shared [`Registry`] (snapshot it
+/// after the run for Prometheus-style text or JSON export); `recorder`
+/// turns on structured event tracing for Chrome trace-event (Perfetto)
+/// export. In the in-process virtual cluster every rank shares the same
+/// registry and recorder — slave series are distinguished by metric
+/// labels, slave events by Chrome process ids. Defaults to everything
+/// off, which costs one untaken branch per instrumentation site.
+#[derive(Clone, Debug, Default)]
+pub struct ObsConfig {
+    /// Shared metrics registry (`None` = metrics off).
+    pub metrics: Option<Arc<Registry>>,
+    /// Shared structured-event recorder (`None` = tracing off).
+    pub recorder: Option<Arc<EventRecorder>>,
+}
 
 /// How the runtime is deployed on the (virtual) cluster: the paper's
 /// `Experiment_X_Y` knobs plus scheduling and fault-tolerance policy.
@@ -33,6 +53,10 @@ pub struct Deployment {
     /// it as dead rather than slow. Should be several multiples of
     /// `heartbeat_interval`.
     pub heartbeat_timeout: Duration,
+    /// Metrics and structured-event tracing (defaults to off); see
+    /// [`ObsConfig`]. The [`crate::EasyHps`] builder wires this through
+    /// its `.metrics(..)` / `.trace_out(..)` knobs.
+    pub obs: ObsConfig,
 }
 
 impl Deployment {
@@ -49,6 +73,7 @@ impl Deployment {
             retry: RetryPolicy::default(),
             heartbeat_interval: Duration::from_millis(25),
             heartbeat_timeout: Duration::from_millis(250),
+            obs: ObsConfig::default(),
         }
     }
 

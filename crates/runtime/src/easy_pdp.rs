@@ -100,10 +100,21 @@ impl<P: DpProblem> EasyPdp<P> {
         config.thread_mode = self.mode;
 
         let grid = parking_lot::RwLock::new(SharedGrid::<P::Cell>::new(dims));
+        // Single-level mode still registers metrics (against a private
+        // registry by default) so execute_tile is identical either way.
+        let registry = crate::obs::registry_of(&config.obs);
+        let sm = crate::obs::SlaveMetrics::register(&registry, 0);
         let exec = std::thread::scope(|scope| {
-            let pool = crate::slave::ComputePool::spawn(scope, self.threads, &self.problem, &grid);
+            let pool = crate::slave::ComputePool::spawn(
+                scope,
+                self.threads,
+                &self.problem,
+                &grid,
+                config.obs.recorder.clone(),
+                0,
+            );
             // Single-level mode has no master to heartbeat.
-            execute_tile(&model, &pool, GridPos::new(0, 0), &config, &mut || {})
+            execute_tile(&model, &pool, GridPos::new(0, 0), &config, &sm, &mut || {})
         });
 
         Ok(PdpOutput {

@@ -18,6 +18,8 @@ pub enum RuntimeError {
     AllSlavesDead,
     /// The deployment has no slaves to compute on.
     NoSlaves,
+    /// Writing the structured-event trace file failed (path and OS error).
+    TraceIo(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -30,6 +32,7 @@ impl fmt::Display for RuntimeError {
                 write!(f, "every slave node failed before the computation finished")
             }
             RuntimeError::NoSlaves => write!(f, "deployment has no slave nodes"),
+            RuntimeError::TraceIo(e) => write!(f, "failed to write trace file: {e}"),
         }
     }
 }

@@ -43,6 +43,7 @@ mod config;
 mod easy_pdp;
 mod error;
 mod master;
+mod obs;
 mod pool;
 mod protocol;
 mod shared_grid;
@@ -52,10 +53,11 @@ pub mod testing;
 
 pub use api::{EasyHps, MemoryMode, RunOutput};
 pub use checkpoint::Checkpoint;
-pub use config::{Deployment, MasterStats, RunReport};
+pub use config::{Deployment, MasterStats, ObsConfig, RunReport};
 pub use easy_pdp::{EasyPdp, PdpOutput};
 pub use easyhps_core::ScheduleMode;
 pub use easyhps_net::RetryPolicy;
+pub use easyhps_obs::{EventRecorder, Registry, Snapshot};
 pub use error::RuntimeError;
 pub use master::{run_master, run_master_with, MasterOutput};
 pub use pool::{OvertimeEntry, OvertimeQueue, RegisterTable, TaskStack};

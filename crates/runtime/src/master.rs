@@ -29,6 +29,7 @@
 
 use crate::checkpoint::Checkpoint;
 use crate::config::{Deployment, MasterStats};
+use crate::obs::{lane_of, publish_endpoint_stats, registry_of, MasterMetrics, TID_FT, TID_NET};
 use crate::pool::{OvertimeQueue, RegisterTable, TaskStack};
 use crate::protocol::{tags, AssignMsg, DoneMsg, SlaveStatsMsg};
 use crate::RuntimeError;
@@ -56,17 +57,23 @@ struct MasterShared {
     unreachable: Vec<bool>,
     /// When each slave was last heard from (any frame; `None` = never).
     last_seen: Vec<Option<Instant>>,
-    redispatched: u64,
-    dead_slaves: u64,
-    readmitted: u64,
+    /// Registry handles shared with the scheduling loop — the counters
+    /// *are* the run's bookkeeping; [`MasterStats`] is read off them at
+    /// teardown.
+    metrics: MasterMetrics,
 }
 
 impl MasterShared {
-    /// Exclude slave `w` from scheduling (idempotent).
-    fn exclude(&mut self, w: usize) {
+    /// Exclude slave `w` from scheduling; true if this call excluded it
+    /// (false when already excluded).
+    fn exclude(&mut self, w: usize) -> bool {
         if self.alive[w] {
             self.alive[w] = false;
-            self.dead_slaves += 1;
+            self.metrics.exclusions.inc();
+            self.metrics.dead_slaves.add(1);
+            true
+        } else {
+            false
         }
     }
 
@@ -126,6 +133,21 @@ pub fn run_master_with<P: DpProblem>(
     let t0 = Instant::now();
     let mut rep = ReliableEndpoint::new(ep, config.retry.clone());
 
+    let obs = config.obs.clone();
+    let registry = registry_of(&obs);
+    let mm = MasterMetrics::register(&registry);
+    let mut lane = lane_of(&obs, 0, 0);
+    rep.set_event_lane(lane_of(&obs, 0, TID_NET));
+    if let Some(rec) = &obs.recorder {
+        rec.name_process(0, "master");
+        rec.name_thread(0, 0, "scheduler");
+        for w in 0..config.slaves {
+            rec.name_thread(0, 1 + w as u32, format!("slot{w}"));
+        }
+        rec.name_thread(0, TID_FT, "fault-tolerance");
+        rec.name_thread(0, TID_NET, "net");
+    }
+
     // Step a: master DAG Data Driven Model initialization (+ validation:
     // the race-freedom argument of the shared grid depends on it).
     let dag = Arc::new(model.master_dag());
@@ -141,9 +163,7 @@ pub fn run_master_with<P: DpProblem>(
         alive: vec![true; n_slaves],
         unreachable: vec![false; n_slaves],
         last_seen: vec![None; n_slaves],
-        redispatched: 0,
-        dead_slaves: 0,
-        readmitted: 0,
+        metrics: mm.clone(),
     }));
 
     // Step b: start the fault-tolerance thread. It waits on a shutdown
@@ -159,6 +179,7 @@ pub fn run_master_with<P: DpProblem>(
         config.ft_poll,
         config.heartbeat_timeout,
     );
+    let mut ft_lane = lane_of(&obs, 0, TID_FT);
     let ft = std::thread::spawn(move || {
         use crossbeam::channel::RecvTimeoutError;
         while ft_stop_rx.recv_timeout(poll) == Err(RecvTimeoutError::Timeout) {
@@ -171,10 +192,11 @@ pub fn run_master_with<P: DpProblem>(
                     s.parser
                         .fail(&ft_dag, VertexId(entry.task))
                         .expect("overdue task is running");
-                    s.redispatched += 1;
+                    s.metrics.redispatched.inc();
+                    ft_lane.instant("redispatch", "ft", Some(("task", u64::from(entry.task))));
                     let w = entry.executor as usize;
-                    if s.unreachable[w] || s.silent(w, hb_timeout) {
-                        s.exclude(w);
+                    if (s.unreachable[w] || s.silent(w, hb_timeout)) && s.exclude(w) {
+                        ft_lane.instant("exclude", "ft", Some(("slave", w as u64)));
                     }
                 }
             }
@@ -183,10 +205,16 @@ pub fn run_master_with<P: DpProblem>(
 
     let mut matrix = DpMatrix::<P::Cell>::new(model.dag_size());
     let mut idle = vec![false; n_slaves];
-    let mut stats = MasterStats::default();
     let mut trace = Trace::new();
-    // Start instants per in-flight (task, slave) for trace spans.
-    let mut started: Vec<Option<Instant>> = vec![None; dag.len()];
+    // Start instants per in-flight (task, slave) for trace spans: the
+    // wall-clock instant for `Trace` / tile-latency, and the recorder
+    // timestamp for the slot-lane event span.
+    let mut started: Vec<Option<(Instant, u64)>> = vec![None; dag.len()];
+    // One event lane per slave slot: tile spans from assign-sent to
+    // completion-accepted, as the master observed them.
+    let mut slot_lanes: Vec<easyhps_obs::LaneBuf> = (0..n_slaves)
+        .map(|w| lane_of(&obs, 0, 1 + w as u32))
+        .collect();
     let mut completed_tasks: Vec<VertexId> = Vec::new();
     // Reliable-send bookkeeping: (slave, sequence number) of every ASSIGN
     // whose delivery is not yet known, so an abandoned send can roll the
@@ -211,11 +239,15 @@ pub fn run_master_with<P: DpProblem>(
                     .complete(&dag, claimed, None)
                     .expect("claimed task completes");
                 completed_tasks.push(v);
-                stats.completed += 1;
+                mm.resumed.inc();
             }
         }
+        drop(s);
+        lane.instant("resume", "checkpoint", Some(("tiles", mm.resumed.get())));
     }
-    let budget_reached = |stats: &MasterStats| tile_budget.is_some_and(|b| stats.completed >= b);
+    // Budget accounting counts resumed tiles; `master_tiles_dispatched`
+    // deliberately does not (it reflects only work actually sent out).
+    let budget_reached = || tile_budget.is_some_and(|b| mm.completed.get() + mm.resumed.get() >= b);
     let _ = problem; // kernels run slave-side; the master only routes data
 
     let result: Result<(), RuntimeError> = (|| {
@@ -233,16 +265,16 @@ pub fn run_master_with<P: DpProblem>(
                     }
                     if !s.alive[w] && !s.unreachable[w] && !s.silent(w, config.heartbeat_timeout) {
                         s.alive[w] = true;
-                        s.dead_slaves -= 1;
-                        s.readmitted += 1;
-                        stats.readmitted += 1;
+                        mm.dead_slaves.add(-1);
+                        mm.readmissions.inc();
+                        lane.instant("readmit", "ft", Some(("slave", w as u64)));
                     }
                 }
 
                 // Stop *before* dispatching: once the budget is reached no
                 // new work may start, so every in-flight completion can be
                 // drained into the checkpoint during teardown.
-                if s.parser.is_done() || budget_reached(&stats) {
+                if s.parser.is_done() || budget_reached() {
                     break;
                 }
 
@@ -296,8 +328,8 @@ pub fn run_master_with<P: DpProblem>(
                             s.register.register(v.0, w as u32);
                             s.overtime.push(v.0, w as u32);
                             idle[w] = false;
-                            stats.dispatched += 1;
-                            started[v.index()] = Some(Instant::now());
+                            mm.dispatched.inc();
+                            started[v.index()] = Some((Instant::now(), slot_lanes[w].now_ns()));
                             inflight.insert((w, seq), v.0);
                         }
                         Err(_) => {
@@ -305,9 +337,11 @@ pub fn run_master_with<P: DpProblem>(
                             // the computable stack untouched (it was never
                             // dispatched) and the slave is permanently out.
                             s.parser.fail(&dag, v).expect("just popped");
-                            stats.send_failures += 1;
+                            mm.send_failures.inc();
                             s.unreachable[w] = true;
-                            s.exclude(w);
+                            if s.exclude(w) {
+                                lane.instant("exclude", "ft", Some(("slave", w as u64)));
+                            }
                         }
                     }
                 }
@@ -336,12 +370,21 @@ pub fn run_master_with<P: DpProblem>(
                                 idle[w] = true;
                             }
                             if s.register.accepts(msg.task, w as u32) {
-                                if let Some(start) = started[msg.task as usize].take() {
+                                if let Some((start, start_ns)) = started[msg.task as usize].take() {
+                                    let end = Instant::now();
                                     trace.record(
                                         format!("slave{w}"),
                                         "#",
                                         start.duration_since(t0).as_nanos() as u64,
-                                        Instant::now().duration_since(t0).as_nanos() as u64,
+                                        end.duration_since(t0).as_nanos() as u64,
+                                    );
+                                    mm.tile_latency
+                                        .observe(end.duration_since(start).as_nanos() as u64);
+                                    slot_lanes[w].span_since(
+                                        "tile",
+                                        "master",
+                                        start_ns,
+                                        Some(("task", u64::from(msg.task))),
                                     );
                                 }
                                 matrix.decode_region(msg.region, &msg.output);
@@ -354,10 +397,10 @@ pub fn run_master_with<P: DpProblem>(
                                         .complete(&dag, VertexId(t), None)
                                         .expect("registered completion is running");
                                 }
-                                stats.completed += 1;
+                                mm.completed.inc();
                                 completed_tasks.push(VertexId(msg.task));
                             } else {
-                                stats.stale_completions += 1;
+                                mm.stale.inc();
                             }
                         }
                         tags::STATS => { /* late stats, ignore */ }
@@ -373,7 +416,7 @@ pub fn run_master_with<P: DpProblem>(
             // an unreachable peer is dead, a silent one presumed dead
             // (re-admitted later if it turns out merely slow).
             for f in rep.take_failures() {
-                stats.send_failures += 1;
+                mm.send_failures.inc();
                 let w = (f.dst.0 as usize).wrapping_sub(1);
                 if w >= n_slaves {
                     continue;
@@ -387,7 +430,7 @@ pub fn run_master_with<P: DpProblem>(
                             s.parser
                                 .fail(&dag, VertexId(task))
                                 .expect("undelivered task is running");
-                            s.redispatched += 1;
+                            mm.redispatched.inc();
                             started[task as usize] = None;
                             // The slave never saw the ASSIGN; it is not
                             // busy with it, whatever its health.
@@ -395,16 +438,15 @@ pub fn run_master_with<P: DpProblem>(
                         }
                     }
                 }
-                match f.reason {
+                let excluded = match f.reason {
                     FailReason::Unreachable => {
                         s.unreachable[w] = true;
-                        s.exclude(w);
+                        s.exclude(w)
                     }
-                    FailReason::NoAck => {
-                        if s.silent(w, config.heartbeat_timeout) {
-                            s.exclude(w);
-                        }
-                    }
+                    FailReason::NoAck => s.silent(w, config.heartbeat_timeout) && s.exclude(w),
+                };
+                if excluded {
+                    lane.instant("exclude", "ft", Some(("slave", w as u64)));
                 }
             }
         }
@@ -417,12 +459,7 @@ pub fn run_master_with<P: DpProblem>(
     ft.join().expect("fault-tolerance thread never panics");
     result?;
 
-    let final_shared = shared.lock();
-    stats.redispatched = final_shared.redispatched;
-    stats.dead_slaves = final_shared.dead_slaves;
-    stats.readmitted = final_shared.readmitted;
-    let alive = final_shared.alive.clone();
-    drop(final_shared);
+    let alive = shared.lock().alive.clone();
 
     // Send END to every slave (dead ones may never read it; unreachable
     // ones fail immediately and are ignored) and collect final stats from
@@ -455,12 +492,21 @@ pub fn run_master_with<P: DpProblem>(
                         let msg = DoneMsg::decode(&env.payload)?;
                         let mut s = shared.lock();
                         if w < n_slaves && s.register.accepts(msg.task, w as u32) {
-                            if let Some(start) = started[msg.task as usize].take() {
+                            if let Some((start, start_ns)) = started[msg.task as usize].take() {
+                                let end = Instant::now();
                                 trace.record(
                                     format!("slave{w}"),
                                     "#",
                                     start.duration_since(t0).as_nanos() as u64,
-                                    Instant::now().duration_since(t0).as_nanos() as u64,
+                                    end.duration_since(t0).as_nanos() as u64,
+                                );
+                                mm.tile_latency
+                                    .observe(end.duration_since(start).as_nanos() as u64);
+                                slot_lanes[w].span_since(
+                                    "tile",
+                                    "master",
+                                    start_ns,
+                                    Some(("task", u64::from(msg.task))),
                                 );
                             }
                             matrix.decode_region(msg.region, &msg.output);
@@ -469,10 +515,10 @@ pub fn run_master_with<P: DpProblem>(
                             s.parser
                                 .complete(&dag, VertexId(msg.task), None)
                                 .expect("registered completion is running");
-                            stats.completed += 1;
+                            mm.completed.inc();
                             completed_tasks.push(VertexId(msg.task));
                         } else {
-                            stats.stale_completions += 1;
+                            mm.stale.inc();
                         }
                     }
                     _ => {} // stray IDLE/HEARTBEAT from shutting-down slaves
@@ -485,17 +531,38 @@ pub fn run_master_with<P: DpProblem>(
         let _ = rep.take_failures();
     }
 
+    publish_endpoint_stats(&registry, "master", &rep);
     let reli = rep.stats();
-    stats.retransmits = reli.retransmits;
-    stats.duplicates = reli.duplicates;
     let net = rep.net_stats();
-    stats.msgs_sent = net.sent_msgs;
-    stats.bytes_sent = net.sent_bytes;
-    stats.msgs_recv = net.recv_msgs;
-    stats.bytes_recv = net.recv_bytes;
+    // `MasterStats` is a view over the registry: every counter below was
+    // maintained there during the run (`completed` folds resumed tiles
+    // back in so budget/DAG accounting stays whole-run).
+    let stats = MasterStats {
+        dispatched: mm.dispatched.get(),
+        redispatched: mm.redispatched.get(),
+        completed: mm.completed.get() + mm.resumed.get(),
+        stale_completions: mm.stale.get(),
+        dead_slaves: mm.dead_slaves.get().max(0) as u64,
+        readmitted: mm.readmissions.get(),
+        retransmits: reli.retransmits,
+        duplicates: reli.duplicates,
+        send_failures: mm.send_failures.get(),
+        msgs_sent: net.sent_msgs,
+        bytes_sent: net.sent_bytes,
+        msgs_recv: net.recv_msgs,
+        bytes_recv: net.recv_bytes,
+    };
 
-    let checkpoint = (!shared.lock().parser.is_done())
-        .then(|| Checkpoint::capture(model, &dag, &matrix, completed_tasks.iter().copied()));
+    let checkpoint = (!shared.lock().parser.is_done()).then(|| {
+        let cp = Checkpoint::capture(model, &dag, &matrix, completed_tasks.iter().copied());
+        mm.checkpoints.inc();
+        lane.instant(
+            "checkpoint",
+            "checkpoint",
+            Some(("finished", cp.finished_len() as u64)),
+        );
+        cp
+    });
 
     Ok(MasterOutput {
         matrix,

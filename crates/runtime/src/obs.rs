@@ -1,0 +1,159 @@
+//! Runtime ↔ observability glue: metric handle bundles, lane layout and
+//! endpoint-stat publication.
+//!
+//! The runtime instruments itself against [`easyhps_obs`] through the
+//! [`ObsConfig`](crate::ObsConfig) carried by the deployment. Master and
+//! slaves **always** register their metrics — against the user's shared
+//! registry when one is configured, against a private throwaway one
+//! otherwise — so the counting code has no enabled/disabled branches;
+//! disabling merely makes the numbers unobservable. Event lanes go through
+//! [`LaneBuf::disabled`] the same way.
+//!
+//! ## Lane layout (Chrome `pid`/`tid`)
+//!
+//! | pid     | process        | tid             | thread                  |
+//! |---------|----------------|-----------------|-------------------------|
+//! | 0       | master         | 0               | scheduler (instants)    |
+//! | 0       | master         | 1 + w           | slot for slave `w` (tile spans) |
+//! | 0       | master         | [`TID_FT`]      | fault-tolerance thread  |
+//! | 0       | master         | [`TID_NET`]     | reliable endpoint       |
+//! | 1 + w   | slave `w`      | 0               | slave scheduler         |
+//! | 1 + w   | slave `w`      | 1..=ct          | computing threads       |
+//! | 1 + w   | slave `w`      | [`TID_NET`]     | reliable endpoint       |
+
+use crate::config::ObsConfig;
+use easyhps_net::ReliableEndpoint;
+use easyhps_obs::{labeled, Counter, Gauge, Histogram, LaneBuf, Registry};
+use std::sync::Arc;
+
+/// Chrome tid of a rank's fault-tolerance thread (master only).
+pub(crate) const TID_FT: u32 = 98;
+/// Chrome tid of a rank's reliable-endpoint events.
+pub(crate) const TID_NET: u32 = 99;
+
+/// The registry to instrument against: the configured one, or a private
+/// throwaway so counting code never branches on "metrics enabled".
+pub(crate) fn registry_of(obs: &ObsConfig) -> Arc<Registry> {
+    obs.metrics
+        .clone()
+        .unwrap_or_else(|| Arc::new(Registry::new()))
+}
+
+/// An event lane for `(pid, tid)`, disabled when tracing is off.
+pub(crate) fn lane_of(obs: &ObsConfig, pid: u32, tid: u32) -> LaneBuf {
+    obs.recorder
+        .as_ref()
+        .map_or_else(LaneBuf::disabled, |r| r.lane(pid, tid))
+}
+
+/// Master-side metric handles (hot-path `Arc`s, cloned freely).
+#[derive(Clone, Debug)]
+pub(crate) struct MasterMetrics {
+    /// Sub-tasks dispatched (ASSIGNs actually sent; excludes resumed).
+    pub dispatched: Arc<Counter>,
+    /// Sub-tasks re-dispatched after a timeout or an abandoned send.
+    pub redispatched: Arc<Counter>,
+    /// Completions accepted over the wire.
+    pub completed: Arc<Counter>,
+    /// Sub-tasks preloaded from a checkpoint instead of dispatched.
+    pub resumed: Arc<Counter>,
+    /// Stale duplicate completions ignored.
+    pub stale: Arc<Counter>,
+    /// Slaves excluded by fault tolerance (monotone; see `dead_slaves`).
+    pub exclusions: Arc<Counter>,
+    /// Excluded slaves re-admitted after proving alive.
+    pub readmissions: Arc<Counter>,
+    /// Reliable sends the master abandoned.
+    pub send_failures: Arc<Counter>,
+    /// Checkpoints captured at a tile budget.
+    pub checkpoints: Arc<Counter>,
+    /// Currently-excluded slaves (exclusions minus re-admissions).
+    pub dead_slaves: Arc<Gauge>,
+    /// Dispatch-to-completion latency per tile, nanoseconds.
+    pub tile_latency: Arc<Histogram>,
+}
+
+impl MasterMetrics {
+    pub(crate) fn register(reg: &Registry) -> Self {
+        Self {
+            dispatched: reg.counter("master_tiles_dispatched"),
+            redispatched: reg.counter("master_tiles_redispatched"),
+            completed: reg.counter("master_tiles_completed"),
+            resumed: reg.counter("master_tiles_resumed"),
+            stale: reg.counter("master_stale_completions"),
+            exclusions: reg.counter("master_slave_exclusions"),
+            readmissions: reg.counter("master_slave_readmissions"),
+            send_failures: reg.counter("master_send_failures"),
+            checkpoints: reg.counter("master_checkpoints"),
+            dead_slaves: reg.gauge("master_dead_slaves"),
+            tile_latency: reg.histogram("master_tile_latency_ns"),
+        }
+    }
+}
+
+/// Slave-side metric handles, one labelled series set per slave index.
+#[derive(Clone, Debug)]
+pub(crate) struct SlaveMetrics {
+    /// Master-level sub-tasks completed.
+    pub tiles: Arc<Counter>,
+    /// Thread-level sub-sub-tasks completed.
+    pub subtasks: Arc<Counter>,
+    /// Computing-thread panics caught and re-queued.
+    pub thread_failures: Arc<Counter>,
+    /// Nanoseconds spent computing, summed over computing threads.
+    pub busy_ns: Arc<Counter>,
+    /// Heartbeats emitted.
+    pub heartbeats: Arc<Counter>,
+    /// Peak node-matrix bytes allocated.
+    pub peak_node_bytes: Arc<Gauge>,
+    /// Per-sub-sub-task kernel latency, nanoseconds.
+    pub subtask_latency: Arc<Histogram>,
+}
+
+impl SlaveMetrics {
+    pub(crate) fn register(reg: &Registry, slave: usize) -> Self {
+        let s = slave.to_string();
+        let l = |name: &str| labeled(name, &[("slave", &s)]);
+        Self {
+            tiles: reg.counter(&l("slave_tiles_done")),
+            subtasks: reg.counter(&l("slave_subtasks_done")),
+            thread_failures: reg.counter(&l("slave_thread_failures")),
+            busy_ns: reg.counter(&l("slave_busy_ns")),
+            heartbeats: reg.counter(&l("slave_heartbeats")),
+            peak_node_bytes: reg.gauge(&l("slave_peak_node_bytes")),
+            subtask_latency: reg.histogram(&l("slave_subtask_latency_ns")),
+        }
+    }
+}
+
+/// Publish a reliable endpoint's counters into the registry at teardown:
+/// aggregate reliability and transport counters under a `role` label, plus
+/// per-peer retransmit/duplicate/abandon series for every peer that has
+/// any (so quiet peers do not bloat the snapshot).
+pub(crate) fn publish_endpoint_stats(reg: &Registry, role: &str, rep: &ReliableEndpoint) {
+    let l = |name: &str| labeled(name, &[("role", role)]);
+    let reli = rep.stats();
+    reg.counter(&l("net_retransmits")).add(reli.retransmits);
+    reg.counter(&l("net_duplicates")).add(reli.duplicates);
+    reg.counter(&l("net_send_failures")).add(reli.give_ups);
+    reg.counter(&l("net_backoff_wait_ns"))
+        .add(reli.backoff_wait_ns);
+    reg.counter(&l("net_acks_sent")).add(reli.acks_sent);
+    reg.counter(&l("net_acks_recv")).add(reli.acks_recv);
+    let net = rep.net_stats();
+    reg.counter(&l("net_msgs_sent")).add(net.sent_msgs);
+    reg.counter(&l("net_bytes_sent")).add(net.sent_bytes);
+    reg.counter(&l("net_msgs_recv")).add(net.recv_msgs);
+    reg.counter(&l("net_bytes_recv")).add(net.recv_bytes);
+    for (peer, pp) in rep.all_peer_stats().iter().enumerate() {
+        if *pp == easyhps_net::PeerReliStats::default() {
+            continue;
+        }
+        let p = peer.to_string();
+        let lp = |name: &str| labeled(name, &[("role", role), ("peer", &p)]);
+        reg.counter(&lp("net_peer_retransmits")).add(pp.retransmits);
+        reg.counter(&lp("net_peer_duplicates")).add(pp.duplicates);
+        reg.counter(&lp("net_peer_send_failures"))
+            .add(pp.send_failures);
+    }
+}

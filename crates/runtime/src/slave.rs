@@ -20,6 +20,7 @@
 //! every endpoint holds a sender to itself).
 
 use crate::config::Deployment;
+use crate::obs::{lane_of, publish_endpoint_stats, registry_of, SlaveMetrics, TID_NET};
 use crate::pool::OvertimeQueue;
 use crate::protocol::{tags, AssignMsg, DoneMsg, SlaveStatsMsg};
 use crate::shared_grid::SharedGrid;
@@ -30,8 +31,10 @@ use easyhps_core::ScheduleMode;
 use easyhps_core::{DagDataDrivenModel, DagParser, GridPos, TileRegion};
 use easyhps_dp::DpProblem;
 use easyhps_net::{Endpoint, NetError, Rank, ReliableEndpoint};
+use easyhps_obs::{EventRecorder, LaneBuf};
 use parking_lot::RwLock;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One job handed to a computing thread.
@@ -78,12 +81,16 @@ pub(crate) struct ComputePool {
 impl ComputePool {
     /// Spawn `ct` computing threads into `scope`, computing `problem`
     /// regions against `grid`. Panics inside a kernel are caught in place;
-    /// the worker reports failure and stays alive for re-queued work.
+    /// the worker reports failure and stays alive for re-queued work. With
+    /// a `recorder`, each worker records one `sub` compute span per job on
+    /// its own `(pid, 1 + worker)` event lane.
     pub(crate) fn spawn<'scope, 'env, P, S>(
         scope: &'scope std::thread::Scope<'scope, 'env>,
         ct: usize,
         problem: &'env P,
         grid: &'env RwLock<S>,
+        recorder: Option<Arc<EventRecorder>>,
+        pid: u32,
     ) -> Self
     where
         P: DpProblem,
@@ -95,8 +102,11 @@ impl ComputePool {
             let (tx, rx) = unbounded::<Job>();
             job_txs.push(tx);
             let result_tx = result_tx.clone();
+            let recorder = recorder.clone();
             scope.spawn(move || {
+                let mut wl = recorder.map_or_else(LaneBuf::disabled, |r| r.lane(pid, 1 + w as u32));
                 for job in rx.iter() {
+                    let start_ns = wl.now_ns();
                     let t0 = Instant::now();
                     let g = grid.read();
                     // SAFETY: the slave scheduler dispatches each region to
@@ -109,6 +119,12 @@ impl ComputePool {
                     }));
                     drop(g);
                     let elapsed_ns = t0.elapsed().as_nanos() as u64;
+                    wl.span_since(
+                        "sub",
+                        "compute",
+                        start_ns,
+                        Some(("sub", u64::from(job.sub))),
+                    );
                     let res = WorkerResult {
                         worker: w,
                         sub: job.sub,
@@ -166,17 +182,32 @@ pub fn run_slave_with_storage<P: DpProblem, S: NodeStorage<P::Cell>>(
     let ct = config.threads_per_slave.max(1);
     let mut rep = ReliableEndpoint::new(ep, config.retry.clone());
 
+    // Observability: this rank is Chrome pid `rank`, slave index `rank-1`.
+    // Metrics register unconditionally (against a private registry when
+    // none is shared), so the loop below never branches on "metrics on".
+    let obs = &config.obs;
+    let pid = rep.rank().0;
+    let w = (pid as usize).wrapping_sub(1);
+    let registry = registry_of(obs);
+    let sm = SlaveMetrics::register(&registry, w);
+    let mut lane = lane_of(obs, pid, 0);
+    rep.set_event_lane(lane_of(obs, pid, TID_NET));
+    if let Some(rec) = &obs.recorder {
+        rec.name_process(pid, format!("slave{w}"));
+        rec.name_thread(pid, 0, "scheduler");
+        for t in 0..ct {
+            rec.name_thread(pid, 1 + t as u32, format!("worker{t}"));
+        }
+        rec.name_thread(pid, TID_NET, "net");
+    }
+
     // Step a: announce idleness (acknowledged: a dropped IDLE would
     // otherwise starve this slave forever).
     rep.send_reliable(master, tags::IDLE, bytes::Bytes::new())?;
 
     std::thread::scope(|scope| {
         // The compute pool lives for the whole slave, not per tile.
-        let pool = ComputePool::spawn(scope, ct, problem, &grid);
-        let mut stats = SlaveStatsMsg {
-            threads_spawned: pool.threads_spawned(),
-            ..Default::default()
-        };
+        let pool = ComputePool::spawn(scope, ct, problem, &grid, obs.recorder.clone(), pid);
         let mut last_hb = Instant::now();
 
         loop {
@@ -184,6 +215,8 @@ pub fn run_slave_with_storage<P: DpProblem, S: NodeStorage<P::Cell>>(
             // this endpoint was killed): propagate, ending the slave.
             if last_hb.elapsed() >= config.heartbeat_interval {
                 rep.send_unreliable(master, tags::HEARTBEAT, bytes::Bytes::new())?;
+                sm.heartbeats.inc();
+                lane.instant("heartbeat", "sched", None);
                 last_hb = Instant::now();
             }
             let env = match rep.recv_timeout(config.heartbeat_interval) {
@@ -193,14 +226,27 @@ pub fn run_slave_with_storage<P: DpProblem, S: NodeStorage<P::Cell>>(
             };
             match env.tag {
                 tags::END => {
+                    // SlaveStatsMsg is a view over the registry: every
+                    // field was maintained there as the tiles ran.
+                    let stats = SlaveStatsMsg {
+                        tasks_done: sm.tiles.get(),
+                        subtasks_done: sm.subtasks.get(),
+                        busy_ns: sm.busy_ns.get(),
+                        thread_failures: sm.thread_failures.get(),
+                        peak_node_bytes: sm.peak_node_bytes.get().max(0) as u64,
+                        threads_spawned: pool.threads_spawned(),
+                    };
                     let _ = rep.send_reliable(master, tags::STATS, stats.encode());
                     // Linger until the STATS (and any late DONE) is acked,
                     // so the master's teardown collection cannot miss it.
                     rep.drain_pending(Duration::from_secs(1));
+                    publish_endpoint_stats(&registry, &format!("slave{w}"), &rep);
                     return Ok(stats);
                 }
                 tags::ASSIGN => {
                     let msg = AssignMsg::decode(&env.payload)?;
+                    lane.instant("dispatch", "sched", Some(("task", u64::from(msg.task))));
+                    let tile_start = lane.now_ns();
                     {
                         // Steps b-c: install input strips, back every
                         // sub-sub-task region with memory. Write lock: the
@@ -215,21 +261,22 @@ pub fn run_slave_with_storage<P: DpProblem, S: NodeStorage<P::Cell>>(
                     // heartbeating (and retransmitting pending sends)
                     // whenever the tile makes us wait — a long compute
                     // must not read as death to the master.
-                    let exec = execute_tile(model, &pool, msg.tile, config, &mut || {
+                    let exec = execute_tile(model, &pool, msg.tile, config, &sm, &mut || {
                         if last_hb.elapsed() >= config.heartbeat_interval {
                             let _ =
                                 rep.send_unreliable(master, tags::HEARTBEAT, bytes::Bytes::new());
+                            sm.heartbeats.inc();
                             last_hb = Instant::now();
                         }
                         rep.pump();
                     });
-                    stats.tasks_done += 1;
-                    stats.subtasks_done += exec.subtasks;
-                    stats.busy_ns += exec.busy_ns;
-                    stats.thread_failures += exec.failures;
+                    sm.tiles.inc();
+                    sm.subtasks.add(exec.subtasks);
+                    sm.busy_ns.add(exec.busy_ns);
+                    sm.thread_failures.add(exec.failures);
                     // Step h (slave side): return the computed region.
                     let mut g = grid.write();
-                    stats.peak_node_bytes = stats.peak_node_bytes.max(g.allocated_bytes());
+                    sm.peak_node_bytes.set_max(g.allocated_bytes() as i64);
                     let output = g.encode_region(msg.region);
                     drop(g);
                     let done = DoneMsg {
@@ -238,6 +285,13 @@ pub fn run_slave_with_storage<P: DpProblem, S: NodeStorage<P::Cell>>(
                         output,
                     };
                     rep.send_reliable(master, tags::DONE, done.encode())?;
+                    lane.span_since(
+                        "compute",
+                        "sched",
+                        tile_start,
+                        Some(("task", u64::from(msg.task))),
+                    );
+                    lane.instant("done", "sched", Some(("task", u64::from(msg.task))));
                 }
                 other => {
                     debug_assert!(false, "slave received unexpected {other}");
@@ -258,6 +312,7 @@ pub(crate) fn execute_tile(
     pool: &ComputePool,
     tile: GridPos,
     config: &Deployment,
+    metrics: &SlaveMetrics,
     on_wait: &mut dyn FnMut(),
 ) -> TileExecution {
     let sdag = model.slave_dag(tile);
@@ -312,6 +367,7 @@ pub(crate) fn execute_tile(
         };
         overtime.remove(res.sub);
         exec.busy_ns += res.elapsed_ns;
+        metrics.subtask_latency.observe(res.elapsed_ns);
         idle[res.worker] = true;
         let v = easyhps_core::VertexId(res.sub);
         if res.ok {

@@ -7,6 +7,7 @@
 //! easyhps editdist <a> <b>
 //! easyhps sim   [--workload swgg|nussinov|wavefront] [--len N]
 //!               [--nodes X] [--cores Y] [--policy dynamic|bcw|cw] [--gantt]
+//!               [--trace-out PATH]
 //! easyhps analyze [--workload swgg|nussinov|wavefront] [--len N]
 //!               [--pps N] [--tps N]
 //! ```
@@ -14,6 +15,11 @@
 //! `align` and `fold` run the real multilevel runtime on the input;
 //! `sim` runs the deterministic cluster simulator and can print a Gantt
 //! chart of the schedule.
+//!
+//! Every runtime command (`align`, `fold`, `editdist`) also accepts
+//! `--metrics` (print a Prometheus-style metrics exposition of the run to
+//! stdout) and `--trace-out PATH` (write a Chrome trace-event JSON file —
+//! open it in Perfetto, <https://ui.perfetto.dev>).
 
 use easyhps::dp::sequence::parse_fasta;
 use easyhps::dp::{
@@ -71,6 +77,25 @@ impl Args {
                 .parse()
                 .map_err(|_| format!("--{name}: cannot parse '{v}'")),
         }
+    }
+}
+
+/// Apply the observability flags shared by every runtime command:
+/// `--metrics` and `--trace-out PATH`.
+fn with_obs_flags<P: easyhps::dp::DpProblem>(mut hps: EasyHps<P>, args: &Args) -> EasyHps<P> {
+    if args.has("metrics") {
+        hps = hps.metrics(true);
+    }
+    if let Some(path) = args.get("trace-out") {
+        hps = hps.trace_out(path);
+    }
+    hps
+}
+
+/// Print the run's metrics exposition when `--metrics` asked for one.
+fn print_metrics<C: easyhps::dp::Cell>(out: &easyhps::RunOutput<C>) {
+    if let Some(registry) = &out.metrics {
+        print!("{}", registry.snapshot().render_text());
     }
 }
 
@@ -138,15 +163,15 @@ fn cmd_align(args: &Args) -> Result<(), String> {
             _ => 2,
         };
         let p = NeedlemanWunsch::new(a.clone(), b.clone(), Substitution::dna_default(), per_gap);
-        let out = EasyHps::new(p)
+        let hps = EasyHps::new(p)
             .process_partition((pps, pps))
             .thread_partition((tps, tps))
             .slaves(slaves)
-            .threads_per_slave(threads)
-            .run()
-            .map_err(|e| e.to_string())?;
+            .threads_per_slave(threads);
+        let out = with_obs_flags(hps, args).run().map_err(|e| e.to_string())?;
         let p = NeedlemanWunsch::new(a, b, Substitution::dna_default(), per_gap);
         println!("{}", p.traceback(&out.matrix));
+        print_metrics(&out);
     } else {
         let p = SmithWatermanGeneralGap::new(
             a.clone(),
@@ -154,15 +179,15 @@ fn cmd_align(args: &Args) -> Result<(), String> {
             Substitution::dna_default(),
             gap.clone(),
         );
-        let out = EasyHps::new(p)
+        let hps = EasyHps::new(p)
             .process_partition((pps, pps))
             .thread_partition((tps, tps))
             .slaves(slaves)
-            .threads_per_slave(threads)
-            .run()
-            .map_err(|e| e.to_string())?;
+            .threads_per_slave(threads);
+        let out = with_obs_flags(hps, args).run().map_err(|e| e.to_string())?;
         let p = SmithWatermanGeneralGap::new(a, b, Substitution::dna_default(), gap);
         println!("{}", p.traceback(&out.matrix));
+        print_metrics(&out);
     }
     Ok(())
 }
@@ -180,18 +205,18 @@ fn cmd_fold(args: &Args) -> Result<(), String> {
     let tps = args.get_num("tps", pps.div_ceil(4).max(1))?;
 
     let p = Nussinov::with_min_loop(rna.clone(), min_loop);
-    let out = EasyHps::new(p)
+    let hps = EasyHps::new(p)
         .process_partition((pps, pps))
         .thread_partition((tps, tps))
         .slaves(slaves)
-        .threads_per_slave(threads)
-        .run()
-        .map_err(|e| e.to_string())?;
+        .threads_per_slave(threads);
+    let out = with_obs_flags(hps, args).run().map_err(|e| e.to_string())?;
     let p = Nussinov::with_min_loop(rna.clone(), min_loop);
     let pairs = p.traceback(&out.matrix);
     println!("> {name}: {} base pairs", pairs.len());
     println!("{}", String::from_utf8_lossy(rna));
     println!("{}", p.dot_bracket(&pairs));
+    print_metrics(&out);
     Ok(())
 }
 
@@ -200,13 +225,11 @@ fn cmd_editdist(args: &Args) -> Result<(), String> {
         return Err("editdist: need two strings".into());
     };
     let p = EditDistance::new(a.as_bytes().to_vec(), b.as_bytes().to_vec());
-    let out = EasyHps::new(p)
-        .slaves(2)
-        .threads_per_slave(2)
-        .run()
-        .map_err(|e| e.to_string())?;
+    let hps = EasyHps::new(p).slaves(2).threads_per_slave(2);
+    let out = with_obs_flags(hps, args).run().map_err(|e| e.to_string())?;
     let p = EditDistance::new(a.as_bytes().to_vec(), b.as_bytes().to_vec());
     println!("{}", p.distance(&out.matrix));
+    print_metrics(&out);
     Ok(())
 }
 
@@ -260,6 +283,12 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
     if args.has("gantt") {
         print!("{}", trace.gantt(100));
     }
+    // The simulator's virtual-time schedule exports to the same Chrome
+    // trace format as real runs, so both open side by side in Perfetto.
+    if let Some(path) = args.get("trace-out") {
+        let json = easyhps::obs::chrome_json_from_trace(&trace);
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+    }
     Ok(())
 }
 
@@ -311,7 +340,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let cmd = argv.remove(0);
-    let booleans = ["global", "gantt"];
+    let booleans = ["global", "gantt", "metrics"];
     let result = Args::parse(argv, &booleans).and_then(|args| match cmd.as_str() {
         "align" => cmd_align(&args),
         "fold" => cmd_fold(&args),
@@ -334,7 +363,11 @@ mod tests {
     use super::*;
 
     fn args(s: &[&str]) -> Args {
-        Args::parse(s.iter().map(|x| x.to_string()), &["global", "gantt"]).unwrap()
+        Args::parse(
+            s.iter().map(|x| x.to_string()),
+            &["global", "gantt", "metrics"],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -344,12 +377,17 @@ mod tests {
             "--slaves",
             "3",
             "--global",
+            "--metrics",
+            "--trace-out",
+            "trace.json",
             "--gap",
             "affine:4,1",
         ]);
         assert_eq!(a.positional, vec!["file.fa"]);
         assert_eq!(a.get("slaves"), Some("3"));
         assert!(a.has("global"));
+        assert!(a.has("metrics"), "--metrics takes no value");
+        assert_eq!(a.get("trace-out"), Some("trace.json"));
         assert_eq!(a.get_num("slaves", 0usize).unwrap(), 3);
         assert_eq!(a.get_num("threads", 7usize).unwrap(), 7);
     }

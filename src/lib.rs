@@ -17,6 +17,8 @@
 //!   matrix-chain, optimal BST, 2D/2D (`easyhps-dp`);
 //! * [`net`] — the in-process virtual-MPI transport with fault injection
 //!   (`easyhps-net`);
+//! * [`obs`] — metrics registry and structured tracing with Perfetto
+//!   (Chrome trace-event) export (`easyhps-obs`);
 //! * [`runtime`] — the master/slave runtime and the [`EasyHps`] user API
 //!   (`easyhps-runtime`);
 //! * [`sim`] — the deterministic cluster simulator regenerating the paper's
@@ -46,6 +48,7 @@
 pub use easyhps_core as core;
 pub use easyhps_dp as dp;
 pub use easyhps_net as net;
+pub use easyhps_obs as obs;
 pub use easyhps_runtime as runtime;
 pub use easyhps_sim as sim;
 

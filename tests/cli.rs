@@ -59,7 +59,43 @@ fn fold_prints_dot_bracket() {
 }
 
 #[test]
+fn align_exports_trace_and_metrics() {
+    let dir = std::env::temp_dir().join(format!("easyhps-cli-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let fasta = dir.join("pair.fa");
+    std::fs::write(&fasta, ">q\nACGTACGTTTACGGAGTC\n>s\nTTACGTACGTTTACGATG\n").unwrap();
+    let trace = dir.join("trace.json");
+    let (ok, stdout, stderr) = easyhps(&[
+        "align",
+        fasta.to_str().unwrap(),
+        "--metrics",
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("score"), "{stdout}");
+    assert!(
+        stdout.contains("master_tiles_completed"),
+        "--metrics prints the exposition: {stdout}"
+    );
+    assert!(
+        stdout.contains("# TYPE master_tile_latency_ns summary"),
+        "{stdout}"
+    );
+
+    let text = std::fs::read_to_string(&trace).expect("--trace-out writes the file");
+    let summary = easyhps::obs::validate_chrome_trace(&text).expect("valid Chrome trace");
+    assert!(summary.pids >= 3, "master + 2 slaves in the trace");
+    assert!(summary.count("dispatch") >= 1);
+    assert!(summary.count("compute") >= 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn sim_reports_and_gantt() {
+    let dir = std::env::temp_dir().join(format!("easyhps-cli-sim-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("sim-trace.json");
     let (ok, stdout, stderr) = easyhps(&[
         "sim",
         "--workload",
@@ -71,10 +107,18 @@ fn sim_reports_and_gantt() {
         "--cores",
         "12",
         "--gantt",
+        "--trace-out",
+        trace.to_str().unwrap(),
     ]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("speedup"), "{stdout}");
     assert!(stdout.contains("node0"), "gantt lanes rendered");
+
+    // The simulator's virtual-time schedule exports as a Chrome trace too.
+    let text = std::fs::read_to_string(&trace).expect("sim --trace-out writes the file");
+    let summary = easyhps::obs::validate_chrome_trace(&text).expect("valid Chrome trace");
+    assert!(summary.events > 0);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
