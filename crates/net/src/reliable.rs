@@ -70,6 +70,15 @@ impl RetryPolicy {
             .saturating_mul(1u32 << shift)
             .min(self.max_backoff)
     }
+
+    /// Worst-case time a message can sit in the retransmit cycle before
+    /// the sender gives up: the sum of every scheduled backoff. After
+    /// this long, every pending send has either been acked or abandoned —
+    /// the right deadline scale for shutdown drains (a fixed constant
+    /// silently truncates slow retry schedules).
+    pub fn drain_budget(&self) -> Duration {
+        (1..=self.max_attempts).map(|a| self.backoff(a)).sum()
+    }
 }
 
 /// Counters of the reliability layer.
@@ -720,6 +729,22 @@ mod tests {
         });
         assert!(a.drain_pending(Duration::from_secs(5)), "all acked");
         assert_eq!(h.join().unwrap(), 5);
+    }
+
+    #[test]
+    fn drain_budget_sums_the_whole_backoff_schedule() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            initial_backoff: Duration::from_millis(4),
+            max_backoff: Duration::from_millis(20),
+        };
+        // 4 + 8 + 16 + 20 + 20
+        assert_eq!(p.drain_budget(), Duration::from_millis(68));
+        // Default policy: 5+10+20+40+80*6 = 555 ms.
+        assert_eq!(
+            RetryPolicy::default().drain_budget(),
+            Duration::from_millis(555)
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! injection (message drops, rank death) hooks in at this layer so the
 //! runtime's fault tolerance can be exercised deterministically.
 
-use crate::fault::{FaultPlan, FaultState};
+use crate::fault::{FaultPlan, FaultState, SendVerdict};
 use crate::message::{Envelope, Rank, Tag};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -169,8 +169,9 @@ impl Endpoint {
     }
 
     /// Send `payload` to `dst` with `tag`. Fault injection may silently
-    /// drop the message (reported in [`NetStats::dropped_msgs`], success
-    /// returned — the point is that the *receiver* never sees it).
+    /// drop, duplicate, or delay the message (drops are reported in
+    /// [`NetStats::dropped_msgs`], success returned — the point is that
+    /// the *receiver* never sees it, or sees it twice / out of order).
     pub fn send(&mut self, dst: Rank, tag: Tag, payload: Bytes) -> Result<(), NetError> {
         self.check_alive()?;
         let env = Envelope {
@@ -179,14 +180,35 @@ impl Endpoint {
             tag,
             payload,
         };
-        let size = env.wire_size();
         self.fault.note_send();
-        if self.fault.should_drop() {
-            self.stats.dropped_msgs += 1;
-            return Ok(());
+        let res = match self.fault.decide(tag) {
+            SendVerdict::Deliver => self.deliver(env),
+            SendVerdict::Drop => {
+                self.stats.dropped_msgs += 1;
+                Ok(())
+            }
+            SendVerdict::Duplicate => self.deliver(env.clone()).and(self.deliver(env)),
+            SendVerdict::Delay(release_at) => {
+                self.fault.hold(release_at, env);
+                Ok(())
+            }
+        };
+        // Release previously held messages only after the current one so a
+        // one-send delay really swaps adjacent messages. A held message
+        // whose destination has meanwhile gone away is just lost — same
+        // observable behaviour as a drop.
+        for held in self.fault.take_due() {
+            if self.deliver(held).is_err() {
+                self.stats.dropped_msgs += 1;
+            }
         }
+        res
+    }
+
+    fn deliver(&mut self, env: Envelope) -> Result<(), NetError> {
+        let size = env.wire_size();
         self.senders
-            .get(dst.index())
+            .get(env.dst.index())
             .ok_or(NetError::Disconnected)?
             .send(env)
             .map_err(|_| NetError::Disconnected)?;

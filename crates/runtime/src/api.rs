@@ -210,6 +210,17 @@ impl<P: DpProblem> EasyHps<P> {
         self
     }
 
+    /// Inject faults into the master's own endpoint (rank 0) — lets
+    /// stress harnesses make the master's outgoing traffic (ASSIGNs,
+    /// ENDs, acks) lossy, duplicated or reordered too.
+    pub fn inject_master_fault(mut self, plan: FaultPlan) -> Self {
+        if self.fault_plans.is_empty() {
+            self.fault_plans.resize(1, None);
+        }
+        self.fault_plans[0] = Some(plan);
+        self
+    }
+
     /// Make every link lossy: each rank — master included — independently
     /// drops outgoing messages with probability `p`, deterministically
     /// derived from `seed`. Ranks with an explicit [`Self::inject_fault`]

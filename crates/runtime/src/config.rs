@@ -94,8 +94,13 @@ pub struct MasterStats {
     pub dispatched: u64,
     /// Sub-tasks re-dispatched after a timeout.
     pub redispatched: u64,
-    /// Completions accepted.
+    /// Completions accepted (folds in resumed tiles so budget/DAG
+    /// accounting stays whole-run).
     pub completed: u64,
+    /// Sub-tasks restored from a checkpoint instead of being dispatched
+    /// (also counted in `completed`). Lets conservation be checked on
+    /// full runs: `dispatched == completed + redispatched - resumed`.
+    pub resumed: u64,
     /// Stale completions ignored (duplicate results after redistribution).
     pub stale_completions: u64,
     /// Slaves declared dead by fault tolerance.

@@ -35,7 +35,7 @@ use crate::protocol::{tags, AssignMsg, DoneMsg, SlaveStatsMsg};
 use crate::RuntimeError;
 use bytes::Bytes;
 use easyhps_core::ScheduleMode;
-use easyhps_core::{DagDataDrivenModel, DagParser, Trace, VertexId};
+use easyhps_core::{DagDataDrivenModel, DagParser, TaskDag, Trace, VertexId};
 use easyhps_dp::{DpMatrix, DpProblem};
 use easyhps_net::{Endpoint, FailReason, NetError, Rank, ReliableEndpoint};
 use parking_lot::Mutex;
@@ -55,7 +55,9 @@ struct MasterShared {
     /// Permanently gone: the slave's endpoint was dropped, its channel
     /// can never reopen. Never re-admitted.
     unreachable: Vec<bool>,
-    /// When each slave was last heard from (any frame; `None` = never).
+    /// When each slave was last heard from (any frame). Seeded with the
+    /// run start instant so a not-yet-heard slave gets a startup grace
+    /// period of one `heartbeat_timeout` instead of counting as silent.
     last_seen: Vec<Option<Instant>>,
     /// Registry handles shared with the scheduling loop — the counters
     /// *are* the run's bookkeeping; [`MasterStats`] is read off them at
@@ -64,6 +66,24 @@ struct MasterShared {
 }
 
 impl MasterShared {
+    /// Fresh shared state for a run over `dag` with `n_slaves` slaves.
+    /// `start` seeds every slave's `last_seen`: a slave that has not yet
+    /// said its first word is "silent since run start", not "silent since
+    /// forever" — otherwise the FT loop could exclude a healthy slave
+    /// that merely takes longer than `heartbeat_timeout` to start up.
+    fn new(dag: &TaskDag, n_slaves: usize, start: Instant, metrics: MasterMetrics) -> Self {
+        Self {
+            parser: DagParser::new(dag),
+            register: RegisterTable::new(dag.len()),
+            overtime: OvertimeQueue::new(),
+            finished: TaskStack::new(),
+            alive: vec![true; n_slaves],
+            unreachable: vec![false; n_slaves],
+            last_seen: vec![Some(start); n_slaves],
+            metrics,
+        }
+    }
+
     /// Exclude slave `w` from scheduling; true if this call excluded it
     /// (false when already excluded).
     fn exclude(&mut self, w: usize) -> bool {
@@ -77,8 +97,8 @@ impl MasterShared {
         }
     }
 
-    /// Whether slave `w` has been silent past the heartbeat timeout (or
-    /// was never heard from at all).
+    /// Whether slave `w` has been silent past the heartbeat timeout
+    /// (measured from run start when it was never heard from).
     fn silent(&self, w: usize, heartbeat_timeout: Duration) -> bool {
         self.last_seen[w].is_none_or(|t| t.elapsed() > heartbeat_timeout)
     }
@@ -155,16 +175,12 @@ pub fn run_master_with<P: DpProblem>(
     let tile_cols = dag.dims().cols;
     let n_slaves = config.slaves;
 
-    let shared = Arc::new(Mutex::new(MasterShared {
-        parser: DagParser::new(&dag),
-        register: RegisterTable::new(dag.len()),
-        overtime: OvertimeQueue::new(),
-        finished: TaskStack::new(),
-        alive: vec![true; n_slaves],
-        unreachable: vec![false; n_slaves],
-        last_seen: vec![None; n_slaves],
-        metrics: mm.clone(),
-    }));
+    let shared = Arc::new(Mutex::new(MasterShared::new(
+        &dag,
+        n_slaves,
+        t0,
+        mm.clone(),
+    )));
 
     // Step b: start the fault-tolerance thread. It waits on a shutdown
     // channel rather than sleeping so teardown does not pay up to one
@@ -194,10 +210,17 @@ pub fn run_master_with<P: DpProblem>(
                         .expect("overdue task is running");
                     s.metrics.redispatched.inc();
                     ft_lane.instant("redispatch", "ft", Some(("task", u64::from(entry.task))));
-                    let w = entry.executor as usize;
-                    if (s.unreachable[w] || s.silent(w, hb_timeout)) && s.exclude(w) {
-                        ft_lane.instant("exclude", "ft", Some(("slave", w as u64)));
-                    }
+                }
+            }
+            // Liveness is judged for every slave, not only owners of
+            // overdue work: a slave that crashes while holding nothing
+            // overdue (e.g. its task was already redispatched while it
+            // was merely slow) would otherwise never be excluded — and
+            // in static modes its owned tiles would never fall back to
+            // the surviving slaves (deadlock, found by `easyhps stress`).
+            for w in 0..s.alive.len() {
+                if (s.unreachable[w] || s.silent(w, hb_timeout)) && s.exclude(w) {
+                    ft_lane.instant("exclude", "ft", Some(("slave", w as u64)));
                 }
             }
         }
@@ -279,11 +302,21 @@ pub fn run_master_with<P: DpProblem>(
                 }
 
                 // Steps c-d: dispatch computable sub-tasks to idle live
-                // slaves.
+                // slaves. When *every* slave is presumed dead but some
+                // channels are still open, dispatch speculatively to the
+                // silent-but-reachable ones: a slave whose heartbeats are
+                // lost (not dead, just unheard) will ACK the ASSIGN and
+                // be re-admitted, while a truly hung one exhausts the
+                // retry budget, turns unreachable, and the run fails
+                // fast below. Without this, total heartbeat starvation
+                // of the last surviving slave aborted runs that were
+                // perfectly completable (found by `easyhps stress`).
                 let alive_now = s.alive.clone();
+                let none_alive = alive_now.iter().all(|a| !a);
                 #[allow(clippy::needless_range_loop)] // w doubles as the rank id
                 for w in 0..n_slaves {
-                    if !idle[w] || !alive_now[w] {
+                    let speculative = none_alive && !s.unreachable[w];
+                    if !idle[w] || !(alive_now[w] || speculative) {
                         continue;
                     }
                     let owner_of = |v: VertexId| {
@@ -293,7 +326,7 @@ pub fn run_master_with<P: DpProblem>(
                             n_slaves as u32,
                         )
                     };
-                    let picked = if config.process_mode == ScheduleMode::Dynamic {
+                    let picked = if config.process_mode == ScheduleMode::Dynamic || speculative {
                         s.parser.pop_computable()
                     } else {
                         // A statically-owned task whose owner is excluded
@@ -346,7 +379,12 @@ pub fn run_master_with<P: DpProblem>(
                     }
                 }
 
-                if s.alive.iter().all(|a| !a) {
+                // Give up only when every slave is *unreachable* — its
+                // channel is gone for good. Merely-silent slaves can be
+                // heard again and re-admitted (and the speculative
+                // dispatch above actively probes them), so presumed-dead
+                // is not a terminal state on its own.
+                if s.unreachable.iter().all(|u| *u) {
                     return Err(RuntimeError::AllSlavesDead);
                 }
             }
@@ -363,12 +401,15 @@ pub fn run_master_with<P: DpProblem>(
                             }
                         }
                         tags::HEARTBEAT => { /* liveness noted by the endpoint */ }
-                        tags::DONE => {
+                        // Bound-check the source rank before touching any
+                        // per-slave state or the register — the teardown
+                        // path always had this guard, the main loop did
+                        // not, so a frame from outside the slave range
+                        // reached `register.accepts` with a rogue rank.
+                        tags::DONE if w < n_slaves => {
                             let msg = DoneMsg::decode(&env.payload)?;
                             let mut s = shared.lock();
-                            if w < n_slaves {
-                                idle[w] = true;
-                            }
+                            idle[w] = true;
                             if s.register.accepts(msg.task, w as u32) {
                                 if let Some((start, start_ns)) = started[msg.task as usize].take() {
                                     let end = Instant::now();
@@ -403,6 +444,7 @@ pub fn run_master_with<P: DpProblem>(
                                 mm.stale.inc();
                             }
                         }
+                        tags::DONE => { /* out-of-range source rank: ignore */ }
                         tags::STATS => { /* late stats, ignore */ }
                         other => debug_assert!(false, "master received unexpected {other}"),
                     }
@@ -475,7 +517,19 @@ pub fn run_master_with<P: DpProblem>(
     // master stop waiting for a counted one.
     let mut counted = alive;
     let mut expected: usize = counted.iter().filter(|a| **a).count();
-    let deadline = Instant::now() + Duration::from_secs(2);
+    // The drain must outlive the slowest legitimate reply: a slave's
+    // STATS (or final DONE) can spend a full retransmit cycle in flight,
+    // so the deadline scales with the configured `RetryPolicy` instead of
+    // being a hard-coded constant — a slow retry schedule used to get its
+    // stats collection truncated at 2 s. The floor keeps the historical
+    // grace for fast policies; the margin covers slave-side compute of
+    // the stats reply itself.
+    let drain_deadline = config
+        .retry
+        .drain_budget()
+        .max(Duration::from_secs(2))
+        .saturating_add(Duration::from_millis(500));
+    let deadline = Instant::now() + drain_deadline;
     while (expected > 0 || rep.has_pending()) && Instant::now() < deadline {
         match rep.recv_timeout(Duration::from_millis(50)) {
             Ok(env) => {
@@ -488,10 +542,13 @@ pub fn run_master_with<P: DpProblem>(
                             expected -= 1;
                         }
                     }
-                    tags::DONE => {
+                    // Same rank guard as the main loop: a frame from an
+                    // out-of-range rank is ignored outright, not counted
+                    // stale (stale means "duplicate from a known slave").
+                    tags::DONE if w < n_slaves => {
                         let msg = DoneMsg::decode(&env.payload)?;
                         let mut s = shared.lock();
-                        if w < n_slaves && s.register.accepts(msg.task, w as u32) {
+                        if s.register.accepts(msg.task, w as u32) {
                             if let Some((start, start_ns)) = started[msg.task as usize].take() {
                                 let end = Instant::now();
                                 trace.record(
@@ -541,6 +598,7 @@ pub fn run_master_with<P: DpProblem>(
         dispatched: mm.dispatched.get(),
         redispatched: mm.redispatched.get(),
         completed: mm.completed.get() + mm.resumed.get(),
+        resumed: mm.resumed.get(),
         stale_completions: mm.stale.get(),
         dead_slaves: mm.dead_slaves.get().max(0) as u64,
         readmitted: mm.readmissions.get(),
@@ -572,4 +630,49 @@ pub fn run_master_with<P: DpProblem>(
         trace,
         checkpoint,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easyhps_core::patterns::Wavefront2D;
+    use easyhps_core::GridDims;
+
+    fn tiny_shared(n_slaves: usize, start: Instant) -> MasterShared {
+        let model = DagDataDrivenModel::builder(Arc::new(Wavefront2D::new(GridDims::new(4, 4))))
+            .process_partition_size(GridDims::new(2, 2))
+            .thread_partition_size(GridDims::new(1, 1))
+            .build();
+        let registry = easyhps_obs::Registry::new();
+        MasterShared::new(&model.master_dag(), n_slaves, start, {
+            crate::obs::MasterMetrics::register(&registry)
+        })
+    }
+
+    /// Regression (startup-exclusion bug): a slave nobody has heard from
+    /// yet must be within the heartbeat grace window right after startup,
+    /// not "silent since forever" — the FT loop excluded healthy
+    /// slow-starting slaves otherwise.
+    #[test]
+    fn never_heard_slave_gets_startup_grace() {
+        let s = tiny_shared(2, Instant::now());
+        assert!(
+            !s.silent(0, Duration::from_secs(10)),
+            "a never-heard slave within the grace window is not silent"
+        );
+        assert!(
+            !s.silent(1, Duration::from_secs(10)),
+            "every slave is seeded, not just the first"
+        );
+    }
+
+    /// The grace window still expires: a slave that stays quiet past the
+    /// heartbeat timeout measured from run start is silent.
+    #[test]
+    fn startup_grace_expires_after_heartbeat_timeout() {
+        let start = Instant::now() - Duration::from_millis(50);
+        let s = tiny_shared(1, start);
+        assert!(s.silent(0, Duration::from_millis(10)));
+        assert!(!s.silent(0, Duration::from_secs(1)));
+    }
 }

@@ -143,19 +143,27 @@ impl RegisterTable {
         self.owner[task as usize] = Some(executor);
     }
 
-    /// Cancel the registration of `task`.
+    /// Cancel the registration of `task`. A task id outside the table is
+    /// a no-op: task ids arrive off the wire, so they are untrusted input
+    /// here, not an internal invariant.
     pub fn cancel(&mut self, task: u32) {
-        self.owner[task as usize] = None;
+        if let Some(o) = self.owner.get_mut(task as usize) {
+            *o = None;
+        }
     }
 
-    /// Current executor of `task`, if registered.
+    /// Current executor of `task`, if registered (and in range).
     pub fn executor_of(&self, task: u32) -> Option<u32> {
-        self.owner[task as usize]
+        self.owner.get(task as usize).copied().flatten()
     }
 
     /// Whether a completion of `task` by `executor` should be accepted.
+    /// An out-of-range task id is never accepted — a malformed or rogue
+    /// DONE frame must not panic the master.
     pub fn accepts(&self, task: u32, executor: u32) -> bool {
-        self.owner[task as usize] == Some(executor)
+        self.owner
+            .get(task as usize)
+            .is_some_and(|o| *o == Some(executor))
     }
 }
 
@@ -218,5 +226,16 @@ mod tests {
         assert!(t.accepts(2, 8));
         t.cancel(2);
         assert!(!t.accepts(2, 8));
+    }
+
+    #[test]
+    fn register_table_tolerates_out_of_range_task_ids() {
+        // Task ids come off the wire; an out-of-range one (malformed or
+        // rogue frame) must be rejected, not panic.
+        let mut t = RegisterTable::new(4);
+        assert!(!t.accepts(4, 0));
+        assert!(!t.accepts(u32::MAX, 0));
+        assert_eq!(t.executor_of(99), None);
+        t.cancel(99); // no-op, must not panic
     }
 }

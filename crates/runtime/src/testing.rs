@@ -69,6 +69,88 @@ impl<P: DpProblem> DpProblem for FaultyProblem<P> {
     }
 }
 
+/// Wraps a problem so that a seeded subset of `compute_region` calls
+/// stalls (sleeps) before computing — simulating slow kernels, GC pauses
+/// or a frozen node without touching the result.
+///
+/// Each kernel invocation gets a global call index; whether that call
+/// stalls is a pure hash of `(seed, index)`, so the *set* of stalled call
+/// indices is deterministic even though threads race for indices. Pair a
+/// stall longer than `task_timeout` with heartbeat starvation (see
+/// `FaultPlan::with_tag_drop`) to drive the exclusion/re-admission paths.
+pub struct StallProblem<P> {
+    inner: P,
+    calls: Arc<AtomicU64>,
+    fired: Arc<AtomicU64>,
+    seed: u64,
+    /// Per-call stall probability in permille (0..=1000).
+    stall_permille: u32,
+    stall: std::time::Duration,
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed pure hash.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+impl<P: DpProblem> StallProblem<P> {
+    /// Stall each kernel call with probability `stall_permille`/1000 for
+    /// `stall`; decisions derive from `seed`.
+    pub fn new(inner: P, seed: u64, stall_permille: u32, stall: std::time::Duration) -> Self {
+        assert!(stall_permille <= 1000, "permille out of range");
+        Self {
+            inner,
+            calls: Arc::new(AtomicU64::new(0)),
+            fired: Arc::new(AtomicU64::new(0)),
+            seed,
+            stall_permille,
+            stall,
+        }
+    }
+
+    /// How many stalls actually fired.
+    pub fn stalls_fired(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped problem.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: DpProblem> DpProblem for StallProblem<P> {
+    type Cell = P::Cell;
+
+    fn name(&self) -> String {
+        format!("stall({})", self.inner.name())
+    }
+
+    fn dims(&self) -> GridDims {
+        self.inner.dims()
+    }
+
+    fn pattern(&self) -> Arc<dyn DagPattern> {
+        self.inner.pattern()
+    }
+
+    fn compute_region<G: DpGrid<Self::Cell>>(&self, m: &mut G, region: TileRegion) {
+        let idx = self.calls.fetch_add(1, Ordering::Relaxed);
+        if mix64(self.seed ^ idx) % 1000 < self.stall_permille as u64 {
+            self.fired.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(self.stall);
+        }
+        self.inner.compute_region(m, region);
+    }
+
+    fn cell_work(&self, p: GridPos) -> u64 {
+        self.inner.cell_work(p)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +171,32 @@ mod tests {
         assert_eq!(p.failures_left(), 0);
         p.compute_region(&mut m, region);
         assert_eq!(m.get(2, 2), 0);
+    }
+
+    #[test]
+    fn stall_decisions_are_a_pure_function_of_seed_and_index() {
+        let decide = |seed: u64, idx: u64| mix64(seed ^ idx) % 1000 < 300;
+        let a: Vec<bool> = (0..100).map(|i| decide(7, i)).collect();
+        let b: Vec<bool> = (0..100).map(|i| decide(7, i)).collect();
+        let c: Vec<bool> = (0..100).map(|i| decide(8, i)).collect();
+        assert_eq!(a, b, "same seed, same stall set");
+        assert_ne!(a, c, "different seed, different stall set");
+        let rate = a.iter().filter(|x| **x).count();
+        assert!((15..=45).contains(&rate), "~30% expected, got {rate}%");
+    }
+
+    #[test]
+    fn stall_problem_computes_the_same_matrix() {
+        let p = EditDistance::new(b"abcd".to_vec(), b"axcd".to_vec());
+        let reference = p.solve_sequential();
+        let stalled = StallProblem::new(
+            EditDistance::new(b"abcd".to_vec(), b"axcd".to_vec()),
+            3,
+            1000,
+            std::time::Duration::from_millis(1),
+        );
+        let got = stalled.solve_sequential();
+        assert_eq!(got, reference);
+        assert!(stalled.stalls_fired() > 0);
     }
 }

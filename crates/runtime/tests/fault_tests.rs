@@ -565,3 +565,288 @@ fn silent_but_alive_slave_is_readmitted_after_heartbeat_resumes() {
     );
     assert!(out.slave_stats[1].is_some());
 }
+
+// ---------------------------------------------------------------------
+// Regression (PR 4): startup-exclusion — a slave that is slow to say its
+// first word is within the heartbeat grace window, not silent-forever.
+// (The direct revert detector is the `never_heard_slave_gets_startup_grace`
+// unit test in master.rs; this drill exercises the same scenario
+// end-to-end over the wire.)
+// ---------------------------------------------------------------------
+
+#[test]
+fn slow_starting_slave_is_neither_excluded_nor_readmitted() {
+    // A sends nothing at all for 400ms, well within the 1s heartbeat
+    // grace, then joins and serves. B paces the run slowly enough that it
+    // is still going when A appears. A must simply join: zero exclusions,
+    // zero re-admissions, stats from both. With the startup seeding of
+    // `last_seen` reverted, A counts as "silent since forever" and the
+    // FT liveness sweep excludes it on its first poll, so `readmitted`
+    // comes back nonzero.
+    let problem = EditDistance::new(
+        random_sequence(Alphabet::Dna, 30, 170),
+        random_sequence(Alphabet::Dna, 30, 171),
+    );
+    let model = easyhps_core::DagDataDrivenModel::builder(problem.pattern())
+        .process_partition_size(easyhps_core::GridDims::square(8))
+        .thread_partition_size(easyhps_core::GridDims::square(4))
+        .build();
+    let dims = model.dag_size();
+    let mut config = Deployment::local(2, 1);
+    config.task_timeout = Duration::from_millis(200);
+    config.ft_poll = Duration::from_millis(10);
+    config.heartbeat_timeout = Duration::from_millis(1000);
+
+    let mut eps = Network::new(3);
+    let ep_b = eps.pop().unwrap();
+    let ep_a = eps.pop().unwrap();
+    let master_ep = eps.pop().unwrap();
+
+    let mut rep_b = ReliableEndpoint::new(ep_b, RetryPolicy::default());
+    rep_b
+        .send_reliable(Rank(0), tags::IDLE, Bytes::new())
+        .unwrap();
+
+    let out = std::thread::scope(|s| {
+        // A: dead air during the whole startup window, then a normal
+        // serving loop with heartbeats.
+        s.spawn(move || {
+            std::thread::sleep(Duration::from_millis(400));
+            let mut rep_a = ReliableEndpoint::new(ep_a, RetryPolicy::default());
+            rep_a
+                .send_reliable(Rank(0), tags::IDLE, Bytes::new())
+                .unwrap();
+            let zeros = DpMatrix::<i32>::new(dims);
+            let mut last_hb = Instant::now();
+            loop {
+                if last_hb.elapsed() >= Duration::from_millis(20) {
+                    let _ = rep_a.send_unreliable(Rank(0), tags::HEARTBEAT, Bytes::new());
+                    last_hb = Instant::now();
+                }
+                match rep_a.recv_timeout(Duration::from_millis(15)) {
+                    Ok(env) if env.tag == tags::ASSIGN => {
+                        let msg = AssignMsg::decode(&env.payload).unwrap();
+                        let done = DoneMsg {
+                            task: msg.task,
+                            region: msg.region,
+                            output: zeros.encode_region(msg.region),
+                        };
+                        rep_a
+                            .send_reliable(Rank(0), tags::DONE, done.encode())
+                            .unwrap();
+                    }
+                    Ok(env) if env.tag == tags::END => {
+                        rep_a
+                            .send_reliable(Rank(0), tags::STATS, SlaveStatsMsg::default().encode())
+                            .unwrap();
+                        rep_a.drain_pending(Duration::from_secs(1));
+                        return;
+                    }
+                    Ok(_) | Err(NetError::Timeout) => {}
+                    Err(_) => return,
+                }
+            }
+        });
+        // B: serve every ASSIGN with a 60ms delay so the 16-tile run
+        // outlasts A's 400ms of startup silence.
+        s.spawn(move || {
+            let zeros = DpMatrix::<i32>::new(dims);
+            let mut last_hb = Instant::now();
+            loop {
+                if last_hb.elapsed() >= Duration::from_millis(20) {
+                    let _ = rep_b.send_unreliable(Rank(0), tags::HEARTBEAT, Bytes::new());
+                    last_hb = Instant::now();
+                }
+                match rep_b.recv_timeout(Duration::from_millis(15)) {
+                    Ok(env) if env.tag == tags::ASSIGN => {
+                        std::thread::sleep(Duration::from_millis(60));
+                        let msg = AssignMsg::decode(&env.payload).unwrap();
+                        let done = DoneMsg {
+                            task: msg.task,
+                            region: msg.region,
+                            output: zeros.encode_region(msg.region),
+                        };
+                        rep_b
+                            .send_reliable(Rank(0), tags::DONE, done.encode())
+                            .unwrap();
+                    }
+                    Ok(env) if env.tag == tags::END => {
+                        rep_b
+                            .send_reliable(Rank(0), tags::STATS, SlaveStatsMsg::default().encode())
+                            .unwrap();
+                        rep_b.drain_pending(Duration::from_secs(1));
+                        return;
+                    }
+                    Ok(_) | Err(NetError::Timeout) => {}
+                    Err(_) => return,
+                }
+            }
+        });
+        run_master(master_ep, &problem, &model, &config).unwrap()
+    });
+
+    assert_eq!(
+        out.stats.dead_slaves, 0,
+        "a slow-starting slave must not be excluded"
+    );
+    assert_eq!(
+        out.stats.readmitted, 0,
+        "it was never excluded, so there is nothing to re-admit"
+    );
+    assert!(
+        out.slave_stats[0].is_some(),
+        "the late starter reports stats"
+    );
+    assert!(out.slave_stats[1].is_some());
+}
+
+// ---------------------------------------------------------------------
+// Regression (PR 4): the teardown drain deadline scales with the
+// configured RetryPolicy instead of being hard-coded to 2s.
+// ---------------------------------------------------------------------
+
+#[test]
+fn teardown_waits_out_a_slow_retry_schedule_for_stats() {
+    // A slow retry schedule (worst-case retransmit budget 4.4s) with a
+    // 20% lossy slave link, and a slave whose STATS takes 2.6s to appear
+    // after END. The pre-fix master cut collection at a flat 2s and
+    // returned without the stats; the deadline must instead cover the
+    // policy's whole retransmit budget.
+    let problem = EditDistance::new(
+        random_sequence(Alphabet::Dna, 20, 180),
+        random_sequence(Alphabet::Dna, 20, 181),
+    );
+    let model = easyhps_core::DagDataDrivenModel::builder(problem.pattern())
+        .process_partition_size(easyhps_core::GridDims::square(8))
+        .thread_partition_size(easyhps_core::GridDims::square(4))
+        .build();
+    let dims = model.dag_size();
+    let mut config = Deployment::local(1, 1);
+    config.retry = RetryPolicy {
+        max_attempts: 6,
+        initial_backoff: Duration::from_millis(200),
+        max_backoff: Duration::from_secs(1),
+    };
+
+    let plans = vec![None, Some(FaultPlan::lossy(0.2, 77))];
+    let mut eps = Network::with_faults(2, &plans);
+    let ep_a = eps.pop().unwrap();
+    let master_ep = eps.pop().unwrap();
+
+    let mut rep_a = ReliableEndpoint::new(ep_a, RetryPolicy::default());
+    rep_a
+        .send_reliable(Rank(0), tags::IDLE, Bytes::new())
+        .unwrap();
+
+    let out = std::thread::scope(|s| {
+        s.spawn(move || {
+            let zeros = DpMatrix::<i32>::new(dims);
+            loop {
+                match rep_a.recv_timeout(Duration::from_millis(15)) {
+                    Ok(env) if env.tag == tags::ASSIGN => {
+                        let msg = AssignMsg::decode(&env.payload).unwrap();
+                        let done = DoneMsg {
+                            task: msg.task,
+                            region: msg.region,
+                            output: zeros.encode_region(msg.region),
+                        };
+                        rep_a
+                            .send_reliable(Rank(0), tags::DONE, done.encode())
+                            .unwrap();
+                    }
+                    Ok(env) if env.tag == tags::END => {
+                        // Slow stats assembly: past the old flat deadline,
+                        // within the policy-derived one.
+                        std::thread::sleep(Duration::from_millis(2600));
+                        rep_a
+                            .send_reliable(Rank(0), tags::STATS, SlaveStatsMsg::default().encode())
+                            .unwrap();
+                        rep_a.drain_pending(Duration::from_secs(3));
+                        return;
+                    }
+                    Ok(_) | Err(NetError::Timeout) => {}
+                    Err(_) => return,
+                }
+            }
+        });
+        run_master(master_ep, &problem, &model, &config).unwrap()
+    });
+
+    assert_eq!(out.stats.dead_slaves, 0);
+    assert!(
+        out.slave_stats[0].is_some(),
+        "teardown must wait out the retry schedule's worst case, not a \
+         hard-coded 2s"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Regression (PR 4): a DONE frame from an out-of-range source rank is
+// ignored outright — no per-slave state touched, no panic from a rogue
+// task id, not even a stale-completion count.
+// ---------------------------------------------------------------------
+
+#[test]
+fn rogue_out_of_range_rank_done_frames_are_ignored() {
+    // The network has one rank more than the deployment knows about; the
+    // extra rank floods the master with DONE frames carrying an
+    // out-of-range task id. On the pre-fix master the main loop reached
+    // `register.accepts` with the rogue rank (and an unhardened register
+    // table panicked on the task index); now the frames must vanish
+    // without a trace while the real slaves finish the run bit-exactly.
+    let problem = EditDistance::new(
+        random_sequence(Alphabet::Dna, 30, 190),
+        random_sequence(Alphabet::Dna, 30, 191),
+    );
+    let reference = problem.solve_sequential();
+    let model = easyhps_core::DagDataDrivenModel::builder(problem.pattern())
+        .process_partition_size(easyhps_core::GridDims::square(8))
+        .thread_partition_size(easyhps_core::GridDims::square(4))
+        .build();
+    let dims = model.dag_size();
+    let config = Deployment::local(2, 2);
+
+    let mut eps = Network::new(4);
+    let rogue_ep = eps.pop().unwrap(); // rank 3: not a slave
+    let ep_b = eps.pop().unwrap();
+    let ep_a = eps.pop().unwrap();
+    let master_ep = eps.pop().unwrap();
+
+    // Queue the rogue frames before the master starts so they are
+    // processed by the main loop, not the teardown drain.
+    let mut rogue = ReliableEndpoint::new(rogue_ep, RetryPolicy::default());
+    let region = easyhps_core::TileRegion::new(0, 1, 0, 1);
+    let rogue_done = DoneMsg {
+        task: u32::MAX,
+        region,
+        output: DpMatrix::<i32>::new(dims).encode_region(region),
+    };
+    for _ in 0..3 {
+        rogue
+            .send_reliable(Rank(0), tags::DONE, rogue_done.encode())
+            .unwrap();
+    }
+
+    let out = std::thread::scope(|s| {
+        let (p, m, c) = (&problem, &model, &config);
+        s.spawn(move || {
+            let _ = run_slave(ep_a, p, m, c);
+        });
+        s.spawn(move || {
+            let _ = run_slave(ep_b, p, m, c);
+        });
+        // Let the rogue pump its retransmit/ack cycle while the run goes.
+        s.spawn(move || {
+            rogue.drain_pending(Duration::from_secs(2));
+        });
+        run_master(master_ep, &problem, &model, &config).unwrap()
+    });
+
+    assert_eq!(out.matrix, reference, "real slaves still compute exactly");
+    assert_eq!(out.stats.completed, 16);
+    assert_eq!(
+        out.stats.stale_completions, 0,
+        "rogue frames are ignored outright, not counted as stale"
+    );
+    assert_eq!(out.stats.dead_slaves, 0);
+}

@@ -1,0 +1,60 @@
+//! Greedy delta-debugging over fault clauses.
+
+/// Minimize a failing clause set: repeatedly try dropping one clause and
+/// keep the removal whenever `still_fails` says the failure persists.
+/// `still_fails` receives the *original* indices of the clauses to keep
+/// active, so the result is directly usable as a `--clauses` list. The
+/// returned set is 1-minimal: removing any single remaining clause makes
+/// the failure disappear (up to nondeterminism in the probe).
+pub fn shrink<F>(n_clauses: usize, mut still_fails: F) -> Vec<usize>
+where
+    F: FnMut(&[usize]) -> bool,
+{
+    let mut live: Vec<usize> = (0..n_clauses).collect();
+    let mut i = 0;
+    while i < live.len() {
+        let candidate: Vec<usize> = live.iter().copied().filter(|&x| x != live[i]).collect();
+        if still_fails(&candidate) {
+            live = candidate; // clause i was irrelevant; keep it dropped
+        } else {
+            i += 1; // clause i is load-bearing; move on
+        }
+    }
+    live
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_single_guilty_clause() {
+        // Failure iff clause 3 is present.
+        let calls = std::cell::Cell::new(0usize);
+        let min = shrink(6, |keep| {
+            calls.set(calls.get() + 1);
+            keep.contains(&3)
+        });
+        assert_eq!(min, vec![3]);
+        assert!(calls.get() <= 6, "one probe per clause");
+    }
+
+    #[test]
+    fn keeps_a_conjunction_of_clauses() {
+        // Failure needs both 1 and 4.
+        let min = shrink(6, |keep| keep.contains(&1) && keep.contains(&4));
+        assert_eq!(min, vec![1, 4]);
+    }
+
+    #[test]
+    fn empty_when_failure_is_clause_independent() {
+        // Fails no matter what (an interleaving-only bug).
+        let min = shrink(5, |_| true);
+        assert!(min.is_empty());
+    }
+
+    #[test]
+    fn zero_clauses_is_fine() {
+        assert!(shrink(0, |_| true).is_empty());
+    }
+}

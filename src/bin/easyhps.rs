@@ -10,11 +10,17 @@
 //!               [--trace-out PATH]
 //! easyhps analyze [--workload swgg|nussinov|wavefront] [--len N]
 //!               [--pps N] [--tps N]
+//! easyhps stress [--seed N | --seeds N [--start N]]
+//!               [--mode dynamic|bcw|cw] [--slaves N]
+//!               [--workload editdist|swgg|nussinov] [--clauses i,j|none]
+//!               [--hang-timeout SECS] [--no-shrink] [--list]
 //! ```
 //!
 //! `align` and `fold` run the real multilevel runtime on the input;
 //! `sim` runs the deterministic cluster simulator and can print a Gantt
-//! chart of the schedule.
+//! chart of the schedule; `stress` drives the real runtime through
+//! seed-derived adversarial fault schedules and checks run invariants
+//! (failing seeds print a one-line repro with a minimized schedule).
 //!
 //! Every runtime command (`align`, `fold`, `editdist`) also accepts
 //! `--metrics` (print a Prometheus-style metrics exposition of the run to
@@ -330,8 +336,95 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_stress(args: &Args) -> Result<(), String> {
+    use easyhps::stress::{run_plan, run_seed, StressConfig, StressPlan, Workload};
+
+    let mode = match args.get("mode").unwrap_or("dynamic") {
+        "dynamic" => ScheduleMode::Dynamic,
+        // block=1 keeps block-cyclic distinct from plain wavefront at the
+        // small tile counts stress plans use.
+        "bcw" => ScheduleMode::BlockCyclic { block: 1 },
+        "cw" => ScheduleMode::ColumnWavefront,
+        other => return Err(format!("unknown mode '{other}' (dynamic|bcw|cw)")),
+    };
+    let cfg = StressConfig {
+        mode,
+        slaves: args
+            .get("slaves")
+            .map(|s| s.parse())
+            .transpose()
+            .map_err(|_: std::num::ParseIntError| "--slaves: not a number".to_string())?,
+        workload: args.get("workload").map(Workload::parse).transpose()?,
+        hang_timeout: std::time::Duration::from_secs(args.get_num("hang-timeout", 60u64)?),
+        shrink: !args.has("no-shrink"),
+    };
+
+    // Single-seed mode: --seed N, optionally with --clauses to replay a
+    // minimized schedule, or --list to print the derived plan and exit.
+    if let Some(seed) = args.get("seed") {
+        let seed: u64 = seed.parse().map_err(|_| "--seed: not a number")?;
+        let plan = StressPlan::from_seed(seed, &cfg);
+        let plan = match args.get("clauses") {
+            None => plan,
+            Some("none") => plan.with_clauses(&[]),
+            Some(list) => {
+                let keep: Vec<usize> = list
+                    .split(',')
+                    .map(|i| i.trim().parse())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| format!("--clauses: cannot parse '{list}'"))?;
+                plan.with_clauses(&keep)
+            }
+        };
+        print!("{}", plan.describe());
+        if args.has("list") {
+            return Ok(());
+        }
+        let violations = run_plan(&plan, &cfg);
+        if violations.is_empty() {
+            println!("seed {seed}: PASS");
+            return Ok(());
+        }
+        for v in &violations {
+            println!("  violation: {v}");
+        }
+        Err(format!("seed {seed}: {} violation(s)", violations.len()))
+    } else {
+        // Sweep mode: --seeds N seeds starting at --start (default 0).
+        let n = args.get_num("seeds", 100u64)?;
+        let start = args.get_num("start", 0u64)?;
+        let t0 = std::time::Instant::now();
+        for seed in start..start + n {
+            let outcome = run_seed(seed, &cfg);
+            if outcome.passed() {
+                println!(
+                    "seed {seed}: PASS ({} clauses, {:.1}s)",
+                    outcome.plan.clauses.len(),
+                    outcome.elapsed.as_secs_f64()
+                );
+                continue;
+            }
+            println!("seed {seed}: FAIL");
+            print!("{}", outcome.plan.describe());
+            for v in &outcome.violations {
+                println!("  violation: {v}");
+            }
+            println!("repro: {}", outcome.repro_line());
+            return Err(format!(
+                "seed {seed} failed (repro: {})",
+                outcome.repro_line()
+            ));
+        }
+        println!(
+            "{n} seed(s) passed every invariant in {:.1}s",
+            t0.elapsed().as_secs_f64()
+        );
+        Ok(())
+    }
+}
+
 const USAGE: &str =
-    "usage: easyhps <align|fold|editdist|sim|analyze> [args]  (see --help in source docs)";
+    "usage: easyhps <align|fold|editdist|sim|analyze|stress> [args]  (see --help in source docs)";
 
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
@@ -340,13 +433,14 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let cmd = argv.remove(0);
-    let booleans = ["global", "gantt", "metrics"];
+    let booleans = ["global", "gantt", "metrics", "list", "no-shrink"];
     let result = Args::parse(argv, &booleans).and_then(|args| match cmd.as_str() {
         "align" => cmd_align(&args),
         "fold" => cmd_fold(&args),
         "editdist" => cmd_editdist(&args),
         "sim" => cmd_sim(&args),
         "analyze" => cmd_analyze(&args),
+        "stress" => cmd_stress(&args),
         other => Err(format!("unknown command '{other}'\n{USAGE}")),
     });
     match result {

@@ -22,7 +22,9 @@
 //! * [`runtime`] — the master/slave runtime and the [`EasyHps`] user API
 //!   (`easyhps-runtime`);
 //! * [`sim`] — the deterministic cluster simulator regenerating the paper's
-//!   figures (`easyhps-sim`).
+//!   figures (`easyhps-sim`);
+//! * [`stress`] — the seeded schedule-stress harness driving the real
+//!   runtime through adversarial fault schedules (`easyhps-stress`).
 //!
 //! ## Quickstart
 //!
@@ -51,6 +53,7 @@ pub use easyhps_net as net;
 pub use easyhps_obs as obs;
 pub use easyhps_runtime as runtime;
 pub use easyhps_sim as sim;
+pub use easyhps_stress as stress;
 
 pub use easyhps_core::{
     DagDataDrivenModel, DagParser, DagPattern, GridDims, GridPos, PatternKind, ScheduleMode,
