@@ -3,7 +3,7 @@
 //! A [`FaultPlan`] describes everything that can go wrong with one
 //! endpoint's *outgoing* traffic: uniform and per-tag message drops,
 //! duplicate deliveries, delayed (and therefore reordered) deliveries,
-//! and endpoint death after a send budget. All randomness is drawn from a
+//! single-bit payload corruption, and endpoint death after a send budget. All randomness is drawn from a
 //! seeded generator in a fixed per-send order, so the same plan replayed
 //! against the same send sequence produces the same fault schedule —
 //! byte for byte. The schedule-stress harness (`easyhps-stress`) derives
@@ -35,6 +35,11 @@ pub struct FaultPlan {
     /// `drop_prob` — e.g. starve a slave's heartbeats specifically while
     /// leaving its data traffic alone.
     pub tag_drops: Vec<(Tag, f64)>,
+    /// Probability in `[0, 1]` that an outgoing message is delivered with
+    /// exactly one bit flipped (a corrupting link). The flipped bit index
+    /// is drawn uniformly over the payload; empty payloads pass through
+    /// unchanged.
+    pub bitflip_prob: f64,
     /// RNG seed for all fault decisions.
     pub seed: u64,
     /// After this many send *attempts*, the endpoint dies (simulated node
@@ -94,12 +99,21 @@ impl FaultPlan {
         self
     }
 
+    /// Flip one uniformly-drawn bit of each message with probability `p`
+    /// (a corrupting link).
+    pub fn with_bitflips(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.bitflip_prob = p;
+        self
+    }
+
     /// Whether the plan can affect traffic at all (used to skip the RNG
     /// on fault-free endpoints).
     fn is_active(&self) -> bool {
         self.drop_prob > 0.0
             || self.dup_prob > 0.0
             || self.delay_prob > 0.0
+            || self.bitflip_prob > 0.0
             || !self.tag_drops.is_empty()
     }
 }
@@ -115,6 +129,12 @@ pub(crate) enum SendVerdict {
     Duplicate,
     /// Hold until the send counter reaches the given value.
     Delay(u64),
+    /// Deliver with the given payload bit flipped (a corrupting link).
+    Corrupt {
+        /// Bit index into the payload (`byte = bit / 8`, LSB-first
+        /// within the byte).
+        bit: u64,
+    },
 }
 
 /// Mutable fault state carried by an endpoint.
@@ -153,10 +173,14 @@ impl FaultState {
         }
     }
 
-    /// Decide the fate of one outgoing message. Draws happen in a fixed
-    /// order (per-tag drop, uniform drop, duplicate, delay) so a plan's
-    /// schedule is a pure function of its seed and the send sequence.
-    pub(crate) fn decide(&mut self, tag: Tag) -> SendVerdict {
+    /// Decide the fate of one outgoing message of `payload_len` bytes.
+    /// Draws happen in a fixed order (per-tag drop, uniform drop,
+    /// duplicate, delay, bit-flip) so a plan's schedule is a pure
+    /// function of its seed and the send sequence. The bit-flip draws
+    /// come *last* and only when `bitflip_prob > 0`, so plans without
+    /// bit-flips replay byte-for-byte against schedules recorded before
+    /// the clause existed.
+    pub(crate) fn decide(&mut self, tag: Tag, payload_len: usize) -> SendVerdict {
         let Some(plan) = &self.plan else {
             return SendVerdict::Deliver;
         };
@@ -176,6 +200,11 @@ impl FaultState {
         }
         if plan.delay_prob > 0.0 && self.rng.random_bool(plan.delay_prob) {
             return SendVerdict::Delay(self.sends + plan.delay_sends.max(1) as u64);
+        }
+        if plan.bitflip_prob > 0.0 && self.rng.random_bool(plan.bitflip_prob) && payload_len > 0 {
+            return SendVerdict::Corrupt {
+                bit: self.rng.random_range(0..payload_len as u64 * 8),
+            };
         }
         SendVerdict::Deliver
     }
@@ -380,6 +409,71 @@ mod tests {
             )
         };
         assert_eq!(run(), run(), "chaos schedule must replay byte-for-byte");
+    }
+
+    #[test]
+    fn bitflips_are_deterministic_and_counted() {
+        let run = || {
+            let plan = FaultPlan {
+                seed: 21,
+                ..FaultPlan::default()
+            }
+            .with_bitflips(0.5);
+            let mut eps = Network::with_faults(2, &[Some(plan), None]);
+            let mut e1 = eps.pop().unwrap();
+            let mut e0 = eps.pop().unwrap();
+            for i in 0..50u8 {
+                e0.send(Rank(1), Tag(0), Bytes::from(vec![i, 0xAA, 0x55]))
+                    .unwrap();
+            }
+            let mut got = Vec::new();
+            while let Some(env) = e1.try_recv().unwrap() {
+                got.push(env.payload.to_vec());
+            }
+            (got, e0.stats().corrupted_msgs)
+        };
+        let (got1, corrupted1) = run();
+        let (got2, corrupted2) = run();
+        assert_eq!(got1, got2, "flip schedule must replay byte-for-byte");
+        assert_eq!(corrupted1, corrupted2);
+        assert_eq!(got1.len(), 50, "corruption delivers, never drops");
+        assert!((10..=40).contains(&corrupted1), "flip rate wildly off");
+        let mangled = got1
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| **p != [*i as u8, 0xAA, 0x55])
+            .count() as u64;
+        assert_eq!(mangled, corrupted1, "each flip mangles exactly one message");
+        for (i, p) in got1.iter().enumerate() {
+            let clean = [i as u8, 0xAA, 0x55];
+            let diff: u32 = p
+                .iter()
+                .zip(clean.iter())
+                .map(|(a, b)| (a ^ b).count_ones())
+                .sum();
+            assert!(diff <= 1, "message {i} has {diff} flipped bits");
+        }
+    }
+
+    #[test]
+    fn empty_payloads_pass_through_a_corrupting_link() {
+        let plan = FaultPlan {
+            seed: 3,
+            ..FaultPlan::default()
+        }
+        .with_bitflips(1.0);
+        let mut eps = Network::with_faults(2, &[Some(plan), None]);
+        let mut e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        for _ in 0..5 {
+            e0.send(Rank(1), Tag(0), Bytes::new()).unwrap();
+        }
+        let mut n = 0;
+        while e1.try_recv().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 5, "nothing to flip, nothing lost");
+        assert_eq!(e0.stats().corrupted_msgs, 0);
     }
 
     #[test]

@@ -26,13 +26,16 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod crc;
 mod delay;
 mod fault;
+pub mod frame;
 mod message;
 mod reliable;
 mod transport;
 mod wire;
 
+pub use crc::crc32c;
 pub use delay::DelayModel;
 pub use fault::FaultPlan;
 pub use message::{Envelope, Rank, Tag};

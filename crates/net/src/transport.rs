@@ -53,6 +53,8 @@ pub struct NetStats {
     pub recv_bytes: u64,
     /// Messages silently dropped by fault injection.
     pub dropped_msgs: u64,
+    /// Messages delivered with a bit flipped by fault injection.
+    pub corrupted_msgs: u64,
 }
 
 /// Handle that can kill an endpoint from another thread (simulates a node
@@ -181,7 +183,7 @@ impl Endpoint {
             payload,
         };
         self.fault.note_send();
-        let res = match self.fault.decide(tag) {
+        let res = match self.fault.decide(tag, env.payload.len()) {
             SendVerdict::Deliver => self.deliver(env),
             SendVerdict::Drop => {
                 self.stats.dropped_msgs += 1;
@@ -191,6 +193,15 @@ impl Endpoint {
             SendVerdict::Delay(release_at) => {
                 self.fault.hold(release_at, env);
                 Ok(())
+            }
+            SendVerdict::Corrupt { bit } => {
+                let mut buf = env.payload.to_vec();
+                buf[(bit / 8) as usize] ^= 1 << (bit % 8);
+                self.stats.corrupted_msgs += 1;
+                self.deliver(Envelope {
+                    payload: Bytes::from(buf),
+                    ..env
+                })
             }
         };
         // Release previously held messages only after the current one so a

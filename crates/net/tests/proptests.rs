@@ -1,7 +1,7 @@
 //! Property-based tests for the transport and the wire codec.
 
 use bytes::Bytes;
-use easyhps_net::{FaultPlan, Network, Rank, Tag, WireReader, WireWriter};
+use easyhps_net::{frame, FaultPlan, Network, Rank, Tag, WireReader, WireWriter};
 use proptest::prelude::*;
 
 /// Operations for codec round-trip testing.
@@ -140,5 +140,49 @@ proptest! {
             prop_assert!(it.any(|t| t == g), "received {g} out of order or never sent");
         }
         prop_assert_eq!(got.len() as u64 + tx.stats().dropped_msgs, tags.len() as u64);
+    }
+
+    /// Every byte-length prefix of a sealed frame — any kind, any payload
+    /// — fails the CRC/size check cleanly. A truncated frame must never
+    /// decode, panic, or allocate from a hostile length.
+    #[test]
+    fn every_frame_prefix_is_rejected(
+        payload in proptest::collection::vec(any::<u8>(), 0..300),
+        seq in any::<u64>(),
+        kind in 0usize..3,
+    ) {
+        let sealed = match kind {
+            0 => frame::seal_raw(&payload),
+            1 => frame::seal_data(seq, &payload),
+            _ => frame::seal_ack(seq),
+        };
+        prop_assert!(frame::check(&sealed).is_ok(), "the full frame is valid");
+        for cut in 0..sealed.len() {
+            prop_assert!(
+                frame::check(&sealed[..cut]).is_err(),
+                "prefix of {cut}/{} bytes must not verify",
+                sealed.len()
+            );
+        }
+    }
+
+    /// Any single corrupted byte in a sealed frame is caught by the CRC.
+    #[test]
+    fn any_corrupted_byte_is_caught(
+        payload in proptest::collection::vec(any::<u8>(), 0..300),
+        seq in any::<u64>(),
+        kind in 0usize..3,
+        pos_frac in 0.0f64..1.0,
+        xor in 1u8..=255,
+    ) {
+        let sealed = match kind {
+            0 => frame::seal_raw(&payload),
+            1 => frame::seal_data(seq, &payload),
+            _ => frame::seal_ack(seq),
+        };
+        let mut buf = sealed.to_vec();
+        let pos = ((buf.len() - 1) as f64 * pos_frac) as usize;
+        buf[pos] ^= xor;
+        prop_assert!(frame::check(&buf).is_err(), "flip at byte {pos} must not verify");
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::checkpoint::Checkpoint;
 use crate::config::{Deployment, ObsConfig, RunReport};
+use crate::durable::CheckpointPolicy;
 use crate::master::run_master_with;
 use crate::shared_grid::SharedGrid;
 use crate::slave::run_slave_with_storage;
@@ -135,10 +136,27 @@ impl<P: DpProblem> EasyHps<P> {
     }
 
     /// Resume a run from a [`Checkpoint`]: finished sub-tasks are restored
-    /// instead of re-executed.
+    /// instead of re-executed. Combine with [`Checkpoint::load_dir`] to
+    /// continue a run a hard master kill interrupted.
     pub fn resume_from(mut self, checkpoint: Checkpoint) -> Self {
         self.resume = Some(checkpoint);
         self
+    }
+
+    /// Durably checkpoint the run per `policy`: the master appends
+    /// finished tiles to CRC-guarded segment files in the policy's
+    /// directory, so even a hard master kill loses at most the tiles
+    /// accepted since the last capture. Recover with
+    /// [`Checkpoint::load_dir`] + [`Self::resume_from`].
+    pub fn checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.deployment.checkpoint = Some(policy);
+        self
+    }
+
+    /// [`Self::checkpoint`] with the default policy (capture every 32
+    /// accepted tiles, compact beyond 8 live segments).
+    pub fn checkpoint_dir(self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint(CheckpointPolicy::new(dir))
     }
 
     /// Stop after `tiles` completions (counting resumed ones) and return a

@@ -25,6 +25,59 @@ pub struct Checkpoint {
     finished: Vec<(u32, TileRegion, Vec<u8>)>,
 }
 
+/// Validate a decoded entry set against the claimed matrix extent:
+/// every region in-matrix and non-empty, no duplicate vertex ids, no
+/// overlapping regions, and at least one byte of cell data per cell (no
+/// cell encoding is narrower than a byte). Shared by [`Checkpoint::
+/// from_bytes`] and the durable segment loader — a checkpoint is the
+/// master's source of truth on resume, so nothing structurally unsound
+/// may get past decode.
+pub(crate) fn validate_entries(
+    rows: u32,
+    cols: u32,
+    finished: &[(u32, TileRegion, Vec<u8>)],
+) -> Result<(), WireError> {
+    let mut ids = std::collections::HashSet::with_capacity(finished.len());
+    // Cell-granular occupancy: two regions overlap iff they share a cell.
+    // Total work is bounded by the total cell bytes (>= 1 byte per cell),
+    // which is bounded by the blob the entries were decoded from.
+    let mut cells = std::collections::HashSet::new();
+    for (id, region, bytes) in finished {
+        if !ids.insert(*id) {
+            return Err(WireError {
+                context: "checkpoint duplicate vertex id",
+            });
+        }
+        if region.row_start >= region.row_end || region.col_start >= region.col_end {
+            return Err(WireError {
+                context: "checkpoint empty or inverted region",
+            });
+        }
+        if region.row_end > rows || region.col_end > cols {
+            return Err(WireError {
+                context: "checkpoint region outside matrix",
+            });
+        }
+        let area =
+            (region.row_end - region.row_start) as u64 * (region.col_end - region.col_start) as u64;
+        if (bytes.len() as u64) < area {
+            return Err(WireError {
+                context: "checkpoint cell bytes shorter than region",
+            });
+        }
+        for row in region.row_start..region.row_end {
+            for col in region.col_start..region.col_end {
+                if !cells.insert(row as u64 * cols as u64 + col as u64) {
+                    return Err(WireError {
+                        context: "checkpoint overlapping regions",
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 impl Checkpoint {
     /// Capture the finished sub-tasks of a run: `finished` lists dense
     /// master-DAG vertex ids whose regions in `matrix` hold final values.
@@ -47,6 +100,28 @@ impl Checkpoint {
             cols: dims.cols,
             finished,
         }
+    }
+
+    /// Assemble a checkpoint from already-decoded parts, applying the
+    /// same structural validation as [`Self::from_bytes`]. Used by the
+    /// durable segment loader after merging on-disk segments.
+    pub(crate) fn from_parts(
+        rows: u32,
+        cols: u32,
+        finished: Vec<(u32, TileRegion, Vec<u8>)>,
+    ) -> Result<Self, WireError> {
+        validate_entries(rows, cols, &finished)?;
+        Ok(Self {
+            rows,
+            cols,
+            finished,
+        })
+    }
+
+    /// Matrix extent the checkpoint was captured for.
+    #[cfg(test)]
+    pub(crate) fn extent(&self) -> (u32, u32) {
+        (self.rows, self.cols)
     }
 
     /// Number of finished sub-tasks recorded.
@@ -89,7 +164,11 @@ impl Checkpoint {
         w.finish().to_vec()
     }
 
-    /// Decode from bytes produced by [`Self::to_bytes`].
+    /// Decode from bytes produced by [`Self::to_bytes`], rejecting
+    /// structurally unsound data: duplicate vertex ids, empty or
+    /// out-of-matrix regions, overlapping regions, and entry counts the
+    /// buffer cannot possibly hold (so a hostile length prefix cannot
+    /// drive a huge allocation).
     pub fn from_bytes(buf: &[u8]) -> Result<Self, WireError> {
         let mut r = WireReader::new(buf);
         if r.get_u32()? != MAGIC {
@@ -100,6 +179,14 @@ impl Checkpoint {
         let rows = r.get_u32()?;
         let cols = r.get_u32()?;
         let n = r.get_u32()?;
+        // Every entry takes at least 24 bytes (id + region + length
+        // prefix); a count the remaining bytes cannot hold is corrupt.
+        // Checked *before* the allocation sized by it.
+        if n as u64 * 24 > r.remaining() as u64 {
+            return Err(WireError {
+                context: "checkpoint entry count exceeds buffer",
+            });
+        }
         let mut finished = Vec::with_capacity(n as usize);
         for _ in 0..n {
             let id = r.get_u32()?;
@@ -108,11 +195,7 @@ impl Checkpoint {
             finished.push((id, region, bytes));
         }
         r.expect_end()?;
-        Ok(Self {
-            rows,
-            cols,
-            finished,
-        })
+        Self::from_parts(rows, cols, finished)
     }
 }
 
@@ -183,5 +266,86 @@ mod tests {
         let cp = Checkpoint::capture::<i32>(&model, &dag, &m, []);
         let mut wrong = DpMatrix::<i32>::new(GridDims::square(3));
         cp.restore_into(&mut wrong);
+    }
+
+    /// Encode a raw checkpoint blob without going through `capture`, so
+    /// structurally unsound entry sets can be fed to `from_bytes`.
+    fn raw_blob(rows: u32, cols: u32, entries: &[(u32, TileRegion, Vec<u8>)]) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_u32(MAGIC).put_u32(rows).put_u32(cols);
+        w.put_u32(entries.len() as u32);
+        for (id, region, bytes) in entries {
+            w.put_u32(*id)
+                .put_u32(region.row_start)
+                .put_u32(region.row_end)
+                .put_u32(region.col_start)
+                .put_u32(region.col_end)
+                .put_bytes(bytes);
+        }
+        w.finish().to_vec()
+    }
+
+    fn region_entry(id: u32, r0: u32, r1: u32, c0: u32, c1: u32) -> (u32, TileRegion, Vec<u8>) {
+        let area = ((r1.saturating_sub(r0)) * (c1.saturating_sub(c0))) as usize;
+        (
+            id,
+            TileRegion::new(r0, r1, c0, c1),
+            vec![1; area.max(1) * 4],
+        )
+    }
+
+    fn rejects(blob: &[u8], why: &str) {
+        let err = Checkpoint::from_bytes(blob).expect_err(why);
+        assert!(err.to_string().contains(why), "{err} should mention {why}");
+    }
+
+    #[test]
+    fn rejects_duplicate_vertex_ids() {
+        let blob = raw_blob(
+            8,
+            8,
+            &[region_entry(3, 0, 2, 0, 2), region_entry(3, 2, 4, 2, 4)],
+        );
+        rejects(&blob, "duplicate vertex id");
+    }
+
+    #[test]
+    fn rejects_overlapping_regions() {
+        let blob = raw_blob(
+            8,
+            8,
+            &[region_entry(0, 0, 3, 0, 3), region_entry(1, 2, 5, 2, 5)],
+        );
+        rejects(&blob, "overlapping regions");
+    }
+
+    #[test]
+    fn rejects_out_of_matrix_region() {
+        let blob = raw_blob(8, 8, &[region_entry(0, 6, 9, 0, 2)]);
+        rejects(&blob, "outside matrix");
+    }
+
+    #[test]
+    fn rejects_empty_and_inverted_regions() {
+        let blob = raw_blob(8, 8, &[region_entry(0, 2, 2, 0, 2)]);
+        rejects(&blob, "empty or inverted region");
+        let blob = raw_blob(8, 8, &[region_entry(0, 4, 2, 0, 2)]);
+        rejects(&blob, "empty or inverted region");
+    }
+
+    #[test]
+    fn rejects_cell_bytes_shorter_than_region() {
+        let blob = raw_blob(8, 8, &[(0, TileRegion::new(0, 4, 0, 4), vec![1; 3])]);
+        rejects(&blob, "cell bytes shorter than region");
+    }
+
+    /// A hostile entry count must be rejected *before* any allocation
+    /// sized by it — `u32::MAX` entries "fit" in 16 bytes of header only
+    /// if nobody checks.
+    #[test]
+    fn rejects_entry_count_exceeding_buffer_without_allocating() {
+        let mut w = WireWriter::new();
+        w.put_u32(MAGIC).put_u32(8).put_u32(8).put_u32(u32::MAX);
+        rejects(&w.finish(), "entry count exceeds buffer");
     }
 }

@@ -1,5 +1,6 @@
 //! Deployment configuration and run statistics.
 
+use crate::durable::CheckpointPolicy;
 use crate::protocol::SlaveStatsMsg;
 use easyhps_core::ScheduleMode;
 use easyhps_net::RetryPolicy;
@@ -57,6 +58,12 @@ pub struct Deployment {
     /// [`ObsConfig`]. The [`crate::EasyHps`] builder wires this through
     /// its `.metrics(..)` / `.trace_out(..)` knobs.
     pub obs: ObsConfig,
+    /// Durable incremental checkpointing (defaults to off). When set, the
+    /// master appends finished tiles to CRC-guarded segment files in
+    /// [`CheckpointPolicy::dir`] at the policy's cadence, and a later run
+    /// can recover them with [`crate::Checkpoint::load_dir`] even after a
+    /// hard master kill.
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl Deployment {
@@ -74,6 +81,7 @@ impl Deployment {
             heartbeat_interval: Duration::from_millis(25),
             heartbeat_timeout: Duration::from_millis(250),
             obs: ObsConfig::default(),
+            checkpoint: None,
         }
     }
 

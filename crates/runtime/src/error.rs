@@ -20,6 +20,9 @@ pub enum RuntimeError {
     NoSlaves,
     /// Writing the structured-event trace file failed (path and OS error).
     TraceIo(String),
+    /// The durable checkpoint store refused to open, read or write (path,
+    /// cause).
+    Checkpoint(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -33,6 +36,7 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::NoSlaves => write!(f, "deployment has no slave nodes"),
             RuntimeError::TraceIo(e) => write!(f, "failed to write trace file: {e}"),
+            RuntimeError::Checkpoint(e) => write!(f, "checkpoint store error: {e}"),
         }
     }
 }

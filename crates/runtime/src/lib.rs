@@ -40,6 +40,7 @@
 mod api;
 mod checkpoint;
 mod config;
+mod durable;
 mod easy_pdp;
 mod error;
 mod master;
@@ -54,6 +55,7 @@ pub mod testing;
 pub use api::{EasyHps, MemoryMode, RunOutput};
 pub use checkpoint::Checkpoint;
 pub use config::{Deployment, MasterStats, ObsConfig, RunReport};
+pub use durable::CheckpointPolicy;
 pub use easy_pdp::{EasyPdp, PdpOutput};
 pub use easyhps_core::ScheduleMode;
 pub use easyhps_net::RetryPolicy;

@@ -29,6 +29,7 @@
 
 use crate::checkpoint::Checkpoint;
 use crate::config::{Deployment, MasterStats};
+use crate::durable::CheckpointStore;
 use crate::obs::{lane_of, publish_endpoint_stats, registry_of, MasterMetrics, TID_FT, TID_NET};
 use crate::pool::{OvertimeQueue, RegisterTable, TaskStack};
 use crate::protocol::{tags, AssignMsg, DoneMsg, SlaveStatsMsg};
@@ -175,6 +176,23 @@ pub fn run_master_with<P: DpProblem>(
     let tile_cols = dag.dims().cols;
     let n_slaves = config.slaves;
 
+    // Durable checkpoint store: opened before any thread spawns, so a
+    // refused directory (dims mismatch, prior run present without
+    // --resume) fails the run before it touches the network.
+    let dims = model.dag_size();
+    let mut store = match &config.checkpoint {
+        Some(pol) => Some(CheckpointStore::open(
+            pol,
+            dims.rows,
+            dims.cols,
+            resume.is_some(),
+        )?),
+        None => None,
+    };
+    // Prefix of `completed_tasks` already flushed to the store.
+    let mut flush_idx: usize = 0;
+    let mut last_flush = t0;
+
     let shared = Arc::new(Mutex::new(MasterShared::new(
         &dag,
         n_slaves,
@@ -263,6 +281,9 @@ pub fn run_master_with<P: DpProblem>(
                     .expect("claimed task completes");
                 completed_tasks.push(v);
                 mm.resumed.inc();
+                if store.as_ref().is_some_and(|st| st.is_durable(v.0)) {
+                    mm.restored.inc();
+                }
             }
         }
         drop(s);
@@ -491,6 +512,28 @@ pub fn run_master_with<P: DpProblem>(
                     lane.instant("exclude", "ft", Some(("slave", w as u64)));
                 }
             }
+
+            // Durable capture: flush tiles accepted since the last flush
+            // once the policy's cadence is due. Runs with no lock held,
+            // after message handling — never on the DONE hot path itself.
+            if let (Some(st), Some(pol)) = (store.as_mut(), config.checkpoint.as_ref()) {
+                let pending = (completed_tasks.len() - flush_idx) as u64;
+                let due = (pol.every_tiles > 0 && pending >= pol.every_tiles)
+                    || (pending > 0 && pol.every.is_some_and(|d| last_flush.elapsed() >= d));
+                if due {
+                    flush_durable(
+                        st,
+                        &mut flush_idx,
+                        &completed_tasks,
+                        model,
+                        &dag,
+                        &matrix,
+                        &mm,
+                        &mut lane,
+                    )?;
+                    last_flush = Instant::now();
+                }
+            }
         }
         Ok(())
     })();
@@ -588,6 +631,23 @@ pub fn run_master_with<P: DpProblem>(
         let _ = rep.take_failures();
     }
 
+    // Final durable capture: everything the drain above accepted is on
+    // disk before the run reports success. A crashed run (`result?`
+    // above) never reaches this — exactly the gap the incremental
+    // in-loop flushes cover.
+    if let Some(st) = store.as_mut() {
+        flush_durable(
+            st,
+            &mut flush_idx,
+            &completed_tasks,
+            model,
+            &dag,
+            &matrix,
+            &mm,
+            &mut lane,
+        )?;
+    }
+
     publish_endpoint_stats(&registry, "master", &rep);
     let reli = rep.stats();
     let net = rep.net_stats();
@@ -630,6 +690,46 @@ pub fn run_master_with<P: DpProblem>(
         trace,
         checkpoint,
     })
+}
+
+/// Append the not-yet-durable tail of `completed` to the checkpoint
+/// store: encode each tile's region from the live matrix, write one
+/// segment, account the cost. `flush_idx` advances to the end of
+/// `completed` even when nothing was fresh (already-durable resumed tiles
+/// are skipped without re-writing).
+#[allow(clippy::too_many_arguments)] // plumbing between two loop sites
+fn flush_durable<C: easyhps_dp::Cell>(
+    store: &mut CheckpointStore,
+    flush_idx: &mut usize,
+    completed: &[VertexId],
+    model: &DagDataDrivenModel,
+    dag: &TaskDag,
+    matrix: &DpMatrix<C>,
+    mm: &MasterMetrics,
+    lane: &mut easyhps_obs::LaneBuf,
+) -> Result<(), RuntimeError> {
+    let fresh: Vec<_> = completed[*flush_idx..]
+        .iter()
+        .copied()
+        .filter(|v| !store.is_durable(v.0))
+        .map(|v| {
+            let region = model.tile_region(dag.vertex(v).pos);
+            (v.0, region, matrix.encode_region(region))
+        })
+        .collect();
+    *flush_idx = completed.len();
+    if fresh.is_empty() {
+        return Ok(());
+    }
+    let tiles = fresh.len() as u64;
+    let t = Instant::now();
+    let bytes = store.append(&fresh)?;
+    mm.checkpoint_bytes.add(bytes);
+    mm.checkpoint_write_us
+        .observe(t.elapsed().as_micros() as u64);
+    mm.checkpoints.inc();
+    lane.instant("checkpoint-flush", "checkpoint", Some(("tiles", tiles)));
+    Ok(())
 }
 
 #[cfg(test)]

@@ -65,12 +65,19 @@ pub(crate) struct MasterMetrics {
     pub readmissions: Arc<Counter>,
     /// Reliable sends the master abandoned.
     pub send_failures: Arc<Counter>,
-    /// Checkpoints captured at a tile budget.
+    /// Checkpoints captured (tile-budget captures and durable flushes).
     pub checkpoints: Arc<Counter>,
+    /// Sub-tasks restored from the *durable* store on resume (subset of
+    /// `resumed`, which also counts in-memory resume tiles).
+    pub restored: Arc<Counter>,
+    /// Bytes appended to the durable checkpoint store.
+    pub checkpoint_bytes: Arc<Counter>,
     /// Currently-excluded slaves (exclusions minus re-admissions).
     pub dead_slaves: Arc<Gauge>,
     /// Dispatch-to-completion latency per tile, nanoseconds.
     pub tile_latency: Arc<Histogram>,
+    /// Wall-clock cost of each durable checkpoint flush, microseconds.
+    pub checkpoint_write_us: Arc<Histogram>,
 }
 
 impl MasterMetrics {
@@ -85,8 +92,11 @@ impl MasterMetrics {
             readmissions: reg.counter("master_slave_readmissions"),
             send_failures: reg.counter("master_send_failures"),
             checkpoints: reg.counter("master_checkpoints"),
+            restored: reg.counter("master_tiles_restored"),
+            checkpoint_bytes: reg.counter("checkpoint_bytes"),
             dead_slaves: reg.gauge("master_dead_slaves"),
             tile_latency: reg.histogram("master_tile_latency_ns"),
+            checkpoint_write_us: reg.histogram("checkpoint_write_us"),
         }
     }
 }
@@ -140,7 +150,11 @@ pub(crate) fn publish_endpoint_stats(reg: &Registry, role: &str, rep: &ReliableE
         .add(reli.backoff_wait_ns);
     reg.counter(&l("net_acks_sent")).add(reli.acks_sent);
     reg.counter(&l("net_acks_recv")).add(reli.acks_recv);
+    reg.counter(&l("net_frames_corrupt"))
+        .add(reli.corrupt_frames);
     let net = rep.net_stats();
+    reg.counter(&l("net_msgs_corrupted"))
+        .add(net.corrupted_msgs);
     reg.counter(&l("net_msgs_sent")).add(net.sent_msgs);
     reg.counter(&l("net_bytes_sent")).add(net.sent_bytes);
     reg.counter(&l("net_msgs_recv")).add(net.recv_msgs);

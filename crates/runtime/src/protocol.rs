@@ -90,6 +90,14 @@ impl AssignMsg {
         let tile = GridPos::new(r.get_u32()?, r.get_u32()?);
         let region = get_region(&mut r)?;
         let n = r.get_u32()?;
+        // Every input takes at least 20 bytes (region + length prefix);
+        // a count the remaining bytes cannot hold is corrupt, and must be
+        // rejected *before* the allocation it sizes.
+        if n as u64 * 20 > r.remaining() as u64 {
+            return Err(WireError {
+                context: "assign input count exceeds buffer",
+            });
+        }
         let mut inputs = Vec::with_capacity(n as usize);
         for _ in 0..n {
             let reg = get_region(&mut r)?;

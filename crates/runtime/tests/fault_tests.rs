@@ -88,6 +88,57 @@ fn nussinov_survives_5_percent_drop() {
     assert_lossy_run_is_exact(Nussinov::new(rna), 0.05, 4);
 }
 
+/// Acceptance drill for the CRC-guarded framing: every link (master
+/// included) flips one bit in ~1% of its outgoing frames. The run must
+/// complete bit-identical to the sequential reference, the receivers
+/// must have actually *caught* corrupt frames (so the pass is not
+/// vacuous), and no decoder error surfaces as a run failure — corrupt
+/// frames are dropped and recovered by retransmission.
+#[test]
+fn swgg_survives_1_percent_bitflips_bit_identical() {
+    let a = random_sequence(Alphabet::Dna, 40, 109);
+    let b = random_sequence(Alphabet::Dna, 44, 110);
+    let problem = SmithWatermanGeneralGap::dna(a, b);
+    let reference = problem.solve_sequential();
+    let pattern = problem.pattern();
+    let mut hps = EasyHps::new(problem)
+        .process_partition((10, 10))
+        .thread_partition((4, 4))
+        .slaves(4)
+        .threads_per_slave(2)
+        .metrics(true);
+    for rank in 0..5u64 {
+        let fp = FaultPlan {
+            seed: 0x5eed ^ rank,
+            ..FaultPlan::default()
+        }
+        .with_bitflips(0.01);
+        hps = if rank == 0 {
+            hps.inject_master_fault(fp)
+        } else {
+            hps.inject_fault(rank as usize - 1, fp)
+        };
+    }
+    let out = hps.run().expect("corrupting links are survivable");
+    for pos in reference.dims().iter() {
+        if pattern.contains(pos) {
+            assert_eq!(out.matrix.at(pos), reference.at(pos), "cell {pos}");
+        }
+    }
+    let snap = out.metrics.unwrap().snapshot();
+    let injected = snap.counter_total("net_msgs_corrupted");
+    let caught = snap.counter_total("net_frames_corrupt");
+    assert!(injected > 0, "the plan actually flipped frames");
+    assert!(
+        caught > 0,
+        "the CRC check caught corrupt frames ({injected} injected)"
+    );
+    assert_eq!(
+        out.report.master.send_failures, 0,
+        "retransmit pushed every corrupted message through"
+    );
+}
+
 #[test]
 fn nussinov_survives_10_percent_drop() {
     let rna = random_sequence(Alphabet::Rna, 48, 108);

@@ -93,6 +93,15 @@ pub enum FaultClause {
         /// Stall duration, milliseconds.
         millis: u64,
     },
+    /// Flip one seeded bit in a fraction of this rank's outgoing frames —
+    /// a corrupting link. The CRC-guarded framing must catch every flip
+    /// and recover by retransmission; a flip that decodes is a bug.
+    BitFlip {
+        /// Rank whose outgoing traffic is corrupted (0 = master).
+        rank: u32,
+        /// Corruption probability, permille.
+        pm: u32,
+    },
 }
 
 impl fmt::Display for FaultClause {
@@ -117,6 +126,9 @@ impl fmt::Display for FaultClause {
             }
             Self::Stall { permille, millis } => {
                 write!(f, "stall permille={permille} millis={millis}")
+            }
+            Self::BitFlip { rank, pm } => {
+                write!(f, "bit-flip rank={rank} pm={pm}")
             }
         }
     }
@@ -239,6 +251,14 @@ impl StressPlan {
                 millis: rng.random_range(40..=300u64),
             });
         }
+        // Corrupting link on one rank. Drawn *after* every pre-existing
+        // clause so old seeds keep their schedules byte for byte.
+        if rng.random_bool(0.35) {
+            clauses.push(FaultClause::BitFlip {
+                rank: rng.random_range(0..=slaves as u32),
+                pm: rng.random_range(5..=15u32),
+            });
+        }
 
         Self {
             seed,
@@ -304,7 +324,7 @@ mod tests {
     #[test]
     fn seeds_cover_every_clause_kind() {
         let cfg = StressConfig::default();
-        let (mut chaos, mut starve, mut crash, mut stall) = (0, 0, 0, 0);
+        let (mut chaos, mut starve, mut crash, mut stall, mut flip) = (0, 0, 0, 0, 0);
         for seed in 0..300u64 {
             for c in StressPlan::from_seed(seed, &cfg).clauses {
                 match c {
@@ -312,6 +332,7 @@ mod tests {
                     FaultClause::StarveHeartbeats { .. } => starve += 1,
                     FaultClause::Crash { .. } => crash += 1,
                     FaultClause::Stall { .. } => stall += 1,
+                    FaultClause::BitFlip { .. } => flip += 1,
                 }
             }
         }
@@ -319,6 +340,7 @@ mod tests {
         assert!(starve > 20, "starvation present ({starve})");
         assert!(crash > 20, "crashes present ({crash})");
         assert!(stall > 50, "stalls present ({stall})");
+        assert!(flip > 50, "bit flips present ({flip})");
     }
 
     #[test]

@@ -13,6 +13,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
+/// How a seed ended, coarsened for exit codes and the repro line. A hang
+/// is not an invariant failure: the run produced *no* result, the stuck
+/// thread was leaked, and the trace file is left on disk for inspection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every invariant held.
+    Pass,
+    /// The run finished (or failed) and violated at least one invariant.
+    InvariantFailed,
+    /// No result within the hang timeout — deadlock or livelock.
+    Hang,
+}
+
 /// Result of stressing one seed.
 #[derive(Clone, Debug)]
 pub struct SeedOutcome {
@@ -31,6 +44,17 @@ impl SeedOutcome {
     /// Whether every invariant held.
     pub fn passed(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// Coarse verdict: pass, invariant failure, or hang.
+    pub fn verdict(&self) -> Verdict {
+        if self.violations.is_empty() {
+            Verdict::Pass
+        } else if self.violations.iter().any(|v| v.starts_with("hang:")) {
+            Verdict::Hang
+        } else {
+            Verdict::InvariantFailed
+        }
     }
 
     /// The one-line repro command for a failing seed.
@@ -150,6 +174,9 @@ fn rank_fault_plans(plan: &StressPlan) -> Vec<Option<FaultPlan>> {
                 touch(&mut plans, plan.seed, rank).die_after_sends = Some(after_sends);
             }
             FaultClause::Stall { .. } => {} // handled at the kernel level
+            FaultClause::BitFlip { rank, pm } => {
+                touch(&mut plans, plan.seed, rank).bitflip_prob = pm as f64 / 1000.0;
+            }
         }
     }
     plans
@@ -194,6 +221,7 @@ where
         .process_mode(plan.mode)
         .task_timeout(Duration::from_millis(300))
         .heartbeat(Duration::from_millis(20), Duration::from_millis(150))
+        .metrics(true)
         .trace_out(&trace_path);
     for (rank, fp) in rank_fault_plans(plan).into_iter().enumerate() {
         let Some(fp) = fp else { continue };
@@ -317,6 +345,24 @@ where
         Err(e) => v.push(format!("trace file unreadable: {e}")),
     }
     let _ = std::fs::remove_file(&trace_path);
+
+    // Invariant 7: a corrupting link never goes unnoticed — if the fault
+    // layer flipped bits in a meaningful number of outgoing messages, the
+    // CRC-guarded framing must have caught at least one (a corrupted
+    // frame that *verifies* would instead surface as a matrix mismatch,
+    // but this catches silent accounting bugs too). The >= 3 floor skips
+    // runs where the seeded flips never actually fired.
+    if let Some(metrics) = &out.metrics {
+        let snap = metrics.snapshot();
+        let injected = snap.counter_total("net_msgs_corrupted");
+        let caught = snap.counter_total("net_frames_corrupt");
+        if injected >= 3 && caught == 0 {
+            v.push(format!(
+                "corruption defense: {injected} messages were bit-flipped \
+                 but zero frames failed the CRC check"
+            ));
+        }
+    }
 
     v
 }

@@ -6,7 +6,10 @@
 //! invariants.
 
 use easyhps_core::ScheduleMode;
-use easyhps_stress::{run_plan, run_seed, FaultClause, StressConfig, StressPlan, Workload};
+use easyhps_stress::{
+    run_kill_seed, run_plan, run_seed, FaultClause, KillPlan, StressConfig, StressPlan, Verdict,
+    Workload,
+};
 use std::time::Duration;
 
 #[test]
@@ -139,4 +142,49 @@ fn an_empty_fault_schedule_is_a_clean_run() {
     assert!(plan.clauses.is_empty());
     let violations = run_plan(&plan, &cfg);
     assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn kill_master_seeds_recover_bit_identical() {
+    let cfg = StressConfig::default();
+    for seed in [2u64, 11] {
+        let outcome = run_kill_seed(seed, &cfg);
+        assert!(
+            outcome.passed(),
+            "seed {seed} failed; repro: {}\nviolations:\n{}\nplan: {:?}",
+            outcome.repro_line(),
+            outcome.violations.join("\n"),
+            outcome.plan,
+        );
+        assert_eq!(outcome.verdict(), Verdict::Pass);
+    }
+}
+
+#[test]
+fn kill_plans_replay_byte_for_byte_and_vary() {
+    assert_eq!(
+        format!("{:?}", KillPlan::from_seed(7)),
+        format!("{:?}", KillPlan::from_seed(7))
+    );
+    // The knobs actually vary across seeds: some plans chop the segment
+    // tail, some corrupt a link, and the kill budget is not constant.
+    let plans: Vec<KillPlan> = (0..80).map(KillPlan::from_seed).collect();
+    assert!(plans.iter().any(|p| p.chop_tail.is_some()));
+    assert!(plans.iter().any(|p| p.bitflip.is_some()));
+    let budgets: std::collections::HashSet<u64> =
+        plans.iter().map(|p| p.kill_after_sends).collect();
+    assert!(budgets.len() > 10, "kill budgets vary ({})", budgets.len());
+}
+
+/// The verdict distinguishes a hang from an invariant failure, so the
+/// one-line repro carries the failure class.
+#[test]
+fn hang_verdict_is_not_an_invariant_failure() {
+    let cfg = StressConfig::default();
+    let mut outcome = run_seed(1, &cfg);
+    assert_eq!(outcome.verdict(), Verdict::Pass);
+    outcome.violations = vec!["hang: no result within 60s (deadlock or livelock)".into()];
+    assert_eq!(outcome.verdict(), Verdict::Hang);
+    outcome.violations = vec!["matrix mismatch at (1, 1)".into()];
+    assert_eq!(outcome.verdict(), Verdict::InvariantFailed);
 }

@@ -10,7 +10,7 @@
 //!               [--trace-out PATH]
 //! easyhps analyze [--workload swgg|nussinov|wavefront] [--len N]
 //!               [--pps N] [--tps N]
-//! easyhps stress [--seed N | --seeds N [--start N]]
+//! easyhps stress [--seed N | --seeds N [--start N]] [--kill-master]
 //!               [--mode dynamic|bcw|cw] [--slaves N]
 //!               [--workload editdist|swgg|nussinov] [--clauses i,j|none]
 //!               [--hang-timeout SECS] [--no-shrink] [--list]
@@ -21,11 +21,31 @@
 //! chart of the schedule; `stress` drives the real runtime through
 //! seed-derived adversarial fault schedules and checks run invariants
 //! (failing seeds print a one-line repro with a minimized schedule).
+//! `stress --kill-master` runs the crash-recovery drill instead: each
+//! seed checkpoints to disk, kills the master mid-run, restarts from the
+//! checkpoint directory, and requires bit-identical recovery.
 //!
 //! Every runtime command (`align`, `fold`, `editdist`) also accepts
 //! `--metrics` (print a Prometheus-style metrics exposition of the run to
 //! stdout) and `--trace-out PATH` (write a Chrome trace-event JSON file —
-//! open it in Perfetto, <https://ui.perfetto.dev>).
+//! open it in Perfetto, <https://ui.perfetto.dev>), plus the durable
+//! recovery flags: `--checkpoint-dir DIR` (append finished tiles to an
+//! on-disk checkpoint as the run progresses), `--checkpoint-every N`
+//! (flush cadence in accepted tiles, default 32), and `--resume` (load
+//! the directory's progress and skip the finished tiles).
+//!
+//! ## Exit codes
+//!
+//! `stress` distinguishes failure classes so CI can triage without
+//! parsing output:
+//!
+//! * `0` — every seed passed all invariants;
+//! * `1` — an invariant failed, a run errored, or the arguments were
+//!   malformed;
+//! * `2` — a run hung (no result within `--hang-timeout`): deadlock or
+//!   livelock, the trace file is left on disk for inspection.
+//!
+//! Every other command exits `0` on success and `1` on any error.
 
 use easyhps::dp::sequence::parse_fasta;
 use easyhps::dp::{
@@ -96,6 +116,40 @@ fn with_obs_flags<P: easyhps::dp::DpProblem>(mut hps: EasyHps<P>, args: &Args) -
         hps = hps.trace_out(path);
     }
     hps
+}
+
+/// Apply the durable-recovery flags shared by every runtime command:
+/// `--checkpoint-dir DIR`, `--checkpoint-every N`, `--resume`.
+fn with_recovery_flags<P: easyhps::dp::DpProblem>(
+    mut hps: EasyHps<P>,
+    args: &Args,
+) -> Result<EasyHps<P>, String> {
+    let Some(dir) = args.get("checkpoint-dir") else {
+        if args.has("resume") {
+            return Err("--resume needs --checkpoint-dir".into());
+        }
+        return Ok(hps);
+    };
+    let mut policy = easyhps::CheckpointPolicy::new(dir);
+    if let Some(n) = args.get("checkpoint-every") {
+        let n: u64 = n
+            .parse()
+            .map_err(|_| format!("--checkpoint-every: cannot parse '{n}'"))?;
+        policy = policy.with_every_tiles(n);
+    }
+    hps = hps.checkpoint(policy);
+    if args.has("resume") {
+        // An empty or missing directory resumes from nothing — the run
+        // simply starts fresh and begins checkpointing into it.
+        if let Some(cp) = easyhps::Checkpoint::load_dir(dir).map_err(|e| e.to_string())? {
+            println!(
+                "resuming: {} finished tile(s) restored from {dir}",
+                cp.finished_len()
+            );
+            hps = hps.resume_from(cp);
+        }
+    }
+    Ok(hps)
 }
 
 /// Print the run's metrics exposition when `--metrics` asked for one.
@@ -174,7 +228,8 @@ fn cmd_align(args: &Args) -> Result<(), String> {
             .thread_partition((tps, tps))
             .slaves(slaves)
             .threads_per_slave(threads);
-        let out = with_obs_flags(hps, args).run().map_err(|e| e.to_string())?;
+        let hps = with_recovery_flags(with_obs_flags(hps, args), args)?;
+        let out = hps.run().map_err(|e| e.to_string())?;
         let p = NeedlemanWunsch::new(a, b, Substitution::dna_default(), per_gap);
         println!("{}", p.traceback(&out.matrix));
         print_metrics(&out);
@@ -190,7 +245,8 @@ fn cmd_align(args: &Args) -> Result<(), String> {
             .thread_partition((tps, tps))
             .slaves(slaves)
             .threads_per_slave(threads);
-        let out = with_obs_flags(hps, args).run().map_err(|e| e.to_string())?;
+        let hps = with_recovery_flags(with_obs_flags(hps, args), args)?;
+        let out = hps.run().map_err(|e| e.to_string())?;
         let p = SmithWatermanGeneralGap::new(a, b, Substitution::dna_default(), gap);
         println!("{}", p.traceback(&out.matrix));
         print_metrics(&out);
@@ -216,7 +272,8 @@ fn cmd_fold(args: &Args) -> Result<(), String> {
         .thread_partition((tps, tps))
         .slaves(slaves)
         .threads_per_slave(threads);
-    let out = with_obs_flags(hps, args).run().map_err(|e| e.to_string())?;
+    let hps = with_recovery_flags(with_obs_flags(hps, args), args)?;
+    let out = hps.run().map_err(|e| e.to_string())?;
     let p = Nussinov::with_min_loop(rna.clone(), min_loop);
     let pairs = p.traceback(&out.matrix);
     println!("> {name}: {} base pairs", pairs.len());
@@ -232,7 +289,8 @@ fn cmd_editdist(args: &Args) -> Result<(), String> {
     };
     let p = EditDistance::new(a.as_bytes().to_vec(), b.as_bytes().to_vec());
     let hps = EasyHps::new(p).slaves(2).threads_per_slave(2);
-    let out = with_obs_flags(hps, args).run().map_err(|e| e.to_string())?;
+    let hps = with_recovery_flags(with_obs_flags(hps, args), args)?;
+    let out = hps.run().map_err(|e| e.to_string())?;
     let p = EditDistance::new(a.as_bytes().to_vec(), b.as_bytes().to_vec());
     println!("{}", p.distance(&out.matrix));
     print_metrics(&out);
@@ -336,7 +394,52 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stress(args: &Args) -> Result<(), String> {
+/// Exit code for a set of stress violations: 0 = pass, 2 = hang,
+/// 1 = anything else (see the module docs).
+fn stress_exit(violations: &[String]) -> ExitCode {
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else if violations.iter().any(|v| v.starts_with("hang:")) {
+        ExitCode::from(2)
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The crash-recovery drill: checkpoint, kill the master, resume from
+/// disk, require bit-identical recovery.
+fn cmd_stress_kill(args: &Args, cfg: &easyhps::stress::StressConfig) -> Result<ExitCode, String> {
+    use easyhps::stress::run_kill_seed;
+
+    let (start, n) = match args.get("seed") {
+        Some(seed) => (seed.parse().map_err(|_| "--seed: not a number")?, 1),
+        None => (args.get_num("start", 0u64)?, args.get_num("seeds", 20u64)?),
+    };
+    let t0 = std::time::Instant::now();
+    for seed in start..start + n {
+        let outcome = run_kill_seed(seed, cfg);
+        if outcome.passed() {
+            println!(
+                "kill-master seed {seed}: PASS ({:.1}s)",
+                outcome.elapsed.as_secs_f64()
+            );
+            continue;
+        }
+        println!("kill-master seed {seed}: FAIL\nplan: {:?}", outcome.plan);
+        for v in &outcome.violations {
+            println!("  violation: {v}");
+        }
+        println!("repro: {}", outcome.repro_line());
+        return Ok(stress_exit(&outcome.violations));
+    }
+    println!(
+        "{n} kill-master seed(s) recovered bit-identical in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_stress(args: &Args) -> Result<ExitCode, String> {
     use easyhps::stress::{run_plan, run_seed, StressConfig, StressPlan, Workload};
 
     let mode = match args.get("mode").unwrap_or("dynamic") {
@@ -359,6 +462,10 @@ fn cmd_stress(args: &Args) -> Result<(), String> {
         shrink: !args.has("no-shrink"),
     };
 
+    if args.has("kill-master") {
+        return cmd_stress_kill(args, &cfg);
+    }
+
     // Single-seed mode: --seed N, optionally with --clauses to replay a
     // minimized schedule, or --list to print the derived plan and exit.
     if let Some(seed) = args.get("seed") {
@@ -378,17 +485,18 @@ fn cmd_stress(args: &Args) -> Result<(), String> {
         };
         print!("{}", plan.describe());
         if args.has("list") {
-            return Ok(());
+            return Ok(ExitCode::SUCCESS);
         }
         let violations = run_plan(&plan, &cfg);
         if violations.is_empty() {
             println!("seed {seed}: PASS");
-            return Ok(());
+            return Ok(ExitCode::SUCCESS);
         }
         for v in &violations {
             println!("  violation: {v}");
         }
-        Err(format!("seed {seed}: {} violation(s)", violations.len()))
+        println!("seed {seed}: {} violation(s)", violations.len());
+        Ok(stress_exit(&violations))
     } else {
         // Sweep mode: --seeds N seeds starting at --start (default 0).
         let n = args.get_num("seeds", 100u64)?;
@@ -410,16 +518,13 @@ fn cmd_stress(args: &Args) -> Result<(), String> {
                 println!("  violation: {v}");
             }
             println!("repro: {}", outcome.repro_line());
-            return Err(format!(
-                "seed {seed} failed (repro: {})",
-                outcome.repro_line()
-            ));
+            return Ok(stress_exit(&outcome.violations));
         }
         println!(
             "{n} seed(s) passed every invariant in {:.1}s",
             t0.elapsed().as_secs_f64()
         );
-        Ok(())
+        Ok(ExitCode::SUCCESS)
     }
 }
 
@@ -433,18 +538,26 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let cmd = argv.remove(0);
-    let booleans = ["global", "gantt", "metrics", "list", "no-shrink"];
+    let booleans = [
+        "global",
+        "gantt",
+        "metrics",
+        "list",
+        "no-shrink",
+        "resume",
+        "kill-master",
+    ];
     let result = Args::parse(argv, &booleans).and_then(|args| match cmd.as_str() {
-        "align" => cmd_align(&args),
-        "fold" => cmd_fold(&args),
-        "editdist" => cmd_editdist(&args),
-        "sim" => cmd_sim(&args),
-        "analyze" => cmd_analyze(&args),
+        "align" => cmd_align(&args).map(|()| ExitCode::SUCCESS),
+        "fold" => cmd_fold(&args).map(|()| ExitCode::SUCCESS),
+        "editdist" => cmd_editdist(&args).map(|()| ExitCode::SUCCESS),
+        "sim" => cmd_sim(&args).map(|()| ExitCode::SUCCESS),
+        "analyze" => cmd_analyze(&args).map(|()| ExitCode::SUCCESS),
         "stress" => cmd_stress(&args),
         other => Err(format!("unknown command '{other}'\n{USAGE}")),
     });
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -508,6 +621,19 @@ mod tests {
         ));
         assert!(parse_gap("bogus").is_err());
         assert!(parse_gap("affine:4").is_err());
+    }
+
+    #[test]
+    fn stress_exit_codes_triage_failure_classes() {
+        assert_eq!(stress_exit(&[]), ExitCode::SUCCESS);
+        assert_eq!(
+            stress_exit(&["matrix mismatch at (1, 1)".into()]),
+            ExitCode::FAILURE
+        );
+        assert_eq!(
+            stress_exit(&["hang: no result within 60s (deadlock or livelock)".into()]),
+            ExitCode::from(2)
+        );
     }
 
     #[test]

@@ -60,4 +60,6 @@ pub use easyhps_core::{
     TaskDag, TileRegion, VertexId,
 };
 pub use easyhps_dp::{DpMatrix, DpProblem};
-pub use easyhps_runtime::{Deployment, EasyHps, RunOutput, RuntimeError};
+pub use easyhps_runtime::{
+    Checkpoint, CheckpointPolicy, Deployment, EasyHps, RunOutput, RuntimeError,
+};
