@@ -5,8 +5,32 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use easyhps_core::patterns::{RowColumn2D1D, TriangularGap, Wavefront2D};
 use easyhps_core::{DagParser, GridDims, TaskDag, TileRegion};
 use easyhps_dp::sequence::{random_sequence, Alphabet};
-use easyhps_dp::{DpMatrix, DpProblem, EditDistance, Nussinov, SmithWatermanGeneralGap};
+use easyhps_dp::{
+    DpMatrix, DpProblem, EditDistance, Lcs, NeedlemanWunsch, Nussinov, SmithWatermanGeneralGap,
+};
 use std::hint::black_box;
+
+/// The true pre-PR1 per-cell edit-distance baseline: one `get`/`set` pair
+/// per dependency and cell, no slice buffers. PR 1's "before" measured
+/// the slice kernel against itself (slice-vs-slice noise, 0.99x); this is
+/// what the original tile kernel actually did.
+fn edit_percell(a: &[u8], b: &[u8], m: &mut DpMatrix<i32>, region: TileRegion) {
+    for i in region.row_start..region.row_end {
+        for j in region.col_start..region.col_end {
+            let v = if i == 0 {
+                j as i32
+            } else if j == 0 {
+                i as i32
+            } else {
+                let sub = (a[i as usize - 1] != b[j as usize - 1]) as i32;
+                (m.get(i - 1, j) + 1)
+                    .min(m.get(i, j - 1) + 1)
+                    .min(m.get(i - 1, j - 1) + sub)
+            };
+            m.set(i, j, v);
+        }
+    }
+}
 
 fn tile_kernels(c: &mut Criterion) {
     let mut g = c.benchmark_group("tile_kernels");
@@ -17,9 +41,55 @@ fn tile_kernels(c: &mut Criterion) {
     let edit = EditDistance::new(a.clone(), b.clone());
     let mut m = DpMatrix::<i32>::new(edit.dims());
     g.throughput(Throughput::Elements(region.area()));
+    // Three registers of the same tile: per-cell (pre-PR1), scalar slice
+    // sweep (PR 1), bit-parallel Myers (current dispatch).
+    g.bench_function("edit_distance_64x64_tile_percell", |bch| {
+        bch.iter(|| {
+            edit_percell(&a, &b, &mut m, region);
+            black_box(m.get(64, 64))
+        })
+    });
+    g.bench_function("edit_distance_64x64_tile_scalar_slice", |bch| {
+        bch.iter(|| {
+            edit.compute_region_scalar(&mut m, region);
+            black_box(m.get(64, 64))
+        })
+    });
     g.bench_function("edit_distance_64x64_tile", |bch| {
         bch.iter(|| {
             edit.compute_region(&mut m, region);
+            black_box(m.get(64, 64))
+        })
+    });
+
+    let nw = NeedlemanWunsch::dna(a.clone(), b.clone());
+    let mut m = DpMatrix::<i32>::new(nw.dims());
+    g.throughput(Throughput::Elements(region.area()));
+    g.bench_function("nw_64x64_tile_scalar_slice", |bch| {
+        bch.iter(|| {
+            nw.compute_region_scalar(&mut m, region);
+            black_box(m.get(64, 64))
+        })
+    });
+    g.bench_function("nw_64x64_tile", |bch| {
+        bch.iter(|| {
+            nw.compute_region(&mut m, region);
+            black_box(m.get(64, 64))
+        })
+    });
+
+    let lcs = Lcs::new(a.clone(), b.clone());
+    let mut m = DpMatrix::<i32>::new(lcs.dims());
+    g.throughput(Throughput::Elements(region.area()));
+    g.bench_function("lcs_64x64_tile_scalar_slice", |bch| {
+        bch.iter(|| {
+            lcs.compute_region_scalar(&mut m, region);
+            black_box(m.get(64, 64))
+        })
+    });
+    g.bench_function("lcs_64x64_tile", |bch| {
+        bch.iter(|| {
+            lcs.compute_region(&mut m, region);
             black_box(m.get(64, 64))
         })
     });
@@ -43,6 +113,27 @@ fn tile_kernels(c: &mut Criterion) {
         bch.iter(|| {
             nus.compute_region(&mut m, full);
             black_box(m.get(0, 255))
+        })
+    });
+
+    // Where the cache-oblivious recursion pays: a triangle whose scan
+    // buffers stop fitting in L2.
+    let rna = random_sequence(Alphabet::Rna, 1024, 4);
+    let nus = Nussinov::new(rna);
+    let full = TileRegion::new(0, 1024, 0, 1024);
+    let mut m = DpMatrix::<i32>::new(nus.dims());
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(1024 * 1024 / 2));
+    g.bench_function("nussinov_1024_full_iterative", |bch| {
+        bch.iter(|| {
+            nus.compute_region_iterative(&mut m, full);
+            black_box(m.get(0, 1023))
+        })
+    });
+    g.bench_function("nussinov_1024_full", |bch| {
+        bch.iter(|| {
+            nus.compute_region(&mut m, full);
+            black_box(m.get(0, 1023))
         })
     });
     g.finish();

@@ -1,0 +1,446 @@
+//! `bench_pr6` — hardware-kernel benchmark report (PR 6). Emits a stable
+//! flat JSON report (`BENCH_PR6.json`) with per-kernel before/after pairs
+//! and end-to-end autotuning deltas:
+//!
+//! * edit distance 64x64 tile: true per-cell pre-PR1 baseline vs the
+//!   bit-parallel Myers kernel (PR 1's "before" measured the slice kernel
+//!   against itself — slice-vs-slice noise — so this report re-anchors the
+//!   baseline and also records the delta against PR 1's committed median);
+//! * NW / LCS 64x64 tiles: scalar slice sweep vs SIMD anti-diagonal;
+//! * SWGG 64x64 tile and Nussinov-256 full triangle vs the committed
+//!   PR 1 medians (same shape, new scan kernels);
+//! * Nussinov-1024: iterative vs cache-oblivious recursive tiling;
+//! * end-to-end: hand-set default partitions vs `.autotune(..)`.
+//!
+//! ```text
+//! bench_pr6 [--out PATH] [--date YYYY-MM-DD] [--iters N]
+//! bench_pr6 --check BENCH_PR6.json   # CI gate: fail on >10% kernel regression
+//! ```
+//!
+//! In `--check` mode only the live kernels are re-measured (end-to-end runs
+//! are too scheduler-noisy for a gate); the measured *minimum* is compared
+//! against the committed *median* with a 10 % tolerance, since container
+//! jitter only ever adds time.
+
+use easyhps_core::TileRegion;
+use easyhps_dp::sequence::{random_sequence, Alphabet};
+use easyhps_dp::{
+    DpMatrix, DpProblem, EditDistance, Lcs, NeedlemanWunsch, Nussinov, SmithWatermanGeneralGap,
+};
+use easyhps_obs::json;
+use easyhps_runtime::EasyHps;
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// PR 1's committed medians (BENCH_PR1.json) for kernels whose shape is
+/// unchanged: the "before" side of the cross-PR comparisons.
+const PR1_EDIT_TILE_NS: f64 = 15497.5;
+const PR1_SWGG_TILE_NS: f64 = 181488.6;
+const PR1_NUSSINOV_256_NS: f64 = 1_397_281.3;
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_unstable_by(f64::total_cmp);
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+/// `(min, median)` ns per call of `op`, over `samples` timed batches. The
+/// batch size is auto-calibrated so one batch lasts roughly 2 ms, which
+/// keeps microsecond-scale kernels clear of timer granularity.
+fn sample_ns(samples: usize, mut op: impl FnMut()) -> (f64, f64) {
+    let t0 = Instant::now();
+    op();
+    let probe = t0.elapsed().as_nanos().max(1);
+    let per_batch = (2_000_000 / probe).clamp(1, 1 << 20) as u64;
+    // Warm-up batch, discarded.
+    for _ in 0..per_batch {
+        op();
+    }
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for _ in 0..per_batch {
+            op();
+        }
+        times.push(t0.elapsed().as_nanos() as f64 / per_batch as f64);
+    }
+    let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+    (min, median(&mut times))
+}
+
+/// Per-cell edit distance exactly as the pre-PR1 tile kernel computed it:
+/// one bounds-checked `get`/`set` per dependency and cell.
+fn edit_percell(a: &[u8], b: &[u8], m: &mut DpMatrix<i32>, region: TileRegion) {
+    for i in region.row_start..region.row_end {
+        for j in region.col_start..region.col_end {
+            let v = if i == 0 {
+                j as i32
+            } else if j == 0 {
+                i as i32
+            } else {
+                let sub = (a[i as usize - 1] != b[j as usize - 1]) as i32;
+                (m.get(i - 1, j) + 1)
+                    .min(m.get(i, j - 1) + 1)
+                    .min(m.get(i - 1, j - 1) + sub)
+            };
+            m.set(i, j, v);
+        }
+    }
+}
+
+struct Pair {
+    name: &'static str,
+    /// Where the "before" number comes from, for the report.
+    baseline: &'static str,
+    before_min_ns: f64,
+    before_median_ns: f64,
+    after_min_ns: f64,
+    after_median_ns: f64,
+}
+
+impl Pair {
+    fn speedup(&self) -> f64 {
+        self.before_median_ns / self.after_median_ns
+    }
+}
+
+/// Measure every kernel pair. `samples` trades runtime for stability.
+fn measure_kernels(samples: usize) -> Vec<Pair> {
+    let a = random_sequence(Alphabet::Dna, 512, 1);
+    let b = random_sequence(Alphabet::Dna, 512, 2);
+    let region = TileRegion::new(1, 65, 1, 65);
+    let mut pairs = Vec::new();
+
+    let edit = EditDistance::new(a.clone(), b.clone());
+    let mut m = DpMatrix::<i32>::new(edit.dims());
+    let (pc_min, pc_med) = sample_ns(samples, || {
+        edit_percell(&a, &b, &mut m, region);
+        black_box(m.get(64, 64));
+    });
+    let (my_min, my_med) = sample_ns(samples, || {
+        edit.compute_region(&mut m, region);
+        black_box(m.get(64, 64));
+    });
+    pairs.push(Pair {
+        name: "tile_kernels/edit_distance_64x64_tile",
+        baseline: "per-cell get/set kernel (true pre-PR1 baseline)",
+        before_min_ns: pc_min,
+        before_median_ns: pc_med,
+        after_min_ns: my_min,
+        after_median_ns: my_med,
+    });
+    let (sl_min, sl_med) = sample_ns(samples, || {
+        edit.compute_region_scalar(&mut m, region);
+        black_box(m.get(64, 64));
+    });
+    pairs.push(Pair {
+        name: "tile_kernels/edit_distance_64x64_tile_vs_slice",
+        baseline: "PR 1 scalar slice sweep, re-measured",
+        before_min_ns: sl_min,
+        before_median_ns: sl_med,
+        after_min_ns: my_min,
+        after_median_ns: my_med,
+    });
+
+    let nw = NeedlemanWunsch::dna(a.clone(), b.clone());
+    let mut m = DpMatrix::<i32>::new(nw.dims());
+    let (before_min, before_med) = sample_ns(samples, || {
+        nw.compute_region_scalar(&mut m, region);
+        black_box(m.get(64, 64));
+    });
+    let (after_min, after_med) = sample_ns(samples, || {
+        nw.compute_region(&mut m, region);
+        black_box(m.get(64, 64));
+    });
+    pairs.push(Pair {
+        name: "tile_kernels/nw_64x64_tile",
+        baseline: "scalar slice sweep, re-measured",
+        before_min_ns: before_min,
+        before_median_ns: before_med,
+        after_min_ns: after_min,
+        after_median_ns: after_med,
+    });
+
+    let lcs = Lcs::new(a.clone(), b.clone());
+    let mut m = DpMatrix::<i32>::new(lcs.dims());
+    let (before_min, before_med) = sample_ns(samples, || {
+        lcs.compute_region_scalar(&mut m, region);
+        black_box(m.get(64, 64));
+    });
+    let (after_min, after_med) = sample_ns(samples, || {
+        lcs.compute_region(&mut m, region);
+        black_box(m.get(64, 64));
+    });
+    pairs.push(Pair {
+        name: "tile_kernels/lcs_64x64_tile",
+        baseline: "scalar slice sweep, re-measured",
+        before_min_ns: before_min,
+        before_median_ns: before_med,
+        after_min_ns: after_min,
+        after_median_ns: after_med,
+    });
+
+    let swgg = SmithWatermanGeneralGap::dna(a, b);
+    let mut m = DpMatrix::<i32>::new(swgg.dims());
+    let (after_min, after_med) = sample_ns(samples, || {
+        swgg.compute_region(&mut m, region);
+        black_box(m.get(64, 64));
+    });
+    pairs.push(Pair {
+        name: "tile_kernels/swgg_64x64_tile",
+        baseline: "BENCH_PR1.json committed median",
+        before_min_ns: PR1_SWGG_TILE_NS,
+        before_median_ns: PR1_SWGG_TILE_NS,
+        after_min_ns: after_min,
+        after_median_ns: after_med,
+    });
+
+    let rna = random_sequence(Alphabet::Rna, 256, 3);
+    let nus = Nussinov::new(rna);
+    let full = TileRegion::new(0, 256, 0, 256);
+    let mut m = DpMatrix::<i32>::new(nus.dims());
+    let (after_min, after_med) = sample_ns(samples, || {
+        nus.compute_region(&mut m, full);
+        black_box(m.get(0, 255));
+    });
+    pairs.push(Pair {
+        name: "tile_kernels/nussinov_256_full",
+        baseline: "BENCH_PR1.json committed median",
+        before_min_ns: PR1_NUSSINOV_256_NS,
+        before_median_ns: PR1_NUSSINOV_256_NS,
+        after_min_ns: after_min,
+        after_median_ns: after_med,
+    });
+
+    let rna = random_sequence(Alphabet::Rna, 1024, 4);
+    let nus = Nussinov::new(rna);
+    let full = TileRegion::new(0, 1024, 0, 1024);
+    let mut m = DpMatrix::<i32>::new(nus.dims());
+    let big_samples = samples.div_ceil(3).max(5);
+    let (before_min, before_med) = sample_ns(big_samples, || {
+        nus.compute_region_iterative(&mut m, full);
+        black_box(m.get(0, 1023));
+    });
+    let (after_min, after_med) = sample_ns(big_samples, || {
+        nus.compute_region(&mut m, full);
+        black_box(m.get(0, 1023));
+    });
+    pairs.push(Pair {
+        name: "tile_kernels/nussinov_1024_full",
+        baseline: "iterative row sweep (no recursive tiling)",
+        before_min_ns: before_min,
+        before_median_ns: before_med,
+        after_min_ns: after_min,
+        after_median_ns: after_med,
+    });
+
+    pairs
+}
+
+/// One end-to-end run; `autotune_table = Some(path)` leaves partitions to
+/// the tuner, `None` uses the hand-set defaults. Returns elapsed ns.
+fn e2e_run<P: DpProblem + Clone + Send + Sync + 'static>(
+    problem: &P,
+    autotune_table: Option<&std::path::Path>,
+) -> f64 {
+    let mut hps = EasyHps::new(problem.clone()).slaves(2).threads_per_slave(2);
+    if let Some(path) = autotune_table {
+        hps = hps.autotune(path);
+    }
+    let t0 = Instant::now();
+    let out = hps.run().unwrap();
+    let elapsed = t0.elapsed().as_nanos() as f64;
+    black_box(out.report.master.completed);
+    elapsed
+}
+
+/// Interleaved default-vs-autotuned medians for one problem, warm-ups
+/// discarded. The tuning table is warmed before sampling so the measured
+/// autotuned runs exercise the load-and-apply path, not the calibration.
+fn e2e_pair<P: DpProblem + Clone + Send + Sync + 'static>(
+    name: &'static str,
+    problem: P,
+    iters: usize,
+    table: &std::path::Path,
+) -> Pair {
+    e2e_run(&problem, None);
+    e2e_run(&problem, Some(table)); // tunes + persists on first use
+    let (mut before, mut after) = (Vec::new(), Vec::new());
+    for _ in 0..iters {
+        before.push(e2e_run(&problem, None));
+        after.push(e2e_run(&problem, Some(table)));
+    }
+    let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+    Pair {
+        name,
+        baseline: "hand-set default partitions",
+        before_min_ns: min(&before),
+        before_median_ns: median(&mut before),
+        after_min_ns: min(&after),
+        after_median_ns: median(&mut after),
+    }
+}
+
+fn render_report(date: &str, iters: usize, pairs: &[Pair]) -> String {
+    let mut benches = String::new();
+    for (i, p) in pairs.iter().enumerate() {
+        if i > 0 {
+            benches.push_str(",\n");
+        }
+        benches.push_str(&format!(
+            "    \"{}\": {{ \"baseline\": \"{}\", \"before_min_ns\": {:.1}, \"before_median_ns\": {:.1}, \"after_min_ns\": {:.1}, \"after_median_ns\": {:.1}, \"speedup\": {:.2} }}",
+            p.name, p.baseline, p.before_min_ns, p.before_median_ns, p.after_min_ns,
+            p.after_median_ns, p.speedup()
+        ));
+    }
+    let edit = pairs
+        .iter()
+        .find(|p| p.name == "tile_kernels/edit_distance_64x64_tile")
+        .expect("edit pair present");
+    format!(
+        r#"{{
+  "pr": 6,
+  "title": "hardware-fast kernels: bit-parallel Myers, SIMD anti-diagonals, cache-oblivious Nussinov, obs-driven autotuner",
+  "date": "{date}",
+  "harness": "min/median of {iters} auto-batched samples per kernel (warm-up discarded); end-to-end pairs interleaved default-vs-autotuned",
+  "benches": {{
+{benches}
+  }},
+  "cross_pr": {{
+    "edit_tile_pr1_median_ns": {PR1_EDIT_TILE_NS},
+    "edit_tile_speedup_vs_pr1": {:.2}
+  }}
+}}
+"#,
+        PR1_EDIT_TILE_NS / edit.after_median_ns
+    )
+}
+
+/// CI gate: re-measure the live kernels and fail if any after-kernel's
+/// measured minimum exceeds the committed median by more than 10 %.
+fn check(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {path}: bad JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(benches) = doc.get("benches") else {
+        eprintln!("error: {path}: missing \"benches\"");
+        return ExitCode::FAILURE;
+    };
+    eprintln!("re-measuring kernels for the regression gate...");
+    let pairs = measure_kernels(15);
+    let mut failed = false;
+    for p in &pairs {
+        let committed = benches
+            .get(p.name)
+            .and_then(|b| b.get("after_median_ns"))
+            .and_then(|v| v.as_f64());
+        let Some(committed) = committed else {
+            eprintln!("error: {path}: no committed median for {}", p.name);
+            failed = true;
+            continue;
+        };
+        let limit = committed * 1.10;
+        let status = if p.after_min_ns > limit {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "  {:>9}  {}  measured min {:.0} ns vs committed median {:.0} ns (limit {:.0})",
+            status, p.name, p.after_min_ns, committed, limit
+        );
+    }
+    if failed {
+        eprintln!("bench-smoke gate FAILED: kernel regression >10% against {path}");
+        ExitCode::FAILURE
+    } else {
+        eprintln!("bench-smoke gate passed");
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let mut out_path: Option<String> = None;
+    let mut date = String::from("unknown");
+    let mut iters = 25usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else {
+            eprintln!(
+                "usage: bench_pr6 [--out PATH] [--date YYYY-MM-DD] [--iters N] [--check PATH]"
+            );
+            return ExitCode::FAILURE;
+        };
+        match flag.as_str() {
+            "--out" => out_path = Some(value),
+            "--date" => date = value,
+            "--check" => return check(&value),
+            "--iters" => match value.parse() {
+                Ok(n) => iters = n,
+                Err(_) => {
+                    eprintln!("error: --iters: bad number '{value}'");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    eprintln!("measuring tile kernels ({iters} samples each)...");
+    let mut pairs = measure_kernels(iters);
+
+    eprintln!("measuring end-to-end autotuning deltas...");
+    let table = std::env::temp_dir().join(format!("bench-pr6-tune-{}.txt", std::process::id()));
+    std::fs::remove_file(&table).ok();
+    let (a, b) = (
+        random_sequence(Alphabet::Dna, 200, 7),
+        random_sequence(Alphabet::Dna, 200, 8),
+    );
+    pairs.push(e2e_pair(
+        "runtime_end_to_end/edit_distance_200_2slaves_2threads_autotuned",
+        EditDistance::new(a, b),
+        iters.min(15),
+        &table,
+    ));
+    let (a, b) = (
+        random_sequence(Alphabet::Dna, 256, 9),
+        random_sequence(Alphabet::Dna, 256, 10),
+    );
+    pairs.push(e2e_pair(
+        "runtime_end_to_end/swgg_256_2slaves_2threads_autotuned",
+        SmithWatermanGeneralGap::dna(a, b),
+        iters.min(15),
+        &table,
+    ));
+    std::fs::remove_file(&table).ok();
+
+    let report = render_report(&date, iters, &pairs);
+    print!("{report}");
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, &report) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -101,6 +101,19 @@ impl DpProblem for EditDistance {
     }
 
     fn compute_region<G: DpGrid<i32>>(&self, m: &mut G, region: TileRegion) {
+        // Edit distance is always unit-cost, so the bit-parallel Myers
+        // kernel applies to every tile; the scalar slice sweep below is
+        // its bit-identical reference.
+        crate::algos::myers::compute_region(&self.a, &self.b, m, region);
+    }
+}
+
+impl EditDistance {
+    /// The scalar slice-sweep kernel — the pre-bit-parallel
+    /// implementation, kept as the reference the Myers kernel must match
+    /// and as a benchmark baseline.
+    #[doc(hidden)]
+    pub fn compute_region_scalar<G: DpGrid<i32>>(&self, m: &mut G, region: TileRegion) {
         crate::algos::row_sweep::sweep_rows_2d(
             m,
             region,
@@ -162,6 +175,20 @@ mod tests {
         }
         assert_eq!(ai, 6);
         assert_eq!(out, b"sitting");
+    }
+
+    #[test]
+    fn myers_and_scalar_kernels_agree() {
+        use crate::sequence::{random_sequence, Alphabet};
+        let a = random_sequence(Alphabet::Dna, 101, 11);
+        let b = random_sequence(Alphabet::Dna, 87, 12);
+        let p = EditDistance::new(a, b);
+        let full = easyhps_core::TileRegion::new(0, p.dims().rows, 0, p.dims().cols);
+        let mut bitpar = DpMatrix::new(p.dims());
+        p.compute_region(&mut bitpar, full);
+        let mut scalar = DpMatrix::new(p.dims());
+        p.compute_region_scalar(&mut scalar, full);
+        assert_eq!(bitpar, scalar);
     }
 
     #[test]

@@ -69,6 +69,20 @@ impl DpProblem for Lcs {
     }
 
     fn compute_region<G: DpGrid<i32>>(&self, m: &mut G, region: TileRegion) {
+        #[cfg(feature = "simd")]
+        {
+            crate::algos::adiag::sweep(m, region, &self.a, &self.b, &crate::algos::adiag::LcsRule);
+        }
+        #[cfg(not(feature = "simd"))]
+        self.compute_region_scalar(m, region);
+    }
+}
+
+impl Lcs {
+    /// The scalar slice-sweep kernel — the `--no-default-features`
+    /// fallback and the bit-identical reference for the SIMD path.
+    #[doc(hidden)]
+    pub fn compute_region_scalar<G: DpGrid<i32>>(&self, m: &mut G, region: TileRegion) {
         crate::algos::row_sweep::sweep_rows_2d(
             m,
             region,

@@ -1,6 +1,8 @@
 //! The DP algorithm library: one module per recurrence, each implementing
 //! [`crate::DpProblem`] with a sequential reference and a region kernel.
 
+mod adiag;
+mod myers;
 mod row_sweep;
 
 mod banded_edit;

@@ -112,6 +112,33 @@ impl DpProblem for NeedlemanWunsch {
     }
 
     fn compute_region<G: DpGrid<i32>>(&self, m: &mut G, region: TileRegion) {
+        // Simple substitution vectorizes as compare + select, so those
+        // tiles take the anti-diagonal SIMD kernel; `Table` lookups (and
+        // builds without the `simd` feature) use the scalar row sweep.
+        #[cfg(feature = "simd")]
+        if let Substitution::Simple {
+            match_score,
+            mismatch,
+        } = self.substitution
+        {
+            let rule = crate::algos::adiag::NwRule {
+                match_score,
+                mismatch,
+                gap: self.gap,
+            };
+            crate::algos::adiag::sweep(m, region, &self.a, &self.b, &rule);
+            return;
+        }
+        self.compute_region_scalar(m, region);
+    }
+}
+
+impl NeedlemanWunsch {
+    /// The scalar slice-sweep kernel — the fallback for `Table`
+    /// substitutions and `--no-default-features` builds, and the
+    /// bit-identical reference for the SIMD path.
+    #[doc(hidden)]
+    pub fn compute_region_scalar<G: DpGrid<i32>>(&self, m: &mut G, region: TileRegion) {
         crate::algos::row_sweep::sweep_rows_2d(
             m,
             region,

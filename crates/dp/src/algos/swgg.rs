@@ -212,16 +212,16 @@ impl DpProblem for SmithWatermanGeneralGap {
                         cols[(idx - 1) * rows + i as usize - 1]
                     };
                     let mut best = 0.max(diag + s);
-                    // max_{1<=k<=j} H[i, j-k] - w(k): walk the row backwards
-                    // against the gap table.
-                    for (&cell, &wk) in rowbuf[..j as usize].iter().rev().zip(&wtab[1..]) {
-                        best = best.max(cell - wk);
-                    }
+                    // max_{1<=k<=j} H[i, j-k] - w(k): the row walked
+                    // backwards against the gap table (eight lanes at a
+                    // time under the `simd` feature).
+                    best = best.max(crate::simd::rev_scan_max(
+                        &rowbuf[..j as usize],
+                        &wtab[1..=j as usize],
+                    ));
                     // max_{1<=k<=i} H[i-k, j] - w(k): same over the column.
                     let col = &cols[idx * rows..idx * rows + i as usize];
-                    for (&cell, &wk) in col.iter().rev().zip(&wtab[1..]) {
-                        best = best.max(cell - wk);
-                    }
+                    best = best.max(crate::simd::rev_scan_max(col, &wtab[1..=i as usize]));
                     best
                 };
                 rowbuf[j as usize] = v;

@@ -29,6 +29,7 @@ mod matrix;
 mod problem;
 pub mod scoring;
 pub mod sequence;
+mod simd;
 
 pub use algos::{
     BandedEditDistance, CykParser, EditDistance, EditOp, Grammar, Hirschberg, Hmm, Knapsack, Lcs,

@@ -483,6 +483,117 @@ proptest! {
         assert_tiled_matches(&p, GridDims::new(pr, pc));
     }
 
+    /// The bit-parallel Myers kernel is bit-identical to the textbook
+    /// per-cell recurrence, full-grid and under tile shapes straddling
+    /// every u64-word boundary case: single cells, sub-word strips, and
+    /// stripes crossing 64 rows.
+    #[test]
+    fn edit_myers_kernel_matches_reference(
+        la in 1usize..80, lb in 1usize..80, seed in 0u64..500,
+        pri in 0usize..10, pci in 0usize..10,
+    ) {
+        // Deliberately awkward tile sides around the word/lane sizes.
+        const SIDES: [u32; 10] = [1, 2, 3, 5, 7, 8, 13, 63, 64, 65];
+        let a = random_sequence(Alphabet::Dna, la, seed);
+        let b = random_sequence(Alphabet::Dna, lb, seed + 1);
+        let p = EditDistance::new(a.clone(), b.clone());
+        let reference = per_cell_reference(p.dims(), |m, i, j| {
+            if i == 0 {
+                return j as i32;
+            }
+            if j == 0 {
+                return i as i32;
+            }
+            let sub = (a[i as usize - 1] != b[j as usize - 1]) as i32;
+            (m.get(i - 1, j) + 1)
+                .min(m.get(i, j - 1) + 1)
+                .min(m.get(i - 1, j - 1) + sub)
+        });
+        prop_assert_eq!(&p.solve_sequential(), &reference);
+        assert_tiled_matches(&p, GridDims::new(SIDES[pri], SIDES[pci]));
+    }
+
+    /// The NW anti-diagonal kernel under *arbitrary* simple scoring —
+    /// not just the DNA defaults — including tiles smaller than one
+    /// SIMD lane.
+    #[test]
+    fn needleman_random_scoring_matches_reference(
+        la in 1usize..30, lb in 1usize..30, seed in 0u64..500,
+        ms in 0i32..5, mm in -4i32..2, gap in 0i32..4,
+        pr in 1u32..10, pc in 1u32..10,
+    ) {
+        use easyhps_dp::NeedlemanWunsch;
+        let a = random_sequence(Alphabet::Dna, la, seed);
+        let b = random_sequence(Alphabet::Dna, lb, seed + 1);
+        let sub = Substitution::Simple { match_score: ms, mismatch: mm };
+        let p = NeedlemanWunsch::new(a.clone(), b.clone(), sub.clone(), gap);
+        let reference = per_cell_reference(p.dims(), |m, i, j| {
+            if i == 0 {
+                return -(j as i32) * gap;
+            }
+            if j == 0 {
+                return -(i as i32) * gap;
+            }
+            let s = sub.score(a[i as usize - 1], b[j as usize - 1]);
+            (m.get(i - 1, j - 1) + s)
+                .max(m.get(i - 1, j) - gap)
+                .max(m.get(i, j - 1) - gap)
+        });
+        prop_assert_eq!(&p.solve_sequential(), &reference);
+        assert_tiled_matches(&p, GridDims::new(pr, pc));
+    }
+
+    /// Table substitution takes the scalar dispatch path; it must agree
+    /// with the reference too, under tiling.
+    #[test]
+    fn needleman_table_scoring_matches_reference(
+        la in 1usize..25, lb in 1usize..25, seed in 0u64..500,
+        pr in 1u32..8, pc in 1u32..8,
+    ) {
+        use easyhps_dp::NeedlemanWunsch;
+        use std::sync::Arc;
+        let a = random_sequence(Alphabet::Dna, la, seed);
+        let b = random_sequence(Alphabet::Dna, lb, seed + 1);
+        let table: Arc<[i32]> = (0..256usize * 256)
+            .map(|k| ((k / 256) as i32 * 31 + (k % 256) as i32 * 7) % 7 - 3)
+            .collect();
+        let sub = Substitution::Table { size: 256, table };
+        let gap = 2i32;
+        let p = NeedlemanWunsch::new(a.clone(), b.clone(), sub.clone(), gap);
+        let reference = per_cell_reference(p.dims(), |m, i, j| {
+            if i == 0 {
+                return -(j as i32) * gap;
+            }
+            if j == 0 {
+                return -(i as i32) * gap;
+            }
+            let s = sub.score(a[i as usize - 1], b[j as usize - 1]);
+            (m.get(i - 1, j - 1) + s)
+                .max(m.get(i - 1, j) - gap)
+                .max(m.get(i, j - 1) - gap)
+        });
+        prop_assert_eq!(&p.solve_sequential(), &reference);
+        assert_tiled_matches(&p, GridDims::new(pr, pc));
+    }
+
+    /// The cache-oblivious Nussinov recursion equals the iterative kernel
+    /// for any base-case threshold, including degenerate bases far below
+    /// the production constant.
+    #[test]
+    fn nussinov_recursive_any_base_matches_iterative(
+        len in 2usize..70, seed in 0u64..500, base in 1u32..48,
+    ) {
+        let seq = random_sequence(Alphabet::Rna, len, seed);
+        let p = Nussinov::new(seq);
+        let n = p.dims().rows;
+        let full = easyhps_core::TileRegion::new(0, n, 0, n);
+        let mut iter = DpMatrix::new(p.dims());
+        p.compute_region_iterative(&mut iter, full);
+        let mut rec = DpMatrix::new(p.dims());
+        p.compute_region_recursive(&mut rec, full, base);
+        prop_assert_eq!(rec, iter);
+    }
+
     /// Same for the SWGG kernel with its row/column prefix scans — the one
     /// the rowbuf/column-buffer rewrite must not perturb.
     #[test]

@@ -6,6 +6,7 @@
 //! partition sizes, and a deployment shape; the runtime does partitioning,
 //! scheduling, communication and fault tolerance.
 
+use crate::autotune::{Autotuner, ProblemClass};
 use crate::checkpoint::Checkpoint;
 use crate::config::{Deployment, ObsConfig, RunReport};
 use crate::durable::CheckpointPolicy;
@@ -68,6 +69,7 @@ pub struct EasyHps<P: DpProblem> {
     metrics: Option<Arc<Registry>>,
     collect_metrics: bool,
     trace_out: Option<PathBuf>,
+    autotune: Option<PathBuf>,
 }
 
 /// Node-matrix storage strategy (paper §VII lists memory as the system's
@@ -105,7 +107,22 @@ impl<P: DpProblem> EasyHps<P> {
             metrics: None,
             collect_metrics: false,
             trace_out: None,
+            autotune: None,
         }
+    }
+
+    /// Autotune the partition sizes from the tuning table at `path`: when
+    /// neither [`Self::process_partition`] nor [`Self::thread_partition`]
+    /// is set explicitly, the run looks its problem class up in the table
+    /// (searching candidates through the `easyhps-sim` cost model on a
+    /// miss) instead of using the `dims / (4 * slaves)` rule, and persists
+    /// any new recommendation back atomically. Combined with
+    /// [`Self::metrics`], the run's latency histograms recalibrate the
+    /// table's cost model afterwards, so recommendations track the actual
+    /// hardware. See [`crate::Autotuner`].
+    pub fn autotune(mut self, path: impl Into<PathBuf>) -> Self {
+        self.autotune = Some(path.into());
+        self
     }
 
     /// Collect run metrics (counters, gauges, latency histograms) into a
@@ -292,9 +309,64 @@ impl<P: DpProblem> EasyHps<P> {
         (pp, tp)
     }
 
-    /// Build the DAG Data Driven Model this run will use.
+    fn problem_class(&self) -> ProblemClass {
+        ProblemClass::of(
+            self.problem.as_ref(),
+            self.deployment.slaves,
+            self.deployment.threads_per_slave,
+        )
+    }
+
+    /// Effective partition sizes: explicit settings win; otherwise a
+    /// configured autotuner supplies (and persists) a recommendation;
+    /// otherwise the `dims / (4 * slaves)` rule.
+    fn partitions(&self) -> (GridDims, GridDims) {
+        if self.process_partition.is_none() && self.thread_partition.is_none() {
+            if let Some(path) = &self.autotune {
+                let mut tuner = Autotuner::load(path);
+                let (pp, tp) = tuner.recommend(&self.problem_class());
+                let _ = tuner.save();
+                return (pp, tp);
+            }
+        }
+        self.default_partitions()
+    }
+
+    /// Reject partition settings the runtime cannot execute, before any
+    /// thread is spawned: a zero side (no cells per sub-task) or a thread
+    /// partition larger than the process tile it is meant to subdivide.
+    /// Non-dividing sizes remain legal — edge sub-tasks are simply ragged.
+    fn validate_partitions(&self) -> Result<(), RuntimeError> {
+        if let Some(pp) = self.process_partition {
+            if pp.rows == 0 || pp.cols == 0 {
+                return Err(RuntimeError::InvalidConfig(format!(
+                    "process_partition_size {pp} has a zero side; every process-level \
+                     sub-task needs at least one cell per axis"
+                )));
+            }
+        }
+        if let Some(tp) = self.thread_partition {
+            if tp.rows == 0 || tp.cols == 0 {
+                return Err(RuntimeError::InvalidConfig(format!(
+                    "thread_partition_size {tp} has a zero side; every thread-level \
+                     sub-sub-task needs at least one cell per axis"
+                )));
+            }
+            let (pp, _) = self.default_partitions();
+            if tp.rows > pp.rows || tp.cols > pp.cols {
+                return Err(RuntimeError::InvalidConfig(format!(
+                    "thread_partition_size {tp} does not fit process_partition_size {pp}; \
+                     a thread tile cannot be larger than the process tile it partitions"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Build the DAG Data Driven Model this run will use (autotuned
+    /// partitions included when [`Self::autotune`] is configured).
     pub fn model(&self) -> DagDataDrivenModel {
-        let (pp, tp) = self.default_partitions();
+        let (pp, tp) = self.partitions();
         DagDataDrivenModel::builder(self.problem.pattern())
             .process_partition_size(pp)
             .thread_partition_size(tp)
@@ -308,6 +380,7 @@ impl<P: DpProblem> EasyHps<P> {
         if self.deployment.slaves == 0 {
             return Err(RuntimeError::NoSlaves);
         }
+        self.validate_partitions()?;
         let model = self.model();
         let n_ranks = 1 + self.deployment.slaves;
         let mut plans = self.fault_plans.clone();
@@ -373,6 +446,19 @@ impl<P: DpProblem> EasyHps<P> {
         if let (Some(rec), Some(path)) = (&recorder, &self.trace_out) {
             std::fs::write(path, rec.chrome_trace_json())
                 .map_err(|e| RuntimeError::TraceIo(format!("{}: {e}", path.display())))?;
+        }
+
+        // Close the autotune loop: recalibrate the tuning table's cost
+        // model from this run's latency histograms (best-effort — a
+        // read-only table directory must not fail the run itself).
+        if let (Some(path), Some(reg)) = (&self.autotune, &registry) {
+            let mut tuner = Autotuner::load(path);
+            tuner.calibrate(
+                &self.problem_class(),
+                model.process_partition_size(),
+                &reg.snapshot(),
+            );
+            let _ = tuner.save();
         }
 
         Ok(RunOutput {

@@ -153,7 +153,7 @@ fn read_framed(path: &Path, magic: u32) -> Result<Vec<u8>, ()> {
 
 /// Write `bytes` to `path` via a temp file + atomic rename, fsyncing the
 /// data before the rename so the final name never points at a torn file.
-fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), RuntimeError> {
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), RuntimeError> {
     let tmp = path.with_extension("tmp");
     let mut f = fs::File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
     f.write_all(bytes).map_err(|e| io_err("write", &tmp, e))?;

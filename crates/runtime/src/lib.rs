@@ -38,6 +38,7 @@
 #![warn(rust_2018_idioms)]
 
 mod api;
+mod autotune;
 mod checkpoint;
 mod config;
 mod durable;
@@ -53,6 +54,7 @@ mod storage;
 pub mod testing;
 
 pub use api::{EasyHps, MemoryMode, RunOutput};
+pub use autotune::{Autotuner, ProblemClass, TuneProfile, TuningEntry, TuningTable};
 pub use checkpoint::Checkpoint;
 pub use config::{Deployment, MasterStats, ObsConfig, RunReport};
 pub use durable::CheckpointPolicy;

@@ -567,3 +567,82 @@ fn longest_palindrome_on_runtime() {
             .threads_per_slave(2)
     });
 }
+
+#[test]
+fn zero_or_oversized_thread_partition_is_rejected() {
+    let problem = || {
+        EditDistance::new(
+            random_sequence(Alphabet::Dna, 40, 97),
+            random_sequence(Alphabet::Dna, 40, 98),
+        )
+    };
+    // Zero thread partition: a clear error, not a hang or a panic.
+    let err = EasyHps::new(problem())
+        .process_partition((8, 8))
+        .thread_partition((0, 4))
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, RuntimeError::InvalidConfig(_)), "got {err:?}");
+    assert!(err.to_string().contains("thread_partition_size"), "{err}");
+
+    // Zero process partition likewise.
+    let err = EasyHps::new(problem())
+        .process_partition((8, 0))
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, RuntimeError::InvalidConfig(_)));
+
+    // A thread tile bigger than its process tile cannot partition it.
+    let err = EasyHps::new(problem())
+        .process_partition((8, 8))
+        .thread_partition((9, 8))
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, RuntimeError::InvalidConfig(_)), "got {err:?}");
+
+    // Non-dividing (ragged) sizes stay legal.
+    assert_runtime_matches(problem(), |e| {
+        e.process_partition((8, 8))
+            .thread_partition((3, 3))
+            .slaves(2)
+            .threads_per_slave(2)
+    });
+}
+
+#[test]
+fn autotuned_run_matches_reference_and_persists_table() {
+    let dir = std::env::temp_dir().join(format!("easyhps-autotune-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let table = dir.join("tuning.tbl");
+    let problem = EditDistance::new(
+        random_sequence(Alphabet::Dna, 120, 99),
+        random_sequence(Alphabet::Dna, 120, 100),
+    );
+    let reference = problem.solve_sequential();
+
+    // First run: tunes via the simulator, persists the table, computes
+    // the right answer with the recommended partitions.
+    let out = EasyHps::new(problem.clone())
+        .autotune(&table)
+        .metrics(true)
+        .slaves(2)
+        .threads_per_slave(2)
+        .run()
+        .unwrap();
+    assert_eq!(out.matrix, reference);
+    let text = std::fs::read_to_string(&table).expect("table persisted");
+    assert!(text.starts_with("easyhps-autotune v1"), "{text}");
+    assert!(text.contains("uniform:121x121:s2:t2"), "{text}");
+
+    // Second run loads the same recommendation (table entry count stable).
+    let out = EasyHps::new(problem)
+        .autotune(&table)
+        .slaves(2)
+        .threads_per_slave(2)
+        .run()
+        .unwrap();
+    assert_eq!(out.matrix, reference);
+    let lines = std::fs::read_to_string(&table).unwrap().lines().count();
+    assert_eq!(lines, 3, "header + cost + one entry");
+    let _ = std::fs::remove_dir_all(&dir);
+}

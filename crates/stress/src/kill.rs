@@ -22,7 +22,9 @@
 use crate::plan::{mix64, StressConfig, Workload};
 use crate::run::Verdict;
 use easyhps_dp::sequence::{random_sequence, Alphabet};
-use easyhps_dp::{DpProblem, EditDistance, Nussinov, SmithWatermanGeneralGap};
+use easyhps_dp::{
+    DpProblem, EditDistance, Lcs, NeedlemanWunsch, Nussinov, SmithWatermanGeneralGap,
+};
 use easyhps_net::FaultPlan;
 use easyhps_runtime::{Checkpoint, CheckpointPolicy, EasyHps, RunOutput, RuntimeError};
 use rand::rngs::StdRng;
@@ -161,6 +163,22 @@ pub fn run_kill_seed(seed: u64, cfg: &StressConfig) -> KillOutcome {
             &plan,
             cfg,
             Nussinov::new(random_sequence(Alphabet::Rna, n + 6, s1)),
+        ),
+        Workload::Nw => drive_kill(
+            &plan,
+            cfg,
+            NeedlemanWunsch::dna(
+                random_sequence(Alphabet::Dna, n, s1),
+                random_sequence(Alphabet::Dna, n + 3, s2),
+            ),
+        ),
+        Workload::Lcs => drive_kill(
+            &plan,
+            cfg,
+            Lcs::new(
+                random_sequence(Alphabet::Dna, n, s1),
+                random_sequence(Alphabet::Dna, n + 3, s2),
+            ),
         ),
     };
     KillOutcome {

@@ -16,14 +16,25 @@ use std::fmt;
 use std::time::Duration;
 
 /// Which DP kernel a stress run drives.
+///
+/// The first three are drawn from the seed; `Nw` and `Lcs` are pin-only
+/// (`--workload nw|lcs`) so their addition does not perturb the draw
+/// order that existing seeds' schedules depend on. They exist to sweep
+/// the invariants with the anti-diagonal SIMD kernels selected.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Workload {
-    /// Edit distance (dense wavefront).
+    /// Edit distance (dense wavefront, bit-parallel Myers kernel).
     EditDist,
     /// Smith-Waterman with general gaps (wavefront + column/row lookback).
     Swgg,
     /// Nussinov RNA folding (triangular pattern, sparse).
     Nussinov,
+    /// Needleman-Wunsch global alignment (anti-diagonal SIMD kernel).
+    /// Pin-only: never drawn from a seed.
+    Nw,
+    /// Longest common subsequence (anti-diagonal SIMD kernel). Pin-only:
+    /// never drawn from a seed.
+    Lcs,
 }
 
 impl Workload {
@@ -33,8 +44,10 @@ impl Workload {
             "editdist" => Ok(Self::EditDist),
             "swgg" => Ok(Self::Swgg),
             "nussinov" => Ok(Self::Nussinov),
+            "nw" => Ok(Self::Nw),
+            "lcs" => Ok(Self::Lcs),
             other => Err(format!(
-                "unknown workload '{other}' (editdist|swgg|nussinov)"
+                "unknown workload '{other}' (editdist|swgg|nussinov|nw|lcs)"
             )),
         }
     }
@@ -46,6 +59,8 @@ impl fmt::Display for Workload {
             Self::EditDist => "editdist",
             Self::Swgg => "swgg",
             Self::Nussinov => "nussinov",
+            Self::Nw => "nw",
+            Self::Lcs => "lcs",
         })
     }
 }

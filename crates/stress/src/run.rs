@@ -4,7 +4,9 @@
 use crate::plan::{mix64, FaultClause, StressConfig, StressPlan, Workload};
 use crate::shrink::shrink;
 use easyhps_dp::sequence::{random_sequence, Alphabet};
-use easyhps_dp::{DpProblem, EditDistance, Nussinov, SmithWatermanGeneralGap};
+use easyhps_dp::{
+    DpProblem, EditDistance, Lcs, NeedlemanWunsch, Nussinov, SmithWatermanGeneralGap,
+};
 use easyhps_net::FaultPlan;
 use easyhps_runtime::testing::StallProblem;
 use easyhps_runtime::{tags, EasyHps, RunOutput};
@@ -135,6 +137,22 @@ pub fn run_plan(plan: &StressPlan, cfg: &StressConfig) -> Vec<String> {
             plan,
             cfg,
             Nussinov::new(random_sequence(Alphabet::Rna, n as usize + 6, s1)),
+        ),
+        Workload::Nw => drive(
+            plan,
+            cfg,
+            NeedlemanWunsch::dna(
+                random_sequence(Alphabet::Dna, n as usize, s1),
+                random_sequence(Alphabet::Dna, n as usize + 3, s2),
+            ),
+        ),
+        Workload::Lcs => drive(
+            plan,
+            cfg,
+            Lcs::new(
+                random_sequence(Alphabet::Dna, n as usize, s1),
+                random_sequence(Alphabet::Dna, n as usize + 3, s2),
+            ),
         ),
     }
 }

@@ -12,7 +12,7 @@
 //!               [--pps N] [--tps N]
 //! easyhps stress [--seed N | --seeds N [--start N]] [--kill-master]
 //!               [--mode dynamic|bcw|cw] [--slaves N]
-//!               [--workload editdist|swgg|nussinov] [--clauses i,j|none]
+//!               [--workload editdist|swgg|nussinov|nw|lcs] [--clauses i,j|none]
 //!               [--hang-timeout SECS] [--no-shrink] [--list]
 //! ```
 //!

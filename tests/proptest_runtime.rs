@@ -22,6 +22,10 @@ proptest! {
         slaves in 1usize..4,
         threads in 1usize..4,
     ) {
+        // A thread tile larger than its process tile is now a refused
+        // configuration, so keep the draw inside the legal space (ragged
+        // non-dividing sizes remain legal and exercised).
+        let tp = tp.min(pp);
         let a = random_sequence(Alphabet::Dna, la, seed);
         let b = random_sequence(Alphabet::Dna, lb, seed + 1);
         let problem = EditDistance::new(a, b);
@@ -44,6 +48,7 @@ proptest! {
         tp in 1u32..5,
         slaves in 1usize..4,
     ) {
+        let tp = tp.min(pp);
         let rna = random_sequence(Alphabet::Rna, len, seed);
         let problem = Nussinov::new(rna);
         let pattern = problem.pattern();
