@@ -308,14 +308,19 @@ mod tests {
             for i in 0..50u8 {
                 e0.send(Rank(1), Tag(0), Bytes::from(vec![i])).unwrap();
             }
-            (drain_bytes(&mut e1), e0.stats().sent_msgs)
+            (drain_bytes(&mut e1), e0.stats())
         };
-        let (got1, sent1) = run();
-        let (got2, sent2) = run();
+        let (got1, stats1) = run();
+        let (got2, stats2) = run();
         assert_eq!(got1, got2, "same seed must give the same byte stream");
-        assert_eq!(sent1, sent2);
+        assert_eq!(stats1, stats2);
         assert!(got1.len() > 50, "some messages must be duplicated");
-        assert_eq!(sent1, got1.len() as u64, "each delivery counted as sent");
+        assert_eq!(stats1.sent_msgs, 50, "one logical send per message");
+        assert_eq!(
+            stats1.sent_msgs + stats1.duplicated_msgs,
+            got1.len() as u64,
+            "extra copies accounted as duplicates"
+        );
         for i in 0..50u8 {
             assert!(
                 got1.iter().filter(|b| **b == i).count() >= 1,

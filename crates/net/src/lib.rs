@@ -1,11 +1,13 @@
-//! # easyhps-net — in-process virtual-MPI transport
+//! # easyhps-net — virtual-MPI transport (channels or sockets)
 //!
 //! The EasyHPS paper deploys its master/slave runtime over MPICH on a
-//! cluster. This crate provides the equivalent substrate for a single
-//! machine: a fully-connected set of *ranks* exchanging tagged, ordered
-//! messages over channels, plus deterministic fault injection (message
-//! drops, rank death) and latency/bandwidth cost models the simulator uses
-//! to price the same traffic on a real interconnect.
+//! cluster. This crate provides the equivalent substrate: a
+//! fully-connected set of *ranks* exchanging tagged, ordered messages —
+//! over in-process channels by default, or over real TCP / Unix-domain
+//! sockets ([`socket`]) when master and slaves run as separate OS
+//! processes — plus deterministic fault injection (message drops, rank
+//! death) and latency/bandwidth cost models the simulator uses to price
+//! the same traffic on a real interconnect.
 //!
 //! ```
 //! use easyhps_net::{Network, Rank, Tag, WireWriter, WireReader};
@@ -32,6 +34,7 @@ mod fault;
 pub mod frame;
 mod message;
 mod reliable;
+pub mod socket;
 mod transport;
 mod wire;
 
@@ -42,5 +45,6 @@ pub use message::{Envelope, Rank, Tag};
 pub use reliable::{
     FailReason, PeerReliStats, ReliStats, ReliableEndpoint, RetryPolicy, SendFailure,
 };
+pub use socket::{LinkSnapshot, LinkStats, NetAddr, SocketConfig, SocketInfo, SocketListener};
 pub use transport::{Endpoint, KillHandle, NetError, NetStats, Network};
 pub use wire::{WireError, WireReader, WireWriter};

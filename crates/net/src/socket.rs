@@ -1,0 +1,955 @@
+//! Socket transport: master and slaves as separate OS processes.
+//!
+//! Replaces the in-process crossbeam links with real TCP or Unix-domain
+//! connections while keeping the [`Endpoint`](crate::Endpoint) API,
+//! fault injection and statistics identical — `ReliableEndpoint` and the
+//! CRC frame layer run on top unchanged.
+//!
+//! ## Topology
+//!
+//! The runtime is a star: every message flows master (rank 0) ↔ slave.
+//! The master listens, accepts one connection per slave and assigns
+//! ranks; each slave holds exactly one connection (to the master) and
+//! [`TxLink::Unrouted`](crate::transport::TxLink) stubs for its siblings.
+//!
+//! ## Wire format
+//!
+//! Every message is one length-prefixed frame:
+//!
+//! ```text
+//! [len u32 LE] [src u32 LE] [dst u32 LE] [tag u32 LE] [payload …]
+//! ```
+//!
+//! `len` counts everything after itself (12-byte header + payload) and
+//! is bounded by [`SocketConfig::max_frame`]; an out-of-range length
+//! desynchronises the stream and is treated as a fatal connection error.
+//! Payload integrity is *not* this layer's job — the sealed CRC-32C
+//! frames from [`crate::frame`] ride inside the payload exactly as they
+//! do in-process.
+//!
+//! ## Backpressure
+//!
+//! Each connection owns a bounded outbound queue drained by a writer
+//! thread. `send` blocks once [`SocketConfig::outbound_hwm`] bytes are
+//! queued (a single frame larger than the high-water mark is admitted
+//! when the queue is empty, so the mark can be tuned below the largest
+//! strip without deadlocking). A reader thread feeds received envelopes
+//! into the endpoint's ordinary channel.
+//!
+//! ## Failure mapping
+//!
+//! Socket errors collapse onto the existing [`NetError`] semantics: a
+//! closed or errored connection makes every subsequent send to that peer
+//! return [`NetError::Disconnected`] (which the runtime's fault
+//! tolerance already treats as "peer unreachable"), receives simply stop
+//! yielding messages from that peer (heartbeat silence), and
+//! [`KillHandle`](crate::KillHandle) / timeouts behave exactly as over
+//! channels.
+
+use crate::fault::FaultPlan;
+use crate::message::{Envelope, Rank, Tag};
+use crate::transport::{Endpoint, NetError, TxLink};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Sender};
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Handshake magic: `"EHPS"` little-endian.
+const MAGIC: u32 = 0x5350_4845;
+/// Wire protocol version; bumped on any incompatible frame change.
+const VERSION: u8 = 1;
+/// `want_rank` wildcard: let the master pick.
+pub const ANY_RANK: u32 = u32::MAX;
+/// Bytes of a frame header past the length prefix (src, dst, tag).
+const FRAME_HEADER: usize = 12;
+
+/// Knobs for the socket backend.
+#[derive(Clone, Debug)]
+pub struct SocketConfig {
+    /// Maximum accepted frame length (header + payload). Oversized
+    /// frames are a fatal connection error on both send and receive.
+    pub max_frame: usize,
+    /// Outbound queue high-water mark in bytes; sends block past it.
+    pub outbound_hwm: usize,
+    /// How long a slave keeps retrying its initial connect (the master
+    /// may not be up yet).
+    pub connect_timeout: Duration,
+    /// How long the master waits for all slaves to join.
+    pub accept_timeout: Duration,
+    /// Disable Nagle's algorithm on TCP links (small protocol messages
+    /// dominate; latency matters more than packet count).
+    pub nodelay: bool,
+}
+
+impl Default for SocketConfig {
+    fn default() -> Self {
+        SocketConfig {
+            max_frame: 64 << 20,
+            outbound_hwm: 8 << 20,
+            connect_timeout: Duration::from_secs(30),
+            accept_timeout: Duration::from_secs(60),
+            nodelay: true,
+        }
+    }
+}
+
+/// A transport address: `tcp:host:port` (or bare `host:port`) or
+/// `uds:/path/to.sock`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetAddr {
+    /// TCP endpoint, `host:port`.
+    Tcp(String),
+    /// Unix-domain socket path.
+    Uds(PathBuf),
+}
+
+impl NetAddr {
+    /// Parse an address spec. Accepted forms: `tcp:HOST:PORT`,
+    /// `HOST:PORT`, `uds:PATH`, `unix:PATH`.
+    pub fn parse(spec: &str) -> Result<NetAddr, String> {
+        if let Some(rest) = spec.strip_prefix("tcp:") {
+            return Ok(NetAddr::Tcp(rest.to_string()));
+        }
+        if let Some(rest) = spec
+            .strip_prefix("uds:")
+            .or_else(|| spec.strip_prefix("unix:"))
+        {
+            return Ok(NetAddr::Uds(PathBuf::from(rest)));
+        }
+        if spec.contains(':') {
+            return Ok(NetAddr::Tcp(spec.to_string()));
+        }
+        Err(format!(
+            "bad address {spec:?}: expected tcp:HOST:PORT, HOST:PORT or uds:PATH"
+        ))
+    }
+}
+
+impl fmt::Display for NetAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetAddr::Tcp(hp) => write!(f, "tcp:{hp}"),
+            NetAddr::Uds(p) => write!(f, "uds:{}", p.display()),
+        }
+    }
+}
+
+/// Per-link socket counters, shared with the reader/writer threads and
+/// exported by the runtime's observability layer.
+#[derive(Debug, Default)]
+pub struct LinkStats {
+    /// Bytes currently sitting in the outbound queue (gauge).
+    pub bytes_queued: AtomicU64,
+    /// Frames handed to the writer thread.
+    pub frames_sent: AtomicU64,
+    /// Bytes written to the socket (including length prefixes).
+    pub bytes_sent: AtomicU64,
+    /// Frames received and forwarded to the endpoint.
+    pub frames_recv: AtomicU64,
+    /// Bytes read from the socket (including length prefixes).
+    pub bytes_recv: AtomicU64,
+    /// Frames rejected: oversized/undersized length prefix (fatal) or a
+    /// destination mismatch (dropped).
+    pub frames_rejected: AtomicU64,
+    /// Connect attempts beyond the first (slave-side retry loop).
+    pub reconnects: AtomicU64,
+    /// Times the connection was observed closed or errored.
+    pub disconnects: AtomicU64,
+}
+
+/// A point-in-time copy of [`LinkStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkSnapshot {
+    /// See [`LinkStats::bytes_queued`].
+    pub bytes_queued: u64,
+    /// See [`LinkStats::frames_sent`].
+    pub frames_sent: u64,
+    /// See [`LinkStats::bytes_sent`].
+    pub bytes_sent: u64,
+    /// See [`LinkStats::frames_recv`].
+    pub frames_recv: u64,
+    /// See [`LinkStats::bytes_recv`].
+    pub bytes_recv: u64,
+    /// See [`LinkStats::frames_rejected`].
+    pub frames_rejected: u64,
+    /// See [`LinkStats::reconnects`].
+    pub reconnects: u64,
+    /// See [`LinkStats::disconnects`].
+    pub disconnects: u64,
+}
+
+impl LinkStats {
+    /// Copy the counters.
+    pub fn snapshot(&self) -> LinkSnapshot {
+        LinkSnapshot {
+            bytes_queued: self.bytes_queued.load(Ordering::Relaxed),
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            frames_recv: self.frames_recv.load(Ordering::Relaxed),
+            bytes_recv: self.bytes_recv.load(Ordering::Relaxed),
+            frames_rejected: self.frames_rejected.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            disconnects: self.disconnects.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// What a socket endpoint knows about its links, returned alongside the
+/// [`Endpoint`] so callers can export per-link counters.
+#[derive(Clone, Debug)]
+pub struct SocketInfo {
+    /// This endpoint's assigned rank.
+    pub rank: Rank,
+    /// Total ranks in the job (slaves + master).
+    pub n_ranks: usize,
+    /// `(peer rank, counters)` for every socket link this endpoint owns.
+    pub links: Vec<(Rank, Arc<LinkStats>)>,
+}
+
+impl SocketInfo {
+    /// Counters for the link to `peer`, if one exists.
+    pub fn link(&self, peer: Rank) -> Option<&Arc<LinkStats>> {
+        self.links.iter().find(|(r, _)| *r == peer).map(|(_, s)| s)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Streams
+// ---------------------------------------------------------------------
+
+/// A connected byte stream of either flavour.
+#[derive(Debug)]
+pub(crate) enum SocketStream {
+    Tcp(TcpStream),
+    Uds(UnixStream),
+}
+
+impl SocketStream {
+    fn try_clone(&self) -> io::Result<SocketStream> {
+        Ok(match self {
+            SocketStream::Tcp(s) => SocketStream::Tcp(s.try_clone()?),
+            SocketStream::Uds(s) => SocketStream::Uds(s.try_clone()?),
+        })
+    }
+
+    fn shutdown(&self) {
+        let _ = match self {
+            SocketStream::Tcp(s) => s.shutdown(Shutdown::Both),
+            SocketStream::Uds(s) => s.shutdown(Shutdown::Both),
+        };
+    }
+
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            SocketStream::Tcp(s) => s.set_read_timeout(t),
+            SocketStream::Uds(s) => s.set_read_timeout(t),
+        }
+    }
+}
+
+impl Read for SocketStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            SocketStream::Tcp(s) => s.read(buf),
+            SocketStream::Uds(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for SocketStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            SocketStream::Tcp(s) => s.write(buf),
+            SocketStream::Uds(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            SocketStream::Tcp(s) => s.flush(),
+            SocketStream::Uds(s) => s.flush(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Outbound queue + writer/reader threads
+// ---------------------------------------------------------------------
+
+/// Mutable half of a connection's outbound queue.
+#[derive(Default)]
+struct OutQueue {
+    frames: VecDeque<Vec<u8>>,
+    queued_bytes: usize,
+    /// Connection observed broken (IO error or peer EOF): sends fail.
+    closed: bool,
+    /// The endpoint dropped its `SocketTx`: writer flushes and exits.
+    tx_dropped: bool,
+}
+
+/// State shared between one connection's `SocketTx`, writer and reader.
+struct Conn {
+    q: Mutex<OutQueue>,
+    cv: Condvar,
+    hwm: usize,
+    max_frame: usize,
+    stats: Arc<LinkStats>,
+}
+
+impl Conn {
+    fn mark_closed(&self) {
+        let mut q = self.q.lock().unwrap();
+        if !q.closed {
+            q.closed = true;
+            self.stats.disconnects.fetch_add(1, Ordering::Relaxed);
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// Sending half of a socket link, held inside an endpoint's `TxLink`.
+pub(crate) struct SocketTx {
+    conn: Arc<Conn>,
+}
+
+impl SocketTx {
+    /// Encode and enqueue one envelope, blocking while the outbound
+    /// queue sits above the high-water mark.
+    pub(crate) fn send(&self, env: &Envelope) -> Result<(), NetError> {
+        let frame = encode_frame(env);
+        if frame.len() - 4 > self.conn.max_frame {
+            self.conn
+                .stats
+                .frames_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(NetError::Disconnected);
+        }
+        let mut q = self.conn.q.lock().unwrap();
+        loop {
+            if q.closed {
+                return Err(NetError::Disconnected);
+            }
+            // Admit when under the mark, or unconditionally when the
+            // queue is empty (a lone giant frame must not deadlock).
+            if q.queued_bytes + frame.len() <= self.conn.hwm || q.frames.is_empty() {
+                break;
+            }
+            q = self
+                .conn
+                .cv
+                .wait_timeout(q, Duration::from_millis(50))
+                .unwrap()
+                .0;
+        }
+        q.queued_bytes += frame.len();
+        self.conn
+            .stats
+            .bytes_queued
+            .store(q.queued_bytes as u64, Ordering::Relaxed);
+        self.conn.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+        q.frames.push_back(frame);
+        self.conn.cv.notify_all();
+        Ok(())
+    }
+}
+
+impl Drop for SocketTx {
+    fn drop(&mut self) {
+        let mut q = self.conn.q.lock().unwrap();
+        q.tx_dropped = true;
+        self.conn.cv.notify_all();
+    }
+}
+
+fn encode_frame(env: &Envelope) -> Vec<u8> {
+    let len = (FRAME_HEADER + env.payload.len()) as u32;
+    let mut v = Vec::with_capacity(4 + len as usize);
+    v.extend_from_slice(&len.to_le_bytes());
+    v.extend_from_slice(&env.src.0.to_le_bytes());
+    v.extend_from_slice(&env.dst.0.to_le_bytes());
+    v.extend_from_slice(&env.tag.0.to_le_bytes());
+    v.extend_from_slice(&env.payload);
+    v
+}
+
+/// Writer thread: drain the outbound queue onto the stream. Exits when
+/// the connection breaks or when the endpoint is gone and the queue is
+/// flushed (so teardown messages like END still reach the peer).
+fn writer_loop(conn: Arc<Conn>, mut stream: SocketStream) {
+    loop {
+        let frame = {
+            let mut q = conn.q.lock().unwrap();
+            loop {
+                if let Some(f) = q.frames.pop_front() {
+                    q.queued_bytes -= f.len();
+                    conn.stats
+                        .bytes_queued
+                        .store(q.queued_bytes as u64, Ordering::Relaxed);
+                    conn.cv.notify_all();
+                    break Some(f);
+                }
+                if q.closed || q.tx_dropped {
+                    break None;
+                }
+                q = conn
+                    .cv
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .unwrap()
+                    .0;
+            }
+        };
+        let Some(frame) = frame else { break };
+        if stream
+            .write_all(&frame)
+            .and_then(|()| stream.flush())
+            .is_err()
+        {
+            conn.mark_closed();
+            break;
+        }
+        conn.stats
+            .bytes_sent
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+    }
+    stream.shutdown();
+}
+
+/// Reader thread: decode length-prefixed frames and forward them into
+/// the endpoint's channel. On EOF or error the connection is marked
+/// closed so subsequent sends fail with `Disconnected`.
+fn reader_loop(
+    conn: Arc<Conn>,
+    mut stream: SocketStream,
+    peer: Rank,
+    me: Rank,
+    out: Sender<Envelope>,
+) {
+    loop {
+        let mut lenb = [0u8; 4];
+        if stream.read_exact(&mut lenb).is_err() {
+            break;
+        }
+        let len = u32::from_le_bytes(lenb) as usize;
+        if len < FRAME_HEADER || len > conn.max_frame {
+            // The stream is desynchronised; nothing after this length can
+            // be trusted. Fatal for the connection.
+            conn.stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+            break;
+        }
+        let mut body = vec![0u8; len];
+        if stream.read_exact(&mut body).is_err() {
+            break;
+        }
+        conn.stats
+            .bytes_recv
+            .fetch_add(4 + len as u64, Ordering::Relaxed);
+        let dst = Rank(u32::from_le_bytes(body[4..8].try_into().unwrap()));
+        let tag = Tag(u32::from_le_bytes(body[8..12].try_into().unwrap()));
+        if dst != me {
+            // Mis-addressed frame; the boundary is intact so just drop it.
+            conn.stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        let env = Envelope {
+            // The connection, not the wire, is the source of truth for
+            // the sender's identity.
+            src: peer,
+            dst,
+            tag,
+            payload: Bytes::from(body.split_off(FRAME_HEADER)),
+        };
+        conn.stats.frames_recv.fetch_add(1, Ordering::Relaxed);
+        if out.send(env).is_err() {
+            break; // endpoint dropped
+        }
+    }
+    conn.mark_closed();
+    stream.shutdown();
+}
+
+fn spawn_link(
+    stream: SocketStream,
+    peer: Rank,
+    me: Rank,
+    cfg: &SocketConfig,
+    out: Sender<Envelope>,
+    stats: Arc<LinkStats>,
+) -> io::Result<SocketTx> {
+    let conn = Arc::new(Conn {
+        q: Mutex::new(OutQueue::default()),
+        cv: Condvar::new(),
+        hwm: cfg.outbound_hwm,
+        max_frame: cfg.max_frame,
+        stats,
+    });
+    let reader_stream = stream.try_clone()?;
+    let wc = conn.clone();
+    std::thread::Builder::new()
+        .name(format!("sock-wr-{}", peer.0))
+        .spawn(move || writer_loop(wc, stream))
+        .expect("spawn socket writer");
+    let rc = conn.clone();
+    std::thread::Builder::new()
+        .name(format!("sock-rd-{}", peer.0))
+        .spawn(move || reader_loop(rc, reader_stream, peer, me, out))
+        .expect("spawn socket reader");
+    Ok(SocketTx { conn })
+}
+
+// ---------------------------------------------------------------------
+// Handshake
+// ---------------------------------------------------------------------
+
+fn write_hello(s: &mut SocketStream, want_rank: u32) -> io::Result<()> {
+    let mut buf = [0u8; 9];
+    buf[..4].copy_from_slice(&MAGIC.to_le_bytes());
+    buf[4] = VERSION;
+    buf[5..9].copy_from_slice(&want_rank.to_le_bytes());
+    s.write_all(&buf).and_then(|()| s.flush())
+}
+
+fn read_hello(s: &mut SocketStream) -> io::Result<u32> {
+    let mut buf = [0u8; 9];
+    s.read_exact(&mut buf)?;
+    check_magic_version(&buf)?;
+    Ok(u32::from_le_bytes(buf[5..9].try_into().unwrap()))
+}
+
+fn write_welcome(s: &mut SocketStream, rank: u32, n_ranks: u32) -> io::Result<()> {
+    let mut buf = [0u8; 13];
+    buf[..4].copy_from_slice(&MAGIC.to_le_bytes());
+    buf[4] = VERSION;
+    buf[5..9].copy_from_slice(&rank.to_le_bytes());
+    buf[9..13].copy_from_slice(&n_ranks.to_le_bytes());
+    s.write_all(&buf).and_then(|()| s.flush())
+}
+
+fn read_welcome(s: &mut SocketStream) -> io::Result<(u32, u32)> {
+    let mut buf = [0u8; 13];
+    s.read_exact(&mut buf)?;
+    check_magic_version(&buf)?;
+    Ok((
+        u32::from_le_bytes(buf[5..9].try_into().unwrap()),
+        u32::from_le_bytes(buf[9..13].try_into().unwrap()),
+    ))
+}
+
+fn check_magic_version(buf: &[u8]) -> io::Result<()> {
+    if u32::from_le_bytes(buf[..4].try_into().unwrap()) != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an easyhps peer (bad magic)",
+        ));
+    }
+    if buf[4] != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "protocol version mismatch: peer {}, ours {}",
+                buf[4], VERSION
+            ),
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Master: listen + accept
+// ---------------------------------------------------------------------
+
+enum ListenerInner {
+    Tcp(TcpListener),
+    Uds(UnixListener, PathBuf),
+}
+
+/// A bound listener; call [`SocketListener::accept_ranks`] to gather the
+/// slave connections and build the master endpoint. Binding is split
+/// from accepting so callers can learn the actual address (ephemeral TCP
+/// port) before starting slaves.
+pub struct SocketListener {
+    inner: ListenerInner,
+    cfg: SocketConfig,
+}
+
+impl SocketListener {
+    /// Bind to `addr`. For `tcp:host:0` the OS picks a port; read the
+    /// result back with [`SocketListener::local_addr`].
+    pub fn bind(addr: &NetAddr, cfg: SocketConfig) -> io::Result<SocketListener> {
+        let inner = match addr {
+            NetAddr::Tcp(hp) => ListenerInner::Tcp(TcpListener::bind(hp)?),
+            NetAddr::Uds(path) => {
+                // A stale socket file from a crashed run blocks bind.
+                let _ = std::fs::remove_file(path);
+                ListenerInner::Uds(UnixListener::bind(path)?, path.clone())
+            }
+        };
+        Ok(SocketListener { inner, cfg })
+    }
+
+    /// The address actually bound (port resolved for TCP).
+    pub fn local_addr(&self) -> NetAddr {
+        match &self.inner {
+            ListenerInner::Tcp(l) => NetAddr::Tcp(
+                l.local_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| "?".into()),
+            ),
+            ListenerInner::Uds(_, path) => NetAddr::Uds(path.clone()),
+        }
+    }
+
+    fn accept_one(&self, deadline: Instant) -> io::Result<SocketStream> {
+        // Poll non-blocking accepts so a missing slave cannot park the
+        // master past its accept timeout.
+        match &self.inner {
+            ListenerInner::Tcp(l) => l.set_nonblocking(true)?,
+            ListenerInner::Uds(l, _) => l.set_nonblocking(true)?,
+        }
+        loop {
+            let got = match &self.inner {
+                ListenerInner::Tcp(l) => l.accept().map(|(s, _)| SocketStream::Tcp(s)),
+                ListenerInner::Uds(l, _) => l.accept().map(|(s, _)| SocketStream::Uds(s)),
+            };
+            match got {
+                Ok(s) => {
+                    if let SocketStream::Tcp(t) = &s {
+                        let _ = t.set_nodelay(self.cfg.nodelay);
+                    }
+                    return Ok(s);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "timed out waiting for slaves to connect",
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Accept `n_slaves` connections, assign ranks `1..=n_slaves`
+    /// (honouring a slave's `want_rank` when it is free) and return the
+    /// master endpoint plus per-link counters.
+    pub fn accept_ranks(
+        self,
+        n_slaves: usize,
+        plan: Option<FaultPlan>,
+    ) -> io::Result<(Endpoint, SocketInfo)> {
+        assert!(n_slaves > 0, "a socket cluster needs at least one slave");
+        let n_ranks = n_slaves + 1;
+        let deadline = Instant::now() + self.cfg.accept_timeout;
+        let (env_tx, env_rx) = unbounded();
+        let mut links: Vec<TxLink> = (0..n_ranks).map(|_| TxLink::Unrouted).collect();
+        links[0] = TxLink::Channel(env_tx.clone()); // loopback
+        let mut taken = vec![false; n_ranks];
+        taken[0] = true;
+        let mut info_links = Vec::with_capacity(n_slaves);
+        while info_links.len() < n_slaves {
+            let mut stream = self.accept_one(deadline)?;
+            stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+            let want = match read_hello(&mut stream) {
+                Ok(w) => w,
+                Err(_) => continue, // garbage peer: drop the connection
+            };
+            let rank = match (want as usize) < n_ranks && want != 0 && !taken[want as usize] {
+                true => want as usize,
+                false => match taken.iter().position(|t| !t) {
+                    Some(r) => r,
+                    None => break,
+                },
+            };
+            write_welcome(&mut stream, rank as u32, n_ranks as u32)?;
+            stream.set_read_timeout(None)?;
+            taken[rank] = true;
+            let stats = Arc::new(LinkStats::default());
+            let tx = spawn_link(
+                stream,
+                Rank(rank as u32),
+                Rank(0),
+                &self.cfg,
+                env_tx.clone(),
+                stats.clone(),
+            )?;
+            links[rank] = TxLink::Socket(tx);
+            info_links.push((Rank(rank as u32), stats));
+        }
+        info_links.sort_by_key(|(r, _)| r.0);
+        let ep = Endpoint::from_parts(Rank(0), links, env_rx, plan);
+        let info = SocketInfo {
+            rank: Rank(0),
+            n_ranks,
+            links: info_links,
+        };
+        Ok((ep, info))
+    }
+}
+
+impl Drop for SocketListener {
+    fn drop(&mut self) {
+        if let ListenerInner::Uds(_, path) = &self.inner {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Slave: connect
+// ---------------------------------------------------------------------
+
+fn connect_once(addr: &NetAddr, cfg: &SocketConfig) -> io::Result<SocketStream> {
+    match addr {
+        NetAddr::Tcp(hp) => {
+            let s = TcpStream::connect(hp)?;
+            let _ = s.set_nodelay(cfg.nodelay);
+            Ok(SocketStream::Tcp(s))
+        }
+        NetAddr::Uds(path) => Ok(SocketStream::Uds(UnixStream::connect(path)?)),
+    }
+}
+
+/// Connect to a listening master, handshake a rank, and return the slave
+/// endpoint. Retries the connect with backoff until
+/// [`SocketConfig::connect_timeout`] so slaves may start before the
+/// master; retries are counted in [`LinkStats::reconnects`].
+pub fn connect(
+    addr: &NetAddr,
+    want_rank: Option<u32>,
+    cfg: SocketConfig,
+    plan: Option<FaultPlan>,
+) -> io::Result<(Endpoint, SocketInfo)> {
+    let stats = Arc::new(LinkStats::default());
+    let deadline = Instant::now() + cfg.connect_timeout;
+    let mut backoff = Duration::from_millis(10);
+    let mut stream = loop {
+        match connect_once(addr, &cfg) {
+            Ok(s) => break s,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                stats.reconnects.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(500));
+            }
+        }
+    };
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    write_hello(&mut stream, want_rank.unwrap_or(ANY_RANK))?;
+    let (rank, n_ranks) = read_welcome(&mut stream)?;
+    stream.set_read_timeout(None)?;
+    let (env_tx, env_rx) = unbounded();
+    let mut links: Vec<TxLink> = (0..n_ranks as usize).map(|_| TxLink::Unrouted).collect();
+    let tx = spawn_link(
+        stream,
+        Rank(0),
+        Rank(rank),
+        &cfg,
+        env_tx.clone(),
+        stats.clone(),
+    )?;
+    links[0] = TxLink::Socket(tx);
+    links[rank as usize] = TxLink::Channel(env_tx); // loopback
+    let ep = Endpoint::from_parts(Rank(rank), links, env_rx, plan);
+    let info = SocketInfo {
+        rank: Rank(rank),
+        n_ranks: n_ranks as usize,
+        links: vec![(Rank(0), stats)],
+    };
+    Ok((ep, info))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Tag;
+
+    fn b(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+
+    fn tcp_pair(n_slaves: usize) -> (Endpoint, SocketInfo, Vec<(Endpoint, SocketInfo)>) {
+        let listener = SocketListener::bind(
+            &NetAddr::parse("127.0.0.1:0").unwrap(),
+            SocketConfig::default(),
+        )
+        .unwrap();
+        let addr = listener.local_addr();
+        let handles: Vec<_> = (1..=n_slaves)
+            .map(|r| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    connect(&addr, Some(r as u32), SocketConfig::default(), None).unwrap()
+                })
+            })
+            .collect();
+        let (master, minfo) = listener.accept_ranks(n_slaves, None).unwrap();
+        let slaves = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        (master, minfo, slaves)
+    }
+
+    #[test]
+    fn addr_parse_forms() {
+        assert_eq!(
+            NetAddr::parse("tcp:1.2.3.4:99").unwrap(),
+            NetAddr::Tcp("1.2.3.4:99".into())
+        );
+        assert_eq!(
+            NetAddr::parse("1.2.3.4:99").unwrap(),
+            NetAddr::Tcp("1.2.3.4:99".into())
+        );
+        assert_eq!(
+            NetAddr::parse("uds:/tmp/x.sock").unwrap(),
+            NetAddr::Uds("/tmp/x.sock".into())
+        );
+        assert_eq!(
+            NetAddr::parse("unix:/tmp/x.sock").unwrap(),
+            NetAddr::Uds("/tmp/x.sock".into())
+        );
+        assert!(NetAddr::parse("nonsense").is_err());
+    }
+
+    #[test]
+    fn tcp_ping_pong_with_rank_assignment() {
+        let (mut master, minfo, mut slaves) = tcp_pair(2);
+        assert_eq!(minfo.n_ranks, 3);
+        for (ep, info) in &slaves {
+            assert_eq!(ep.rank(), info.rank);
+            assert_eq!(ep.n_ranks(), 3);
+        }
+        for (ref mut ep, _) in &mut slaves {
+            ep.send(Rank(0), Tag(1), b("hello")).unwrap();
+        }
+        for _ in 0..2 {
+            let env = master.recv().unwrap();
+            assert_eq!(env.tag, Tag(1));
+            assert_eq!(&env.payload[..], b"hello");
+            master.send(env.src, Tag(2), b("world")).unwrap();
+        }
+        for (ref mut ep, _) in &mut slaves {
+            let env = ep.recv().unwrap();
+            assert_eq!(env.src, Rank(0));
+            assert_eq!(&env.payload[..], b"world");
+        }
+    }
+
+    #[test]
+    fn uds_ping_pong() {
+        let path = std::env::temp_dir().join(format!("easyhps-test-{}.sock", std::process::id()));
+        let listener =
+            SocketListener::bind(&NetAddr::Uds(path.clone()), SocketConfig::default()).unwrap();
+        let addr = listener.local_addr();
+        let h = std::thread::spawn(move || {
+            connect(&addr, None, SocketConfig::default(), None).unwrap()
+        });
+        let (mut master, _info) = listener.accept_ranks(1, None).unwrap();
+        let (mut slave, _sinfo) = h.join().unwrap();
+        slave.send(Rank(0), Tag(7), b("ping")).unwrap();
+        assert_eq!(&master.recv().unwrap().payload[..], b"ping");
+        master.send(slave.rank(), Tag(8), b("pong")).unwrap();
+        assert_eq!(&slave.recv().unwrap().payload[..], b"pong");
+        drop(master);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn slave_to_slave_is_unrouted() {
+        let (_master, _minfo, mut slaves) = tcp_pair(2);
+        let (ref mut s1, _) = slaves[0];
+        assert_eq!(
+            s1.send(Rank(2), Tag(0), Bytes::new()).unwrap_err(),
+            NetError::Disconnected
+        );
+    }
+
+    #[test]
+    fn peer_death_fails_sends_promptly() {
+        let (mut master, _minfo, slaves) = tcp_pair(1);
+        drop(slaves); // slave endpoints drop: connections close
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match master.send(Rank(1), Tag(0), b("x")) {
+                Err(NetError::Disconnected) => break,
+                Ok(()) => {
+                    assert!(Instant::now() < deadline, "send must start failing");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => panic!("unexpected error {e:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn per_pair_ordering_over_tcp() {
+        let (mut master, _minfo, mut slaves) = tcp_pair(1);
+        for i in 0..200u32 {
+            master.send(Rank(1), Tag(i), Bytes::new()).unwrap();
+        }
+        let (ref mut slave, _) = slaves[0];
+        for i in 0..200u32 {
+            assert_eq!(slave.recv().unwrap().tag, Tag(i));
+        }
+    }
+
+    #[test]
+    fn oversized_send_is_rejected() {
+        let cfg = SocketConfig {
+            max_frame: 1024,
+            ..SocketConfig::default()
+        };
+        let listener =
+            SocketListener::bind(&NetAddr::parse("127.0.0.1:0").unwrap(), cfg.clone()).unwrap();
+        let addr = listener.local_addr();
+        let ccfg = cfg.clone();
+        let h = std::thread::spawn(move || connect(&addr, None, ccfg, None).unwrap());
+        let (mut master, minfo) = listener.accept_ranks(1, None).unwrap();
+        let (_slave, _sinfo) = h.join().unwrap();
+        let big = Bytes::from(vec![0u8; 4096]);
+        assert_eq!(
+            master.send(Rank(1), Tag(0), big).unwrap_err(),
+            NetError::Disconnected
+        );
+        let snap = minfo.link(Rank(1)).unwrap().snapshot();
+        assert_eq!(snap.frames_rejected, 1);
+    }
+
+    #[test]
+    fn fault_plans_apply_over_sockets() {
+        // A lossy master drops deterministically even over TCP: the
+        // fault layer sits above the link.
+        let listener = SocketListener::bind(
+            &NetAddr::parse("127.0.0.1:0").unwrap(),
+            SocketConfig::default(),
+        )
+        .unwrap();
+        let addr = listener.local_addr();
+        let h = std::thread::spawn(move || {
+            connect(&addr, None, SocketConfig::default(), None).unwrap()
+        });
+        let plan = FaultPlan::lossy(0.5, 42);
+        let (mut master, _minfo) = listener.accept_ranks(1, Some(plan)).unwrap();
+        let (mut slave, _sinfo) = h.join().unwrap();
+        for _ in 0..100 {
+            master.send(Rank(1), Tag(3), Bytes::new()).unwrap();
+        }
+        let mut got = 0u64;
+        while slave.recv_timeout(Duration::from_millis(500)).is_ok() {
+            got += 1;
+        }
+        let dropped = master.stats().dropped_msgs;
+        assert_eq!(got + dropped, 100);
+        assert!(
+            dropped > 20 && dropped < 80,
+            "drop rate wildly off: {dropped}"
+        );
+    }
+}

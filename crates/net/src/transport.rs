@@ -1,25 +1,38 @@
-//! In-process message transport: the virtual-MPI layer.
+//! Message transport: the virtual-MPI layer.
 //!
 //! [`Network::new`] creates `n` fully-connected endpoints. Each endpoint
 //! belongs to one OS thread (the "process" of that rank) and provides
-//! ordered, reliable point-to-point messaging over crossbeam channels —
-//! the same semantics the paper gets from MPICH, minus the wire. Fault
-//! injection (message drops, rank death) hooks in at this layer so the
-//! runtime's fault tolerance can be exercised deterministically.
+//! ordered, reliable point-to-point messaging — the same semantics the
+//! paper gets from MPICH. The default backend wires every rank pair over
+//! crossbeam channels in one process; the socket backend
+//! ([`crate::socket`]) replaces individual links with TCP or Unix-domain
+//! connections while the endpoint API, fault injection and statistics
+//! stay identical. Fault injection (message drops, rank death) hooks in
+//! at this layer — in [`Endpoint::send`], *before* the link is chosen —
+//! so the runtime's fault tolerance can be exercised deterministically
+//! over either backend.
 
 use crate::fault::{FaultPlan, FaultState, SendVerdict};
 use crate::message::{Envelope, Rank, Tag};
+use crate::socket::SocketTx;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// How often a blocked receive re-checks [`KillHandle`] liveness. A
+/// parked `recv` must observe `kill()` within roughly this bound instead
+/// of sleeping on the channel forever.
+const ALIVE_SLICE: Duration = Duration::from_millis(10);
 
 /// Transport errors.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum NetError {
-    /// The peer's endpoint (or every sender into ours) has been dropped.
+    /// The peer's endpoint (or every sender into ours) has been dropped,
+    /// or the socket carrying this link was closed or errored.
     Disconnected,
     /// `recv_timeout` elapsed with no message.
     Timeout,
@@ -43,9 +56,11 @@ impl std::error::Error for NetError {}
 /// Counters of one endpoint's traffic.
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct NetStats {
-    /// Messages successfully handed to the transport.
+    /// Logical messages successfully handed to the transport. A
+    /// fault-injected duplicate still counts once here (see
+    /// [`NetStats::duplicated_msgs`]).
     pub sent_msgs: u64,
-    /// Bytes (wire size) successfully sent.
+    /// Bytes (wire size) of logical sends.
     pub sent_bytes: u64,
     /// Messages received.
     pub recv_msgs: u64,
@@ -55,6 +70,9 @@ pub struct NetStats {
     pub dropped_msgs: u64,
     /// Messages delivered with a bit flipped by fault injection.
     pub corrupted_msgs: u64,
+    /// Extra copies injected by [`SendVerdict::Duplicate`]: the receiver
+    /// sees `sent_msgs + duplicated_msgs` deliveries.
+    pub duplicated_msgs: u64,
 }
 
 /// Handle that can kill an endpoint from another thread (simulates a node
@@ -66,7 +84,8 @@ pub struct KillHandle {
 
 impl KillHandle {
     /// Kill the endpoint: all subsequent operations fail with
-    /// [`NetError::Dead`].
+    /// [`NetError::Dead`]. A receive already parked on the channel
+    /// observes the kill within one liveness slice (~10ms).
     pub fn kill(&self) {
         self.flag.store(true, Ordering::Release);
     }
@@ -77,13 +96,34 @@ impl KillHandle {
     }
 }
 
+/// One outbound route from an endpoint to a peer rank.
+pub(crate) enum TxLink {
+    /// In-process crossbeam channel into the peer's receiver.
+    Channel(Sender<Envelope>),
+    /// Socket connection (TCP or Unix-domain) to a peer process.
+    Socket(SocketTx),
+    /// No route — e.g. slave→slave in the star socket topology, where
+    /// all traffic goes through the master.
+    Unrouted,
+}
+
+impl TxLink {
+    fn deliver(&self, env: Envelope) -> Result<(), NetError> {
+        match self {
+            TxLink::Channel(s) => s.send(env).map_err(|_| NetError::Disconnected),
+            TxLink::Socket(tx) => tx.send(&env),
+            TxLink::Unrouted => Err(NetError::Disconnected),
+        }
+    }
+}
+
 /// One rank's connection to the virtual cluster.
 pub struct Endpoint {
     rank: Rank,
-    senders: Vec<Sender<Envelope>>,
+    links: Vec<TxLink>,
     receiver: Receiver<Envelope>,
     /// Messages received but not matched by a selective receive.
-    deferred: Vec<Envelope>,
+    deferred: VecDeque<Envelope>,
     dead: Arc<AtomicBool>,
     fault: FaultState,
     stats: NetStats,
@@ -93,13 +133,13 @@ impl fmt::Debug for Endpoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Endpoint")
             .field("rank", &self.rank)
-            .field("n_ranks", &self.senders.len())
+            .field("n_ranks", &self.links.len())
             .field("stats", &self.stats)
             .finish()
     }
 }
 
-/// Factory for fully-connected endpoint sets.
+/// Factory for fully-connected in-process endpoint sets.
 pub struct Network;
 
 impl Network {
@@ -123,20 +163,38 @@ impl Network {
         receivers
             .into_iter()
             .enumerate()
-            .map(|(i, receiver)| Endpoint {
-                rank: Rank(i as u32),
-                senders: senders.clone(),
-                receiver,
-                deferred: Vec::new(),
-                dead: Arc::new(AtomicBool::new(false)),
-                fault: FaultState::new(plans.get(i).cloned().flatten()),
-                stats: NetStats::default(),
+            .map(|(i, receiver)| {
+                Endpoint::from_parts(
+                    Rank(i as u32),
+                    senders.iter().cloned().map(TxLink::Channel).collect(),
+                    receiver,
+                    plans.get(i).cloned().flatten(),
+                )
             })
             .collect()
     }
 }
 
 impl Endpoint {
+    /// Assemble an endpoint from explicit links — the shared constructor
+    /// for the channel and socket backends.
+    pub(crate) fn from_parts(
+        rank: Rank,
+        links: Vec<TxLink>,
+        receiver: Receiver<Envelope>,
+        plan: Option<FaultPlan>,
+    ) -> Self {
+        Endpoint {
+            rank,
+            links,
+            receiver,
+            deferred: VecDeque::new(),
+            dead: Arc::new(AtomicBool::new(false)),
+            fault: FaultState::new(plan),
+            stats: NetStats::default(),
+        }
+    }
+
     /// This endpoint's rank.
     pub fn rank(&self) -> Rank {
         self.rank
@@ -144,7 +202,7 @@ impl Endpoint {
 
     /// Number of ranks in the network.
     pub fn n_ranks(&self) -> usize {
-        self.senders.len()
+        self.links.len()
     }
 
     /// Traffic counters.
@@ -184,12 +242,20 @@ impl Endpoint {
         };
         self.fault.note_send();
         let res = match self.fault.decide(tag, env.payload.len()) {
-            SendVerdict::Deliver => self.deliver(env),
+            SendVerdict::Deliver => self.deliver(env, true),
             SendVerdict::Drop => {
                 self.stats.dropped_msgs += 1;
                 Ok(())
             }
-            SendVerdict::Duplicate => self.deliver(env.clone()).and(self.deliver(env)),
+            SendVerdict::Duplicate => {
+                // One logical send; the extra copy is transport noise and
+                // is accounted separately so stats conservation holds.
+                let first = self.deliver(env.clone(), true);
+                if first.is_ok() && self.deliver(env, false).is_ok() {
+                    self.stats.duplicated_msgs += 1;
+                }
+                first
+            }
             SendVerdict::Delay(release_at) => {
                 self.fault.hold(release_at, env);
                 Ok(())
@@ -198,10 +264,13 @@ impl Endpoint {
                 let mut buf = env.payload.to_vec();
                 buf[(bit / 8) as usize] ^= 1 << (bit % 8);
                 self.stats.corrupted_msgs += 1;
-                self.deliver(Envelope {
-                    payload: Bytes::from(buf),
-                    ..env
-                })
+                self.deliver(
+                    Envelope {
+                        payload: Bytes::from(buf),
+                        ..env
+                    },
+                    true,
+                )
             }
         };
         // Release previously held messages only after the current one so a
@@ -209,22 +278,23 @@ impl Endpoint {
         // whose destination has meanwhile gone away is just lost — same
         // observable behaviour as a drop.
         for held in self.fault.take_due() {
-            if self.deliver(held).is_err() {
+            if self.deliver(held, true).is_err() {
                 self.stats.dropped_msgs += 1;
             }
         }
         res
     }
 
-    fn deliver(&mut self, env: Envelope) -> Result<(), NetError> {
+    fn deliver(&mut self, env: Envelope, count: bool) -> Result<(), NetError> {
         let size = env.wire_size();
-        self.senders
+        self.links
             .get(env.dst.index())
             .ok_or(NetError::Disconnected)?
-            .send(env)
-            .map_err(|_| NetError::Disconnected)?;
-        self.stats.sent_msgs += 1;
-        self.stats.sent_bytes += size;
+            .deliver(env)?;
+        if count {
+            self.stats.sent_msgs += 1;
+            self.stats.sent_bytes += size;
+        }
         Ok(())
     }
 
@@ -233,42 +303,57 @@ impl Endpoint {
         self.stats.recv_bytes += env.wire_size();
     }
 
+    /// One bounded wait on the channel, re-checking liveness first so a
+    /// `kill()` issued while we were parked is observed within a slice.
+    fn recv_slice(&mut self, timeout: Duration) -> Result<Option<Envelope>, NetError> {
+        self.check_alive()?;
+        match self.receiver.recv_timeout(timeout) {
+            Ok(env) => Ok(Some(env)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(NetError::Disconnected),
+        }
+    }
+
     /// Blocking receive of the next message (deferred messages first).
     pub fn recv(&mut self) -> Result<Envelope, NetError> {
         self.check_alive()?;
-        if !self.deferred.is_empty() {
-            let env = self.deferred.remove(0);
+        if let Some(env) = self.deferred.pop_front() {
             self.note_recv(&env);
             return Ok(env);
         }
-        let env = self.receiver.recv().map_err(|_| NetError::Disconnected)?;
-        self.note_recv(&env);
-        Ok(env)
+        loop {
+            if let Some(env) = self.recv_slice(ALIVE_SLICE)? {
+                self.note_recv(&env);
+                return Ok(env);
+            }
+        }
     }
 
     /// Receive with a timeout.
     pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Envelope, NetError> {
         self.check_alive()?;
-        if !self.deferred.is_empty() {
-            let env = self.deferred.remove(0);
+        if let Some(env) = self.deferred.pop_front() {
             self.note_recv(&env);
             return Ok(env);
         }
-        match self.receiver.recv_timeout(timeout) {
-            Ok(env) => {
-                self.note_recv(&env);
-                Ok(env)
+        let deadline = Instant::now() + timeout;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                self.check_alive()?;
+                return Err(NetError::Timeout);
             }
-            Err(RecvTimeoutError::Timeout) => Err(NetError::Timeout),
-            Err(RecvTimeoutError::Disconnected) => Err(NetError::Disconnected),
+            if let Some(env) = self.recv_slice(left.min(ALIVE_SLICE))? {
+                self.note_recv(&env);
+                return Ok(env);
+            }
         }
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&mut self) -> Result<Option<Envelope>, NetError> {
         self.check_alive()?;
-        if !self.deferred.is_empty() {
-            let env = self.deferred.remove(0);
+        if let Some(env) = self.deferred.pop_front() {
             self.note_recv(&env);
             return Ok(Some(env));
         }
@@ -288,17 +373,18 @@ impl Endpoint {
     pub fn recv_tag(&mut self, tag: Tag) -> Result<Envelope, NetError> {
         self.check_alive()?;
         if let Some(i) = self.deferred.iter().position(|e| e.tag == tag) {
-            let env = self.deferred.remove(i);
+            let env = self.deferred.remove(i).expect("position was valid");
             self.note_recv(&env);
             return Ok(env);
         }
         loop {
-            let env = self.receiver.recv().map_err(|_| NetError::Disconnected)?;
-            if env.tag == tag {
-                self.note_recv(&env);
-                return Ok(env);
+            if let Some(env) = self.recv_slice(ALIVE_SLICE)? {
+                if env.tag == tag {
+                    self.note_recv(&env);
+                    return Ok(env);
+                }
+                self.deferred.push_back(env);
             }
-            self.deferred.push(env);
         }
     }
 }
@@ -391,6 +477,67 @@ mod tests {
         );
         // The other endpoint is unaffected.
         e0.send(Rank(0), Tag(0), Bytes::new()).unwrap();
+    }
+
+    /// Regression: a receive already *parked* on the channel must observe
+    /// a kill issued from another thread instead of blocking forever.
+    #[test]
+    fn kill_interrupts_blocked_recv() {
+        let mut eps = Network::new(2);
+        let mut e1 = eps.pop().unwrap();
+        let _e0 = eps.pop().unwrap(); // keep peers alive: channel never closes
+        let k = e1.kill_handle();
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            k.kill();
+        });
+        let start = Instant::now();
+        assert_eq!(e1.recv().unwrap_err(), NetError::Dead);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "blocked recv must notice the kill promptly"
+        );
+        killer.join().unwrap();
+    }
+
+    /// Same for the selective receive, which has its own blocking loop.
+    #[test]
+    fn kill_interrupts_blocked_recv_tag() {
+        let mut eps = Network::new(2);
+        let mut e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        // A non-matching message must not keep the selective receive alive.
+        e0.send(Rank(1), Tag(1), b("other")).unwrap();
+        let k = e1.kill_handle();
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            k.kill();
+        });
+        let start = Instant::now();
+        assert_eq!(e1.recv_tag(Tag(2)).unwrap_err(), NetError::Dead);
+        assert!(start.elapsed() < Duration::from_secs(5));
+        killer.join().unwrap();
+    }
+
+    /// A long `recv_timeout` must also notice a mid-wait kill — it should
+    /// return `Dead` well before its own deadline.
+    #[test]
+    fn kill_interrupts_long_recv_timeout() {
+        let mut eps = Network::new(2);
+        let mut e1 = eps.pop().unwrap();
+        let _e0 = eps.pop().unwrap();
+        let k = e1.kill_handle();
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            k.kill();
+        });
+        let start = Instant::now();
+        assert_eq!(
+            e1.recv_timeout(Duration::from_secs(30)).unwrap_err(),
+            NetError::Dead
+        );
+        assert!(start.elapsed() < Duration::from_secs(5));
+        killer.join().unwrap();
     }
 
     #[test]

@@ -18,9 +18,11 @@ use crate::RuntimeError;
 use easyhps_core::ScheduleMode;
 use easyhps_core::{DagDataDrivenModel, GridDims};
 use easyhps_dp::{DpMatrix, DpProblem};
-use easyhps_net::{FaultPlan, Network, RetryPolicy};
+use easyhps_net::socket::{connect, SocketConfig, SocketListener};
+use easyhps_net::{FaultPlan, NetAddr, Network, RetryPolicy};
 use easyhps_obs::{EventRecorder, Registry};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -63,6 +65,7 @@ pub struct EasyHps<P: DpProblem> {
     thread_partition: Option<GridDims>,
     deployment: Deployment,
     fault_plans: Vec<Option<FaultPlan>>,
+    transport: TransportKind,
     memory: MemoryMode,
     resume: Option<Checkpoint>,
     tile_budget: Option<u64>,
@@ -70,6 +73,36 @@ pub struct EasyHps<P: DpProblem> {
     collect_metrics: bool,
     trace_out: Option<PathBuf>,
     autotune: Option<PathBuf>,
+}
+
+/// Which transport carries the virtual cluster's messages. All three run
+/// the identical protocol stack (reliable endpoints, CRC frames, fault
+/// injection); they differ only in the link under it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TransportKind {
+    /// Crossbeam channels between threads of this process (default;
+    /// fastest, fully deterministic).
+    #[default]
+    InProcess,
+    /// Real TCP connections over loopback — every byte crosses the
+    /// kernel, so framing, partial reads and backpressure are exercised.
+    Tcp,
+    /// Unix-domain socket connections through a temp-dir path.
+    Uds,
+}
+
+impl TransportKind {
+    /// Parse a CLI spelling.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "inproc" | "in-process" | "channel" => Ok(TransportKind::InProcess),
+            "tcp" => Ok(TransportKind::Tcp),
+            "uds" | "unix" => Ok(TransportKind::Uds),
+            other => Err(format!(
+                "unknown transport {other:?}: expected inproc, tcp or uds"
+            )),
+        }
+    }
 }
 
 /// Node-matrix storage strategy (paper §VII lists memory as the system's
@@ -101,6 +134,7 @@ impl<P: DpProblem> EasyHps<P> {
             thread_partition: None,
             deployment: Deployment::local(2, 2),
             fault_plans: Vec::new(),
+            transport: TransportKind::InProcess,
             memory: MemoryMode::Dense,
             resume: None,
             tile_budget: None,
@@ -186,6 +220,16 @@ impl<P: DpProblem> EasyHps<P> {
     /// Choose the node-matrix storage strategy.
     pub fn memory_mode(mut self, mode: MemoryMode) -> Self {
         self.memory = mode;
+        self
+    }
+
+    /// Choose the transport carrying the virtual cluster's messages
+    /// (default in-process channels). The socket kinds still run every
+    /// rank as a thread of this process, but all master↔slave traffic
+    /// crosses real TCP or Unix-domain sockets — fault plans included,
+    /// since injection happens above the link.
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.transport = kind;
         self
     }
 
@@ -385,8 +429,6 @@ impl<P: DpProblem> EasyHps<P> {
         let n_ranks = 1 + self.deployment.slaves;
         let mut plans = self.fault_plans.clone();
         plans.resize(n_ranks, None);
-        let mut endpoints = Network::with_faults(n_ranks, &plans);
-        let master_ep = endpoints.remove(0);
 
         // Observability: one registry / recorder shared by every rank of
         // the virtual cluster, carried to them through the deployment.
@@ -407,39 +449,82 @@ impl<P: DpProblem> EasyHps<P> {
         };
 
         let memory = self.memory;
-        let out = std::thread::scope(|s| {
-            for ep in endpoints {
-                let problem = problem.clone();
-                let model = model.clone();
-                let deployment = deployment.clone();
-                s.spawn(move || {
-                    // A slave that dies under fault injection returns Err;
-                    // the master's fault tolerance handles it.
-                    let _ = match memory {
-                        MemoryMode::Dense => run_slave_with_storage::<P, SharedGrid<P::Cell>>(
-                            ep,
-                            problem.as_ref(),
-                            &model,
-                            &deployment,
-                        ),
-                        MemoryMode::Sparse => run_slave_with_storage::<P, SparseGrid<P::Cell>>(
-                            ep,
-                            problem.as_ref(),
-                            &model,
-                            &deployment,
-                        ),
-                    };
-                });
+        let out = match self.transport {
+            TransportKind::InProcess => {
+                let mut endpoints = Network::with_faults(n_ranks, &plans);
+                let master_ep = endpoints.remove(0);
+                std::thread::scope(|s| {
+                    for ep in endpoints {
+                        let problem = problem.clone();
+                        let model = model.clone();
+                        let deployment = deployment.clone();
+                        s.spawn(move || {
+                            drive_slave(memory, ep, problem.as_ref(), &model, &deployment)
+                        });
+                    }
+                    run_master_with(
+                        master_ep,
+                        problem.as_ref(),
+                        &model,
+                        &deployment,
+                        self.resume.as_ref(),
+                        self.tile_budget,
+                    )
+                })?
             }
-            run_master_with(
-                master_ep,
-                problem.as_ref(),
-                &model,
-                &deployment,
-                self.resume.as_ref(),
-                self.tile_budget,
-            )
-        })?;
+            kind => {
+                // Socket-backed virtual cluster: every rank still runs as
+                // a thread here, but all master<->slave traffic crosses a
+                // real kernel socket. Ranks are requested explicitly so
+                // per-rank fault plans land on the intended endpoint.
+                let bind_addr = match kind {
+                    TransportKind::Uds => NetAddr::Uds(temp_socket_path()),
+                    _ => NetAddr::parse("127.0.0.1:0").expect("loopback address parses"),
+                };
+                let scfg = SocketConfig::default();
+                let listener = SocketListener::bind(&bind_addr, scfg.clone()).map_err(|e| {
+                    RuntimeError::InvalidConfig(format!("binding {bind_addr}: {e}"))
+                })?;
+                let addr = listener.local_addr();
+                std::thread::scope(|s| {
+                    for i in 0..self.deployment.slaves {
+                        let plan = plans[i + 1].clone();
+                        let addr = addr.clone();
+                        let scfg = scfg.clone();
+                        let problem = problem.clone();
+                        let model = model.clone();
+                        let deployment = deployment.clone();
+                        s.spawn(move || {
+                            // The master tearing down early (e.g. under a
+                            // kill-master drill) makes connect fail; that
+                            // slave simply has nothing to do.
+                            let Ok((ep, _info)) = connect(&addr, Some(i as u32 + 1), scfg, plan)
+                            else {
+                                return;
+                            };
+                            drive_slave(memory, ep, problem.as_ref(), &model, &deployment)
+                        });
+                    }
+                    let (master_ep, sinfo) = listener
+                        .accept_ranks(self.deployment.slaves, plans[0].clone())
+                        .map_err(|e| {
+                            RuntimeError::InvalidConfig(format!("accepting slaves: {e}"))
+                        })?;
+                    let out = run_master_with(
+                        master_ep,
+                        problem.as_ref(),
+                        &model,
+                        &deployment,
+                        self.resume.as_ref(),
+                        self.tile_budget,
+                    )?;
+                    if let Some(reg) = &registry {
+                        crate::remote::publish_socket_stats(reg, &sinfo);
+                    }
+                    Ok::<_, RuntimeError>(out)
+                })?
+            }
+        };
 
         // Every slave thread has joined (the scope ended), so every event
         // lane has flushed into the recorder: the export is complete.
@@ -473,4 +558,36 @@ impl<P: DpProblem> EasyHps<P> {
             metrics: registry,
         })
     }
+}
+
+/// Run one slave rank to completion on `ep`, dispatching on the storage
+/// strategy. A slave that dies under fault injection returns Err; the
+/// master's fault tolerance handles it, so the error is dropped here.
+fn drive_slave<P: DpProblem>(
+    memory: MemoryMode,
+    ep: easyhps_net::Endpoint,
+    problem: &P,
+    model: &DagDataDrivenModel,
+    deployment: &Deployment,
+) {
+    let _ = match memory {
+        MemoryMode::Dense => {
+            run_slave_with_storage::<P, SharedGrid<P::Cell>>(ep, problem, model, deployment)
+        }
+        MemoryMode::Sparse => {
+            run_slave_with_storage::<P, SparseGrid<P::Cell>>(ep, problem, model, deployment)
+        }
+    };
+}
+
+/// A unique Unix-domain socket path for one in-process virtual cluster.
+/// Uniqueness needs both the pid (parallel test binaries) and a counter
+/// (parallel runs inside one binary).
+fn temp_socket_path() -> std::path::PathBuf {
+    static NEXT_SOCK: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "easyhps-{}-{}.sock",
+        std::process::id(),
+        NEXT_SOCK.fetch_add(1, Ordering::Relaxed)
+    ))
 }

@@ -48,12 +48,13 @@ mod master;
 mod obs;
 mod pool;
 mod protocol;
+pub mod remote;
 mod shared_grid;
 mod slave;
 mod storage;
 pub mod testing;
 
-pub use api::{EasyHps, MemoryMode, RunOutput};
+pub use api::{EasyHps, MemoryMode, RunOutput, TransportKind};
 pub use autotune::{Autotuner, ProblemClass, TuneProfile, TuningEntry, TuningTable};
 pub use checkpoint::Checkpoint;
 pub use config::{Deployment, MasterStats, ObsConfig, RunReport};

@@ -35,6 +35,10 @@ pub mod tags {
     /// `heartbeat_interval`, including from inside a long tile
     /// computation; a lost one is superseded by the next).
     pub const HEARTBEAT: Tag = Tag(6);
+    /// Master -> slave: serialized job description (problem, partitions,
+    /// deployment knobs) sent once right after the socket handshake so a
+    /// remote slave can reconstruct the run. Never used in-process.
+    pub const JOB: Tag = Tag(7);
 }
 
 fn put_region(w: &mut WireWriter, r: TileRegion) {

@@ -1,0 +1,689 @@
+//! Multi-process deployment: master and slaves as separate OS processes
+//! over the socket transport.
+//!
+//! In-process runs hand every rank an [`Arc`] of the same problem; a
+//! remote slave has nothing, so the master ships a [`JobSpec`] — the
+//! problem's defining data plus the partition sizes and deployment knobs
+//! both sides must agree on — as the first message after the socket
+//! handshake (tag [`tags::JOB`], sealed with the CRC frame layer). The
+//! slave reconstructs the problem and model locally and then runs the
+//! ordinary [`run_slave_with_storage`] loop; the master runs the
+//! ordinary [`run_master_with`]. Everything above the transport —
+//! reliable control messages, heartbeats, fault tolerance, durable
+//! checkpoints — is byte-identical to the in-process path.
+//!
+//! The remote problem repertoire is the closed set of workloads the CLI
+//! can name ([`RemoteProblem`]); all of them share `Cell = i32`, which
+//! keeps the wire format and the master's output monomorphic.
+
+use crate::checkpoint::Checkpoint;
+use crate::config::{Deployment, ObsConfig, RunReport};
+use crate::durable::CheckpointPolicy;
+use crate::master::run_master_with;
+use crate::protocol::{tags, SlaveStatsMsg};
+use crate::shared_grid::SharedGrid;
+use crate::slave::run_slave_with_storage;
+use crate::storage::SparseGrid;
+use crate::{MemoryMode, RuntimeError};
+use easyhps_core::{DagDataDrivenModel, GridDims, ScheduleMode};
+use easyhps_dp::{
+    DpMatrix, DpProblem, EditDistance, GapPenalty, Lcs, NeedlemanWunsch, Nussinov,
+    SmithWatermanGeneralGap, Substitution,
+};
+use easyhps_net::socket::{connect, SocketConfig, SocketInfo, SocketListener};
+use easyhps_net::{frame, NetAddr, Rank, RetryPolicy, WireError, WireReader, WireWriter};
+use easyhps_obs::{labeled, Registry};
+use std::time::Duration;
+
+fn io_err(what: &str, e: std::io::Error) -> RuntimeError {
+    RuntimeError::InvalidConfig(format!("{what}: {e}"))
+}
+
+/// Substitution scheme a job can carry: the simple match/mismatch form.
+/// (Table substitutions would ship fine but nothing in the CLI produces
+/// them remotely yet.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubSpec {
+    /// Score for identical symbols.
+    pub match_score: i32,
+    /// Score for differing symbols.
+    pub mismatch: i32,
+}
+
+impl SubSpec {
+    /// The DNA default (+2 match, −1 mismatch).
+    pub fn dna() -> Self {
+        SubSpec {
+            match_score: 2,
+            mismatch: -1,
+        }
+    }
+
+    fn to_substitution(self) -> Substitution {
+        Substitution::Simple {
+            match_score: self.match_score,
+            mismatch: self.mismatch,
+        }
+    }
+}
+
+/// Gap penalty a job can carry — every [`GapPenalty`] form except
+/// `Custom` closures, which cannot cross a process boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GapSpec {
+    /// `w(k) = per_gap * k`.
+    Linear(i32),
+    /// `w(k) = open + extend * (k - 1)`.
+    Affine(i32, i32),
+    /// `w(k) = a + b * floor(log2 k)`.
+    Logarithmic(i32, i32),
+}
+
+impl GapSpec {
+    /// Convert a runtime [`GapPenalty`] into its wire form; `None` for
+    /// `Custom` closures.
+    pub fn from_penalty(gap: &GapPenalty) -> Option<GapSpec> {
+        match gap {
+            GapPenalty::Linear { per_gap } => Some(GapSpec::Linear(*per_gap)),
+            GapPenalty::Affine { open, extend } => Some(GapSpec::Affine(*open, *extend)),
+            GapPenalty::Logarithmic { a, b } => Some(GapSpec::Logarithmic(*a, *b)),
+            GapPenalty::Custom(_) => None,
+        }
+    }
+
+    fn to_penalty(self) -> GapPenalty {
+        match self {
+            GapSpec::Linear(per_gap) => GapPenalty::Linear { per_gap },
+            GapSpec::Affine(open, extend) => GapPenalty::Affine { open, extend },
+            GapSpec::Logarithmic(a, b) => GapPenalty::Logarithmic { a, b },
+        }
+    }
+}
+
+/// The problems a remote job can describe. All share `Cell = i32`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RemoteProblem {
+    /// Levenshtein distance between two byte strings.
+    EditDistance {
+        /// First string.
+        a: Vec<u8>,
+        /// Second string.
+        b: Vec<u8>,
+    },
+    /// Longest common subsequence.
+    Lcs {
+        /// First string.
+        a: Vec<u8>,
+        /// Second string.
+        b: Vec<u8>,
+    },
+    /// Global alignment with linear gaps.
+    NeedlemanWunsch {
+        /// First sequence.
+        a: Vec<u8>,
+        /// Second sequence.
+        b: Vec<u8>,
+        /// Substitution scores.
+        sub: SubSpec,
+        /// Per-symbol gap cost.
+        gap: i32,
+    },
+    /// Local alignment with a general gap function (the paper's SWGG).
+    Swgg {
+        /// First sequence.
+        a: Vec<u8>,
+        /// Second sequence.
+        b: Vec<u8>,
+        /// Substitution scores.
+        sub: SubSpec,
+        /// Gap penalty function.
+        gap: GapSpec,
+    },
+    /// RNA secondary structure (Nussinov).
+    Nussinov {
+        /// RNA sequence.
+        seq: Vec<u8>,
+        /// Minimum hairpin loop length.
+        min_loop: u32,
+    },
+}
+
+/// Run the same code for whichever concrete problem the spec describes.
+/// (A macro because the arms need different monomorphic types but
+/// identical bodies, and Rust has no generic closures.)
+macro_rules! with_problem {
+    ($problem:expr, $p:ident => $body:expr) => {
+        match $problem {
+            RemoteProblem::EditDistance { a, b } => {
+                let $p = EditDistance::new(a.clone(), b.clone());
+                $body
+            }
+            RemoteProblem::Lcs { a, b } => {
+                let $p = Lcs::new(a.clone(), b.clone());
+                $body
+            }
+            RemoteProblem::NeedlemanWunsch { a, b, sub, gap } => {
+                let $p = NeedlemanWunsch::new(a.clone(), b.clone(), sub.to_substitution(), *gap);
+                $body
+            }
+            RemoteProblem::Swgg { a, b, sub, gap } => {
+                let $p = SmithWatermanGeneralGap::new(
+                    a.clone(),
+                    b.clone(),
+                    sub.to_substitution(),
+                    gap.to_penalty(),
+                );
+                $body
+            }
+            RemoteProblem::Nussinov { seq, min_loop } => {
+                let $p = Nussinov::with_min_loop(seq.clone(), *min_loop);
+                $body
+            }
+        }
+    };
+}
+
+fn put_mode(w: &mut WireWriter, mode: ScheduleMode) {
+    match mode {
+        ScheduleMode::Dynamic => {
+            w.put_u8(0);
+        }
+        ScheduleMode::BlockCyclic { block } => {
+            w.put_u8(1).put_u32(block);
+        }
+        ScheduleMode::ColumnWavefront => {
+            w.put_u8(2);
+        }
+    }
+}
+
+fn get_mode(r: &mut WireReader<'_>) -> Result<ScheduleMode, WireError> {
+    Ok(match r.get_u8()? {
+        1 => ScheduleMode::BlockCyclic {
+            block: r.get_u32()?,
+        },
+        2 => ScheduleMode::ColumnWavefront,
+        _ => ScheduleMode::Dynamic,
+    })
+}
+
+/// Everything a remote slave needs to join a run: the problem, the two
+/// partition sizes, and the deployment knobs both sides must share.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// The problem to reconstruct.
+    pub problem: RemoteProblem,
+    /// Process-level partition size.
+    pub pp: GridDims,
+    /// Thread-level partition size.
+    pub tp: GridDims,
+    /// Computing threads per slave (a slave may override locally).
+    pub threads_per_slave: u32,
+    /// Process-level scheduling policy.
+    pub process_mode: ScheduleMode,
+    /// Thread-level scheduling policy.
+    pub thread_mode: ScheduleMode,
+    /// Sub-task timeout before fault tolerance redistributes.
+    pub task_timeout: Duration,
+    /// Fault-tolerance poll interval.
+    pub ft_poll: Duration,
+    /// Heartbeat cadence.
+    pub heartbeat_interval: Duration,
+    /// Heartbeat silence tolerated before exclusion.
+    pub heartbeat_timeout: Duration,
+    /// Reliable-send retry policy.
+    pub retry: RetryPolicy,
+    /// Node-matrix storage strategy for slaves.
+    pub memory: MemoryMode,
+}
+
+impl JobSpec {
+    /// A spec with the given problem and partitions and the default
+    /// local deployment knobs.
+    pub fn new(problem: RemoteProblem, pp: GridDims, tp: GridDims) -> Self {
+        let d = Deployment::local(1, 2);
+        JobSpec {
+            problem,
+            pp,
+            tp,
+            threads_per_slave: 2,
+            process_mode: d.process_mode,
+            thread_mode: d.thread_mode,
+            task_timeout: d.task_timeout,
+            ft_poll: d.ft_poll,
+            heartbeat_interval: d.heartbeat_interval,
+            heartbeat_timeout: d.heartbeat_timeout,
+            retry: d.retry,
+            memory: MemoryMode::Dense,
+        }
+    }
+
+    /// The deployment a rank should run with: the shared knobs plus its
+    /// local slave count and (optionally overridden) thread count.
+    pub fn deployment(&self, slaves: usize, threads_override: Option<usize>) -> Deployment {
+        Deployment {
+            slaves,
+            threads_per_slave: threads_override.unwrap_or(self.threads_per_slave as usize),
+            process_mode: self.process_mode,
+            thread_mode: self.thread_mode,
+            task_timeout: self.task_timeout,
+            ft_poll: self.ft_poll,
+            retry: self.retry.clone(),
+            heartbeat_interval: self.heartbeat_interval,
+            heartbeat_timeout: self.heartbeat_timeout,
+            obs: ObsConfig::default(),
+            checkpoint: None,
+        }
+    }
+
+    /// The DAG Data Driven Model for this job — identical on master and
+    /// every slave because it is derived from the shipped spec.
+    pub fn model(&self) -> DagDataDrivenModel {
+        with_problem!(&self.problem, p => {
+            DagDataDrivenModel::builder(p.pattern())
+                .process_partition_size(self.pp)
+                .thread_partition_size(self.tp)
+                .build()
+        })
+    }
+
+    /// Encode to raw payload bytes (not yet CRC-sealed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match &self.problem {
+            RemoteProblem::EditDistance { a, b } => {
+                w.put_u8(0).put_bytes(a).put_bytes(b);
+            }
+            RemoteProblem::Lcs { a, b } => {
+                w.put_u8(1).put_bytes(a).put_bytes(b);
+            }
+            RemoteProblem::NeedlemanWunsch { a, b, sub, gap } => {
+                w.put_u8(2)
+                    .put_bytes(a)
+                    .put_bytes(b)
+                    .put_i64(sub.match_score as i64)
+                    .put_i64(sub.mismatch as i64)
+                    .put_i64(*gap as i64);
+            }
+            RemoteProblem::Swgg { a, b, sub, gap } => {
+                w.put_u8(3)
+                    .put_bytes(a)
+                    .put_bytes(b)
+                    .put_i64(sub.match_score as i64)
+                    .put_i64(sub.mismatch as i64);
+                let (kind, x, y) = match gap {
+                    GapSpec::Linear(p) => (0u8, *p, 0),
+                    GapSpec::Affine(o, e) => (1, *o, *e),
+                    GapSpec::Logarithmic(a, b) => (2, *a, *b),
+                };
+                w.put_u8(kind).put_i64(x as i64).put_i64(y as i64);
+            }
+            RemoteProblem::Nussinov { seq, min_loop } => {
+                w.put_u8(4).put_bytes(seq).put_u32(*min_loop);
+            }
+        }
+        w.put_u32(self.pp.rows).put_u32(self.pp.cols);
+        w.put_u32(self.tp.rows).put_u32(self.tp.cols);
+        w.put_u32(self.threads_per_slave);
+        put_mode(&mut w, self.process_mode);
+        put_mode(&mut w, self.thread_mode);
+        w.put_u64(self.task_timeout.as_millis() as u64)
+            .put_u64(self.ft_poll.as_millis() as u64)
+            .put_u64(self.heartbeat_interval.as_millis() as u64)
+            .put_u64(self.heartbeat_timeout.as_millis() as u64);
+        w.put_u32(self.retry.max_attempts)
+            .put_u64(self.retry.initial_backoff.as_micros() as u64)
+            .put_u64(self.retry.max_backoff.as_micros() as u64);
+        w.put_u8(match self.memory {
+            MemoryMode::Dense => 0,
+            MemoryMode::Sparse => 1,
+        });
+        w.finish().to_vec()
+    }
+
+    /// Decode from raw payload bytes.
+    pub fn decode(bytes: &[u8]) -> Result<JobSpec, WireError> {
+        let mut r = WireReader::new(bytes);
+        let problem = match r.get_u8()? {
+            0 => RemoteProblem::EditDistance {
+                a: r.get_bytes()?,
+                b: r.get_bytes()?,
+            },
+            1 => RemoteProblem::Lcs {
+                a: r.get_bytes()?,
+                b: r.get_bytes()?,
+            },
+            2 => RemoteProblem::NeedlemanWunsch {
+                a: r.get_bytes()?,
+                b: r.get_bytes()?,
+                sub: SubSpec {
+                    match_score: r.get_i64()? as i32,
+                    mismatch: r.get_i64()? as i32,
+                },
+                gap: r.get_i64()? as i32,
+            },
+            3 => {
+                let a = r.get_bytes()?;
+                let b = r.get_bytes()?;
+                let sub = SubSpec {
+                    match_score: r.get_i64()? as i32,
+                    mismatch: r.get_i64()? as i32,
+                };
+                let kind = r.get_u8()?;
+                let (x, y) = (r.get_i64()? as i32, r.get_i64()? as i32);
+                RemoteProblem::Swgg {
+                    a,
+                    b,
+                    sub,
+                    gap: match kind {
+                        0 => GapSpec::Linear(x),
+                        1 => GapSpec::Affine(x, y),
+                        _ => GapSpec::Logarithmic(x, y),
+                    },
+                }
+            }
+            4 => RemoteProblem::Nussinov {
+                seq: r.get_bytes()?,
+                min_loop: r.get_u32()?,
+            },
+            _ => {
+                return Err(WireError {
+                    context: "job problem kind",
+                });
+            }
+        };
+        let pp = GridDims::new(r.get_u32()?, r.get_u32()?);
+        let tp = GridDims::new(r.get_u32()?, r.get_u32()?);
+        let threads_per_slave = r.get_u32()?;
+        let process_mode = get_mode(&mut r)?;
+        let thread_mode = get_mode(&mut r)?;
+        let task_timeout = Duration::from_millis(r.get_u64()?);
+        let ft_poll = Duration::from_millis(r.get_u64()?);
+        let heartbeat_interval = Duration::from_millis(r.get_u64()?);
+        let heartbeat_timeout = Duration::from_millis(r.get_u64()?);
+        let retry = RetryPolicy {
+            max_attempts: r.get_u32()?,
+            initial_backoff: Duration::from_micros(r.get_u64()?),
+            max_backoff: Duration::from_micros(r.get_u64()?),
+        };
+        let memory = match r.get_u8()? {
+            1 => MemoryMode::Sparse,
+            _ => MemoryMode::Dense,
+        };
+        r.expect_end()?;
+        Ok(JobSpec {
+            problem,
+            pp,
+            tp,
+            threads_per_slave,
+            process_mode,
+            thread_mode,
+            task_timeout,
+            ft_poll,
+            heartbeat_interval,
+            heartbeat_timeout,
+            retry,
+            memory,
+        })
+    }
+}
+
+/// Options for the master side of a multi-process run.
+#[derive(Debug, Default)]
+pub struct RemoteMasterOptions {
+    /// Socket knobs (frame bound, backpressure mark, timeouts).
+    pub socket: SocketConfig,
+    /// Fault plan for the master's own endpoint (drills).
+    pub fault: Option<easyhps_net::FaultPlan>,
+    /// Resume from a previously captured checkpoint.
+    pub resume: Option<Checkpoint>,
+    /// Stop after this many tile completions and return a checkpoint.
+    pub tile_budget: Option<u64>,
+    /// Observability wiring (metrics registry, event recorder).
+    pub obs: ObsConfig,
+    /// Durable checkpoint policy.
+    pub checkpoint: Option<CheckpointPolicy>,
+}
+
+/// Outcome of a multi-process master run.
+#[derive(Debug)]
+pub struct RemoteOutput {
+    /// The computed global matrix (all remote problems use `i32` cells).
+    pub matrix: DpMatrix<i32>,
+    /// Execution report.
+    pub report: RunReport,
+    /// Present when a tile budget stopped the run early.
+    pub checkpoint: Option<Checkpoint>,
+    /// Per-link socket counters of the master endpoint.
+    pub socket: SocketInfo,
+}
+
+/// Run the master side of a multi-process job on an already-bound
+/// listener: accept `slaves` connections, ship the [`JobSpec`] to each,
+/// then run the ordinary master loop over the socket endpoint.
+pub fn run_remote_master(
+    listener: SocketListener,
+    spec: &JobSpec,
+    slaves: usize,
+    opts: RemoteMasterOptions,
+) -> Result<RemoteOutput, RuntimeError> {
+    if slaves == 0 {
+        return Err(RuntimeError::NoSlaves);
+    }
+    let (mut ep, info) = listener
+        .accept_ranks(slaves, opts.fault)
+        .map_err(|e| io_err("accepting slaves", e))?;
+    let job_payload = frame::seal_raw(&spec.encode());
+    for r in 1..=slaves as u32 {
+        ep.send(Rank(r), tags::JOB, job_payload.clone())?;
+    }
+    let mut deployment = spec.deployment(slaves, None);
+    deployment.obs = opts.obs.clone();
+    deployment.checkpoint = opts.checkpoint;
+    let model = spec.model();
+    let out = with_problem!(&spec.problem, p => {
+        run_master_with(ep, &p, &model, &deployment, opts.resume.as_ref(), opts.tile_budget)?
+    });
+    if let Some(reg) = &opts.obs.metrics {
+        publish_socket_stats(reg, &info);
+    }
+    Ok(RemoteOutput {
+        matrix: out.matrix,
+        report: RunReport {
+            elapsed: out.elapsed,
+            master: out.stats,
+            slaves: out.slave_stats,
+            trace: out.trace,
+        },
+        checkpoint: out.checkpoint,
+        socket: info,
+    })
+}
+
+/// Options for the slave side of a multi-process run.
+#[derive(Clone, Debug)]
+pub struct RemoteSlaveOptions {
+    /// Master address to connect to.
+    pub addr: NetAddr,
+    /// Ask the master for a specific rank (drills and tests).
+    pub want_rank: Option<u32>,
+    /// Override the job's `threads_per_slave` locally.
+    pub threads: Option<usize>,
+    /// Override the job's storage strategy locally.
+    pub memory: Option<MemoryMode>,
+    /// Socket knobs.
+    pub socket: SocketConfig,
+    /// Fault plan for this slave's endpoint (drills).
+    pub fault: Option<easyhps_net::FaultPlan>,
+}
+
+impl RemoteSlaveOptions {
+    /// Connect to `addr` with defaults everywhere else.
+    pub fn new(addr: NetAddr) -> Self {
+        RemoteSlaveOptions {
+            addr,
+            want_rank: None,
+            threads: None,
+            memory: None,
+            socket: SocketConfig::default(),
+            fault: None,
+        }
+    }
+}
+
+/// Run the slave side of a multi-process job: connect, receive the
+/// [`JobSpec`], reconstruct problem and model, and serve until the
+/// master ends the run (or disappears — a master death surfaces as the
+/// `Err` of a failed heartbeat or receive).
+pub fn serve_slave(opts: RemoteSlaveOptions) -> Result<SlaveStatsMsg, RuntimeError> {
+    let (mut ep, _info) = connect(&opts.addr, opts.want_rank, opts.socket, opts.fault)
+        .map_err(|e| io_err("connecting to master", e))?;
+    let env = ep.recv_tag(tags::JOB)?;
+    match frame::check(&env.payload) {
+        Ok(frame::Frame::Raw) => {}
+        _ => {
+            return Err(RuntimeError::InvalidConfig(
+                "job spec must arrive as a sealed raw frame".into(),
+            ))
+        }
+    }
+    let spec = JobSpec::decode(&env.payload[frame::RAW_BODY..])?;
+    let n_slaves = ep.n_ranks() - 1;
+    let deployment = spec.deployment(n_slaves, opts.threads);
+    let model = spec.model();
+    let memory = opts.memory.unwrap_or(spec.memory);
+    with_problem!(&spec.problem, p => {
+        match memory {
+            MemoryMode::Dense => {
+                run_slave_with_storage::<_, SharedGrid<i32>>(ep, &p, &model, &deployment)
+            }
+            MemoryMode::Sparse => {
+                run_slave_with_storage::<_, SparseGrid<i32>>(ep, &p, &model, &deployment)
+            }
+        }
+    })
+}
+
+/// Export per-link socket counters (bytes queued, reconnects, frames
+/// rejected, traffic) into a metrics registry, one series set per link.
+pub fn publish_socket_stats(reg: &Registry, info: &SocketInfo) {
+    for (rank, stats) in &info.links {
+        let s = stats.snapshot();
+        let peer = rank.0.to_string();
+        let l = |name: &str| labeled(name, &[("link", &peer)]);
+        reg.gauge(&l("socket_bytes_queued"))
+            .set(s.bytes_queued as i64);
+        reg.counter(&l("socket_frames_sent")).add(s.frames_sent);
+        reg.counter(&l("socket_bytes_sent")).add(s.bytes_sent);
+        reg.counter(&l("socket_frames_recv")).add(s.frames_recv);
+        reg.counter(&l("socket_bytes_recv")).add(s.bytes_recv);
+        reg.counter(&l("socket_frames_rejected"))
+            .add(s.frames_rejected);
+        reg.counter(&l("socket_reconnects")).add(s.reconnects);
+        reg.counter(&l("socket_disconnects")).add(s.disconnects);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_roundtrip(problem: RemoteProblem) {
+        let mut spec = JobSpec::new(problem, GridDims::new(8, 8), GridDims::new(4, 4));
+        spec.threads_per_slave = 3;
+        spec.process_mode = ScheduleMode::BlockCyclic { block: 2 };
+        spec.thread_mode = ScheduleMode::ColumnWavefront;
+        spec.task_timeout = Duration::from_millis(777);
+        spec.memory = MemoryMode::Sparse;
+        let decoded = JobSpec::decode(&spec.encode()).unwrap();
+        assert_eq!(decoded, spec);
+    }
+
+    #[test]
+    fn job_spec_roundtrips_every_problem() {
+        spec_roundtrip(RemoteProblem::EditDistance {
+            a: b"kitten".to_vec(),
+            b: b"sitting".to_vec(),
+        });
+        spec_roundtrip(RemoteProblem::Lcs {
+            a: b"abcbdab".to_vec(),
+            b: b"bdcaba".to_vec(),
+        });
+        spec_roundtrip(RemoteProblem::NeedlemanWunsch {
+            a: b"ACGT".to_vec(),
+            b: b"AGT".to_vec(),
+            sub: SubSpec::dna(),
+            gap: 2,
+        });
+        spec_roundtrip(RemoteProblem::Swgg {
+            a: b"ACGTACGT".to_vec(),
+            b: b"TTACGA".to_vec(),
+            sub: SubSpec::dna(),
+            gap: GapSpec::Logarithmic(3, 2),
+        });
+        spec_roundtrip(RemoteProblem::Nussinov {
+            seq: b"GGGAAACCC".to_vec(),
+            min_loop: 3,
+        });
+    }
+
+    #[test]
+    fn truncated_spec_never_decodes() {
+        let spec = JobSpec::new(
+            RemoteProblem::EditDistance {
+                a: b"abc".to_vec(),
+                b: b"abd".to_vec(),
+            },
+            GridDims::new(2, 2),
+            GridDims::new(1, 1),
+        );
+        let bytes = spec.encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                JobSpec::decode(&bytes[..cut]).is_err(),
+                "prefix {cut}/{} must not decode",
+                bytes.len()
+            );
+        }
+    }
+
+    /// Full multi-process semantics in one process: a master thread and
+    /// two slave threads joined only by TCP, exchanging the job spec and
+    /// computing a matrix identical to the sequential reference.
+    #[test]
+    fn tcp_job_runs_end_to_end() {
+        let problem = RemoteProblem::EditDistance {
+            a: b"the quick brown fox jumps over the lazy dog".to_vec(),
+            b: b"the quick brown cat naps over the lazy dog".to_vec(),
+        };
+        let spec = JobSpec::new(problem, GridDims::new(8, 8), GridDims::new(4, 4));
+        let listener = SocketListener::bind(
+            &NetAddr::parse("127.0.0.1:0").unwrap(),
+            SocketConfig::default(),
+        )
+        .unwrap();
+        let addr = listener.local_addr();
+        let slaves: Vec<_> = (1..=2u32)
+            .map(|r| {
+                let mut o = RemoteSlaveOptions::new(addr.clone());
+                o.want_rank = Some(r);
+                std::thread::spawn(move || serve_slave(o))
+            })
+            .collect();
+        let out = run_remote_master(listener, &spec, 2, RemoteMasterOptions::default()).unwrap();
+        for s in slaves {
+            s.join().unwrap().unwrap();
+        }
+        let reference = EditDistance::new(
+            b"the quick brown fox jumps over the lazy dog".to_vec(),
+            b"the quick brown cat naps over the lazy dog".to_vec(),
+        )
+        .solve_sequential();
+        assert_eq!(out.matrix.get(43, 42), reference.get(43, 42));
+        assert_eq!(
+            out.report.master.completed,
+            out.report.master.dispatched + out.report.master.resumed
+                - out.report.master.redispatched
+        );
+    }
+}

@@ -260,6 +260,7 @@ where
             .threads_per_slave(2)
             .process_partition((8, 8))
             .thread_partition((4, 4))
+            .transport(cfg.transport)
             .task_timeout(Duration::from_millis(300))
             .heartbeat(Duration::from_millis(20), Duration::from_millis(150))
             .checkpoint(policy.clone());

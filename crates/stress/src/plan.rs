@@ -10,6 +10,7 @@
 //! description renders identically everywhere.
 
 use easyhps_core::ScheduleMode;
+use easyhps_runtime::TransportKind;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -163,6 +164,10 @@ pub struct StressConfig {
     pub hang_timeout: Duration,
     /// Minimize failing fault schedules before reporting.
     pub shrink: bool,
+    /// Transport carrying the virtual cluster's traffic. Not part of the
+    /// seed draw (a pin, like `mode`): the same schedule can be replayed
+    /// over channels, TCP or Unix sockets to compare behaviour.
+    pub transport: TransportKind,
 }
 
 impl Default for StressConfig {
@@ -173,6 +178,7 @@ impl Default for StressConfig {
             workload: None,
             hang_timeout: Duration::from_secs(60),
             shrink: true,
+            transport: TransportKind::InProcess,
         }
     }
 }

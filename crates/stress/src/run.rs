@@ -237,6 +237,7 @@ where
         .process_partition((8, 8))
         .thread_partition((4, 4))
         .process_mode(plan.mode)
+        .transport(cfg.transport)
         .task_timeout(Duration::from_millis(300))
         .heartbeat(Duration::from_millis(20), Duration::from_millis(150))
         .metrics(true)

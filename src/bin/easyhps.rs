@@ -11,9 +11,14 @@
 //! easyhps analyze [--workload swgg|nussinov|wavefront] [--len N]
 //!               [--pps N] [--tps N]
 //! easyhps stress [--seed N | --seeds N [--start N]] [--kill-master]
-//!               [--mode dynamic|bcw|cw] [--slaves N]
+//!               [--mode dynamic|bcw|cw] [--slaves N] [--transport inproc|tcp|uds]
 //!               [--workload editdist|swgg|nussinov|nw|lcs] [--clauses i,j|none]
 //!               [--hang-timeout SECS] [--no-shrink] [--list]
+//! easyhps master --listen ADDR --slaves N <editdist|lcs|nw|swgg|nussinov>
+//!               [SEQ...] [--len N --seed S] [--pps N] [--tps N] [--threads N]
+//!               [--mode dynamic|bcw|cw] [--gap SPEC] [--min-loop N] [--sparse]
+//!               [--task-timeout-ms N] [--heartbeat-ms N] [--heartbeat-timeout-ms N]
+//! easyhps slave --connect ADDR [--rank R] [--threads N] [--sparse]
 //! ```
 //!
 //! `align` and `fold` run the real multilevel runtime on the input;
@@ -24,6 +29,15 @@
 //! `stress --kill-master` runs the crash-recovery drill instead: each
 //! seed checkpoints to disk, kills the master mid-run, restarts from the
 //! checkpoint directory, and requires bit-identical recovery.
+//!
+//! `master` and `slave` run the two halves of a **multi-process**
+//! deployment over real sockets (`ADDR` is `tcp:HOST:PORT`, bare
+//! `HOST:PORT`, or `uds:PATH`): the master binds, prints the bound
+//! address on a `listening:` line, ships the job description to every
+//! connected slave, and prints a `matrix-crc:` line at the end so
+//! separate runs can be compared bit for bit. Slaves connect, receive
+//! the job, and serve until the run ends. Input sequences are given as
+//! positional arguments or generated with `--len N --seed S`.
 //!
 //! Every runtime command (`align`, `fold`, `editdist`) also accepts
 //! `--metrics` (print a Prometheus-style metrics exposition of the run to
@@ -394,6 +408,224 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// CRC of a whole matrix's canonical cell encoding — the `matrix-crc:`
+/// line both `master` runs and the multi-process e2e tests compare.
+fn matrix_crc(matrix: &easyhps::DpMatrix<i32>) -> u32 {
+    let d = matrix.dims();
+    easyhps::net::crc32c(&matrix.encode_region(easyhps::TileRegion::new(0, d.rows, 0, d.cols)))
+}
+
+/// The input sequences of a `master` job: positionals win, otherwise
+/// `--len N` (with `--seed S`) generates deterministic random ones.
+fn master_inputs(
+    args: &Args,
+    n_seqs: usize,
+    alphabet: easyhps::dp::sequence::Alphabet,
+) -> Result<Vec<Vec<u8>>, String> {
+    let given = &args.positional[1..];
+    if !given.is_empty() {
+        if given.len() != n_seqs {
+            return Err(format!(
+                "workload needs {n_seqs} sequence(s), got {}",
+                given.len()
+            ));
+        }
+        return Ok(given.iter().map(|s| s.as_bytes().to_vec()).collect());
+    }
+    let len = args.get_num("len", 0usize)?;
+    if len == 0 {
+        return Err(
+            "give sequences as arguments, or --len N (with --seed S) for random input".into(),
+        );
+    }
+    let seed = args.get_num("seed", 1u64)?;
+    Ok((0..n_seqs)
+        .map(|i| {
+            easyhps::dp::sequence::random_sequence(
+                alphabet,
+                len + 3 * i, // unequal lengths exercise ragged edge tiles
+                seed.wrapping_add(i as u64).wrapping_mul(0x9e3779b97f4a7c15),
+            )
+        })
+        .collect())
+}
+
+/// Master half of a multi-process run: bind, announce the address, ship
+/// the job to every slave, run, print the result CRC.
+fn cmd_master(args: &Args) -> Result<(), String> {
+    use easyhps::dp::sequence::Alphabet;
+    use easyhps::runtime::remote::{
+        run_remote_master, GapSpec, JobSpec, RemoteMasterOptions, RemoteProblem, SubSpec,
+    };
+    use easyhps::runtime::ObsConfig;
+    use std::io::Write;
+
+    let listen = args.get("listen").ok_or("master: --listen ADDR required")?;
+    let slaves = args.get_num("slaves", 2usize)?;
+    let workload = args
+        .positional
+        .first()
+        .ok_or("master: missing workload (editdist|lcs|nw|swgg|nussinov)")?;
+    let problem = match workload.as_str() {
+        "editdist" => {
+            let mut s = master_inputs(args, 2, Alphabet::Dna)?;
+            let b = s.pop().unwrap();
+            RemoteProblem::EditDistance {
+                a: s.pop().unwrap(),
+                b,
+            }
+        }
+        "lcs" => {
+            let mut s = master_inputs(args, 2, Alphabet::Dna)?;
+            let b = s.pop().unwrap();
+            RemoteProblem::Lcs {
+                a: s.pop().unwrap(),
+                b,
+            }
+        }
+        "nw" => {
+            let mut s = master_inputs(args, 2, Alphabet::Dna)?;
+            let b = s.pop().unwrap();
+            RemoteProblem::NeedlemanWunsch {
+                a: s.pop().unwrap(),
+                b,
+                sub: SubSpec::dna(),
+                gap: args.get_num("gap-per", 2i32)?,
+            }
+        }
+        "swgg" => {
+            let mut s = master_inputs(args, 2, Alphabet::Dna)?;
+            let b = s.pop().unwrap();
+            let gap = parse_gap(args.get("gap").unwrap_or("log:4,2"))?;
+            RemoteProblem::Swgg {
+                a: s.pop().unwrap(),
+                b,
+                sub: SubSpec::dna(),
+                gap: GapSpec::from_penalty(&gap)
+                    .ok_or("master: custom gap closures cannot cross processes")?,
+            }
+        }
+        "nussinov" => {
+            let mut s = master_inputs(args, 1, Alphabet::Rna)?;
+            RemoteProblem::Nussinov {
+                seq: s.pop().unwrap(),
+                min_loop: args.get_num("min-loop", 1u32)?,
+            }
+        }
+        other => {
+            return Err(format!(
+                "master: unknown workload '{other}' (editdist|lcs|nw|swgg|nussinov)"
+            ))
+        }
+    };
+
+    let n = match &problem {
+        RemoteProblem::EditDistance { a, b }
+        | RemoteProblem::Lcs { a, b }
+        | RemoteProblem::NeedlemanWunsch { a, b, .. }
+        | RemoteProblem::Swgg { a, b, .. } => a.len().max(b.len()) as u32 + 1,
+        RemoteProblem::Nussinov { seq, .. } => seq.len() as u32,
+    };
+    let pps = args.get_num("pps", n.div_ceil(8).max(1))?;
+    let tps = args.get_num("tps", pps.div_ceil(4).max(1))?;
+    let mut spec = JobSpec::new(
+        problem,
+        easyhps::GridDims::new(pps, pps),
+        easyhps::GridDims::new(tps, tps),
+    );
+    spec.threads_per_slave = args.get_num("threads", 2u32)?;
+    spec.process_mode = parse_policy(args.get("mode").unwrap_or("dynamic"))?;
+    spec.task_timeout =
+        std::time::Duration::from_millis(args.get_num("task-timeout-ms", 30_000u64)?);
+    spec.heartbeat_interval =
+        std::time::Duration::from_millis(args.get_num("heartbeat-ms", 25u64)?);
+    spec.heartbeat_timeout =
+        std::time::Duration::from_millis(args.get_num("heartbeat-timeout-ms", 250u64)?);
+    if args.has("sparse") {
+        spec.memory = easyhps::MemoryMode::Sparse;
+    }
+
+    let mut opts = RemoteMasterOptions::default();
+    let registry = args
+        .has("metrics")
+        .then(|| std::sync::Arc::new(easyhps::runtime::Registry::new()));
+    opts.obs = ObsConfig {
+        metrics: registry.clone(),
+        recorder: None,
+    };
+    if let Some(dir) = args.get("checkpoint-dir") {
+        let mut policy = easyhps::CheckpointPolicy::new(dir);
+        if let Some(next) = args.get("checkpoint-every") {
+            let next: u64 = next
+                .parse()
+                .map_err(|_| format!("--checkpoint-every: cannot parse '{next}'"))?;
+            policy = policy.with_every_tiles(next);
+        }
+        opts.checkpoint = Some(policy);
+        if args.has("resume") {
+            if let Some(cp) = easyhps::Checkpoint::load_dir(dir).map_err(|e| e.to_string())? {
+                println!(
+                    "resuming: {} finished tile(s) restored from {dir}",
+                    cp.finished_len()
+                );
+                opts.resume = Some(cp);
+            }
+        }
+    } else if args.has("resume") {
+        return Err("--resume needs --checkpoint-dir".into());
+    }
+
+    let addr = easyhps::net::NetAddr::parse(listen)?;
+    let listener = easyhps::net::SocketListener::bind(&addr, opts.socket.clone())
+        .map_err(|e| format!("binding {addr}: {e}"))?;
+    // The bound address (the kernel fills in port 0) goes out first and
+    // flushed, so a parent orchestrating the processes can read it and
+    // point the slaves at it.
+    println!("listening: {}", listener.local_addr());
+    std::io::stdout().flush().ok();
+
+    let out = run_remote_master(listener, &spec, slaves, opts).map_err(|e| e.to_string())?;
+    let m = &out.report.master;
+    println!(
+        "completed: {} tile(s) in {:.3}s ({} redispatched, {} resumed)",
+        m.completed,
+        out.report.elapsed.as_secs_f64(),
+        m.redispatched,
+        m.resumed
+    );
+    println!("matrix-crc: {:#010x}", matrix_crc(&out.matrix));
+    if let Some(registry) = &registry {
+        print!("{}", registry.snapshot().render_text());
+    }
+    Ok(())
+}
+
+/// Slave half of a multi-process run: connect and serve until the master
+/// ends the run.
+fn cmd_slave(args: &Args) -> Result<(), String> {
+    use easyhps::runtime::remote::{serve_slave, RemoteSlaveOptions};
+
+    let addr = args
+        .get("connect")
+        .ok_or("slave: --connect ADDR required")?;
+    let mut opts = RemoteSlaveOptions::new(easyhps::net::NetAddr::parse(addr)?);
+    if let Some(rank) = args.get("rank") {
+        opts.want_rank = Some(rank.parse().map_err(|_| "--rank: not a number")?);
+    }
+    if let Some(threads) = args.get("threads") {
+        opts.threads = Some(threads.parse().map_err(|_| "--threads: not a number")?);
+    }
+    if args.has("sparse") {
+        opts.memory = Some(easyhps::MemoryMode::Sparse);
+    }
+    let stats = serve_slave(opts).map_err(|e| e.to_string())?;
+    println!(
+        "slave done: {} sub-task(s), {} sub-sub-task(s), {} thread failure(s) recovered",
+        stats.tasks_done, stats.subtasks_done, stats.thread_failures
+    );
+    Ok(())
+}
+
 /// Exit code for a set of stress violations: 0 = pass, 2 = hang,
 /// 1 = anything else (see the module docs).
 fn stress_exit(violations: &[String]) -> ExitCode {
@@ -460,6 +692,7 @@ fn cmd_stress(args: &Args) -> Result<ExitCode, String> {
         workload: args.get("workload").map(Workload::parse).transpose()?,
         hang_timeout: std::time::Duration::from_secs(args.get_num("hang-timeout", 60u64)?),
         shrink: !args.has("no-shrink"),
+        transport: easyhps::TransportKind::parse(args.get("transport").unwrap_or("inproc"))?,
     };
 
     if args.has("kill-master") {
@@ -528,8 +761,8 @@ fn cmd_stress(args: &Args) -> Result<ExitCode, String> {
     }
 }
 
-const USAGE: &str =
-    "usage: easyhps <align|fold|editdist|sim|analyze|stress> [args]  (see --help in source docs)";
+const USAGE: &str = "usage: easyhps <align|fold|editdist|sim|analyze|stress|master|slave> [args]  \
+     (see --help in source docs)";
 
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
@@ -546,6 +779,7 @@ fn main() -> ExitCode {
         "no-shrink",
         "resume",
         "kill-master",
+        "sparse",
     ];
     let result = Args::parse(argv, &booleans).and_then(|args| match cmd.as_str() {
         "align" => cmd_align(&args).map(|()| ExitCode::SUCCESS),
@@ -554,6 +788,8 @@ fn main() -> ExitCode {
         "sim" => cmd_sim(&args).map(|()| ExitCode::SUCCESS),
         "analyze" => cmd_analyze(&args).map(|()| ExitCode::SUCCESS),
         "stress" => cmd_stress(&args),
+        "master" => cmd_master(&args).map(|()| ExitCode::SUCCESS),
+        "slave" => cmd_slave(&args).map(|()| ExitCode::SUCCESS),
         other => Err(format!("unknown command '{other}'\n{USAGE}")),
     });
     match result {

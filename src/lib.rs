@@ -61,5 +61,6 @@ pub use easyhps_core::{
 };
 pub use easyhps_dp::{DpMatrix, DpProblem};
 pub use easyhps_runtime::{
-    Checkpoint, CheckpointPolicy, Deployment, EasyHps, RunOutput, RuntimeError,
+    Checkpoint, CheckpointPolicy, Deployment, EasyHps, MemoryMode, RunOutput, RuntimeError,
+    TransportKind,
 };
