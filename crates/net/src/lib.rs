@@ -34,6 +34,7 @@ mod fault;
 pub mod frame;
 mod message;
 mod reliable;
+pub mod rpc;
 pub mod socket;
 mod transport;
 mod wire;

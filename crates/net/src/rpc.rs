@@ -1,0 +1,159 @@
+//! Client-facing RPC framing for the serve daemon.
+//!
+//! The daemon's client protocol (submit / status / stats / cancel) rides
+//! on a plain byte stream — TCP or Unix-domain — separate from the
+//! rank-to-rank transport. Each direction carries a sequence of
+//! length-prefixed, CRC-sealed messages:
+//!
+//! ```text
+//! [len u32 LE] [sealed frame: crc32c | kind=RAW | message bytes …]
+//! ```
+//!
+//! `len` counts the sealed frame only. The seal is the same CRC-32C raw
+//! frame used on every transport message ([`crate::frame`]), so a
+//! truncated or bit-flipped message is rejected before any field is
+//! interpreted — the serve protocol inherits the wire-integrity standard
+//! of the runtime protocol for free.
+//!
+//! A connection opens with a fixed hello (`"EHPC"` magic + version) so
+//! the daemon can drop stray peers — mirroring the `"EHPS"` handshake of
+//! the rank transport — and then speaks request/response: the client
+//! writes one message, the daemon answers with one or more.
+
+use crate::frame;
+use std::io::{self, Read, Write};
+
+/// Client-protocol magic: `"EHPC"` little-endian.
+pub const RPC_MAGIC: u32 = 0x4350_4845;
+/// Client protocol version; bumped on any incompatible message change.
+pub const RPC_VERSION: u8 = 1;
+/// Default bound on one message's sealed length — a defence against a
+/// desynchronised or hostile stream, not a protocol limit.
+pub const MAX_MSG: usize = 64 << 20;
+
+/// Write the client hello. Sent once, client → daemon, on connect.
+pub fn write_hello(w: &mut impl Write) -> io::Result<()> {
+    let mut buf = [0u8; 5];
+    buf[..4].copy_from_slice(&RPC_MAGIC.to_le_bytes());
+    buf[4] = RPC_VERSION;
+    w.write_all(&buf).and_then(|()| w.flush())
+}
+
+/// Read and validate the client hello. Any mismatch is fatal for the
+/// connection: the peer is not speaking this protocol.
+pub fn read_hello(r: &mut impl Read) -> io::Result<()> {
+    let mut buf = [0u8; 5];
+    r.read_exact(&mut buf)?;
+    if u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) != RPC_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an easyhps client (bad magic)",
+        ));
+    }
+    if buf[4] != RPC_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "client protocol version mismatch: peer {}, ours {}",
+                buf[4], RPC_VERSION
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Seal `payload` and write it as one length-prefixed message.
+pub fn write_msg(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let sealed = frame::seal_raw(payload);
+    let len = sealed.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&sealed)?;
+    w.flush()
+}
+
+/// Read one message, verify its seal, and return the payload bytes.
+/// Errors on EOF, an out-of-range length, or a failed CRC — after any of
+/// which the stream must be abandoned (the frame boundary is lost).
+pub fn read_msg(r: &mut impl Read, max: usize) -> io::Result<Vec<u8>> {
+    let mut lenb = [0u8; 4];
+    r.read_exact(&mut lenb)?;
+    let len = u32::from_le_bytes(lenb) as usize;
+    if len < frame::RAW_BODY || len > max {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("message length {len} out of range"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    match frame::check(&body) {
+        Ok(frame::Frame::Raw) => Ok(body.split_off(frame::RAW_BODY)),
+        Ok(_) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unexpected sequenced frame on the client stream",
+        )),
+        Err(e) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("corrupt client message: {e}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_roundtrips_and_rejects_garbage() {
+        let mut buf = Vec::new();
+        write_hello(&mut buf).unwrap();
+        read_hello(&mut &buf[..]).unwrap();
+        let mut bad = buf.clone();
+        bad[1] ^= 0xff;
+        assert!(read_hello(&mut &bad[..]).is_err());
+        let mut wrong_version = buf.clone();
+        wrong_version[4] = RPC_VERSION + 1;
+        assert!(read_hello(&mut &wrong_version[..]).is_err());
+    }
+
+    #[test]
+    fn msg_roundtrips() {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, b"hello daemon").unwrap();
+        write_msg(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_msg(&mut r, MAX_MSG).unwrap(), b"hello daemon");
+        assert_eq!(read_msg(&mut r, MAX_MSG).unwrap(), b"");
+        assert!(read_msg(&mut r, MAX_MSG).is_err(), "EOF after last message");
+    }
+
+    #[test]
+    fn truncation_and_corruption_fail_cleanly() {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, b"an important request").unwrap();
+        for cut in 0..buf.len() {
+            assert!(
+                read_msg(&mut &buf[..cut], MAX_MSG).is_err(),
+                "prefix {cut}/{} must not decode",
+                buf.len()
+            );
+        }
+        // A flipped bit anywhere past the length prefix fails the CRC;
+        // a flipped length bit fails the range check or the read.
+        for byte in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[byte] ^= 0x10;
+            assert!(
+                read_msg(&mut &bad[..], MAX_MSG).is_err(),
+                "corrupt byte {byte} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected() {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, b"x").unwrap();
+        assert!(read_msg(&mut &buf[..], 4).is_err());
+    }
+}

@@ -289,7 +289,8 @@ struct OutQueue {
     queued_bytes: usize,
     /// Connection observed broken (IO error or peer EOF): sends fail.
     closed: bool,
-    /// The endpoint dropped its `SocketTx`: writer flushes and exits.
+    /// Every `SocketTx` clone for this connection has been dropped:
+    /// writer flushes and exits.
     tx_dropped: bool,
 }
 
@@ -314,8 +315,27 @@ impl Conn {
 }
 
 /// Sending half of a socket link, held inside an endpoint's `TxLink`.
+/// Clones share the connection; the writer thread is told to flush and
+/// exit only when the *last* clone drops (see [`TxGuard`]), so a
+/// persistent fleet endpoint keeps the link open while per-job endpoint
+/// forks are created and dropped freely.
+#[derive(Clone)]
 pub(crate) struct SocketTx {
     conn: Arc<Conn>,
+    _guard: Arc<TxGuard>,
+}
+
+/// Drop token shared by every clone of one connection's `SocketTx`.
+struct TxGuard {
+    conn: Arc<Conn>,
+}
+
+impl Drop for TxGuard {
+    fn drop(&mut self) {
+        let mut q = self.conn.q.lock().unwrap();
+        q.tx_dropped = true;
+        self.conn.cv.notify_all();
+    }
 }
 
 impl SocketTx {
@@ -356,14 +376,6 @@ impl SocketTx {
         q.frames.push_back(frame);
         self.conn.cv.notify_all();
         Ok(())
-    }
-}
-
-impl Drop for SocketTx {
-    fn drop(&mut self) {
-        let mut q = self.conn.q.lock().unwrap();
-        q.tx_dropped = true;
-        self.conn.cv.notify_all();
     }
 }
 
@@ -499,7 +511,11 @@ fn spawn_link(
         .name(format!("sock-rd-{}", peer.0))
         .spawn(move || reader_loop(rc, reader_stream, peer, me, out))
         .expect("spawn socket reader");
-    Ok(SocketTx { conn })
+    let guard = Arc::new(TxGuard { conn: conn.clone() });
+    Ok(SocketTx {
+        conn,
+        _guard: guard,
+    })
 }
 
 // ---------------------------------------------------------------------

@@ -96,7 +96,11 @@ impl KillHandle {
     }
 }
 
-/// One outbound route from an endpoint to a peer rank.
+/// One outbound route from an endpoint to a peer rank. Cloning shares
+/// the underlying connection: a socket link stays open until *every*
+/// clone has been dropped, which is what lets a persistent fleet keep
+/// its connections alive while per-job [`Endpoint::fork`]s come and go.
+#[derive(Clone)]
 pub(crate) enum TxLink {
     /// In-process crossbeam channel into the peer's receiver.
     Channel(Sender<Envelope>),
@@ -215,6 +219,17 @@ impl Endpoint {
         KillHandle {
             flag: self.dead.clone(),
         }
+    }
+
+    /// A fresh endpoint sharing this one's links and inbound channel —
+    /// the per-job view of a persistent fleet connection. The fork gets
+    /// its own deferred queue, fault state (from `plan`), liveness flag
+    /// and statistics; the underlying routes (channels or sockets) are
+    /// shared, so dropping the fork does not close any connection while
+    /// the parent lives. Only one of parent/fork may receive at a time:
+    /// they drain the same inbound queue.
+    pub fn fork(&self, plan: Option<FaultPlan>) -> Endpoint {
+        Endpoint::from_parts(self.rank, self.links.clone(), self.receiver.clone(), plan)
     }
 
     fn check_alive(&mut self) -> Result<(), NetError> {

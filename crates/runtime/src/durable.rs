@@ -364,8 +364,9 @@ impl CheckpointStore {
             }
             if !resuming && !s.entries.is_empty() {
                 return Err(RuntimeError::Checkpoint(format!(
-                    "checkpoint dir {} already holds {} finished tiles; resume the run \
-                     (--resume) or point --checkpoint-dir at an empty directory",
+                    "checkpoint dir {} already holds {} finished tile(s) from a previous run; \
+                     pass --resume to continue that run, or point --checkpoint-dir at a fresh \
+                     (empty) directory to start over",
                     dir.display(),
                     s.entries.len()
                 )));

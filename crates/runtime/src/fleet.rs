@@ -1,0 +1,324 @@
+//! A persistent slave fleet: connections that outlive a single job.
+//!
+//! `run_remote_master` used to accept slave connections, run one job and
+//! drop the endpoint — which closed every socket, leaving the slaves
+//! unusable for a second run. [`Fleet`] factors the acceptance/handshake
+//! step out and *owns* the links: each job runs on a per-job
+//! [`Endpoint::fork`](easyhps_net::Endpoint::fork) of the shared root
+//! endpoint, so dropping the job's endpoint leaves the connections open
+//! (the socket writer thread exits only when the last `TxLink` clone is
+//! gone). The one-shot `easyhps master` path and the serve daemon share
+//! this type; the daemon simply calls [`Fleet::run_job`] many times.
+//!
+//! Slaves run the matching loop ([`serve_slave_jobs`]
+//! (crate::remote::serve_slave_jobs)): wait for a [`tags::JOB`] frame,
+//! run the ordinary slave loop on a fork of their connection, repeat
+//! until [`tags::SHUTDOWN`] arrives or the master disappears.
+//!
+//! An in-process variant ([`Fleet::local`]) spawns the same multi-job
+//! slave loop on threads over channel links — the serve daemon's default
+//! fleet when no `--fleet-listen` address is given.
+//!
+//! Fault injection composes with the one-shot path only: a fault plan
+//! replays from its first clause on every forked endpoint, and a job
+//! that dies mid-run can leave slaves executing stale work, so a fleet
+//! that will run more than one job must not inject faults.
+
+use crate::checkpoint::Checkpoint;
+use crate::config::{ObsConfig, RunReport};
+use crate::durable::CheckpointPolicy;
+use crate::master::run_master_with;
+use crate::protocol::tags;
+use crate::remote::{
+    publish_socket_stats, slave_job_loop, with_problem, JobSpec, RemoteOutput, RemoteProblem,
+    SlaveServeSummary,
+};
+use crate::RuntimeError;
+use easyhps_dp::{EditDistance, Lcs, NeedlemanWunsch, Nussinov, SmithWatermanGeneralGap};
+use easyhps_net::socket::{SocketInfo, SocketListener};
+use easyhps_net::{frame, Endpoint, FaultPlan, Network, Rank};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Per-job knobs for [`Fleet::run_job`] — the job-scoped subset of
+/// [`RemoteMasterOptions`](crate::remote::RemoteMasterOptions).
+#[derive(Debug, Default)]
+pub struct JobOptions {
+    /// Observability wiring for this job (a daemon hands each job its
+    /// own registry and republishes it with `job=`/`tenant=` labels).
+    pub obs: ObsConfig,
+    /// Durable checkpoint policy for this job.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Resume from a previously captured checkpoint.
+    pub resume: Option<Checkpoint>,
+    /// Stop after this many tile completions and return a checkpoint.
+    pub tile_budget: Option<u64>,
+}
+
+enum FleetSlaves {
+    /// Remote slaves over sockets; the info carries per-link counters.
+    Remote(SocketInfo),
+    /// In-process slave threads over channel links.
+    Local(Vec<JoinHandle<Result<SlaveServeSummary, RuntimeError>>>),
+}
+
+/// A set of connected, rank-assigned slaves that stays usable across
+/// jobs. Create with [`Fleet::accept`] (sockets) or [`Fleet::local`]
+/// (threads), run any number of jobs, then [`Fleet::shutdown`].
+pub struct Fleet {
+    root: Endpoint,
+    n_slaves: usize,
+    fault: Option<FaultPlan>,
+    slaves: FleetSlaves,
+}
+
+impl Fleet {
+    /// Accept `n_slaves` socket connections on an already-bound listener
+    /// and perform the rank handshake. `fault` configures the master's
+    /// fault injection for drills — see the module docs for why a faulty
+    /// fleet must stay single-job.
+    pub fn accept(
+        listener: SocketListener,
+        n_slaves: usize,
+        fault: Option<FaultPlan>,
+    ) -> Result<Fleet, RuntimeError> {
+        if n_slaves == 0 {
+            return Err(RuntimeError::NoSlaves);
+        }
+        let (root, info) = listener
+            .accept_ranks(n_slaves, None)
+            .map_err(|e| RuntimeError::InvalidConfig(format!("accepting slaves: {e}")))?;
+        Ok(Fleet {
+            root,
+            n_slaves,
+            fault,
+            slaves: FleetSlaves::Remote(info),
+        })
+    }
+
+    /// An in-process fleet: `n_slaves` threads running the multi-job
+    /// slave loop over channel links. `threads` overrides each job's
+    /// `threads_per_slave` when set.
+    pub fn local(n_slaves: usize, threads: Option<usize>) -> Result<Fleet, RuntimeError> {
+        if n_slaves == 0 {
+            return Err(RuntimeError::NoSlaves);
+        }
+        let mut eps = Network::new(n_slaves + 1);
+        let root = eps.remove(0);
+        let handles = eps
+            .into_iter()
+            .enumerate()
+            .map(|(i, ep)| {
+                std::thread::Builder::new()
+                    .name(format!("fleet-slave-{}", i + 1))
+                    .spawn(move || slave_job_loop(ep, threads, None, None))
+                    .expect("spawn fleet slave")
+            })
+            .collect();
+        Ok(Fleet {
+            root,
+            n_slaves,
+            fault: None,
+            slaves: FleetSlaves::Local(handles),
+        })
+    }
+
+    /// Number of slaves in the fleet.
+    pub fn n_slaves(&self) -> usize {
+        self.n_slaves
+    }
+
+    /// Per-link socket counters; `None` for an in-process fleet.
+    pub fn socket_info(&self) -> Option<&SocketInfo> {
+        match &self.slaves {
+            FleetSlaves::Remote(info) => Some(info),
+            FleetSlaves::Local(_) => None,
+        }
+    }
+
+    /// Job-boundary barrier: consume one READY per slave before the
+    /// next JOB ships. A slave announces READY when it enters its idle
+    /// loop (on connect and after each finished job); until then its
+    /// previous job's reliable teardown may still be lingering, and the
+    /// linger ACKs-and-discards unexpected frames — a JOB sent early
+    /// would be silently lost. Stray heartbeats and late ACKs queued
+    /// between jobs are discarded along the way.
+    fn await_ready(&mut self) -> Result<(), RuntimeError> {
+        const READY_TIMEOUT: Duration = Duration::from_secs(60);
+        let deadline = Instant::now() + READY_TIMEOUT;
+        let mut ready = vec![false; self.n_slaves + 1];
+        let mut seen = 0;
+        while seen < self.n_slaves {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(RuntimeError::InvalidConfig(format!(
+                    "timed out waiting for {} slave(s) to finish their previous job",
+                    self.n_slaves - seen
+                )));
+            }
+            match self.root.recv_timeout(left.min(Duration::from_millis(200))) {
+                Ok(env) if env.tag == tags::READY => {
+                    let r = env.src.index();
+                    if (1..=self.n_slaves).contains(&r) && !ready[r] {
+                        ready[r] = true;
+                        seen += 1;
+                    }
+                }
+                Ok(_) => {} // stray heartbeat / late ACK between jobs
+                Err(easyhps_net::NetError::Timeout) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Ship `spec` to every slave and run the master loop over a per-job
+    /// fork of the fleet's endpoint. The connections stay open when the
+    /// job finishes, ready for the next call.
+    pub fn run_job(
+        &mut self,
+        spec: &JobSpec,
+        opts: JobOptions,
+    ) -> Result<RemoteOutput, RuntimeError> {
+        self.await_ready()?;
+        let mut ep = self.root.fork(self.fault.clone());
+        let payload = frame::seal_raw(&spec.encode());
+        for r in 1..=self.n_slaves as u32 {
+            ep.send(Rank(r), tags::JOB, payload.clone())?;
+        }
+        let mut deployment = spec.deployment(self.n_slaves, None);
+        deployment.obs = opts.obs.clone();
+        deployment.checkpoint = opts.checkpoint;
+        let model = spec.model();
+        let out = with_problem!(&spec.problem, p => {
+            run_master_with(ep, &p, &model, &deployment, opts.resume.as_ref(), opts.tile_budget)?
+        });
+        if let (Some(reg), Some(info)) = (&opts.obs.metrics, self.socket_info()) {
+            publish_socket_stats(reg, info);
+        }
+        Ok(RemoteOutput {
+            matrix: out.matrix,
+            report: RunReport {
+                elapsed: out.elapsed,
+                master: out.stats,
+                slaves: out.slave_stats,
+                trace: out.trace,
+            },
+            checkpoint: out.checkpoint,
+            socket: self.socket_info().cloned(),
+        })
+    }
+
+    /// Send SHUTDOWN to every slave and tear the fleet down. Local slave
+    /// threads are joined and their per-slave service summaries
+    /// returned; remote slaves exit their own processes' loops.
+    pub fn shutdown(self) -> Vec<SlaveServeSummary> {
+        let Fleet {
+            mut root,
+            slaves,
+            n_slaves,
+            ..
+        } = self;
+        let bye = frame::seal_raw(&[]);
+        for r in 1..=n_slaves as u32 {
+            let _ = root.send(Rank(r), tags::SHUTDOWN, bye.clone());
+        }
+        // Drop the root *before* joining: a slave that was still mid-
+        // teardown when SHUTDOWN flew past it (discarded by its linger)
+        // only notices the fleet is gone when its next READY/heartbeat
+        // send fails — which requires the master side of the links to
+        // actually close. Socket writers flush queued frames (the
+        // SHUTDOWN) before closing.
+        drop(root);
+        match slaves {
+            FleetSlaves::Remote(_) => Vec::new(),
+            FleetSlaves::Local(handles) => handles
+                .into_iter()
+                .filter_map(|h| h.join().ok().and_then(|r| r.ok()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easyhps_core::GridDims;
+
+    fn editdist_spec(a: &[u8], b: &[u8]) -> JobSpec {
+        JobSpec::new(
+            RemoteProblem::EditDistance {
+                a: a.to_vec(),
+                b: b.to_vec(),
+            },
+            GridDims::new(8, 8),
+            GridDims::new(4, 4),
+        )
+    }
+
+    /// The satellite fix, in-process: one fleet runs two different jobs
+    /// back to back over the same links, both bit-identical to their
+    /// sequential references.
+    #[test]
+    fn local_fleet_reuses_slaves_across_jobs() {
+        let mut fleet = Fleet::local(2, None).unwrap();
+        let specs = [
+            editdist_spec(b"kitten sat on the mat", b"sitting on the hat"),
+            editdist_spec(b"abcdefghij", b"jihgfedcba"),
+        ];
+        for spec in &specs {
+            let out = fleet.run_job(spec, JobOptions::default()).unwrap();
+            let reference = spec.problem.solve_sequential();
+            let d = reference.dims();
+            assert_eq!(
+                out.matrix.get(d.rows - 1, d.cols - 1),
+                reference.get(d.rows - 1, d.cols - 1)
+            );
+        }
+        let summaries = fleet.shutdown();
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(
+            summaries.iter().map(|s| s.jobs).sum::<u64>(),
+            4,
+            "each slave served both jobs"
+        );
+    }
+
+    /// Same over real TCP: the socket connections survive the first job.
+    #[test]
+    fn tcp_fleet_reuses_connections_across_jobs() {
+        use crate::remote::{serve_slave_jobs, RemoteSlaveOptions};
+        use easyhps_net::socket::SocketConfig;
+        use easyhps_net::NetAddr;
+
+        let listener = SocketListener::bind(
+            &NetAddr::parse("127.0.0.1:0").unwrap(),
+            SocketConfig::default(),
+        )
+        .unwrap();
+        let addr = listener.local_addr();
+        let slaves: Vec<_> = (1..=2u32)
+            .map(|r| {
+                let mut o = RemoteSlaveOptions::new(addr.clone());
+                o.want_rank = Some(r);
+                std::thread::spawn(move || serve_slave_jobs(o))
+            })
+            .collect();
+        let mut fleet = Fleet::accept(listener, 2, None).unwrap();
+        for text in ["the first job of the fleet", "and a different second one"] {
+            let spec = editdist_spec(text.as_bytes(), b"a shared reference string");
+            let out = fleet.run_job(&spec, JobOptions::default()).unwrap();
+            let reference = spec.problem.solve_sequential();
+            let d = reference.dims();
+            assert_eq!(
+                out.matrix.get(d.rows - 1, d.cols - 1),
+                reference.get(d.rows - 1, d.cols - 1)
+            );
+        }
+        fleet.shutdown();
+        for s in slaves {
+            let summary = s.join().unwrap().unwrap();
+            assert_eq!(summary.jobs, 2, "slave must have served both jobs");
+        }
+    }
+}

@@ -44,6 +44,7 @@ mod config;
 mod durable;
 mod easy_pdp;
 mod error;
+pub mod fleet;
 mod master;
 mod obs;
 mod pool;
@@ -64,6 +65,7 @@ pub use easyhps_core::ScheduleMode;
 pub use easyhps_net::RetryPolicy;
 pub use easyhps_obs::{EventRecorder, Registry, Snapshot};
 pub use error::RuntimeError;
+pub use fleet::{Fleet, JobOptions};
 pub use master::{run_master, run_master_with, MasterOutput};
 pub use pool::{OvertimeEntry, OvertimeQueue, RegisterTable, TaskStack};
 pub use protocol::{tags, AssignMsg, DoneMsg, SlaveStatsMsg};

@@ -37,8 +37,20 @@ pub mod tags {
     pub const HEARTBEAT: Tag = Tag(6);
     /// Master -> slave: serialized job description (problem, partitions,
     /// deployment knobs) sent once right after the socket handshake so a
-    /// remote slave can reconstruct the run. Never used in-process.
+    /// remote slave can reconstruct the run. A multi-job fleet slave
+    /// receives one per job.
     pub const JOB: Tag = Tag(7);
+    /// Master -> slave: the fleet is done with this slave; exit the job
+    /// loop. Distinct from END, which finishes one job — SHUTDOWN ends
+    /// the slave process's whole service loop.
+    pub const SHUTDOWN: Tag = Tag(8);
+    /// Slave -> master: "ready for the next job" — sent when a fleet
+    /// slave enters its idle loop (on connect and after each finished
+    /// job). The master consumes one READY per slave before shipping a
+    /// JOB: a slave still tearing down its previous job discards
+    /// unexpected frames (its reliable layer's shutdown linger), so a
+    /// JOB sent early would be lost.
+    pub const READY: Tag = Tag(9);
 }
 
 fn put_region(w: &mut WireWriter, r: TileRegion) {

@@ -19,7 +19,6 @@
 use crate::checkpoint::Checkpoint;
 use crate::config::{Deployment, ObsConfig, RunReport};
 use crate::durable::CheckpointPolicy;
-use crate::master::run_master_with;
 use crate::protocol::{tags, SlaveStatsMsg};
 use crate::shared_grid::SharedGrid;
 use crate::slave::run_slave_with_storage;
@@ -59,7 +58,7 @@ impl SubSpec {
         }
     }
 
-    fn to_substitution(self) -> Substitution {
+    pub(crate) fn to_substitution(self) -> Substitution {
         Substitution::Simple {
             match_score: self.match_score,
             mismatch: self.mismatch,
@@ -91,7 +90,7 @@ impl GapSpec {
         }
     }
 
-    fn to_penalty(self) -> GapPenalty {
+    pub(crate) fn to_penalty(self) -> GapPenalty {
         match self {
             GapSpec::Linear(per_gap) => GapPenalty::Linear { per_gap },
             GapSpec::Affine(open, extend) => GapPenalty::Affine { open, extend },
@@ -181,6 +180,125 @@ macro_rules! with_problem {
             }
         }
     };
+}
+pub(crate) use with_problem;
+
+impl RemoteProblem {
+    /// Global matrix dimensions of this problem — what the master's DAG
+    /// covers, and the cost proxy job schedulers use (`rows * cols`).
+    pub fn dims(&self) -> GridDims {
+        with_problem!(self, p => p.dims())
+    }
+
+    /// Total cells of the global matrix — the unit of job cost for
+    /// admission control and fair scheduling.
+    pub fn cells(&self) -> u64 {
+        let d = self.dims();
+        d.rows as u64 * d.cols as u64
+    }
+
+    /// Solve on one thread with the sequential reference kernel. Small
+    /// jobs batched below the dispatch threshold take this path; the
+    /// runtime is exact, so the result is bit-identical to a fleet run.
+    pub fn solve_sequential(&self) -> DpMatrix<i32> {
+        with_problem!(self, p => p.solve_sequential())
+    }
+
+    /// Canonical encoding of the problem alone — no partition sizes, no
+    /// deployment knobs. Two specs with equal `content_key_bytes` compute
+    /// the same matrix regardless of how the work is partitioned, which
+    /// is exactly the equivalence a content-addressed result cache needs.
+    pub fn content_key_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        self.encode_into(&mut w);
+        w.finish().to_vec()
+    }
+
+    fn encode_into(&self, w: &mut WireWriter) {
+        match self {
+            RemoteProblem::EditDistance { a, b } => {
+                w.put_u8(0).put_bytes(a).put_bytes(b);
+            }
+            RemoteProblem::Lcs { a, b } => {
+                w.put_u8(1).put_bytes(a).put_bytes(b);
+            }
+            RemoteProblem::NeedlemanWunsch { a, b, sub, gap } => {
+                w.put_u8(2)
+                    .put_bytes(a)
+                    .put_bytes(b)
+                    .put_i64(sub.match_score as i64)
+                    .put_i64(sub.mismatch as i64)
+                    .put_i64(*gap as i64);
+            }
+            RemoteProblem::Swgg { a, b, sub, gap } => {
+                w.put_u8(3)
+                    .put_bytes(a)
+                    .put_bytes(b)
+                    .put_i64(sub.match_score as i64)
+                    .put_i64(sub.mismatch as i64);
+                let (kind, x, y) = match gap {
+                    GapSpec::Linear(p) => (0u8, *p, 0),
+                    GapSpec::Affine(o, e) => (1, *o, *e),
+                    GapSpec::Logarithmic(a, b) => (2, *a, *b),
+                };
+                w.put_u8(kind).put_i64(x as i64).put_i64(y as i64);
+            }
+            RemoteProblem::Nussinov { seq, min_loop } => {
+                w.put_u8(4).put_bytes(seq).put_u32(*min_loop);
+            }
+        }
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> Result<RemoteProblem, WireError> {
+        Ok(match r.get_u8()? {
+            0 => RemoteProblem::EditDistance {
+                a: r.get_bytes()?,
+                b: r.get_bytes()?,
+            },
+            1 => RemoteProblem::Lcs {
+                a: r.get_bytes()?,
+                b: r.get_bytes()?,
+            },
+            2 => RemoteProblem::NeedlemanWunsch {
+                a: r.get_bytes()?,
+                b: r.get_bytes()?,
+                sub: SubSpec {
+                    match_score: r.get_i64()? as i32,
+                    mismatch: r.get_i64()? as i32,
+                },
+                gap: r.get_i64()? as i32,
+            },
+            3 => {
+                let a = r.get_bytes()?;
+                let b = r.get_bytes()?;
+                let sub = SubSpec {
+                    match_score: r.get_i64()? as i32,
+                    mismatch: r.get_i64()? as i32,
+                };
+                let kind = r.get_u8()?;
+                let (x, y) = (r.get_i64()? as i32, r.get_i64()? as i32);
+                RemoteProblem::Swgg {
+                    a,
+                    b,
+                    sub,
+                    gap: match kind {
+                        0 => GapSpec::Linear(x),
+                        1 => GapSpec::Affine(x, y),
+                        _ => GapSpec::Logarithmic(x, y),
+                    },
+                }
+            }
+            4 => RemoteProblem::Nussinov {
+                seq: r.get_bytes()?,
+                min_loop: r.get_u32()?,
+            },
+            _ => {
+                return Err(WireError {
+                    context: "job problem kind",
+                });
+            }
+        })
+    }
 }
 
 fn put_mode(w: &mut WireWriter, mode: ScheduleMode) {
@@ -290,38 +408,7 @@ impl JobSpec {
     /// Encode to raw payload bytes (not yet CRC-sealed).
     pub fn encode(&self) -> Vec<u8> {
         let mut w = WireWriter::new();
-        match &self.problem {
-            RemoteProblem::EditDistance { a, b } => {
-                w.put_u8(0).put_bytes(a).put_bytes(b);
-            }
-            RemoteProblem::Lcs { a, b } => {
-                w.put_u8(1).put_bytes(a).put_bytes(b);
-            }
-            RemoteProblem::NeedlemanWunsch { a, b, sub, gap } => {
-                w.put_u8(2)
-                    .put_bytes(a)
-                    .put_bytes(b)
-                    .put_i64(sub.match_score as i64)
-                    .put_i64(sub.mismatch as i64)
-                    .put_i64(*gap as i64);
-            }
-            RemoteProblem::Swgg { a, b, sub, gap } => {
-                w.put_u8(3)
-                    .put_bytes(a)
-                    .put_bytes(b)
-                    .put_i64(sub.match_score as i64)
-                    .put_i64(sub.mismatch as i64);
-                let (kind, x, y) = match gap {
-                    GapSpec::Linear(p) => (0u8, *p, 0),
-                    GapSpec::Affine(o, e) => (1, *o, *e),
-                    GapSpec::Logarithmic(a, b) => (2, *a, *b),
-                };
-                w.put_u8(kind).put_i64(x as i64).put_i64(y as i64);
-            }
-            RemoteProblem::Nussinov { seq, min_loop } => {
-                w.put_u8(4).put_bytes(seq).put_u32(*min_loop);
-            }
-        }
+        self.problem.encode_into(&mut w);
         w.put_u32(self.pp.rows).put_u32(self.pp.cols);
         w.put_u32(self.tp.rows).put_u32(self.tp.cols);
         w.put_u32(self.threads_per_slave);
@@ -344,54 +431,7 @@ impl JobSpec {
     /// Decode from raw payload bytes.
     pub fn decode(bytes: &[u8]) -> Result<JobSpec, WireError> {
         let mut r = WireReader::new(bytes);
-        let problem = match r.get_u8()? {
-            0 => RemoteProblem::EditDistance {
-                a: r.get_bytes()?,
-                b: r.get_bytes()?,
-            },
-            1 => RemoteProblem::Lcs {
-                a: r.get_bytes()?,
-                b: r.get_bytes()?,
-            },
-            2 => RemoteProblem::NeedlemanWunsch {
-                a: r.get_bytes()?,
-                b: r.get_bytes()?,
-                sub: SubSpec {
-                    match_score: r.get_i64()? as i32,
-                    mismatch: r.get_i64()? as i32,
-                },
-                gap: r.get_i64()? as i32,
-            },
-            3 => {
-                let a = r.get_bytes()?;
-                let b = r.get_bytes()?;
-                let sub = SubSpec {
-                    match_score: r.get_i64()? as i32,
-                    mismatch: r.get_i64()? as i32,
-                };
-                let kind = r.get_u8()?;
-                let (x, y) = (r.get_i64()? as i32, r.get_i64()? as i32);
-                RemoteProblem::Swgg {
-                    a,
-                    b,
-                    sub,
-                    gap: match kind {
-                        0 => GapSpec::Linear(x),
-                        1 => GapSpec::Affine(x, y),
-                        _ => GapSpec::Logarithmic(x, y),
-                    },
-                }
-            }
-            4 => RemoteProblem::Nussinov {
-                seq: r.get_bytes()?,
-                min_loop: r.get_u32()?,
-            },
-            _ => {
-                return Err(WireError {
-                    context: "job problem kind",
-                });
-            }
-        };
+        let problem = RemoteProblem::decode_from(&mut r)?;
         let pp = GridDims::new(r.get_u32()?, r.get_u32()?);
         let tp = GridDims::new(r.get_u32()?, r.get_u32()?);
         let threads_per_slave = r.get_u32()?;
@@ -454,50 +494,35 @@ pub struct RemoteOutput {
     pub report: RunReport,
     /// Present when a tile budget stopped the run early.
     pub checkpoint: Option<Checkpoint>,
-    /// Per-link socket counters of the master endpoint.
-    pub socket: SocketInfo,
+    /// Per-link socket counters of the master endpoint; `None` for an
+    /// in-process fleet, whose links are plain channels.
+    pub socket: Option<SocketInfo>,
 }
 
 /// Run the master side of a multi-process job on an already-bound
-/// listener: accept `slaves` connections, ship the [`JobSpec`] to each,
-/// then run the ordinary master loop over the socket endpoint.
+/// listener: accept `slaves` connections, ship one [`JobSpec`], run the
+/// ordinary master loop over the socket endpoint, and shut the fleet
+/// down. One-shot sugar over [`Fleet`](crate::fleet::Fleet), which the
+/// serve daemon uses directly to run many jobs over the same
+/// connections.
 pub fn run_remote_master(
     listener: SocketListener,
     spec: &JobSpec,
     slaves: usize,
     opts: RemoteMasterOptions,
 ) -> Result<RemoteOutput, RuntimeError> {
-    if slaves == 0 {
-        return Err(RuntimeError::NoSlaves);
-    }
-    let (mut ep, info) = listener
-        .accept_ranks(slaves, opts.fault)
-        .map_err(|e| io_err("accepting slaves", e))?;
-    let job_payload = frame::seal_raw(&spec.encode());
-    for r in 1..=slaves as u32 {
-        ep.send(Rank(r), tags::JOB, job_payload.clone())?;
-    }
-    let mut deployment = spec.deployment(slaves, None);
-    deployment.obs = opts.obs.clone();
-    deployment.checkpoint = opts.checkpoint;
-    let model = spec.model();
-    let out = with_problem!(&spec.problem, p => {
-        run_master_with(ep, &p, &model, &deployment, opts.resume.as_ref(), opts.tile_budget)?
-    });
-    if let Some(reg) = &opts.obs.metrics {
-        publish_socket_stats(reg, &info);
-    }
-    Ok(RemoteOutput {
-        matrix: out.matrix,
-        report: RunReport {
-            elapsed: out.elapsed,
-            master: out.stats,
-            slaves: out.slave_stats,
-            trace: out.trace,
+    let mut fleet = crate::fleet::Fleet::accept(listener, slaves, opts.fault)?;
+    let out = fleet.run_job(
+        spec,
+        crate::fleet::JobOptions {
+            obs: opts.obs.clone(),
+            checkpoint: opts.checkpoint,
+            resume: opts.resume,
+            tile_budget: opts.tile_budget,
         },
-        checkpoint: out.checkpoint,
-        socket: info,
-    })
+    )?;
+    fleet.shutdown();
+    Ok(out)
 }
 
 /// Options for the slave side of a multi-process run.
@@ -531,37 +556,116 @@ impl RemoteSlaveOptions {
     }
 }
 
-/// Run the slave side of a multi-process job: connect, receive the
-/// [`JobSpec`], reconstruct problem and model, and serve until the
-/// master ends the run (or disappears — a master death surfaces as the
-/// `Err` of a failed heartbeat or receive).
-pub fn serve_slave(opts: RemoteSlaveOptions) -> Result<SlaveStatsMsg, RuntimeError> {
-    let (mut ep, _info) = connect(&opts.addr, opts.want_rank, opts.socket, opts.fault)
-        .map_err(|e| io_err("connecting to master", e))?;
-    let env = ep.recv_tag(tags::JOB)?;
-    match frame::check(&env.payload) {
-        Ok(frame::Frame::Raw) => {}
-        _ => {
-            return Err(RuntimeError::InvalidConfig(
-                "job spec must arrive as a sealed raw frame".into(),
-            ))
+/// What a slave's multi-job service loop did before it exited.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SlaveServeSummary {
+    /// Jobs served to completion.
+    pub jobs: u64,
+    /// Execution stats summed across every job.
+    pub stats: SlaveStatsMsg,
+}
+
+/// How often an idle fleet slave probes the master link between jobs.
+/// The probe doubles as the master-death detector: once the connection
+/// is closed, the heartbeat send fails and the loop exits cleanly.
+const IDLE_PROBE: Duration = Duration::from_millis(500);
+
+/// Serve jobs on an already-connected endpoint until the master sends
+/// SHUTDOWN or disappears. Each [`tags::JOB`] message carries one
+/// [`JobSpec`]; the slave reconstructs the problem and runs the ordinary
+/// slave loop on a per-job [`Endpoint::fork`](easyhps_net::Endpoint::fork)
+/// of the shared connection, so the socket survives from job to job.
+pub(crate) fn slave_job_loop(
+    mut root: easyhps_net::Endpoint,
+    threads: Option<usize>,
+    memory: Option<MemoryMode>,
+    fault: Option<easyhps_net::FaultPlan>,
+) -> Result<SlaveServeSummary, RuntimeError> {
+    let master = Rank(0);
+    let mut summary = SlaveServeSummary::default();
+    // Announce readiness on entry and again after every finished job.
+    // The master's job-boundary barrier waits for it: shipping a JOB to
+    // a slave still lingering in its previous job's reliable teardown
+    // would lose the frame (the linger ACKs-and-discards).
+    let mut announce = true;
+    loop {
+        if announce {
+            if root
+                .send(master, tags::READY, frame::seal_raw(&[]))
+                .is_err()
+            {
+                return Ok(summary); // master gone between jobs
+            }
+            announce = false;
+        }
+        let env = match root.recv_timeout(IDLE_PROBE) {
+            Ok(env) => env,
+            Err(easyhps_net::NetError::Timeout) => {
+                match root.send(master, tags::HEARTBEAT, frame::seal_raw(&[])) {
+                    Ok(()) => continue,
+                    Err(_) => return Ok(summary), // master gone between jobs
+                }
+            }
+            Err(_) => return Ok(summary),
+        };
+        match env.tag {
+            tags::JOB => {
+                match frame::check(&env.payload) {
+                    Ok(frame::Frame::Raw) => {}
+                    _ => {
+                        return Err(RuntimeError::InvalidConfig(
+                            "job spec must arrive as a sealed raw frame".into(),
+                        ))
+                    }
+                }
+                let spec = JobSpec::decode(&env.payload[frame::RAW_BODY..])?;
+                let n_slaves = root.n_ranks() - 1;
+                let deployment = spec.deployment(n_slaves, threads);
+                let model = spec.model();
+                let mem = memory.unwrap_or(spec.memory);
+                let ep = root.fork(fault.clone());
+                let stats = with_problem!(&spec.problem, p => {
+                    match mem {
+                        MemoryMode::Dense => {
+                            run_slave_with_storage::<_, SharedGrid<i32>>(ep, &p, &model, &deployment)
+                        }
+                        MemoryMode::Sparse => {
+                            run_slave_with_storage::<_, SparseGrid<i32>>(ep, &p, &model, &deployment)
+                        }
+                    }
+                })?;
+                announce = true;
+                summary.jobs += 1;
+                summary.stats.tasks_done += stats.tasks_done;
+                summary.stats.subtasks_done += stats.subtasks_done;
+                summary.stats.busy_ns += stats.busy_ns;
+                summary.stats.thread_failures += stats.thread_failures;
+                summary.stats.peak_node_bytes =
+                    summary.stats.peak_node_bytes.max(stats.peak_node_bytes);
+                summary.stats.threads_spawned += stats.threads_spawned;
+            }
+            tags::SHUTDOWN => return Ok(summary),
+            // Stray frames from a previous job's teardown (late ACKs,
+            // heartbeat echoes) are harmless between jobs.
+            _ => {}
         }
     }
-    let spec = JobSpec::decode(&env.payload[frame::RAW_BODY..])?;
-    let n_slaves = ep.n_ranks() - 1;
-    let deployment = spec.deployment(n_slaves, opts.threads);
-    let model = spec.model();
-    let memory = opts.memory.unwrap_or(spec.memory);
-    with_problem!(&spec.problem, p => {
-        match memory {
-            MemoryMode::Dense => {
-                run_slave_with_storage::<_, SharedGrid<i32>>(ep, &p, &model, &deployment)
-            }
-            MemoryMode::Sparse => {
-                run_slave_with_storage::<_, SparseGrid<i32>>(ep, &p, &model, &deployment)
-            }
-        }
-    })
+}
+
+/// Run the slave side of a multi-process deployment: connect, then serve
+/// every job the master ships until it sends SHUTDOWN or disappears. A
+/// one-shot `easyhps master` sends exactly one job followed by SHUTDOWN;
+/// a serve daemon keeps the connection and streams jobs through it.
+pub fn serve_slave_jobs(opts: RemoteSlaveOptions) -> Result<SlaveServeSummary, RuntimeError> {
+    let (ep, _info) = connect(&opts.addr, opts.want_rank, opts.socket, None)
+        .map_err(|e| io_err("connecting to master", e))?;
+    slave_job_loop(ep, opts.threads, opts.memory, opts.fault)
+}
+
+/// Back-compat single-result wrapper over [`serve_slave_jobs`]: serve
+/// until shutdown and return the summed stats.
+pub fn serve_slave(opts: RemoteSlaveOptions) -> Result<SlaveStatsMsg, RuntimeError> {
+    Ok(serve_slave_jobs(opts)?.stats)
 }
 
 /// Export per-link socket counters (bytes queued, reconnects, frames

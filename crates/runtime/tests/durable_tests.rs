@@ -130,6 +130,21 @@ fn dirty_directory_without_resume_is_refused() {
         .run()
         .expect_err("unresumed dirty directory is refused");
     assert!(matches!(err, RuntimeError::Checkpoint(_)), "{err}");
+    // The refusal must name the offending directory and suggest both
+    // ways out: resume the prior run, or pick a fresh directory.
+    let msg = err.to_string();
+    assert!(
+        msg.contains(dir.to_str().unwrap()),
+        "refusal must name the directory: {msg}"
+    );
+    assert!(
+        msg.contains("--resume"),
+        "refusal must suggest --resume: {msg}"
+    );
+    assert!(
+        msg.contains("--checkpoint-dir"),
+        "refusal must suggest a fresh --checkpoint-dir: {msg}"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }

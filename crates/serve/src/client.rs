@@ -1,0 +1,62 @@
+//! Blocking client for the serve daemon.
+
+use crate::protocol::{Request, Response, SubmitReq};
+use crate::stream::ClientStream;
+use easyhps_net::{rpc, NetAddr};
+use easyhps_runtime::remote::JobSpec;
+use std::io;
+
+/// A connected client. One request/response exchange at a time; a
+/// `wait` submission keeps the exchange open until the terminal
+/// response ([`Client::read_response`] fetches it).
+pub struct Client {
+    stream: ClientStream,
+}
+
+impl Client {
+    /// Connect to a daemon and perform the protocol hello.
+    pub fn connect(addr: &NetAddr) -> io::Result<Client> {
+        let mut stream = ClientStream::connect(addr)?;
+        rpc::write_hello(&mut stream)?;
+        Ok(Client { stream })
+    }
+
+    /// Send a request and read its first response.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        rpc::write_msg(&mut self.stream, &req.encode())?;
+        self.read_response()
+    }
+
+    /// Read one more response — the terminal `Done`/`Error` of a `wait`
+    /// submission, or the `Done` following a cache-hit acceptance.
+    pub fn read_response(&mut self) -> io::Result<Response> {
+        let payload = rpc::read_msg(&mut self.stream, rpc::MAX_MSG)?;
+        Response::decode(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Submit a job. Returns the admission response; on a cache hit or
+    /// with `wait`, call [`Client::read_response`] for the `Done`.
+    pub fn submit(&mut self, tenant: &str, wait: bool, spec: JobSpec) -> io::Result<Response> {
+        self.request(&Request::Submit(SubmitReq {
+            tenant: tenant.to_string(),
+            wait,
+            spec,
+        }))
+    }
+
+    /// Query a job's lifecycle state.
+    pub fn status(&mut self, job: u64) -> io::Result<Response> {
+        self.request(&Request::Status { job })
+    }
+
+    /// Fetch the daemon's metrics as Prometheus-style text.
+    pub fn stats(&mut self) -> io::Result<Response> {
+        self.request(&Request::Stats)
+    }
+
+    /// Cancel a queued job.
+    pub fn cancel(&mut self, job: u64) -> io::Result<Response> {
+        self.request(&Request::Cancel { job })
+    }
+}

@@ -1,0 +1,41 @@
+//! # easyhps-serve — DP-as-a-service
+//!
+//! A long-lived daemon that owns a persistent slave fleet
+//! ([`easyhps_runtime::Fleet`]) and serves DP jobs to many clients and
+//! tenants:
+//!
+//! * **Admission control** — a bounded job queue; submissions past it
+//!   are rejected with the limit and the way out spelled out.
+//! * **Weighted-fair scheduling** — queued jobs are dispatched by
+//!   per-tenant virtual time, so a flood from one tenant cannot starve
+//!   another.
+//! * **Content-addressed caching & coalescing** — jobs are keyed by
+//!   what they compute; a repeat submission is answered from cache, and
+//!   a duplicate of a queued or *running* job attaches to it instead of
+//!   computing twice.
+//! * **Batching** — jobs below a cell threshold are gathered into one
+//!   round of sequential solves instead of fleet dispatches.
+//! * **Durability** — accepted jobs are persisted before they are
+//!   acknowledged, results before they are reported, and fleet jobs
+//!   checkpoint to per-job directories: `kill -9` loses no accepted
+//!   job, and a restarted daemon completes them bit-identically.
+//!
+//! The client protocol (submit / status / stats / cancel) is CRC-sealed
+//! per message ([`easyhps_net::rpc`]); see [`protocol`] for the
+//! messages and DESIGN.md §15 for the full architecture.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod client;
+pub mod daemon;
+pub mod protocol;
+pub mod state;
+mod stream;
+
+pub use cache::{job_key, key_hex, CacheEntry, ResultCache};
+pub use client::Client;
+pub use daemon::{Daemon, FleetSpec, ServeConfig};
+pub use protocol::{Admission, JobResult, JobState, Request, Response, SubmitReq};
+pub use state::{JobStore, PersistedJob, PersistedResult};

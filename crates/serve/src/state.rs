@@ -1,0 +1,272 @@
+//! Durable job state: what lets `kill -9` lose no accepted job.
+//!
+//! Layout under the daemon's `--state-dir`:
+//!
+//! ```text
+//! state/
+//!   jobs/
+//!     0000000000000007/
+//!       spec.bin      sealed {id, tenant, encoded JobSpec}
+//!       result.bin    sealed {rows, cols, crc, encoded cells}
+//!       ckpt/         per-job durable CheckpointStore segments
+//! ```
+//!
+//! `spec.bin` is written — atomically, via tmp + rename, fsynced — *before*
+//! the daemon acknowledges a submission, so "accepted" and "on disk" are
+//! the same event. `result.bin` is written before the job is reported
+//! done. Both files are CRC-sealed with the workspace frame, so a torn
+//! write (a crash between `write` and `rename` can leave nothing, but a
+//! corrupting disk can leave garbage) reads as *absent*, never as a
+//! wrong job: a job dir with an unreadable spec was never acknowledged
+//! and is dropped; an unreadable result means the job re-runs from its
+//! `ckpt/` segments.
+
+use easyhps_net::{frame, WireError, WireReader, WireWriter};
+use easyhps_runtime::remote::JobSpec;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// A job as recovered from disk.
+#[derive(Clone, Debug)]
+pub struct PersistedJob {
+    /// The id assigned at submission (ids survive restarts).
+    pub id: u64,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// The full job specification.
+    pub spec: JobSpec,
+    /// The finished result, when `result.bin` exists and verifies.
+    pub result: Option<PersistedResult>,
+}
+
+/// A finished result as recovered from disk.
+#[derive(Clone, Debug)]
+pub struct PersistedResult {
+    /// Matrix rows.
+    pub rows: u32,
+    /// Matrix columns.
+    pub cols: u32,
+    /// CRC-32C over `cells`.
+    pub crc: u32,
+    /// Encoded cell bytes (row-major little-endian).
+    pub cells: Vec<u8>,
+}
+
+/// Handle on the daemon's state directory.
+#[derive(Debug)]
+pub struct JobStore {
+    root: PathBuf,
+}
+
+/// Write `bytes` to `path` atomically: tmp file in the same directory,
+/// fsync, rename. Readers see the old content or the new, never a torn
+/// prefix.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// Read a sealed file, returning its payload or `None` when the file is
+/// missing, truncated or corrupt — torn state must read as absent.
+fn read_sealed(path: &Path) -> Option<Vec<u8>> {
+    let buf = fs::read(path).ok()?;
+    match frame::check(&buf) {
+        Ok(frame::Frame::Raw) => Some(buf[frame::RAW_BODY..].to_vec()),
+        _ => None,
+    }
+}
+
+fn decode_spec(payload: &[u8]) -> Result<(u64, String, JobSpec), WireError> {
+    let mut r = WireReader::new(payload);
+    let id = r.get_u64()?;
+    let tenant = String::from_utf8(r.get_bytes()?).map_err(|_| WireError {
+        context: "persisted tenant",
+    })?;
+    let spec = JobSpec::decode(&r.get_bytes()?)?;
+    r.expect_end()?;
+    Ok((id, tenant, spec))
+}
+
+fn decode_result(payload: &[u8]) -> Result<PersistedResult, WireError> {
+    let mut r = WireReader::new(payload);
+    let out = PersistedResult {
+        rows: r.get_u32()?,
+        cols: r.get_u32()?,
+        crc: r.get_u32()?,
+        cells: r.get_bytes()?,
+    };
+    r.expect_end()?;
+    Ok(out)
+}
+
+impl JobStore {
+    /// Open (creating if needed) a state directory.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<JobStore> {
+        let root = root.into();
+        fs::create_dir_all(root.join("jobs"))?;
+        Ok(JobStore { root })
+    }
+
+    fn job_dir(&self, id: u64) -> PathBuf {
+        self.root.join("jobs").join(format!("{id:016}"))
+    }
+
+    /// The per-job durable checkpoint directory (for `CheckpointPolicy`).
+    pub fn ckpt_dir(&self, id: u64) -> PathBuf {
+        self.job_dir(id).join("ckpt")
+    }
+
+    /// Persist an accepted job. Must complete before the daemon replies
+    /// `Accepted` — this write *is* the acceptance.
+    pub fn persist_spec(&self, id: u64, tenant: &str, spec: &JobSpec) -> io::Result<()> {
+        let dir = self.job_dir(id);
+        fs::create_dir_all(&dir)?;
+        let mut w = WireWriter::new();
+        w.put_u64(id)
+            .put_bytes(tenant.as_bytes())
+            .put_bytes(&spec.encode());
+        write_atomic(&dir.join("spec.bin"), &frame::seal_raw(&w.finish()))
+    }
+
+    /// Persist a finished result. Must complete before the job is
+    /// reported `Done`.
+    pub fn persist_result(
+        &self,
+        id: u64,
+        rows: u32,
+        cols: u32,
+        crc: u32,
+        cells: &[u8],
+    ) -> io::Result<()> {
+        let dir = self.job_dir(id);
+        fs::create_dir_all(&dir)?;
+        let mut w = WireWriter::with_capacity(cells.len() + 32);
+        w.put_u32(rows).put_u32(cols).put_u32(crc).put_bytes(cells);
+        write_atomic(&dir.join("result.bin"), &frame::seal_raw(&w.finish()))
+    }
+
+    /// Remove a job's directory (cancelled jobs must not resurrect on
+    /// restart).
+    pub fn remove(&self, id: u64) -> io::Result<()> {
+        let dir = self.job_dir(id);
+        if dir.exists() {
+            fs::remove_dir_all(&dir)?;
+        }
+        Ok(())
+    }
+
+    /// Recover every acknowledged job, sorted by id. Dirs with a torn or
+    /// missing spec are skipped (never acknowledged); torn results are
+    /// reported as unfinished.
+    pub fn scan(&self) -> io::Result<Vec<PersistedJob>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(self.root.join("jobs"))? {
+            let dir = entry?.path();
+            if !dir.is_dir() {
+                continue;
+            }
+            let Some(payload) = read_sealed(&dir.join("spec.bin")) else {
+                continue;
+            };
+            let Ok((id, tenant, spec)) = decode_spec(&payload) else {
+                continue;
+            };
+            let result = read_sealed(&dir.join("result.bin")).and_then(|p| decode_result(&p).ok());
+            out.push(PersistedJob {
+                id,
+                tenant,
+                spec,
+                result,
+            });
+        }
+        out.sort_by_key(|j| j.id);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easyhps_core::GridDims;
+    use easyhps_runtime::remote::RemoteProblem;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp_root() -> PathBuf {
+        static NONCE: AtomicU64 = AtomicU64::new(0);
+        let n = NONCE.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("easyhps-serve-state-{}-{n}", std::process::id()))
+    }
+
+    fn spec(text: &[u8]) -> JobSpec {
+        JobSpec::new(
+            RemoteProblem::EditDistance {
+                a: text.to_vec(),
+                b: b"reference".to_vec(),
+            },
+            GridDims::new(4, 4),
+            GridDims::new(2, 2),
+        )
+    }
+
+    #[test]
+    fn specs_and_results_survive_a_scan() {
+        let root = tmp_root();
+        let store = JobStore::open(&root).unwrap();
+        store.persist_spec(3, "alice", &spec(b"one")).unwrap();
+        store.persist_spec(7, "bob", &spec(b"two")).unwrap();
+        store
+            .persist_result(3, 4, 10, 0xFEED, b"cellbytes")
+            .unwrap();
+
+        let jobs = store.scan().unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].id, 3, "sorted by id");
+        assert_eq!(jobs[0].tenant, "alice");
+        assert_eq!(jobs[0].spec, spec(b"one"));
+        let r = jobs[0].result.as_ref().unwrap();
+        assert_eq!((r.rows, r.cols, r.crc), (4, 10, 0xFEED));
+        assert_eq!(r.cells, b"cellbytes");
+        assert!(jobs[1].result.is_none());
+
+        store.remove(3).unwrap();
+        assert_eq!(store.scan().unwrap().len(), 1, "removed job is gone");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn torn_files_read_as_absent_not_wrong() {
+        let root = tmp_root();
+        let store = JobStore::open(&root).unwrap();
+        store.persist_spec(1, "alice", &spec(b"keep")).unwrap();
+        store.persist_spec(2, "bob", &spec(b"tear")).unwrap();
+        store.persist_result(1, 4, 5, 9, b"ok").unwrap();
+
+        // Corrupt job 2's spec and job 1's result in place.
+        let spec2 = root
+            .join("jobs")
+            .join(format!("{:016}", 2))
+            .join("spec.bin");
+        let mut bytes = fs::read(&spec2).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&spec2, bytes).unwrap();
+        let res1 = root
+            .join("jobs")
+            .join(format!("{:016}", 1))
+            .join("result.bin");
+        let bytes = fs::read(&res1).unwrap();
+        fs::write(&res1, &bytes[..bytes.len() - 1]).unwrap();
+
+        let jobs = store.scan().unwrap();
+        assert_eq!(jobs.len(), 1, "torn spec means never acknowledged");
+        assert_eq!(jobs[0].id, 1);
+        assert!(jobs[0].result.is_none(), "torn result means unfinished");
+        fs::remove_dir_all(&root).ok();
+    }
+}

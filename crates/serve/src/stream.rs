@@ -1,0 +1,138 @@
+//! Plain byte streams for the client protocol — TCP or Unix-domain.
+//!
+//! The rank transport's streams live inside `easyhps-net` and are tied
+//! to its framed reader/writer threads; the client protocol is a simple
+//! blocking request/response exchange, so it carries its own thin
+//! enum over the two std socket types.
+
+use easyhps_net::NetAddr;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A connected client-protocol stream.
+#[derive(Debug)]
+pub enum ClientStream {
+    /// TCP connection.
+    Tcp(TcpStream),
+    /// Unix-domain connection.
+    Uds(UnixStream),
+}
+
+impl ClientStream {
+    /// Connect to a daemon's client address.
+    pub fn connect(addr: &NetAddr) -> io::Result<ClientStream> {
+        Ok(match addr {
+            NetAddr::Tcp(hp) => {
+                let s = TcpStream::connect(hp)?;
+                let _ = s.set_nodelay(true);
+                ClientStream::Tcp(s)
+            }
+            NetAddr::Uds(path) => ClientStream::Uds(UnixStream::connect(path)?),
+        })
+    }
+}
+
+impl Read for ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ClientStream::Tcp(s) => s.read(buf),
+            ClientStream::Uds(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ClientStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            ClientStream::Tcp(s) => s.write(buf),
+            ClientStream::Uds(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            ClientStream::Tcp(s) => s.flush(),
+            ClientStream::Uds(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound client-protocol listener, polled non-blocking so the accept
+/// loop can notice daemon shutdown.
+#[derive(Debug)]
+pub enum ClientListener {
+    /// TCP listener.
+    Tcp(TcpListener),
+    /// Unix-domain listener; the path is removed on drop.
+    Uds(UnixListener, PathBuf),
+}
+
+impl ClientListener {
+    /// Bind to `addr` in non-blocking mode. A stale Unix socket file
+    /// from a crashed daemon is removed first.
+    pub fn bind(addr: &NetAddr) -> io::Result<ClientListener> {
+        let l = match addr {
+            NetAddr::Tcp(hp) => {
+                let l = TcpListener::bind(hp)?;
+                l.set_nonblocking(true)?;
+                ClientListener::Tcp(l)
+            }
+            NetAddr::Uds(path) => {
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                ClientListener::Uds(l, path.clone())
+            }
+        };
+        Ok(l)
+    }
+
+    /// The address actually bound (ephemeral TCP port resolved).
+    pub fn local_addr(&self) -> NetAddr {
+        match self {
+            ClientListener::Tcp(l) => NetAddr::Tcp(
+                l.local_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| "?".into()),
+            ),
+            ClientListener::Uds(_, path) => NetAddr::Uds(path.clone()),
+        }
+    }
+
+    /// Poll for one connection, sleeping `poll` when none is pending.
+    /// Returns `None` on a would-block (caller re-checks shutdown).
+    pub fn poll_accept(&self, poll: Duration) -> io::Result<Option<ClientStream>> {
+        let got = match self {
+            ClientListener::Tcp(l) => l.accept().map(|(s, _)| {
+                let _ = s.set_nodelay(true);
+                ClientStream::Tcp(s)
+            }),
+            ClientListener::Uds(l, _) => l.accept().map(|(s, _)| ClientStream::Uds(s)),
+        };
+        match got {
+            Ok(s) => {
+                // Hand the handler a blocking stream.
+                match &s {
+                    ClientStream::Tcp(t) => t.set_nonblocking(false)?,
+                    ClientStream::Uds(u) => u.set_nonblocking(false)?,
+                }
+                Ok(Some(s))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(poll);
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for ClientListener {
+    fn drop(&mut self) {
+        if let ClientListener::Uds(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! In-process integration tests for the serve daemon: the full client
+//! protocol over real TCP against a daemon with a local fleet. The
+//! acceptance scenarios — two identical submissions collapsing into one
+//! computation (the counters prove it) and a crash leaving only durable
+//! specs behind that a restarted daemon completes bit-identically — run
+//! here deterministically; the process-level kill -9 variant lives in
+//! the workspace-level `daemon` e2e test.
+
+use easyhps_core::{GridDims, TileRegion};
+use easyhps_net::{crc32c, NetAddr};
+use easyhps_runtime::remote::{JobSpec, RemoteProblem};
+use easyhps_serve::{
+    Admission, Client, Daemon, FleetSpec, JobState, JobStore, Response, ServeConfig,
+};
+use std::time::{Duration, Instant};
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "easyhps-serve-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn editdist_spec(a: &[u8], b: &[u8], pps: u32) -> JobSpec {
+    JobSpec::new(
+        RemoteProblem::EditDistance {
+            a: a.to_vec(),
+            b: b.to_vec(),
+        },
+        GridDims::new(pps, pps),
+        GridDims::new((pps / 2).max(1), (pps / 2).max(1)),
+    )
+}
+
+/// The reference CRC a daemon result must match: the sequential solve's
+/// canonical cell encoding, same digest the CLI prints as `matrix-crc:`.
+fn reference_crc(spec: &JobSpec) -> u32 {
+    let m = spec.problem.solve_sequential();
+    let d = m.dims();
+    crc32c(&m.encode_region(TileRegion::new(0, d.rows, 0, d.cols)))
+}
+
+fn local_config(listen: &str) -> ServeConfig {
+    let mut cfg = ServeConfig::new(NetAddr::parse(listen).unwrap());
+    cfg.fleet = FleetSpec::Local {
+        slaves: 2,
+        threads: Some(2),
+    };
+    cfg
+}
+
+fn counter(daemon: &Daemon, name: &str) -> u64 {
+    use easyhps_obs::MetricValue;
+    daemon
+        .registry()
+        .snapshot()
+        .entries
+        .iter()
+        .find_map(|(n, v)| match (n == name, v) {
+            (true, MetricValue::Counter(c)) => Some(*c),
+            _ => None,
+        })
+        .unwrap_or(0)
+}
+
+fn wait_done(client: &mut Client, job: u64, deadline: Duration) -> easyhps_serve::JobResult {
+    let t0 = Instant::now();
+    loop {
+        match client.status(job).unwrap() {
+            Response::Status {
+                state: JobState::Done(r),
+                ..
+            } => return r,
+            Response::Status {
+                state: JobState::Failed { error },
+                ..
+            } => panic!("job {job} failed: {error}"),
+            _ if t0.elapsed() > deadline => panic!("job {job} not done in {deadline:?}"),
+            _ => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// A repeat submission is answered from the content-addressed cache —
+/// accepted as a cache hit, followed by an unsolicited `Done`, with the
+/// sequential reference's exact CRC — and the counters show exactly one
+/// computation.
+#[test]
+fn repeat_submission_hits_the_cache_bit_identically() {
+    let daemon = Daemon::start(local_config("127.0.0.1:0")).unwrap();
+    let spec = editdist_spec(b"the quick brown fox jumps", b"over the lazy dog", 6);
+    let want = reference_crc(&spec);
+
+    let mut c = Client::connect(daemon.addr()).unwrap();
+    let Response::Accepted { job, admission } = c.submit("alice", true, spec.clone()).unwrap()
+    else {
+        panic!("first submission must be accepted");
+    };
+    assert_eq!(admission, Admission::New);
+    let Response::Done { result, cached, .. } = c.read_response().unwrap() else {
+        panic!("wait submission must end in Done");
+    };
+    assert!(!cached, "first computation is not a cache hit");
+    assert_eq!(result.crc, want, "daemon result != sequential reference");
+    let _ = job;
+
+    let Response::Accepted { admission, .. } = c.submit("bob", false, spec).unwrap() else {
+        panic!("second submission must be accepted");
+    };
+    assert_eq!(admission, Admission::CacheHit);
+    let Response::Done { result, cached, .. } = c.read_response().unwrap() else {
+        panic!("a cache hit is followed by its Done");
+    };
+    assert!(cached);
+    assert_eq!(result.crc, want);
+
+    assert_eq!(counter(&daemon, "serve_cache_hits"), 1);
+    // Only the first submission was computed; the hit was answered from
+    // the cache without ever reaching the scheduler.
+    assert_eq!(counter(&daemon, "serve_jobs_completed"), 1);
+    assert_eq!(counter(&daemon, "serve_jobs_submitted"), 2);
+    let cells = counter(&daemon, "serve_cells_computed");
+    assert_eq!(
+        cells,
+        spec_cells(b"the quick brown fox jumps", b"over the lazy dog"),
+        "only ONE computation ran for two submissions"
+    );
+    daemon.stop();
+}
+
+fn spec_cells(a: &[u8], b: &[u8]) -> u64 {
+    (a.len() as u64 + 1) * (b.len() as u64 + 1)
+}
+
+/// Two identical submissions in flight at once collapse into one
+/// computation: the daemon runs a long job first so the identical pair
+/// sits queued together, where the second coalesces onto the first.
+#[test]
+fn concurrent_identical_submissions_coalesce() {
+    let daemon = Daemon::start(local_config("127.0.0.1:0")).unwrap();
+    let mut c = Client::connect(daemon.addr()).unwrap();
+
+    // A job big enough to hold the scheduler for a moment (fleet path,
+    // above the batch threshold).
+    let blocker = editdist_spec(&[b'a'; 300], &[b'b'; 290], 8);
+    let Response::Accepted { job: j0, .. } = c.submit("alice", false, blocker).unwrap() else {
+        panic!("blocker must be accepted");
+    };
+
+    // While it runs (or queues), two identical submissions arrive from
+    // different tenants. Whatever the interleaving, the second of the
+    // pair must coalesce onto the first — never compute twice.
+    let spec = editdist_spec(b"coalesce me exactly once", b"coalesce me too", 4);
+    let want = reference_crc(&spec);
+    let Response::Accepted {
+        job: j1,
+        admission: a1,
+    } = c.submit("alice", false, spec.clone()).unwrap()
+    else {
+        panic!("leader must be accepted");
+    };
+    assert_eq!(a1, Admission::New);
+    let Response::Accepted {
+        job: j2,
+        admission: a2,
+    } = c.submit("bob", false, spec).unwrap()
+    else {
+        panic!("follower must be accepted");
+    };
+    assert_eq!(
+        a2,
+        Admission::Coalesced,
+        "identical in-flight job must coalesce"
+    );
+    assert_ne!(j1, j2, "coalesced submissions keep distinct job ids");
+
+    for j in [j0, j1, j2] {
+        wait_done(&mut c, j, Duration::from_secs(60));
+    }
+    let r1 = wait_done(&mut c, j1, Duration::from_secs(1));
+    let r2 = wait_done(&mut c, j2, Duration::from_secs(1));
+    assert_eq!(r1.crc, want);
+    assert_eq!(r2.crc, want, "leader and follower see the same bits");
+    assert_eq!(counter(&daemon, "serve_jobs_coalesced"), 1);
+    assert_eq!(counter(&daemon, "serve_jobs_completed"), 3);
+    daemon.stop();
+}
+
+/// Admission control rejects past the queue bound, and the refusal names
+/// the limit and what to do about it.
+#[test]
+fn queue_full_rejection_names_the_limit() {
+    let mut cfg = local_config("127.0.0.1:0");
+    cfg.queue_cap = 1;
+    let daemon = Daemon::start(cfg).unwrap();
+    let mut c = Client::connect(daemon.addr()).unwrap();
+    // A long fleet-path job keeps the scheduler busy; distinct small
+    // jobs then pile into the one queue slot. The scheduler can drain
+    // at most the first — by the third submission one must bounce.
+    let blocker = editdist_spec(&[b'q'; 300], &[b'r'; 290], 8);
+    let Response::Accepted { .. } = c.submit("alice", false, blocker).unwrap() else {
+        panic!("blocker must be accepted");
+    };
+    let mut rejection = None;
+    for i in 0..4u8 {
+        let spec = editdist_spec(
+            format!("distinct job {i}").as_bytes(),
+            b"fills the queue",
+            3,
+        );
+        match c.submit("alice", false, spec).unwrap() {
+            Response::Rejected { reason } => {
+                rejection = Some(reason);
+                break;
+            }
+            Response::Accepted { .. } => {}
+            other => panic!("unexpected answer: {other:?}"),
+        }
+    }
+    let reason = rejection.expect("a 1-slot queue must reject one of 4 submissions");
+    assert!(
+        reason.contains("queue full"),
+        "reason names the limit: {reason}"
+    );
+    assert!(reason.contains("retry"), "reason says what to do: {reason}");
+    assert!(counter(&daemon, "serve_jobs_rejected") >= 1);
+    daemon.stop();
+}
+
+/// A queued job can be cancelled; its id answers `status` as cancelled
+/// and it never completes.
+#[test]
+fn queued_jobs_are_cancellable() {
+    let daemon = Daemon::start(local_config("127.0.0.1:0")).unwrap();
+    let mut c = Client::connect(daemon.addr()).unwrap();
+    // Enough work ahead of it that the target is still queued when the
+    // cancel arrives.
+    let blocker = editdist_spec(&[b'x'; 300], &[b'y'; 280], 8);
+    let Response::Accepted { job: j0, .. } = c.submit("alice", false, blocker).unwrap() else {
+        panic!()
+    };
+    let spec = editdist_spec(b"cancel me", b"before i run", 3);
+    let Response::Accepted { job, .. } = c.submit("alice", false, spec).unwrap() else {
+        panic!()
+    };
+    match c.cancel(job).unwrap() {
+        Response::Cancelled { ok: true, .. } => {
+            let Response::Status { state, .. } = c.status(job).unwrap() else {
+                panic!()
+            };
+            assert_eq!(state, JobState::Cancelled);
+        }
+        // The scheduler may have already grabbed it — then the cancel
+        // honestly reports failure instead.
+        Response::Cancelled { ok: false, .. } => {}
+        other => panic!("unexpected cancel answer: {other:?}"),
+    }
+    wait_done(&mut c, j0, Duration::from_secs(60));
+    daemon.stop();
+}
+
+/// The crash-recovery acceptance scenario, in-process: a state directory
+/// holding durably accepted but unfinished specs (exactly what a daemon
+/// killed with -9 mid-queue leaves behind) is fully completed by a fresh
+/// daemon on startup, bit-identical to the sequential references, with
+/// duplicate specs re-coalescing rather than recomputing.
+#[test]
+fn restart_completes_accepted_jobs_bit_identically() {
+    let dir = tmp_dir("recover");
+    let specs = [
+        editdist_spec(b"first accepted job", b"lost to a kill -9", 4),
+        editdist_spec(b"second accepted job", b"also never ran", 4),
+        // A duplicate of the first: recovery must coalesce or cache-hit
+        // it, not compute it twice.
+        editdist_spec(b"first accepted job", b"lost to a kill -9", 4),
+    ];
+    {
+        // Simulate the dead daemon's durable footprint: specs persisted
+        // at acceptance, no results.
+        let store = JobStore::open(&dir).unwrap();
+        for (i, spec) in specs.iter().enumerate() {
+            store.persist_spec(i as u64 + 1, "alice", spec).unwrap();
+        }
+    }
+
+    let mut cfg = local_config("127.0.0.1:0");
+    cfg.state_dir = Some(dir.clone());
+    let daemon = Daemon::start(cfg).unwrap();
+    assert_eq!(counter(&daemon, "serve_jobs_recovered"), 3);
+
+    let mut c = Client::connect(daemon.addr()).unwrap();
+    for (i, spec) in specs.iter().enumerate() {
+        let r = wait_done(&mut c, i as u64 + 1, Duration::from_secs(60));
+        assert_eq!(
+            r.crc,
+            reference_crc(spec),
+            "recovered job {} must match its sequential reference",
+            i + 1
+        );
+    }
+    // Two distinct problems — the duplicate pair computed once.
+    let dup = counter(&daemon, "serve_jobs_coalesced") + counter(&daemon, "serve_cache_hits");
+    assert_eq!(dup, 1, "the duplicate spec must not recompute");
+
+    // A job submitted after recovery gets an id above every recovered
+    // one — ids never collide across the crash.
+    let Response::Accepted { job, .. } = c
+        .submit("bob", true, editdist_spec(b"post-crash", b"job", 3))
+        .unwrap()
+    else {
+        panic!()
+    };
+    assert!(job > 3);
+    let Response::Done { .. } = c.read_response().unwrap() else {
+        panic!()
+    };
+    daemon.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}

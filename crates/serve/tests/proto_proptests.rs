@@ -1,0 +1,164 @@
+//! Property-based robustness tests for the daemon's client protocol,
+//! held to the same standard as the runtime's `JobSpec`: every message
+//! roundtrips exactly, every byte-length prefix of an encoding fails to
+//! decode cleanly (no panic, no hostile-length allocation, no silent
+//! part-read), and any single corrupted byte of a sealed frame is
+//! caught by the CRC before the decoder ever sees it.
+
+use easyhps_core::GridDims;
+use easyhps_net::frame;
+use easyhps_runtime::remote::{JobSpec, RemoteProblem};
+use easyhps_serve::{Admission, JobResult, JobState, Request, Response, SubmitReq};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = JobSpec> {
+    (
+        proptest::collection::vec(any::<u8>(), 1..24),
+        proptest::collection::vec(any::<u8>(), 1..24),
+        1u32..12,
+        1u32..6,
+    )
+        .prop_map(|(a, b, pps, tps)| {
+            JobSpec::new(
+                RemoteProblem::EditDistance { a, b },
+                GridDims::new(pps, pps),
+                GridDims::new(tps.min(pps), tps.min(pps)),
+            )
+        })
+}
+
+fn arb_text(max: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0x20u8..0x7f, 0..max)
+        .prop_map(|v| String::from_utf8(v).expect("printable ascii"))
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (arb_spec(), arb_text(12), any::<bool>())
+            .prop_map(|(spec, tenant, wait)| { Request::Submit(SubmitReq { tenant, wait, spec }) }),
+        any::<u64>().prop_map(|job| Request::Status { job }),
+        Just(Request::Stats),
+        any::<u64>().prop_map(|job| Request::Cancel { job }),
+    ]
+}
+
+fn arb_result() -> impl Strategy<Value = JobResult> {
+    (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(rows, cols, crc)| JobResult {
+        rows,
+        cols,
+        crc,
+    })
+}
+
+fn arb_state() -> impl Strategy<Value = JobState> {
+    prop_oneof![
+        any::<u32>().prop_map(|position| JobState::Queued { position }),
+        Just(JobState::Running),
+        arb_result().prop_map(JobState::Done),
+        arb_text(40).prop_map(|error| JobState::Failed { error }),
+        Just(JobState::Cancelled),
+        Just(JobState::Unknown),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        (any::<u64>(), 0u8..3).prop_map(|(job, a)| Response::Accepted {
+            job,
+            admission: match a {
+                0 => Admission::New,
+                1 => Admission::CacheHit,
+                _ => Admission::Coalesced,
+            },
+        }),
+        arb_text(60).prop_map(|reason| Response::Rejected { reason }),
+        (any::<u64>(), arb_state()).prop_map(|(job, state)| Response::Status { job, state }),
+        arb_text(200).prop_map(|text| Response::Stats { text }),
+        (any::<u64>(), any::<bool>()).prop_map(|(job, ok)| Response::Cancelled { job, ok }),
+        (any::<u64>(), arb_result(), any::<bool>()).prop_map(|(job, result, cached)| {
+            Response::Done {
+                job,
+                result,
+                cached,
+            }
+        }),
+        arb_text(60).prop_map(|message| Response::Error { message }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Requests roundtrip exactly, and every proper prefix fails.
+    #[test]
+    fn every_request_prefix_fails_cleanly(req in arb_request()) {
+        let buf = req.encode();
+        prop_assert_eq!(&Request::decode(&buf).unwrap(), &req);
+        for cut in 0..buf.len() {
+            prop_assert!(
+                Request::decode(&buf[..cut]).is_err(),
+                "prefix of {cut}/{} bytes must not decode",
+                buf.len()
+            );
+        }
+    }
+
+    /// Responses roundtrip exactly, and every proper prefix fails.
+    #[test]
+    fn every_response_prefix_fails_cleanly(resp in arb_response()) {
+        let buf = resp.encode();
+        prop_assert_eq!(&Response::decode(&buf).unwrap(), &resp);
+        for cut in 0..buf.len() {
+            prop_assert!(
+                Response::decode(&buf[..cut]).is_err(),
+                "prefix of {cut}/{} bytes must not decode",
+                buf.len()
+            );
+        }
+    }
+
+    /// The daemon's transport seals every message in a CRC-32C frame.
+    /// Any single corrupted byte of the sealed encoding is rejected at
+    /// the frame layer — the protocol decoder never sees the damage.
+    #[test]
+    fn any_corrupted_request_byte_is_caught(
+        req in arb_request(),
+        pos_frac in 0.0f64..1.0,
+        xor in 1u8..=255,
+    ) {
+        let sealed = frame::seal_raw(&req.encode());
+        prop_assert!(frame::check(&sealed).is_ok(), "the intact frame verifies");
+        let mut buf = sealed.to_vec();
+        let pos = ((buf.len() - 1) as f64 * pos_frac) as usize;
+        buf[pos] ^= xor;
+        prop_assert!(
+            frame::check(&buf).is_err(),
+            "flip at byte {pos}/{} must not verify",
+            buf.len()
+        );
+    }
+
+    #[test]
+    fn any_corrupted_response_byte_is_caught(
+        resp in arb_response(),
+        pos_frac in 0.0f64..1.0,
+        xor in 1u8..=255,
+    ) {
+        let sealed = frame::seal_raw(&resp.encode());
+        prop_assert!(frame::check(&sealed).is_ok());
+        let mut buf = sealed.to_vec();
+        let pos = ((buf.len() - 1) as f64 * pos_frac) as usize;
+        buf[pos] ^= xor;
+        prop_assert!(frame::check(&buf).is_err(), "flip at byte {pos}");
+    }
+
+    /// Arbitrary bytes through both decoders: errors are fine, panics
+    /// and runaway allocations are not.
+    #[test]
+    fn random_bytes_never_panic_either_decoder(
+        data in proptest::collection::vec(any::<u8>(), 0..400),
+    ) {
+        let _ = Request::decode(&data);
+        let _ = Response::decode(&data);
+    }
+}

@@ -19,6 +19,16 @@
 //!               [--mode dynamic|bcw|cw] [--gap SPEC] [--min-loop N] [--sparse]
 //!               [--task-timeout-ms N] [--heartbeat-ms N] [--heartbeat-timeout-ms N]
 //! easyhps slave --connect ADDR [--rank R] [--threads N] [--sparse]
+//! easyhps serve --listen ADDR [--slaves N] [--threads N] [--fleet-listen ADDR]
+//!               [--state-dir DIR] [--queue N] [--cache-mb N] [--batch-cells N]
+//!               [--batch-jobs N] [--checkpoint-every N] [--job-metrics]
+//!               [--weight TENANT=N]...
+//! easyhps submit --connect ADDR [--tenant T] [--wait]
+//!               <editdist|lcs|nw|swgg|nussinov> [SEQ...] [--len N --seed S]
+//!               [--pps N] [--tps N] [--mode dynamic|bcw|cw] [--gap SPEC] [--sparse]
+//! easyhps status --connect ADDR JOB
+//! easyhps stats  --connect ADDR
+//! easyhps cancel --connect ADDR JOB
 //! ```
 //!
 //! `align` and `fold` run the real multilevel runtime on the input;
@@ -38,6 +48,19 @@
 //! separate runs can be compared bit for bit. Slaves connect, receive
 //! the job, and serve until the run ends. Input sequences are given as
 //! positional arguments or generated with `--len N --seed S`.
+//!
+//! `serve` runs the **DP-as-a-service daemon**: a long-lived process that
+//! owns a persistent slave fleet (in-process by default, real slave
+//! processes via `--fleet-listen`) and accepts jobs from the client
+//! subcommands over the CRC-sealed client protocol. Submissions pass
+//! admission control (bounded queue, reject-with-reason), identical
+//! in-flight jobs coalesce into one computation, finished results are
+//! served from a content-addressed cache, and `--state-dir` makes
+//! accepted jobs survive a daemon kill. `submit` ships the same workload
+//! grammar as `master` and prints the job id; `--wait` (or a cache hit)
+//! also prints the `matrix-crc:` line, identical to the one a one-shot
+//! `master` run prints for the same problem. `status`, `stats` and
+//! `cancel` poke a running daemon.
 //!
 //! Every runtime command (`align`, `fold`, `editdist`) also accepts
 //! `--metrics` (print a Prometheus-style metrics exposition of the run to
@@ -108,6 +131,15 @@ impl Args {
 
     fn has(&self, name: &str) -> bool {
         self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    /// Every value given for a repeatable flag, in order.
+    fn get_all(&self, name: &str) -> Vec<&str> {
+        self.flags
+            .iter()
+            .filter(|(n, _)| n == name)
+            .filter_map(|(_, v)| v.as_deref())
+            .collect()
     }
 
     fn get_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
@@ -450,22 +482,17 @@ fn master_inputs(
         .collect())
 }
 
-/// Master half of a multi-process run: bind, announce the address, ship
-/// the job to every slave, run, print the result CRC.
-fn cmd_master(args: &Args) -> Result<(), String> {
+/// Build a [`JobSpec`](easyhps::runtime::remote::JobSpec) from the
+/// shared workload grammar: `<editdist|lcs|nw|swgg|nussinov> [SEQ...]`
+/// plus the partitioning/schedule flags. `master` and `submit` accept
+/// exactly the same job description; `who` names the command in errors.
+fn build_job_spec(args: &Args, who: &str) -> Result<easyhps::runtime::remote::JobSpec, String> {
     use easyhps::dp::sequence::Alphabet;
-    use easyhps::runtime::remote::{
-        run_remote_master, GapSpec, JobSpec, RemoteMasterOptions, RemoteProblem, SubSpec,
-    };
-    use easyhps::runtime::ObsConfig;
-    use std::io::Write;
+    use easyhps::runtime::remote::{GapSpec, JobSpec, RemoteProblem, SubSpec};
 
-    let listen = args.get("listen").ok_or("master: --listen ADDR required")?;
-    let slaves = args.get_num("slaves", 2usize)?;
-    let workload = args
-        .positional
-        .first()
-        .ok_or("master: missing workload (editdist|lcs|nw|swgg|nussinov)")?;
+    let workload = args.positional.first().ok_or(format!(
+        "{who}: missing workload (editdist|lcs|nw|swgg|nussinov)"
+    ))?;
     let problem = match workload.as_str() {
         "editdist" => {
             let mut s = master_inputs(args, 2, Alphabet::Dna)?;
@@ -502,7 +529,7 @@ fn cmd_master(args: &Args) -> Result<(), String> {
                 b,
                 sub: SubSpec::dna(),
                 gap: GapSpec::from_penalty(&gap)
-                    .ok_or("master: custom gap closures cannot cross processes")?,
+                    .ok_or(format!("{who}: custom gap closures cannot cross processes"))?,
             }
         }
         "nussinov" => {
@@ -514,7 +541,7 @@ fn cmd_master(args: &Args) -> Result<(), String> {
         }
         other => {
             return Err(format!(
-                "master: unknown workload '{other}' (editdist|lcs|nw|swgg|nussinov)"
+                "{who}: unknown workload '{other}' (editdist|lcs|nw|swgg|nussinov)"
             ))
         }
     };
@@ -544,6 +571,19 @@ fn cmd_master(args: &Args) -> Result<(), String> {
     if args.has("sparse") {
         spec.memory = easyhps::MemoryMode::Sparse;
     }
+    Ok(spec)
+}
+
+/// Master half of a multi-process run: bind, announce the address, ship
+/// the job to every slave, run, print the result CRC.
+fn cmd_master(args: &Args) -> Result<(), String> {
+    use easyhps::runtime::remote::{run_remote_master, RemoteMasterOptions};
+    use easyhps::runtime::ObsConfig;
+    use std::io::Write;
+
+    let listen = args.get("listen").ok_or("master: --listen ADDR required")?;
+    let slaves = args.get_num("slaves", 2usize)?;
+    let spec = build_job_spec(args, "master")?;
 
     let mut opts = RemoteMasterOptions::default();
     let registry = args
@@ -624,6 +664,183 @@ fn cmd_slave(args: &Args) -> Result<(), String> {
         stats.tasks_done, stats.subtasks_done, stats.thread_failures
     );
     Ok(())
+}
+
+/// The serve daemon: bind, announce the client (and fleet) addresses,
+/// then serve jobs until killed.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use easyhps::serve::{Daemon, FleetSpec, ServeConfig};
+    use std::io::Write;
+
+    let listen = args.get("listen").ok_or("serve: --listen ADDR required")?;
+    let mut cfg = ServeConfig::new(easyhps::net::NetAddr::parse(listen)?);
+    let slaves = args.get_num("slaves", 2usize)?;
+    let threads = args
+        .get("threads")
+        .map(|t| t.parse())
+        .transpose()
+        .map_err(|_: std::num::ParseIntError| "--threads: not a number".to_string())?;
+    cfg.fleet = match args.get("fleet-listen") {
+        Some(addr) => easyhps::serve::FleetSpec::Remote {
+            listen: easyhps::net::NetAddr::parse(addr)?,
+            slaves,
+            socket: Default::default(),
+        },
+        None => FleetSpec::Local { slaves, threads },
+    };
+    cfg.state_dir = args.get("state-dir").map(Into::into);
+    cfg.queue_cap = args.get_num("queue", cfg.queue_cap)?;
+    cfg.cache_bytes = args.get_num("cache-mb", cfg.cache_bytes >> 20)? << 20;
+    cfg.batch_max_cells = args.get_num("batch-cells", cfg.batch_max_cells)?;
+    cfg.batch_max_jobs = args.get_num("batch-jobs", cfg.batch_max_jobs)?;
+    cfg.checkpoint_every = args.get_num("checkpoint-every", 0u64)?;
+    cfg.per_job_metrics = args.has("job-metrics");
+    for w in args.get_all("weight") {
+        let (tenant, weight) = w
+            .split_once('=')
+            .ok_or(format!("--weight: '{w}' is not tenant=N"))?;
+        let weight: u64 = weight
+            .parse()
+            .map_err(|_| format!("--weight: '{weight}' is not a number"))?;
+        cfg.tenant_weights.push((tenant.to_string(), weight));
+    }
+
+    let daemon = Daemon::start(cfg).map_err(|e| format!("starting daemon: {e}"))?;
+    // Addresses go out first and flushed so an orchestrating parent can
+    // read them and point clients (and remote slaves) at the daemon.
+    println!("serving: {}", daemon.addr());
+    if let Some(fleet) = daemon.fleet_addr() {
+        println!("fleet: {fleet}");
+    }
+    std::io::stdout().flush().ok();
+    // The daemon's own threads do all the work; serve until killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Connect to a daemon for one of the client subcommands.
+fn serve_client(args: &Args, who: &str) -> Result<easyhps::serve::Client, String> {
+    let addr = args
+        .get("connect")
+        .ok_or(format!("{who}: --connect ADDR required"))?;
+    easyhps::serve::Client::connect(&easyhps::net::NetAddr::parse(addr)?)
+        .map_err(|e| format!("{who}: connecting {addr}: {e}"))
+}
+
+/// Render one daemon response; terminal errors become CLI errors.
+fn print_response(resp: easyhps::serve::Response) -> Result<(), String> {
+    use easyhps::serve::{Admission, Response};
+    match resp {
+        Response::Accepted { job, admission } => {
+            let how = match admission {
+                Admission::New => "new",
+                Admission::CacheHit => "cache-hit",
+                Admission::Coalesced => "coalesced",
+            };
+            println!("accepted: job {job} ({how})");
+        }
+        Response::Rejected { reason } => return Err(format!("rejected: {reason}")),
+        Response::Status { job, state } => {
+            use easyhps::serve::JobState;
+            match state {
+                JobState::Queued { position } => {
+                    println!("job {job}: queued (position {position})")
+                }
+                JobState::Running => println!("job {job}: running"),
+                JobState::Done(r) => println!(
+                    "job {job}: done ({}x{} cells, matrix-crc {:#010x})",
+                    r.rows, r.cols, r.crc
+                ),
+                JobState::Failed { error } => println!("job {job}: failed: {error}"),
+                JobState::Cancelled => println!("job {job}: cancelled"),
+                JobState::Unknown => println!("job {job}: unknown"),
+            }
+        }
+        Response::Stats { text } => print!("{text}"),
+        Response::Cancelled { job, ok } => {
+            if !ok {
+                return Err(format!(
+                    "job {job}: not cancellable (finished, running or unknown)"
+                ));
+            }
+            println!("cancelled: job {job}");
+        }
+        Response::Done {
+            job,
+            result,
+            cached,
+        } => {
+            println!(
+                "done: job {job} ({}x{} cells{})",
+                result.rows,
+                result.cols,
+                if cached { ", cached" } else { "" }
+            );
+            // Same format as `master`'s summary line, so daemon results
+            // can be diffed against one-shot runs bit for bit.
+            println!("matrix-crc: {:#010x}", result.crc);
+        }
+        Response::Error { message } => return Err(message),
+    }
+    Ok(())
+}
+
+/// Submit a job to a daemon; with `--wait` (or on a cache hit) also
+/// print the terminal result.
+fn cmd_submit(args: &Args) -> Result<(), String> {
+    use easyhps::serve::{Admission, Response};
+
+    let spec = build_job_spec(args, "submit")?;
+    let tenant = args.get("tenant").unwrap_or("default");
+    let wait = args.has("wait");
+    let mut client = serve_client(args, "submit")?;
+    let resp = client
+        .submit(tenant, wait, spec)
+        .map_err(|e| format!("submit: {e}"))?;
+    let follow_up = wait
+        || matches!(
+            resp,
+            Response::Accepted {
+                admission: Admission::CacheHit,
+                ..
+            }
+        );
+    print_response(resp)?;
+    if follow_up {
+        let done = client
+            .read_response()
+            .map_err(|e| format!("submit: waiting for result: {e}"))?;
+        print_response(done)?;
+    }
+    Ok(())
+}
+
+fn cmd_status(args: &Args) -> Result<(), String> {
+    let job = args
+        .positional
+        .first()
+        .ok_or("status: missing job id")?
+        .parse()
+        .map_err(|_| "status: job id is not a number")?;
+    let mut client = serve_client(args, "status")?;
+    print_response(client.status(job).map_err(|e| format!("status: {e}"))?)
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let mut client = serve_client(args, "stats")?;
+    print_response(client.stats().map_err(|e| format!("stats: {e}"))?)
+}
+
+fn cmd_cancel(args: &Args) -> Result<(), String> {
+    let job = args
+        .positional
+        .first()
+        .ok_or("cancel: missing job id")?
+        .parse()
+        .map_err(|_| "cancel: job id is not a number")?;
+    let mut client = serve_client(args, "cancel")?;
+    print_response(client.cancel(job).map_err(|e| format!("cancel: {e}"))?)
 }
 
 /// Exit code for a set of stress violations: 0 = pass, 2 = hang,
@@ -761,8 +978,8 @@ fn cmd_stress(args: &Args) -> Result<ExitCode, String> {
     }
 }
 
-const USAGE: &str = "usage: easyhps <align|fold|editdist|sim|analyze|stress|master|slave> [args]  \
-     (see --help in source docs)";
+const USAGE: &str = "usage: easyhps <align|fold|editdist|sim|analyze|stress|master|slave\
+|serve|submit|status|stats|cancel> [args]  (see --help in source docs)";
 
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
@@ -780,6 +997,8 @@ fn main() -> ExitCode {
         "resume",
         "kill-master",
         "sparse",
+        "wait",
+        "job-metrics",
     ];
     let result = Args::parse(argv, &booleans).and_then(|args| match cmd.as_str() {
         "align" => cmd_align(&args).map(|()| ExitCode::SUCCESS),
@@ -790,6 +1009,11 @@ fn main() -> ExitCode {
         "stress" => cmd_stress(&args),
         "master" => cmd_master(&args).map(|()| ExitCode::SUCCESS),
         "slave" => cmd_slave(&args).map(|()| ExitCode::SUCCESS),
+        "serve" => cmd_serve(&args).map(|()| ExitCode::SUCCESS),
+        "submit" => cmd_submit(&args).map(|()| ExitCode::SUCCESS),
+        "status" => cmd_status(&args).map(|()| ExitCode::SUCCESS),
+        "stats" => cmd_stats(&args).map(|()| ExitCode::SUCCESS),
+        "cancel" => cmd_cancel(&args).map(|()| ExitCode::SUCCESS),
         other => Err(format!("unknown command '{other}'\n{USAGE}")),
     });
     match result {

@@ -21,6 +21,9 @@
 //!   (Chrome trace-event) export (`easyhps-obs`);
 //! * [`runtime`] — the master/slave runtime and the [`EasyHps`] user API
 //!   (`easyhps-runtime`);
+//! * [`serve`] — the multi-job daemon: admission control, weighted-fair
+//!   scheduling, request coalescing and a content-addressed result cache
+//!   over a persistent slave fleet (`easyhps-serve`);
 //! * [`sim`] — the deterministic cluster simulator regenerating the paper's
 //!   figures (`easyhps-sim`);
 //! * [`stress`] — the seeded schedule-stress harness driving the real
@@ -52,6 +55,7 @@ pub use easyhps_dp as dp;
 pub use easyhps_net as net;
 pub use easyhps_obs as obs;
 pub use easyhps_runtime as runtime;
+pub use easyhps_serve as serve;
 pub use easyhps_sim as sim;
 pub use easyhps_stress as stress;
 

@@ -1,0 +1,289 @@
+//! Process-level end-to-end tests for DP-as-a-service: the `easyhps
+//! serve` daemon and its client subcommands as *real OS processes*
+//! joined only by sockets.
+//!
+//! These are the acceptance drills for the daemon:
+//!
+//! * N concurrent `easyhps submit --wait` child processes with duplicate
+//!   jobs all complete bit-identical to the sequential kernel, and the
+//!   daemon's `serve_cache_hits`/`serve_jobs_coalesced` counters prove
+//!   the duplicates collapsed into one computation;
+//! * `kill -9` on the daemon mid-queue, then a restart on the same state
+//!   directory: every job whose acceptance was acknowledged completes,
+//!   bit-identical to its sequential reference.
+
+#![cfg(unix)]
+
+use easyhps::dp::DpProblem;
+use easyhps::dp::EditDistance;
+use easyhps::net::crc32c;
+use easyhps::TileRegion;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_easyhps");
+
+/// The `matrix-crc:` value the daemon must report for an editdist job on
+/// `(a, b)`: CRC of the sequential kernel's full-matrix encoding.
+fn expected_crc(a: &str, b: &str) -> String {
+    let m = EditDistance::new(a.as_bytes().to_vec(), b.as_bytes().to_vec()).solve_sequential();
+    let d = m.dims();
+    format!(
+        "{:#010x}",
+        crc32c(&m.encode_region(TileRegion::new(0, d.rows, 0, d.cols)))
+    )
+}
+
+/// A spawned `easyhps serve` whose `serving:` line has been consumed.
+/// Killed on drop so a failing test never leaks the process.
+struct DaemonProc {
+    child: Child,
+    addr: String,
+}
+
+impl DaemonProc {
+    /// SIGKILL the daemon — the crash being drilled. Dropping afterwards
+    /// is harmless (killing a reaped child is a no-op).
+    fn kill9(&mut self) {
+        self.child.kill().expect("SIGKILL daemon");
+        self.child.wait().expect("reap daemon");
+    }
+}
+
+impl Drop for DaemonProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_daemon(state_dir: &str, extra: &[&str]) -> DaemonProc {
+    let mut child = Command::new(BIN)
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--slaves",
+            "2",
+            "--state-dir",
+            state_dir,
+        ])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn daemon");
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).expect("read serving line");
+    assert!(n > 0, "daemon exited before printing a serving line");
+    let addr = line
+        .strip_prefix("serving: ")
+        .unwrap_or_else(|| panic!("unexpected first line {line:?}"))
+        .trim()
+        .to_string();
+    DaemonProc { child, addr }
+}
+
+/// Run a client subcommand to completion, asserting success; returns
+/// stdout.
+fn client(args: &[&str]) -> String {
+    let out = Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("run client command");
+    assert!(
+        out.status.success(),
+        "`easyhps {}` failed:\nstdout: {}\nstderr: {}",
+        args.join(" "),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+fn submit_wait(addr: &str, tenant: &str, a: &str, b: &str) -> Child {
+    Command::new(BIN)
+        .args([
+            "submit",
+            "--connect",
+            addr,
+            "--tenant",
+            tenant,
+            "--wait",
+            "editdist",
+            a,
+            b,
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn submit")
+}
+
+fn line_value<'a>(output: &'a str, prefix: &str) -> &'a str {
+    output
+        .lines()
+        .find_map(|l| l.strip_prefix(prefix))
+        .unwrap_or_else(|| panic!("no `{prefix}` line in {output:?}"))
+        .trim()
+}
+
+/// Value of a plain counter in the `stats` exposition.
+fn stat(stats: &str, name: &str) -> u64 {
+    stats
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .map(|v| v.trim().parse().expect("counter value"))
+        .unwrap_or(0)
+}
+
+/// Six concurrent submissions from six child processes — four of them
+/// the identical job — all complete with the sequential kernel's exact
+/// CRC, and the counters show the four duplicates cost one computation.
+#[test]
+fn concurrent_duplicate_submissions_collapse_into_one_computation() {
+    let dir = std::env::temp_dir().join(format!("easyhps-serve-e2e-co-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let daemon = spawn_daemon(&dir.display().to_string(), &[]);
+
+    let dup = ("the shared submission text", "every tenant wants this one");
+    let solo = ("a different job entirely", "computed on its own");
+    let want_dup = expected_crc(dup.0, dup.1);
+    let want_solo = expected_crc(solo.0, solo.1);
+
+    let mut children = Vec::new();
+    for tenant in ["alice", "bob", "carol", "dave"] {
+        children.push((
+            want_dup.clone(),
+            submit_wait(&daemon.addr, tenant, dup.0, dup.1),
+        ));
+    }
+    children.push((
+        want_solo.clone(),
+        submit_wait(&daemon.addr, "alice", solo.0, solo.1),
+    ));
+    children.push((
+        expected_crc(solo.1, solo.0),
+        submit_wait(&daemon.addr, "bob", solo.1, solo.0),
+    ));
+
+    for (want, child) in children {
+        let out = child.wait_with_output().expect("reap submit");
+        assert!(
+            out.status.success(),
+            "submit failed:\nstdout: {}\nstderr: {}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert_eq!(
+            line_value(&stdout, "matrix-crc: "),
+            want,
+            "daemon result must match the sequential reference"
+        );
+    }
+
+    let stats = client(&["stats", "--connect", &daemon.addr]);
+    let deduped = stat(&stats, "serve_cache_hits") + stat(&stats, "serve_jobs_coalesced");
+    assert_eq!(
+        deduped, 3,
+        "4 identical submissions must cost exactly 1 computation:\n{stats}"
+    );
+    assert_eq!(stat(&stats, "serve_jobs_submitted"), 6);
+    assert_eq!(stat(&stats, "serve_jobs_failed"), 0);
+
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// SIGKILL the daemon mid-queue, restart it on the same state directory:
+/// every acknowledged job — including a long one likely caught mid-run
+/// and a duplicate pair — completes bit-identical to its sequential
+/// reference, without recomputing the duplicate.
+#[test]
+fn kill9_daemon_mid_queue_restart_completes_bit_identically() {
+    let dir = std::env::temp_dir().join(format!("easyhps-serve-e2e-k9-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.display().to_string();
+
+    // Small checkpoint cadence so even the long job's partial progress
+    // survives the kill.
+    let mut daemon = spawn_daemon(&dir_s, &["--checkpoint-every", "4"]);
+
+    // A long fleet-path job first (likely mid-run when the kill lands),
+    // then small distinct jobs, then a duplicate pair — all accepted
+    // (durably, by protocol: the daemon persists before acknowledging).
+    let long_a = "x".repeat(300);
+    let long_b = "y".repeat(290);
+    let mut jobs: Vec<(u64, String)> = Vec::new();
+    let mut accept = |tenant: &str, a: &str, b: &str, extra: &[&str]| {
+        let mut args = vec![
+            "submit",
+            "--connect",
+            &daemon.addr,
+            "--tenant",
+            tenant,
+            "editdist",
+            a,
+            b,
+        ];
+        args.extend_from_slice(extra);
+        let out = client(&args);
+        let id: u64 = line_value(&out, "accepted: job ")
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .expect("job id");
+        jobs.push((id, expected_crc(a, b)));
+    };
+    accept("alice", &long_a, &long_b, &["--pps", "8", "--tps", "4"]);
+    accept(
+        "alice",
+        "first small job",
+        "queued behind the long one",
+        &[],
+    );
+    accept("bob", "second small job", "also waiting its turn", &[]);
+    accept("bob", "the duplicated job", "accepted twice", &[]);
+    accept("carol", "the duplicated job", "accepted twice", &[]);
+
+    // kill -9, mid-queue: the long job is at best part-done, the small
+    // ones still waiting.
+    daemon.kill9();
+
+    // Restart on the same state directory (fresh port).
+    let daemon2 = spawn_daemon(&dir_s, &["--checkpoint-every", "4"]);
+    let stats = client(&["stats", "--connect", &daemon2.addr]);
+    assert!(
+        stat(&stats, "serve_jobs_recovered") >= 1,
+        "restart must recover the unfinished jobs:\n{stats}"
+    );
+
+    // Every acknowledged job completes with its exact reference CRC.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    for (id, want) in &jobs {
+        loop {
+            let out = client(&["status", "--connect", &daemon2.addr, &id.to_string()]);
+            if let Some(rest) = out.trim().split("matrix-crc ").nth(1) {
+                let crc = rest.trim_end_matches(')').trim();
+                assert_eq!(crc, want, "job {id} must recover bit-identical");
+                break;
+            }
+            assert!(
+                !out.contains("failed"),
+                "job {id} failed after restart: {out}"
+            );
+            assert!(
+                Instant::now() < deadline,
+                "job {id} not done after restart: {out}"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    drop(daemon2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
