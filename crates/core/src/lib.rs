@@ -52,6 +52,7 @@ mod model;
 mod parser;
 mod pattern;
 pub mod patterns;
+pub mod sched;
 mod schedule;
 mod trace;
 

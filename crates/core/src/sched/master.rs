@@ -1,0 +1,997 @@
+//! The master scheduler (paper §V-B, Figs. 9-10) as a pure state machine.
+//!
+//! Everything the old threaded master decided — dispatch and DONE
+//! accounting, the overdue drain, slow-vs-dead exclusion and re-admission,
+//! speculative dispatch when every slave looks dead, static→dynamic
+//! orphan fallback, budget stop, teardown drain — lives here, keyed only
+//! by the event stream. Time is a `u64` of nanoseconds since run start,
+//! carried in events; the machine never reads a clock. The fault-tolerance
+//! sweep that used to be a separate thread racing the scheduling loop is
+//! now the [`MasterEvent::FtTick`] event, fired by the driver at
+//! `SchedParams::ft_poll` cadence — the FT-vs-main-loop interleaving class
+//! is gone by construction, and the explorer can place an `FtTick`
+//! anywhere it likes.
+
+use super::{pick_task, RegisterTable, SchedParams, SchedViolation};
+use crate::{DagParser, ScheduleMode, TaskDag, VertexId};
+
+/// How a reliable send was lost (mirror of the transport's failure
+/// reasons, kept transport-free so the machine does not depend on the
+/// network crate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendFailKind {
+    /// The peer's endpoint is gone for good; it can never ack again.
+    Unreachable,
+    /// The retry budget ran out without an ack; the peer may still live.
+    NoAck,
+}
+
+/// Input to the master scheduler. All times are nanoseconds since run
+/// start (the driver's epoch).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MasterEvent {
+    /// One scheduling pass: sync liveness, re-admit, dispatch to idle
+    /// slaves, check for termination.
+    Tick {
+        /// Now, in ns since run start.
+        now_ns: u64,
+    },
+    /// One fault-tolerance sweep: drain overdue sub-tasks, judge liveness
+    /// of every slave.
+    FtTick {
+        /// Now, in ns since run start.
+        now_ns: u64,
+    },
+    /// A frame of any kind was heard from `slave` at `at_ns` (the
+    /// driver's liveness observation — heartbeats, acks, anything).
+    Heard {
+        /// Slave index (rank - 1).
+        slave: usize,
+        /// Observation time, ns since run start.
+        at_ns: u64,
+    },
+    /// The slave announced idleness.
+    Idle {
+        /// Slave index.
+        slave: usize,
+    },
+    /// The slave reported a completed sub-task.
+    Done {
+        /// Slave index.
+        slave: usize,
+        /// Dense id of the completed master-DAG vertex.
+        task: u32,
+    },
+    /// An [`MasterAction::Assign`] could not even be handed to the
+    /// transport (the slave's channel is gone). Rolls the dispatch back:
+    /// the task returns to the computable stack untouched and the slave
+    /// is permanently out.
+    AssignRejected {
+        /// Slave index.
+        slave: usize,
+        /// The task of the rejected assignment.
+        task: u32,
+    },
+    /// A previously accepted reliable send was abandoned by the transport
+    /// (retry budget exhausted or peer unreachable). `assign_task` names
+    /// the in-flight assignment if the lost send was an ASSIGN.
+    SendFailed {
+        /// Slave index.
+        slave: usize,
+        /// Task of the lost ASSIGN, if the send was one.
+        assign_task: Option<u32>,
+        /// Why the transport gave up.
+        reason: SendFailKind,
+        /// Now, in ns since run start.
+        now_ns: u64,
+    },
+    /// The driver enters teardown: stop dispatching, keep accepting
+    /// completions still in flight.
+    Drain,
+}
+
+/// Effect the driver must perform, in order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MasterAction {
+    /// Send an ASSIGN for `task` to `slave` (build the payload, record
+    /// the dispatch instant). If the transport refuses outright, feed
+    /// [`MasterEvent::AssignRejected`] back.
+    Assign {
+        /// Slave index.
+        slave: usize,
+        /// Dense id of the assigned master-DAG vertex.
+        task: u32,
+    },
+    /// The completion of `task` by `slave` is authentic: decode the
+    /// result into the matrix, close the trace span.
+    Accept {
+        /// Slave index.
+        slave: usize,
+        /// Completed task.
+        task: u32,
+    },
+    /// The completion was a stale duplicate (redistributed task): count
+    /// it, touch nothing.
+    Stale {
+        /// Slave index.
+        slave: usize,
+        /// Task of the stale completion.
+        task: u32,
+    },
+    /// `task` timed out and was taken back for redistribution.
+    Redispatch {
+        /// The overdue task.
+        task: u32,
+    },
+    /// The ASSIGN of `task` was abandoned in flight; the dispatch was
+    /// rolled back — clear any driver-side start record.
+    CancelAssign {
+        /// The rolled-back task.
+        task: u32,
+    },
+    /// `slave` was excluded from scheduling.
+    Exclude {
+        /// Slave index.
+        slave: usize,
+    },
+    /// A dead-marked `slave` proved alive and rejoined the schedule.
+    Readmit {
+        /// Slave index.
+        slave: usize,
+    },
+    /// Every task has completed; the run is done.
+    Finished,
+    /// The tile budget is reached; stop dispatching and drain.
+    BudgetStop,
+    /// Every slave is permanently unreachable; the run cannot finish.
+    AllSlavesDead,
+}
+
+/// The machine's own counters, mirroring `MasterStats` semantics. The
+/// conservation invariant `dispatched == (completed - resumed) +
+/// redispatched` holds at quiescence by construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedCounters {
+    /// Sub-tasks dispatched (including re-dispatches).
+    pub dispatched: u64,
+    /// Sub-tasks taken back for redistribution (timeout or lost ASSIGN).
+    pub redispatched: u64,
+    /// Completions accepted (excluding resumed).
+    pub completed: u64,
+    /// Sub-tasks preloaded from a checkpoint.
+    pub resumed: u64,
+    /// Stale duplicate completions ignored.
+    pub stale: u64,
+    /// Reliable sends the transport abandoned or rejected.
+    pub send_failures: u64,
+    /// Slaves declared dead.
+    pub exclusions: u64,
+    /// Dead-marked slaves re-admitted.
+    pub readmissions: u64,
+}
+
+/// An in-flight dispatch: virtual-time twin of the runtime's overtime
+/// queue entry.
+#[derive(Clone, Copy, Debug)]
+struct Overtime {
+    task: u32,
+    slave: u32,
+    started_ns: u64,
+}
+
+/// The master-side scheduling state machine. See the module docs for the
+/// event/action contract; the threaded runtime, the simulator and the
+/// explorer all drive this same struct.
+#[derive(Clone, Debug)]
+pub struct MasterSched {
+    parser: DagParser,
+    register: RegisterTable,
+    overtime: Vec<Overtime>,
+    mode: ScheduleMode,
+    tile_cols: u32,
+    n_slaves: usize,
+    task_timeout_ns: u64,
+    heartbeat_timeout_ns: u64,
+    budget: Option<u64>,
+    /// Presumed-alive flag per slave (re-admittable).
+    alive: Vec<bool>,
+    /// Permanently gone: the slave's endpoint was dropped. Never
+    /// re-admitted.
+    unreachable: Vec<bool>,
+    /// Idle flag per slave (set by IDLE/DONE, cleared by dispatch).
+    idle: Vec<bool>,
+    /// When each slave was last heard from, ns since run start. Seeded
+    /// with 0 (the run start) so a not-yet-heard slave gets a startup
+    /// grace of one `heartbeat_timeout` instead of counting as silent.
+    last_seen: Vec<Option<u64>>,
+    draining: bool,
+    counters: SchedCounters,
+}
+
+impl MasterSched {
+    /// Machine for `n_slaves` slaves draining `dag` under `mode`, with an
+    /// optional tile budget (resumed tiles count toward it).
+    pub fn new(
+        dag: &TaskDag,
+        n_slaves: usize,
+        mode: ScheduleMode,
+        params: &SchedParams,
+        budget: Option<u64>,
+    ) -> Self {
+        assert!(n_slaves > 0, "need at least one slave");
+        Self {
+            parser: DagParser::new(dag),
+            register: RegisterTable::new(dag.len()),
+            overtime: Vec::new(),
+            mode,
+            tile_cols: dag.dims().cols,
+            n_slaves,
+            task_timeout_ns: params.task_timeout_ns(),
+            heartbeat_timeout_ns: params.heartbeat_timeout_ns(),
+            budget,
+            alive: vec![true; n_slaves],
+            unreachable: vec![false; n_slaves],
+            idle: vec![false; n_slaves],
+            last_seen: vec![Some(0); n_slaves],
+            draining: false,
+            counters: SchedCounters::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn counters(&self) -> SchedCounters {
+        self.counters
+    }
+
+    /// Whether every task has completed.
+    pub fn is_done(&self) -> bool {
+        self.parser.is_done()
+    }
+
+    /// Per-slave liveness view (true = presumed alive).
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Fast-forward one checkpointed task. The driver walks a topological
+    /// order restricted to the checkpoint's finished set; a set that is
+    /// not ancestor-closed surfaces here as a violation.
+    pub fn preload_finished(&mut self, dag: &TaskDag, v: VertexId) -> Result<(), SchedViolation> {
+        let claimed = self
+            .parser
+            .pop_computable_matching(|x| x == v)
+            .ok_or_else(|| SchedViolation::new("checkpointed set must be ancestor-closed", v))?;
+        self.parser
+            .complete(dag, claimed, None)
+            .map_err(|_| SchedViolation::new("claimed preload task completes", v))?;
+        self.counters.resumed += 1;
+        Ok(())
+    }
+
+    /// Whether `slave` has been silent past the heartbeat timeout
+    /// (measured from run start when it was never heard from).
+    fn silent(&self, slave: usize, now_ns: u64) -> bool {
+        self.last_seen[slave].is_none_or(|t| now_ns.saturating_sub(t) > self.heartbeat_timeout_ns)
+    }
+
+    /// Exclude `slave` from scheduling; true if this call excluded it.
+    fn exclude(&mut self, slave: usize, out: &mut Vec<MasterAction>) {
+        if self.alive[slave] {
+            self.alive[slave] = false;
+            self.counters.exclusions += 1;
+            out.push(MasterAction::Exclude { slave });
+        }
+    }
+
+    fn budget_reached(&self) -> bool {
+        self.budget
+            .is_some_and(|b| self.counters.completed + self.counters.resumed >= b)
+    }
+
+    /// Feed one event; returns the actions the driver must perform, in
+    /// order.
+    pub fn on_event(
+        &mut self,
+        dag: &TaskDag,
+        ev: MasterEvent,
+    ) -> Result<Vec<MasterAction>, SchedViolation> {
+        let mut out = Vec::new();
+        match ev {
+            MasterEvent::Tick { now_ns } => self.tick(dag, now_ns, &mut out),
+            MasterEvent::FtTick { now_ns } => self.ft_tick(dag, now_ns, &mut out)?,
+            MasterEvent::Heard { slave, at_ns } => {
+                if slave < self.n_slaves {
+                    self.last_seen[slave] = Some(at_ns);
+                }
+            }
+            MasterEvent::Idle { slave } => {
+                if slave < self.n_slaves {
+                    self.idle[slave] = true;
+                }
+            }
+            MasterEvent::Done { slave, task } => {
+                if slave < self.n_slaves {
+                    self.done(dag, slave, task, &ev, &mut out)?;
+                }
+            }
+            MasterEvent::AssignRejected { slave, task } => {
+                if slave >= self.n_slaves {
+                    return Err(SchedViolation::new(
+                        "rejected assign names unknown slave",
+                        ev,
+                    ));
+                }
+                // The task was never dispatched: back onto the computable
+                // stack untouched, and the dispatch un-counted. The slave's
+                // channel is gone for good.
+                self.register.cancel(task);
+                self.overtime.retain(|e| e.task != task);
+                self.parser
+                    .fail(dag, VertexId(task))
+                    .map_err(|_| SchedViolation::new("rejected assignment was not running", ev))?;
+                self.counters.dispatched -= 1;
+                self.counters.send_failures += 1;
+                self.idle[slave] = true;
+                self.unreachable[slave] = true;
+                self.exclude(slave, &mut out);
+            }
+            MasterEvent::SendFailed {
+                slave,
+                assign_task,
+                reason,
+                now_ns,
+            } => {
+                if slave < self.n_slaves {
+                    self.send_failed(dag, slave, assign_task, reason, now_ns, &mut out)?;
+                }
+            }
+            MasterEvent::Drain => self.draining = true,
+        }
+        Ok(out)
+    }
+
+    /// One scheduling pass (the body the old threaded loop ran under its
+    /// lock): re-admit wrongly excluded slaves, stop on done/budget,
+    /// dispatch to idle live slaves, give up only when every channel is
+    /// permanently gone.
+    fn tick(&mut self, dag: &TaskDag, now_ns: u64, out: &mut Vec<MasterAction>) {
+        // Re-admission: a dead-marked slave that was heard from recently
+        // (and whose channel still exists) was slow or unlucky, not dead.
+        for w in 0..self.n_slaves {
+            if !self.alive[w] && !self.unreachable[w] && !self.silent(w, now_ns) {
+                self.alive[w] = true;
+                self.counters.readmissions += 1;
+                out.push(MasterAction::Readmit { slave: w });
+            }
+        }
+
+        // Stop *before* dispatching: once the budget is reached no new
+        // work may start, so every in-flight completion can be drained
+        // into the checkpoint during teardown.
+        if self.parser.is_done() {
+            out.push(MasterAction::Finished);
+            return;
+        }
+        if self.budget_reached() {
+            out.push(MasterAction::BudgetStop);
+            return;
+        }
+        if self.draining {
+            return;
+        }
+
+        // Dispatch computable sub-tasks to idle live slaves. When *every*
+        // slave is presumed dead but some channels are still open,
+        // dispatch speculatively to the silent-but-reachable ones: a slave
+        // whose heartbeats are lost will ACK the ASSIGN and be re-admitted,
+        // while a truly hung one exhausts the retry budget, turns
+        // unreachable, and the run fails fast below.
+        let alive_now = self.alive.clone();
+        let none_alive = alive_now.iter().all(|a| !a);
+        for w in 0..self.n_slaves {
+            let speculative = none_alive && !self.unreachable[w];
+            if !self.idle[w] || !(alive_now[w] || speculative) {
+                continue;
+            }
+            let picked = if speculative {
+                self.parser.pop_computable()
+            } else {
+                // Orphan fallback: a statically-owned task whose owner is
+                // excluded would otherwise never be dispatchable.
+                pick_task(
+                    &mut self.parser,
+                    dag,
+                    self.mode,
+                    self.tile_cols,
+                    self.n_slaves as u32,
+                    w as u32,
+                    Some(&|o| !alive_now[o as usize]),
+                )
+            };
+            if let Some(v) = picked {
+                self.register.register(v.0, w as u32);
+                self.overtime.push(Overtime {
+                    task: v.0,
+                    slave: w as u32,
+                    started_ns: now_ns,
+                });
+                self.idle[w] = false;
+                self.counters.dispatched += 1;
+                out.push(MasterAction::Assign {
+                    slave: w,
+                    task: v.0,
+                });
+            }
+        }
+
+        // Give up only when every slave is *unreachable* — its channel is
+        // gone for good. Merely-silent slaves can be heard again and
+        // re-admitted (and the speculative dispatch above actively probes
+        // them), so presumed-dead is not a terminal state on its own.
+        if self.unreachable.iter().all(|u| *u) {
+            out.push(MasterAction::AllSlavesDead);
+        }
+    }
+
+    /// One fault-tolerance sweep (step g of the paper's workflow):
+    /// redistribute overdue sub-tasks; exclude a slave only when the
+    /// heartbeat record says it is dead, not merely slow.
+    fn ft_tick(
+        &mut self,
+        dag: &TaskDag,
+        now_ns: u64,
+        out: &mut Vec<MasterAction>,
+    ) -> Result<(), SchedViolation> {
+        let mut overdue = Vec::new();
+        self.overtime.retain(|e| {
+            if now_ns.saturating_sub(e.started_ns) >= self.task_timeout_ns {
+                overdue.push(*e);
+                false
+            } else {
+                true
+            }
+        });
+        for e in overdue {
+            if self.register.accepts(e.task, e.slave) {
+                self.register.cancel(e.task);
+                self.parser.fail(dag, VertexId(e.task)).map_err(|_| {
+                    SchedViolation::new(
+                        "overdue task was not running",
+                        MasterEvent::FtTick { now_ns },
+                    )
+                })?;
+                self.counters.redispatched += 1;
+                out.push(MasterAction::Redispatch { task: e.task });
+            }
+        }
+        // Liveness is judged for every slave, not only owners of overdue
+        // work: a slave that crashes while holding nothing overdue (its
+        // task already redispatched while it was merely slow) would
+        // otherwise never be excluded — and in static modes its owned
+        // tiles would never fall back to the survivors (deadlock, found
+        // by `easyhps stress`).
+        for w in 0..self.n_slaves {
+            if self.unreachable[w] || self.silent(w, now_ns) {
+                self.exclude(w, out);
+            }
+        }
+        Ok(())
+    }
+
+    /// A DONE frame: authenticate against the register table; accept or
+    /// count stale. Identical in the running and draining phases — a
+    /// budget stop keeps accepting completions still in flight so they
+    /// land in the checkpoint instead of being recomputed after resume.
+    fn done(
+        &mut self,
+        dag: &TaskDag,
+        slave: usize,
+        task: u32,
+        ev: &MasterEvent,
+        out: &mut Vec<MasterAction>,
+    ) -> Result<(), SchedViolation> {
+        self.idle[slave] = true;
+        if self.register.accepts(task, slave as u32) {
+            self.register.cancel(task);
+            self.overtime.retain(|e| e.task != task);
+            self.parser
+                .complete(dag, VertexId(task), None)
+                .map_err(|_| {
+                    SchedViolation::new("registered completion was not running", ev.clone())
+                })?;
+            self.counters.completed += 1;
+            out.push(MasterAction::Accept { slave, task });
+        } else {
+            self.counters.stale += 1;
+            out.push(MasterAction::Stale { slave, task });
+        }
+        Ok(())
+    }
+
+    /// An abandoned reliable send: roll back the in-flight assignment (if
+    /// it was one) so the task is redistributable, and judge the slave by
+    /// its heartbeat — an unreachable peer is dead, a silent one presumed
+    /// dead (re-admitted later if it turns out merely slow).
+    fn send_failed(
+        &mut self,
+        dag: &TaskDag,
+        slave: usize,
+        assign_task: Option<u32>,
+        reason: SendFailKind,
+        now_ns: u64,
+        out: &mut Vec<MasterAction>,
+    ) -> Result<(), SchedViolation> {
+        self.counters.send_failures += 1;
+        if let Some(task) = assign_task {
+            if self.register.accepts(task, slave as u32) {
+                self.register.cancel(task);
+                self.overtime.retain(|e| e.task != task);
+                self.parser.fail(dag, VertexId(task)).map_err(|_| {
+                    SchedViolation::new(
+                        "undelivered task was not running",
+                        MasterEvent::SendFailed {
+                            slave,
+                            assign_task,
+                            reason,
+                            now_ns,
+                        },
+                    )
+                })?;
+                self.counters.redispatched += 1;
+                // The slave never saw the ASSIGN; it is not busy with it,
+                // whatever its health.
+                self.idle[slave] = true;
+                out.push(MasterAction::CancelAssign { task });
+            }
+        }
+        match reason {
+            SendFailKind::Unreachable => {
+                self.unreachable[slave] = true;
+                self.exclude(slave, out);
+            }
+            SendFailKind::NoAck => {
+                if self.silent(slave, now_ns) {
+                    self.exclude(slave, out);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::Wavefront2D;
+    use crate::{GridDims, TaskDag};
+
+    const MS: u64 = 1_000_000;
+
+    fn dag4() -> TaskDag {
+        // 2x2 wavefront: 0 -> {1, 2} -> 3.
+        TaskDag::from_pattern(&Wavefront2D::new(GridDims::new(2, 2)))
+    }
+
+    fn machine(dag: &TaskDag, slaves: usize, mode: ScheduleMode) -> MasterSched {
+        MasterSched::new(dag, slaves, mode, &SchedParams::default(), None)
+    }
+
+    fn assigns(acts: &[MasterAction]) -> Vec<(usize, u32)> {
+        acts.iter()
+            .filter_map(|a| match a {
+                MasterAction::Assign { slave, task } => Some((*slave, *task)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Run a whole event sequence, collecting every action batch.
+    fn feed(
+        m: &mut MasterSched,
+        dag: &TaskDag,
+        evs: impl IntoIterator<Item = MasterEvent>,
+    ) -> Vec<MasterAction> {
+        evs.into_iter()
+            .flat_map(|e| m.on_event(dag, e).expect("legal event sequence"))
+            .collect()
+    }
+
+    /// Regression (startup-exclusion bug): a slave nobody has heard from
+    /// yet is within the heartbeat grace window right after startup, not
+    /// "silent since forever" — the FT sweep excluded healthy
+    /// slow-starting slaves otherwise.
+    #[test]
+    fn never_heard_slave_gets_startup_grace() {
+        let dag = dag4();
+        let mut m = machine(&dag, 2, ScheduleMode::Dynamic);
+        // Within the 250 ms default timeout: nobody is excluded.
+        let acts = feed(&mut m, &dag, [MasterEvent::FtTick { now_ns: 100 * MS }]);
+        assert!(acts.is_empty(), "{acts:?}");
+        assert_eq!(m.alive(), &[true, true]);
+    }
+
+    /// The grace window still expires: a slave quiet past the heartbeat
+    /// timeout measured from run start is silent.
+    #[test]
+    fn startup_grace_expires_after_heartbeat_timeout() {
+        let dag = dag4();
+        let mut m = machine(&dag, 1, ScheduleMode::Dynamic);
+        let acts = feed(&mut m, &dag, [MasterEvent::FtTick { now_ns: 300 * MS }]);
+        assert_eq!(acts, vec![MasterAction::Exclude { slave: 0 }]);
+    }
+
+    /// Table-driven transition coverage for the PR 2/PR 4 bug classes:
+    /// each case is a pure event sequence and the actions it must end on.
+    #[test]
+    fn transition_table() {
+        struct Case {
+            name: &'static str,
+            mode: ScheduleMode,
+            events: Vec<MasterEvent>,
+            last_actions: Vec<MasterAction>,
+        }
+        let idle = |slave| MasterEvent::Idle { slave };
+        let heard = |slave, at_ns| MasterEvent::Heard { slave, at_ns };
+        let cases = [
+            Case {
+                name: "dispatch goes to the idle slave only",
+                mode: ScheduleMode::Dynamic,
+                events: vec![idle(1)],
+                // Idle itself emits nothing; the probe tick dispatches to
+                // the one idle slave.
+                last_actions: vec![MasterAction::Assign { slave: 1, task: 0 }],
+            },
+            Case {
+                name: "tick assigns the one computable source",
+                mode: ScheduleMode::Dynamic,
+                events: vec![idle(0), idle(1)],
+                last_actions: vec![MasterAction::Assign { slave: 0, task: 0 }],
+            },
+            Case {
+                name: "silent slave is excluded, heartbeat re-admits it",
+                mode: ScheduleMode::Dynamic,
+                events: vec![
+                    heard(0, 400 * MS),
+                    MasterEvent::FtTick { now_ns: 400 * MS }, // slave 1 silent since 0
+                    heard(1, 401 * MS),
+                ],
+                last_actions: vec![MasterAction::Readmit { slave: 1 }],
+            },
+            Case {
+                name: "unreachable slave is never re-admitted",
+                mode: ScheduleMode::Dynamic,
+                events: vec![
+                    MasterEvent::SendFailed {
+                        slave: 1,
+                        assign_task: None,
+                        reason: SendFailKind::Unreachable,
+                        now_ns: MS,
+                    },
+                    heard(1, 2 * MS),
+                ],
+                last_actions: vec![],
+            },
+        ];
+        for c in cases {
+            let dag = dag4();
+            let mut m = machine(&dag, 2, c.mode);
+            let mut last = Vec::new();
+            for e in c.events {
+                last = m.on_event(&dag, e).unwrap();
+            }
+            // The final probe tick surfaces re-admissions / dispatches.
+            let probe = m
+                .on_event(&dag, MasterEvent::Tick { now_ns: 402 * MS })
+                .unwrap();
+            let got: Vec<_> = last
+                .iter()
+                .chain(probe.iter())
+                .filter(|a| {
+                    matches!(
+                        a,
+                        MasterAction::Readmit { .. } | MasterAction::Assign { .. }
+                    )
+                })
+                .cloned()
+                .collect();
+            match c.name {
+                "tick assigns the one computable source" => {
+                    assert_eq!(assigns(&got), vec![(0, 0)], "{}", c.name)
+                }
+                "silent slave is excluded, heartbeat re-admits it" => {
+                    assert!(
+                        got.contains(&MasterAction::Readmit { slave: 1 }),
+                        "{}: {got:?}",
+                        c.name
+                    )
+                }
+                "unreachable slave is never re-admitted" => {
+                    assert!(
+                        !got.iter()
+                            .any(|a| matches!(a, MasterAction::Readmit { .. })),
+                        "{}: {got:?}",
+                        c.name
+                    )
+                }
+                _ => assert_eq!(got, c.last_actions, "{}", c.name),
+            }
+        }
+    }
+
+    /// Exclusion and re-admission round trip, with the dispatch shape
+    /// checked at each step.
+    #[test]
+    fn exclusion_and_readmission() {
+        let dag = dag4();
+        let mut m = machine(&dag, 2, ScheduleMode::Dynamic);
+        // Both idle; slave 0 takes the single source.
+        feed(
+            &mut m,
+            &dag,
+            [
+                MasterEvent::Idle { slave: 0 },
+                MasterEvent::Idle { slave: 1 },
+            ],
+        );
+        let acts = feed(&mut m, &dag, [MasterEvent::Tick { now_ns: MS }]);
+        assert_eq!(assigns(&acts), vec![(0, 0)]);
+        // Slave 1 goes silent past the timeout; slave 0 keeps heartbeating.
+        let now = 300 * MS;
+        feed(
+            &mut m,
+            &dag,
+            [MasterEvent::Heard {
+                slave: 0,
+                at_ns: now,
+            }],
+        );
+        let acts = feed(&mut m, &dag, [MasterEvent::FtTick { now_ns: now }]);
+        assert!(
+            acts.contains(&MasterAction::Exclude { slave: 1 }),
+            "{acts:?}"
+        );
+        assert_eq!(m.alive(), &[true, false]);
+        assert_eq!(m.counters().exclusions, 1);
+        // It speaks again: the next tick re-admits it.
+        feed(
+            &mut m,
+            &dag,
+            [MasterEvent::Heard {
+                slave: 1,
+                at_ns: now + MS,
+            }],
+        );
+        let acts = feed(
+            &mut m,
+            &dag,
+            [MasterEvent::Tick {
+                now_ns: now + 2 * MS,
+            }],
+        );
+        assert!(
+            acts.contains(&MasterAction::Readmit { slave: 1 }),
+            "{acts:?}"
+        );
+        assert_eq!(m.counters().readmissions, 1);
+        assert_eq!(m.alive(), &[true, true]);
+    }
+
+    /// Static-mode orphan fallback: the excluded owner's tiles go to a
+    /// survivor instead of livelocking the wavefront.
+    #[test]
+    fn static_orphan_falls_back_to_survivor() {
+        let dag = dag4(); // columns 0,1 -> owners 0,1 under ColumnWavefront
+        let mut m = machine(&dag, 2, ScheduleMode::ColumnWavefront);
+        // Exclude slave 0 (owner of the source column) via silence while
+        // slave 1 stays heard.
+        let now = 300 * MS;
+        feed(
+            &mut m,
+            &dag,
+            [MasterEvent::Heard {
+                slave: 1,
+                at_ns: now,
+            }],
+        );
+        let acts = feed(&mut m, &dag, [MasterEvent::FtTick { now_ns: now }]);
+        assert!(acts.contains(&MasterAction::Exclude { slave: 0 }));
+        // Slave 1 idle: it must adopt task 0 (owned by dead slave 0).
+        feed(&mut m, &dag, [MasterEvent::Idle { slave: 1 }]);
+        let acts = feed(&mut m, &dag, [MasterEvent::Tick { now_ns: now + MS }]);
+        assert_eq!(assigns(&acts), vec![(1, 0)], "orphan adopted: {acts:?}");
+    }
+
+    /// Budget stop happens *before* dispatch, and completions still in
+    /// flight are accepted during the drain.
+    #[test]
+    fn budget_stop_then_drain_accepts_inflight() {
+        let dag = dag4();
+        let mut m = MasterSched::new(
+            &dag,
+            2,
+            ScheduleMode::Dynamic,
+            &SchedParams::default(),
+            Some(1),
+        );
+        feed(
+            &mut m,
+            &dag,
+            [
+                MasterEvent::Idle { slave: 0 },
+                MasterEvent::Idle { slave: 1 },
+            ],
+        );
+        let acts = feed(&mut m, &dag, [MasterEvent::Tick { now_ns: MS }]);
+        assert_eq!(assigns(&acts), vec![(0, 0)]);
+        // Completing task 0 reaches the budget of 1.
+        let acts = feed(&mut m, &dag, [MasterEvent::Done { slave: 0, task: 0 }]);
+        assert_eq!(acts, vec![MasterAction::Accept { slave: 0, task: 0 }]);
+        let acts = feed(&mut m, &dag, [MasterEvent::Tick { now_ns: 2 * MS }]);
+        assert_eq!(
+            acts,
+            vec![MasterAction::BudgetStop],
+            "no dispatch after the budget"
+        );
+        assert_eq!(m.counters().dispatched, 1, "budget stop precedes dispatch");
+        // Teardown: draining still authenticates and accepts completions
+        // (here a stale one, since nothing else is in flight).
+        feed(&mut m, &dag, [MasterEvent::Drain]);
+        let acts = feed(&mut m, &dag, [MasterEvent::Done { slave: 1, task: 0 }]);
+        assert_eq!(acts, vec![MasterAction::Stale { slave: 1, task: 0 }]);
+        assert_eq!(m.counters().stale, 1);
+    }
+
+    /// Overdue drain redistributes and the stale duplicate from the slow
+    /// slave is rejected — at-least-once dispatch stays safe.
+    #[test]
+    fn overdue_redispatch_then_stale_duplicate() {
+        let dag = dag4();
+        let mut m = machine(&dag, 2, ScheduleMode::Dynamic);
+        feed(
+            &mut m,
+            &dag,
+            [
+                MasterEvent::Idle { slave: 0 },
+                MasterEvent::Idle { slave: 1 },
+            ],
+        );
+        feed(&mut m, &dag, [MasterEvent::Tick { now_ns: 0 }]);
+        // 31 s later the task is overdue; both slaves still heartbeat so
+        // neither is excluded — slow, not dead.
+        let late = 31_000 * MS;
+        feed(
+            &mut m,
+            &dag,
+            [
+                MasterEvent::Heard {
+                    slave: 0,
+                    at_ns: late,
+                },
+                MasterEvent::Heard {
+                    slave: 1,
+                    at_ns: late,
+                },
+            ],
+        );
+        let acts = feed(&mut m, &dag, [MasterEvent::FtTick { now_ns: late }]);
+        assert_eq!(acts, vec![MasterAction::Redispatch { task: 0 }]);
+        assert_eq!(m.counters().redispatched, 1);
+        // Redispatched to slave 1 (slave 0 is still presumed busy).
+        let acts = feed(&mut m, &dag, [MasterEvent::Tick { now_ns: late + MS }]);
+        assert_eq!(assigns(&acts), vec![(1, 0)]);
+        // The slow original completes first... as a stale duplicate.
+        let acts = feed(&mut m, &dag, [MasterEvent::Done { slave: 0, task: 0 }]);
+        assert_eq!(acts, vec![MasterAction::Stale { slave: 0, task: 0 }]);
+        // The registered copy lands.
+        let acts = feed(&mut m, &dag, [MasterEvent::Done { slave: 1, task: 0 }]);
+        assert_eq!(acts, vec![MasterAction::Accept { slave: 1, task: 0 }]);
+        let c = m.counters();
+        assert_eq!(
+            c.dispatched,
+            (c.completed - c.resumed) + c.redispatched,
+            "conservation: {c:?}"
+        );
+    }
+
+    /// A completion for a task that is not running is a structured error,
+    /// not a panic (the old `expect("registered completion is running")`).
+    #[test]
+    fn impossible_completion_is_a_violation_not_a_panic() {
+        let dag = dag4();
+        let mut m = machine(&dag, 2, ScheduleMode::Dynamic);
+        feed(&mut m, &dag, [MasterEvent::Idle { slave: 0 }]);
+        feed(&mut m, &dag, [MasterEvent::Tick { now_ns: MS }]);
+        // Forge the register into an inconsistent state to model a driver
+        // bug: complete the task twice by replaying the same Done.
+        m.on_event(&dag, MasterEvent::Done { slave: 0, task: 0 })
+            .unwrap();
+        m.register.register(0, 0); // adversarial: re-register a finished task
+        let err = m
+            .on_event(&dag, MasterEvent::Done { slave: 0, task: 0 })
+            .unwrap_err();
+        assert!(err.context.contains("not running"), "{err}");
+        assert!(err.event.contains("task: 0"), "{err}");
+    }
+
+    /// All channels permanently gone -> AllSlavesDead, but merely-silent
+    /// slaves keep the run alive (speculative dispatch probes them).
+    #[test]
+    fn all_unreachable_aborts_but_silence_does_not() {
+        let dag = dag4();
+        let mut m = machine(&dag, 2, ScheduleMode::Dynamic);
+        // Both silent past timeout: excluded, but not aborted; an idle
+        // silent slave still gets speculative work.
+        let now = 300 * MS;
+        feed(&mut m, &dag, [MasterEvent::FtTick { now_ns: now }]);
+        assert_eq!(m.alive(), &[false, false]);
+        feed(&mut m, &dag, [MasterEvent::Idle { slave: 0 }]);
+        let acts = feed(&mut m, &dag, [MasterEvent::Tick { now_ns: now }]);
+        assert_eq!(
+            assigns(&acts),
+            vec![(0, 0)],
+            "speculative dispatch: {acts:?}"
+        );
+        assert!(!acts.contains(&MasterAction::AllSlavesDead));
+        // Both channels actually gone: abort.
+        feed(
+            &mut m,
+            &dag,
+            [
+                MasterEvent::SendFailed {
+                    slave: 0,
+                    assign_task: Some(0),
+                    reason: SendFailKind::Unreachable,
+                    now_ns: now,
+                },
+                MasterEvent::SendFailed {
+                    slave: 1,
+                    assign_task: None,
+                    reason: SendFailKind::Unreachable,
+                    now_ns: now,
+                },
+            ],
+        );
+        let acts = feed(&mut m, &dag, [MasterEvent::Tick { now_ns: now + MS }]);
+        assert!(acts.contains(&MasterAction::AllSlavesDead), "{acts:?}");
+    }
+
+    /// A rejected ASSIGN rolls back completely: counters conserve and the
+    /// task is immediately redispatchable elsewhere.
+    #[test]
+    fn rejected_assign_rolls_back() {
+        let dag = dag4();
+        let mut m = machine(&dag, 2, ScheduleMode::Dynamic);
+        feed(
+            &mut m,
+            &dag,
+            [
+                MasterEvent::Idle { slave: 0 },
+                MasterEvent::Idle { slave: 1 },
+            ],
+        );
+        let acts = feed(&mut m, &dag, [MasterEvent::Tick { now_ns: MS }]);
+        assert_eq!(assigns(&acts), vec![(0, 0)]);
+        let acts = feed(
+            &mut m,
+            &dag,
+            [MasterEvent::AssignRejected { slave: 0, task: 0 }],
+        );
+        assert!(acts.contains(&MasterAction::Exclude { slave: 0 }));
+        assert_eq!(m.counters().dispatched, 0, "rolled back");
+        assert_eq!(m.counters().send_failures, 1);
+        let acts = feed(&mut m, &dag, [MasterEvent::Tick { now_ns: 2 * MS }]);
+        assert_eq!(assigns(&acts), vec![(1, 0)], "survivor takes it over");
+    }
+
+    /// Checkpoint preload fast-forwards the parser and counts resumed.
+    #[test]
+    fn preload_fast_forwards() {
+        let dag = dag4();
+        let mut m = machine(&dag, 1, ScheduleMode::Dynamic);
+        m.preload_finished(&dag, VertexId(0)).unwrap();
+        assert_eq!(m.counters().resumed, 1);
+        // A non-ancestor-closed set errors instead of panicking.
+        let err = m.preload_finished(&dag, VertexId(3)).unwrap_err();
+        assert!(err.context.contains("ancestor-closed"), "{err}");
+    }
+}

@@ -1,0 +1,81 @@
+//! The sub-task register table (paper §V-A4).
+
+/// Which executor each in-flight sub-task is registered to. A completion
+/// from a different executor (a stale duplicate after redistribution) is
+/// ignored by the scheduler — this is what makes at-least-once dispatch
+/// safe.
+#[derive(Clone, Debug)]
+pub struct RegisterTable {
+    owner: Vec<Option<u32>>,
+}
+
+impl RegisterTable {
+    /// Table for `n_tasks` sub-tasks, all unregistered.
+    pub fn new(n_tasks: usize) -> Self {
+        Self {
+            owner: vec![None; n_tasks],
+        }
+    }
+
+    /// Register `task` to `executor`, replacing any previous registration.
+    pub fn register(&mut self, task: u32, executor: u32) {
+        self.owner[task as usize] = Some(executor);
+    }
+
+    /// Cancel the registration of `task`. A task id outside the table is
+    /// a no-op: task ids arrive off the wire, so they are untrusted input
+    /// here, not an internal invariant.
+    pub fn cancel(&mut self, task: u32) {
+        if let Some(o) = self.owner.get_mut(task as usize) {
+            *o = None;
+        }
+    }
+
+    /// Current executor of `task`, if registered (and in range).
+    pub fn executor_of(&self, task: u32) -> Option<u32> {
+        self.owner.get(task as usize).copied().flatten()
+    }
+
+    /// Whether a completion of `task` by `executor` should be accepted.
+    /// An out-of-range task id is never accepted — a malformed or rogue
+    /// DONE frame must not panic the master.
+    pub fn accepts(&self, task: u32, executor: u32) -> bool {
+        self.owner
+            .get(task as usize)
+            .is_some_and(|o| *o == Some(executor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_table_accepts_only_current_owner() {
+        let mut t = RegisterTable::new(4);
+        assert_eq!(t.executor_of(2), None);
+        t.register(2, 7);
+        assert!(t.accepts(2, 7));
+        assert!(!t.accepts(2, 8));
+        // Redistribution moves ownership.
+        t.register(2, 8);
+        assert!(
+            !t.accepts(2, 7),
+            "stale executor rejected after re-registration"
+        );
+        assert!(t.accepts(2, 8));
+        t.cancel(2);
+        assert!(!t.accepts(2, 8));
+    }
+
+    #[test]
+    fn register_table_tolerates_out_of_range_task_ids() {
+        // Task ids come off the wire; an out-of-range one (malformed or
+        // rogue frame) must be rejected, not panic.
+        let mut t = RegisterTable::new(4);
+        assert!(!t.accepts(4, 0));
+        assert!(!t.accepts(u32::MAX, 0));
+        assert_eq!(t.executor_of(99), None);
+        t.cancel(99); // no-op, must not panic
+    }
+}

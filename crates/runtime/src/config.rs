@@ -2,6 +2,7 @@
 
 use crate::durable::CheckpointPolicy;
 use crate::protocol::SlaveStatsMsg;
+use easyhps_core::sched::SchedParams;
 use easyhps_core::ScheduleMode;
 use easyhps_net::RetryPolicy;
 use easyhps_obs::{EventRecorder, Registry};
@@ -70,18 +71,35 @@ impl Deployment {
     /// A small local deployment: `slaves` nodes x `threads` computing
     /// threads, fully dynamic scheduling, generous timeouts.
     pub fn local(slaves: usize, threads: usize) -> Self {
+        // The canonical policy durations live in [`SchedParams`]; the
+        // deployment defaults are that one source of truth, not a second
+        // set of literals that could drift from the simulator's.
+        let p = SchedParams::default();
         Self {
             slaves,
             threads_per_slave: threads,
             process_mode: ScheduleMode::Dynamic,
             thread_mode: ScheduleMode::Dynamic,
-            task_timeout: Duration::from_secs(30),
-            ft_poll: Duration::from_millis(20),
+            task_timeout: p.task_timeout,
+            ft_poll: p.ft_poll,
             retry: RetryPolicy::default(),
-            heartbeat_interval: Duration::from_millis(25),
-            heartbeat_timeout: Duration::from_millis(250),
+            heartbeat_interval: p.heartbeat_interval,
+            heartbeat_timeout: p.heartbeat_timeout,
             obs: ObsConfig::default(),
             checkpoint: None,
+        }
+    }
+
+    /// This deployment's scheduling-policy constants as the shared
+    /// [`SchedParams`] every scheduler driver consumes — the four knobs a
+    /// deployment can override, over the shared defaults for the rest.
+    pub fn sched_params(&self) -> SchedParams {
+        SchedParams {
+            task_timeout: self.task_timeout,
+            ft_poll: self.ft_poll,
+            heartbeat_interval: self.heartbeat_interval,
+            heartbeat_timeout: self.heartbeat_timeout,
+            ..SchedParams::default()
         }
     }
 

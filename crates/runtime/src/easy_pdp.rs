@@ -114,8 +114,16 @@ impl<P: DpProblem> EasyPdp<P> {
                 0,
             );
             // Single-level mode has no master to heartbeat.
-            execute_tile(&model, &pool, GridPos::new(0, 0), &config, &sm, &mut || {})
-        });
+            execute_tile(
+                &model,
+                &pool,
+                GridPos::new(0, 0),
+                &config,
+                &sm,
+                &mut || {},
+                None,
+            )
+        })?;
 
         Ok(PdpOutput {
             matrix: grid.into_inner().to_matrix(),

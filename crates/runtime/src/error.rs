@@ -1,5 +1,6 @@
 //! Runtime error type.
 
+use easyhps_core::sched::SchedViolation;
 use easyhps_core::PatternError;
 use easyhps_net::{NetError, WireError};
 use std::fmt;
@@ -28,6 +29,11 @@ pub enum RuntimeError {
     /// The configured deployment or partitioning is invalid (e.g. a zero
     /// or oversized `thread_partition_size`).
     InvalidConfig(String),
+    /// The scheduler state machine was fed an event it considers
+    /// impossible (e.g. a completion for a task that is not running).
+    /// Under a correct driver this is unreachable; it surfaces driver
+    /// bugs as an error return instead of a poisoned thread.
+    SchedulerInvariant(SchedViolation),
 }
 
 impl fmt::Display for RuntimeError {
@@ -44,6 +50,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Checkpoint(e) => write!(f, "checkpoint store error: {e}"),
             RuntimeError::Autotune(e) => write!(f, "autotune error: {e}"),
             RuntimeError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
+            RuntimeError::SchedulerInvariant(e) => write!(f, "{e}"),
         }
     }
 }
@@ -65,5 +72,11 @@ impl From<WireError> for RuntimeError {
 impl From<PatternError> for RuntimeError {
     fn from(e: PatternError) -> Self {
         RuntimeError::Pattern(e)
+    }
+}
+
+impl From<SchedViolation> for RuntimeError {
+    fn from(e: SchedViolation) -> Self {
+        RuntimeError::SchedulerInvariant(e)
     }
 }

@@ -50,6 +50,7 @@ mod obs;
 mod pool;
 mod protocol;
 pub mod remote;
+pub mod sched;
 mod shared_grid;
 mod slave;
 mod storage;

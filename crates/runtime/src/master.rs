@@ -1,13 +1,18 @@
-//! The master part: process-level scheduling and fault tolerance (paper
-//! §V-B, Figs. 9-10).
+//! The master part: the threaded driver of the process-level scheduler
+//! (paper §V-B, Figs. 9-10).
 //!
-//! The master scheduling loop parses the master DAG, assigns computable
-//! sub-tasks (with input strips from the global matrix) to idle slaves,
-//! collects results, and updates the DAG. A separate fault-tolerance
-//! thread scans the overtime queue: a sub-task overdue past
-//! `task_timeout` has its registration cancelled and is pushed back onto
-//! the computable stack. The sub-task register table makes duplicate
-//! completions (from slow-but-alive slaves) harmless.
+//! Every scheduling decision — dispatch and DONE accounting, the overdue
+//! drain, slow-vs-dead exclusion and re-admission, static→dynamic orphan
+//! fallback, budget stop, teardown drain — lives in the pure
+//! [`crate::sched::MasterSched`] state machine. This file is the I/O
+//! shell: it translates network frames and real timers into
+//! [`crate::sched::MasterEvent`]s, and the machine's
+//! [`crate::sched::MasterAction`]s into reliable sends, matrix writes,
+//! trace spans and metrics. The old separate fault-tolerance thread is
+//! gone: the FT sweep is the [`crate::sched::MasterEvent::FtTick`] event,
+//! fired from the single loop at `ft_poll` cadence, so the FT-vs-scheduler
+//! interleaving class no longer exists in the runtime at all (and the
+//! deterministic explorer can place the sweep anywhere it likes).
 //!
 //! Control messages travel over a [`ReliableEndpoint`]: every
 //! ASSIGN/DONE/END is sequence-numbered, acknowledged and retransmitted
@@ -31,79 +36,15 @@ use crate::checkpoint::Checkpoint;
 use crate::config::{Deployment, MasterStats};
 use crate::durable::CheckpointStore;
 use crate::obs::{lane_of, publish_endpoint_stats, registry_of, MasterMetrics, TID_FT, TID_NET};
-use crate::pool::{OvertimeQueue, RegisterTable, TaskStack};
 use crate::protocol::{tags, AssignMsg, DoneMsg, SlaveStatsMsg};
+use crate::sched::{fail_kind, MasterAction, MasterEvent, MasterSched};
 use crate::RuntimeError;
 use bytes::Bytes;
-use easyhps_core::ScheduleMode;
-use easyhps_core::{DagDataDrivenModel, DagParser, TaskDag, Trace, VertexId};
+use easyhps_core::{DagDataDrivenModel, TaskDag, Trace, VertexId};
 use easyhps_dp::{DpMatrix, DpProblem};
-use easyhps_net::{Endpoint, FailReason, NetError, Rank, ReliableEndpoint};
-use parking_lot::Mutex;
+use easyhps_net::{Endpoint, NetError, Rank, ReliableEndpoint};
 use std::collections::HashMap;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// State shared between the master scheduling loop and the
-/// fault-tolerance thread.
-struct MasterShared {
-    parser: DagParser,
-    register: RegisterTable,
-    overtime: OvertimeQueue,
-    finished: TaskStack,
-    /// Liveness per slave (index = rank - 1).
-    alive: Vec<bool>,
-    /// Permanently gone: the slave's endpoint was dropped, its channel
-    /// can never reopen. Never re-admitted.
-    unreachable: Vec<bool>,
-    /// When each slave was last heard from (any frame). Seeded with the
-    /// run start instant so a not-yet-heard slave gets a startup grace
-    /// period of one `heartbeat_timeout` instead of counting as silent.
-    last_seen: Vec<Option<Instant>>,
-    /// Registry handles shared with the scheduling loop — the counters
-    /// *are* the run's bookkeeping; [`MasterStats`] is read off them at
-    /// teardown.
-    metrics: MasterMetrics,
-}
-
-impl MasterShared {
-    /// Fresh shared state for a run over `dag` with `n_slaves` slaves.
-    /// `start` seeds every slave's `last_seen`: a slave that has not yet
-    /// said its first word is "silent since run start", not "silent since
-    /// forever" — otherwise the FT loop could exclude a healthy slave
-    /// that merely takes longer than `heartbeat_timeout` to start up.
-    fn new(dag: &TaskDag, n_slaves: usize, start: Instant, metrics: MasterMetrics) -> Self {
-        Self {
-            parser: DagParser::new(dag),
-            register: RegisterTable::new(dag.len()),
-            overtime: OvertimeQueue::new(),
-            finished: TaskStack::new(),
-            alive: vec![true; n_slaves],
-            unreachable: vec![false; n_slaves],
-            last_seen: vec![Some(start); n_slaves],
-            metrics,
-        }
-    }
-
-    /// Exclude slave `w` from scheduling; true if this call excluded it
-    /// (false when already excluded).
-    fn exclude(&mut self, w: usize) -> bool {
-        if self.alive[w] {
-            self.alive[w] = false;
-            self.metrics.exclusions.inc();
-            self.metrics.dead_slaves.add(1);
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Whether slave `w` has been silent past the heartbeat timeout
-    /// (measured from run start when it was never heard from).
-    fn silent(&self, w: usize, heartbeat_timeout: Duration) -> bool {
-        self.last_seen[w].is_none_or(|t| t.elapsed() > heartbeat_timeout)
-    }
-}
 
 /// Outcome of a master run.
 pub struct MasterOutput<C: easyhps_dp::Cell> {
@@ -123,6 +64,46 @@ pub struct MasterOutput<C: easyhps_dp::Cell> {
     /// a tile budget before completing; resume with
     /// [`crate::EasyHps::resume_from`].
     pub checkpoint: Option<Checkpoint>,
+}
+
+/// Driver-side bookkeeping for accepted completions, shared between the
+/// main loop and the teardown drain.
+struct DoneCtx<'a, C: easyhps_dp::Cell> {
+    t0: Instant,
+    started: &'a mut Vec<Option<(Instant, u64)>>,
+    trace: &'a mut Trace,
+    slot_lanes: &'a mut Vec<easyhps_obs::LaneBuf>,
+    matrix: &'a mut DpMatrix<C>,
+    mm: &'a MasterMetrics,
+    completed_tasks: &'a mut Vec<VertexId>,
+}
+
+impl<C: easyhps_dp::Cell> DoneCtx<'_, C> {
+    /// The machine accepted `msg` from slave `w`: close the trace span,
+    /// decode the result region into the global matrix, count it.
+    fn accept(&mut self, w: usize, msg: &DoneMsg) {
+        if let Some((start, start_ns)) = self.started[msg.task as usize].take() {
+            let end = Instant::now();
+            self.trace.record(
+                format!("slave{w}"),
+                "#",
+                start.duration_since(self.t0).as_nanos() as u64,
+                end.duration_since(self.t0).as_nanos() as u64,
+            );
+            self.mm
+                .tile_latency
+                .observe(end.duration_since(start).as_nanos() as u64);
+            self.slot_lanes[w].span_since(
+                "tile",
+                "master",
+                start_ns,
+                Some(("task", u64::from(msg.task))),
+            );
+        }
+        self.matrix.decode_region(msg.region, &msg.output);
+        self.mm.completed.inc();
+        self.completed_tasks.push(VertexId(msg.task));
+    }
 }
 
 /// Run the master loop to completion. `ep` must be rank 0 of a network
@@ -152,12 +133,14 @@ pub fn run_master_with<P: DpProblem>(
         return Err(RuntimeError::NoSlaves);
     }
     let t0 = Instant::now();
+    let params = config.sched_params();
     let mut rep = ReliableEndpoint::new(ep, config.retry.clone());
 
     let obs = config.obs.clone();
     let registry = registry_of(&obs);
     let mm = MasterMetrics::register(&registry);
     let mut lane = lane_of(&obs, 0, 0);
+    let mut ft_lane = lane_of(&obs, 0, TID_FT);
     rep.set_event_lane(lane_of(&obs, 0, TID_NET));
     if let Some(rec) = &obs.recorder {
         rec.name_process(0, "master");
@@ -171,14 +154,13 @@ pub fn run_master_with<P: DpProblem>(
 
     // Step a: master DAG Data Driven Model initialization (+ validation:
     // the race-freedom argument of the shared grid depends on it).
-    let dag = Arc::new(model.master_dag());
+    let dag: TaskDag = model.master_dag();
     dag.validate()?;
-    let tile_cols = dag.dims().cols;
     let n_slaves = config.slaves;
 
-    // Durable checkpoint store: opened before any thread spawns, so a
-    // refused directory (dims mismatch, prior run present without
-    // --resume) fails the run before it touches the network.
+    // Durable checkpoint store: opened before anything touches the
+    // network, so a refused directory (dims mismatch, prior run present
+    // without --resume) fails the run early.
     let dims = model.dag_size();
     let mut store = match &config.checkpoint {
         Some(pol) => Some(CheckpointStore::open(
@@ -193,63 +175,16 @@ pub fn run_master_with<P: DpProblem>(
     let mut flush_idx: usize = 0;
     let mut last_flush = t0;
 
-    let shared = Arc::new(Mutex::new(MasterShared::new(
-        &dag,
-        n_slaves,
-        t0,
-        mm.clone(),
-    )));
-
-    // Step b: start the fault-tolerance thread. It waits on a shutdown
-    // channel rather than sleeping so teardown does not pay up to one
-    // full `ft_poll` interval joining it. Overdue sub-tasks are always
-    // redistributed, but their slave is excluded only when the heartbeat
-    // record says it is dead, not merely slow.
-    let (ft_stop_tx, ft_stop_rx) = crossbeam::channel::unbounded::<()>();
-    let ft_shared = shared.clone();
-    let ft_dag = dag.clone();
-    let (timeout, poll, hb_timeout) = (
-        config.task_timeout,
-        config.ft_poll,
-        config.heartbeat_timeout,
-    );
-    let mut ft_lane = lane_of(&obs, 0, TID_FT);
-    let ft = std::thread::spawn(move || {
-        use crossbeam::channel::RecvTimeoutError;
-        while ft_stop_rx.recv_timeout(poll) == Err(RecvTimeoutError::Timeout) {
-            let mut s = ft_shared.lock();
-            // Step g: redistribute overdue sub-tasks; exclude their slaves
-            // only if they have also stopped heartbeating.
-            for entry in s.overtime.drain_overdue(timeout) {
-                if s.register.accepts(entry.task, entry.executor) {
-                    s.register.cancel(entry.task);
-                    s.parser
-                        .fail(&ft_dag, VertexId(entry.task))
-                        .expect("overdue task is running");
-                    s.metrics.redispatched.inc();
-                    ft_lane.instant("redispatch", "ft", Some(("task", u64::from(entry.task))));
-                }
-            }
-            // Liveness is judged for every slave, not only owners of
-            // overdue work: a slave that crashes while holding nothing
-            // overdue (e.g. its task was already redispatched while it
-            // was merely slow) would otherwise never be excluded — and
-            // in static modes its owned tiles would never fall back to
-            // the surviving slaves (deadlock, found by `easyhps stress`).
-            for w in 0..s.alive.len() {
-                if (s.unreachable[w] || s.silent(w, hb_timeout)) && s.exclude(w) {
-                    ft_lane.instant("exclude", "ft", Some(("slave", w as u64)));
-                }
-            }
-        }
-    });
+    // Steps b-i all live in the state machine; this function only drives
+    // it. Nanosecond virtual time = wall time since `t0`.
+    let mut sched = MasterSched::new(&dag, n_slaves, config.process_mode, &params, tile_budget);
+    let ns = |t: Instant| t.saturating_duration_since(t0).as_nanos() as u64;
 
     let mut matrix = DpMatrix::<P::Cell>::new(model.dag_size());
-    let mut idle = vec![false; n_slaves];
     let mut trace = Trace::new();
-    // Start instants per in-flight (task, slave) for trace spans: the
-    // wall-clock instant for `Trace` / tile-latency, and the recorder
-    // timestamp for the slot-lane event span.
+    // Start instants per in-flight task for trace spans: the wall-clock
+    // instant for `Trace` / tile-latency, and the recorder timestamp for
+    // the slot-lane event span.
     let mut started: Vec<Option<(Instant, u64)>> = vec![None; dag.len()];
     // One event lane per slave slot: tile spans from assign-sent to
     // completion-accepted, as the master observed them.
@@ -262,23 +197,16 @@ pub fn run_master_with<P: DpProblem>(
     // dispatch back.
     let mut inflight: HashMap<(usize, u64), u32> = HashMap::new();
 
-    // Resume: restore finished regions and fast-forward the parser. The
+    // Resume: restore finished regions and fast-forward the machine. The
     // finished set of a valid checkpoint is ancestor-closed, so walking a
-    // topological order completes each task the moment it is computable.
+    // topological order completes each task the moment it is computable;
+    // a corrupt set surfaces as a SchedulerInvariant error, not a panic.
     if let Some(cp) = resume {
         cp.restore_into(&mut matrix);
         let preload: std::collections::HashSet<u32> = cp.finished_tasks().map(|v| v.0).collect();
-        let order = dag.topological_order()?;
-        let mut s = shared.lock();
-        for v in order {
+        for v in dag.topological_order()? {
             if preload.contains(&v.0) {
-                let claimed = s
-                    .parser
-                    .pop_computable_matching(|x| x == v)
-                    .expect("checkpointed set must be ancestor-closed");
-                s.parser
-                    .complete(&dag, claimed, None)
-                    .expect("claimed task completes");
+                sched.preload_finished(&dag, v)?;
                 completed_tasks.push(v);
                 mm.resumed.inc();
                 if store.as_ref().is_some_and(|st| st.is_durable(v.0)) {
@@ -286,183 +214,156 @@ pub fn run_master_with<P: DpProblem>(
                 }
             }
         }
-        drop(s);
         lane.instant("resume", "checkpoint", Some(("tiles", mm.resumed.get())));
     }
-    // Budget accounting counts resumed tiles; `master_tiles_dispatched`
-    // deliberately does not (it reflects only work actually sent out).
-    let budget_reached = || tile_budget.is_some_and(|b| mm.completed.get() + mm.resumed.get() >= b);
     let _ = problem; // kernels run slave-side; the master only routes data
 
-    let result: Result<(), RuntimeError> = (|| {
-        loop {
-            {
-                let mut s = shared.lock();
+    let mut last_ft = Instant::now();
 
-                // Sync heartbeat observations into the shared liveness
-                // record and re-admit wrongly excluded slaves: a
-                // dead-marked slave that is heard from (and whose channel
-                // still exists) was slow or unlucky, not dead.
-                for w in 0..n_slaves {
-                    if let Some(t) = rep.last_heard(Rank(w as u32 + 1)) {
-                        s.last_seen[w] = Some(t);
+    let result: Result<(), RuntimeError> = (|| {
+        'run: loop {
+            let now = Instant::now();
+
+            // Sync heartbeat observations into the machine's liveness
+            // record.
+            for w in 0..n_slaves {
+                if let Some(t) = rep.last_heard(Rank(w as u32 + 1)) {
+                    sched.on_event(
+                        &dag,
+                        MasterEvent::Heard {
+                            slave: w,
+                            at_ns: ns(t),
+                        },
+                    )?;
+                }
+            }
+
+            // The fault-tolerance sweep, at its own cadence inside the
+            // one loop (no FT thread to race the scheduler).
+            if last_ft.elapsed() >= params.ft_poll {
+                last_ft = Instant::now();
+                for a in sched.on_event(
+                    &dag,
+                    MasterEvent::FtTick {
+                        now_ns: ns(last_ft),
+                    },
+                )? {
+                    match a {
+                        MasterAction::Redispatch { task } => {
+                            mm.redispatched.inc();
+                            ft_lane.instant("redispatch", "ft", Some(("task", u64::from(task))));
+                        }
+                        MasterAction::Exclude { slave } => {
+                            mm.exclusions.inc();
+                            mm.dead_slaves.add(1);
+                            ft_lane.instant("exclude", "ft", Some(("slave", slave as u64)));
+                        }
+                        other => debug_assert!(false, "FT sweep emitted {other:?}"),
                     }
-                    if !s.alive[w] && !s.unreachable[w] && !s.silent(w, config.heartbeat_timeout) {
-                        s.alive[w] = true;
+                }
+            }
+
+            // One scheduling pass: re-admission, termination checks and
+            // dispatch all come back as actions.
+            for a in sched.on_event(&dag, MasterEvent::Tick { now_ns: ns(now) })? {
+                match a {
+                    MasterAction::Finished | MasterAction::BudgetStop => break 'run,
+                    MasterAction::AllSlavesDead => return Err(RuntimeError::AllSlavesDead),
+                    MasterAction::Readmit { slave } => {
                         mm.dead_slaves.add(-1);
                         mm.readmissions.inc();
-                        lane.instant("readmit", "ft", Some(("slave", w as u64)));
+                        lane.instant("readmit", "ft", Some(("slave", slave as u64)));
                     }
-                }
-
-                // Stop *before* dispatching: once the budget is reached no
-                // new work may start, so every in-flight completion can be
-                // drained into the checkpoint during teardown.
-                if s.parser.is_done() || budget_reached() {
-                    break;
-                }
-
-                // Steps c-d: dispatch computable sub-tasks to idle live
-                // slaves. When *every* slave is presumed dead but some
-                // channels are still open, dispatch speculatively to the
-                // silent-but-reachable ones: a slave whose heartbeats are
-                // lost (not dead, just unheard) will ACK the ASSIGN and
-                // be re-admitted, while a truly hung one exhausts the
-                // retry budget, turns unreachable, and the run fails
-                // fast below. Without this, total heartbeat starvation
-                // of the last surviving slave aborted runs that were
-                // perfectly completable (found by `easyhps stress`).
-                let alive_now = s.alive.clone();
-                let none_alive = alive_now.iter().all(|a| !a);
-                #[allow(clippy::needless_range_loop)] // w doubles as the rank id
-                for w in 0..n_slaves {
-                    let speculative = none_alive && !s.unreachable[w];
-                    if !idle[w] || !(alive_now[w] || speculative) {
-                        continue;
-                    }
-                    let owner_of = |v: VertexId| {
-                        config.process_mode.static_owner(
-                            dag.vertex(v).pos,
-                            tile_cols,
-                            n_slaves as u32,
-                        )
-                    };
-                    let picked = if config.process_mode == ScheduleMode::Dynamic || speculative {
-                        s.parser.pop_computable()
-                    } else {
-                        // A statically-owned task whose owner is excluded
-                        // would otherwise never be dispatchable (livelock);
-                        // orphans fall back to dynamic placement.
-                        s.parser
-                            .pop_computable_matching(|v| owner_of(v) == Some(w as u32))
-                            .or_else(|| {
-                                s.parser.pop_computable_matching(|v| {
-                                    owner_of(v).is_some_and(|o| !alive_now[o as usize])
-                                })
+                    MasterAction::Assign { slave: w, task } => {
+                        // Steps c-d: encode the tile's input strips and
+                        // send the ASSIGN.
+                        let v = VertexId(task);
+                        let vertex = dag.vertex(v);
+                        let inputs: Vec<_> = vertex
+                            .data_deps
+                            .iter()
+                            .map(|d| {
+                                let region = model.tile_region(dag.vertex(*d).pos);
+                                (region, matrix.encode_region(region))
                             })
-                    };
-                    let Some(v) = picked else { continue };
-                    let vertex = dag.vertex(v);
-                    let inputs: Vec<_> = vertex
-                        .data_deps
-                        .iter()
-                        .map(|d| {
-                            let region = model.tile_region(dag.vertex(*d).pos);
-                            (region, matrix.encode_region(region))
-                        })
-                        .collect();
-                    let msg = AssignMsg {
-                        task: v.0,
-                        tile: vertex.pos,
-                        region: model.tile_region(vertex.pos),
-                        inputs,
-                    };
-                    match rep.send_reliable(Rank(w as u32 + 1), tags::ASSIGN, msg.encode()) {
-                        Ok(seq) => {
-                            s.register.register(v.0, w as u32);
-                            s.overtime.push(v.0, w as u32);
-                            idle[w] = false;
-                            mm.dispatched.inc();
-                            started[v.index()] = Some((Instant::now(), slot_lanes[w].now_ns()));
-                            inflight.insert((w, seq), v.0);
-                        }
-                        Err(_) => {
-                            // Slave endpoint gone: the task goes back to
-                            // the computable stack untouched (it was never
-                            // dispatched) and the slave is permanently out.
-                            s.parser.fail(&dag, v).expect("just popped");
-                            mm.send_failures.inc();
-                            s.unreachable[w] = true;
-                            if s.exclude(w) {
-                                lane.instant("exclude", "ft", Some(("slave", w as u64)));
+                            .collect();
+                        let msg = AssignMsg {
+                            task,
+                            tile: vertex.pos,
+                            region: model.tile_region(vertex.pos),
+                            inputs,
+                        };
+                        match rep.send_reliable(Rank(w as u32 + 1), tags::ASSIGN, msg.encode()) {
+                            Ok(seq) => {
+                                mm.dispatched.inc();
+                                started[v.index()] = Some((Instant::now(), slot_lanes[w].now_ns()));
+                                inflight.insert((w, seq), task);
+                            }
+                            Err(_) => {
+                                // Slave endpoint gone: the machine rolls
+                                // the dispatch back (the task was never
+                                // sent) and puts the slave permanently out.
+                                mm.send_failures.inc();
+                                for ra in sched.on_event(
+                                    &dag,
+                                    MasterEvent::AssignRejected { slave: w, task },
+                                )? {
+                                    if let MasterAction::Exclude { slave } = ra {
+                                        mm.exclusions.inc();
+                                        mm.dead_slaves.add(1);
+                                        lane.instant(
+                                            "exclude",
+                                            "ft",
+                                            Some(("slave", slave as u64)),
+                                        );
+                                    }
+                                }
                             }
                         }
                     }
-                }
-
-                // Give up only when every slave is *unreachable* — its
-                // channel is gone for good. Merely-silent slaves can be
-                // heard again and re-admitted (and the speculative
-                // dispatch above actively probes them), so presumed-dead
-                // is not a terminal state on its own.
-                if s.unreachable.iter().all(|u| *u) {
-                    return Err(RuntimeError::AllSlavesDead);
+                    other => debug_assert!(false, "scheduling tick emitted {other:?}"),
                 }
             }
 
             // Steps e-f, h: collect completions and idle signals. The
             // reliable endpoint retransmits pending sends while waiting.
-            match rep.recv_timeout(Duration::from_millis(2)) {
+            match rep.recv_timeout(params.recv_poll) {
                 Ok(env) => {
                     let w = (env.src.0 as usize).wrapping_sub(1);
                     match env.tag {
-                        tags::IDLE => {
-                            if w < n_slaves {
-                                idle[w] = true;
-                            }
+                        tags::IDLE if w < n_slaves => {
+                            sched.on_event(&dag, MasterEvent::Idle { slave: w })?;
                         }
+                        tags::IDLE => { /* out-of-range source rank: ignore */ }
                         tags::HEARTBEAT => { /* liveness noted by the endpoint */ }
                         // Bound-check the source rank before touching any
-                        // per-slave state or the register — the teardown
-                        // path always had this guard, the main loop did
-                        // not, so a frame from outside the slave range
-                        // reached `register.accepts` with a rogue rank.
+                        // per-slave state — a frame from outside the slave
+                        // range must not reach the machine.
                         tags::DONE if w < n_slaves => {
                             let msg = DoneMsg::decode(&env.payload)?;
-                            let mut s = shared.lock();
-                            idle[w] = true;
-                            if s.register.accepts(msg.task, w as u32) {
-                                if let Some((start, start_ns)) = started[msg.task as usize].take() {
-                                    let end = Instant::now();
-                                    trace.record(
-                                        format!("slave{w}"),
-                                        "#",
-                                        start.duration_since(t0).as_nanos() as u64,
-                                        end.duration_since(t0).as_nanos() as u64,
-                                    );
-                                    mm.tile_latency
-                                        .observe(end.duration_since(start).as_nanos() as u64);
-                                    slot_lanes[w].span_since(
-                                        "tile",
-                                        "master",
-                                        start_ns,
-                                        Some(("task", u64::from(msg.task))),
-                                    );
+                            let mut ctx = DoneCtx {
+                                t0,
+                                started: &mut started,
+                                trace: &mut trace,
+                                slot_lanes: &mut slot_lanes,
+                                matrix: &mut matrix,
+                                mm: &mm,
+                                completed_tasks: &mut completed_tasks,
+                            };
+                            for a in sched.on_event(
+                                &dag,
+                                MasterEvent::Done {
+                                    slave: w,
+                                    task: msg.task,
+                                },
+                            )? {
+                                match a {
+                                    MasterAction::Accept { .. } => ctx.accept(w, &msg),
+                                    MasterAction::Stale { .. } => mm.stale.inc(),
+                                    other => {
+                                        debug_assert!(false, "DONE emitted {other:?}")
+                                    }
                                 }
-                                matrix.decode_region(msg.region, &msg.output);
-                                s.register.cancel(msg.task);
-                                s.overtime.remove(msg.task);
-                                s.finished.push(msg.task);
-                                // Step h: update the DAG Pattern Model.
-                                while let Some(t) = s.finished.pop() {
-                                    s.parser
-                                        .complete(&dag, VertexId(t), None)
-                                        .expect("registered completion is running");
-                                }
-                                mm.completed.inc();
-                                completed_tasks.push(VertexId(msg.task));
-                            } else {
-                                mm.stale.inc();
                             }
                         }
                         tags::DONE => { /* out-of-range source rank: ignore */ }
@@ -474,48 +375,47 @@ pub fn run_master_with<P: DpProblem>(
                 Err(e) => return Err(e.into()),
             }
 
-            // Abandoned reliable sends: roll the dispatch back so the task
-            // is redistributable, and judge the slave by its heartbeat —
-            // an unreachable peer is dead, a silent one presumed dead
-            // (re-admitted later if it turns out merely slow).
+            // Abandoned reliable sends: the machine rolls the dispatch
+            // back so the task is redistributable, and judges the slave by
+            // its heartbeat — an unreachable peer is dead, a silent one
+            // presumed dead (re-admitted later if it turns out merely
+            // slow).
             for f in rep.take_failures() {
                 mm.send_failures.inc();
                 let w = (f.dst.0 as usize).wrapping_sub(1);
                 if w >= n_slaves {
                     continue;
                 }
-                let mut s = shared.lock();
-                if f.tag == tags::ASSIGN {
-                    if let Some(task) = inflight.remove(&(w, f.seq)) {
-                        if s.register.accepts(task, w as u32) {
-                            s.register.cancel(task);
-                            s.overtime.remove(task);
-                            s.parser
-                                .fail(&dag, VertexId(task))
-                                .expect("undelivered task is running");
+                let assign_task = if f.tag == tags::ASSIGN {
+                    inflight.remove(&(w, f.seq))
+                } else {
+                    None
+                };
+                let ev = MasterEvent::SendFailed {
+                    slave: w,
+                    assign_task,
+                    reason: fail_kind(f.reason),
+                    now_ns: ns(Instant::now()),
+                };
+                for a in sched.on_event(&dag, ev)? {
+                    match a {
+                        MasterAction::CancelAssign { task } => {
                             mm.redispatched.inc();
                             started[task as usize] = None;
-                            // The slave never saw the ASSIGN; it is not
-                            // busy with it, whatever its health.
-                            idle[w] = true;
                         }
+                        MasterAction::Exclude { slave } => {
+                            mm.exclusions.inc();
+                            mm.dead_slaves.add(1);
+                            lane.instant("exclude", "ft", Some(("slave", slave as u64)));
+                        }
+                        other => debug_assert!(false, "send failure emitted {other:?}"),
                     }
-                }
-                let excluded = match f.reason {
-                    FailReason::Unreachable => {
-                        s.unreachable[w] = true;
-                        s.exclude(w)
-                    }
-                    FailReason::NoAck => s.silent(w, config.heartbeat_timeout) && s.exclude(w),
-                };
-                if excluded {
-                    lane.instant("exclude", "ft", Some(("slave", w as u64)));
                 }
             }
 
             // Durable capture: flush tiles accepted since the last flush
-            // once the policy's cadence is due. Runs with no lock held,
-            // after message handling — never on the DONE hot path itself.
+            // once the policy's cadence is due — never on the DONE hot
+            // path itself.
             if let (Some(st), Some(pol)) = (store.as_mut(), config.checkpoint.as_ref()) {
                 let pending = (completed_tasks.len() - flush_idx) as u64;
                 let due = (pol.every_tiles > 0 && pending >= pol.every_tiles)
@@ -537,20 +437,17 @@ pub fn run_master_with<P: DpProblem>(
         }
         Ok(())
     })();
-
-    // Step i: tear down. Dropping the sender disconnects the shutdown
-    // channel, waking the fault-tolerance thread immediately.
-    drop(ft_stop_tx);
-    ft.join().expect("fault-tolerance thread never panics");
     result?;
 
-    let alive = shared.lock().alive.clone();
+    // Step i: tear down. The machine stops dispatching; completions still
+    // in flight are accepted into the matrix — on a budget stop they
+    // would otherwise be recomputed after `resume_from`.
+    sched.on_event(&dag, MasterEvent::Drain)?;
+    let alive: Vec<bool> = sched.alive().to_vec();
 
     // Send END to every slave (dead ones may never read it; unreachable
     // ones fail immediately and are ignored) and collect final stats from
-    // the live ones. Completions still in flight are accepted into the
-    // matrix — on a budget stop they would otherwise be recomputed after
-    // `resume_from`.
+    // the live ones.
     let mut slave_stats: Vec<Option<SlaveStatsMsg>> = vec![None; n_slaves];
     for w in 0..n_slaves {
         let _ = rep.send_reliable(Rank(w as u32 + 1), tags::END, Bytes::new());
@@ -562,19 +459,11 @@ pub fn run_master_with<P: DpProblem>(
     let mut expected: usize = counted.iter().filter(|a| **a).count();
     // The drain must outlive the slowest legitimate reply: a slave's
     // STATS (or final DONE) can spend a full retransmit cycle in flight,
-    // so the deadline scales with the configured `RetryPolicy` instead of
-    // being a hard-coded constant — a slow retry schedule used to get its
-    // stats collection truncated at 2 s. The floor keeps the historical
-    // grace for fast policies; the margin covers slave-side compute of
-    // the stats reply itself.
-    let drain_deadline = config
-        .retry
-        .drain_budget()
-        .max(Duration::from_secs(2))
-        .saturating_add(Duration::from_millis(500));
-    let deadline = Instant::now() + drain_deadline;
+    // so the deadline scales with the configured `RetryPolicy` — the
+    // floor and margin are the shared `SchedParams` constants.
+    let deadline = Instant::now() + params.drain_deadline(config.retry.drain_budget());
     while (expected > 0 || rep.has_pending()) && Instant::now() < deadline {
-        match rep.recv_timeout(Duration::from_millis(50)) {
+        match rep.recv_timeout(params.teardown_recv) {
             Ok(env) => {
                 let w = (env.src.0 as usize).wrapping_sub(1);
                 match env.tag {
@@ -590,35 +479,27 @@ pub fn run_master_with<P: DpProblem>(
                     // stale (stale means "duplicate from a known slave").
                     tags::DONE if w < n_slaves => {
                         let msg = DoneMsg::decode(&env.payload)?;
-                        let mut s = shared.lock();
-                        if s.register.accepts(msg.task, w as u32) {
-                            if let Some((start, start_ns)) = started[msg.task as usize].take() {
-                                let end = Instant::now();
-                                trace.record(
-                                    format!("slave{w}"),
-                                    "#",
-                                    start.duration_since(t0).as_nanos() as u64,
-                                    end.duration_since(t0).as_nanos() as u64,
-                                );
-                                mm.tile_latency
-                                    .observe(end.duration_since(start).as_nanos() as u64);
-                                slot_lanes[w].span_since(
-                                    "tile",
-                                    "master",
-                                    start_ns,
-                                    Some(("task", u64::from(msg.task))),
-                                );
+                        let mut ctx = DoneCtx {
+                            t0,
+                            started: &mut started,
+                            trace: &mut trace,
+                            slot_lanes: &mut slot_lanes,
+                            matrix: &mut matrix,
+                            mm: &mm,
+                            completed_tasks: &mut completed_tasks,
+                        };
+                        for a in sched.on_event(
+                            &dag,
+                            MasterEvent::Done {
+                                slave: w,
+                                task: msg.task,
+                            },
+                        )? {
+                            match a {
+                                MasterAction::Accept { .. } => ctx.accept(w, &msg),
+                                MasterAction::Stale { .. } => mm.stale.inc(),
+                                other => debug_assert!(false, "DONE emitted {other:?}"),
                             }
-                            matrix.decode_region(msg.region, &msg.output);
-                            s.register.cancel(msg.task);
-                            s.overtime.remove(msg.task);
-                            s.parser
-                                .complete(&dag, VertexId(msg.task), None)
-                                .expect("registered completion is running");
-                            mm.completed.inc();
-                            completed_tasks.push(VertexId(msg.task));
-                        } else {
-                            mm.stale.inc();
                         }
                     }
                     _ => {} // stray IDLE/HEARTBEAT from shutting-down slaves
@@ -671,7 +552,7 @@ pub fn run_master_with<P: DpProblem>(
         bytes_recv: net.recv_bytes,
     };
 
-    let checkpoint = (!shared.lock().parser.is_done()).then(|| {
+    let checkpoint = (!sched.is_done()).then(|| {
         let cp = Checkpoint::capture(model, &dag, &matrix, completed_tasks.iter().copied());
         mm.checkpoints.inc();
         lane.instant(
@@ -730,49 +611,4 @@ fn flush_durable<C: easyhps_dp::Cell>(
     mm.checkpoints.inc();
     lane.instant("checkpoint-flush", "checkpoint", Some(("tiles", tiles)));
     Ok(())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use easyhps_core::patterns::Wavefront2D;
-    use easyhps_core::GridDims;
-
-    fn tiny_shared(n_slaves: usize, start: Instant) -> MasterShared {
-        let model = DagDataDrivenModel::builder(Arc::new(Wavefront2D::new(GridDims::new(4, 4))))
-            .process_partition_size(GridDims::new(2, 2))
-            .thread_partition_size(GridDims::new(1, 1))
-            .build();
-        let registry = easyhps_obs::Registry::new();
-        MasterShared::new(&model.master_dag(), n_slaves, start, {
-            crate::obs::MasterMetrics::register(&registry)
-        })
-    }
-
-    /// Regression (startup-exclusion bug): a slave nobody has heard from
-    /// yet must be within the heartbeat grace window right after startup,
-    /// not "silent since forever" — the FT loop excluded healthy
-    /// slow-starting slaves otherwise.
-    #[test]
-    fn never_heard_slave_gets_startup_grace() {
-        let s = tiny_shared(2, Instant::now());
-        assert!(
-            !s.silent(0, Duration::from_secs(10)),
-            "a never-heard slave within the grace window is not silent"
-        );
-        assert!(
-            !s.silent(1, Duration::from_secs(10)),
-            "every slave is seeded, not just the first"
-        );
-    }
-
-    /// The grace window still expires: a slave that stays quiet past the
-    /// heartbeat timeout measured from run start is silent.
-    #[test]
-    fn startup_grace_expires_after_heartbeat_timeout() {
-        let start = Instant::now() - Duration::from_millis(50);
-        let s = tiny_shared(1, start);
-        assert!(s.silent(0, Duration::from_millis(10)));
-        assert!(!s.silent(0, Duration::from_secs(1)));
-    }
 }

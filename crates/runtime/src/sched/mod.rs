@@ -1,0 +1,34 @@
+//! The scheduler core, re-exported from `easyhps_core::sched`.
+//!
+//! The state machines live in the core crate because `easyhps-runtime`
+//! depends on `easyhps-sim` (autotuner pricing), so the simulator cannot
+//! depend on the runtime — the core is the one crate below both
+//! executors. This module is the runtime's view of them, plus the glue
+//! that maps transport types into the machine's transport-free
+//! vocabulary.
+
+pub use easyhps_core::sched::*;
+
+use easyhps_net::FailReason;
+
+/// Map a transport failure reason onto the machine's vocabulary.
+pub fn fail_kind(reason: FailReason) -> SendFailKind {
+    match reason {
+        FailReason::Unreachable => SendFailKind::Unreachable,
+        FailReason::NoAck => SendFailKind::NoAck,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fail_reasons_map_onto_machine_vocabulary() {
+        assert_eq!(
+            fail_kind(FailReason::Unreachable),
+            SendFailKind::Unreachable
+        );
+        assert_eq!(fail_kind(FailReason::NoAck), SendFailKind::NoAck);
+    }
+}

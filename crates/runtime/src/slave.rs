@@ -21,14 +21,13 @@
 
 use crate::config::Deployment;
 use crate::obs::{lane_of, publish_endpoint_stats, registry_of, SlaveMetrics, TID_NET};
-use crate::pool::OvertimeQueue;
 use crate::protocol::{tags, AssignMsg, DoneMsg, SlaveStatsMsg};
+use crate::sched::{PoolAction, PoolEvent, PoolLog, PoolSched};
 use crate::shared_grid::SharedGrid;
 use crate::storage::NodeStorage;
 use crate::RuntimeError;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use easyhps_core::ScheduleMode;
-use easyhps_core::{DagDataDrivenModel, DagParser, GridPos, TileRegion};
+use easyhps_core::{DagDataDrivenModel, GridPos, TileRegion, VertexId};
 use easyhps_dp::DpProblem;
 use easyhps_net::{Endpoint, NetError, Rank, ReliableEndpoint};
 use easyhps_obs::{EventRecorder, LaneBuf};
@@ -261,15 +260,26 @@ pub fn run_slave_with_storage<P: DpProblem, S: NodeStorage<P::Cell>>(
                     // heartbeating (and retransmitting pending sends)
                     // whenever the tile makes us wait — a long compute
                     // must not read as death to the master.
-                    let exec = execute_tile(model, &pool, msg.tile, config, &sm, &mut || {
-                        if last_hb.elapsed() >= config.heartbeat_interval {
-                            let _ =
-                                rep.send_unreliable(master, tags::HEARTBEAT, bytes::Bytes::new());
-                            sm.heartbeats.inc();
-                            last_hb = Instant::now();
-                        }
-                        rep.pump();
-                    });
+                    let exec = execute_tile(
+                        model,
+                        &pool,
+                        msg.tile,
+                        config,
+                        &sm,
+                        &mut || {
+                            if last_hb.elapsed() >= config.heartbeat_interval {
+                                let _ = rep.send_unreliable(
+                                    master,
+                                    tags::HEARTBEAT,
+                                    bytes::Bytes::new(),
+                                );
+                                sm.heartbeats.inc();
+                                last_hb = Instant::now();
+                            }
+                            rep.pump();
+                        },
+                        None,
+                    )?;
                     sm.tiles.inc();
                     sm.subtasks.add(exec.subtasks);
                     sm.busy_ns.add(exec.busy_ns);
@@ -302,11 +312,17 @@ pub fn run_slave_with_storage<P: DpProblem, S: NodeStorage<P::Cell>>(
 }
 
 /// Execute one master tile on the persistent worker pool: partition it by
-/// `thread_partition_size` and drive the slave DAG parser until every
-/// sub-sub-task completes. Every job dispatched here is collected before
-/// returning, so the pool is quiescent between calls. `on_wait` is invoked
-/// whenever waiting for a worker result exceeds the heartbeat interval —
-/// the slave loop heartbeats there so a long tile never reads as silence.
+/// `thread_partition_size` and drive the shared [`PoolSched`] state
+/// machine until every sub-sub-task completes. This function is the
+/// machine's threaded driver — every scheduling decision (which worker
+/// gets which sub-sub-task, what a failed kernel means) is the machine's;
+/// this loop only moves jobs and results across channels. Every job
+/// dispatched here is collected before returning, so the pool is
+/// quiescent between calls. `on_wait` is invoked whenever waiting for a
+/// worker result exceeds the heartbeat interval — the slave loop
+/// heartbeats there so a long tile never reads as silence. With `log`,
+/// every `(event, actions)` exchange is recorded for differential replay
+/// against the virtual-time driver.
 pub(crate) fn execute_tile(
     model: &DagDataDrivenModel,
     pool: &ComputePool,
@@ -314,47 +330,34 @@ pub(crate) fn execute_tile(
     config: &Deployment,
     metrics: &SlaveMetrics,
     on_wait: &mut dyn FnMut(),
-) -> TileExecution {
+    mut log: Option<&mut PoolLog>,
+) -> Result<TileExecution, RuntimeError> {
     let sdag = model.slave_dag(tile);
-    let mut parser = DagParser::new(&sdag);
-    let ct = pool.threads();
-    let tile_cols = sdag.dims().cols;
+    let mut sched = PoolSched::new(&sdag, pool.threads(), config.thread_mode);
     let mut exec = TileExecution::default();
-    let mut overtime = OvertimeQueue::new();
 
-    let mut idle = vec![true; ct];
-    while !parser.is_done() {
-        // Dispatch to every idle worker the scheduling mode allows.
-        #[allow(clippy::needless_range_loop)] // w doubles as the worker id
-        for w in 0..ct {
-            if !idle[w] {
-                continue;
-            }
-            let picked = if config.thread_mode == ScheduleMode::Dynamic {
-                parser.pop_computable()
-            } else {
-                parser.pop_computable_matching(|v| {
-                    config
-                        .thread_mode
-                        .static_owner(sdag.vertex(v).pos, tile_cols, ct as u32)
-                        == Some(w as u32)
-                })
-            };
-            if let Some(v) = picked {
-                let region = model.sub_region(tile, sdag.vertex(v).pos);
-                overtime.push(v.0, w as u32);
-                pool.job_txs[w]
-                    .send(Job { sub: v.0, region })
-                    .expect("worker channel open");
-                idle[w] = false;
+    let mut queue = sched.on_event(&sdag, PoolEvent::Start)?;
+    if let Some(l) = log.as_deref_mut() {
+        l.push((PoolEvent::Start, queue.clone()));
+    }
+    loop {
+        let mut finished = false;
+        for a in queue.drain(..) {
+            match a {
+                PoolAction::Run { worker, sub } => {
+                    let region = model.sub_region(tile, sdag.vertex(VertexId(sub)).pos);
+                    pool.job_txs[worker]
+                        .send(Job { sub, region })
+                        .expect("worker channel open");
+                }
+                PoolAction::Done => finished = true,
             }
         }
-
-        if parser.is_done() {
+        if finished {
             break;
         }
 
-        // Collect one result (if we are not done, either a worker is busy
+        // Collect one result (we are not done, so either a worker is busy
         // or a dispatch just happened above); heartbeat while waiting.
         let res = loop {
             match pool.result_rx.recv_timeout(config.heartbeat_interval) {
@@ -365,25 +368,81 @@ pub(crate) fn execute_tile(
                 }
             }
         };
-        overtime.remove(res.sub);
         exec.busy_ns += res.elapsed_ns;
         metrics.subtask_latency.observe(res.elapsed_ns);
-        idle[res.worker] = true;
-        let v = easyhps_core::VertexId(res.sub);
         if res.ok {
-            parser
-                .complete(&sdag, v, None)
-                .expect("worker completed a running task");
             exec.subtasks += 1;
         } else {
             // Thread-level fault tolerance: the panic was caught (the
-            // worker thread effectively restarted); re-queue the
-            // sub-sub-task for any worker.
+            // worker thread effectively restarted); the machine re-queues
+            // the sub-sub-task for any worker.
             exec.failures += 1;
-            parser.fail(&sdag, v).expect("worker failed a running task");
+        }
+        let ev = PoolEvent::WorkerDone {
+            worker: res.worker,
+            sub: res.sub,
+            ok: res.ok,
+        };
+        queue = sched.on_event(&sdag, ev)?;
+        if let Some(l) = log.as_deref_mut() {
+            l.push((ev, queue.clone()));
         }
     }
 
-    debug_assert!(overtime.is_empty() || !parser.is_done());
-    exec
+    debug_assert!(sched.is_done());
+    Ok(exec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::replay_pool;
+    use easyhps_core::GridDims;
+    use easyhps_dp::sequence::{random_sequence, Alphabet};
+    use easyhps_dp::{DpProblem, EditDistance};
+
+    /// Differential test (threaded driver): record the real thread pool's
+    /// event log while computing a tile, then replay the same events into
+    /// a fresh machine — the actions must match batch for batch. Any
+    /// divergence means the threaded driver smuggled policy of its own.
+    #[test]
+    fn threaded_pool_driver_matches_machine_replay() {
+        let a = random_sequence(Alphabet::Dna, 32, 11);
+        let b = random_sequence(Alphabet::Dna, 32, 12);
+        let problem = EditDistance::new(a, b);
+        let dims = problem.dims();
+        let model = DagDataDrivenModel::builder(problem.pattern())
+            .process_partition_size(dims)
+            .thread_partition_size(GridDims::new(8, 8))
+            .build();
+        let config = Deployment::local(1, 3);
+        let registry = easyhps_obs::Registry::new();
+        let sm = SlaveMetrics::register(&registry, 0);
+        let grid = RwLock::new(SharedGrid::<<EditDistance as DpProblem>::Cell>::new(dims));
+
+        let mut log = PoolLog::new();
+        let exec = std::thread::scope(|scope| {
+            let pool = ComputePool::spawn(scope, 3, &problem, &grid, None, 0);
+            execute_tile(
+                &model,
+                &pool,
+                GridPos::new(0, 0),
+                &config,
+                &sm,
+                &mut || {},
+                Some(&mut log),
+            )
+        })
+        .unwrap();
+        assert!(exec.subtasks > 1, "tile actually ran on the pool");
+
+        let sdag = model.slave_dag(GridPos::new(0, 0));
+        let replayed =
+            replay_pool(&sdag, 3, config.thread_mode, log.iter().map(|(e, _)| *e)).unwrap();
+        let recorded: Vec<_> = log.into_iter().map(|(_, a)| a).collect();
+        assert_eq!(
+            replayed, recorded,
+            "threaded driver and replay diverged on the same event log"
+        );
+    }
 }

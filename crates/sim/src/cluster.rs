@@ -10,6 +10,7 @@
 use crate::cost::CostModel;
 use crate::pool_sim::{simulate_pool, PoolOutcome};
 use crate::workload::SimWorkload;
+use easyhps_core::sched::pick_task;
 use easyhps_core::Trace;
 use easyhps_core::{DagParser, ScheduleMode, TaskDag, VertexId};
 use std::cmp::Reverse;
@@ -198,17 +199,22 @@ fn simulate_impl(
                     if !idle[node] || dead[node] {
                         continue;
                     }
-                    let picked = if config.process_mode == ScheduleMode::Dynamic {
-                        parser.pop_computable()
-                    } else {
-                        parser.pop_computable_matching(|v| {
-                            config.process_mode.static_owner(
-                                dag.vertex(v).pos,
-                                tile_cols,
-                                nodes as u32,
-                            ) == Some(node as u32)
-                        })
-                    };
+                    // The same placement decision as the real master —
+                    // including the orphan fallback for tiles statically
+                    // owned by an excluded node. The DES used to carry its
+                    // own copy of this policy without the fallback, so a
+                    // static-mode run with a crashed node deadlocked here
+                    // while the runtime survived; see
+                    // `static_mode_crash_redistributes_orphans`.
+                    let picked = pick_task(
+                        &mut parser,
+                        &dag,
+                        config.process_mode,
+                        tile_cols,
+                        nodes as u32,
+                        node as u32,
+                        Some(&|owner: u32| dead[owner as usize]),
+                    );
                     let Some(v) = picked else { continue };
                     let bytes = input_bytes(v);
                     // Master occupancy is the scheduling decision only; the
@@ -471,6 +477,29 @@ mod failure_tests {
         assert_eq!(r.dead_nodes, 1);
         assert_eq!(r.tiles, w.model.master_dag().len() as u64);
         // All real work done by the surviving node.
+        assert_eq!(r.node_busy_ns[0], 0);
+        assert!(r.node_busy_ns[1] > 0);
+    }
+
+    #[test]
+    fn static_mode_crash_redistributes_orphans() {
+        // Pinned runtime↔sim divergence: the DES used to carry its own
+        // copy of the pick policy without the orphan fallback, so a
+        // static-mode run with a crashed node drained its event queue
+        // with the dead node's columns still pending and panicked, while
+        // the real master finished the run on the survivor. Both now ask
+        // `easyhps_core::sched::pick_task` and agree.
+        let w = workload();
+        let mut cfg = SimConfig::uniform(2, 4).fail_node(0, 0);
+        cfg.task_timeout_ns = 10_000_000;
+        cfg.process_mode = ScheduleMode::ColumnWavefront;
+        let r = simulate(&w, &cfg);
+        assert_eq!(
+            r.tiles,
+            w.model.master_dag().len() as u64,
+            "the survivor adopts the dead node's columns"
+        );
+        assert_eq!(r.dead_nodes, 1);
         assert_eq!(r.node_busy_ns[0], 0);
         assert!(r.node_busy_ns[1] > 0);
     }

@@ -34,6 +34,6 @@ pub use experiment::{
     bcw_baseline, bcw_ratio_series, node_comparison_series, scaling_series, speedup_series,
     Experiment, NODE_COUNTS,
 };
-pub use pool_sim::{simulate_pool, PoolOutcome};
+pub use pool_sim::{simulate_pool, simulate_pool_logged, PoolOutcome};
 pub use report::{render_csv, render_table, Series};
 pub use workload::{SimWorkload, WorkProfile};

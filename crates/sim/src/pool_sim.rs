@@ -1,10 +1,20 @@
 //! Virtual-time worker-pool simulation.
 //!
-//! Simulates a worker pool (the slave part's computing threads, or any
-//! pool of identical executors) draining a [`TaskDag`] under a scheduling
-//! policy. Deterministic: ties break on insertion sequence.
+//! Simulates a pool of identical executors (the slave part's computing
+//! threads) draining a [`TaskDag`] under a scheduling policy.
+//! Deterministic: ties break on insertion sequence.
+//!
+//! This driver contains **no scheduling policy of its own**: every
+//! decision — which worker takes which task, what a completion unblocks —
+//! comes from the same [`PoolSched`] state machine the threaded runtime
+//! drives. The simulator only supplies virtual time: dispatches go into a
+//! finish-time heap instead of worker channels, and each heap pop is fed
+//! back as a [`PoolEvent::WorkerDone`]. Any makespan the simulator
+//! predicts is therefore a property of the real scheduler, not of a
+//! reimplementation of it.
 
-use easyhps_core::{DagParser, ScheduleMode, TaskDag, VertexId};
+use easyhps_core::sched::{PoolAction, PoolEvent, PoolLog, PoolSched};
+use easyhps_core::{ScheduleMode, TaskDag, VertexId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -40,66 +50,82 @@ pub fn simulate_pool(
     dag: &TaskDag,
     workers: usize,
     mode: ScheduleMode,
-    mut cost_ns: impl FnMut(VertexId) -> u64,
+    cost_ns: impl FnMut(VertexId) -> u64,
     dispatch_overhead_ns: u64,
 ) -> PoolOutcome {
+    simulate_pool_logged(dag, workers, mode, cost_ns, dispatch_overhead_ns).0
+}
+
+/// [`simulate_pool`], also returning the `(event, actions)` log this
+/// driver exchanged with the state machine — the differential tests
+/// replay it into a fresh machine and assert action-for-action equality.
+pub fn simulate_pool_logged(
+    dag: &TaskDag,
+    workers: usize,
+    mode: ScheduleMode,
+    mut cost_ns: impl FnMut(VertexId) -> u64,
+    dispatch_overhead_ns: u64,
+) -> (PoolOutcome, PoolLog) {
     assert!(workers > 0, "pool needs at least one worker");
-    let mut parser = DagParser::new(dag);
-    let tile_cols = dag.dims().cols;
-    let mut idle: Vec<bool> = vec![true; workers];
+    let mut sched = PoolSched::new(dag, workers, mode);
+    let mut log = PoolLog::new();
     // (finish time, sequence, worker, task) — sequence keeps pops stable.
     let mut running: BinaryHeap<Reverse<(u64, u64, usize, u32)>> = BinaryHeap::new();
     let mut seq = 0u64;
     let mut now = 0u64;
     let mut out = PoolOutcome::default();
 
-    while !parser.is_done() {
-        // Fill idle workers.
-        #[allow(clippy::needless_range_loop)] // w doubles as the worker id
-        for w in 0..workers {
-            if !idle[w] {
-                continue;
-            }
-            let picked = if mode == ScheduleMode::Dynamic {
-                parser.pop_computable()
-            } else {
-                parser.pop_computable_matching(|v| {
-                    mode.static_owner(dag.vertex(v).pos, tile_cols, workers as u32)
-                        == Some(w as u32)
-                })
-            };
-            if let Some(v) = picked {
-                let cost = cost_ns(v);
-                out.busy_ns += cost;
-                running.push(Reverse((now + dispatch_overhead_ns + cost, seq, w, v.0)));
-                seq += 1;
-                idle[w] = false;
+    let mut acts = sched
+        .on_event(dag, PoolEvent::Start)
+        .expect("starting a fresh pool is legal");
+    log.push((PoolEvent::Start, acts.clone()));
+    loop {
+        let mut done = false;
+        for a in acts.drain(..) {
+            match a {
+                PoolAction::Run { worker, sub } => {
+                    let cost = cost_ns(VertexId(sub));
+                    out.busy_ns += cost;
+                    running.push(Reverse((
+                        now + dispatch_overhead_ns + cost,
+                        seq,
+                        worker,
+                        sub,
+                    )));
+                    seq += 1;
+                }
+                PoolAction::Done => done = true,
             }
         }
-
-        let Some(Reverse((t, _, w, task))) = running.pop() else {
-            assert!(
-                parser.is_done(),
-                "pool stalled: DAG has a cycle or policy starved it"
-            );
+        if done {
             break;
+        }
+
+        let Some(Reverse((t, _, worker, sub))) = running.pop() else {
+            panic!("pool stalled: DAG has a cycle or policy starved it");
         };
         now = t;
-        idle[w] = true;
-        parser
-            .complete(dag, VertexId(task), None)
-            .expect("completed task was running");
         out.tasks += 1;
+        let ev = PoolEvent::WorkerDone {
+            worker,
+            sub,
+            ok: true,
+        };
+        acts = sched
+            .on_event(dag, ev)
+            .expect("virtual completion mirrors a dispatched task");
+        log.push((ev, acts.clone()));
     }
 
     out.makespan_ns = now;
-    out
+    (out, log)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use easyhps_core::patterns::{Linear1D, TriangularGap, Wavefront2D};
+    use easyhps_core::sched::replay_pool;
     use easyhps_core::GridDims;
 
     #[test]
@@ -196,5 +222,28 @@ mod tests {
         let out = simulate_pool(&dag, 3, ScheduleMode::Dynamic, |_| 10, 0);
         let e = out.efficiency(3);
         assert!(e > 0.0 && e <= 1.0, "{e}");
+    }
+
+    /// Differential test (virtual-time driver): the simulator's recorded
+    /// event log, replayed into a fresh machine, must produce the same
+    /// action batches — the sim exercises the real scheduler, not a copy.
+    #[test]
+    fn virtual_driver_matches_machine_replay() {
+        for mode in [
+            ScheduleMode::Dynamic,
+            ScheduleMode::ColumnWavefront,
+            ScheduleMode::BlockCyclic { block: 2 },
+        ] {
+            let dag = TaskDag::from_pattern(&TriangularGap::new(10));
+            let (out, log) = simulate_pool_logged(&dag, 3, mode, |v| v.0 as u64 % 5 + 1, 2);
+            assert_eq!(out.tasks, dag.len() as u64, "{mode:?}");
+            let replayed = replay_pool(&dag, 3, mode, log.iter().map(|(e, _)| *e))
+                .expect("recorded log replays cleanly");
+            let recorded: Vec<_> = log.into_iter().map(|(_, a)| a).collect();
+            assert_eq!(
+                replayed, recorded,
+                "{mode:?}: sim driver diverged from machine"
+            );
+        }
     }
 }

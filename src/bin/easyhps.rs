@@ -10,6 +10,9 @@
 //!               [--trace-out PATH]
 //! easyhps analyze [--workload swgg|nussinov|wavefront] [--len N]
 //!               [--pps N] [--tps N]
+//! easyhps explore [--workload swgg|nussinov|wavefront] [--len N]
+//!               [--pps N] [--tps N] [--slaves N] [--mode dynamic|bcw|cw]
+//!               [--depth N] [--max-schedules N] [--reorder-window N]
 //! easyhps stress [--seed N | --seeds N [--start N]] [--kill-master]
 //!               [--mode dynamic|bcw|cw] [--slaves N] [--transport inproc|tcp|uds]
 //!               [--workload editdist|swgg|nussinov|nw|lcs] [--clauses i,j|none]
@@ -33,9 +36,14 @@
 //!
 //! `align` and `fold` run the real multilevel runtime on the input;
 //! `sim` runs the deterministic cluster simulator and can print a Gantt
-//! chart of the schedule; `stress` drives the real runtime through
-//! seed-derived adversarial fault schedules and checks run invariants
-//! (failing seeds print a one-line repro with a minimized schedule).
+//! chart of the schedule; `explore` *enumerates* master-scheduler event
+//! orderings on a fault-free virtual cluster (bounded-depth reordering,
+//! CHESS-style) and checks the schedule invariants on every explored
+//! order — complementary to `stress`, which *samples* interleavings with
+//! real threads and injected faults; `stress` drives the real runtime
+//! through seed-derived adversarial fault schedules and checks run
+//! invariants (failing seeds print a one-line repro with a minimized
+//! schedule).
 //! `stress --kill-master` runs the crash-recovery drill instead: each
 //! seed checkpoints to disk, kills the master mid-run, restarts from the
 //! checkpoint directory, and requires bit-identical recovery.
@@ -843,6 +851,67 @@ fn cmd_cancel(args: &Args) -> Result<(), String> {
     print_response(client.cancel(job).map_err(|e| format!("cancel: {e}"))?)
 }
 
+/// Enumerate master-scheduler event orderings on a small workload's
+/// master DAG and check the schedule invariants on every explored order.
+/// Exits 1 if any explored schedule violates the contract.
+fn cmd_explore(args: &Args) -> Result<ExitCode, String> {
+    use easyhps::core::sched::{explore, ExploreConfig};
+
+    // Defaults give a 4x4 master DAG — small enough that bounded-depth
+    // exploration covers hundreds of distinct orders in well under a
+    // second, the regime the technique is designed for.
+    let len = args.get_num("len", 400u32)?;
+    let pps = args.get_num("pps", (len / 4).max(1))?;
+    let tps = args.get_num("tps", (pps / 2).max(1))?;
+    let workload = match args.get("workload").unwrap_or("swgg") {
+        "swgg" => SimWorkload::swgg(len, pps, tps),
+        "nussinov" => SimWorkload::nussinov(len, pps, tps),
+        "wavefront" => SimWorkload::wavefront(len, pps, tps),
+        other => return Err(format!("unknown workload '{other}'")),
+    };
+    let dag = workload.model.master_dag();
+
+    let slaves = args.get_num("slaves", 2usize)?;
+    let mode = parse_policy(args.get("mode").unwrap_or("dynamic"))?;
+    let mut cfg = ExploreConfig::new(slaves, mode);
+    cfg.depth = args.get_num("depth", cfg.depth)?;
+    cfg.max_schedules = args.get_num("max-schedules", cfg.max_schedules)?;
+    cfg.reorder_window = args.get_num("reorder-window", cfg.reorder_window)?;
+
+    let t0 = std::time::Instant::now();
+    let out = explore(&dag, &cfg);
+    println!(
+        "{} master DAG ({} tiles) on {} slave(s), {} policy, depth {}:",
+        workload.name,
+        dag.len(),
+        slaves,
+        mode.name(),
+        cfg.depth
+    );
+    println!(
+        "  {} schedule(s), {} distinct delivery orders, {} decision point(s), \
+         max {} pending frame(s), {:.2}s",
+        out.schedules,
+        out.distinct_orders,
+        out.decisions,
+        out.max_pending,
+        t0.elapsed().as_secs_f64()
+    );
+    if out.violations.is_empty() {
+        println!("  every explored schedule satisfied the invariants");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for v in &out.violations {
+            println!("  violation: {v}");
+        }
+        println!(
+            "  {} schedule(s) violated the contract",
+            out.violations.len()
+        );
+        Ok(ExitCode::FAILURE)
+    }
+}
+
 /// Exit code for a set of stress violations: 0 = pass, 2 = hang,
 /// 1 = anything else (see the module docs).
 fn stress_exit(violations: &[String]) -> ExitCode {
@@ -978,7 +1047,7 @@ fn cmd_stress(args: &Args) -> Result<ExitCode, String> {
     }
 }
 
-const USAGE: &str = "usage: easyhps <align|fold|editdist|sim|analyze|stress|master|slave\
+const USAGE: &str = "usage: easyhps <align|fold|editdist|sim|analyze|explore|stress|master|slave\
 |serve|submit|status|stats|cancel> [args]  (see --help in source docs)";
 
 fn main() -> ExitCode {
@@ -1006,6 +1075,7 @@ fn main() -> ExitCode {
         "editdist" => cmd_editdist(&args).map(|()| ExitCode::SUCCESS),
         "sim" => cmd_sim(&args).map(|()| ExitCode::SUCCESS),
         "analyze" => cmd_analyze(&args).map(|()| ExitCode::SUCCESS),
+        "explore" => cmd_explore(&args),
         "stress" => cmd_stress(&args),
         "master" => cmd_master(&args).map(|()| ExitCode::SUCCESS),
         "slave" => cmd_slave(&args).map(|()| ExitCode::SUCCESS),
