@@ -53,6 +53,33 @@ impl ExploreConfig {
     }
 }
 
+/// A scripted membership perturbation for [`explore_membership`]. Each
+/// op fires once, after a fixed number of delivered frames, so a script
+/// replays identically under every explored delivery order — the only
+/// nondeterminism stays where it belongs, in frame delivery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MembershipOp {
+    /// A new incarnation of `slave` is admitted (a reconnect, or a
+    /// mid-run join when `slave` equals the current fleet size). Any of
+    /// the old incarnation's still-undelivered DONE frames turn into
+    /// stale-epoch frames at the moment the rejoin is delivered — the
+    /// link died, so whatever was in flight arrives fenced.
+    Rejoin {
+        /// Slave index to (re)admit.
+        slave: usize,
+        /// Fire after this many delivered frames.
+        after: usize,
+    },
+    /// Operator asks `slave` to drain: finish in-flight work, take no
+    /// more, release the rank.
+    Drain {
+        /// Slave index to drain.
+        slave: usize,
+        /// Fire after this many delivered frames.
+        after: usize,
+    },
+}
+
 /// Aggregate result of an exploration.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ExploreOutcome {
@@ -91,15 +118,31 @@ fn encode(ev: &MasterEvent) -> u64 {
         MasterEvent::Done { slave, task } => {
             2_000_000_000 + (*slave as u64) * 1_000_000 + *task as u64
         }
+        MasterEvent::Rejoined { slave, .. } => 3_000_000_000 + *slave as u64,
+        MasterEvent::StaleEpoch { slave, task } => {
+            4_000_000_000 + (*slave as u64) * 1_000_000 + *task as u64
+        }
+        MasterEvent::DrainSlave { slave } => 5_000_000_000 + *slave as u64,
         _ => 9_000_000_000,
     }
 }
 
 /// Execute one schedule. Virtual time advances one millisecond per step;
-/// every slave is heard every step (fault-free world), so any exclusion,
-/// re-admission, redistribution or stale completion the machine produces
-/// is an invariant violation, not noise.
-fn run_one(dag: &TaskDag, cfg: &ExploreConfig, params: &SchedParams, prefix: &[usize]) -> Run {
+/// every slave is heard every step, so outside the scripted membership
+/// ops any exclusion, re-admission, redistribution or stale completion
+/// the machine produces is an invariant violation, not noise. With a
+/// non-empty `script` the run additionally checks the membership
+/// contract: a stale-epoch frame is fenced (never accepted), a draining
+/// slave takes no new work and is eventually released, and a released
+/// slave is never assigned again — under *every* explored delivery order
+/// of the membership frames relative to the DONEs around them.
+fn run_one(
+    dag: &TaskDag,
+    cfg: &ExploreConfig,
+    params: &SchedParams,
+    script: &[MembershipOp],
+    prefix: &[usize],
+) -> Run {
     let mut run = Run {
         choices: Vec::new(),
         avail: Vec::new(),
@@ -108,14 +151,22 @@ fn run_one(dag: &TaskDag, cfg: &ExploreConfig, params: &SchedParams, prefix: &[u
         max_pending: 0,
         violation: None,
     };
+    let membership = !script.is_empty();
     let mut m = MasterSched::new(dag, cfg.slaves, cfg.mode, params, None);
     let mut pending: Vec<MasterEvent> = (0..cfg.slaves)
         .map(|slave| MasterEvent::Idle { slave })
         .collect();
     let mut busy: Vec<Option<u32>> = vec![None; cfg.slaves];
+    let mut released: Vec<bool> = vec![false; cfg.slaves];
+    let mut draining: Vec<bool> = vec![false; cfg.slaves];
+    let mut fired: Vec<bool> = vec![false; script.len()];
     let mut accepted: Vec<u64> = vec![0; dag.len()];
+    let mut delivered = 0usize;
+    let mut stale_delivered = 0u64;
+    let mut rejoins_delivered = 0u64;
+    let mut drains_delivered: Vec<usize> = Vec::new();
     let window = cfg.reorder_window.max(1);
-    let step_limit = 4 * dag.len() + 8 * cfg.slaves + 64;
+    let step_limit = 4 * dag.len() + 8 * cfg.slaves + 16 * script.len() + 64;
     let mut now = 0u64;
     let mut finished = false;
 
@@ -130,9 +181,29 @@ fn run_one(dag: &TaskDag, cfg: &ExploreConfig, params: &SchedParams, prefix: &[u
         now += STEP_NS;
         run.max_pending = run.max_pending.max(pending.len());
 
-        for slave in 0..cfg.slaves {
+        for slave in 0..m.n_slaves() {
             if let Err(e) = m.on_event(dag, MasterEvent::Heard { slave, at_ns: now }) {
                 fail!("{e}");
+            }
+        }
+
+        // Fire due membership ops into the pending queue: from here on
+        // their delivery order relative to surrounding frames is the
+        // explorer's to choose.
+        for (i, op) in script.iter().enumerate() {
+            if fired[i] {
+                continue;
+            }
+            match *op {
+                MembershipOp::Rejoin { slave, after } if after <= delivered => {
+                    fired[i] = true;
+                    pending.push(MasterEvent::Rejoined { slave, now_ns: now });
+                }
+                MembershipOp::Drain { slave, after } if after <= delivered => {
+                    fired[i] = true;
+                    pending.push(MasterEvent::DrainSlave { slave });
+                }
+                _ => {}
             }
         }
 
@@ -148,8 +219,39 @@ fn run_one(dag: &TaskDag, cfg: &ExploreConfig, params: &SchedParams, prefix: &[u
             run.choices.push(c);
             let ev = pending.remove(c);
             run.order.push(encode(&ev));
-            if let MasterEvent::Done { slave, .. } = ev {
-                busy[slave] = None;
+            delivered += 1;
+            match ev {
+                MasterEvent::Done { slave, .. } => busy[slave] = None,
+                MasterEvent::Rejoined { slave, .. } => {
+                    // The link to the old incarnation died: every DONE of
+                    // its still in flight arrives under the old epoch and
+                    // is classified StaleEpoch by the driver. The new
+                    // incarnation starts idle.
+                    rejoins_delivered += 1;
+                    for p in pending.iter_mut() {
+                        if let MasterEvent::Done { slave: s, task } = *p {
+                            if s == slave {
+                                *p = MasterEvent::StaleEpoch { slave, task };
+                            }
+                        }
+                    }
+                    if slave < busy.len() {
+                        busy[slave] = None;
+                        draining[slave] = false;
+                        released[slave] = false;
+                    } else {
+                        // Mid-run join: the fleet grows by one slot.
+                        busy.push(None);
+                        draining.push(false);
+                        released.push(false);
+                    }
+                }
+                MasterEvent::StaleEpoch { .. } => stale_delivered += 1,
+                MasterEvent::DrainSlave { slave } => {
+                    draining[slave] = true;
+                    drains_delivered.push(slave);
+                }
+                _ => {}
             }
             let acts = match m.on_event(dag, ev.clone()) {
                 Ok(a) => a,
@@ -157,9 +259,29 @@ fn run_one(dag: &TaskDag, cfg: &ExploreConfig, params: &SchedParams, prefix: &[u
             };
             for a in acts {
                 match a {
-                    MasterAction::Accept { task, .. } => accepted[task as usize] += 1,
+                    MasterAction::Accept { task, .. } => {
+                        if matches!(ev, MasterEvent::StaleEpoch { .. }) {
+                            fail!(
+                                "stale-epoch frame for task {task} was ACCEPTED — fencing broken"
+                            );
+                        }
+                        accepted[task as usize] += 1;
+                    }
                     MasterAction::Stale { slave, task } => {
-                        fail!("stale completion of task {task} by slave {slave} in a fault-free schedule")
+                        fail!("stale completion of task {task} by slave {slave} in a timeout-free schedule")
+                    }
+                    MasterAction::Redispatch { .. }
+                    | MasterAction::Refence { .. }
+                    | MasterAction::Readmit { .. }
+                        if matches!(ev, MasterEvent::Rejoined { .. }) => {}
+                    MasterAction::Release { slave }
+                        if membership
+                            && matches!(
+                                ev,
+                                MasterEvent::DrainSlave { .. } | MasterEvent::Done { .. }
+                            ) =>
+                    {
+                        released[slave] = true;
                     }
                     other => fail!("unexpected action {other:?} from delivering {ev:?}"),
                 }
@@ -178,6 +300,12 @@ fn run_one(dag: &TaskDag, cfg: &ExploreConfig, params: &SchedParams, prefix: &[u
                     if let Some(t) = busy[slave] {
                         fail!("assigned task {task} to slave {slave} already busy with {t}");
                     }
+                    if released[slave] {
+                        fail!("assigned task {task} to slave {slave} after its release");
+                    }
+                    if draining[slave] {
+                        fail!("assigned task {task} to draining slave {slave}");
+                    }
                     busy[slave] = Some(task);
                     pending.push(MasterEvent::Done { slave, task });
                 }
@@ -187,9 +315,18 @@ fn run_one(dag: &TaskDag, cfg: &ExploreConfig, params: &SchedParams, prefix: &[u
         }
 
         // The FT sweep must be a no-op when every slave heartbeats and
-        // nothing is overdue — wherever it lands in the order.
+        // nothing is overdue — wherever it lands in the order. (With a
+        // drain in the script it may legitimately release the drained
+        // slave.)
         match m.on_event(dag, MasterEvent::FtTick { now_ns: now }) {
             Ok(a) if a.is_empty() => {}
+            Ok(a) if membership && a.iter().all(|x| matches!(x, MasterAction::Release { .. })) => {
+                for x in a {
+                    if let MasterAction::Release { slave } = x {
+                        released[slave] = true;
+                    }
+                }
+            }
             Ok(a) => fail!("fault-free FT sweep produced {a:?}"),
             Err(e) => fail!("{e}"),
         }
@@ -219,7 +356,34 @@ fn run_one(dag: &TaskDag, cfg: &ExploreConfig, params: &SchedParams, prefix: &[u
     if c.dispatched != (c.completed - c.resumed) + c.redispatched {
         fail!("dispatch conservation broken: {c:?}");
     }
-    if c.stale + c.send_failures + c.exclusions + c.readmissions + c.redispatched != 0 {
+    if membership {
+        // Membership invariants: the machine counted exactly the frames
+        // we delivered, every delivered drain ended in a release, and
+        // nothing leaked into the genuine fault paths (no timeouts or
+        // silence exist in this virtual world).
+        if c.stale_epoch != stale_delivered {
+            fail!(
+                "stale-epoch accounting: machine counted {} but {} frames were delivered",
+                c.stale_epoch,
+                stale_delivered
+            );
+        }
+        if c.rejoins != rejoins_delivered {
+            fail!(
+                "rejoin accounting: machine counted {} but {} rejoins were delivered",
+                c.rejoins,
+                rejoins_delivered
+            );
+        }
+        for &slave in &drains_delivered {
+            if !released[slave] {
+                fail!("drained slave {slave} was never released");
+            }
+        }
+        if c.stale + c.send_failures + c.exclusions + c.readmissions != 0 {
+            fail!("membership schedule took a genuine fault path: {c:?}");
+        }
+    } else if c.stale + c.send_failures + c.exclusions + c.readmissions + c.redispatched != 0 {
         fail!("fault-free schedule took a fault path: {c:?}");
     }
     run
@@ -229,6 +393,20 @@ fn run_one(dag: &TaskDag, cfg: &ExploreConfig, params: &SchedParams, prefix: &[u
 /// and check the scheduling invariants on each. Deterministic: the same
 /// inputs explore the same schedules in the same order.
 pub fn explore(dag: &TaskDag, cfg: &ExploreConfig) -> ExploreOutcome {
+    explore_membership(dag, cfg, &[])
+}
+
+/// [`explore`], with a scripted membership schedule folded in: rejoins,
+/// zombie stale-epoch frames and drains become pending frames whose
+/// delivery order the explorer varies alongside the DONEs. Every order
+/// must satisfy the fencing contract — a stale-epoch completion is
+/// never accepted, a drained slave is released exactly when its last
+/// in-flight sub-task lands, and the run still finishes bit-complete.
+pub fn explore_membership(
+    dag: &TaskDag,
+    cfg: &ExploreConfig,
+    script: &[MembershipOp],
+) -> ExploreOutcome {
     let params = SchedParams::default();
     let mut out = ExploreOutcome::default();
     let mut orders: BTreeSet<Vec<u64>> = BTreeSet::new();
@@ -238,7 +416,7 @@ pub fn explore(dag: &TaskDag, cfg: &ExploreConfig) -> ExploreOutcome {
         if out.schedules >= cfg.max_schedules {
             break;
         }
-        let run = run_one(dag, cfg, &params, &prefix);
+        let run = run_one(dag, cfg, &params, script, &prefix);
         out.schedules += 1;
         out.decisions += run.decisions;
         out.max_pending = out.max_pending.max(run.max_pending);
@@ -313,6 +491,60 @@ mod tests {
             assert!(out.violations.is_empty(), "{mode:?}: {:?}", out.violations);
             assert!(out.schedules > 1, "{mode:?} explored only FIFO");
         }
+    }
+
+    // Membership orders as pure schedules: a mid-run rejoin turns the
+    // old incarnation's in-flight DONE into a stale-epoch frame, and
+    // *every* explored placement of that frame — before the redispatch,
+    // after it, after the fresh accept — must be fenced. The final check
+    // asserts the machine's stale_epoch counter matches the frames
+    // delivered and each tile is accepted exactly once.
+    #[test]
+    fn rejoin_orders_never_accept_a_stale_epoch_frame() {
+        let dag = TaskDag::from_pattern(&Wavefront2D::new(GridDims::square(4)));
+        let mut cfg = ExploreConfig::new(2, ScheduleMode::Dynamic);
+        cfg.depth = 2;
+        for after in [1usize, 3, 6] {
+            let script = [MembershipOp::Rejoin { slave: 1, after }];
+            let out = explore_membership(&dag, &cfg, &script);
+            assert!(
+                out.violations.is_empty(),
+                "rejoin after {after}: {:?}",
+                out.violations
+            );
+            assert!(out.schedules > 1, "rejoin after {after} explored only FIFO");
+        }
+    }
+
+    // A drain mid-run: the slave finishes its in-flight sub-task, is
+    // released, and the remaining wavefront lands entirely on the
+    // survivor — under every explored order of the drain frame.
+    #[test]
+    fn drain_orders_release_exactly_once_and_finish_on_the_survivor() {
+        let dag = TaskDag::from_pattern(&Wavefront2D::new(GridDims::square(4)));
+        let mut cfg = ExploreConfig::new(2, ScheduleMode::Dynamic);
+        cfg.depth = 2;
+        let script = [MembershipOp::Drain { slave: 1, after: 2 }];
+        let out = explore_membership(&dag, &cfg, &script);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(out.schedules > 1, "explored only FIFO");
+    }
+
+    // A join past the fleet size grows the machine mid-run; combined
+    // with a later drain of the joiner the fleet shrinks back, and the
+    // run still completes every tile exactly once in every order.
+    #[test]
+    fn join_then_drain_orders_all_complete() {
+        let dag = TaskDag::from_pattern(&Wavefront2D::new(GridDims::square(4)));
+        let mut cfg = ExploreConfig::new(2, ScheduleMode::Dynamic);
+        cfg.depth = 2;
+        let script = [
+            MembershipOp::Rejoin { slave: 2, after: 2 },
+            MembershipOp::Drain { slave: 2, after: 6 },
+        ];
+        let out = explore_membership(&dag, &cfg, &script);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(out.schedules > 1, "explored only FIFO");
     }
 
     #[test]

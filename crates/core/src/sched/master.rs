@@ -88,6 +88,35 @@ pub enum MasterEvent {
     /// The driver enters teardown: stop dispatching, keep accepting
     /// completions still in flight.
     Drain,
+    /// A *new incarnation* of `slave` was admitted under a new fleet
+    /// epoch (or, when `slave` is past the current fleet, a brand-new
+    /// slave joined mid-run and the machine must grow). The old
+    /// incarnation's in-flight work is rolled back for redistribution —
+    /// whatever it computes now will arrive stamped with a stale epoch
+    /// and be fenced.
+    Rejoined {
+        /// Slave index (>= the current fleet size for a mid-run joiner).
+        slave: usize,
+        /// Admission time, ns since run start.
+        now_ns: u64,
+    },
+    /// A DONE stamped with an out-of-date epoch arrived from `slave`:
+    /// the computing incarnation was already fenced. Counted and
+    /// dropped; the register table is never consulted, so a stale-epoch
+    /// completion can never be accepted.
+    StaleEpoch {
+        /// Slave index.
+        slave: usize,
+        /// Task of the fenced completion.
+        task: u32,
+    },
+    /// Operator request: stop assigning work to `slave`, let its
+    /// in-flight sub-tasks finish, then release it from the fleet
+    /// ([`MasterAction::Release`]).
+    DrainSlave {
+        /// Slave index.
+        slave: usize,
+    },
 }
 
 /// Effect the driver must perform, in order.
@@ -145,6 +174,19 @@ pub enum MasterAction {
     BudgetStop,
     /// Every slave is permanently unreachable; the run cannot finish.
     AllSlavesDead,
+    /// A new incarnation of `slave` was admitted: reset the transport's
+    /// per-peer reliability state (its sequence numbers restarted) and
+    /// stamp every future ASSIGN to it with the new fleet epoch.
+    Refence {
+        /// Slave index.
+        slave: usize,
+    },
+    /// The drained `slave` has nothing left in flight: release its rank
+    /// back to the fleet's free-list.
+    Release {
+        /// Slave index.
+        slave: usize,
+    },
 }
 
 /// The machine's own counters, mirroring `MasterStats` semantics. The
@@ -168,6 +210,11 @@ pub struct SchedCounters {
     pub exclusions: u64,
     /// Dead-marked slaves re-admitted.
     pub readmissions: u64,
+    /// New incarnations admitted (reconnect with a fresh session, or a
+    /// mid-run joiner growing the fleet).
+    pub rejoins: u64,
+    /// Completions fenced because they were stamped with a stale epoch.
+    pub stale_epoch: u64,
 }
 
 /// An in-flight dispatch: virtual-time twin of the runtime's overtime
@@ -204,6 +251,9 @@ pub struct MasterSched {
     /// with 0 (the run start) so a not-yet-heard slave gets a startup
     /// grace of one `heartbeat_timeout` instead of counting as silent.
     last_seen: Vec<Option<u64>>,
+    /// Per-slave graceful drain: no new dispatch, release when the last
+    /// in-flight sub-task lands.
+    slave_draining: Vec<bool>,
     draining: bool,
     counters: SchedCounters,
 }
@@ -233,9 +283,29 @@ impl MasterSched {
             unreachable: vec![false; n_slaves],
             idle: vec![false; n_slaves],
             last_seen: vec![Some(0); n_slaves],
+            slave_draining: vec![false; n_slaves],
             draining: false,
             counters: SchedCounters::default(),
         }
+    }
+
+    /// Grow the machine to `n` slaves — called when a mid-run joiner
+    /// extends the fleet past its initial size. New slots start alive,
+    /// busy (they announce IDLE themselves) and just-heard.
+    pub fn grow_to(&mut self, n: usize) {
+        while self.n_slaves < n {
+            self.alive.push(true);
+            self.unreachable.push(false);
+            self.idle.push(false);
+            self.last_seen.push(Some(0));
+            self.slave_draining.push(false);
+            self.n_slaves += 1;
+        }
+    }
+
+    /// Current number of slave slots (grows with mid-run joins).
+    pub fn n_slaves(&self) -> usize {
+        self.n_slaves
     }
 
     /// Counters so far.
@@ -346,8 +416,104 @@ impl MasterSched {
                 }
             }
             MasterEvent::Drain => self.draining = true,
+            MasterEvent::Rejoined { slave, now_ns } => {
+                self.rejoined(dag, slave, now_ns, &mut out)?
+            }
+            MasterEvent::StaleEpoch { slave, task } => {
+                // The fenced incarnation's work never touches the
+                // register: a stale-epoch DONE cannot be accepted even
+                // if the task happens to be registered to this rank
+                // (the *new* incarnation may legitimately be running it).
+                if slave < self.n_slaves {
+                    let _ = task;
+                    self.counters.stale_epoch += 1;
+                }
+            }
+            MasterEvent::DrainSlave { slave } => {
+                if slave < self.n_slaves && !self.slave_draining[slave] {
+                    self.slave_draining[slave] = true;
+                    self.maybe_release(slave, &mut out);
+                }
+            }
         }
         Ok(out)
+    }
+
+    /// A new incarnation of `slave` was admitted (or a brand-new slave
+    /// joined past the fleet's current size): roll the old incarnation's
+    /// in-flight work back for redistribution, restore the slot to
+    /// scheduling, and tell the driver to re-fence the transport.
+    fn rejoined(
+        &mut self,
+        dag: &TaskDag,
+        slave: usize,
+        now_ns: u64,
+        out: &mut Vec<MasterAction>,
+    ) -> Result<(), SchedViolation> {
+        if slave >= self.n_slaves {
+            // Mid-run joiner: fresh slot, nothing to roll back.
+            self.grow_to(slave + 1);
+            self.last_seen[slave] = Some(now_ns);
+            self.counters.rejoins += 1;
+            out.push(MasterAction::Refence { slave });
+            return Ok(());
+        }
+        // Roll back whatever the dead incarnation still held: its DONEs
+        // will arrive (if at all) under a stale epoch and be fenced, so
+        // the work must be redistributable *now*, not after the task
+        // timeout.
+        let mut mine = Vec::new();
+        self.overtime.retain(|e| {
+            if e.slave == slave as u32 {
+                mine.push(*e);
+                false
+            } else {
+                true
+            }
+        });
+        for e in mine {
+            if self.register.accepts(e.task, e.slave) {
+                self.register.cancel(e.task);
+                self.parser.fail(dag, VertexId(e.task)).map_err(|_| {
+                    SchedViolation::new(
+                        "rejoined slave's in-flight task was not running",
+                        MasterEvent::Rejoined { slave, now_ns },
+                    )
+                })?;
+                self.counters.redispatched += 1;
+                out.push(MasterAction::Redispatch { task: e.task });
+            }
+        }
+        // The new incarnation is reachable and idle by construction; a
+        // pending drain applied to the old incarnation, not this one.
+        self.unreachable[slave] = false;
+        self.last_seen[slave] = Some(now_ns);
+        self.idle[slave] = true;
+        self.slave_draining[slave] = false;
+        self.counters.rejoins += 1;
+        if !self.alive[slave] {
+            self.alive[slave] = true;
+            self.counters.readmissions += 1;
+            out.push(MasterAction::Readmit { slave });
+        }
+        out.push(MasterAction::Refence { slave });
+        Ok(())
+    }
+
+    /// If `slave` is draining and holds nothing in flight, release it:
+    /// out of scheduling for good, rank returned to the fleet.
+    fn maybe_release(&mut self, slave: usize, out: &mut Vec<MasterAction>) {
+        if !self.slave_draining[slave] || self.unreachable[slave] {
+            return;
+        }
+        if self.overtime.iter().any(|e| e.slave == slave as u32) {
+            return;
+        }
+        // Released, not excluded: the departure is voluntary, so it is
+        // not counted as a death and never re-admitted.
+        self.alive[slave] = false;
+        self.unreachable[slave] = true;
+        out.push(MasterAction::Release { slave });
     }
 
     /// One scheduling pass (the body the old threaded loop ran under its
@@ -389,6 +555,9 @@ impl MasterSched {
         let alive_now = self.alive.clone();
         let none_alive = alive_now.iter().all(|a| !a);
         for w in 0..self.n_slaves {
+            if self.slave_draining[w] {
+                continue; // draining: finish in-flight work, take no more
+            }
             let speculative = none_alive && !self.unreachable[w];
             if !self.idle[w] || !(alive_now[w] || speculative) {
                 continue;
@@ -475,6 +644,11 @@ impl MasterSched {
                 self.exclude(w, out);
             }
         }
+        // The overdue drain may have taken back a draining slave's last
+        // in-flight sub-task: it can be released now.
+        for w in 0..self.n_slaves {
+            self.maybe_release(w, out);
+        }
         Ok(())
     }
 
@@ -505,6 +679,7 @@ impl MasterSched {
             self.counters.stale += 1;
             out.push(MasterAction::Stale { slave, task });
         }
+        self.maybe_release(slave, out);
         Ok(())
     }
 
@@ -555,6 +730,7 @@ impl MasterSched {
                 }
             }
         }
+        self.maybe_release(slave, out);
         Ok(())
     }
 }
@@ -981,6 +1157,181 @@ mod tests {
         assert_eq!(m.counters().send_failures, 1);
         let acts = feed(&mut m, &dag, [MasterEvent::Tick { now_ns: 2 * MS }]);
         assert_eq!(assigns(&acts), vec![(1, 0)], "survivor takes it over");
+    }
+
+    /// The two-incarnation zombie scenario: incarnation 1 takes a task,
+    /// its link dies, it reconnects as incarnation 2 (Rejoined), and the
+    /// delayed DONE of incarnation 1 then arrives as a stale-epoch frame.
+    /// It must be counted and fenced — never accepted — and the task,
+    /// rolled back at rejoin, is recomputed and accepted exactly once.
+    #[test]
+    fn stale_epoch_done_is_fenced_never_accepted() {
+        let dag = dag4();
+        let mut m = machine(&dag, 2, ScheduleMode::Dynamic);
+        feed(
+            &mut m,
+            &dag,
+            [
+                MasterEvent::Idle { slave: 0 },
+                MasterEvent::Idle { slave: 1 },
+            ],
+        );
+        let acts = feed(&mut m, &dag, [MasterEvent::Tick { now_ns: MS }]);
+        assert_eq!(assigns(&acts), vec![(0, 0)]);
+        // Incarnation 1 of slave 0 dies; incarnation 2 is admitted.
+        let acts = feed(
+            &mut m,
+            &dag,
+            [MasterEvent::Rejoined {
+                slave: 0,
+                now_ns: 2 * MS,
+            }],
+        );
+        assert!(
+            acts.contains(&MasterAction::Redispatch { task: 0 }),
+            "in-flight work rolled back at rejoin: {acts:?}"
+        );
+        assert!(
+            acts.contains(&MasterAction::Refence { slave: 0 }),
+            "{acts:?}"
+        );
+        assert_eq!(m.counters().rejoins, 1);
+        // The zombie's delayed DONE arrives under the old epoch: the
+        // driver classifies it as StaleEpoch. Nothing is accepted.
+        let acts = feed(
+            &mut m,
+            &dag,
+            [MasterEvent::StaleEpoch { slave: 0, task: 0 }],
+        );
+        assert!(acts.is_empty(), "fenced DONE produces no actions: {acts:?}");
+        assert_eq!(m.counters().stale_epoch, 1);
+        assert_eq!(m.counters().completed, 0, "never accepted");
+        // The rolled-back task is redispatched (to the rejoined slave,
+        // which came back idle) and its fresh completion is accepted —
+        // exactly once.
+        let acts = feed(&mut m, &dag, [MasterEvent::Tick { now_ns: 3 * MS }]);
+        assert_eq!(assigns(&acts), vec![(0, 0)]);
+        let acts = feed(&mut m, &dag, [MasterEvent::Done { slave: 0, task: 0 }]);
+        assert_eq!(acts, vec![MasterAction::Accept { slave: 0, task: 0 }]);
+        // A replay of the same stale frame is still fenced.
+        feed(
+            &mut m,
+            &dag,
+            [MasterEvent::StaleEpoch { slave: 0, task: 0 }],
+        );
+        let c = m.counters();
+        assert_eq!(c.stale_epoch, 2);
+        assert_eq!(c.completed, 1, "double-accept is impossible");
+        assert_eq!(
+            c.dispatched,
+            (c.completed - c.resumed) + c.redispatched,
+            "conservation: {c:?}"
+        );
+    }
+
+    /// A rejoin of an *excluded* slave re-admits it, and a rejoin past
+    /// the fleet size grows the machine (mid-run join).
+    #[test]
+    fn rejoin_readmits_and_join_grows() {
+        let dag = dag4();
+        let mut m = machine(&dag, 1, ScheduleMode::Dynamic);
+        // Excluded by silence.
+        feed(&mut m, &dag, [MasterEvent::FtTick { now_ns: 300 * MS }]);
+        assert_eq!(m.alive(), &[false]);
+        // A new incarnation readmits the slot without waiting for ticks.
+        let acts = feed(
+            &mut m,
+            &dag,
+            [MasterEvent::Rejoined {
+                slave: 0,
+                now_ns: 301 * MS,
+            }],
+        );
+        assert!(
+            acts.contains(&MasterAction::Readmit { slave: 0 }),
+            "{acts:?}"
+        );
+        assert_eq!(m.alive(), &[true]);
+        // A joiner past the fleet: the machine grows and dispatches to it.
+        let acts = feed(
+            &mut m,
+            &dag,
+            [MasterEvent::Rejoined {
+                slave: 1,
+                now_ns: 302 * MS,
+            }],
+        );
+        assert!(
+            acts.contains(&MasterAction::Refence { slave: 1 }),
+            "{acts:?}"
+        );
+        assert_eq!(m.n_slaves(), 2);
+        // Once the wavefront widens past the source, the joiner is
+        // scheduled alongside the original slave.
+        feed(&mut m, &dag, [MasterEvent::Idle { slave: 1 }]);
+        let acts = feed(&mut m, &dag, [MasterEvent::Tick { now_ns: 303 * MS }]);
+        assert_eq!(assigns(&acts), vec![(0, 0)], "source to first idle slave");
+        feed(&mut m, &dag, [MasterEvent::Done { slave: 0, task: 0 }]);
+        let acts = feed(&mut m, &dag, [MasterEvent::Tick { now_ns: 304 * MS }]);
+        let got = assigns(&acts);
+        assert!(
+            got.iter().any(|(w, _)| *w == 1),
+            "joiner gets work once the frontier widens: {got:?}"
+        );
+        assert_eq!(got.len(), 2, "both slaves busy: {got:?}");
+    }
+
+    /// Graceful drain: a draining slave takes no new work, its in-flight
+    /// sub-task still lands, and the Release fires exactly when the last
+    /// one drains. Released slaves never come back.
+    #[test]
+    fn drain_waits_for_inflight_then_releases() {
+        let dag = dag4();
+        let mut m = machine(&dag, 2, ScheduleMode::Dynamic);
+        feed(
+            &mut m,
+            &dag,
+            [
+                MasterEvent::Idle { slave: 0 },
+                MasterEvent::Idle { slave: 1 },
+            ],
+        );
+        let acts = feed(&mut m, &dag, [MasterEvent::Tick { now_ns: MS }]);
+        assert_eq!(assigns(&acts), vec![(0, 0)]);
+        // Drain slave 0 while task 0 is in flight: no release yet.
+        let acts = feed(&mut m, &dag, [MasterEvent::DrainSlave { slave: 0 }]);
+        assert!(acts.is_empty(), "{acts:?}");
+        // No new dispatch to the draining slave even though it turns idle.
+        feed(&mut m, &dag, [MasterEvent::Idle { slave: 0 }]);
+        let acts = feed(&mut m, &dag, [MasterEvent::Tick { now_ns: 2 * MS }]);
+        assert!(assigns(&acts).is_empty(), "{acts:?}");
+        // Its in-flight DONE is still accepted, and the release follows.
+        let acts = feed(&mut m, &dag, [MasterEvent::Done { slave: 0, task: 0 }]);
+        assert!(acts.contains(&MasterAction::Accept { slave: 0, task: 0 }));
+        assert!(
+            acts.contains(&MasterAction::Release { slave: 0 }),
+            "{acts:?}"
+        );
+        // The released slot takes no more work; the survivor drains the DAG.
+        feed(&mut m, &dag, [MasterEvent::Idle { slave: 0 }]);
+        let acts = feed(&mut m, &dag, [MasterEvent::Tick { now_ns: 3 * MS }]);
+        assert!(
+            assigns(&acts).iter().all(|(w, _)| *w == 1),
+            "released slave must not be scheduled: {acts:?}"
+        );
+        assert_eq!(m.counters().exclusions, 0, "voluntary exit is not a death");
+    }
+
+    /// Draining an idle slave releases it immediately.
+    #[test]
+    fn drain_of_idle_slave_releases_at_once() {
+        let dag = dag4();
+        let mut m = machine(&dag, 2, ScheduleMode::Dynamic);
+        let acts = feed(&mut m, &dag, [MasterEvent::DrainSlave { slave: 1 }]);
+        assert_eq!(acts, vec![MasterAction::Release { slave: 1 }]);
+        // Idempotent: a second drain of the same slave does nothing.
+        let acts = feed(&mut m, &dag, [MasterEvent::DrainSlave { slave: 1 }]);
+        assert!(acts.is_empty(), "{acts:?}");
     }
 
     /// Checkpoint preload fast-forwards the parser and counts resumed.

@@ -37,7 +37,7 @@ mod params;
 mod pool;
 mod register;
 
-pub use explore::{explore, ExploreConfig, ExploreOutcome};
+pub use explore::{explore, explore_membership, ExploreConfig, ExploreOutcome, MembershipOp};
 pub use master::{MasterAction, MasterEvent, MasterSched, SchedCounters, SendFailKind};
 pub use params::SchedParams;
 pub use pool::{replay_pool, PoolAction, PoolEvent, PoolLog, PoolSched};

@@ -13,6 +13,20 @@ use crate::message::{Envelope, Tag};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// A scheduled hard link cut: at send number `at` the endpoint's socket
+/// link to the destination of that send is shut down at the kernel level
+/// and held down for `down_for`, after which the reconnect path (when the
+/// transport has one configured) is free to heal it. Purely send-count
+/// driven — no RNG draws — so adding a sever to a plan never perturbs the
+/// schedule of the probabilistic clauses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkSever {
+    /// Fire when the endpoint's send counter reaches this value.
+    pub at: u64,
+    /// How long the link is held down before redial attempts may succeed.
+    pub down_for: std::time::Duration,
+}
+
 /// Faults to inject at one endpoint. All randomness is seeded, so fault
 /// schedules reproduce exactly.
 #[derive(Clone, Debug, Default)]
@@ -46,6 +60,9 @@ pub struct FaultPlan {
     /// crash): every later operation returns
     /// [`crate::NetError::Dead`].
     pub die_after_sends: Option<u64>,
+    /// Hard-close the socket link under one send, then let the reconnect
+    /// path heal it. A no-op on channel links (in-process transport).
+    pub link_sever: Option<LinkSever>,
 }
 
 impl FaultPlan {
@@ -96,6 +113,13 @@ impl FaultPlan {
     /// Kill the endpoint after `n` send attempts.
     pub fn with_death_after(mut self, n: u64) -> Self {
         self.die_after_sends = Some(n);
+        self
+    }
+
+    /// Sever the socket link under the `at`-th send and hold it down for
+    /// `down_for` before reconnection may heal it.
+    pub fn with_link_sever(mut self, at: u64, down_for: std::time::Duration) -> Self {
+        self.link_sever = Some(LinkSever { at, down_for });
         self
     }
 
@@ -161,6 +185,19 @@ impl FaultState {
 
     pub(crate) fn note_send(&mut self) {
         self.sends += 1;
+    }
+
+    /// Whether this send is the one the plan severs the link under.
+    /// Fires exactly once (at equality, not `>=`), and draws nothing from
+    /// the RNG, so old seeds replay byte-for-byte.
+    pub(crate) fn should_sever_now(&self) -> Option<std::time::Duration> {
+        match &self.plan {
+            Some(FaultPlan {
+                link_sever: Some(s),
+                ..
+            }) if self.sends == s.at => Some(s.down_for),
+            _ => None,
+        }
     }
 
     pub(crate) fn should_die_now(&self) -> bool {

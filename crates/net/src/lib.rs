@@ -41,11 +41,14 @@ mod wire;
 
 pub use crc::crc32c;
 pub use delay::DelayModel;
-pub use fault::FaultPlan;
+pub use fault::{FaultPlan, LinkSever};
 pub use message::{Envelope, Rank, Tag};
 pub use reliable::{
     FailReason, PeerReliStats, ReliStats, ReliableEndpoint, RetryPolicy, SendFailure,
 };
-pub use socket::{LinkSnapshot, LinkStats, NetAddr, SocketConfig, SocketInfo, SocketListener};
+pub use socket::{
+    FleetAcceptor, LinkSnapshot, LinkStats, MembershipEvent, NetAddr, SocketConfig, SocketInfo,
+    SocketListener,
+};
 pub use transport::{Endpoint, KillHandle, NetError, NetStats, Network};
 pub use wire::{WireError, WireReader, WireWriter};

@@ -223,6 +223,37 @@ impl ReliableEndpoint {
         self.lane = lane;
     }
 
+    /// Grow the per-rank reliability state to cover `n` ranks — called
+    /// when a mid-run joiner extends the cluster. Existing state is
+    /// untouched; new slots start fresh.
+    pub fn ensure_ranks(&mut self, n: usize) {
+        while self.next_seq.len() < n {
+            self.next_seq.push(0);
+            self.recv_state.push(PeerRecv::default());
+            self.last_heard.push(None);
+            self.per_peer.push(PeerReliStats::default());
+        }
+    }
+
+    /// Reset all reliability state for `peer`: a *new incarnation* of the
+    /// rank restarts its sequence numbers at 1, so the old dedup window
+    /// would silently swallow everything it sends, and retransmits aimed
+    /// at the dead incarnation are meaningless. Liveness is reset to
+    /// "just heard" so the fresh incarnation gets its startup grace.
+    pub fn reset_peer(&mut self, peer: Rank) {
+        let i = peer.index();
+        if let Some(s) = self.next_seq.get_mut(i) {
+            *s = 0;
+        }
+        if let Some(r) = self.recv_state.get_mut(i) {
+            *r = PeerRecv::default();
+        }
+        if let Some(h) = self.last_heard.get_mut(i) {
+            *h = Some(Instant::now());
+        }
+        self.pending.retain(|p| p.dst != peer);
+    }
+
     /// This endpoint's rank.
     pub fn rank(&self) -> Rank {
         self.ep.rank()

@@ -20,7 +20,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 /// How often a blocked receive re-checks [`KillHandle`] liveness. A
@@ -73,6 +73,10 @@ pub struct NetStats {
     /// Extra copies injected by [`SendVerdict::Duplicate`]: the receiver
     /// sees `sent_msgs + duplicated_msgs` deliveries.
     pub duplicated_msgs: u64,
+    /// Scripted link severs that actually fired (the send counter reached
+    /// the clause's threshold on a socket link). A plan whose sever never
+    /// triggers — the run finished first — leaves this at zero.
+    pub severed_links: u64,
 }
 
 /// Handle that can kill an endpoint from another thread (simulates a node
@@ -122,9 +126,16 @@ impl TxLink {
 }
 
 /// One rank's connection to the virtual cluster.
+///
+/// The route table sits behind a lock shared with every
+/// [`Endpoint::fork`] (and, on an elastic master, the fleet acceptor) so
+/// membership changes — a mid-run joiner growing the cluster, a released
+/// rank's route being replaced — are visible to all holders at once.
+/// Uncontended read-lock acquisition is a few nanoseconds; the send path
+/// does not notice it.
 pub struct Endpoint {
     rank: Rank,
-    links: Vec<TxLink>,
+    links: Arc<RwLock<Vec<TxLink>>>,
     receiver: Receiver<Envelope>,
     /// Messages received but not matched by a selective receive.
     deferred: VecDeque<Envelope>,
@@ -137,7 +148,7 @@ impl fmt::Debug for Endpoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Endpoint")
             .field("rank", &self.rank)
-            .field("n_ranks", &self.links.len())
+            .field("n_ranks", &self.n_ranks())
             .field("stats", &self.stats)
             .finish()
     }
@@ -190,13 +201,19 @@ impl Endpoint {
     ) -> Self {
         Endpoint {
             rank,
-            links,
+            links: Arc::new(RwLock::new(links)),
             receiver,
             deferred: VecDeque::new(),
             dead: Arc::new(AtomicBool::new(false)),
             fault: FaultState::new(plan),
             stats: NetStats::default(),
         }
+    }
+
+    /// The shared route table, for components that mutate membership at
+    /// runtime (the fleet acceptor installs links for mid-run joiners).
+    pub(crate) fn shared_links(&self) -> Arc<RwLock<Vec<TxLink>>> {
+        self.links.clone()
     }
 
     /// This endpoint's rank.
@@ -206,7 +223,7 @@ impl Endpoint {
 
     /// Number of ranks in the network.
     pub fn n_ranks(&self) -> usize {
-        self.links.len()
+        self.links.read().unwrap().len()
     }
 
     /// Traffic counters.
@@ -225,11 +242,21 @@ impl Endpoint {
     /// the per-job view of a persistent fleet connection. The fork gets
     /// its own deferred queue, fault state (from `plan`), liveness flag
     /// and statistics; the underlying routes (channels or sockets) are
-    /// shared, so dropping the fork does not close any connection while
-    /// the parent lives. Only one of parent/fork may receive at a time:
-    /// they drain the same inbound queue.
+    /// *shared* (same route table, not a copy), so dropping the fork does
+    /// not close any connection while the parent lives and membership
+    /// changes made through either are seen by both. Only one of
+    /// parent/fork may receive at a time: they drain the same inbound
+    /// queue.
     pub fn fork(&self, plan: Option<FaultPlan>) -> Endpoint {
-        Endpoint::from_parts(self.rank, self.links.clone(), self.receiver.clone(), plan)
+        Endpoint {
+            rank: self.rank,
+            links: self.links.clone(),
+            receiver: self.receiver.clone(),
+            deferred: VecDeque::new(),
+            dead: Arc::new(AtomicBool::new(false)),
+            fault: FaultState::new(plan),
+            stats: NetStats::default(),
+        }
     }
 
     fn check_alive(&mut self) -> Result<(), NetError> {
@@ -256,6 +283,15 @@ impl Endpoint {
             payload,
         };
         self.fault.note_send();
+        // A scripted link sever fires on send count, before the verdict:
+        // it models the cable being pulled, not a message being lost —
+        // the frame below still goes out through the (now-queueing) link.
+        if let Some(down_for) = self.fault.should_sever_now() {
+            if let Some(TxLink::Socket(tx)) = self.links.read().unwrap().get(env.dst.index()) {
+                tx.sever(down_for);
+                self.stats.severed_links += 1;
+            }
+        }
         let res = match self.fault.decide(tag, env.payload.len()) {
             SendVerdict::Deliver => self.deliver(env, true),
             SendVerdict::Drop => {
@@ -302,10 +338,14 @@ impl Endpoint {
 
     fn deliver(&mut self, env: Envelope, count: bool) -> Result<(), NetError> {
         let size = env.wire_size();
-        self.links
+        let link = self
+            .links
+            .read()
+            .unwrap()
             .get(env.dst.index())
             .ok_or(NetError::Disconnected)?
-            .deliver(env)?;
+            .clone();
+        link.deliver(env)?;
         if count {
             self.stats.sent_msgs += 1;
             self.stats.sent_bytes += size;

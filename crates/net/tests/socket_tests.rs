@@ -125,11 +125,12 @@ fn slow_reader_backpressure_bounds_memory() {
     let magic = u32::from_le_bytes(*b"EHPS");
     let mut hello = Vec::new();
     hello.extend_from_slice(&magic.to_le_bytes());
-    hello.push(1u8); // protocol version
+    hello.push(2u8); // protocol version
     hello.extend_from_slice(&1u32.to_le_bytes()); // want rank 1
+    hello.extend_from_slice(&0xDEAD_BEEFu64.to_le_bytes()); // session id
     peer.write_all(&hello).unwrap();
     let (mut master, minfo) = listener.accept_ranks(1, None).unwrap();
-    let mut welcome = [0u8; 13];
+    let mut welcome = [0u8; 21]; // magic + version + rank + n_ranks + epoch
     peer.read_exact(&mut welcome).unwrap();
 
     let stats = minfo.link(Rank(1)).unwrap().clone();

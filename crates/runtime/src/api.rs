@@ -73,6 +73,7 @@ pub struct EasyHps<P: DpProblem> {
     collect_metrics: bool,
     trace_out: Option<PathBuf>,
     autotune: Option<PathBuf>,
+    reconnect: Option<Duration>,
 }
 
 /// Which transport carries the virtual cluster's messages. All three run
@@ -142,6 +143,7 @@ impl<P: DpProblem> EasyHps<P> {
             collect_metrics: false,
             trace_out: None,
             autotune: None,
+            reconnect: None,
         }
     }
 
@@ -326,6 +328,16 @@ impl<P: DpProblem> EasyHps<P> {
         self
     }
 
+    /// Elastic membership for the socket transports: severed links heal
+    /// by redial for up to `window` (slaves keep their rank and state and
+    /// resume under a bumped fleet epoch; the master fences frames from
+    /// stale incarnations). No effect on the in-process transport, whose
+    /// channel links cannot drop. See DESIGN.md §17.
+    pub fn reconnect(mut self, window: Duration) -> Self {
+        self.reconnect = Some(window);
+        self
+    }
+
     /// Heartbeat cadence: slaves announce liveness every `interval`; the
     /// master treats a slave silent past `timeout` as dead rather than
     /// slow.
@@ -481,7 +493,10 @@ impl<P: DpProblem> EasyHps<P> {
                     TransportKind::Uds => NetAddr::Uds(temp_socket_path()),
                     _ => NetAddr::parse("127.0.0.1:0").expect("loopback address parses"),
                 };
-                let scfg = SocketConfig::default();
+                let scfg = SocketConfig {
+                    reconnect_window: self.reconnect,
+                    ..SocketConfig::default()
+                };
                 let listener = SocketListener::bind(&bind_addr, scfg.clone()).map_err(|e| {
                     RuntimeError::InvalidConfig(format!("binding {bind_addr}: {e}"))
                 })?;
@@ -505,22 +520,46 @@ impl<P: DpProblem> EasyHps<P> {
                             drive_slave(memory, ep, problem.as_ref(), &model, &deployment)
                         });
                     }
-                    let (master_ep, sinfo) = listener
-                        .accept_ranks(self.deployment.slaves, plans[0].clone())
-                        .map_err(|e| {
-                            RuntimeError::InvalidConfig(format!("accepting slaves: {e}"))
-                        })?;
-                    let out = run_master_with(
-                        master_ep,
-                        problem.as_ref(),
-                        &model,
-                        &deployment,
-                        self.resume.as_ref(),
-                        self.tile_budget,
-                    )?;
-                    if let Some(reg) = &registry {
-                        crate::remote::publish_socket_stats(reg, &sinfo);
-                    }
+                    let accept_err =
+                        |e| RuntimeError::InvalidConfig(format!("accepting slaves: {e}"));
+                    let out = if self.reconnect.is_some() {
+                        // Elastic membership: keep the listener open in a
+                        // background acceptor that splices reconnecting
+                        // slaves back in and fences stale incarnations.
+                        let (master_ep, sinfo, acceptor) = listener
+                            .accept_fleet(self.deployment.slaves, plans[0].clone())
+                            .map_err(accept_err)?;
+                        let control = crate::master::FleetControl::new(Some(Arc::new(acceptor)));
+                        let out = crate::master::run_master_fleet(
+                            master_ep,
+                            problem.as_ref(),
+                            &model,
+                            &deployment,
+                            self.resume.as_ref(),
+                            self.tile_budget,
+                            Some(&control),
+                        )?;
+                        if let Some(reg) = &registry {
+                            crate::remote::publish_socket_stats(reg, &sinfo);
+                        }
+                        out
+                    } else {
+                        let (master_ep, sinfo) = listener
+                            .accept_ranks(self.deployment.slaves, plans[0].clone())
+                            .map_err(accept_err)?;
+                        let out = run_master_with(
+                            master_ep,
+                            problem.as_ref(),
+                            &model,
+                            &deployment,
+                            self.resume.as_ref(),
+                            self.tile_budget,
+                        )?;
+                        if let Some(reg) = &registry {
+                            crate::remote::publish_socket_stats(reg, &sinfo);
+                        }
+                        out
+                    };
                     Ok::<_, RuntimeError>(out)
                 })?
             }

@@ -134,6 +134,12 @@ pub struct MasterStats {
     /// Dead-marked slaves re-admitted after a fresh heartbeat proved them
     /// alive (wrong exclusions undone).
     pub readmitted: u64,
+    /// Slave incarnations re-admitted under a new fleet epoch (reconnect
+    /// with a fresh session, or a mid-run joiner growing the fleet).
+    pub rejoins: u64,
+    /// Completions rejected because their echoed epoch predated the
+    /// slave's current incarnation (zombie DONEs fenced out).
+    pub stale_epoch_rejected: u64,
     /// Control-message retransmissions by the master's reliable endpoint.
     pub retransmits: u64,
     /// Duplicate deliveries suppressed by the master's reliable endpoint.

@@ -27,7 +27,7 @@
 use crate::checkpoint::Checkpoint;
 use crate::config::{ObsConfig, RunReport};
 use crate::durable::CheckpointPolicy;
-use crate::master::run_master_with;
+use crate::master::{run_master_fleet, FleetControl};
 use crate::protocol::tags;
 use crate::remote::{
     publish_socket_stats, slave_job_loop, with_problem, JobSpec, RemoteOutput, RemoteProblem,
@@ -36,7 +36,9 @@ use crate::remote::{
 use crate::RuntimeError;
 use easyhps_dp::{EditDistance, Lcs, NeedlemanWunsch, Nussinov, SmithWatermanGeneralGap};
 use easyhps_net::socket::{SocketInfo, SocketListener};
-use easyhps_net::{frame, Endpoint, FaultPlan, Network, Rank};
+use easyhps_net::{frame, Endpoint, FaultPlan, FleetAcceptor, Network, Rank};
+use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -63,13 +65,23 @@ enum FleetSlaves {
 }
 
 /// A set of connected, rank-assigned slaves that stays usable across
-/// jobs. Create with [`Fleet::accept`] (sockets) or [`Fleet::local`]
-/// (threads), run any number of jobs, then [`Fleet::shutdown`].
+/// jobs. Create with [`Fleet::accept`] (sockets, fixed membership),
+/// [`Fleet::accept_elastic`] (sockets, reconnection + mid-run join +
+/// drain) or [`Fleet::local`] (threads), run any number of jobs, then
+/// [`Fleet::shutdown`].
 pub struct Fleet {
     root: Endpoint,
     n_slaves: usize,
     fault: Option<FaultPlan>,
     slaves: FleetSlaves,
+    /// Shared with every job's master: drain requests flow in, released
+    /// ranks flow out, and the elastic acceptor (if any) rides along.
+    control: FleetControl,
+    /// Ranks no longer part of a *fixed-membership* fleet (drained and
+    /// released, or found dead between jobs); indexed by rank, 0 unused.
+    /// Elastic fleets derive membership from the acceptor instead — a
+    /// released rank there may be re-issued to the next joiner.
+    retired: Vec<bool>,
 }
 
 impl Fleet {
@@ -93,6 +105,35 @@ impl Fleet {
             n_slaves,
             fault,
             slaves: FleetSlaves::Remote(info),
+            control: FleetControl::new(None),
+            retired: vec![false; n_slaves + 1],
+        })
+    }
+
+    /// [`Fleet::accept`] with *elastic* membership: the listener stays
+    /// open in a background acceptor that splices reconnecting slaves,
+    /// fences new incarnations under a bumped fleet epoch, and admits
+    /// brand-new slaves mid-run (shipping them the current job). Set
+    /// [`SocketConfig::reconnect_window`]
+    /// (easyhps_net::SocketConfig::reconnect_window) on the listener (and
+    /// the slaves) to let severed links heal by redial.
+    pub fn accept_elastic(
+        listener: SocketListener,
+        n_slaves: usize,
+    ) -> Result<Fleet, RuntimeError> {
+        if n_slaves == 0 {
+            return Err(RuntimeError::NoSlaves);
+        }
+        let (root, info, acceptor) = listener
+            .accept_fleet(n_slaves, None)
+            .map_err(|e| RuntimeError::InvalidConfig(format!("accepting slaves: {e}")))?;
+        Ok(Fleet {
+            root,
+            n_slaves,
+            fault: None,
+            slaves: FleetSlaves::Remote(info),
+            control: FleetControl::new(Some(Arc::new(acceptor))),
+            retired: vec![false; n_slaves + 1],
         })
     }
 
@@ -120,12 +161,79 @@ impl Fleet {
             n_slaves,
             fault: None,
             slaves: FleetSlaves::Local(handles),
+            control: FleetControl::new(None),
+            retired: vec![false; n_slaves + 1],
         })
     }
 
-    /// Number of slaves in the fleet.
+    /// Number of slave slots in the fleet (the high-water rank; retired
+    /// or currently-dark slots included).
     pub fn n_slaves(&self) -> usize {
         self.n_slaves
+    }
+
+    /// The control surface shared with every job's master. Clone it to
+    /// feed drain requests in from another thread (the serve daemon's
+    /// RPC handler does).
+    pub fn control(&self) -> &FleetControl {
+        &self.control
+    }
+
+    /// The elastic acceptor, when this fleet was created with
+    /// [`Fleet::accept_elastic`].
+    pub fn acceptor(&self) -> Option<&Arc<FleetAcceptor>> {
+        self.control.acceptor.as_ref()
+    }
+
+    /// Ask the running (or next) job's master to gracefully drain
+    /// `rank`: stop assigning it work, let its in-flight sub-tasks land,
+    /// then release the rank back to the fleet.
+    pub fn drain(&self, rank: u32) {
+        self.control.request_drain(rank);
+    }
+
+    /// Fold membership changes into the fleet's own bookkeeping at a job
+    /// boundary: retire ranks the previous job's master released, grow
+    /// the slot count to cover mid-run joiners, and re-request drains
+    /// for ranks that must stay out of the next job's schedule (each
+    /// job's scheduler starts fresh, so a released slot must be drained
+    /// again — the request releases an idle slot instantly).
+    fn sync_membership(&mut self) {
+        for rank in std::mem::take(&mut *self.control.released.lock().unwrap()) {
+            if let Some(f) = self.retired.get_mut(rank as usize) {
+                *f = true;
+            }
+        }
+        if let Some(acc) = &self.control.acceptor {
+            self.n_slaves = self.n_slaves.max(acc.n_ranks().saturating_sub(1));
+            for r in 1..=self.n_slaves as u32 {
+                // Slot empty in the acceptor: released and not re-issued.
+                if acc.link_stats(r).is_none() {
+                    self.control.request_drain(r);
+                }
+            }
+        } else {
+            for r in 1..=self.n_slaves {
+                if self.retired[r] {
+                    self.control.request_drain(r as u32);
+                }
+            }
+        }
+        if self.retired.len() < self.n_slaves + 1 {
+            self.retired.resize(self.n_slaves + 1, false);
+        }
+    }
+
+    /// The ranks the next job should treat as members: currently-linked
+    /// ranks for an elastic fleet (a dark rank may relink mid-job and is
+    /// left to the heartbeat deadline), non-retired ranks otherwise.
+    fn expected_ranks(&self) -> Vec<u32> {
+        match &self.control.acceptor {
+            Some(acc) => acc.live_ranks(),
+            None => (1..=self.n_slaves as u32)
+                .filter(|r| !self.retired[*r as usize])
+                .collect(),
+        }
     }
 
     /// Per-link socket counters; `None` for an in-process fleet.
@@ -143,33 +251,56 @@ impl Fleet {
     /// linger ACKs-and-discards unexpected frames — a JOB sent early
     /// would be silently lost. Stray heartbeats and late ACKs queued
     /// between jobs are discarded along the way.
-    fn await_ready(&mut self) -> Result<(), RuntimeError> {
+    fn await_ready(&mut self) -> Result<Vec<u32>, RuntimeError> {
         const READY_TIMEOUT: Duration = Duration::from_secs(60);
+        const PROBE_EVERY: Duration = Duration::from_millis(200);
         let deadline = Instant::now() + READY_TIMEOUT;
-        let mut ready = vec![false; self.n_slaves + 1];
-        let mut seen = 0;
-        while seen < self.n_slaves {
+        let mut pending: BTreeSet<u32> = self.expected_ranks().into_iter().collect();
+        let mut ready: Vec<u32> = Vec::new();
+        let mut last_probe = Instant::now();
+        while !pending.is_empty() {
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
                 return Err(RuntimeError::InvalidConfig(format!(
                     "timed out waiting for {} slave(s) to finish their previous job",
-                    self.n_slaves - seen
+                    pending.len()
                 )));
             }
-            match self.root.recv_timeout(left.min(Duration::from_millis(200))) {
+            match self.root.recv_timeout(left.min(Duration::from_millis(50))) {
                 Ok(env) if env.tag == tags::READY => {
-                    let r = env.src.index();
-                    if (1..=self.n_slaves).contains(&r) && !ready[r] {
-                        ready[r] = true;
-                        seen += 1;
+                    let r = env.src.0;
+                    if pending.remove(&r) {
+                        ready.push(r);
                     }
                 }
                 Ok(_) => {} // stray heartbeat / late ACK between jobs
                 Err(easyhps_net::NetError::Timeout) => {}
                 Err(e) => return Err(e.into()),
             }
+            // A slave that died between jobs is a *membership change*,
+            // not a reason to burn the whole readiness deadline: probe
+            // the silent ranks and retire any whose link is already
+            // gone. (An elastic fleet's links queue across outages
+            // instead of failing; there the reconnect window and the
+            // in-job heartbeat deadline govern.)
+            if last_probe.elapsed() >= PROBE_EVERY && !pending.is_empty() {
+                last_probe = Instant::now();
+                let probe = frame::seal_raw(&[]);
+                let root = &mut self.root;
+                let retired = &mut self.retired;
+                pending.retain(|r| {
+                    if root.send(Rank(*r), tags::HEARTBEAT, probe.clone()).is_err() {
+                        if let Some(f) = retired.get_mut(*r as usize) {
+                            *f = true;
+                        }
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
         }
-        Ok(())
+        Ok(ready)
     }
 
     /// Ship `spec` to every slave and run the master loop over a per-job
@@ -180,19 +311,44 @@ impl Fleet {
         spec: &JobSpec,
         opts: JobOptions,
     ) -> Result<RemoteOutput, RuntimeError> {
-        self.await_ready()?;
+        self.sync_membership();
+        let ready = self.await_ready()?;
+        if ready.is_empty() {
+            return Err(RuntimeError::NoSlaves);
+        }
         let mut ep = self.root.fork(self.fault.clone());
         let payload = frame::seal_raw(&spec.encode());
-        for r in 1..=self.n_slaves as u32 {
-            ep.send(Rank(r), tags::JOB, payload.clone())?;
+        // Mid-run joiners (and re-incarnated slaves) must learn the job
+        // too: the acceptor ships this to everyone it admits from now on.
+        if let Some(acc) = &self.control.acceptor {
+            acc.set_join_payload(tags::JOB.0, payload.to_vec());
+        }
+        for r in &ready {
+            // A link that died since the readiness barrier fails here;
+            // the master's send-failure path excludes the slot.
+            let _ = ep.send(Rank(*r), tags::JOB, payload.clone());
         }
         let mut deployment = spec.deployment(self.n_slaves, None);
         deployment.obs = opts.obs.clone();
         deployment.checkpoint = opts.checkpoint;
         let model = spec.model();
         let out = with_problem!(&spec.problem, p => {
-            run_master_with(ep, &p, &model, &deployment, opts.resume.as_ref(), opts.tile_budget)?
+            run_master_fleet(
+                ep,
+                &p,
+                &model,
+                &deployment,
+                opts.resume.as_ref(),
+                opts.tile_budget,
+                Some(&self.control),
+            )
         });
+        // Clear before propagating any error: a stale payload would ship
+        // yesterday's job to tomorrow's joiners.
+        if let Some(acc) = &self.control.acceptor {
+            acc.clear_join_payload();
+        }
+        let out = out?;
         if let (Some(reg), Some(info)) = (&opts.obs.metrics, self.socket_info()) {
             publish_socket_stats(reg, info);
         }
@@ -217,6 +373,7 @@ impl Fleet {
             mut root,
             slaves,
             n_slaves,
+            control,
             ..
         } = self;
         let bye = frame::seal_raw(&[]);
@@ -230,6 +387,10 @@ impl Fleet {
         // actually close. Socket writers flush queued frames (the
         // SHUTDOWN) before closing.
         drop(root);
+        // The elastic acceptor holds a clone of the link table: it must
+        // go too (stopping the accept thread and closing Await-mode
+        // conns) or the socket writers would never exit.
+        drop(control);
         match slaves {
             FleetSlaves::Remote(_) => Vec::new(),
             FleetSlaves::Local(handles) => handles
@@ -282,6 +443,132 @@ mod tests {
             4,
             "each slave served both jobs"
         );
+    }
+
+    /// Regression: a slave that dies *between* jobs is a membership
+    /// change, not a 60-second readiness stall. The barrier probes the
+    /// silent rank, finds the link gone, retires it, and the next job
+    /// completes promptly on the survivor.
+    #[test]
+    fn slave_death_between_jobs_is_a_membership_change() {
+        let mut eps = Network::new(3);
+        let root = eps.remove(0);
+        let mut kills = Vec::new();
+        let handles = eps
+            .into_iter()
+            .map(|ep| {
+                kills.push(ep.kill_handle());
+                std::thread::spawn(move || slave_job_loop(ep, None, None, None))
+            })
+            .collect();
+        let mut fleet = Fleet {
+            root,
+            n_slaves: 2,
+            fault: None,
+            slaves: FleetSlaves::Local(handles),
+            control: FleetControl::new(None),
+            retired: vec![false; 3],
+        };
+
+        let spec = editdist_spec(b"a job for two slaves", b"before one dies");
+        let out = fleet.run_job(&spec, JobOptions::default()).unwrap();
+        assert_eq!(out.report.master.dead_slaves, 0);
+
+        // Kill slave 2 between jobs: its loop observes the kill within
+        // one liveness slice, exits, and drops its endpoint.
+        kills[1].kill();
+        std::thread::sleep(Duration::from_millis(50));
+
+        let t = Instant::now();
+        let spec = editdist_spec(b"the survivor finishes", b"this one alone");
+        let out = fleet.run_job(&spec, JobOptions::default()).unwrap();
+        let reference = spec.problem.solve_sequential();
+        let d = reference.dims();
+        assert_eq!(
+            out.matrix.get(d.rows - 1, d.cols - 1),
+            reference.get(d.rows - 1, d.cols - 1)
+        );
+        assert!(
+            t.elapsed() < Duration::from_secs(30),
+            "readiness barrier burned the deadline on a dead slave: {:?}",
+            t.elapsed()
+        );
+        assert!(fleet.retired[2], "dead rank must be retired");
+        fleet.shutdown();
+    }
+
+    /// Elastic fleet over TCP: a second slave joins *between* jobs and
+    /// serves the next one; draining it afterwards releases its rank and
+    /// the remaining jobs still complete.
+    #[test]
+    fn elastic_fleet_admits_joiner_and_drains_it() {
+        use crate::remote::{serve_slave_jobs, RemoteSlaveOptions};
+        use easyhps_net::socket::SocketConfig;
+        use easyhps_net::NetAddr;
+
+        let listener = SocketListener::bind(
+            &NetAddr::parse("127.0.0.1:0").unwrap(),
+            SocketConfig::default(),
+        )
+        .unwrap();
+        let addr = listener.local_addr();
+        let first = {
+            let mut o = RemoteSlaveOptions::new(addr.clone());
+            o.want_rank = Some(1);
+            std::thread::spawn(move || serve_slave_jobs(o))
+        };
+        let mut fleet = Fleet::accept_elastic(listener, 1).unwrap();
+
+        let spec = editdist_spec(b"one slave to begin with", b"the fleet grows later");
+        fleet.run_job(&spec, JobOptions::default()).unwrap();
+
+        // A new slave walks up between jobs (wildcard rank: the acceptor
+        // assigns the next free one).
+        let second = {
+            let o = RemoteSlaveOptions::new(addr);
+            std::thread::spawn(move || serve_slave_jobs(o))
+        };
+        // Wait for admission so the next barrier counts it.
+        let acc = fleet.acceptor().unwrap().clone();
+        let t = Instant::now();
+        while acc.live_ranks().len() < 2 && t.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(acc.live_ranks().len(), 2, "joiner not admitted");
+
+        let spec = editdist_spec(b"now two slaves share it", b"the job after the join");
+        let out = fleet.run_job(&spec, JobOptions::default()).unwrap();
+        assert_eq!(fleet.n_slaves(), 2);
+        let reference = spec.problem.solve_sequential();
+        let d = reference.dims();
+        assert_eq!(
+            out.matrix.get(d.rows - 1, d.cols - 1),
+            reference.get(d.rows - 1, d.cols - 1)
+        );
+
+        // Drain rank 2: the request is consumed by the next job's
+        // master, which releases the idle rank at once and computes the
+        // whole job on rank 1.
+        fleet.drain(2);
+        let spec = editdist_spec(b"drained back down to one", b"the last job of the test");
+        let out = fleet.run_job(&spec, JobOptions::default()).unwrap();
+        let reference = spec.problem.solve_sequential();
+        let d = reference.dims();
+        assert_eq!(
+            out.matrix.get(d.rows - 1, d.cols - 1),
+            reference.get(d.rows - 1, d.cols - 1)
+        );
+        assert!(
+            !acc.live_ranks().contains(&2),
+            "drained rank must be released: {:?}",
+            acc.live_ranks()
+        );
+
+        fleet.shutdown();
+        first.join().unwrap().unwrap();
+        // The drained slave's loop exits once its link closes — possibly
+        // with a net error if release caught it mid-recv, which is fine.
+        let _ = second.join().unwrap();
     }
 
     /// Same over real TCP: the socket connections survive the first job.

@@ -42,9 +42,64 @@ use crate::RuntimeError;
 use bytes::Bytes;
 use easyhps_core::{DagDataDrivenModel, TaskDag, Trace, VertexId};
 use easyhps_dp::{DpMatrix, DpProblem};
-use easyhps_net::{Endpoint, NetError, Rank, ReliableEndpoint};
+use easyhps_net::{Endpoint, FleetAcceptor, MembershipEvent, NetError, Rank, ReliableEndpoint};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Control surface between an elastic fleet and its running master.
+///
+/// The acceptor (when the fleet is socket-backed) admits reconnecting and
+/// brand-new slaves in the background; the master drains its membership
+/// events every loop iteration and re-fences the transport. The drain
+/// list carries operator requests ("release rank N once its in-flight
+/// work lands") from the daemon's RPC surface into the same loop. A local
+/// fleet has no acceptor but can still drain.
+#[derive(Clone, Default)]
+pub struct FleetControl {
+    /// Elastic acceptor admitting reconnections and mid-run joiners.
+    /// `None` for fixed-membership (local or `accept_ranks`) fleets,
+    /// where only drain requests apply.
+    pub acceptor: Option<Arc<FleetAcceptor>>,
+    /// Ranks the operator asked to drain. The running master consumes
+    /// them, stops assigning to each, and releases the rank back to the
+    /// fleet free-list once its last in-flight sub-task lands.
+    pub drain: Arc<Mutex<Vec<u32>>>,
+    /// Ranks the master released (drain completed). The fleet reads this
+    /// at the next job boundary to retire the rank from fixed-membership
+    /// bookkeeping; elastic fleets learn the same thing from the
+    /// acceptor's free-list.
+    pub released: Arc<Mutex<Vec<u32>>>,
+}
+
+impl FleetControl {
+    /// Control block over `acceptor` (pass `None` for a fixed fleet).
+    pub fn new(acceptor: Option<Arc<FleetAcceptor>>) -> Self {
+        Self {
+            acceptor,
+            drain: Arc::new(Mutex::new(Vec::new())),
+            released: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Ask the running (or next) master to drain `rank` gracefully.
+    pub fn request_drain(&self, rank: u32) {
+        self.drain.lock().unwrap().push(rank);
+    }
+}
+
+/// Perform a [`MasterAction::Release`]: hand the rank back to the
+/// acceptor's free-list (elastic fleets) and record it for the fleet's
+/// job-boundary bookkeeping.
+fn fleet_release(fleet: Option<&FleetControl>, slave: usize) {
+    if let Some(fc) = fleet {
+        let rank = slave as u32 + 1;
+        if let Some(acc) = &fc.acceptor {
+            acc.release_rank(rank);
+        }
+        fc.released.lock().unwrap().push(rank);
+    }
+}
 
 /// Outcome of a master run.
 pub struct MasterOutput<C: easyhps_dp::Cell> {
@@ -129,6 +184,24 @@ pub fn run_master_with<P: DpProblem>(
     resume: Option<&Checkpoint>,
     tile_budget: Option<u64>,
 ) -> Result<MasterOutput<P::Cell>, RuntimeError> {
+    run_master_fleet(ep, problem, model, config, resume, tile_budget, None)
+}
+
+/// [`run_master_with`] for an *elastic* fleet: when `fleet` is given, the
+/// master polls its acceptor for membership changes every loop iteration
+/// — splices are transparent, new incarnations are re-fenced under a
+/// bumped epoch (their zombie DONEs rejected by the epoch echo), mid-run
+/// joiners grow the schedule — and consumes its drain requests.
+#[allow(clippy::too_many_lines)] // the one I/O shell around the machine
+pub fn run_master_fleet<P: DpProblem>(
+    ep: Endpoint,
+    problem: &P,
+    model: &DagDataDrivenModel,
+    config: &Deployment,
+    resume: Option<&Checkpoint>,
+    tile_budget: Option<u64>,
+    fleet: Option<&FleetControl>,
+) -> Result<MasterOutput<P::Cell>, RuntimeError> {
     if config.slaves == 0 {
         return Err(RuntimeError::NoSlaves);
     }
@@ -156,7 +229,15 @@ pub fn run_master_with<P: DpProblem>(
     // the race-freedom argument of the shared grid depends on it).
     let dag: TaskDag = model.master_dag();
     dag.validate()?;
-    let n_slaves = config.slaves;
+    let mut n_slaves = config.slaves;
+    let acceptor = fleet.and_then(|f| f.acceptor.as_deref());
+    // Epoch each slot's ASSIGNs are stamped with. The slave echoes the
+    // stamp blindly, so any init consistent with the fencing check is
+    // correct — the acceptor's global epoch at start covers the initial
+    // members; what matters is the bump on Rejoined. Fixed fleets stay
+    // at epoch 0 forever and the fence never fires.
+    let epoch0 = acceptor.map_or(0, FleetAcceptor::epoch);
+    let mut cur_epoch: Vec<u64> = vec![epoch0; n_slaves];
 
     // Durable checkpoint store: opened before anything touches the
     // network, so a refused directory (dims mismatch, prior run present
@@ -224,6 +305,96 @@ pub fn run_master_with<P: DpProblem>(
         'run: loop {
             let now = Instant::now();
 
+            // Membership first: a rejoin must re-fence the transport
+            // before this iteration stamps any new ASSIGN, and a joiner
+            // must exist before its first frame is dispatched on.
+            if let Some(acc) = acceptor {
+                for ev in acc.poll_events() {
+                    let (rank, epoch) = match ev {
+                        // Same incarnation, spliced stream: the reliable
+                        // layer's retransmits already cover the gap.
+                        MembershipEvent::Relinked { rank } => {
+                            lane.instant("relink", "fleet", Some(("rank", u64::from(rank))));
+                            continue;
+                        }
+                        MembershipEvent::Rejoined { rank, epoch }
+                        | MembershipEvent::Joined { rank, epoch } => (rank, epoch),
+                    };
+                    let w = (rank as usize).wrapping_sub(1);
+                    if rank == 0 {
+                        continue;
+                    }
+                    // A joiner past the current fleet grows every
+                    // driver-side per-slot structure before the machine.
+                    if w >= n_slaves {
+                        for i in n_slaves..=w {
+                            slot_lanes.push(lane_of(&obs, 0, 1 + i as u32));
+                            cur_epoch.push(epoch0);
+                            if let Some(rec) = &obs.recorder {
+                                rec.name_thread(0, 1 + i as u32, format!("slot{i}"));
+                            }
+                        }
+                        n_slaves = w + 1;
+                    }
+                    rep.ensure_ranks(w + 2);
+                    for a in sched.on_event(
+                        &dag,
+                        MasterEvent::Rejoined {
+                            slave: w,
+                            now_ns: ns(Instant::now()),
+                        },
+                    )? {
+                        match a {
+                            MasterAction::Redispatch { task } => {
+                                mm.redispatched.inc();
+                                lane.instant(
+                                    "rejoin-redispatch",
+                                    "fleet",
+                                    Some(("task", u64::from(task))),
+                                );
+                            }
+                            MasterAction::Readmit { slave } => {
+                                mm.dead_slaves.add(-1);
+                                mm.readmissions.inc();
+                                lane.instant("readmit", "ft", Some(("slave", slave as u64)));
+                            }
+                            MasterAction::Refence { slave } => {
+                                // New incarnation: its sequence numbers
+                                // restarted, its predecessor's stamps are
+                                // now stale, and its (slave, seq) ASSIGN
+                                // bookkeeping is void.
+                                rep.reset_peer(Rank(slave as u32 + 1));
+                                inflight.retain(|(sw, _), _| *sw != slave);
+                                cur_epoch[slave] = epoch;
+                                mm.rejoins.inc();
+                                lane.instant("rejoin", "fleet", Some(("slave", slave as u64)));
+                            }
+                            other => debug_assert!(false, "rejoin emitted {other:?}"),
+                        }
+                    }
+                }
+            }
+
+            // Operator drain requests, from the CLI/daemon surface.
+            if let Some(fc) = fleet {
+                let drains: Vec<u32> = std::mem::take(&mut *fc.drain.lock().unwrap());
+                for rank in drains {
+                    let w = (rank as usize).wrapping_sub(1);
+                    if rank == 0 || w >= n_slaves {
+                        continue;
+                    }
+                    for a in sched.on_event(&dag, MasterEvent::DrainSlave { slave: w })? {
+                        match a {
+                            MasterAction::Release { slave } => {
+                                fleet_release(fleet, slave);
+                                lane.instant("release", "fleet", Some(("slave", slave as u64)));
+                            }
+                            other => debug_assert!(false, "drain emitted {other:?}"),
+                        }
+                    }
+                }
+            }
+
             // Sync heartbeat observations into the machine's liveness
             // record.
             for w in 0..n_slaves {
@@ -258,6 +429,12 @@ pub fn run_master_with<P: DpProblem>(
                             mm.dead_slaves.add(1);
                             ft_lane.instant("exclude", "ft", Some(("slave", slave as u64)));
                         }
+                        // The overdue drain can take back a draining
+                        // slave's last in-flight sub-task.
+                        MasterAction::Release { slave } => {
+                            fleet_release(fleet, slave);
+                            ft_lane.instant("release", "fleet", Some(("slave", slave as u64)));
+                        }
                         other => debug_assert!(false, "FT sweep emitted {other:?}"),
                     }
                 }
@@ -289,6 +466,7 @@ pub fn run_master_with<P: DpProblem>(
                             .collect();
                         let msg = AssignMsg {
                             task,
+                            epoch: cur_epoch[w],
                             tile: vertex.pos,
                             region: model.tile_region(vertex.pos),
                             inputs,
@@ -341,6 +519,22 @@ pub fn run_master_with<P: DpProblem>(
                         // range must not reach the machine.
                         tags::DONE if w < n_slaves => {
                             let msg = DoneMsg::decode(&env.payload)?;
+                            // The epoch fence: a completion stamped by a
+                            // since-replaced incarnation is counted and
+                            // dropped before the register table is even
+                            // consulted — it can never be accepted.
+                            if msg.epoch != cur_epoch[w] {
+                                mm.stale_epoch_rejected.inc();
+                                let acts = sched.on_event(
+                                    &dag,
+                                    MasterEvent::StaleEpoch {
+                                        slave: w,
+                                        task: msg.task,
+                                    },
+                                )?;
+                                debug_assert!(acts.is_empty(), "StaleEpoch emitted {acts:?}");
+                                continue 'run;
+                            }
                             let mut ctx = DoneCtx {
                                 t0,
                                 started: &mut started,
@@ -360,6 +554,14 @@ pub fn run_master_with<P: DpProblem>(
                                 match a {
                                     MasterAction::Accept { .. } => ctx.accept(w, &msg),
                                     MasterAction::Stale { .. } => mm.stale.inc(),
+                                    MasterAction::Release { slave } => {
+                                        fleet_release(fleet, slave);
+                                        lane.instant(
+                                            "release",
+                                            "fleet",
+                                            Some(("slave", slave as u64)),
+                                        );
+                                    }
                                     other => {
                                         debug_assert!(false, "DONE emitted {other:?}")
                                     }
@@ -368,6 +570,12 @@ pub fn run_master_with<P: DpProblem>(
                         }
                         tags::DONE => { /* out-of-range source rank: ignore */ }
                         tags::STATS => { /* late stats, ignore */ }
+                        // A fleet slave idling outside this job (mid-run
+                        // joiner already shipped the JOB by the acceptor,
+                        // or a relinked slave sitting the job out)
+                        // re-announces READY periodically; the barrier
+                        // that wants it runs at the next job boundary.
+                        tags::READY => {}
                         other => debug_assert!(false, "master received unexpected {other}"),
                     }
                 }
@@ -407,6 +615,10 @@ pub fn run_master_with<P: DpProblem>(
                             mm.exclusions.inc();
                             mm.dead_slaves.add(1);
                             lane.instant("exclude", "ft", Some(("slave", slave as u64)));
+                        }
+                        MasterAction::Release { slave } => {
+                            fleet_release(fleet, slave);
+                            lane.instant("release", "fleet", Some(("slave", slave as u64)));
                         }
                         other => debug_assert!(false, "send failure emitted {other:?}"),
                     }
@@ -479,6 +691,20 @@ pub fn run_master_with<P: DpProblem>(
                     // stale (stale means "duplicate from a known slave").
                     tags::DONE if w < n_slaves => {
                         let msg = DoneMsg::decode(&env.payload)?;
+                        // Same epoch fence as the main loop: teardown
+                        // accepts late completions, never zombie ones.
+                        if msg.epoch != cur_epoch[w] {
+                            mm.stale_epoch_rejected.inc();
+                            let acts = sched.on_event(
+                                &dag,
+                                MasterEvent::StaleEpoch {
+                                    slave: w,
+                                    task: msg.task,
+                                },
+                            )?;
+                            debug_assert!(acts.is_empty(), "StaleEpoch emitted {acts:?}");
+                            continue;
+                        }
                         let mut ctx = DoneCtx {
                             t0,
                             started: &mut started,
@@ -498,6 +724,9 @@ pub fn run_master_with<P: DpProblem>(
                             match a {
                                 MasterAction::Accept { .. } => ctx.accept(w, &msg),
                                 MasterAction::Stale { .. } => mm.stale.inc(),
+                                MasterAction::Release { slave } => {
+                                    fleet_release(fleet, slave);
+                                }
                                 other => debug_assert!(false, "DONE emitted {other:?}"),
                             }
                         }
@@ -543,6 +772,8 @@ pub fn run_master_with<P: DpProblem>(
         stale_completions: mm.stale.get(),
         dead_slaves: mm.dead_slaves.get().max(0) as u64,
         readmitted: mm.readmissions.get(),
+        rejoins: mm.rejoins.get(),
+        stale_epoch_rejected: mm.stale_epoch_rejected.get(),
         retransmits: reli.retransmits,
         duplicates: reli.duplicates,
         send_failures: mm.send_failures.get(),

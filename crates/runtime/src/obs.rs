@@ -63,6 +63,11 @@ pub(crate) struct MasterMetrics {
     pub exclusions: Arc<Counter>,
     /// Excluded slaves re-admitted after proving alive.
     pub readmissions: Arc<Counter>,
+    /// Slave incarnations re-admitted under a new fleet epoch.
+    pub rejoins: Arc<Counter>,
+    /// DONEs rejected because their echoed epoch predates the slave's
+    /// current incarnation (zombie completions fenced out).
+    pub stale_epoch_rejected: Arc<Counter>,
     /// Reliable sends the master abandoned.
     pub send_failures: Arc<Counter>,
     /// Checkpoints captured (tile-budget captures and durable flushes).
@@ -90,6 +95,8 @@ impl MasterMetrics {
             stale: reg.counter("master_stale_completions"),
             exclusions: reg.counter("master_slave_exclusions"),
             readmissions: reg.counter("master_slave_readmissions"),
+            rejoins: reg.counter("master_slave_rejoins"),
+            stale_epoch_rejected: reg.counter("master_stale_epoch_rejected"),
             send_failures: reg.counter("master_send_failures"),
             checkpoints: reg.counter("master_checkpoints"),
             restored: reg.counter("master_tiles_restored"),
@@ -155,6 +162,7 @@ pub(crate) fn publish_endpoint_stats(reg: &Registry, role: &str, rep: &ReliableE
     let net = rep.net_stats();
     reg.counter(&l("net_msgs_corrupted"))
         .add(net.corrupted_msgs);
+    reg.counter(&l("net_links_severed")).add(net.severed_links);
     reg.counter(&l("net_msgs_sent")).add(net.sent_msgs);
     reg.counter(&l("net_bytes_sent")).add(net.sent_bytes);
     reg.counter(&l("net_msgs_recv")).add(net.recv_msgs);

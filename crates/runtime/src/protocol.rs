@@ -74,6 +74,11 @@ fn get_region(r: &mut WireReader<'_>) -> Result<TileRegion, WireError> {
 pub struct AssignMsg {
     /// Dense id of the master-DAG vertex.
     pub task: u32,
+    /// Fleet epoch the assignment was issued under. The slave echoes it
+    /// verbatim into the corresponding [`DoneMsg`], letting the master
+    /// fence completions computed by a since-replaced incarnation. Always
+    /// 0 for in-process runs (no fleet, no epochs).
+    pub epoch: u64,
     /// Tile position of the vertex in the abstract DAG.
     pub tile: GridPos,
     /// Cell region the slave must compute.
@@ -86,8 +91,9 @@ impl AssignMsg {
     /// Encode to payload bytes.
     pub fn encode(&self) -> Bytes {
         let body: usize = self.inputs.iter().map(|(_, b)| b.len() + 20).sum();
-        let mut w = WireWriter::with_capacity(32 + body);
+        let mut w = WireWriter::with_capacity(40 + body);
         w.put_u32(self.task)
+            .put_u64(self.epoch)
             .put_u32(self.tile.row)
             .put_u32(self.tile.col);
         put_region(&mut w, self.region);
@@ -103,6 +109,7 @@ impl AssignMsg {
     pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
         let mut r = WireReader::new(buf);
         let task = r.get_u32()?;
+        let epoch = r.get_u64()?;
         let tile = GridPos::new(r.get_u32()?, r.get_u32()?);
         let region = get_region(&mut r)?;
         let n = r.get_u32()?;
@@ -123,6 +130,7 @@ impl AssignMsg {
         r.expect_end()?;
         Ok(Self {
             task,
+            epoch,
             tile,
             region,
             inputs,
@@ -135,6 +143,10 @@ impl AssignMsg {
 pub struct DoneMsg {
     /// Dense id of the completed master-DAG vertex.
     pub task: u32,
+    /// The epoch of the ASSIGN this completion answers, echoed blindly —
+    /// a slave needs no epoch knowledge of its own. The master rejects a
+    /// DONE whose echoed epoch is older than the rank's current one.
+    pub epoch: u64,
     /// The computed region.
     pub region: TileRegion,
     /// Encoded cells of the region.
@@ -144,8 +156,8 @@ pub struct DoneMsg {
 impl DoneMsg {
     /// Encode to payload bytes.
     pub fn encode(&self) -> Bytes {
-        let mut w = WireWriter::with_capacity(24 + self.output.len());
-        w.put_u32(self.task);
+        let mut w = WireWriter::with_capacity(32 + self.output.len());
+        w.put_u32(self.task).put_u64(self.epoch);
         put_region(&mut w, self.region);
         w.put_bytes(&self.output);
         w.finish()
@@ -155,11 +167,13 @@ impl DoneMsg {
     pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
         let mut r = WireReader::new(buf);
         let task = r.get_u32()?;
+        let epoch = r.get_u64()?;
         let region = get_region(&mut r)?;
         let output = r.get_bytes()?;
         r.expect_end()?;
         Ok(Self {
             task,
+            epoch,
             region,
             output,
         })
@@ -222,6 +236,7 @@ mod tests {
     fn assign_roundtrip() {
         let msg = AssignMsg {
             task: 7,
+            epoch: 3,
             tile: GridPos::new(1, 2),
             region: TileRegion::new(10, 20, 30, 40),
             inputs: vec![
@@ -236,6 +251,7 @@ mod tests {
     fn done_roundtrip() {
         let msg = DoneMsg {
             task: 3,
+            epoch: u64::MAX / 7,
             region: TileRegion::new(0, 5, 5, 9),
             output: (0..80).collect(),
         };
@@ -261,6 +277,7 @@ mod tests {
         assert!(DoneMsg::decode(&[]).is_err());
         let msg = DoneMsg {
             task: 0,
+            epoch: 0,
             region: TileRegion::new(0, 1, 0, 1),
             output: vec![9],
         };

@@ -511,7 +511,15 @@ pub fn run_remote_master(
     slaves: usize,
     opts: RemoteMasterOptions,
 ) -> Result<RemoteOutput, RuntimeError> {
-    let mut fleet = crate::fleet::Fleet::accept(listener, slaves, opts.fault)?;
+    // A reconnect window on the socket config opts into elastic
+    // membership (session resumption, mid-run join, drain). Fault
+    // injection stays on the fixed-membership path: a fault plan replays
+    // per incarnation and would desynchronize across a splice.
+    let mut fleet = if opts.socket.reconnect_window.is_some() && opts.fault.is_none() {
+        crate::fleet::Fleet::accept_elastic(listener, slaves)?
+    } else {
+        crate::fleet::Fleet::accept(listener, slaves, opts.fault)?
+    };
     let out = fleet.run_job(
         spec,
         crate::fleet::JobOptions {
@@ -601,7 +609,13 @@ pub(crate) fn slave_job_loop(
         let env = match root.recv_timeout(IDLE_PROBE) {
             Ok(env) => env,
             Err(easyhps_net::NetError::Timeout) => {
-                match root.send(master, tags::HEARTBEAT, frame::seal_raw(&[])) {
+                // Re-announce READY instead of a bare heartbeat: the
+                // frame doubles as the liveness probe, and a master that
+                // missed the first announcement (slave dark across a job
+                // boundary, elastic rejoin) picks the slave up at its
+                // next readiness barrier instead of timing out. A master
+                // mid-job discards stray READYs.
+                match root.send(master, tags::READY, frame::seal_raw(&[])) {
                     Ok(()) => continue,
                     Err(_) => return Ok(summary), // master gone between jobs
                 }

@@ -291,6 +291,10 @@ pub fn run_slave_with_storage<P: DpProblem, S: NodeStorage<P::Cell>>(
                     drop(g);
                     let done = DoneMsg {
                         task: msg.task,
+                        // Echoed blindly: the slave has no epoch knowledge;
+                        // the master fences completions from replaced
+                        // incarnations by this echo alone.
+                        epoch: msg.epoch,
                         region: msg.region,
                         output,
                     };

@@ -366,6 +366,7 @@ fn stats_from_excluded_slave_do_not_satisfy_a_live_slaves_slot() {
                         let msg = AssignMsg::decode(&env.payload).unwrap();
                         let done = DoneMsg {
                             task: msg.task,
+                            epoch: msg.epoch,
                             region: msg.region,
                             output: zeros.encode_region(msg.region),
                         };
@@ -445,6 +446,7 @@ fn budget_stop_drains_in_flight_completions_into_the_checkpoint() {
                     let msg = AssignMsg::decode(&env.payload).unwrap();
                     let done = DoneMsg {
                         task: msg.task,
+                        epoch: msg.epoch,
                         region: msg.region,
                         output: zeros.encode_region(msg.region),
                     };
@@ -544,6 +546,7 @@ fn silent_but_alive_slave_is_readmitted_after_heartbeat_resumes() {
                             let msg = AssignMsg::decode(&env.payload).unwrap();
                             let done = DoneMsg {
                                 task: msg.task,
+                                epoch: msg.epoch,
                                 region: msg.region,
                                 output: zeros.encode_region(msg.region),
                             };
@@ -580,6 +583,7 @@ fn silent_but_alive_slave_is_readmitted_after_heartbeat_resumes() {
                         let msg = AssignMsg::decode(&env.payload).unwrap();
                         let done = DoneMsg {
                             task: msg.task,
+                            epoch: msg.epoch,
                             region: msg.region,
                             output: zeros.encode_region(msg.region),
                         };
@@ -679,6 +683,7 @@ fn slow_starting_slave_is_neither_excluded_nor_readmitted() {
                         let msg = AssignMsg::decode(&env.payload).unwrap();
                         let done = DoneMsg {
                             task: msg.task,
+                            epoch: msg.epoch,
                             region: msg.region,
                             output: zeros.encode_region(msg.region),
                         };
@@ -714,6 +719,7 @@ fn slow_starting_slave_is_neither_excluded_nor_readmitted() {
                         let msg = AssignMsg::decode(&env.payload).unwrap();
                         let done = DoneMsg {
                             task: msg.task,
+                            epoch: msg.epoch,
                             region: msg.region,
                             output: zeros.encode_region(msg.region),
                         };
@@ -798,6 +804,7 @@ fn teardown_waits_out_a_slow_retry_schedule_for_stats() {
                         let msg = AssignMsg::decode(&env.payload).unwrap();
                         let done = DoneMsg {
                             task: msg.task,
+                            epoch: msg.epoch,
                             region: msg.region,
                             output: zeros.encode_region(msg.region),
                         };
@@ -828,6 +835,155 @@ fn teardown_waits_out_a_slow_retry_schedule_for_stats() {
         out.slave_stats[0].is_some(),
         "teardown must wait out the retry schedule's worst case, not a \
          hard-coded 2s"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Epoch fencing: a two-incarnation slave's delayed first-incarnation
+// DONE is rejected as stale-epoch — counted, never double-accepted —
+// and the wire-level run differentially replays through the MasterSched
+// state machine with identical accounting.
+// ---------------------------------------------------------------------
+
+#[test]
+fn zombie_epoch_done_is_fenced_and_replays_through_the_machine() {
+    // The wire-level half. A fixed in-process fleet never bumps its
+    // fence (that takes a FleetAcceptor rejoin), so the zombie is played
+    // from the slave side: for its first assignment the slave emits the
+    // DONE twice — once stamped as the *other* incarnation would stamp
+    // it (epoch one off the fence) and once correctly. The mis-stamped
+    // frame must be counted and dropped before the register table is
+    // consulted; the correct one is accepted. Exactly once, no
+    // redispatch, no stale-completion.
+    let problem = EditDistance::new(
+        random_sequence(Alphabet::Dna, 30, 200),
+        random_sequence(Alphabet::Dna, 30, 201),
+    );
+    let model = easyhps_core::DagDataDrivenModel::builder(problem.pattern())
+        .process_partition_size(easyhps_core::GridDims::square(8))
+        .thread_partition_size(easyhps_core::GridDims::square(4))
+        .build();
+    let dims = model.dag_size();
+    let config = Deployment::local(1, 1);
+
+    let mut eps = Network::new(2);
+    let ep_a = eps.pop().unwrap();
+    let master_ep = eps.pop().unwrap();
+
+    let mut rep_a = ReliableEndpoint::new(ep_a, RetryPolicy::default());
+    rep_a
+        .send_reliable(Rank(0), tags::IDLE, Bytes::new())
+        .unwrap();
+
+    let out = std::thread::scope(|s| {
+        s.spawn(move || {
+            let zeros = DpMatrix::<i32>::new(dims);
+            let mut zombie_sent = false;
+            loop {
+                match rep_a.recv_timeout(Duration::from_millis(15)) {
+                    Ok(env) if env.tag == tags::ASSIGN => {
+                        let msg = AssignMsg::decode(&env.payload).unwrap();
+                        let output = zeros.encode_region(msg.region);
+                        if !zombie_sent {
+                            zombie_sent = true;
+                            // The fenced incarnation's delayed DONE: same
+                            // task, same payload, wrong epoch stamp.
+                            let zombie = DoneMsg {
+                                task: msg.task,
+                                epoch: msg.epoch.wrapping_add(1),
+                                region: msg.region,
+                                output: output.clone(),
+                            };
+                            rep_a
+                                .send_reliable(Rank(0), tags::DONE, zombie.encode())
+                                .unwrap();
+                        }
+                        let done = DoneMsg {
+                            task: msg.task,
+                            epoch: msg.epoch,
+                            region: msg.region,
+                            output,
+                        };
+                        rep_a
+                            .send_reliable(Rank(0), tags::DONE, done.encode())
+                            .unwrap();
+                    }
+                    Ok(env) if env.tag == tags::END => {
+                        rep_a
+                            .send_reliable(Rank(0), tags::STATS, SlaveStatsMsg::default().encode())
+                            .unwrap();
+                        rep_a.drain_pending(Duration::from_secs(1));
+                        return;
+                    }
+                    Ok(_) | Err(NetError::Timeout) => {}
+                    Err(_) => return,
+                }
+            }
+        });
+        run_master(master_ep, &problem, &model, &config).unwrap()
+    });
+
+    // 31x31 in 8x8 tiles -> 16 sub-tasks.
+    assert_eq!(out.stats.completed, 16, "every tile accepted exactly once");
+    assert_eq!(out.stats.dispatched, 16);
+    assert_eq!(
+        out.stats.stale_epoch_rejected, 1,
+        "the zombie stamp was counted and fenced"
+    );
+    assert_eq!(
+        out.stats.stale_completions, 0,
+        "epoch fencing fires before the register table's stale check"
+    );
+    assert_eq!(out.stats.redispatched, 0, "the fresh DONE landed in time");
+    assert_eq!(out.stats.dead_slaves, 0);
+
+    // The differential half: the same order of observations — idle
+    // slave, dispatch, a stale-epoch frame for the first assignment,
+    // then the genuine completion — fed to the bare MasterSched machine
+    // must land on identical accounting.
+    use easyhps_core::sched::{MasterAction, MasterEvent, MasterSched, SchedParams};
+    let dag = model.master_dag();
+    let params = SchedParams::default();
+    let mut m = MasterSched::new(&dag, 1, ScheduleMode::Dynamic, &params, None);
+    let mut accepted = vec![0u64; dag.len()];
+    let mut zombie_replayed = false;
+    let mut now = 0u64;
+    m.on_event(&dag, MasterEvent::Idle { slave: 0 }).unwrap();
+    for _ in 0..4 * dag.len() + 8 {
+        if m.is_done() {
+            break;
+        }
+        now += 1_000_000;
+        let acts = m.on_event(&dag, MasterEvent::Tick { now_ns: now }).unwrap();
+        for a in acts {
+            let MasterAction::Assign { slave, task } = a else {
+                continue;
+            };
+            if !zombie_replayed {
+                zombie_replayed = true;
+                let fenced = m
+                    .on_event(&dag, MasterEvent::StaleEpoch { slave, task })
+                    .unwrap();
+                assert!(fenced.is_empty(), "stale-epoch frame acts: {fenced:?}");
+            }
+            for d in m.on_event(&dag, MasterEvent::Done { slave, task }).unwrap() {
+                if let MasterAction::Accept { task, .. } = d {
+                    accepted[task as usize] += 1;
+                }
+            }
+        }
+    }
+    assert!(m.is_done(), "the replay finishes the DAG");
+    let c = m.counters();
+    assert_eq!(c.completed, out.stats.completed, "replay diverged: {c:?}");
+    assert_eq!(c.dispatched, out.stats.dispatched, "replay diverged: {c:?}");
+    assert_eq!(
+        c.stale_epoch, out.stats.stale_epoch_rejected,
+        "replay diverged: {c:?}"
+    );
+    assert!(
+        accepted.iter().all(|n| *n == 1),
+        "a tile was double-accepted in replay: {accepted:?}"
     );
 }
 
@@ -869,6 +1025,7 @@ fn rogue_out_of_range_rank_done_frames_are_ignored() {
     let region = easyhps_core::TileRegion::new(0, 1, 0, 1);
     let rogue_done = DoneMsg {
         task: u32::MAX,
+        epoch: 0,
         region,
         output: DpMatrix::<i32>::new(dims).encode_region(region),
     };

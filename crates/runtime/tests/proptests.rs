@@ -103,6 +103,7 @@ fn valid_checkpoint_blob(tiles: usize) -> Vec<u8> {
 fn arb_assign() -> impl Strategy<Value = AssignMsg> {
     (
         any::<u32>(),
+        any::<u64>(),
         (0u32..100, 0u32..100),
         proptest::collection::vec(
             (
@@ -112,8 +113,9 @@ fn arb_assign() -> impl Strategy<Value = AssignMsg> {
             0..4,
         ),
     )
-        .prop_map(|(task, (tr, tc), inputs)| AssignMsg {
+        .prop_map(|(task, epoch, (tr, tc), inputs)| AssignMsg {
             task,
+            epoch,
             tile: GridPos::new(tr, tc),
             region: TileRegion::new(tr, tr + 2, tc, tc + 2),
             inputs: inputs
@@ -155,9 +157,10 @@ proptest! {
     #[test]
     fn every_done_prefix_fails_cleanly(
         task in any::<u32>(),
+        epoch in any::<u64>(),
         output in proptest::collection::vec(any::<u8>(), 0..120),
     ) {
-        let msg = DoneMsg { task, region: TileRegion::new(0, 2, 0, 2), output };
+        let msg = DoneMsg { task, epoch, region: TileRegion::new(0, 2, 0, 2), output };
         let buf = msg.encode();
         prop_assert_eq!(&DoneMsg::decode(&buf).unwrap(), &msg);
         for cut in 0..buf.len() {
@@ -202,6 +205,7 @@ fn assign_hostile_input_count_is_rejected() {
     use easyhps_net::WireWriter;
     let mut w = WireWriter::new();
     w.put_u32(7); // task
+    w.put_u64(1); // epoch
     w.put_u32(0).put_u32(0); // tile
     w.put_u32(0).put_u32(2).put_u32(0).put_u32(2); // region
     w.put_u32(u32::MAX); // input count

@@ -1,34 +1,143 @@
 //! Blocking client for the serve daemon.
+//!
+//! Every request/response exchange retries through a bounded
+//! exponential-backoff-with-jitter loop: a dropped connection (daemon
+//! restart, transient network failure) is redialed and the request
+//! resent. Resending is safe because the daemon's request handlers are
+//! idempotent from the client's point of view — a resubmitted job
+//! coalesces onto the in-flight copy or hits the result cache, and
+//! `status`/`stats`/`cancel`/`drain` are plain queries or at-most-once
+//! state flips. Protocol errors (a malformed response) do *not* retry:
+//! the peer is broken, not the link.
 
 use crate::protocol::{Request, Response, SubmitReq};
 use crate::stream::ClientStream;
 use easyhps_net::{rpc, NetAddr};
+use easyhps_obs::Registry;
 use easyhps_runtime::remote::JobSpec;
 use std::io;
+use std::sync::Arc;
+use std::time::{Duration, SystemTime};
+
+/// Redial-and-resend attempts after the initial try.
+const RETRY_ATTEMPTS: u32 = 8;
+/// First backoff; doubles per attempt.
+const RETRY_BASE: Duration = Duration::from_millis(50);
+/// Backoff ceiling.
+const RETRY_CAP: Duration = Duration::from_secs(2);
 
 /// A connected client. One request/response exchange at a time; a
 /// `wait` submission keeps the exchange open until the terminal
 /// response ([`Client::read_response`] fetches it).
 pub struct Client {
+    addr: NetAddr,
     stream: ClientStream,
+    retries: u64,
+    metrics: Option<Arc<Registry>>,
+}
+
+/// Whether a failed exchange is worth redialing: connection-level
+/// errors are; a decoded-but-malformed response (`InvalidData`) means
+/// the peer speaks a different protocol and retrying cannot help.
+fn retryable(e: &io::Error) -> bool {
+    e.kind() != io::ErrorKind::InvalidData
+}
+
+/// Deterministic-enough jitter without a PRNG dependency: splitmix64
+/// over the clock, the pid and the attempt number.
+fn jitter(attempt: u32, cap: Duration) -> Duration {
+    let nanos = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| d.subsec_nanos() as u64);
+    let mut z = nanos ^ (u64::from(std::process::id()) << 32) ^ u64::from(attempt);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let half = (cap.as_millis() as u64 / 2).max(1);
+    Duration::from_millis(z % half)
+}
+
+/// Backoff before retry `attempt` (1-based): `base * 2^(attempt-1)`
+/// capped, plus up to 50% jitter so a herd of clients restarting
+/// against one daemon does not redial in lockstep.
+fn backoff(attempt: u32) -> Duration {
+    let exp = RETRY_BASE.saturating_mul(1u32 << (attempt - 1).min(16));
+    let capped = exp.min(RETRY_CAP);
+    capped + jitter(attempt, capped)
 }
 
 impl Client {
     /// Connect to a daemon and perform the protocol hello.
     pub fn connect(addr: &NetAddr) -> io::Result<Client> {
-        let mut stream = ClientStream::connect(addr)?;
-        rpc::write_hello(&mut stream)?;
-        Ok(Client { stream })
+        let stream = Self::dial(addr)?;
+        Ok(Client {
+            addr: addr.clone(),
+            stream,
+            retries: 0,
+            metrics: None,
+        })
     }
 
-    /// Send a request and read its first response.
-    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+    /// Count retries into `registry` (as `client_retries`) in addition
+    /// to the [`Client::retries`] total.
+    pub fn with_metrics(mut self, registry: Arc<Registry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// How many times this client redialed and resent a request.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    fn dial(addr: &NetAddr) -> io::Result<ClientStream> {
+        let mut stream = ClientStream::connect(addr)?;
+        rpc::write_hello(&mut stream)?;
+        Ok(stream)
+    }
+
+    fn note_retry(&mut self) {
+        self.retries += 1;
+        if let Some(reg) = &self.metrics {
+            reg.counter("client_retries").inc();
+        }
+    }
+
+    fn try_request(&mut self, req: &Request) -> io::Result<Response> {
         rpc::write_msg(&mut self.stream, &req.encode())?;
         self.read_response()
     }
 
+    /// Send a request and read its first response, redialing and
+    /// resending (bounded, with exponential backoff + jitter) when the
+    /// connection fails mid-exchange — e.g. across a daemon restart.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        let mut attempt = 0u32;
+        loop {
+            match self.try_request(req) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    if !retryable(&e) || attempt >= RETRY_ATTEMPTS {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    self.note_retry();
+                    std::thread::sleep(backoff(attempt));
+                    // A refused dial keeps the dead stream; the next
+                    // loop iteration fails fast and backs off again.
+                    if let Ok(s) = Self::dial(&self.addr) {
+                        self.stream = s;
+                    }
+                }
+            }
+        }
+    }
+
     /// Read one more response — the terminal `Done`/`Error` of a `wait`
-    /// submission, or the `Done` following a cache-hit acceptance.
+    /// submission, or the `Done` following a cache-hit acceptance. Not
+    /// retried here: a connection lost mid-wait needs the job resubmitted
+    /// (see [`Client::submit_wait`]), not the read repeated.
     pub fn read_response(&mut self) -> io::Result<Response> {
         let payload = rpc::read_msg(&mut self.stream, rpc::MAX_MSG)?;
         Response::decode(&payload)
@@ -45,6 +154,42 @@ impl Client {
         }))
     }
 
+    /// Submit and block for the terminal response, surviving daemon
+    /// restarts: a connection lost while waiting resubmits the job
+    /// (idempotent — it coalesces onto the in-flight copy or hits the
+    /// result cache) under the same bounded backoff as [`Client::request`].
+    pub fn submit_wait(&mut self, tenant: &str, spec: JobSpec) -> io::Result<Response> {
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self
+                .try_request(&Request::Submit(SubmitReq {
+                    tenant: tenant.to_string(),
+                    wait: true,
+                    spec: spec.clone(),
+                }))
+                .and_then(|first| match first {
+                    // Admitted: the terminal Done/Error follows on the
+                    // same exchange (a cache hit's Done is immediate).
+                    Response::Accepted { .. } => self.read_response(),
+                    other => Ok(other),
+                });
+            match outcome {
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    if !retryable(&e) || attempt >= RETRY_ATTEMPTS {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    self.note_retry();
+                    std::thread::sleep(backoff(attempt));
+                    if let Ok(s) = Self::dial(&self.addr) {
+                        self.stream = s;
+                    }
+                }
+            }
+        }
+    }
+
     /// Query a job's lifecycle state.
     pub fn status(&mut self, job: u64) -> io::Result<Response> {
         self.request(&Request::Status { job })
@@ -58,5 +203,10 @@ impl Client {
     /// Cancel a queued job.
     pub fn cancel(&mut self, job: u64) -> io::Result<Response> {
         self.request(&Request::Cancel { job })
+    }
+
+    /// Gracefully drain slave `rank` out of the daemon's fleet.
+    pub fn drain(&mut self, rank: u32) -> io::Result<Response> {
+        self.request(&Request::Drain { rank })
     }
 }

@@ -34,13 +34,15 @@
 use crate::cache::{job_key, CacheEntry, ResultCache};
 use crate::protocol::{Admission, JobResult, JobState, Request, Response, SubmitReq};
 use crate::state::JobStore;
-use crate::stream::{ClientListener, ClientStream};
+use crate::stream::{ClientListener, ClientStream, StreamShutdown};
 use easyhps_net::rpc;
 use easyhps_net::socket::{SocketConfig, SocketListener};
 use easyhps_net::NetAddr;
 use easyhps_obs::{labeled, MetricValue, Registry, Snapshot};
 use easyhps_runtime::remote::JobSpec;
-use easyhps_runtime::{Checkpoint, CheckpointPolicy, Fleet, JobOptions, ObsConfig, RuntimeError};
+use easyhps_runtime::{
+    Checkpoint, CheckpointPolicy, Fleet, FleetControl, JobOptions, ObsConfig, RuntimeError,
+};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io;
 use std::path::PathBuf;
@@ -173,6 +175,14 @@ struct Inner {
     core: Mutex<Core>,
     work: Condvar,
     shutdown: AtomicBool,
+    /// The fleet's control surface, published by the scheduler once the
+    /// fleet is up. Drain RPCs push requests through it; the next (or
+    /// running) job's master honours them.
+    fleet_control: Mutex<Option<FleetControl>>,
+    /// Shutdown handles of live client connections: a graceful stop
+    /// closes them so handler threads parked in a read exit instead of
+    /// keeping pre-restart connections (and answers) alive.
+    clients: Mutex<Vec<Arc<StreamShutdown>>>,
 }
 
 /// One unit of work handed from the queue to an execution round.
@@ -787,10 +797,14 @@ fn scheduler(inner: Arc<Inner>, src: FleetSrc) {
                 .map_err(|e| eprintln!("serve: starting local fleet: {e}"))
                 .ok()
         }
-        FleetSrc::Remote { listener, slaves } => Fleet::accept(listener, slaves, None)
+        // Remote fleets are *elastic*: the slave listener stays open, so
+        // new slaves can join between (or during) jobs, severed links
+        // heal under a bumped epoch, and drained ranks free their slot.
+        FleetSrc::Remote { listener, slaves } => Fleet::accept_elastic(listener, slaves)
             .map_err(|e| eprintln!("serve: accepting slave fleet: {e}"))
             .ok(),
     };
+    *inner.fleet_control.lock().unwrap() = fleet.as_ref().map(|f| f.control().clone());
     while let Some(round) = inner.next_round() {
         // next_round only groups jobs at or below the batch threshold,
         // so a multi-job round is always a batch; a single job batches
@@ -811,6 +825,8 @@ fn scheduler(inner: Arc<Inner>, src: FleetSrc) {
                     fleet = Fleet::local(slaves, threads)
                         .map_err(|e| eprintln!("serve: rebuilding local fleet: {e}"))
                         .ok();
+                    *inner.fleet_control.lock().unwrap() =
+                        fleet.as_ref().map(|f| f.control().clone());
                 }
             }
         }
@@ -950,6 +966,18 @@ fn handle_client(inner: Arc<Inner>, mut s: ClientStream) {
                 },
             )
             .is_ok(),
+            Request::Drain { rank } => {
+                let ok = match (rank, &*inner.fleet_control.lock().unwrap()) {
+                    (0, _) => false, // rank 0 is the master
+                    (_, Some(fc)) => {
+                        fc.request_drain(rank);
+                        inner.registry.counter("serve_drain_requests").inc();
+                        true
+                    }
+                    (_, None) => false,
+                };
+                write_resp(&mut s, &Response::Drained { rank, ok }).is_ok()
+            }
         };
         if !ok {
             return;
@@ -1039,6 +1067,8 @@ impl Daemon {
             }),
             work: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            fleet_control: Mutex::new(None),
+            clients: Mutex::new(Vec::new()),
         });
         inner.recover()?;
 
@@ -1076,9 +1106,22 @@ impl Daemon {
                         match listener.poll_accept(Duration::from_millis(50)) {
                             Ok(Some(s)) => {
                                 let inner = inner.clone();
+                                let handle = s.shutdown_handle().ok().map(Arc::new);
+                                if let Some(h) = &handle {
+                                    inner.clients.lock().unwrap().push(h.clone());
+                                }
                                 let _ = std::thread::Builder::new()
                                     .name("serve-client".into())
-                                    .spawn(move || handle_client(inner, s));
+                                    .spawn(move || {
+                                        handle_client(inner.clone(), s);
+                                        if let Some(h) = &handle {
+                                            inner
+                                                .clients
+                                                .lock()
+                                                .unwrap()
+                                                .retain(|x| !Arc::ptr_eq(x, h));
+                                        }
+                                    });
                             }
                             Ok(None) => {}
                             Err(_) => std::thread::sleep(Duration::from_millis(50)),
@@ -1119,6 +1162,11 @@ impl Daemon {
     fn shutdown_join(&mut self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.work.notify_all();
+        // Close live client connections: their handler threads unblock
+        // and exit, so no pre-shutdown connection keeps answering.
+        for h in self.inner.clients.lock().unwrap().drain(..) {
+            h.close();
+        }
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }

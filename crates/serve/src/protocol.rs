@@ -23,6 +23,7 @@ const REQ_SUBMIT: u8 = 1;
 const REQ_STATUS: u8 = 2;
 const REQ_STATS: u8 = 3;
 const REQ_CANCEL: u8 = 4;
+const REQ_DRAIN: u8 = 5;
 
 const RESP_ACCEPTED: u8 = 1;
 const RESP_REJECTED: u8 = 2;
@@ -31,6 +32,7 @@ const RESP_STATS: u8 = 4;
 const RESP_CANCELLED: u8 = 5;
 const RESP_DONE: u8 = 6;
 const RESP_ERROR: u8 = 7;
+const RESP_DRAINED: u8 = 8;
 
 fn get_string(r: &mut WireReader<'_>, context: &'static str) -> Result<String, WireError> {
     String::from_utf8(r.get_bytes()?).map_err(|_| WireError { context })
@@ -188,6 +190,13 @@ pub enum Request {
         /// Job id returned by a prior submit.
         job: u64,
     },
+    /// Gracefully drain a slave out of the daemon's fleet: stop
+    /// assigning it work, let in-flight sub-tasks land, release the
+    /// rank. See DESIGN.md §17.
+    Drain {
+        /// Slave rank to drain (1-based; 0 is the master).
+        rank: u32,
+    },
 }
 
 impl Request {
@@ -209,6 +218,9 @@ impl Request {
             }
             Request::Cancel { job } => {
                 w.put_u8(REQ_CANCEL).put_u64(*job);
+            }
+            Request::Drain { rank } => {
+                w.put_u8(REQ_DRAIN).put_u32(*rank);
             }
         }
         w.finish().to_vec()
@@ -236,6 +248,7 @@ impl Request {
             REQ_STATUS => Request::Status { job: r.get_u64()? },
             REQ_STATS => Request::Stats,
             REQ_CANCEL => Request::Cancel { job: r.get_u64()? },
+            REQ_DRAIN => Request::Drain { rank: r.get_u32()? },
             _ => {
                 return Err(WireError {
                     context: "request kind",
@@ -296,6 +309,14 @@ pub enum Response {
         /// Human-readable description.
         message: String,
     },
+    /// Answer to `Drain`.
+    Drained {
+        /// The rank the drain targeted.
+        rank: u32,
+        /// Whether the drain was handed to the fleet (false when the
+        /// daemon has no fleet yet).
+        ok: bool,
+    },
 }
 
 impl Response {
@@ -335,6 +356,9 @@ impl Response {
             }
             Response::Error { message } => {
                 w.put_u8(RESP_ERROR).put_bytes(message.as_bytes());
+            }
+            Response::Drained { rank, ok } => {
+                w.put_u8(RESP_DRAINED).put_u32(*rank).put_u8(*ok as u8);
             }
         }
         w.finish().to_vec()
@@ -390,6 +414,18 @@ impl Response {
             RESP_ERROR => Response::Error {
                 message: get_string(&mut r, "error message")?,
             },
+            RESP_DRAINED => Response::Drained {
+                rank: r.get_u32()?,
+                ok: match r.get_u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => {
+                        return Err(WireError {
+                            context: "drain ok flag",
+                        })
+                    }
+                },
+            },
             _ => {
                 return Err(WireError {
                     context: "response kind",
@@ -429,6 +465,7 @@ mod tests {
             Request::Status { job: 42 },
             Request::Stats,
             Request::Cancel { job: u64::MAX },
+            Request::Drain { rank: 3 },
         ];
         for req in &reqs {
             assert_eq!(&Request::decode(&req.encode()).unwrap(), req);
@@ -496,6 +533,7 @@ mod tests {
             Response::Error {
                 message: "no fleet".into(),
             },
+            Response::Drained { rank: 2, ok: true },
         ];
         for resp in &resps {
             assert_eq!(&Response::decode(&resp.encode()).unwrap(), resp);

@@ -21,7 +21,37 @@ pub enum ClientStream {
     Uds(UnixStream),
 }
 
+/// A handle that closes a [`ClientStream`] from another thread. The
+/// daemon keeps one per connection so a graceful shutdown unblocks
+/// handler threads parked in a read instead of leaving the connections
+/// (and their threads) to linger past [`Daemon::stop`](crate::Daemon::stop).
+#[derive(Debug)]
+pub enum StreamShutdown {
+    /// Handle to a TCP connection.
+    Tcp(TcpStream),
+    /// Handle to a Unix-domain connection.
+    Uds(UnixStream),
+}
+
+impl StreamShutdown {
+    /// Close both directions; a handler blocked in a read sees EOF.
+    pub fn close(&self) {
+        let _ = match self {
+            StreamShutdown::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            StreamShutdown::Uds(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+}
+
 impl ClientStream {
+    /// A handle that can close this stream from another thread.
+    pub fn shutdown_handle(&self) -> io::Result<StreamShutdown> {
+        Ok(match self {
+            ClientStream::Tcp(s) => StreamShutdown::Tcp(s.try_clone()?),
+            ClientStream::Uds(s) => StreamShutdown::Uds(s.try_clone()?),
+        })
+    }
+
     /// Connect to a daemon's client address.
     pub fn connect(addr: &NetAddr) -> io::Result<ClientStream> {
         Ok(match addr {

@@ -263,6 +263,93 @@ fn queued_jobs_are_cancellable() {
     daemon.stop();
 }
 
+/// A client outlives a daemon restart: its next request redials with
+/// bounded exponential backoff and resends, so `status`/`submit --wait`
+/// keep working across the restart instead of erroring out.
+#[test]
+fn client_survives_daemon_restart() {
+    let daemon = Daemon::start(local_config("127.0.0.1:0")).unwrap();
+    let addr = daemon.addr().clone();
+    let mut c = Client::connect(&addr).unwrap();
+
+    let spec = editdist_spec(b"a job before the restart", b"and after it too", 4);
+    let want = reference_crc(&spec);
+    let Response::Done { result, .. } = c.submit_wait("alice", spec.clone()).unwrap() else {
+        panic!("wait submission must end in Done");
+    };
+    assert_eq!(result.crc, want);
+    assert_eq!(c.retries(), 0, "healthy daemon needs no retries");
+
+    // Restart the daemon on the same address; the client's TCP stream
+    // is now dead.
+    daemon.stop();
+    let t0 = Instant::now();
+    let daemon = loop {
+        let mut cfg = local_config("127.0.0.1:0");
+        cfg.listen = addr.clone();
+        // The freed port may take a moment to rebind.
+        match Daemon::start(cfg) {
+            Ok(d) => break d,
+            Err(e) if t0.elapsed() < Duration::from_secs(10) => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => panic!("rebinding {addr}: {e}"),
+        }
+    };
+
+    // The same client object keeps working: the dead stream is detected,
+    // redialed and the request resent.
+    let Response::Status { state, .. } = c.status(1).unwrap() else {
+        panic!("status must be answered after the restart");
+    };
+    assert_eq!(state, JobState::Unknown, "fresh daemon has no job 1");
+    assert!(c.retries() >= 1, "the restart must have cost a retry");
+
+    // And a full wait-submission still runs end to end, bit-identical.
+    let Response::Done { result, .. } = c.submit_wait("alice", spec).unwrap() else {
+        panic!("post-restart submission must end in Done");
+    };
+    assert_eq!(result.crc, want);
+    daemon.stop();
+}
+
+/// The drain RPC reaches the fleet: rank 0 is refused, a slave rank is
+/// accepted once the scheduler has published the fleet control, and
+/// jobs submitted after the drain still complete (on the remaining
+/// slave).
+#[test]
+fn drain_rpc_reaches_the_fleet() {
+    let daemon = Daemon::start(local_config("127.0.0.1:0")).unwrap();
+    let mut c = Client::connect(daemon.addr()).unwrap();
+
+    let Response::Drained { ok, .. } = c.drain(0).unwrap() else {
+        panic!("drain must be answered");
+    };
+    assert!(!ok, "rank 0 is the master and cannot be drained");
+
+    // The scheduler publishes the control shortly after start.
+    let t0 = Instant::now();
+    loop {
+        match c.drain(2).unwrap() {
+            Response::Drained { ok: true, .. } => break,
+            Response::Drained { ok: false, .. } if t0.elapsed() < Duration::from_secs(10) => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => panic!("unexpected drain answer: {other:?}"),
+        }
+    }
+    assert_eq!(counter(&daemon, "serve_drain_requests"), 1);
+
+    // Big enough for the fleet path; it must complete without rank 2.
+    let spec = editdist_spec(&[b'd'; 200], &[b'e'; 190], 8);
+    let Response::Done { result, .. } = c.submit_wait("alice", spec.clone()).unwrap() else {
+        panic!("post-drain submission must end in Done");
+    };
+    assert_eq!(result.crc, reference_crc(&spec));
+    daemon.stop();
+}
+
 /// The crash-recovery acceptance scenario, in-process: a state directory
 /// holding durably accepted but unfinished specs (exactly what a daemon
 /// killed with -9 mid-queue leaves behind) is fully completed by a fresh

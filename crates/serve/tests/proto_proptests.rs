@@ -39,6 +39,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
         any::<u64>().prop_map(|job| Request::Status { job }),
         Just(Request::Stats),
         any::<u64>().prop_map(|job| Request::Cancel { job }),
+        any::<u32>().prop_map(|rank| Request::Drain { rank }),
     ]
 }
 
@@ -83,6 +84,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
             }
         }),
         arb_text(60).prop_map(|message| Response::Error { message }),
+        (any::<u32>(), any::<bool>()).prop_map(|(rank, ok)| Response::Drained { rank, ok }),
     ]
 }
 

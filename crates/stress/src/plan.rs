@@ -118,6 +118,20 @@ pub enum FaultClause {
         /// Corruption probability, permille.
         pm: u32,
     },
+    /// Hard-close this slave rank's socket after `after_sends` send
+    /// attempts, keeping it dark for `down_ms` — a severed link. Under a
+    /// socket transport with a reconnect window the slave must redial,
+    /// resume its rank under a bumped fleet epoch, and the run must
+    /// still produce the exact matrix (meaningless on the in-process
+    /// transport, whose channel links cannot drop).
+    LinkSever {
+        /// Slave rank (1-based) whose link is severed.
+        rank: u32,
+        /// Send attempts before the sever.
+        after_sends: u64,
+        /// How long the link stays down, milliseconds.
+        down_ms: u64,
+    },
 }
 
 impl fmt::Display for FaultClause {
@@ -145,6 +159,16 @@ impl fmt::Display for FaultClause {
             }
             Self::BitFlip { rank, pm } => {
                 write!(f, "bit-flip rank={rank} pm={pm}")
+            }
+            Self::LinkSever {
+                rank,
+                after_sends,
+                down_ms,
+            } => {
+                write!(
+                    f,
+                    "link-sever rank={rank} after-sends={after_sends} down-ms={down_ms}"
+                )
             }
         }
     }
@@ -280,6 +304,15 @@ impl StressPlan {
                 pm: rng.random_range(5..=15u32),
             });
         }
+        // Severed link on one slave. Drawn after BitFlip — same
+        // byte-for-byte contract for pre-existing seeds.
+        if rng.random_bool(0.3) {
+            clauses.push(FaultClause::LinkSever {
+                rank: rng.random_range(1..=slaves as u32),
+                after_sends: rng.random_range(10..=120u64),
+                down_ms: rng.random_range(50..=400u64),
+            });
+        }
 
         Self {
             seed,
@@ -345,7 +378,7 @@ mod tests {
     #[test]
     fn seeds_cover_every_clause_kind() {
         let cfg = StressConfig::default();
-        let (mut chaos, mut starve, mut crash, mut stall, mut flip) = (0, 0, 0, 0, 0);
+        let (mut chaos, mut starve, mut crash, mut stall, mut flip, mut sever) = (0, 0, 0, 0, 0, 0);
         for seed in 0..300u64 {
             for c in StressPlan::from_seed(seed, &cfg).clauses {
                 match c {
@@ -354,6 +387,7 @@ mod tests {
                     FaultClause::Crash { .. } => crash += 1,
                     FaultClause::Stall { .. } => stall += 1,
                     FaultClause::BitFlip { .. } => flip += 1,
+                    FaultClause::LinkSever { .. } => sever += 1,
                 }
             }
         }
@@ -362,6 +396,7 @@ mod tests {
         assert!(crash > 20, "crashes present ({crash})");
         assert!(stall > 50, "stalls present ({stall})");
         assert!(flip > 50, "bit flips present ({flip})");
+        assert!(sever > 50, "link severs present ({sever})");
     }
 
     #[test]

@@ -195,6 +195,16 @@ fn rank_fault_plans(plan: &StressPlan) -> Vec<Option<FaultPlan>> {
             FaultClause::BitFlip { rank, pm } => {
                 touch(&mut plans, plan.seed, rank).bitflip_prob = pm as f64 / 1000.0;
             }
+            FaultClause::LinkSever {
+                rank,
+                after_sends,
+                down_ms,
+            } => {
+                touch(&mut plans, plan.seed, rank).link_sever = Some(easyhps_net::LinkSever {
+                    at: after_sends,
+                    down_for: Duration::from_millis(down_ms),
+                });
+            }
         }
     }
     plans
@@ -231,6 +241,12 @@ where
         TRACE_NONCE.fetch_add(1, Ordering::Relaxed)
     ));
 
+    let has_sever = plan
+        .clauses
+        .iter()
+        .any(|c| matches!(c, FaultClause::LinkSever { .. }));
+    let socket_transport = cfg.transport != easyhps_runtime::TransportKind::InProcess;
+
     let mut hps = EasyHps::new(stalled)
         .slaves(plan.slaves)
         .threads_per_slave(2)
@@ -242,6 +258,12 @@ where
         .heartbeat(Duration::from_millis(20), Duration::from_millis(150))
         .metrics(true)
         .trace_out(&trace_path);
+    if has_sever && socket_transport {
+        // A severed socket must heal by redial: the slave keeps its rank
+        // and resumes under a bumped fleet epoch. (In-process channel
+        // links cannot drop; the clause is inert there.)
+        hps = hps.reconnect(Duration::from_secs(10));
+    }
     for (rank, fp) in rank_fault_plans(plan).into_iter().enumerate() {
         let Some(fp) = fp else { continue };
         hps = if rank == 0 {
@@ -336,8 +358,16 @@ where
 
     // Invariant 5: without a planned crash or heartbeat starvation,
     // nobody ends up permanently dead (exclusions must heal via
-    // re-admission).
-    if !exclusion_expected && m.dead_slaves != 0 {
+    // re-admission). A link sever that actually fired also waives this:
+    // when the outage outlasts the rest of the run, the survivor
+    // finishes the matrix while the severed rank is still excluded for
+    // silence — correct behaviour, indistinguishable at run end from a
+    // silent death. A sever clause that never triggered waives nothing.
+    let severs_fired = out
+        .metrics
+        .as_ref()
+        .map_or(0, |reg| reg.snapshot().counter_total("net_links_severed"));
+    if !exclusion_expected && severs_fired == 0 && m.dead_slaves != 0 {
         v.push(format!(
             "liveness: {} slave(s) permanently excluded with no crash or \
              heartbeat-starvation clause in the plan",
@@ -379,6 +409,29 @@ where
             v.push(format!(
                 "corruption defense: {injected} messages were bit-flipped \
                  but zero frames failed the CRC check"
+            ));
+        }
+
+        // Invariant 8: a link sever that actually *fired* over a socket
+        // transport must heal by redial — `net_links_severed` proves the
+        // cable was pulled (a clause whose send threshold was never
+        // reached is vacuous, like invariant 7's un-fired bit flips),
+        // and the reconnect counter proves the link came back; the
+        // bit-identical matrix above already vouches for the resumed
+        // slave's work. No tile computed under a stale epoch is ever
+        // accepted: the master's epoch fence rejects late DONEs from a
+        // pre-sever incarnation, and any fence leak would surface as
+        // invariant 2/3 double-accounting.
+        let severed = snap.counter_total("net_links_severed");
+        if has_sever
+            && socket_transport
+            && severed >= 1
+            && snap.counter_total("socket_reconnects") == 0
+        {
+            v.push(format!(
+                "reconnect: {severed} link sever(s) fired over a socket \
+                 transport but socket_reconnects stayed 0 (the severed \
+                 link never healed by redial)"
             ));
         }
     }

@@ -135,6 +135,34 @@ fn heartbeat_starvation_of_the_last_slave_is_survivable() {
     assert!(violations.is_empty(), "{violations:?}");
 }
 
+// A severed socket link must heal by redial: the slave keeps its state,
+// reconnects under a bumped epoch, and the matrix still comes out
+// bit-identical. Invariant 8 (`socket_reconnects >= 1` when a sever
+// clause ran over a socket transport) makes a silent non-reconnect a
+// failure rather than a vacuous pass.
+#[test]
+fn a_severed_tcp_link_heals_by_reconnecting() {
+    let cfg = StressConfig {
+        transport: easyhps_runtime::TransportKind::Tcp,
+        hang_timeout: Duration::from_secs(60),
+        ..StressConfig::default()
+    };
+    let plan = StressPlan {
+        seed: 777,
+        mode: ScheduleMode::Dynamic,
+        slaves: 2,
+        workload: Workload::Swgg,
+        len: 48,
+        clauses: vec![FaultClause::LinkSever {
+            rank: 1,
+            after_sends: 20,
+            down_ms: 120,
+        }],
+    };
+    let violations = run_plan(&plan, &cfg);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
 #[test]
 fn an_empty_fault_schedule_is_a_clean_run() {
     let cfg = StressConfig::default();

@@ -13,6 +13,7 @@
 //! easyhps explore [--workload swgg|nussinov|wavefront] [--len N]
 //!               [--pps N] [--tps N] [--slaves N] [--mode dynamic|bcw|cw]
 //!               [--depth N] [--max-schedules N] [--reorder-window N]
+//!               [--rejoin SLAVE@AFTER]... [--drain SLAVE@AFTER]...
 //! easyhps stress [--seed N | --seeds N [--start N]] [--kill-master]
 //!               [--mode dynamic|bcw|cw] [--slaves N] [--transport inproc|tcp|uds]
 //!               [--workload editdist|swgg|nussinov|nw|lcs] [--clauses i,j|none]
@@ -21,7 +22,9 @@
 //!               [SEQ...] [--len N --seed S] [--pps N] [--tps N] [--threads N]
 //!               [--mode dynamic|bcw|cw] [--gap SPEC] [--min-loop N] [--sparse]
 //!               [--task-timeout-ms N] [--heartbeat-ms N] [--heartbeat-timeout-ms N]
+//!               [--reconnect-ms N]
 //! easyhps slave --connect ADDR [--rank R] [--threads N] [--sparse]
+//!               [--reconnect-ms N]
 //! easyhps serve --listen ADDR [--slaves N] [--threads N] [--fleet-listen ADDR]
 //!               [--state-dir DIR] [--queue N] [--cache-mb N] [--batch-cells N]
 //!               [--batch-jobs N] [--checkpoint-every N] [--job-metrics]
@@ -32,6 +35,7 @@
 //! easyhps status --connect ADDR JOB
 //! easyhps stats  --connect ADDR
 //! easyhps cancel --connect ADDR JOB
+//! easyhps drain  --connect ADDR RANK
 //! ```
 //!
 //! `align` and `fold` run the real multilevel runtime on the input;
@@ -56,6 +60,15 @@
 //! separate runs can be compared bit for bit. Slaves connect, receive
 //! the job, and serve until the run ends. Input sequences are given as
 //! positional arguments or generated with `--len N --seed S`.
+//! `--reconnect-ms N` on both halves turns on the **elastic membership
+//! protocol** (DESIGN.md §17): a slave whose link drops keeps its state
+//! and redials within the window, resuming its rank under a bumped fleet
+//! epoch; the master fences any completion stamped by a replaced
+//! incarnation and reports the counts on a `fleet:` line. With a
+//! `serve --fleet-listen` fleet, `drain RANK` asks the daemon to stop
+//! assigning work to that slave, wait out its in-flight sub-tasks, and
+//! release the rank back to the fleet's free-list (new slaves may join
+//! a running fleet at any time by connecting to the fleet address).
 //!
 //! `serve` runs the **DP-as-a-service daemon**: a long-lived process that
 //! owns a persistent slave fleet (in-process by default, real slave
@@ -594,6 +607,12 @@ fn cmd_master(args: &Args) -> Result<(), String> {
     let spec = build_job_spec(args, "master")?;
 
     let mut opts = RemoteMasterOptions::default();
+    if let Some(ms) = args.get("reconnect-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("--reconnect-ms: cannot parse '{ms}'"))?;
+        opts.socket.reconnect_window = Some(std::time::Duration::from_millis(ms));
+    }
     let registry = args
         .has("metrics")
         .then(|| std::sync::Arc::new(easyhps::runtime::Registry::new()));
@@ -641,6 +660,19 @@ fn cmd_master(args: &Args) -> Result<(), String> {
         m.redispatched,
         m.resumed
     );
+    // The membership drill's observables: rejoins and fenced zombie
+    // DONEs from the scheduler, healed links from the socket layer.
+    if let Some(sinfo) = &out.socket {
+        let reconnects: u64 = sinfo
+            .links
+            .iter()
+            .map(|(_, s)| s.snapshot().reconnects)
+            .sum();
+        println!(
+            "fleet: {} rejoin(s), {} stale-epoch done(s) fenced, {} socket reconnect(s)",
+            m.rejoins, m.stale_epoch_rejected, reconnects
+        );
+    }
     println!("matrix-crc: {:#010x}", matrix_crc(&out.matrix));
     if let Some(registry) = &registry {
         print!("{}", registry.snapshot().render_text());
@@ -665,6 +697,12 @@ fn cmd_slave(args: &Args) -> Result<(), String> {
     }
     if args.has("sparse") {
         opts.memory = Some(easyhps::MemoryMode::Sparse);
+    }
+    if let Some(ms) = args.get("reconnect-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("--reconnect-ms: cannot parse '{ms}'"))?;
+        opts.socket.reconnect_window = Some(std::time::Duration::from_millis(ms));
     }
     let stats = serve_slave(opts).map_err(|e| e.to_string())?;
     println!(
@@ -789,6 +827,15 @@ fn print_response(resp: easyhps::serve::Response) -> Result<(), String> {
             // can be diffed against one-shot runs bit for bit.
             println!("matrix-crc: {:#010x}", result.crc);
         }
+        Response::Drained { rank, ok } => {
+            if !ok {
+                return Err(format!(
+                    "rank {rank}: not drainable (rank 0 is the master, and the \
+                     daemon needs an elastic --fleet-listen fleet)"
+                ));
+            }
+            println!("draining: rank {rank} (released once its in-flight work lands)");
+        }
         Response::Error { message } => return Err(message),
     }
     Ok(())
@@ -851,11 +898,24 @@ fn cmd_cancel(args: &Args) -> Result<(), String> {
     print_response(client.cancel(job).map_err(|e| format!("cancel: {e}"))?)
 }
 
+/// Ask a daemon to gracefully drain one fleet slave: finish its
+/// in-flight sub-tasks, assign it nothing new, release its rank.
+fn cmd_drain(args: &Args) -> Result<(), String> {
+    let rank = args
+        .positional
+        .first()
+        .ok_or("drain: missing rank")?
+        .parse()
+        .map_err(|_| "drain: rank is not a number")?;
+    let mut client = serve_client(args, "drain")?;
+    print_response(client.drain(rank).map_err(|e| format!("drain: {e}"))?)
+}
+
 /// Enumerate master-scheduler event orderings on a small workload's
 /// master DAG and check the schedule invariants on every explored order.
 /// Exits 1 if any explored schedule violates the contract.
 fn cmd_explore(args: &Args) -> Result<ExitCode, String> {
-    use easyhps::core::sched::{explore, ExploreConfig};
+    use easyhps::core::sched::{explore_membership, ExploreConfig, MembershipOp};
 
     // Defaults give a 4x4 master DAG — small enough that bounded-depth
     // exploration covers hundreds of distinct orders in well under a
@@ -878,15 +938,46 @@ fn cmd_explore(args: &Args) -> Result<ExitCode, String> {
     cfg.max_schedules = args.get_num("max-schedules", cfg.max_schedules)?;
     cfg.reorder_window = args.get_num("reorder-window", cfg.reorder_window)?;
 
+    // Scripted membership operations (DESIGN.md §17): `SLAVE@AFTER`
+    // fires the op once AFTER delivered frames. The explorer then
+    // enumerates delivery orders around the membership change, modelling
+    // a rejoined slave's undelivered DONEs as stale-epoch zombies, and
+    // fails any order in which the machine accepts one.
+    let parse_op = |spec: &str, what: &str| -> Result<(usize, usize), String> {
+        let (s, a) = spec
+            .split_once('@')
+            .ok_or_else(|| format!("--{what}: expected SLAVE@AFTER, got '{spec}'"))?;
+        Ok((
+            s.parse()
+                .map_err(|_| format!("--{what}: bad slave '{s}'"))?,
+            a.parse()
+                .map_err(|_| format!("--{what}: bad frame count '{a}'"))?,
+        ))
+    };
+    let mut script = Vec::new();
+    for spec in args.get_all("rejoin") {
+        let (slave, after) = parse_op(spec, "rejoin")?;
+        script.push(MembershipOp::Rejoin { slave, after });
+    }
+    for spec in args.get_all("drain") {
+        let (slave, after) = parse_op(spec, "drain")?;
+        script.push(MembershipOp::Drain { slave, after });
+    }
+
     let t0 = std::time::Instant::now();
-    let out = explore(&dag, &cfg);
+    let out = explore_membership(&dag, &cfg, &script);
     println!(
-        "{} master DAG ({} tiles) on {} slave(s), {} policy, depth {}:",
+        "{} master DAG ({} tiles) on {} slave(s), {} policy, depth {}{}:",
         workload.name,
         dag.len(),
         slaves,
         mode.name(),
-        cfg.depth
+        cfg.depth,
+        if script.is_empty() {
+            String::new()
+        } else {
+            format!(", {} membership op(s)", script.len())
+        }
     );
     println!(
         "  {} schedule(s), {} distinct delivery orders, {} decision point(s), \
@@ -1048,7 +1139,7 @@ fn cmd_stress(args: &Args) -> Result<ExitCode, String> {
 }
 
 const USAGE: &str = "usage: easyhps <align|fold|editdist|sim|analyze|explore|stress|master|slave\
-|serve|submit|status|stats|cancel> [args]  (see --help in source docs)";
+|serve|submit|status|stats|cancel|drain> [args]  (see --help in source docs)";
 
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
@@ -1084,6 +1175,7 @@ fn main() -> ExitCode {
         "status" => cmd_status(&args).map(|()| ExitCode::SUCCESS),
         "stats" => cmd_stats(&args).map(|()| ExitCode::SUCCESS),
         "cancel" => cmd_cancel(&args).map(|()| ExitCode::SUCCESS),
+        "drain" => cmd_drain(&args).map(|()| ExitCode::SUCCESS),
         other => Err(format!("unknown command '{other}'\n{USAGE}")),
     });
     match result {

@@ -184,6 +184,157 @@ fn kill9_slave_mid_run_completes_exactly() {
     assert!(reap(s2, Duration::from_secs(30)), "surviving slave failed");
 }
 
+/// The `fleet:` line an elastic master prints, parsed into
+/// (rejoins, stale-epoch fences, socket reconnects).
+fn fleet_line(output: &str) -> (u64, u64, u64) {
+    let line = output
+        .lines()
+        .find_map(|l| l.strip_prefix("fleet: "))
+        .unwrap_or_else(|| panic!("no fleet line in {output:?}"));
+    let nums: Vec<u64> = line
+        .split_whitespace()
+        .filter_map(|w| w.parse().ok())
+        .collect();
+    assert_eq!(nums.len(), 3, "malformed fleet line: {line:?}");
+    (nums[0], nums[1], nums[2])
+}
+
+fn signal(child: &Child, sig: &str) {
+    let ok = Command::new("kill")
+        .args([sig, &child.id().to_string()])
+        .status()
+        .expect("run kill")
+        .success();
+    assert!(ok, "kill {sig} failed");
+}
+
+/// The elastic-membership drill (DESIGN.md §17), over real processes and
+/// TCP: SIGKILL a slave mid-run and start a replacement process on the
+/// same rank. The master (running with a reconnect window) must admit
+/// the new incarnation as a rejoin — epoch bumped, in-flight work rolled
+/// back and redistributed — and the run must still finish bit-identical
+/// with no slave permanently excluded from the result.
+#[test]
+fn killed_slave_replaced_on_same_rank_rejoins_and_run_is_exact() {
+    // Tiny tiles keep the run latency-bound (~1 s even in release), so
+    // the kill below reliably lands mid-run rather than after the last
+    // DONE. Duplicate flags are last-wins, overriding spawn_master's.
+    let master = spawn_master(&[
+        "--listen",
+        "127.0.0.1:0",
+        "--pps",
+        "2",
+        "--tps",
+        "1",
+        "--reconnect-ms",
+        "10000",
+        "--heartbeat-ms",
+        "20",
+        "--heartbeat-timeout-ms",
+        "300",
+        "--task-timeout-ms",
+        "600",
+    ]);
+    let mut s1 = spawn_slave(&master.addr, 1);
+    let s2 = spawn_slave(&master.addr, 2);
+    // Let the first incarnation take work, then hard-kill it and start
+    // its replacement immediately: a fresh session on the same rank.
+    std::thread::sleep(Duration::from_millis(80));
+    let _ = s1.kill();
+    let _ = s1.wait();
+    let s1b = spawn_slave(&master.addr, 1);
+    let (ok, out) = master.finish();
+    assert!(ok, "master failed across the rejoin:\n{out}");
+    assert_eq!(crc_line(&out), expected_crc());
+    let (rejoins, _fenced, _reconnects) = fleet_line(&out);
+    assert!(
+        rejoins >= 1,
+        "the replacement incarnation must register as a rejoin:\n{out}"
+    );
+    // The replacement served to the end of the run; the survivor too.
+    assert!(
+        reap(s1b, Duration::from_secs(30)),
+        "replacement slave failed"
+    );
+    assert!(reap(s2, Duration::from_secs(30)), "surviving slave failed");
+}
+
+/// The same drill over a Unix-domain socket: the membership protocol is
+/// transport-agnostic.
+#[test]
+fn uds_killed_slave_replaced_on_same_rank_rejoins() {
+    let path = std::env::temp_dir().join(format!("easyhps-e2e-rejoin-{}.sock", std::process::id()));
+    let listen = format!("uds:{}", path.display());
+    let master = spawn_master(&[
+        "--listen",
+        &listen,
+        "--pps",
+        "2",
+        "--tps",
+        "1",
+        "--reconnect-ms",
+        "10000",
+        "--heartbeat-ms",
+        "20",
+        "--heartbeat-timeout-ms",
+        "300",
+        "--task-timeout-ms",
+        "600",
+    ]);
+    let mut s1 = spawn_slave(&master.addr, 1);
+    let s2 = spawn_slave(&master.addr, 2);
+    std::thread::sleep(Duration::from_millis(80));
+    let _ = s1.kill();
+    let _ = s1.wait();
+    let s1b = spawn_slave(&master.addr, 1);
+    let (ok, out) = master.finish();
+    assert!(ok, "master failed across the rejoin:\n{out}");
+    assert_eq!(crc_line(&out), expected_crc());
+    let (rejoins, _, _) = fleet_line(&out);
+    assert!(rejoins >= 1, "no rejoin observed:\n{out}");
+    assert!(
+        reap(s1b, Duration::from_secs(30)),
+        "replacement slave failed"
+    );
+    assert!(reap(s2, Duration::from_secs(30)), "surviving slave failed");
+}
+
+/// SIGSTOP/SIGCONT re-admission: freeze a slave past the heartbeat
+/// timeout (excluded as silent), thaw it (heard again, re-admitted), and
+/// require the bit-identical matrix. The frozen incarnation never died,
+/// so this exercises the exclusion/re-admission path rather than the
+/// epoch fence — any DONE it wakes up holding is either still current or
+/// a plain stale completion, and both are idempotent.
+#[test]
+fn sigstopped_slave_is_readmitted_and_run_is_exact() {
+    let master = spawn_master(&[
+        "--listen",
+        "127.0.0.1:0",
+        "--pps",
+        "2",
+        "--tps",
+        "1",
+        "--heartbeat-ms",
+        "20",
+        "--heartbeat-timeout-ms",
+        "200",
+        "--task-timeout-ms",
+        "400",
+    ]);
+    let s1 = spawn_slave(&master.addr, 1);
+    let s2 = spawn_slave(&master.addr, 2);
+    std::thread::sleep(Duration::from_millis(100));
+    signal(&s1, "-STOP");
+    // Well past heartbeat-timeout: the master judges rank 1 silent.
+    std::thread::sleep(Duration::from_millis(600));
+    signal(&s1, "-CONT");
+    let (ok, out) = master.finish();
+    assert!(ok, "master failed across the freeze:\n{out}");
+    assert_eq!(crc_line(&out), expected_crc());
+    assert!(reap(s1, Duration::from_secs(30)), "thawed slave failed");
+    assert!(reap(s2, Duration::from_secs(30)), "surviving slave failed");
+}
+
 /// SIGKILL the master mid-run with durable checkpointing, then restart
 /// with `--resume` and fresh slaves: recovery must be bit-identical.
 #[test]
